@@ -1,0 +1,32 @@
+"""A2 — ablation: instance-selection strategy (§2.4 design choice).
+
+Compares the paper's greedy-closest instance choice against first-instance
+and random-instance selection at a fixed bound: the greedy choice should
+pack at least as many IList items into the same budget.
+"""
+
+from __future__ import annotations
+
+from repro.eval.ablation import run_ablation_selector
+from repro.search.query import KeywordQuery
+from repro.snippet.ilist import IListBuilder
+from repro.snippet.instance_selector import GreedyInstanceSelector, SelectionStrategy
+
+
+def test_a2_first_instance_selector_speed(benchmark, figure1_index, figure1_result):
+    query = KeywordQuery.parse("Texas, apparel, retailer")
+    ilist = IListBuilder(figure1_index.analyzer).build(query, figure1_result)
+    selector = GreedyInstanceSelector(strategy=SelectionStrategy.FIRST_INSTANCE)
+    snippet = benchmark(selector.select, figure1_result, ilist, 14)
+    assert snippet.size_edges <= 14
+
+
+def test_a2_greedy_closest_covers_most_items():
+    table = run_ablation_selector(size_bound=10, queries_per_dataset=5, seed=67)
+    by_key = {(row["dataset"], row["strategy"]): row for row in table.rows}
+    for dataset in ("retail", "movies"):
+        greedy = by_key[(dataset, "greedy_closest")]["mean_items_covered"]
+        first = by_key[(dataset, "first_instance")]["mean_items_covered"]
+        random_choice = by_key[(dataset, "random_instance")]["mean_items_covered"]
+        assert greedy >= first - 1e-9
+        assert greedy >= random_choice - 1e-9

@@ -1,0 +1,25 @@
+"""F1 — Figure 1: value-occurrence statistics of the running example.
+
+Measures the cost of extracting the feature statistics of the Brook
+Brothers query result (the §2.3 machinery) and asserts the measured counts
+equal the counts printed in Figure 1.
+"""
+
+from __future__ import annotations
+
+from repro.eval.figures import run_figure1
+from repro.snippet.features import extract_features
+
+
+def test_f1_feature_extraction_speed(benchmark, figure1_index, figure1_result):
+    statistics = benchmark(extract_features, figure1_index.analyzer, figure1_result)
+    # the result has 10 city + 1000 fitting + 1000 situation + 1070 category
+    # occurrences plus names/states/products
+    assert len(statistics) >= 20
+
+
+def test_f1_counts_match_paper(figure1_index):
+    table = run_figure1(figure1_index)
+    assert len(table) == 21
+    for row in table.rows:
+        assert row["measured_count"] == row["paper_count"], row

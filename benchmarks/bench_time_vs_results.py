@@ -1,0 +1,30 @@
+"""E1 — snippet generation time vs. number of query results.
+
+pytest-benchmark measures snippet generation over the fixed retail result
+set (the per-call cost the E1 sweep plots); the shape assertion runs the
+actual sweep and checks that total time grows roughly linearly with the
+number of results while the per-result cost stays flat.
+"""
+
+from __future__ import annotations
+
+from repro.eval.efficiency import run_time_vs_results
+
+SIZE_BOUND = 10
+
+
+def test_e1_generate_all_speed(benchmark, retail_result_set, retail_snippet_generator):
+    batch = benchmark(retail_snippet_generator.generate_all, retail_result_set, SIZE_BOUND)
+    assert len(batch) == len(retail_result_set)
+
+
+def test_e1_time_scales_with_results():
+    table = run_time_vs_results(retailer_counts=(4, 8, 16), stores_per_retailer=4, clothes_per_store=5)
+    results = table.column("results")
+    totals = table.column("total_seconds")
+    per_result = table.column("ms_per_result")
+    # more results → more total time
+    assert results == sorted(results)
+    assert totals[-1] > totals[0]
+    # per-result cost stays within a small constant factor (linear scaling)
+    assert max(per_result) <= 6 * min(per_result)

@@ -1,0 +1,35 @@
+"""E6 — simulated user study: identification accuracy and inspection effort.
+
+The benchmark measures one full study trial pipeline (snippets for every
+result of a query, all methods); the shape assertion runs the study and
+checks the paper's qualitative claim: structure-aware eXtract snippets let
+the (simulated) user identify the intended result at least as accurately,
+and with no more effort, than structure-blind text snippets or random
+subtrees.
+"""
+
+from __future__ import annotations
+
+from repro.eval.userstudy import run_distinguishability_study, run_user_study
+from repro.snippet.generator import SnippetGenerator
+
+
+def test_e6_snippet_batch_speed(benchmark, retail_index, retail_result_set):
+    generator = SnippetGenerator(retail_index.analyzer)
+    batch = benchmark(generator.generate_all, retail_result_set, 8)
+    assert len(batch) == len(retail_result_set)
+
+
+def test_e6_extract_beats_structure_blind_baselines():
+    table = run_user_study(size_bound=8, queries_per_dataset=6, seed=53)
+    rows = {row["method"]: row for row in table.rows}
+    assert rows["extract"]["accuracy"] >= rows["text_window"]["accuracy"]
+    assert rows["extract"]["accuracy"] >= rows["random"]["accuracy"]
+    assert rows["extract"]["mean_results_inspected"] <= rows["random"]["mean_results_inspected"]
+
+
+def test_e6_snippets_are_distinguishable():
+    table = run_distinguishability_study(size_bound=8, seed=59, queries=4)
+    values = {row["method"]: row["mean_distinguishability"] for row in table.rows}
+    assert values["extract"] >= 0.8
+    assert values["extract"] >= values["random"] - 0.05

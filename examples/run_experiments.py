@@ -1,0 +1,60 @@
+#!/usr/bin/env python3
+"""Run the full experiment suite and print (or save) every table.
+
+Run with::
+
+    python examples/run_experiments.py              # print everything
+    python examples/run_experiments.py F1 E4 A1     # selected experiments
+    python examples/run_experiments.py --save out/  # also write .txt files
+
+These are the same experiments the ``benchmarks/`` directory wraps with
+pytest-benchmark; this script is the convenient way to regenerate the
+numbers recorded in EXPERIMENTS.md in one go.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+
+from repro.eval.experiments import EXPERIMENTS, run_experiment
+
+
+def main(argv: list[str]) -> int:
+    save_dir: str | None = None
+    requested: list[str] = []
+    arguments = iter(argv)
+    for argument in arguments:
+        if argument == "--save":
+            try:
+                save_dir = next(arguments)
+            except StopIteration:
+                print("--save requires a directory argument", file=sys.stderr)
+                return 2
+        else:
+            requested.append(argument)
+
+    experiment_ids = requested or list(EXPERIMENTS)
+    unknown = [eid for eid in experiment_ids if eid not in EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiment id(s): {', '.join(unknown)}", file=sys.stderr)
+        print(f"known: {', '.join(EXPERIMENTS)}", file=sys.stderr)
+        return 2
+
+    if save_dir:
+        os.makedirs(save_dir, exist_ok=True)
+
+    for experiment_id in experiment_ids:
+        print(f"running {experiment_id}: {EXPERIMENTS[experiment_id].description}")
+        table = run_experiment(experiment_id)
+        print(table.format_text())
+        print()
+        if save_dir:
+            table.save(os.path.join(save_dir, f"{experiment_id}.txt"))
+    if save_dir:
+        print(f"saved {len(experiment_ids)} tables to {save_dir}/")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

@@ -1,0 +1,10 @@
+"""Setup shim for environments without the ``wheel`` package.
+
+The project is fully described by ``pyproject.toml``; this file only exists
+so that ``pip install -e . --no-use-pep517`` (legacy editable install)
+works on offline machines where building a wheel is not possible.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,19 @@
+"""Data Analyzer: node classification (entity / attribute / connection) and key mining.
+
+Implements the §2.1 classification rules adopted from XSeek [6] and the
+§2.2 key mining ("After mining the keys of entities in the data ...").
+"""
+
+from repro.classify.categories import NodeCategory, classify_path, classify_schema
+from repro.classify.analyzer import DataAnalyzer, EntityType
+from repro.classify.keys import KeyMiner, KeyInfo
+
+__all__ = [
+    "NodeCategory",
+    "classify_path",
+    "classify_schema",
+    "DataAnalyzer",
+    "EntityType",
+    "KeyMiner",
+    "KeyInfo",
+]

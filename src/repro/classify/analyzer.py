@@ -1,0 +1,163 @@
+"""The Data Analyzer component (Figure 4).
+
+"The Data Analyzer parses the input XML data and identifies the entities,
+attributes and connection nodes."  This module ties together schema
+inference, node classification and key mining into a single object that
+the rest of the system (index builder, search engine, snippet generator)
+consumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.classify.categories import (
+    NodeCategory,
+    attribute_paths_of,
+    classify_schema,
+    entity_paths,
+)
+from repro.classify.keys import KeyInfo, KeyMiner
+from repro.xmltree.dtd import DTD
+from repro.xmltree.node import XMLNode
+from repro.xmltree.schema import SchemaSummary, TagPath, infer_schema
+from repro.xmltree.tree import XMLTree
+
+
+@dataclass
+class EntityType:
+    """Everything known about one entity type (schema-level)."""
+
+    tag_path: TagPath
+    tag: str
+    instance_count: int
+    attribute_paths: list[TagPath] = field(default_factory=list)
+    key: KeyInfo | None = None
+
+    @property
+    def attribute_tags(self) -> list[str]:
+        return [path[-1] for path in self.attribute_paths]
+
+    def __repr__(self) -> str:
+        key_name = self.key.attribute_tag if self.key else None
+        return f"<EntityType {self.tag} instances={self.instance_count} key={key_name}>"
+
+
+class DataAnalyzer:
+    """Analyzes one document: schema, node categories, entities and keys.
+
+    >>> from repro.xmltree.builder import tree_from_dict
+    >>> tree = tree_from_dict("retailer", {
+    ...     "name": "Brook Brothers",
+    ...     "store": [
+    ...         {"name": "Galleria", "city": "Houston"},
+    ...         {"name": "West Village", "city": "Austin"},
+    ...     ],
+    ... })
+    >>> analyzer = DataAnalyzer(tree)
+    >>> sorted(analyzer.entity_tags())
+    ['store']
+    >>> analyzer.entity_types[("retailer", "store")].key.attribute_tag
+    'name'
+    """
+
+    def __init__(self, tree: XMLTree, dtd: DTD | None = None):
+        self.tree = tree
+        self.dtd = dtd
+        self.schema: SchemaSummary = infer_schema(tree, dtd=dtd)
+        self.categories: dict[TagPath, NodeCategory] = classify_schema(self.schema)
+        self.entity_types: dict[TagPath, EntityType] = {}
+        self._build_entity_types()
+
+    # ------------------------------------------------------------------ #
+    # construction
+    # ------------------------------------------------------------------ #
+    def _build_entity_types(self) -> None:
+        paths = entity_paths(self.schema)
+        miner = KeyMiner(self.schema)
+        keys = miner.mine(self.tree, paths)
+        for path in paths:
+            schema_node = self.schema.node_for(path)
+            self.entity_types[path] = EntityType(
+                tag_path=path,
+                tag=path[-1],
+                instance_count=schema_node.instance_count,
+                attribute_paths=attribute_paths_of(self.schema, path),
+                key=keys.get(path),
+            )
+
+    # ------------------------------------------------------------------ #
+    # queries
+    # ------------------------------------------------------------------ #
+    def category_of_path(self, tag_path: TagPath) -> NodeCategory:
+        """The category of a schema node (entity / attribute / connection)."""
+        category = self.categories.get(tag_path)
+        if category is None:
+            # A path never seen during analysis (e.g. from a different
+            # document) falls back to on-the-fly classification so the
+            # analyzer degrades gracefully rather than erroring out.
+            return NodeCategory.CONNECTION
+        return category
+
+    def category_of(self, node: XMLNode) -> NodeCategory:
+        """The category of a concrete node instance."""
+        return self.category_of_path(node.tag_path)
+
+    def is_entity(self, node: XMLNode) -> bool:
+        return self.category_of(node) == NodeCategory.ENTITY
+
+    def is_attribute(self, node: XMLNode) -> bool:
+        return self.category_of(node) == NodeCategory.ATTRIBUTE
+
+    def is_connection(self, node: XMLNode) -> bool:
+        return self.category_of(node) == NodeCategory.CONNECTION
+
+    def entity_tags(self) -> set[str]:
+        """Tags of all entity types in the document."""
+        return {entity.tag for entity in self.entity_types.values()}
+
+    def entity_type_of(self, node: XMLNode) -> EntityType | None:
+        """The entity type a node instance belongs to, if it is an entity."""
+        return self.entity_types.get(node.tag_path)
+
+    def entity_type_by_tag(self, tag: str) -> EntityType | None:
+        """The (first, highest) entity type with the given tag."""
+        matches = [entity for entity in self.entity_types.values() if entity.tag == tag]
+        if not matches:
+            return None
+        matches.sort(key=lambda entity: (len(entity.tag_path), entity.tag_path))
+        return matches[0]
+
+    def key_of_entity_path(self, entity_path: TagPath) -> KeyInfo | None:
+        entity = self.entity_types.get(entity_path)
+        return entity.key if entity else None
+
+    def owning_entity(self, node: XMLNode) -> XMLNode | None:
+        """The nearest ancestor-or-self node that is an entity instance.
+
+        This is how an attribute instance such as ``city: Houston`` is
+        associated with the entity instance (the ``store``) it describes,
+        which defines the feature triple of §2.3.
+        """
+        for candidate in node.iter_ancestors(include_self=True):
+            if self.is_entity(candidate):
+                return candidate
+        return None
+
+    def attribute_children(self, entity_node: XMLNode) -> list[XMLNode]:
+        """The attribute instances directly under an entity instance."""
+        return [child for child in entity_node.children if self.is_attribute(child)]
+
+    def summary(self) -> dict[str, int]:
+        """Counts of schema nodes per category (used in examples / docs)."""
+        counts = {"entity": 0, "attribute": 0, "connection": 0}
+        for category in self.categories.values():
+            counts[category.value] += 1
+        return counts
+
+    def __repr__(self) -> str:
+        counts = self.summary()
+        return (
+            f"<DataAnalyzer tree={self.tree.name!r} entities={counts['entity']} "
+            f"attributes={counts['attribute']} connections={counts['connection']}>"
+        )

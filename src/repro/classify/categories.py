@@ -1,0 +1,93 @@
+"""Node category classification (entity / attribute / connection).
+
+The rules, quoted from §2.1 of the paper (adopted from XSeek [6]):
+
+* "a node is considered as an entity if it corresponds to a *-node in the
+  DTD" — i.e. the element may repeat under its parent;
+* "If a node is not a *-node and only has one child which is a text value,
+  then this node, together with its value child, represents an attribute";
+* "A node is a connection node if it represents neither an entity nor an
+  attribute."
+
+Classification is done at the *schema* level (per tag path): every instance
+of ``/retailer/store/city`` receives the same category.  This matches the
+paper, where the feature type ``(store, city)`` is a schema-level concept.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+
+from repro.xmltree.schema import SchemaSummary, TagPath
+
+
+class NodeCategory(str, Enum):
+    """The three node categories of §2.1."""
+
+    ENTITY = "entity"
+    ATTRIBUTE = "attribute"
+    CONNECTION = "connection"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+def classify_path(schema: SchemaSummary, tag_path: TagPath) -> NodeCategory:
+    """Classify a single schema node.
+
+    The attribute rule requires the node to be a non-``*`` node whose
+    instances are text leaves.  A node that is a ``*``-node *and* a text
+    leaf (for example a repeatable ``<keyword>`` element) is an entity by
+    the first rule — the rules are applied in the paper's order.
+    """
+    node = schema.node_for(tag_path)
+    if schema.is_star_node(tag_path):
+        return NodeCategory.ENTITY
+    if node.with_text > 0 and node.with_element_children == 0:
+        return NodeCategory.ATTRIBUTE
+    return NodeCategory.CONNECTION
+
+
+def classify_schema(schema: SchemaSummary) -> dict[TagPath, NodeCategory]:
+    """Classify every schema node of a summary.
+
+    >>> from repro.xmltree.builder import tree_from_dict
+    >>> from repro.xmltree.schema import infer_schema
+    >>> tree = tree_from_dict("retailer", {
+    ...     "name": "Brook Brothers",
+    ...     "store": [
+    ...         {"city": "Houston", "merchandises": {"clothes": [{"category": "suit"}]}},
+    ...         {"city": "Austin"},
+    ...     ],
+    ... })
+    >>> categories = classify_schema(infer_schema(tree))
+    >>> categories[("retailer", "store")].value
+    'entity'
+    >>> categories[("retailer", "store", "city")].value
+    'attribute'
+    >>> categories[("retailer", "store", "merchandises")].value
+    'connection'
+    """
+    return {path: classify_path(schema, path) for path in schema.nodes}
+
+
+def entity_paths(schema: SchemaSummary) -> list[TagPath]:
+    """All entity schema paths, shortest (highest in the tree) first."""
+    return [
+        path
+        for path in sorted(schema.nodes, key=lambda p: (len(p), p))
+        if classify_path(schema, path) == NodeCategory.ENTITY
+    ]
+
+
+def attribute_paths_of(schema: SchemaSummary, entity_path: TagPath) -> list[TagPath]:
+    """Attribute schema paths directly under the given entity path.
+
+    These are the candidate feature types ``(entity, attribute)`` of §2.3
+    and the candidate key attributes of §2.2.
+    """
+    result: list[TagPath] = []
+    for child_path in schema.child_paths_of(entity_path):
+        if classify_path(schema, child_path) == NodeCategory.ATTRIBUTE:
+            result.append(child_path)
+    return result

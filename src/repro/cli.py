@@ -1,0 +1,221 @@
+"""Command-line interface for the eXtract reproduction.
+
+The original demo was a web site; the closest offline equivalent is a small
+CLI that drives the same pipeline.  Sub-commands:
+
+``analyze``
+    Parse an XML file (or built-in dataset), print document statistics, the
+    entity/attribute/connection breakdown and the mined keys.
+``search``
+    Run a keyword query and print the ranked result snippets (optionally as
+    an HTML page, the Figure 5 stand-in).
+``ilist``
+    Print the Snippet Information List of each result of a query —
+    the Figure 3 view.
+``datasets``
+    List the built-in synthetic datasets.
+``generate``
+    Write a built-in dataset to an XML file (with an inferred DOCTYPE).
+``experiment``
+    Run one or more registered experiments (F1–F5, E1–E7, A1–A2) and print
+    their tables.
+
+Examples::
+
+    python -m repro.cli analyze --dataset figure5-stores
+    python -m repro.cli search --dataset figure5-stores --query "store texas" --bound 6
+    python -m repro.cli search --file catalogue.xml --query "movie drama" --html out.html
+    python -m repro.cli experiment F3 E4
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.corpus import builtin_dataset_names
+from repro.errors import ExtractError
+from repro.eval.experiments import EXPERIMENTS, run_experiment
+from repro.snippet.generator import DEFAULT_SIZE_BOUND
+from repro.snippet.render import write_result_page
+from repro.system import ExtractSystem
+from repro.xmltree.export import export_doctype
+from repro.xmltree.serialize import to_xml_string
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argparse command tree (exposed for tests and docs)."""
+    parser = argparse.ArgumentParser(
+        prog="extract",
+        description="eXtract: snippet generation for XML keyword search (VLDB 2008 reproduction)",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    def add_source_arguments(sub: argparse.ArgumentParser) -> None:
+        group = sub.add_mutually_exclusive_group(required=True)
+        group.add_argument("--file", help="path to an XML document")
+        group.add_argument(
+            "--dataset",
+            choices=builtin_dataset_names(),
+            help="use a built-in synthetic dataset instead of a file",
+        )
+
+    analyze = subparsers.add_parser("analyze", help="analyze a document: schema, entities, keys")
+    add_source_arguments(analyze)
+
+    search = subparsers.add_parser("search", help="keyword search with snippets")
+    add_source_arguments(search)
+    search.add_argument("--query", required=True, help='keyword query, e.g. "store texas"')
+    search.add_argument("--bound", type=int, default=DEFAULT_SIZE_BOUND, help="snippet size bound (edges)")
+    search.add_argument("--limit", type=int, default=None, help="show only the top-k results")
+    search.add_argument("--algorithm", choices=("slca", "elca"), default="slca")
+    search.add_argument("--show-ilist", action="store_true", help="print each result's IList")
+    search.add_argument("--html", metavar="PATH", help="also write an HTML result page")
+
+    ilist = subparsers.add_parser("ilist", help="print the IList of each query result")
+    add_source_arguments(ilist)
+    ilist.add_argument("--query", required=True)
+    ilist.add_argument("--limit", type=int, default=None)
+
+    subparsers.add_parser("datasets", help="list built-in datasets")
+
+    generate = subparsers.add_parser("generate", help="write a built-in dataset to an XML file")
+    generate.add_argument("--dataset", choices=builtin_dataset_names(), required=True)
+    generate.add_argument("--output", required=True, help="path of the XML file to write")
+    generate.add_argument(
+        "--with-doctype", action="store_true", help="embed a DOCTYPE inferred from the data"
+    )
+
+    experiment = subparsers.add_parser("experiment", help="run registered experiments")
+    experiment.add_argument("ids", nargs="*", help="experiment ids (default: list them)")
+
+    return parser
+
+
+def _load_system(args: argparse.Namespace, algorithm: str = "slca") -> ExtractSystem:
+    if getattr(args, "file", None):
+        return ExtractSystem.from_file(args.file, algorithm=algorithm)
+    from repro.corpus import Corpus
+
+    corpus = Corpus(algorithm=algorithm)
+    entry = corpus.add_builtin(args.dataset)
+    return entry.system
+
+
+# ---------------------------------------------------------------------- #
+# sub-command implementations
+# ---------------------------------------------------------------------- #
+def _command_analyze(args: argparse.Namespace, out) -> int:
+    system = _load_system(args)
+    stats = system.document_stats()
+    print(stats.format_summary(), file=out)
+    analyzer = system.analyzer
+    counts = analyzer.summary()
+    print(
+        f"schema nodes    : {counts['entity']} entity, {counts['attribute']} attribute, "
+        f"{counts['connection']} connection",
+        file=out,
+    )
+    print("entity types:", file=out)
+    for entity in analyzer.entity_types.values():
+        key_name = entity.key.attribute_tag if entity.key else "(no key)"
+        print(
+            f"  {entity.tag:<12s} instances={entity.instance_count:<6d} key={key_name:<10s} "
+            f"attributes={', '.join(entity.attribute_tags)}",
+            file=out,
+        )
+    return 0
+
+
+def _command_search(args: argparse.Namespace, out) -> int:
+    system = _load_system(args, algorithm=args.algorithm)
+    outcome = system.query(args.query, size_bound=args.bound, limit=args.limit)
+    print(outcome.render_text(show_ilist=args.show_ilist), file=out)
+    if args.html:
+        write_result_page(outcome.snippets, args.html)
+        print(f"\nwrote HTML result page to {args.html}", file=out)
+    return 0
+
+
+def _command_ilist(args: argparse.Namespace, out) -> int:
+    system = _load_system(args)
+    outcome = system.query(args.query, limit=args.limit)
+    for generated in outcome.snippets:
+        print(f"Result #{generated.result.result_id}:", file=out)
+        for position, item in enumerate(generated.ilist, start=1):
+            score = f"  (DS {item.score:.2f})" if item.kind.value == "feature" else ""
+            print(f"  {position:2d}. [{item.kind.value:<7s}] {item.text}{score}", file=out)
+    if len(outcome.snippets) == 0:
+        print("(no results)", file=out)
+    return 0
+
+
+def _command_datasets(args: argparse.Namespace, out) -> int:
+    for name in builtin_dataset_names():
+        print(name, file=out)
+    return 0
+
+
+def _command_generate(args: argparse.Namespace, out) -> int:
+    from repro.corpus import Corpus
+    from repro.xmltree.schema import infer_schema
+
+    corpus = Corpus()
+    entry = corpus.add_builtin(args.dataset)
+    tree = entry.system.index.tree
+    body = to_xml_string(tree, include_declaration=True)
+    if args.with_doctype:
+        schema = infer_schema(tree)
+        declaration, _, rest = body.partition("\n")
+        body = declaration + "\n" + export_doctype(schema, tree.root.tag) + rest
+    with open(args.output, "w", encoding="utf-8") as handle:
+        handle.write(body)
+    print(f"wrote {tree.size_nodes} nodes to {args.output}", file=out)
+    return 0
+
+
+def _command_experiment(args: argparse.Namespace, out) -> int:
+    if not args.ids:
+        print("registered experiments:", file=out)
+        for experiment_id, spec in EXPERIMENTS.items():
+            print(f"  {experiment_id:<4s} {spec.description}", file=out)
+        return 0
+    unknown = [experiment_id for experiment_id in args.ids if experiment_id not in EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiment id(s): {', '.join(unknown)}", file=out)
+        return 2
+    for experiment_id in args.ids:
+        table = run_experiment(experiment_id)
+        print(table.format_text(), file=out)
+        print(file=out)
+    return 0
+
+
+_COMMANDS = {
+    "analyze": _command_analyze,
+    "search": _command_search,
+    "ilist": _command_ilist,
+    "datasets": _command_datasets,
+    "generate": _command_generate,
+    "experiment": _command_experiment,
+}
+
+
+def main(argv: list[str] | None = None, out=None) -> int:
+    """CLI entry point; returns a process exit code."""
+    out = out or sys.stdout
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    handler = _COMMANDS[args.command]
+    try:
+        return handler(args, out)
+    except ExtractError as error:
+        print(f"error: {error}", file=out)
+        return 1
+    except FileNotFoundError as error:
+        print(f"error: {error}", file=out)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess in examples
+    raise SystemExit(main())

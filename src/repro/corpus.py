@@ -1,0 +1,173 @@
+"""A small corpus manager: several named documents behind one interface.
+
+The demo web UI let users "specify XML data sets and keywords for
+retrieval" and pick a document before querying (§4).  :class:`Corpus`
+reproduces that workflow programmatically: register documents (from trees,
+XML text, files or the built-in dataset generators), query any of them by
+name, or query all of them at once and get the per-document outcomes back.
+"""
+
+from __future__ import annotations
+
+import os
+from collections.abc import Iterator
+from dataclasses import dataclass
+
+from repro.errors import DatasetError, ExtractError
+from repro.snippet.generator import DEFAULT_SIZE_BOUND
+from repro.system import ExtractSystem, SearchOutcome
+from repro.xmltree.tree import XMLTree
+
+#: names accepted by :meth:`Corpus.add_builtin` → generator factory
+_BUILTIN_FACTORIES = {
+    "figure1": lambda: _lazy("repro.datasets.paper_example", "figure1_document")(),
+    "figure5-stores": lambda: _lazy("repro.datasets.retail", "figure5_document")(),
+    "retail": lambda: _lazy("repro.datasets.retail", "generate_retail_document")(),
+    "movies": lambda: _lazy("repro.datasets.movies", "generate_movies_document")(),
+    "auctions": lambda: _lazy("repro.datasets.auctions", "generate_auction_document")(),
+    "bibliography": lambda: _lazy("repro.datasets.bibliography", "generate_bibliography_document")(),
+}
+
+
+def _lazy(module_name: str, attribute: str):
+    """Import a dataset factory lazily (keeps Corpus import light)."""
+    module = __import__(module_name, fromlist=[attribute])
+    return getattr(module, attribute)
+
+
+def builtin_dataset_names() -> list[str]:
+    """Names accepted by :meth:`Corpus.add_builtin` (and the CLI)."""
+    return sorted(_BUILTIN_FACTORIES)
+
+
+@dataclass
+class CorpusEntry:
+    """One registered document and its ready-to-query system."""
+
+    name: str
+    system: ExtractSystem
+
+    @property
+    def node_count(self) -> int:
+        return self.system.index.tree.size_nodes
+
+    @property
+    def entity_tags(self) -> list[str]:
+        return sorted(self.system.analyzer.entity_tags())
+
+
+class Corpus:
+    """A registry of named, indexed documents."""
+
+    def __init__(self, algorithm: str = "slca"):
+        self.algorithm = algorithm
+        self._entries: dict[str, CorpusEntry] = {}
+
+    # ------------------------------------------------------------------ #
+    # registration
+    # ------------------------------------------------------------------ #
+    def add_tree(self, name: str, tree: XMLTree) -> CorpusEntry:
+        """Register an in-memory document under ``name``."""
+        return self._register(name, ExtractSystem.from_tree(tree, algorithm=self.algorithm))
+
+    def add_xml(self, name: str, xml_text: str) -> CorpusEntry:
+        """Register a document given as XML text."""
+        return self._register(name, ExtractSystem.from_xml(xml_text, name=name, algorithm=self.algorithm))
+
+    def add_file(self, path: str | os.PathLike[str], name: str | None = None) -> CorpusEntry:
+        """Register a document from an XML file on disk."""
+        resolved = name or os.path.splitext(os.path.basename(os.fspath(path)))[0]
+        return self._register(resolved, ExtractSystem.from_file(path, algorithm=self.algorithm))
+
+    def add_builtin(self, dataset: str, name: str | None = None) -> CorpusEntry:
+        """Register one of the built-in synthetic datasets by name."""
+        factory = _BUILTIN_FACTORIES.get(dataset)
+        if factory is None:
+            raise DatasetError(
+                f"unknown built-in dataset {dataset!r}; available: {', '.join(builtin_dataset_names())}"
+            )
+        tree = factory()
+        return self.add_tree(name or dataset, tree)
+
+    def _register(self, name: str, system: ExtractSystem) -> CorpusEntry:
+        if name in self._entries:
+            raise ExtractError(f"a document named {name!r} is already registered")
+        entry = CorpusEntry(name=name, system=system)
+        self._entries[name] = entry
+        return entry
+
+    def remove(self, name: str) -> None:
+        """Unregister a document (no-op error if absent)."""
+        if name not in self._entries:
+            raise ExtractError(f"no document named {name!r} in the corpus")
+        del self._entries[name]
+
+    # ------------------------------------------------------------------ #
+    # access
+    # ------------------------------------------------------------------ #
+    def names(self) -> list[str]:
+        return sorted(self._entries)
+
+    def entry(self, name: str) -> CorpusEntry:
+        try:
+            return self._entries[name]
+        except KeyError as exc:
+            raise ExtractError(
+                f"no document named {name!r} in the corpus; registered: {', '.join(self.names()) or '(none)'}"
+            ) from exc
+
+    def system(self, name: str) -> ExtractSystem:
+        return self.entry(name).system
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._entries
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __iter__(self) -> Iterator[CorpusEntry]:
+        return iter(self._entries.values())
+
+    # ------------------------------------------------------------------ #
+    # querying
+    # ------------------------------------------------------------------ #
+    def query(
+        self,
+        name: str,
+        query_text: str,
+        size_bound: int = DEFAULT_SIZE_BOUND,
+        limit: int | None = None,
+    ) -> SearchOutcome:
+        """Query one registered document (the demo's select-then-search flow)."""
+        return self.entry(name).system.query(query_text, size_bound=size_bound, limit=limit)
+
+    def query_all(
+        self,
+        query_text: str,
+        size_bound: int = DEFAULT_SIZE_BOUND,
+        limit: int | None = None,
+    ) -> dict[str, SearchOutcome]:
+        """Query every registered document; returns outcomes keyed by name.
+
+        Documents in which the query has no results map to an outcome with
+        zero results (they are not omitted), so callers can show "no hits in
+        dataset X" explicitly.
+        """
+        return {
+            name: entry.system.query(query_text, size_bound=size_bound, limit=limit)
+            for name, entry in sorted(self._entries.items())
+        }
+
+    def summary(self) -> list[dict[str, object]]:
+        """One row per document: name, nodes, entity tags (for listings)."""
+        return [
+            {
+                "name": entry.name,
+                "nodes": entry.node_count,
+                "entities": ", ".join(entry.entity_tags),
+            }
+            for entry in sorted(self._entries.values(), key=lambda e: e.name)
+        ]
+
+    def __repr__(self) -> str:
+        return f"<Corpus documents={len(self._entries)}>"

@@ -1,0 +1,111 @@
+"""XMark-style auction site generator.
+
+XMark is the standard scalable XML benchmark; the companion evaluation of
+eXtract sweeps document size, so this generator produces auction documents
+whose size is controlled by a single ``scale`` knob (experiments E3/E7).
+
+Structure::
+
+    site
+      regions
+        region*            (name)
+          item*            (name, category, price, quantity, location, description)
+      people
+        person*            (name, city, country, email)
+      auctions
+        auction*           (itemref, seller, buyer, price, date)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.datasets.base import DatasetRandom, US_CITIES, require_positive
+from repro.xmltree.builder import TreeBuilder
+from repro.xmltree.tree import XMLTree
+
+_REGIONS: tuple[str, ...] = ("africa", "asia", "australia", "europe", "namerica", "samerica")
+_CATEGORIES: tuple[str, ...] = (
+    "books", "music", "garden", "electronics", "furniture", "sports",
+    "jewelry", "toys", "antiques", "photography",
+)
+_COUNTRIES: tuple[str, ...] = (
+    "United States", "Germany", "Japan", "Brazil", "Canada", "France", "Australia",
+)
+
+
+@dataclass
+class AuctionConfig:
+    """Parameters of the auction-site generator."""
+
+    #: overall size knob; items/people/auctions scale linearly with it
+    scale: int = 10
+    items_per_region: int = 5
+    seed: int = 31
+
+    def validate(self) -> "AuctionConfig":
+        require_positive("scale", self.scale)
+        require_positive("items_per_region", self.items_per_region)
+        return self
+
+    @property
+    def total_items(self) -> int:
+        return len(_REGIONS) * self.items_per_region * self.scale
+
+    @property
+    def total_people(self) -> int:
+        return 4 * self.scale
+
+    @property
+    def total_auctions(self) -> int:
+        return 6 * self.scale
+
+
+def generate_auction_document(config: AuctionConfig | None = None, name: str = "auctions") -> XMLTree:
+    """Generate an auction-site document.
+
+    >>> tree = generate_auction_document(AuctionConfig(scale=1, items_per_region=1, seed=2))
+    >>> tree.root.tag
+    'site'
+    """
+    config = (config or AuctionConfig()).validate()
+    rng = DatasetRandom(config.seed)
+    builder = TreeBuilder("site", name=name)
+
+    item_names: list[str] = []
+    with builder.element("regions"):
+        for region in _REGIONS:
+            with builder.element("region"):
+                builder.add_value("name", region)
+                for _ in range(config.items_per_region * config.scale):
+                    item_name = rng.name_phrase(2)
+                    item_names.append(item_name)
+                    with builder.element("item"):
+                        builder.add_value("name", item_name)
+                        builder.add_value("category", rng.skewed_pick(_CATEGORIES, 1.3))
+                        builder.add_value("price", f"{rng.uniform(5, 500):.2f}")
+                        builder.add_value("quantity", rng.randint(1, 10))
+                        builder.add_value("location", rng.skewed_pick(US_CITIES, 1.2))
+                        builder.add_value(
+                            "description",
+                            f"{rng.pick(_CATEGORIES)} {rng.name_phrase(3).lower()}",
+                        )
+
+    person_names = [rng.person_name() for _ in range(config.total_people)]
+    with builder.element("people"):
+        for person_name in person_names:
+            with builder.element("person"):
+                builder.add_value("name", person_name)
+                builder.add_value("city", rng.skewed_pick(US_CITIES, 1.2))
+                builder.add_value("country", rng.skewed_pick(_COUNTRIES, 1.4))
+                builder.add_value("email", person_name.lower().replace(" ", ".") + "@example.com")
+
+    with builder.element("auctions"):
+        for _ in range(config.total_auctions):
+            with builder.element("auction"):
+                builder.add_value("itemref", rng.pick(item_names))
+                builder.add_value("seller", rng.pick(person_names))
+                builder.add_value("buyer", rng.pick(person_names))
+                builder.add_value("price", f"{rng.uniform(5, 800):.2f}")
+                builder.add_value("date", f"{rng.randint(2005, 2008)}-{rng.randint(1, 12):02d}")
+    return builder.build()

@@ -1,0 +1,119 @@
+"""Shared helpers for the synthetic dataset generators.
+
+All generators are deterministic: they take an explicit ``seed`` and draw
+every random choice from their own ``random.Random`` instance, so tests,
+benchmarks and examples always see the same documents.
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Sequence
+
+from repro.errors import DatasetError
+
+#: word pool used to synthesise names, titles and descriptions
+WORD_POOL: tuple[str, ...] = (
+    "amber", "arch", "atlas", "bay", "beacon", "birch", "blue", "bright",
+    "canyon", "cedar", "cliff", "coral", "crest", "delta", "drift", "ember",
+    "fable", "fern", "flint", "gale", "glen", "golden", "harbor", "hazel",
+    "ivory", "jade", "juniper", "lark", "linden", "lumen", "maple", "meadow",
+    "mesa", "misty", "noble", "north", "oak", "ocean", "onyx", "opal",
+    "pearl", "pine", "prairie", "quartz", "raven", "ridge", "river", "rose",
+    "sage", "shadow", "silver", "sky", "slate", "solar", "spruce", "stone",
+    "summit", "thistle", "timber", "topaz", "valley", "vista", "willow", "wren",
+)
+
+US_CITIES: tuple[str, ...] = (
+    "Houston", "Austin", "Dallas", "San Antonio", "El Paso", "Fort Worth",
+    "Phoenix", "Denver", "Seattle", "Portland", "Chicago", "Boston",
+    "Atlanta", "Miami", "Nashville", "Memphis", "Tucson", "Omaha",
+)
+
+US_STATES: tuple[str, ...] = (
+    "Texas", "Arizona", "Colorado", "Washington", "Oregon", "Illinois",
+    "Massachusetts", "Georgia", "Florida", "Tennessee", "Nebraska", "California",
+)
+
+CLOTHES_CATEGORIES: tuple[str, ...] = (
+    "outwear", "suit", "skirt", "sweaters", "jeans", "shirts", "dresses",
+    "jackets", "shorts", "socks", "scarves",
+)
+
+FITTINGS: tuple[str, ...] = ("man", "woman", "children")
+SITUATIONS: tuple[str, ...] = ("casual", "formal")
+
+MOVIE_GENRES: tuple[str, ...] = (
+    "drama", "comedy", "thriller", "action", "romance", "documentary",
+    "animation", "horror", "western",
+)
+
+FIRST_NAMES: tuple[str, ...] = (
+    "Alice", "Bruno", "Carla", "Diego", "Elena", "Felix", "Grace", "Hugo",
+    "Iris", "Jonas", "Klara", "Liam", "Mona", "Nils", "Olga", "Pablo",
+    "Quinn", "Rosa", "Sven", "Tara",
+)
+
+LAST_NAMES: tuple[str, ...] = (
+    "Abbott", "Becker", "Cortez", "Dalton", "Eriksen", "Fischer", "Garner",
+    "Hobbs", "Ivanov", "Jensen", "Keller", "Lowell", "Mercer", "Novak",
+    "Olsen", "Porter", "Quincy", "Reyes", "Sawyer", "Turner",
+)
+
+
+class DatasetRandom(random.Random):
+    """A seeded RNG with convenience draws used by all generators."""
+
+    def pick(self, pool: Sequence[str]) -> str:
+        """Uniform choice from a non-empty pool."""
+        if not pool:
+            raise DatasetError("cannot pick from an empty pool")
+        return self.choice(list(pool))
+
+    def name_phrase(self, words: int = 2) -> str:
+        """A capitalised multi-word name such as ``Amber Ridge``."""
+        picked = [self.pick(WORD_POOL).capitalize() for _ in range(max(1, words))]
+        return " ".join(picked)
+
+    def person_name(self) -> str:
+        return f"{self.pick(FIRST_NAMES)} {self.pick(LAST_NAMES)}"
+
+    def skewed_index(self, size: int, skew: float = 1.1) -> int:
+        """A Zipf-like index in ``[0, size)``; small indexes are frequent.
+
+        Used to make value distributions realistically skewed so dominant
+        features exist: the most popular value of a feature type occurs far
+        more often than the tail values.
+        """
+        if size <= 0:
+            raise DatasetError("skewed_index() requires a positive size")
+        if size == 1:
+            return 0
+        # Inverse-CDF sampling of a truncated power law.
+        u = self.random()
+        weights = [1.0 / ((rank + 1) ** skew) for rank in range(size)]
+        total = sum(weights)
+        cumulative = 0.0
+        for rank, weight in enumerate(weights):
+            cumulative += weight / total
+            if u <= cumulative:
+                return rank
+        return size - 1
+
+    def skewed_pick(self, pool: Sequence[str], skew: float = 1.1) -> str:
+        return pool[self.skewed_index(len(pool), skew)]
+
+
+def require_positive(name: str, value: int) -> int:
+    """Validate a generator parameter."""
+    if not isinstance(value, int) or isinstance(value, bool) or value <= 0:
+        raise DatasetError(f"{name} must be a positive integer, got {value!r}")
+    return value
+
+
+def spread_counts(total: int, buckets: int) -> list[int]:
+    """Split ``total`` into ``buckets`` near-equal integer parts."""
+    if buckets <= 0:
+        raise DatasetError("spread_counts() requires at least one bucket")
+    base, remainder = divmod(total, buckets)
+    return [base + (1 if index < remainder else 0) for index in range(buckets)]

@@ -1,0 +1,89 @@
+"""DBLP-style bibliography generator.
+
+Bibliography data is the classic XML keyword-search workload (XSearch,
+XRANK and XSeek all evaluate on DBLP-like data): many small entities
+(papers) with repeated sub-entities (authors) and shared values (venues,
+years) that make dominant features meaningful ("most papers of this author
+are in VLDB").
+
+Structure::
+
+    dblp
+      conference*        (name)
+        paper*           (title, year, pages)
+          author*        (name, affiliation)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.datasets.base import DatasetRandom, require_positive
+from repro.xmltree.builder import TreeBuilder
+from repro.xmltree.tree import XMLTree
+
+_VENUES: tuple[str, ...] = ("VLDB", "SIGMOD", "ICDE", "CIKM", "EDBT", "WWW")
+_AFFILIATIONS: tuple[str, ...] = (
+    "Arizona State University",
+    "University of Michigan",
+    "Cornell University",
+    "UC San Diego",
+    "Tsinghua University",
+    "Max Planck Institute",
+)
+_TOPIC_WORDS: tuple[str, ...] = (
+    "keyword", "search", "XML", "snippet", "ranking", "index", "query",
+    "semantics", "schema", "stream", "join", "twig", "graph", "cache",
+)
+
+
+@dataclass
+class BibliographyConfig:
+    """Parameters of the bibliography generator."""
+
+    conferences: int = 4
+    papers_per_conference: int = 25
+    max_authors: int = 4
+    year_range: tuple[int, int] = (2000, 2008)
+    seed: int = 47
+
+    def validate(self) -> "BibliographyConfig":
+        require_positive("conferences", self.conferences)
+        require_positive("papers_per_conference", self.papers_per_conference)
+        require_positive("max_authors", self.max_authors)
+        return self
+
+
+def generate_bibliography_document(
+    config: BibliographyConfig | None = None, name: str = "bibliography"
+) -> XMLTree:
+    """Generate a bibliography document.
+
+    >>> tree = generate_bibliography_document(BibliographyConfig(conferences=2,
+    ...                                                          papers_per_conference=3, seed=1))
+    >>> len(tree.find_by_tag("paper"))
+    6
+    """
+    config = (config or BibliographyConfig()).validate()
+    rng = DatasetRandom(config.seed)
+    builder = TreeBuilder("dblp", name=name)
+
+    #: recurring author pool so author queries match several papers
+    author_pool = [rng.person_name() for _ in range(12 + config.conferences * 4)]
+
+    for conference_index in range(config.conferences):
+        venue = _VENUES[conference_index % len(_VENUES)]
+        with builder.element("conference"):
+            builder.add_value("name", venue)
+            for paper_index in range(config.papers_per_conference):
+                words = [rng.pick(_TOPIC_WORDS) for _ in range(3)]
+                title = f"{' '.join(words).capitalize()} {conference_index}-{paper_index}"
+                with builder.element("paper"):
+                    builder.add_value("title", title)
+                    builder.add_value("year", rng.randint(*config.year_range))
+                    builder.add_value("pages", f"{rng.randint(1, 400)}-{rng.randint(401, 800)}")
+                    for _ in range(rng.randint(1, config.max_authors)):
+                        with builder.element("author"):
+                            builder.add_value("name", rng.skewed_pick(author_pool, 1.1))
+                            builder.add_value("affiliation", rng.skewed_pick(_AFFILIATIONS, 1.2))
+    return builder.build()

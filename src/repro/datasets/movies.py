@@ -1,0 +1,86 @@
+"""Movie database generator (the "movies" demo scenario of §4).
+
+Structure::
+
+    cinema
+      movie*
+        title, year, genre, rating, studio
+        actor*           (name, role)
+        review*          (reviewer, score)
+
+Movies are entities with a ``title`` key; actors and reviews are nested
+entities, so queries such as "drama 2005" or "<actor name>" produce result
+trees with multiple entity levels — the situation where snippets are most
+useful.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.datasets.base import DatasetRandom, MOVIE_GENRES, require_positive
+from repro.xmltree.builder import TreeBuilder
+from repro.xmltree.tree import XMLTree
+
+_STUDIOS: tuple[str, ...] = (
+    "Blue Lantern Pictures",
+    "North Gate Films",
+    "Silver Arch Studios",
+    "Cedar Grove Media",
+    "Atlas Bay Productions",
+)
+
+_ROLES: tuple[str, ...] = ("lead", "supporting", "cameo", "narrator")
+
+
+@dataclass
+class MoviesConfig:
+    """Parameters of the movie document generator."""
+
+    movies: int = 40
+    actors_per_movie: int = 4
+    reviews_per_movie: int = 3
+    year_range: tuple[int, int] = (1995, 2008)
+    #: skew of the genre distribution (dominant genres emerge)
+    skew: float = 1.3
+    seed: int = 23
+
+    def validate(self) -> "MoviesConfig":
+        require_positive("movies", self.movies)
+        require_positive("actors_per_movie", self.actors_per_movie)
+        require_positive("reviews_per_movie", self.reviews_per_movie)
+        if self.year_range[0] > self.year_range[1]:
+            raise ValueError("year_range must be (low, high)")
+        return self
+
+
+def generate_movies_document(config: MoviesConfig | None = None, name: str = "movies") -> XMLTree:
+    """Generate a movie database document.
+
+    >>> tree = generate_movies_document(MoviesConfig(movies=3, seed=1))
+    >>> len(tree.find_by_tag("movie"))
+    3
+    """
+    config = (config or MoviesConfig()).validate()
+    rng = DatasetRandom(config.seed)
+    builder = TreeBuilder("cinema", name=name)
+
+    #: a pool of recurring actors so that actor-name queries hit several movies
+    actor_pool = [rng.person_name() for _ in range(max(8, config.movies // 2))]
+
+    for movie_index in range(config.movies):
+        with builder.element("movie"):
+            builder.add_value("title", f"{rng.name_phrase(2)} {movie_index + 1}")
+            builder.add_value("year", rng.randint(*config.year_range))
+            builder.add_value("genre", rng.skewed_pick(MOVIE_GENRES, config.skew))
+            builder.add_value("rating", f"{rng.uniform(4.0, 9.5):.1f}")
+            builder.add_value("studio", rng.skewed_pick(_STUDIOS, config.skew))
+            for _ in range(config.actors_per_movie):
+                with builder.element("actor"):
+                    builder.add_value("name", rng.skewed_pick(actor_pool, 1.05))
+                    builder.add_value("role", rng.pick(_ROLES))
+            for _ in range(config.reviews_per_movie):
+                with builder.element("review"):
+                    builder.add_value("reviewer", rng.person_name())
+                    builder.add_value("score", rng.randint(1, 10))
+    return builder.build()

@@ -1,0 +1,208 @@
+"""The running example of the paper (Figures 1-3), reconstructed exactly.
+
+Figure 1 shows part of the query result of "Texas, apparel, retailer" plus
+the value-occurrence statistics of the *whole* result:
+
+=============  ==========================================================
+feature type   value occurrences inside the query result
+=============  ==========================================================
+(store, city)      Houston: 6, Austin: 1, other cities (3): 3
+(clothes, fitting)  man: 600, woman: 360, children: 40
+(clothes, situation) casual: 700, formal: 300
+(clothes, category)  outwear: 220, suit: 120, skirt: 80, sweaters: 70,
+                     other categories (7): 580
+=============  ==========================================================
+
+§2.3 derives from these: DS(Houston) = 6/(10/5) = 3.0 and the dominance
+scores of man, woman, casual, outwear and suit are 1.8, 1.1, 1.4, 2.2 and
+1.2; Figure 3 gives the IList.  This module generates a document whose
+"Brook Brothers" query result reproduces those statistics *exactly*, so the
+golden tests and the F1–F3 benchmarks can compare against the published
+numbers.
+
+The document also contains a second Texas apparel retailer (so the query
+has more than one result, as a snippet system requires) and a non-matching
+distractor retailer.
+"""
+
+from __future__ import annotations
+
+from repro.datasets.base import DatasetRandom, spread_counts
+from repro.xmltree.builder import TreeBuilder
+from repro.xmltree.tree import XMLTree
+
+#: the query of the running example
+FIGURE1_QUERY = "Texas, apparel, retailer"
+
+#: Figure 3, normalised to lower case for comparison
+FIGURE1_EXPECTED_ILIST: tuple[str, ...] = (
+    "texas",
+    "apparel",
+    "retailer",
+    "clothes",
+    "store",
+    "brook brothers",
+    "houston",
+    "outwear",
+    "man",
+    "casual",
+    "suit",
+    "woman",
+)
+
+#: dominance scores as printed in §2.3 (rounded to one decimal by the paper)
+FIGURE1_EXPECTED_SCORES: dict[str, float] = {
+    "houston": 3.0,
+    "outwear": 2.2,
+    "man": 1.8,
+    "casual": 1.4,
+    "suit": 1.2,
+    "woman": 1.1,
+}
+
+#: Figure 1 statistics used to build the document
+_CITY_COUNTS: tuple[tuple[str, int], ...] = (
+    ("Houston", 6),
+    ("Austin", 1),
+    ("Dallas", 1),
+    ("San Antonio", 1),
+    ("El Paso", 1),
+)
+_FITTING_COUNTS: tuple[tuple[str, int], ...] = (("man", 600), ("woman", 360), ("children", 40))
+_SITUATION_COUNTS: tuple[tuple[str, int], ...] = (("casual", 700), ("formal", 300))
+_CATEGORY_COUNTS: tuple[tuple[str, int], ...] = (
+    ("outwear", 220),
+    ("suit", 120),
+    ("skirt", 80),
+    ("sweaters", 70),
+    # seven further categories totalling 580 occurrences
+    ("jeans", 83),
+    ("shirts", 83),
+    ("dresses", 83),
+    ("jackets", 83),
+    ("shorts", 83),
+    ("socks", 83),
+    ("scarves", 82),
+)
+
+_STORE_NAMES: tuple[str, ...] = (
+    "Galleria",
+    "West Village",
+    "Bayou Place",
+    "Memorial Mall",
+    "River Oaks",
+    "Uptown Park",
+    "Highland Court",
+    "Sunset Plaza",
+    "Market Square",
+    "Lakeside Center",
+)
+
+
+def figure1_query() -> str:
+    """The running-example query string."""
+    return FIGURE1_QUERY
+
+
+def _expand(counts: tuple[tuple[str, int], ...]) -> list[str]:
+    values: list[str] = []
+    for value, count in counts:
+        values.extend([value] * count)
+    return values
+
+
+def figure1_document(seed: int = 7, name: str = "figure1") -> XMLTree:
+    """Build the Figure 1 document.
+
+    The Brook Brothers retailer carries exactly the published statistics;
+    a second matching retailer and a distractor make the query behave like
+    a real multi-result search.
+
+    >>> tree = figure1_document()
+    >>> len(tree.find_by_tag("store")) >= 10
+    True
+    """
+    rng = DatasetRandom(seed)
+
+    cities = _expand(_CITY_COUNTS)  # one entry per store, len == 10
+    fittings = _expand(_FITTING_COUNTS)  # 1000 entries
+    situations = _expand(_SITUATION_COUNTS)  # 1000 entries
+    categories = _expand(_CATEGORY_COUNTS)  # 1070 entries
+
+    # Shuffle value assignments deterministically so values are spread over
+    # the stores rather than clustered; counts (and hence every statistic
+    # of Figure 1) are unaffected.
+    rng.shuffle(fittings)
+    rng.shuffle(situations)
+    rng.shuffle(categories)
+
+    # 70 clothes have a category but no fitting/situation (N(category)=1070
+    # vs N(fitting)=N(situation)=1000); mark which ones by index.
+    total_clothes = len(categories)
+    clothes_per_store = spread_counts(total_clothes, len(cities))
+
+    builder = TreeBuilder("commerce", name=name)
+
+    with builder.element("retailer"):
+        builder.add_value("name", "Brook Brothers")
+        builder.add_value("product", "apparel")
+        clothes_cursor = 0
+        optional_cursor = 0  # index into fittings/situations (length 1000)
+        for store_index, city in enumerate(cities):
+            with builder.element("store"):
+                builder.add_value("name", _STORE_NAMES[store_index])
+                builder.add_value("state", "Texas")
+                builder.add_value("city", city)
+                with builder.element("merchandises"):
+                    for _ in range(clothes_per_store[store_index]):
+                        with builder.element("clothes"):
+                            builder.add_value("category", categories[clothes_cursor])
+                            if optional_cursor < len(fittings):
+                                builder.add_value("fitting", fittings[optional_cursor])
+                                builder.add_value("situation", situations[optional_cursor])
+                                optional_cursor += 1
+                            clothes_cursor += 1
+
+    # A second Texas apparel retailer: the query returns it as well, which
+    # is what makes snippets useful (Figure 5 shows several results).
+    with builder.element("retailer"):
+        builder.add_value("name", "Lone Star Apparel")
+        builder.add_value("product", "apparel")
+        for store_name, city in (("Sixth Street", "Austin"), ("Alamo Plaza", "San Antonio")):
+            with builder.element("store"):
+                builder.add_value("name", store_name)
+                builder.add_value("state", "Texas")
+                builder.add_value("city", city)
+                with builder.element("merchandises"):
+                    for _ in range(6):
+                        with builder.element("clothes"):
+                            builder.add_value("category", rng.pick(["jeans", "shirts", "outwear"]))
+                            builder.add_value("fitting", rng.pick(["man", "woman"]))
+                            builder.add_value("situation", rng.pick(["casual", "formal"]))
+
+    # A distractor retailer that does not match the query (wrong product,
+    # wrong state): it must never show up in the result set.
+    with builder.element("retailer"):
+        builder.add_value("name", "Pacific Electronics")
+        builder.add_value("product", "electronics")
+        with builder.element("store"):
+            builder.add_value("name", "Bayfront")
+            builder.add_value("state", "California")
+            builder.add_value("city", "San Diego")
+            with builder.element("merchandises"):
+                with builder.element("clothes"):
+                    builder.add_value("category", "jackets")
+                    builder.add_value("fitting", "man")
+                    builder.add_value("situation", "casual")
+
+    return builder.build()
+
+
+def figure1_statistics() -> dict[tuple[str, str], dict[str, int]]:
+    """The Figure 1 statistics table (ground truth for tests/benchmarks)."""
+    return {
+        ("store", "city"): {value.lower(): count for value, count in _CITY_COUNTS},
+        ("clothes", "fitting"): {value: count for value, count in _FITTING_COUNTS},
+        ("clothes", "situation"): {value: count for value, count in _SITUATION_COUNTS},
+        ("clothes", "category"): {value: count for value, count in _CATEGORY_COUNTS},
+    }

@@ -1,0 +1,143 @@
+"""Parametric retailer/store/clothes data (the "stores" demo scenario).
+
+Used by the Figure 5 walk-through (query "store texas", size bound 6) and
+by the efficiency sweeps: the number of retailers, stores per retailer and
+clothes per store are all configurable, so documents from a few hundred to
+hundreds of thousands of nodes can be produced deterministically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.datasets.base import (
+    CLOTHES_CATEGORIES,
+    DatasetRandom,
+    FITTINGS,
+    SITUATIONS,
+    US_CITIES,
+    US_STATES,
+    require_positive,
+)
+from repro.xmltree.builder import TreeBuilder
+from repro.xmltree.tree import XMLTree
+
+#: brand names used for retailers; the first few mirror the Figure 5 demo
+_BRANDS: tuple[str, ...] = (
+    "Levis",
+    "ESprit",
+    "Brook Brothers",
+    "Canyon Outfitters",
+    "Juniper & Co",
+    "Lumen Apparel",
+    "North Gale",
+    "Silver Birch",
+    "Prairie Thread",
+    "Harbor Cloth",
+    "Opal Wear",
+    "Cedar Line",
+)
+
+
+@dataclass
+class RetailConfig:
+    """Parameters of the retail document generator."""
+
+    retailers: int = 4
+    stores_per_retailer: int = 5
+    clothes_per_store: int = 8
+    #: fraction of stores located in Texas (keeps "texas" queries selective)
+    texas_fraction: float = 0.5
+    #: skew of the category/fitting distributions (higher = more dominant)
+    skew: float = 1.2
+    seed: int = 11
+
+    def validate(self) -> "RetailConfig":
+        require_positive("retailers", self.retailers)
+        require_positive("stores_per_retailer", self.stores_per_retailer)
+        require_positive("clothes_per_store", self.clothes_per_store)
+        return self
+
+    @property
+    def approximate_nodes(self) -> int:
+        """Rough node count of the generated document."""
+        per_clothes = 4
+        per_store = 5 + self.clothes_per_store * per_clothes
+        per_retailer = 3 + self.stores_per_retailer * per_store
+        return 1 + self.retailers * per_retailer
+
+
+def generate_retail_document(config: RetailConfig | None = None, name: str = "retail") -> XMLTree:
+    """Generate a retail document.
+
+    >>> tree = generate_retail_document(RetailConfig(retailers=2, stores_per_retailer=2,
+    ...                                              clothes_per_store=2, seed=3))
+    >>> len(tree.find_by_tag("retailer"))
+    2
+    """
+    config = (config or RetailConfig()).validate()
+    rng = DatasetRandom(config.seed)
+    builder = TreeBuilder("commerce", name=name)
+
+    for retailer_index in range(config.retailers):
+        brand = (
+            _BRANDS[retailer_index]
+            if retailer_index < len(_BRANDS)
+            else f"{rng.name_phrase()} Apparel"
+        )
+        with builder.element("retailer"):
+            builder.add_value("name", brand)
+            builder.add_value("product", "apparel")
+            for store_index in range(config.stores_per_retailer):
+                in_texas = rng.random() < config.texas_fraction
+                state = "Texas" if in_texas else rng.pick([s for s in US_STATES if s != "Texas"])
+                with builder.element("store"):
+                    builder.add_value("name", f"{rng.name_phrase()} {store_index + 1}")
+                    builder.add_value("state", state)
+                    builder.add_value("city", rng.skewed_pick(US_CITIES, config.skew))
+                    with builder.element("merchandises"):
+                        for _ in range(config.clothes_per_store):
+                            with builder.element("clothes"):
+                                builder.add_value(
+                                    "category", rng.skewed_pick(CLOTHES_CATEGORIES, config.skew)
+                                )
+                                builder.add_value("fitting", rng.skewed_pick(FITTINGS, config.skew))
+                                builder.add_value(
+                                    "situation", rng.skewed_pick(SITUATIONS, config.skew)
+                                )
+    return builder.build()
+
+
+def figure5_document(seed: int = 5) -> XMLTree:
+    """A small store document for the Figure 5 walk-through.
+
+    Two of the retailers match the demo screenshot's description: "the
+    store named as Levis features jeans, especially for man; while the
+    store named as ESprit focuses on the outwear clothes, mostly for
+    woman" — both located in Texas so the query "store texas" returns them.
+    """
+    rng = DatasetRandom(seed)
+    builder = TreeBuilder("stores", name="figure5-stores")
+
+    def add_store(brand: str, state: str, city: str, category: str, fitting: str, items: int) -> None:
+        with builder.element("store"):
+            builder.add_value("name", brand)
+            builder.add_value("state", state)
+            builder.add_value("city", city)
+            with builder.element("merchandises"):
+                for index in range(items):
+                    with builder.element("clothes"):
+                        # the dominant category/fitting appears in ~3/4 of
+                        # the items, the rest are drawn at random
+                        dominant = index % 4 != 3
+                        builder.add_value(
+                            "category",
+                            category if dominant else rng.pick(CLOTHES_CATEGORIES),
+                        )
+                        builder.add_value("fitting", fitting if dominant else rng.pick(FITTINGS))
+                        builder.add_value("situation", rng.pick(SITUATIONS))
+
+    add_store("Levis", "Texas", "Houston", "jeans", "man", items=12)
+    add_store("ESprit", "Texas", "Austin", "outwear", "woman", items=10)
+    add_store("Harbor Cloth", "Oregon", "Portland", "shirts", "man", items=8)  # not in Texas
+    return builder.build()

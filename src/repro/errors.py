@@ -1,0 +1,83 @@
+"""Exception hierarchy for the eXtract reproduction.
+
+Every error raised intentionally by the library derives from
+:class:`ExtractError`, so callers can catch library failures with a single
+``except`` clause while still letting programming errors (``TypeError``,
+``KeyError`` on internal dicts, ...) propagate unchanged.
+"""
+
+from __future__ import annotations
+
+
+class ExtractError(Exception):
+    """Base class for every error raised by the ``repro`` library."""
+
+
+class XMLParseError(ExtractError):
+    """Raised when an XML document cannot be parsed into a tree."""
+
+    def __init__(self, message: str, line: int | None = None, column: int | None = None):
+        location = ""
+        if line is not None:
+            location = f" (line {line}" + (f", column {column}" if column is not None else "") + ")"
+        super().__init__(f"{message}{location}")
+        self.line = line
+        self.column = column
+
+
+class DTDParseError(ExtractError):
+    """Raised when a DTD declaration cannot be parsed."""
+
+
+class DeweyError(ExtractError):
+    """Raised for malformed Dewey labels or invalid Dewey operations."""
+
+
+class SchemaError(ExtractError):
+    """Raised when a schema summary is inconsistent with the document."""
+
+
+class IndexError_(ExtractError):
+    """Raised for index construction or lookup failures.
+
+    Named with a trailing underscore to avoid shadowing the builtin
+    ``IndexError`` while keeping the intent obvious.
+    """
+
+
+class IndexNotBuiltError(IndexError_):
+    """Raised when an index is queried before :meth:`build` was called."""
+
+
+class StorageError(ExtractError):
+    """Raised when persisting or loading an index from disk fails."""
+
+
+class QueryError(ExtractError):
+    """Raised for malformed keyword queries (e.g. empty after stop-wording)."""
+
+
+class SearchError(ExtractError):
+    """Raised when query evaluation fails."""
+
+
+class SnippetError(ExtractError):
+    """Raised when snippet generation fails."""
+
+
+class InvalidSizeBoundError(SnippetError):
+    """Raised when a snippet size bound is not a positive integer."""
+
+    def __init__(self, bound: object):
+        super().__init__(
+            f"snippet size bound must be a positive integer number of edges, got {bound!r}"
+        )
+        self.bound = bound
+
+
+class DatasetError(ExtractError):
+    """Raised when a synthetic dataset generator receives invalid parameters."""
+
+
+class EvaluationError(ExtractError):
+    """Raised when an experiment or metric cannot be computed."""

@@ -1,0 +1,37 @@
+"""Evaluation harness: workloads, metrics and the experiment suite.
+
+The demo paper defers its evaluation details to the companion full paper
+("User study and performance evaluation showed that eXtract can effectively
+generate high-quality snippets", §3).  This package implements a complete
+evaluation in that spirit — efficiency sweeps, quality comparisons against
+baselines and an optimal selector, a simulated user study and ablations —
+and each experiment is registered so the benchmark targets and
+EXPERIMENTS.md stay in sync.
+
+* :mod:`repro.eval.workload` — query workload generation per dataset,
+* :mod:`repro.eval.metrics` — snippet quality metrics,
+* :mod:`repro.eval.reporting` — experiment tables and text rendering,
+* :mod:`repro.eval.efficiency` — experiments E1, E2, E3, E7,
+* :mod:`repro.eval.quality` — experiments E4, E5,
+* :mod:`repro.eval.userstudy` — experiment E6,
+* :mod:`repro.eval.ablation` — experiments A1, A2,
+* :mod:`repro.eval.experiments` — the registry tying experiment ids
+  (F1–F5, E1–E7, A1–A2) to runnable functions.
+"""
+
+from repro.eval.reporting import ExperimentTable
+from repro.eval.workload import QueryWorkload, WorkloadGenerator
+from repro.eval.metrics import SnippetQuality, evaluate_snippet, distinguishability
+from repro.eval.experiments import EXPERIMENTS, run_experiment, list_experiments
+
+__all__ = [
+    "ExperimentTable",
+    "QueryWorkload",
+    "WorkloadGenerator",
+    "SnippetQuality",
+    "evaluate_snippet",
+    "distinguishability",
+    "EXPERIMENTS",
+    "run_experiment",
+    "list_experiments",
+]

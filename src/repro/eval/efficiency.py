@@ -1,0 +1,193 @@
+"""Efficiency experiments (E1, E2, E3, E7).
+
+These reproduce the axes of the companion paper's performance evaluation:
+snippet-generation time as a function of (E1) the number of query results,
+(E2) the snippet size bound and (E3) the document size, plus (E7) the
+scaling of the search substrate itself.  Absolute numbers differ from the
+authors' C++/Windows testbed; the *shape* (linear growth in results,
+sub-linear growth in the bound, index-dominated cost in document size) is
+what EXPERIMENTS.md records.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.datasets.auctions import AuctionConfig, generate_auction_document
+from repro.datasets.retail import RetailConfig, generate_retail_document
+from repro.eval.reporting import ExperimentTable
+from repro.index.builder import IndexBuilder
+from repro.search.elca import compute_elca
+from repro.search.engine import SearchEngine
+from repro.search.lca import brute_force_slca
+from repro.search.slca import compute_slca
+from repro.snippet.generator import SnippetGenerator
+
+
+def _time(callable_, repeats: int = 1) -> tuple[float, object]:
+    """Run ``callable_`` ``repeats`` times; return (best seconds, last result)."""
+    best = float("inf")
+    result: object = None
+    for _ in range(max(1, repeats)):
+        start = time.perf_counter()
+        result = callable_()
+        elapsed = time.perf_counter() - start
+        best = min(best, elapsed)
+    return best, result
+
+
+# ---------------------------------------------------------------------- #
+# E1 — time vs. number of query results
+# ---------------------------------------------------------------------- #
+def run_time_vs_results(
+    retailer_counts: tuple[int, ...] = (5, 10, 20, 40),
+    stores_per_retailer: int = 6,
+    clothes_per_store: int = 6,
+    size_bound: int = 10,
+    query: str = "retailer apparel",
+    seed: int = 11,
+) -> ExperimentTable:
+    """E1: snippet generation time as the number of results grows."""
+    table = ExperimentTable(
+        experiment_id="E1",
+        title=f"Snippet generation time vs. number of query results (bound={size_bound})",
+        columns=["results", "result_edges", "total_seconds", "ms_per_result"],
+        notes="query: " + query,
+    )
+    for retailers in retailer_counts:
+        config = RetailConfig(
+            retailers=retailers,
+            stores_per_retailer=stores_per_retailer,
+            clothes_per_store=clothes_per_store,
+            seed=seed,
+        )
+        index = IndexBuilder().build(generate_retail_document(config, name=f"retail-{retailers}"))
+        results = SearchEngine(index).search(query)
+        generator = SnippetGenerator(index.analyzer)
+        elapsed, _ = _time(lambda: generator.generate_all(results, size_bound=size_bound))
+        count = max(1, len(results))
+        table.add_row(
+            results=len(results),
+            result_edges=results.total_result_edges(),
+            total_seconds=elapsed,
+            ms_per_result=1000.0 * elapsed / count,
+        )
+    return table
+
+
+# ---------------------------------------------------------------------- #
+# E2 — time vs. snippet size bound
+# ---------------------------------------------------------------------- #
+def run_time_vs_bound(
+    bounds: tuple[int, ...] = (4, 8, 12, 16, 24, 32, 40),
+    retailers: int = 20,
+    query: str = "retailer apparel",
+    seed: int = 13,
+) -> ExperimentTable:
+    """E2: snippet generation time as the size bound grows (fixed results)."""
+    config = RetailConfig(retailers=retailers, stores_per_retailer=6, clothes_per_store=6, seed=seed)
+    index = IndexBuilder().build(generate_retail_document(config, name="retail-bound-sweep"))
+    results = SearchEngine(index).search(query)
+    generator = SnippetGenerator(index.analyzer)
+
+    table = ExperimentTable(
+        experiment_id="E2",
+        title=f"Snippet generation time vs. snippet size bound ({len(results)} results)",
+        columns=["size_bound", "total_seconds", "mean_snippet_edges", "mean_items_covered"],
+        notes="query: " + query,
+    )
+    for bound in bounds:
+        elapsed, batch = _time(lambda b=bound: generator.generate_all(results, size_bound=b))
+        snippets = list(batch)  # type: ignore[arg-type]
+        mean_edges = sum(g.snippet.size_edges for g in snippets) / max(1, len(snippets))
+        mean_items = sum(g.covered_items for g in snippets) / max(1, len(snippets))
+        table.add_row(
+            size_bound=bound,
+            total_seconds=elapsed,
+            mean_snippet_edges=mean_edges,
+            mean_items_covered=mean_items,
+        )
+    return table
+
+
+# ---------------------------------------------------------------------- #
+# E3 — time vs. document size (per-phase breakdown)
+# ---------------------------------------------------------------------- #
+def run_time_vs_docsize(
+    scales: tuple[int, ...] = (1, 2, 4, 8),
+    query: str = "item books",
+    size_bound: int = 10,
+    seed: int = 17,
+) -> ExperimentTable:
+    """E3: per-phase time (index, search, snippets) vs. document size."""
+    table = ExperimentTable(
+        experiment_id="E3",
+        title="Per-phase time vs. document size (auction dataset)",
+        columns=[
+            "nodes",
+            "index_seconds",
+            "search_seconds",
+            "snippet_seconds",
+            "results",
+        ],
+        notes="query: " + query,
+    )
+    for scale in scales:
+        document = generate_auction_document(
+            AuctionConfig(scale=scale, items_per_region=4, seed=seed), name=f"auction-{scale}"
+        )
+        index_seconds, index = _time(lambda doc=document: IndexBuilder().build(doc))
+        engine = SearchEngine(index)  # type: ignore[arg-type]
+        search_seconds, results = _time(lambda: engine.search(query))
+        generator = SnippetGenerator(index.analyzer)  # type: ignore[union-attr]
+        snippet_seconds, _ = _time(lambda: generator.generate_all(results, size_bound=size_bound))
+        table.add_row(
+            nodes=document.size_nodes,
+            index_seconds=index_seconds,
+            search_seconds=search_seconds,
+            snippet_seconds=snippet_seconds,
+            results=len(results),
+        )
+    return table
+
+
+# ---------------------------------------------------------------------- #
+# E7 — search substrate scaling (SLCA vs ELCA vs brute force)
+# ---------------------------------------------------------------------- #
+def run_search_engine_scaling(
+    scales: tuple[int, ...] = (1, 2, 4),
+    query: str = "person books",
+    seed: int = 19,
+    include_brute_force: bool = True,
+) -> ExperimentTable:
+    """E7: SLCA / ELCA / brute-force SLCA time vs. document size."""
+    table = ExperimentTable(
+        experiment_id="E7",
+        title="Search semantics computation time vs. document size",
+        columns=["nodes", "matches", "slca_seconds", "elca_seconds", "brute_slca_seconds"],
+        notes="query: " + query,
+    )
+    from repro.search.query import KeywordQuery
+
+    parsed = KeywordQuery.parse(query)
+    for scale in scales:
+        document = generate_auction_document(
+            AuctionConfig(scale=scale, items_per_region=4, seed=seed), name=f"auction-e7-{scale}"
+        )
+        index = IndexBuilder().build(document)
+        postings = [index.keyword_matches(keyword) for keyword in parsed.keywords]
+        matches = sum(len(plist) for plist in postings)
+        slca_seconds, _ = _time(lambda: compute_slca(postings), repeats=3)
+        elca_seconds, _ = _time(lambda: compute_elca(postings), repeats=3)
+        if include_brute_force:
+            brute_seconds, _ = _time(lambda: brute_force_slca(postings))
+        else:
+            brute_seconds = float("nan")
+        table.add_row(
+            nodes=document.size_nodes,
+            matches=matches,
+            slca_seconds=slca_seconds,
+            elca_seconds=elca_seconds,
+            brute_slca_seconds=brute_seconds,
+        )
+    return table

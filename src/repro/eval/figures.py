@@ -1,0 +1,212 @@
+"""Reproduction of the paper's concrete figures (F1, F2, F3, F5).
+
+The demonstration paper contains no numbered evaluation tables, but its
+Figures 1–3 are fully checkable artefacts: the value-occurrence statistics
+of the running example, the snippet built from them and the IList with its
+dominance scores.  Figure 5 is the demo walk-through ("store texas",
+bound 6).  Each function regenerates the artefact and reports
+paper-expected vs. measured values side by side.
+"""
+
+from __future__ import annotations
+
+from repro.datasets.paper_example import (
+    FIGURE1_EXPECTED_ILIST,
+    FIGURE1_EXPECTED_SCORES,
+    figure1_document,
+    figure1_query,
+    figure1_statistics,
+)
+from repro.datasets.retail import figure5_document
+from repro.errors import EvaluationError
+from repro.eval.reporting import ExperimentTable
+from repro.index.builder import DocumentIndex, IndexBuilder
+from repro.search.engine import SearchEngine
+from repro.search.results import QueryResult
+from repro.snippet.dominant import DominantFeatureIdentifier
+from repro.snippet.features import extract_features
+from repro.snippet.generator import SnippetGenerator
+from repro.snippet.ilist import ItemKind
+
+
+def brook_brothers_result(index: DocumentIndex) -> QueryResult:
+    """The Figure 1 query result (the Brook Brothers retailer)."""
+    results = SearchEngine(index).search(figure1_query())
+    for result in results:
+        name_child = result.root_node.find_child("name")
+        if name_child is not None and (name_child.text or "").strip() == "Brook Brothers":
+            return result
+    raise EvaluationError("the Figure 1 document did not produce the Brook Brothers result")
+
+
+def figure1_index() -> DocumentIndex:
+    """Index of the Figure 1 document (built fresh each call)."""
+    return IndexBuilder().build(figure1_document())
+
+
+# ---------------------------------------------------------------------- #
+# F1 — value-occurrence statistics of the Figure 1 result
+# ---------------------------------------------------------------------- #
+def run_figure1(index: DocumentIndex | None = None) -> ExperimentTable:
+    """F1: the Figure 1 statistics panel, paper vs. measured."""
+    index = index or figure1_index()
+    result = brook_brothers_result(index)
+    statistics = extract_features(index.analyzer, result)
+    measured = statistics.value_statistics()
+
+    table = ExperimentTable(
+        experiment_id="F1",
+        title='Figure 1 — value occurrences in the result of "Texas, apparel, retailer"',
+        columns=["feature_type", "value", "paper_count", "measured_count"],
+    )
+    for feature_type, expected_values in figure1_statistics().items():
+        measured_values = {
+            value.lower(): count for value, count in measured.get(feature_type, [])
+        }
+        for value, expected_count in expected_values.items():
+            table.add_row(
+                feature_type=f"({feature_type[0]}, {feature_type[1]})",
+                value=value,
+                paper_count=expected_count,
+                measured_count=measured_values.get(value, 0),
+            )
+    return table
+
+
+# ---------------------------------------------------------------------- #
+# F2 — the Figure 2 snippet
+# ---------------------------------------------------------------------- #
+#: tag/value pairs visible in the paper's Figure 2 snippet
+FIGURE2_EXPECTED_CONTENT: tuple[str, ...] = (
+    "retailer",
+    "name=brook brothers",
+    "product=apparel",
+    "store",
+    "state=texas",
+    "city=houston",
+    "merchandises",
+    "clothes",
+    "category=suit",
+    "fitting=man",
+    "category=outwear",
+    "fitting=woman",
+    "situation=casual",
+)
+
+#: Figure 2 has 14 nodes in view; we use its edge count as the bound
+FIGURE2_SIZE_BOUND = 14
+
+
+def run_figure2(index: DocumentIndex | None = None, size_bound: int = FIGURE2_SIZE_BOUND) -> ExperimentTable:
+    """F2: regenerate the Figure 2 snippet and compare its visible content."""
+    index = index or figure1_index()
+    result = brook_brothers_result(index)
+    generator = SnippetGenerator(index.analyzer)
+    generated = generator.generate(result, size_bound=size_bound)
+
+    visible: set[str] = set()
+    for node in generated.snippet.selected_nodes():
+        visible.add(node.tag)
+        if node.has_text_value:
+            visible.add(f"{node.tag}={(node.text or '').strip().lower()}")
+
+    table = ExperimentTable(
+        experiment_id="F2",
+        title=f"Figure 2 — snippet of the running example (bound={size_bound} edges)",
+        columns=["paper_content", "present_in_generated_snippet"],
+        notes=(
+            f"generated snippet: {generated.snippet.size_edges} edges, "
+            f"{generated.covered_items}/{len(generated.ilist.coverable_items())} IList items"
+        ),
+    )
+    for expected in FIGURE2_EXPECTED_CONTENT:
+        table.add_row(paper_content=expected, present_in_generated_snippet=int(expected in visible))
+    return table
+
+
+# ---------------------------------------------------------------------- #
+# F3 — the Figure 3 IList and §2.3 dominance scores
+# ---------------------------------------------------------------------- #
+def run_figure3(index: DocumentIndex | None = None) -> ExperimentTable:
+    """F3: the IList order and dominance scores, paper vs. measured."""
+    index = index or figure1_index()
+    result = brook_brothers_result(index)
+    generator = SnippetGenerator(index.analyzer)
+    ilist = generator.build_ilist(result)
+    measured_texts = [text.lower() for text in ilist.texts()]
+
+    identifier = DominantFeatureIdentifier(index.analyzer)
+    score_table = identifier.dominance_table(result)
+
+    table = ExperimentTable(
+        experiment_id="F3",
+        title="Figure 3 — IList of the running example (order + dominance scores)",
+        columns=["position", "paper_item", "measured_item", "paper_score", "measured_score"],
+        notes="scores are blank for keyword/entity/key items (paper reports scores for features only)",
+    )
+    for position, expected in enumerate(FIGURE1_EXPECTED_ILIST):
+        measured_item = measured_texts[position] if position < len(measured_texts) else "(missing)"
+        paper_score = FIGURE1_EXPECTED_SCORES.get(expected, "")
+        measured_score = (
+            round(score_table.get(expected, 0.0), 3) if expected in FIGURE1_EXPECTED_SCORES else ""
+        )
+        table.add_row(
+            position=position + 1,
+            paper_item=expected,
+            measured_item=measured_item,
+            paper_score=paper_score,
+            measured_score=measured_score,
+        )
+    return table
+
+
+# ---------------------------------------------------------------------- #
+# F5 — the demo walk-through of Figure 5
+# ---------------------------------------------------------------------- #
+def run_figure5(size_bound: int = 6) -> ExperimentTable:
+    """F5: query "store texas" with bound 6 over the stores document.
+
+    The screenshot's described outcome: the Levis store features jeans,
+    especially for man; the ESprit store focuses on outwear, mostly for
+    woman — and both snippets stay within the 6-edge bound while showing
+    the store name (the result key).
+    """
+    index = IndexBuilder().build(figure5_document())
+    results = SearchEngine(index).search("store texas")
+    generator = SnippetGenerator(index.analyzer)
+
+    table = ExperimentTable(
+        experiment_id="F5",
+        title=f'Figure 5 — demo walk-through: "store texas", bound={size_bound}',
+        columns=[
+            "store",
+            "snippet_edges",
+            "within_bound",
+            "shows_store_name",
+            "shows_dominant_category",
+            "dominant_category",
+            "dominant_fitting",
+        ],
+        notes="paper narrative: Levis → jeans/man, ESprit → outwear/woman",
+    )
+    expectations = {"Levis": ("jeans", "man"), "ESprit": ("outwear", "woman")}
+    for result in results:
+        name_child = result.root_node.find_child("name")
+        store_name = (name_child.text or "").strip() if name_child is not None else "?"
+        generated = generator.generate(result, size_bound=size_bound)
+        values = {
+            (node.tag, (node.text or "").strip().lower())
+            for node in generated.snippet.selected_nodes()
+            if node.has_text_value
+        }
+        expected_category, expected_fitting = expectations.get(store_name, ("", ""))
+        table.add_row(
+            store=store_name,
+            snippet_edges=generated.snippet.size_edges,
+            within_bound=int(generated.snippet.size_edges <= size_bound),
+            shows_store_name=int(("name", store_name.lower()) in values),
+            shows_dominant_category=int(("category", expected_category) in values),
+            dominant_category=expected_category,
+            dominant_fitting=expected_fitting,
+        )
+    return table

@@ -1,0 +1,285 @@
+"""Quality experiments (E4, E5).
+
+E4 — how close is the greedy instance selector to the NP-hard optimum?
+     We compare the number of IList items covered (the §2.4 objective) by
+     the greedy selector, the exact branch-and-bound selector and the
+     baselines, over a sweep of size bounds on result trees small enough
+     for the exact search.
+
+E5 — does the dominance score identify the *right* features?  We plant
+     ground-truth dominant features in synthetic results (features that are
+     dominant within their type but rare in absolute count, exactly the
+     "Houston vs. children" situation of §2.3) and measure precision/recall
+     of the dominance ranking against a raw-frequency ranking.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.datasets.base import DatasetRandom
+from repro.datasets.retail import RetailConfig, generate_retail_document
+from repro.eval.metrics import mean
+from repro.eval.reporting import ExperimentTable
+from repro.eval.workload import WorkloadGenerator
+from repro.index.builder import IndexBuilder
+from repro.search.engine import SearchEngine
+from repro.snippet.baselines import FirstEdgesSnippetGenerator, RandomSubtreeSnippetGenerator
+from repro.snippet.dominant import DominantFeatureIdentifier
+from repro.snippet.features import extract_features
+from repro.snippet.generator import SnippetGenerator
+from repro.snippet.optimal import OptimalInstanceSelector
+from repro.xmltree.builder import TreeBuilder
+
+
+# ---------------------------------------------------------------------- #
+# E4 — greedy vs. optimal vs. baselines
+# ---------------------------------------------------------------------- #
+def run_greedy_vs_optimal(
+    bounds: tuple[int, ...] = (4, 6, 8, 10, 12, 16),
+    queries: tuple[str, ...] = ("store texas", "retailer apparel"),
+    seed: int = 29,
+) -> ExperimentTable:
+    """E4: IList items covered by greedy / optimal / baselines per bound."""
+    config = RetailConfig(retailers=3, stores_per_retailer=3, clothes_per_store=3, seed=seed)
+    index = IndexBuilder().build(generate_retail_document(config, name="retail-e4"))
+    engine = SearchEngine(index)
+    generator = SnippetGenerator(index.analyzer)
+    optimal = OptimalInstanceSelector()
+    first_edges = FirstEdgesSnippetGenerator(index.analyzer)
+    random_baseline = RandomSubtreeSnippetGenerator(index.analyzer, seed=seed)
+
+    table = ExperimentTable(
+        experiment_id="E4",
+        title="IList items covered: greedy vs. optimal vs. baselines",
+        columns=[
+            "size_bound",
+            "greedy_items",
+            "optimal_items",
+            "greedy_over_optimal",
+            "first_edges_items",
+            "random_items",
+        ],
+        notes="mean over all results of queries: " + "; ".join(queries),
+    )
+
+    results = []
+    for query in queries:
+        results.extend(list(engine.search(query)))
+
+    for bound in bounds:
+        greedy_counts: list[float] = []
+        optimal_counts: list[float] = []
+        first_counts: list[float] = []
+        random_counts: list[float] = []
+        for result in results:
+            generated = generator.generate(result, size_bound=bound)
+            greedy_counts.append(float(generated.covered_items))
+            optimal_snippet = optimal.select(result, generated.ilist, bound)
+            optimal_counts.append(float(len(optimal_snippet.covered_items)))
+            first_counts.append(float(first_edges.generate(result, bound).covered_items))
+            random_counts.append(float(random_baseline.generate(result, bound).covered_items))
+        greedy_mean = mean(greedy_counts)
+        optimal_mean = mean(optimal_counts)
+        table.add_row(
+            size_bound=bound,
+            greedy_items=greedy_mean,
+            optimal_items=optimal_mean,
+            greedy_over_optimal=(greedy_mean / optimal_mean) if optimal_mean else 1.0,
+            first_edges_items=mean(first_counts),
+            random_items=mean(random_counts),
+        )
+    return table
+
+
+# ---------------------------------------------------------------------- #
+# E5 — feature identification quality (dominance score vs. raw counts)
+# ---------------------------------------------------------------------- #
+@dataclass
+class PlantedResult:
+    """A synthetic query result with known ground-truth dominant features."""
+
+    index: object  # DocumentIndex
+    result: object  # QueryResult
+    dominant_values: set[str]
+    non_dominant_values: set[str]
+
+
+def build_planted_result(
+    seed: int = 0,
+    stores: int = 12,
+    clothes_per_store: int = 24,
+    dominant_city_share: float = 0.6,
+) -> PlantedResult:
+    """Build a result that recreates the §2.3 motivating situation.
+
+    Two feature types are planted:
+
+    * ``(store, city)`` — few occurrences overall, but one city holds a
+      ``dominant_city_share`` of them → *dominant by normalised frequency*
+      while rare in absolute count;
+    * ``(clothes, fitting)`` — a thousand-ish occurrences spread almost
+      uniformly over its three values → every value is frequent in absolute
+      count but *not* dominant.
+
+    Ground truth: the planted city (and any value whose dominance score
+    exceeds 1 by construction) is dominant; the near-uniform fitting values
+    are not.  A raw-frequency ranking inverts this, which is exactly the
+    failure mode §2.3 argues against.
+    """
+    rng = DatasetRandom(seed)
+    cities = ["Houston", "Austin", "Dallas", "El Paso", "Laredo"]
+    fittings = ["man", "woman", "children"]
+    dominant_city = cities[0]
+
+    builder = TreeBuilder("commerce", name=f"planted-{seed}")
+    with builder.element("retailer"):
+        builder.add_value("name", f"Planted Retailer {seed}")
+        builder.add_value("product", "apparel")
+        for store_index in range(stores):
+            if store_index < int(round(stores * dominant_city_share)):
+                city = dominant_city
+            else:
+                city = cities[1 + store_index % (len(cities) - 1)]
+            with builder.element("store"):
+                builder.add_value("name", f"Store {seed}-{store_index}")
+                builder.add_value("state", "Texas")
+                builder.add_value("city", city)
+                with builder.element("merchandises"):
+                    for clothes_index in range(clothes_per_store):
+                        with builder.element("clothes"):
+                            builder.add_value("fitting", fittings[clothes_index % len(fittings)])
+                            builder.add_value(
+                                "category", rng.pick(["jeans", "shirts", "outwear", "suit"])
+                            )
+    # a second retailer so <retailer> is a *-node
+    with builder.element("retailer"):
+        builder.add_value("name", f"Decoy Retailer {seed}")
+        builder.add_value("product", "furniture")
+        with builder.element("store"):
+            builder.add_value("name", f"Decoy Store {seed}")
+            builder.add_value("state", "Ohio")
+            builder.add_value("city", "Columbus")
+            with builder.element("merchandises"):
+                with builder.element("clothes"):
+                    builder.add_value("fitting", "man")
+                    builder.add_value("category", "socks")
+
+    tree = builder.build()
+    index = IndexBuilder().build(tree)
+    results = SearchEngine(index).search("retailer apparel")
+    target = results[0]
+
+    statistics = extract_features(index.analyzer, target)
+    dominant_values = {
+        feature.value for feature in statistics.features() if statistics.is_dominant(feature)
+    }
+    non_dominant = {
+        feature.value for feature in statistics.features() if not statistics.is_dominant(feature)
+    }
+    return PlantedResult(
+        index=index, result=target, dominant_values=dominant_values, non_dominant_values=non_dominant
+    )
+
+
+def run_feature_quality(
+    seeds: tuple[int, ...] = (0, 1, 2, 3, 4),
+    top_k: int = 3,
+) -> ExperimentTable:
+    """E5: precision@k of dominance ranking vs. raw-frequency ranking.
+
+    Ground truth per planted result: the city planted to dominate its type.
+    A ranking is correct when that planted value appears in its top-k
+    features; the dominance-score ranking should, the raw-count ranking
+    generally ranks the high-volume-but-uniform fitting values first.
+    """
+    table = ExperimentTable(
+        experiment_id="E5",
+        title=f"Planted dominant feature found in top-{top_k}: dominance score vs. raw frequency",
+        columns=["seed", "dominance_hit", "raw_frequency_hit", "planted_city_raw_rank", "planted_city_ds_rank"],
+        notes="planted city is dominant by normalised frequency but rare in absolute count",
+    )
+    for seed in seeds:
+        planted = build_planted_result(seed=seed)
+        identifier = DominantFeatureIdentifier(planted.index.analyzer)  # type: ignore[attr-defined]
+        scored = identifier.score_all(planted.result)  # type: ignore[arg-type]
+        # exclude trivially-dominant single-value types (state, name, product)
+        # so both rankings compete on the same contested features
+        contested = [item for item in scored if item.domain_size > 1]
+        by_dominance = sorted(contested, key=lambda item: -item.score)
+        by_raw = sorted(contested, key=lambda item: -item.value_count)
+
+        planted_city = "houston"
+        ds_rank = next(
+            (rank + 1 for rank, item in enumerate(by_dominance) if item.feature.value == planted_city),
+            len(by_dominance) + 1,
+        )
+        raw_rank = next(
+            (rank + 1 for rank, item in enumerate(by_raw) if item.feature.value == planted_city),
+            len(by_raw) + 1,
+        )
+        table.add_row(
+            seed=seed,
+            dominance_hit=int(ds_rank <= top_k),
+            raw_frequency_hit=int(raw_rank <= top_k),
+            planted_city_raw_rank=raw_rank,
+            planted_city_ds_rank=ds_rank,
+        )
+    return table
+
+
+def run_snippet_quality_by_dataset(
+    size_bound: int = 10,
+    queries_per_dataset: int = 6,
+    seed: int = 41,
+) -> ExperimentTable:
+    """Supplementary: mean quality metrics of eXtract snippets per dataset."""
+    from repro.datasets.movies import MoviesConfig, generate_movies_document
+    from repro.eval.metrics import evaluate_snippet, distinguishability
+
+    datasets = {
+        "retail": generate_retail_document(RetailConfig(retailers=6, seed=seed), name="retail-q"),
+        "movies": generate_movies_document(MoviesConfig(movies=30, seed=seed), name="movies-q"),
+    }
+    table = ExperimentTable(
+        experiment_id="E5b",
+        title=f"eXtract snippet quality per dataset (bound={size_bound})",
+        columns=[
+            "dataset",
+            "queries",
+            "mean_ilist_coverage",
+            "mean_keyword_coverage",
+            "key_in_snippet_rate",
+            "distinguishability",
+        ],
+    )
+    for name, tree in datasets.items():
+        index = IndexBuilder().build(tree)
+        engine = SearchEngine(index)
+        generator = SnippetGenerator(index.analyzer)
+        workload = WorkloadGenerator(index, seed=seed).generate(
+            query_count=queries_per_dataset, keywords_per_query=2, name=f"{name}-workload"
+        )
+        coverage: list[float] = []
+        keyword_coverage: list[float] = []
+        key_rate: list[float] = []
+        disting: list[float] = []
+        for query in workload:
+            results = engine.search(query)
+            if results.is_empty:
+                continue
+            batch = generator.generate_all(results, size_bound=size_bound)
+            qualities = [evaluate_snippet(generated) for generated in batch]
+            coverage.extend(quality.ilist_coverage for quality in qualities)
+            keyword_coverage.extend(quality.keyword_coverage for quality in qualities)
+            key_rate.extend(1.0 if quality.has_result_key else 0.0 for quality in qualities)
+            disting.append(distinguishability(list(batch)))
+        table.add_row(
+            dataset=name,
+            queries=len(workload),
+            mean_ilist_coverage=mean(coverage),
+            mean_keyword_coverage=mean(keyword_coverage),
+            key_in_snippet_rate=mean(key_rate),
+            distinguishability=mean(disting),
+        )
+    return table

@@ -1,0 +1,93 @@
+"""Experiment result tables and their plain-text rendering.
+
+Every experiment produces an :class:`ExperimentTable`: a titled list of
+rows (dictionaries) with a fixed column order.  The same object backs the
+benchmark output, the EXPERIMENTS.md records and the example scripts, so
+"the rows the paper reports" exist in exactly one representation.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+
+from repro.errors import EvaluationError
+
+
+@dataclass
+class ExperimentTable:
+    """A titled table of experiment measurements."""
+
+    experiment_id: str
+    title: str
+    columns: list[str]
+    rows: list[dict[str, object]] = field(default_factory=list)
+    notes: str = ""
+
+    def add_row(self, **values: object) -> None:
+        """Append one row; every declared column must be present."""
+        missing = [column for column in self.columns if column not in values]
+        if missing:
+            raise EvaluationError(
+                f"experiment {self.experiment_id}: row is missing columns {missing}"
+            )
+        self.rows.append({column: values[column] for column in self.columns})
+
+    def column(self, name: str) -> list[object]:
+        """All values of one column, in row order."""
+        if name not in self.columns:
+            raise EvaluationError(f"experiment {self.experiment_id}: unknown column {name!r}")
+        return [row[name] for row in self.rows]
+
+    # ------------------------------------------------------------------ #
+    # rendering
+    # ------------------------------------------------------------------ #
+    def format_text(self) -> str:
+        """Render as an aligned plain-text table."""
+        header = [self._format_cell(column) for column in self.columns]
+        body = [[self._format_cell(row[column]) for column in self.columns] for row in self.rows]
+        widths = [
+            max(len(header[index]), *(len(line[index]) for line in body)) if body else len(header[index])
+            for index in range(len(self.columns))
+        ]
+        lines = [f"[{self.experiment_id}] {self.title}"]
+        lines.append("  " + "  ".join(header[i].ljust(widths[i]) for i in range(len(widths))))
+        lines.append("  " + "  ".join("-" * widths[i] for i in range(len(widths))))
+        for line in body:
+            lines.append("  " + "  ".join(line[i].ljust(widths[i]) for i in range(len(widths))))
+        if self.notes:
+            lines.append(f"  note: {self.notes}")
+        return "\n".join(lines)
+
+    def format_markdown(self) -> str:
+        """Render as a GitHub-flavoured markdown table."""
+        lines = [f"**[{self.experiment_id}] {self.title}**", ""]
+        lines.append("| " + " | ".join(self.columns) + " |")
+        lines.append("|" + "|".join("---" for _ in self.columns) + "|")
+        for row in self.rows:
+            lines.append("| " + " | ".join(self._format_cell(row[column]) for column in self.columns) + " |")
+        if self.notes:
+            lines.append("")
+            lines.append(f"_{self.notes}_")
+        return "\n".join(lines)
+
+    @staticmethod
+    def _format_cell(value: object) -> str:
+        if isinstance(value, float):
+            if abs(value) >= 1000:
+                return f"{value:.0f}"
+            if abs(value) >= 1:
+                return f"{value:.3f}"
+            return f"{value:.4f}"
+        return str(value)
+
+    def save(self, path: str | os.PathLike[str]) -> None:
+        """Write the text rendering to a file."""
+        with open(os.fspath(path), "w", encoding="utf-8") as handle:
+            handle.write(self.format_text() + "\n")
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __repr__(self) -> str:
+        return f"<ExperimentTable {self.experiment_id} rows={len(self.rows)}>"

@@ -1,0 +1,122 @@
+"""Query workload generation.
+
+The efficiency and quality experiments need many keyword queries per
+dataset.  Queries are generated from the document itself so every query is
+guaranteed to have results: keywords are drawn from entity tag names (the
+"return entity" style keyword, e.g. ``store``) and from attribute values
+(the "predicate" style keyword, e.g. ``Texas``), mirroring how the paper's
+example queries mix both kinds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.datasets.base import DatasetRandom
+from repro.errors import EvaluationError
+from repro.index.builder import DocumentIndex
+from repro.search.query import KeywordQuery
+
+
+@dataclass
+class QueryWorkload:
+    """A named list of keyword queries over one document."""
+
+    name: str
+    document_name: str
+    queries: list[KeywordQuery] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.queries)
+
+    def __iter__(self):
+        return iter(self.queries)
+
+    def __getitem__(self, index: int) -> KeywordQuery:
+        return self.queries[index]
+
+    def texts(self) -> list[str]:
+        return [query.raw for query in self.queries]
+
+
+class WorkloadGenerator:
+    """Generates keyword workloads from an indexed document."""
+
+    def __init__(self, index: DocumentIndex, seed: int = 0):
+        self.index = index
+        self.rng = DatasetRandom(seed)
+
+    # ------------------------------------------------------------------ #
+    # vocabulary pools
+    # ------------------------------------------------------------------ #
+    def entity_keywords(self) -> list[str]:
+        """Entity tag names (e.g. ``store``, ``movie``) — search-goal keywords."""
+        return sorted(self.index.analyzer.entity_tags())
+
+    def value_keywords(self, min_occurrences: int = 2, limit: int = 200) -> list[str]:
+        """Frequent value tokens (e.g. ``texas``, ``drama``) — predicate keywords.
+
+        Only single-token values occurring at least ``min_occurrences``
+        times are used, so generated queries are selective but never empty.
+        """
+        candidates: list[tuple[int, str]] = []
+        for term in self.index.inverted.vocabulary:
+            if not term.isalpha() or len(term) < 3:
+                continue
+            frequency = self.index.inverted.document_frequency(term)
+            if frequency >= min_occurrences:
+                candidates.append((frequency, term))
+        candidates.sort(key=lambda pair: (-pair[0], pair[1]))
+        return [term for _, term in candidates[:limit]]
+
+    # ------------------------------------------------------------------ #
+    # workload generation
+    # ------------------------------------------------------------------ #
+    def generate(
+        self,
+        query_count: int = 20,
+        keywords_per_query: int = 2,
+        include_entity_keyword: bool = True,
+        name: str = "workload",
+    ) -> QueryWorkload:
+        """Generate ``query_count`` queries with ``keywords_per_query`` keywords.
+
+        Each query optionally starts with an entity tag keyword (the search
+        goal) and is filled up with distinct value keywords.
+        """
+        if keywords_per_query < 1:
+            raise EvaluationError("keywords_per_query must be at least 1")
+        entities = self.entity_keywords()
+        values = self.value_keywords()
+        if not values and not entities:
+            raise EvaluationError(
+                f"document {self.index.tree.name!r} offers no usable query keywords"
+            )
+
+        workload = QueryWorkload(name=name, document_name=self.index.tree.name)
+        attempts = 0
+        while len(workload.queries) < query_count and attempts < query_count * 20:
+            attempts += 1
+            keywords: list[str] = []
+            if include_entity_keyword and entities:
+                keywords.append(self.rng.pick(entities))
+            while len(keywords) < keywords_per_query and values:
+                candidate = self.rng.pick(values)
+                if candidate not in keywords:
+                    keywords.append(candidate)
+            if not keywords:
+                continue
+            query = KeywordQuery.from_keywords(keywords)
+            if query.raw in {existing.raw for existing in workload.queries}:
+                continue
+            workload.queries.append(query)
+        if not workload.queries:
+            raise EvaluationError("workload generation produced no queries")
+        return workload
+
+    def fixed_paper_queries(self) -> QueryWorkload:
+        """The two queries that appear verbatim in the paper (§1, §4)."""
+        workload = QueryWorkload(name="paper-queries", document_name=self.index.tree.name)
+        for text in ("Texas, apparel, retailer", "store texas"):
+            workload.queries.append(KeywordQuery.parse(text))
+        return workload

@@ -1,0 +1,29 @@
+"""Index Builder (Figure 4): keyword, label and structure indexes.
+
+"The Index Builder builds indexes for efficiently retrieving matches to
+user input keywords, as well as the information about node category, and
+parent-children relationship."
+
+* :mod:`repro.index.postings` — sorted Dewey posting lists and merge ops,
+* :mod:`repro.index.inverted` — keyword → posting list inverted index,
+* :mod:`repro.index.structure` — tag/label index, node-category index and
+  parent/children accessors,
+* :mod:`repro.index.builder` — the façade that builds all of them,
+* :mod:`repro.index.storage` — a small text-based persistence layer.
+"""
+
+from repro.index.postings import PostingList
+from repro.index.inverted import InvertedIndex
+from repro.index.structure import StructureIndex
+from repro.index.builder import DocumentIndex, IndexBuilder
+from repro.index.storage import save_index, load_index
+
+__all__ = [
+    "PostingList",
+    "InvertedIndex",
+    "StructureIndex",
+    "DocumentIndex",
+    "IndexBuilder",
+    "save_index",
+    "load_index",
+]

@@ -1,0 +1,123 @@
+"""Keyword inverted index over an XML document.
+
+Each node is indexed under:
+
+* the tokens of its tag name (so the query keyword ``retailer`` matches
+  ``<retailer>`` elements), and
+* the tokens of its own text value (so ``Texas`` matches
+  ``<state>Texas</state>``).
+
+Tokens are additionally indexed under their singular form (``stores`` →
+``store``) so that the Figure 5 query "store texas" behaves the same
+regardless of pluralisation.  Lookups return :class:`PostingList` objects
+of the *matching nodes themselves*; keyword-search semantics that require
+ancestor propagation (ELCA) derive what they need from Dewey prefixes.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from collections.abc import Iterable
+
+from repro.errors import IndexNotBuiltError
+from repro.index.postings import PostingList
+from repro.utils.text import iter_index_terms, normalize_token, singularize
+from repro.xmltree.dewey import Dewey
+from repro.xmltree.tree import XMLTree
+
+
+class InvertedIndex:
+    """keyword → posting list of matching node labels."""
+
+    def __init__(self) -> None:
+        self._postings: dict[str, PostingList] = {}
+        self._built = False
+        self.indexed_nodes = 0
+
+    # ------------------------------------------------------------------ #
+    # construction
+    # ------------------------------------------------------------------ #
+    def build(self, tree: XMLTree) -> "InvertedIndex":
+        """Index every node of ``tree``; returns ``self`` for chaining."""
+        accumulator: dict[str, set[Dewey]] = defaultdict(set)
+        count = 0
+        for node in tree.iter_nodes():
+            count += 1
+            for term in iter_index_terms(node.tag):
+                accumulator[term].add(node.dewey)
+            if node.has_text_value:
+                for term in iter_index_terms(node.text or ""):
+                    accumulator[term].add(node.dewey)
+        self._postings = {term: PostingList(labels) for term, labels in accumulator.items()}
+        self.indexed_nodes = count
+        self._built = True
+        return self
+
+    @classmethod
+    def from_postings(cls, postings: dict[str, PostingList]) -> "InvertedIndex":
+        """Reconstruct an index from stored posting lists."""
+        index = cls()
+        index._postings = dict(postings)
+        index._built = True
+        index.indexed_nodes = sum(len(plist) for plist in postings.values())
+        return index
+
+    # ------------------------------------------------------------------ #
+    # lookup
+    # ------------------------------------------------------------------ #
+    def lookup(self, keyword: str) -> PostingList:
+        """Posting list of the (normalised) keyword; empty if unseen.
+
+        The raw lower-cased form and its singular form are both consulted,
+        because nodes are indexed under both: the query keyword ``stores``
+        therefore matches ``<store>`` elements and vice versa.
+        """
+        self._ensure_built()
+        token = normalize_token(keyword)
+        forms = {token, singularize(token)}
+        found = [self._postings[form] for form in forms if form in self._postings]
+        if not found:
+            return PostingList()
+        if len(found) == 1:
+            return found[0]
+        return PostingList.union_all(found)
+
+    def lookup_all(self, keywords: Iterable[str]) -> dict[str, PostingList]:
+        """Posting lists for many keywords at once."""
+        return {keyword: self.lookup(keyword) for keyword in keywords}
+
+    def contains_term(self, keyword: str) -> bool:
+        self._ensure_built()
+        token = normalize_token(keyword)
+        return token in self._postings or singularize(token) in self._postings
+
+    @property
+    def vocabulary(self) -> list[str]:
+        """All indexed terms, sorted."""
+        self._ensure_built()
+        return sorted(self._postings)
+
+    @property
+    def vocabulary_size(self) -> int:
+        self._ensure_built()
+        return len(self._postings)
+
+    def document_frequency(self, keyword: str) -> int:
+        """Number of nodes matching the keyword."""
+        return len(self.lookup(keyword))
+
+    def postings_dict(self) -> dict[str, PostingList]:
+        """The raw term → posting list mapping (for storage)."""
+        self._ensure_built()
+        return dict(self._postings)
+
+    # ------------------------------------------------------------------ #
+    # internals
+    # ------------------------------------------------------------------ #
+    def _ensure_built(self) -> None:
+        if not self._built:
+            raise IndexNotBuiltError("InvertedIndex used before build() was called")
+
+    def __repr__(self) -> str:
+        status = f"terms={len(self._postings)}" if self._built else "unbuilt"
+        return f"<InvertedIndex {status}>"

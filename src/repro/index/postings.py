@@ -1,0 +1,142 @@
+"""Posting lists of Dewey labels.
+
+A posting list is the sorted (document-order) list of Dewey labels of the
+nodes that match one term.  SLCA/ELCA evaluation and the snippet
+generator's instance selection work directly on these lists, so the class
+offers the binary-search primitives those algorithms rely on: left/right
+neighbour lookup, ancestor-aware containment and standard merge operations.
+"""
+
+from __future__ import annotations
+
+import bisect
+from collections.abc import Iterable, Iterator
+
+from repro.xmltree.dewey import Dewey
+
+
+class PostingList:
+    """An immutable, sorted, de-duplicated list of Dewey labels."""
+
+    __slots__ = ("_labels",)
+
+    def __init__(self, labels: Iterable[Dewey] = ()):
+        self._labels: list[Dewey] = sorted(set(labels))
+
+    # ------------------------------------------------------------------ #
+    # basic container protocol
+    # ------------------------------------------------------------------ #
+    def __len__(self) -> int:
+        return len(self._labels)
+
+    def __iter__(self) -> Iterator[Dewey]:
+        return iter(self._labels)
+
+    def __getitem__(self, index: int) -> Dewey:
+        return self._labels[index]
+
+    def __contains__(self, label: Dewey) -> bool:
+        position = bisect.bisect_left(self._labels, label)
+        return position < len(self._labels) and self._labels[position] == label
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, PostingList):
+            return NotImplemented
+        return self._labels == other._labels
+
+    def __repr__(self) -> str:
+        preview = ", ".join(str(label) for label in self._labels[:4])
+        suffix = ", ..." if len(self._labels) > 4 else ""
+        return f"<PostingList n={len(self._labels)} [{preview}{suffix}]>"
+
+    @property
+    def labels(self) -> list[Dewey]:
+        """A copy of the underlying sorted label list."""
+        return list(self._labels)
+
+    @property
+    def is_empty(self) -> bool:
+        return not self._labels
+
+    # ------------------------------------------------------------------ #
+    # binary-search primitives (used by the SLCA algorithm)
+    # ------------------------------------------------------------------ #
+    def left_neighbour(self, label: Dewey) -> Dewey | None:
+        """The largest posting <= ``label`` in document order (lm in [7])."""
+        position = bisect.bisect_right(self._labels, label)
+        if position == 0:
+            return None
+        return self._labels[position - 1]
+
+    def right_neighbour(self, label: Dewey) -> Dewey | None:
+        """The smallest posting >= ``label`` in document order (rm in [7])."""
+        position = bisect.bisect_left(self._labels, label)
+        if position >= len(self._labels):
+            return None
+        return self._labels[position]
+
+    def closest_match(self, label: Dewey) -> Dewey | None:
+        """The posting whose LCA with ``label`` is deepest (closest match).
+
+        This is the core primitive of the Indexed Lookup Eager SLCA
+        algorithm [7]: the closest match is always the left or the right
+        neighbour in document order.
+        """
+        left = self.left_neighbour(label)
+        right = self.right_neighbour(label)
+        if left is None:
+            return right
+        if right is None:
+            return left
+        left_depth = Dewey.common_ancestor(left, label).depth
+        right_depth = Dewey.common_ancestor(right, label).depth
+        return left if left_depth >= right_depth else right
+
+    def has_descendant_of(self, ancestor: Dewey) -> bool:
+        """Does any posting lie in the subtree rooted at ``ancestor``?"""
+        position = bisect.bisect_left(self._labels, ancestor)
+        if position < len(self._labels) and ancestor.is_ancestor_or_self(self._labels[position]):
+            return True
+        return False
+
+    def descendants_of(self, ancestor: Dewey) -> list[Dewey]:
+        """All postings within the subtree rooted at ``ancestor``."""
+        result: list[Dewey] = []
+        position = bisect.bisect_left(self._labels, ancestor)
+        while position < len(self._labels):
+            label = self._labels[position]
+            if not ancestor.is_ancestor_or_self(label):
+                break
+            result.append(label)
+            position += 1
+        return result
+
+    # ------------------------------------------------------------------ #
+    # set operations
+    # ------------------------------------------------------------------ #
+    def union(self, other: "PostingList") -> "PostingList":
+        return PostingList(self._labels + other._labels)
+
+    def intersection(self, other: "PostingList") -> "PostingList":
+        longer, shorter = (self, other) if len(self) >= len(other) else (other, self)
+        return PostingList(label for label in shorter if label in longer)
+
+    def difference(self, other: "PostingList") -> "PostingList":
+        return PostingList(label for label in self._labels if label not in other)
+
+    @staticmethod
+    def union_all(lists: Iterable["PostingList"]) -> "PostingList":
+        labels: list[Dewey] = []
+        for posting_list in lists:
+            labels.extend(posting_list._labels)
+        return PostingList(labels)
+
+    # ------------------------------------------------------------------ #
+    # serialisation helpers (used by repro.index.storage)
+    # ------------------------------------------------------------------ #
+    def to_strings(self) -> list[str]:
+        return [str(label) for label in self._labels]
+
+    @classmethod
+    def from_strings(cls, texts: Iterable[str]) -> "PostingList":
+        return cls(Dewey.parse(text) for text in texts)

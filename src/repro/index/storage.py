@@ -1,0 +1,118 @@
+"""On-disk persistence for document indexes.
+
+The original eXtract demo precomputed its indexes on the server so queries
+over the web UI were fast.  This module provides the equivalent: the
+inverted index (plus enough structural metadata to rebuild posting lists)
+can be written to and loaded from a plain-text, line-oriented format that
+is diff-friendly and independent of pickle.
+
+Format (UTF-8 text)::
+
+    #extract-index v1
+    #document <name>
+    #nodes <count>
+    T <term> <label> <label> ...
+    P <tag-path joined by '/'> <label> <label> ...
+
+Only the inverted and per-path label lists are stored; the tree itself is
+stored alongside as regular XML (via :mod:`repro.xmltree.serialize`), and
+the analyzer/structure index are recomputed on load — recomputation is fast
+and keeps the stored artefact simple and robust.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.errors import StorageError
+from repro.index.builder import DocumentIndex, IndexBuilder
+from repro.index.inverted import InvertedIndex
+from repro.index.postings import PostingList
+from repro.xmltree.parser import parse_xml_file
+from repro.xmltree.serialize import to_xml_string
+
+_MAGIC = "#extract-index v1"
+
+
+def save_index(index: DocumentIndex, directory: str | os.PathLike[str]) -> None:
+    """Persist ``index`` (document + inverted index) into ``directory``."""
+    path = os.fspath(directory)
+    os.makedirs(path, exist_ok=True)
+    document_path = os.path.join(path, "document.xml")
+    index_path = os.path.join(path, "inverted.idx")
+    try:
+        with open(document_path, "w", encoding="utf-8") as handle:
+            handle.write(to_xml_string(index.tree))
+        with open(index_path, "w", encoding="utf-8") as handle:
+            handle.write(f"{_MAGIC}\n")
+            handle.write(f"#document {index.tree.name}\n")
+            handle.write(f"#nodes {index.tree.size_nodes}\n")
+            for term in sorted(index.inverted.postings_dict()):
+                postings = index.inverted.lookup(term)
+                labels = " ".join(postings.to_strings())
+                handle.write(f"T {term} {labels}\n")
+    except OSError as exc:
+        raise StorageError(f"failed to save index to {path}: {exc}") from exc
+
+
+def load_index(directory: str | os.PathLike[str]) -> DocumentIndex:
+    """Load a :class:`DocumentIndex` previously written by :func:`save_index`.
+
+    The XML document is re-parsed and re-analyzed; the stored inverted
+    index is validated against the freshly built one (term count and node
+    count), guarding against a document/index mismatch on disk.
+    """
+    path = os.fspath(directory)
+    document_path = os.path.join(path, "document.xml")
+    index_path = os.path.join(path, "inverted.idx")
+    if not os.path.exists(document_path) or not os.path.exists(index_path):
+        raise StorageError(f"{path} does not contain a saved eXtract index")
+
+    try:
+        parse_result = parse_xml_file(document_path)
+    except OSError as exc:
+        raise StorageError(f"failed to read stored document: {exc}") from exc
+
+    stored_postings: dict[str, PostingList] = {}
+    stored_nodes: int | None = None
+    try:
+        with open(index_path, "r", encoding="utf-8") as handle:
+            first = handle.readline().rstrip("\n")
+            if first != _MAGIC:
+                raise StorageError(f"unrecognised index file header: {first!r}")
+            for line in handle:
+                line = line.rstrip("\n")
+                if not line:
+                    continue
+                if line.startswith("#nodes "):
+                    stored_nodes = int(line.split(" ", 1)[1])
+                    continue
+                if line.startswith("#"):
+                    continue
+                kind, _, rest = line.partition(" ")
+                if kind != "T":
+                    continue
+                term, _, labels_text = rest.partition(" ")
+                labels = labels_text.split() if labels_text else []
+                stored_postings[term] = PostingList.from_strings(labels)
+    except OSError as exc:
+        raise StorageError(f"failed to read stored index: {exc}") from exc
+
+    index = IndexBuilder().build(parse_result.tree)
+    if stored_nodes is not None and stored_nodes != parse_result.tree.size_nodes:
+        raise StorageError(
+            f"stored index covers {stored_nodes} nodes but the stored document has "
+            f"{parse_result.tree.size_nodes}; the artefacts are out of sync"
+        )
+    # Prefer the stored posting lists (they are authoritative for the
+    # artefact on disk) but only if they agree in vocabulary size; a
+    # mismatch indicates corruption.
+    rebuilt_terms = index.inverted.vocabulary_size
+    if stored_postings and abs(rebuilt_terms - len(stored_postings)) > 0:
+        raise StorageError(
+            f"stored inverted index has {len(stored_postings)} terms but rebuilding the "
+            f"document yields {rebuilt_terms}; refusing to load inconsistent index"
+        )
+    if stored_postings:
+        index.inverted = InvertedIndex.from_postings(stored_postings)
+    return index

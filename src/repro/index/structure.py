@@ -1,0 +1,137 @@
+"""Structure index: tags, categories and parent/children relationships.
+
+Figure 4 lists "information about node category, and parent-children
+relationship" as index content.  With Dewey labels the parent relationship
+is implicit in the label itself; this index adds:
+
+* tag → posting list (all instances of a tag),
+* tag path → posting list (all instances of a schema node),
+* Dewey label → tag path (so a label coming out of the inverted index can
+  be classified without touching the tree),
+* node category per tag path (entity / attribute / connection).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+from repro.classify.analyzer import DataAnalyzer
+from repro.classify.categories import NodeCategory
+from repro.errors import IndexNotBuiltError
+from repro.index.postings import PostingList
+from repro.xmltree.dewey import Dewey
+from repro.xmltree.schema import TagPath
+from repro.xmltree.tree import XMLTree
+
+
+class StructureIndex:
+    """Label/tag/category index over one document."""
+
+    def __init__(self) -> None:
+        self._by_tag: dict[str, PostingList] = {}
+        self._by_path: dict[TagPath, PostingList] = {}
+        self._path_of_label: dict[Dewey, TagPath] = {}
+        self._category_of_path: dict[TagPath, NodeCategory] = {}
+        self._built = False
+
+    # ------------------------------------------------------------------ #
+    # construction
+    # ------------------------------------------------------------------ #
+    def build(self, tree: XMLTree, analyzer: DataAnalyzer) -> "StructureIndex":
+        by_tag: dict[str, set[Dewey]] = defaultdict(set)
+        by_path: dict[TagPath, set[Dewey]] = defaultdict(set)
+        path_of_label: dict[Dewey, TagPath] = {}
+        for node in tree.iter_nodes():
+            by_tag[node.tag].add(node.dewey)
+            path = node.tag_path
+            by_path[path].add(node.dewey)
+            path_of_label[node.dewey] = path
+        self._by_tag = {tag: PostingList(labels) for tag, labels in by_tag.items()}
+        self._by_path = {path: PostingList(labels) for path, labels in by_path.items()}
+        self._path_of_label = path_of_label
+        self._category_of_path = dict(analyzer.categories)
+        self._built = True
+        return self
+
+    # ------------------------------------------------------------------ #
+    # lookup
+    # ------------------------------------------------------------------ #
+    def instances_of_tag(self, tag: str) -> PostingList:
+        self._ensure_built()
+        return self._by_tag.get(tag, PostingList())
+
+    def instances_of_path(self, tag_path: TagPath) -> PostingList:
+        self._ensure_built()
+        return self._by_path.get(tag_path, PostingList())
+
+    def tag_path_of(self, label: Dewey) -> TagPath | None:
+        self._ensure_built()
+        return self._path_of_label.get(label)
+
+    def tag_of(self, label: Dewey) -> str | None:
+        path = self.tag_path_of(label)
+        return path[-1] if path else None
+
+    def category_of(self, label: Dewey) -> NodeCategory:
+        """Category of the node with the given label.
+
+        Unknown labels (e.g. from another document) default to CONNECTION,
+        mirroring :meth:`DataAnalyzer.category_of_path`.
+        """
+        path = self.tag_path_of(label)
+        if path is None:
+            return NodeCategory.CONNECTION
+        return self._category_of_path.get(path, NodeCategory.CONNECTION)
+
+    def category_of_path(self, tag_path: TagPath) -> NodeCategory:
+        self._ensure_built()
+        return self._category_of_path.get(tag_path, NodeCategory.CONNECTION)
+
+    def parent_of(self, label: Dewey) -> Dewey | None:
+        """Parent label (None for the root) — Dewey arithmetic, no lookup."""
+        if label.is_root:
+            return None
+        return label.parent()
+
+    def children_of(self, label: Dewey) -> list[Dewey]:
+        """Child labels of a node, derived from the per-path posting lists."""
+        self._ensure_built()
+        children: list[Dewey] = []
+        parent_path = self._path_of_label.get(label)
+        if parent_path is None:
+            return children
+        for path, postings in self._by_path.items():
+            if len(path) == len(parent_path) + 1 and path[:-1] == parent_path:
+                children.extend(
+                    child for child in postings.descendants_of(label) if child.depth == label.depth + 1
+                )
+        return sorted(children)
+
+    @property
+    def known_tags(self) -> list[str]:
+        self._ensure_built()
+        return sorted(self._by_tag)
+
+    @property
+    def known_paths(self) -> list[TagPath]:
+        self._ensure_built()
+        return sorted(self._by_path)
+
+    def entity_paths(self) -> list[TagPath]:
+        """Tag paths classified as entities (shortest first)."""
+        self._ensure_built()
+        return sorted(
+            (path for path, cat in self._category_of_path.items() if cat == NodeCategory.ENTITY),
+            key=lambda path: (len(path), path),
+        )
+
+    # ------------------------------------------------------------------ #
+    # internals
+    # ------------------------------------------------------------------ #
+    def _ensure_built(self) -> None:
+        if not self._built:
+            raise IndexNotBuiltError("StructureIndex used before build() was called")
+
+    def __repr__(self) -> str:
+        status = f"tags={len(self._by_tag)} paths={len(self._by_path)}" if self._built else "unbuilt"
+        return f"<StructureIndex {status}>"

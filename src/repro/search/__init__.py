@@ -1,0 +1,41 @@
+"""XML keyword search substrate.
+
+Snippet generation "takes query results as input" (paper §2, footnote 1)
+and the demo uses XSeek as its search engine.  This package provides the
+search substrate so the reproduction is end-to-end runnable:
+
+* :mod:`repro.search.query` — keyword query parsing,
+* :mod:`repro.search.slca` — Smallest LCA semantics [Xu & Papakonstantinou,
+  SIGMOD 2005], the result-root semantics most XML keyword engines use,
+* :mod:`repro.search.elca` — Exclusive LCA semantics [XRANK, SIGMOD 2003],
+* :mod:`repro.search.lca` — brute-force reference implementations used by
+  property-based tests,
+* :mod:`repro.search.xseek` — XSeek-style result-tree construction
+  [Liu & Chen, SIGMOD 2007]: each result root is expanded to a
+  self-contained result tree (the input the snippet generator consumes),
+* :mod:`repro.search.ranking` — a simple size/keyword-proximity ranking,
+* :mod:`repro.search.engine` — the façade combining all of the above.
+"""
+
+from repro.search.query import KeywordQuery
+from repro.search.results import QueryResult, ResultSet
+from repro.search.slca import compute_slca
+from repro.search.elca import compute_elca
+from repro.search.lca import brute_force_slca, brute_force_elca
+from repro.search.xseek import ResultConstruction, build_result_tree
+from repro.search.ranking import rank_results
+from repro.search.engine import SearchEngine
+
+__all__ = [
+    "KeywordQuery",
+    "QueryResult",
+    "ResultSet",
+    "compute_slca",
+    "compute_elca",
+    "brute_force_slca",
+    "brute_force_elca",
+    "ResultConstruction",
+    "build_result_tree",
+    "rank_results",
+    "SearchEngine",
+]

@@ -1,0 +1,103 @@
+"""Exclusive Lowest Common Ancestor (ELCA) computation.
+
+ELCA is the result semantics of XRANK [Guo et al., SIGMOD 2003, reference 2
+of the paper]: a node ``v`` is an ELCA of a keyword query iff the subtree
+rooted at ``v`` contains at least one occurrence of every keyword *after
+excluding* the occurrences that fall inside descendant subtrees which
+themselves contain every keyword.
+
+The implementation works in two phases:
+
+1. build the set of *candidates* — nodes whose subtree contains every
+   keyword — by intersecting the ancestor closures of the posting lists
+   (``O(matches · depth)`` labels in total), then
+2. test each candidate against the definition, blocking only its *maximal*
+   candidate descendants (the candidate "children" in the containment
+   hierarchy), found by one sorted sweep.
+
+This is asymptotically coarser than the Dewey-interval stack algorithm of
+XRANK but exact, and fast enough for the document sizes the evaluation
+sweeps use (hundreds of thousands of nodes); the SLCA semantics used by
+default in eXtract has the tighter Indexed-Lookup implementation.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.index.postings import PostingList
+from repro.xmltree.dewey import Dewey
+
+
+def compute_elca(posting_lists: Sequence[PostingList]) -> list[Dewey]:
+    """Compute the ELCA set of the given keyword posting lists.
+
+    >>> from repro.xmltree.dewey import Dewey
+    >>> a = PostingList([Dewey((0, 0)), Dewey((2,))])
+    >>> b = PostingList([Dewey((0, 1)), Dewey((1,))])
+    >>> [str(label) for label in compute_elca([a, b])]
+    ['r', '0']
+    """
+    if not posting_lists or any(postings.is_empty for postings in posting_lists):
+        return []
+    if len(posting_lists) == 1:
+        return list(posting_lists[0])
+
+    candidates = _candidate_set(posting_lists)
+    if not candidates:
+        return []
+    ordered = sorted(candidates)
+
+    elcas: list[Dewey] = []
+    for index, candidate in enumerate(ordered):
+        blocking = _maximal_descendants(candidate, ordered, index)
+        if _has_exclusive_witnesses(candidate, blocking, posting_lists):
+            elcas.append(candidate)
+    return elcas
+
+
+def _candidate_set(posting_lists: Sequence[PostingList]) -> set[Dewey]:
+    """Nodes whose subtree contains >= 1 match of every keyword."""
+    closure: set[Dewey] | None = None
+    for postings in posting_lists:
+        keyword_closure: set[Dewey] = set()
+        for label in postings:
+            keyword_closure.update(label.ancestors(include_self=True))
+        closure = keyword_closure if closure is None else closure & keyword_closure
+        if not closure:
+            return set()
+    return closure or set()
+
+
+def _maximal_descendants(candidate: Dewey, ordered: list[Dewey], index: int) -> list[Dewey]:
+    """The maximal candidates strictly below ``candidate``.
+
+    ``ordered`` is the candidate list in document order, ``index`` the
+    position of ``candidate``; its descendants (if any) follow contiguously.
+    """
+    blocking: list[Dewey] = []
+    for position in range(index + 1, len(ordered)):
+        label = ordered[position]
+        if not candidate.is_ancestor_of(label):
+            break
+        if blocking and blocking[-1].is_ancestor_or_self(label):
+            continue
+        blocking.append(label)
+    return blocking
+
+
+def _has_exclusive_witnesses(
+    candidate: Dewey, blocking: list[Dewey], posting_lists: Sequence[PostingList]
+) -> bool:
+    for postings in posting_lists:
+        if not any(
+            not any(block.is_ancestor_or_self(match) for block in blocking)
+            for match in postings.descendants_of(candidate)
+        ):
+            return False
+    return True
+
+
+def elca_result_roots(posting_lists: Sequence[PostingList]) -> list[Dewey]:
+    """Alias used by the search engine: ELCA nodes are the result roots."""
+    return compute_elca(posting_lists)

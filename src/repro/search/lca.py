@@ -1,0 +1,98 @@
+"""Brute-force LCA-family reference implementations.
+
+These are deliberately simple O(n · k · depth) algorithms used as ground
+truth in property-based tests for the optimised SLCA/ELCA implementations,
+and as a readable specification of the semantics:
+
+* **LCA set** — every node that is the lowest common ancestor of one match
+  per keyword, for some combination of matches.
+* **SLCA** — the LCAs that have no other LCA as a descendant
+  ("smallest" LCAs) [7].
+* **ELCA** — nodes that are the LCA of a *witness* combination of matches
+  none of which lies inside a descendant that already contains all
+  keywords [2].
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+from repro.index.postings import PostingList
+from repro.xmltree.dewey import Dewey, remove_ancestors
+
+
+def _ancestor_closure(labels: Iterable[Dewey]) -> set[Dewey]:
+    closure: set[Dewey] = set()
+    for label in labels:
+        for ancestor in label.ancestors(include_self=True):
+            closure.add(ancestor)
+    return closure
+
+
+def common_ancestor_candidates(posting_lists: Sequence[PostingList]) -> set[Dewey]:
+    """All nodes that are ancestors-or-self of >= 1 match of *every* keyword."""
+    if not posting_lists:
+        return set()
+    closure = _ancestor_closure(posting_lists[0])
+    for postings in posting_lists[1:]:
+        closure &= _ancestor_closure(postings)
+    return closure
+
+
+def brute_force_slca(posting_lists: Sequence[PostingList]) -> list[Dewey]:
+    """SLCA by definition: common ancestors with no common-ancestor descendant.
+
+    >>> from repro.xmltree.dewey import Dewey
+    >>> a = PostingList([Dewey((0, 0)), Dewey((1, 0))])
+    >>> b = PostingList([Dewey((0, 1)), Dewey((1, 1))])
+    >>> [str(label) for label in brute_force_slca([a, b])]
+    ['0', '1']
+    """
+    if not posting_lists or any(postings.is_empty for postings in posting_lists):
+        return []
+    candidates = common_ancestor_candidates(posting_lists)
+    if not candidates:
+        return []
+    # Keep the candidates that have no descendant candidate: exactly the
+    # "deepest" antichain of the candidate set.
+    return remove_ancestors(candidates)
+
+
+def brute_force_elca(posting_lists: Sequence[PostingList]) -> list[Dewey]:
+    """ELCA by definition.
+
+    A node ``v`` is an ELCA iff for every keyword there exists a match that
+    is a descendant-or-self of ``v`` and is **not** contained in any child
+    subtree of ``v`` that already contains matches of all keywords (i.e.
+    not under a descendant common-ancestor candidate below ``v``).
+    """
+    if not posting_lists or any(postings.is_empty for postings in posting_lists):
+        return []
+    candidates = common_ancestor_candidates(posting_lists)
+    elcas: list[Dewey] = []
+    for candidate in sorted(candidates):
+        if _is_elca(candidate, candidates, posting_lists):
+            elcas.append(candidate)
+    return elcas
+
+
+def _is_elca(
+    candidate: Dewey, candidates: set[Dewey], posting_lists: Sequence[PostingList]
+) -> bool:
+    # Descendant candidates of this node: matches inside them are "used up".
+    blocking = [other for other in candidates if candidate.is_ancestor_of(other)]
+    for postings in posting_lists:
+        witness_found = False
+        for label in postings.descendants_of(candidate):
+            if any(block.is_ancestor_or_self(label) for block in blocking):
+                continue
+            witness_found = True
+            break
+        if not witness_found:
+            return False
+    return True
+
+
+def lca_of_match_combination(matches: Sequence[Dewey]) -> Dewey:
+    """The LCA of one concrete combination of matches (one per keyword)."""
+    return Dewey.common_ancestor_of_all(matches)

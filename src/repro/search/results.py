@@ -1,0 +1,126 @@
+"""Query result representation.
+
+A query result is a subtree of the source document (the paper's Figure 1
+shows one: the ``retailer`` subtree with its stores and clothes).  We keep
+results *as references into the source document* — the result root's Dewey
+label plus the per-keyword match labels — rather than as copies, because:
+
+* the snippet generator needs the document-level schema classification
+  (entity / attribute / connection is defined on source tag paths), and
+* instance selection reasons about distances between source nodes.
+
+Materialised copies for display are produced on demand by
+:meth:`QueryResult.to_tree`.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+from dataclasses import dataclass, field
+
+from repro.search.query import KeywordQuery
+from repro.xmltree.dewey import Dewey
+from repro.xmltree.node import XMLNode
+from repro.xmltree.tree import XMLTree
+
+
+@dataclass
+class QueryResult:
+    """One query result: a subtree of ``source`` rooted at ``root``."""
+
+    query: KeywordQuery
+    source: XMLTree
+    root: Dewey
+    #: per keyword, the labels of matching nodes inside this result subtree
+    matches: dict[str, tuple[Dewey, ...]] = field(default_factory=dict)
+    score: float = 0.0
+    result_id: int = 0
+
+    # ------------------------------------------------------------------ #
+    # node access
+    # ------------------------------------------------------------------ #
+    @property
+    def root_node(self) -> XMLNode:
+        return self.source.node(self.root)
+
+    def iter_nodes(self) -> Iterator[XMLNode]:
+        """All source nodes inside the result subtree, document order."""
+        return self.root_node.iter_subtree()
+
+    def contains_label(self, label: Dewey) -> bool:
+        """Is the labelled node part of this result subtree?"""
+        return self.root.is_ancestor_or_self(label) and self.source.has_node(label)
+
+    @property
+    def size_nodes(self) -> int:
+        return self.root_node.subtree_size_nodes()
+
+    @property
+    def size_edges(self) -> int:
+        return self.root_node.subtree_size_edges()
+
+    @property
+    def matched_keywords(self) -> list[str]:
+        """Keywords that have at least one match inside the result."""
+        return [keyword for keyword, labels in self.matches.items() if labels]
+
+    def all_match_labels(self) -> list[Dewey]:
+        """Every match label of every keyword, de-duplicated, sorted."""
+        labels: set[Dewey] = set()
+        for keyword_labels in self.matches.values():
+            labels.update(keyword_labels)
+        return sorted(labels)
+
+    # ------------------------------------------------------------------ #
+    # materialisation
+    # ------------------------------------------------------------------ #
+    def to_tree(self) -> XMLTree:
+        """A standalone deep copy of the result subtree (for display)."""
+        return self.source.extract_subtree(self.root)
+
+    def text_content(self) -> str:
+        """The flattened text of the result (used by the text baseline)."""
+        return self.root_node.full_text()
+
+    def __repr__(self) -> str:
+        return (
+            f"<QueryResult #{self.result_id} root={self.root_node.tag}@{self.root} "
+            f"nodes={self.size_nodes} score={self.score:.3f}>"
+        )
+
+
+@dataclass
+class ResultSet:
+    """All results of one query over one document, in rank order."""
+
+    query: KeywordQuery
+    document_name: str
+    results: list[QueryResult] = field(default_factory=list)
+    algorithm: str = "slca"
+
+    def __len__(self) -> int:
+        return len(self.results)
+
+    def __iter__(self) -> Iterator[QueryResult]:
+        return iter(self.results)
+
+    def __getitem__(self, index: int) -> QueryResult:
+        return self.results[index]
+
+    @property
+    def is_empty(self) -> bool:
+        return not self.results
+
+    def top(self, count: int) -> list[QueryResult]:
+        """The ``count`` best-ranked results."""
+        return self.results[:count]
+
+    def total_result_edges(self) -> int:
+        """Combined size of all result subtrees (drives experiment E1)."""
+        return sum(result.size_edges for result in self.results)
+
+    def __repr__(self) -> str:
+        return (
+            f"<ResultSet query={str(self.query)!r} doc={self.document_name!r} "
+            f"results={len(self.results)} algorithm={self.algorithm}>"
+        )

@@ -1,0 +1,74 @@
+"""Smallest Lowest Common Ancestor (SLCA) computation.
+
+Implements the Indexed Lookup approach of Xu & Papakonstantinou
+[SIGMOD 2005, reference 7 of the paper]: iterate over the *shortest*
+keyword posting list; for each of its matches, repeatedly replace the
+current anchor by its LCA with the *closest* match (left or right
+neighbour in document order, found by binary search) from every other
+posting list.  Each anchor yields one SLCA candidate; the final SLCA set
+is the deepest antichain of the candidates.
+
+Complexity: ``O(|S1| · k · log|S| · depth)`` where ``S1`` is the shortest
+posting list — the same asymptotics as the original Indexed Lookup Eager
+algorithm, which is what makes SLCA-based engines scale to large documents.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.index.postings import PostingList
+from repro.xmltree.dewey import Dewey, remove_ancestors
+
+
+def compute_slca(posting_lists: Sequence[PostingList]) -> list[Dewey]:
+    """Compute the SLCA set of the given keyword posting lists.
+
+    Returns an empty list when any keyword has no match (conjunctive
+    keyword semantics: every keyword must appear in a result).
+
+    >>> from repro.xmltree.dewey import Dewey
+    >>> stores = PostingList([Dewey((0,)), Dewey((1,))])
+    >>> texas = PostingList([Dewey((0, 2)), Dewey((1, 0, 1))])
+    >>> [str(label) for label in compute_slca([stores, texas])]
+    ['0', '1']
+    """
+    if not posting_lists:
+        return []
+    if any(postings.is_empty for postings in posting_lists):
+        return []
+    if len(posting_lists) == 1:
+        # Single-keyword query: every match is its own smallest "LCA".
+        return remove_ancestors(posting_lists[0].labels)
+
+    ordered = sorted(posting_lists, key=len)
+    anchor_list, others = ordered[0], ordered[1:]
+
+    candidates: list[Dewey] = []
+    for anchor in anchor_list:
+        current = anchor
+        for postings in others:
+            closest = postings.closest_match(current)
+            if closest is None:  # unreachable: emptiness checked above
+                return []
+            current = Dewey.common_ancestor(current, closest)
+            if current.is_root:
+                break
+        candidates.append(current)
+
+    # The candidate set may contain ancestors of other candidates and
+    # duplicates; the SLCA set is the deepest antichain.
+    slcas = remove_ancestors(candidates)
+    # Every SLCA must actually contain matches of all keywords.  With the
+    # closest-match construction this holds, but we keep the check cheap
+    # and explicit to guard against degenerate posting lists.
+    return [label for label in slcas if _contains_all(label, posting_lists)]
+
+
+def _contains_all(label: Dewey, posting_lists: Sequence[PostingList]) -> bool:
+    return all(postings.has_descendant_of(label) for postings in posting_lists)
+
+
+def slca_result_roots(posting_lists: Sequence[PostingList]) -> list[Dewey]:
+    """Alias used by the search engine: SLCA nodes are the result roots."""
+    return compute_slca(posting_lists)

@@ -1,0 +1,69 @@
+"""The eXtract core: snippet generation for XML keyword search results.
+
+The pipeline mirrors Figure 4 of the paper:
+
+* :mod:`repro.snippet.features` — feature triples ``(entity, attribute,
+  value)`` and their occurrence statistics inside one query result,
+* :mod:`repro.snippet.return_entity` — the Return Entity Identifier (§2.2),
+* :mod:`repro.snippet.result_key` — the Query Result Key Identifier (§2.2),
+* :mod:`repro.snippet.dominant` — the Dominant Feature Identifier (§2.3),
+* :mod:`repro.snippet.ilist` — Snippet Information List construction (§2),
+* :mod:`repro.snippet.snippet_tree` — the snippet tree and its size/coverage
+  accounting,
+* :mod:`repro.snippet.instance_selector` — the greedy Instance Selector
+  (§2.4),
+* :mod:`repro.snippet.optimal` — an exact (exponential) selector used to
+  validate the greedy algorithm on small inputs,
+* :mod:`repro.snippet.generator` — the :class:`SnippetGenerator` façade,
+* :mod:`repro.snippet.baselines` — comparison snippet generators,
+* :mod:`repro.snippet.render` — text/HTML presentation.
+"""
+
+from repro.snippet.features import Feature, FeatureStatistics, extract_features
+from repro.snippet.return_entity import ReturnEntityIdentifier, ReturnEntityDecision
+from repro.snippet.result_key import QueryResultKeyIdentifier, ResultKey
+from repro.snippet.dominant import DominantFeatureIdentifier, ScoredFeature
+from repro.snippet.ilist import IList, IListItem, ItemKind, IListBuilder
+from repro.snippet.snippet_tree import Snippet
+from repro.snippet.instance_selector import GreedyInstanceSelector, SelectionStrategy
+from repro.snippet.optimal import OptimalInstanceSelector
+from repro.snippet.generator import SnippetGenerator
+from repro.snippet.baselines import (
+    FirstEdgesSnippetGenerator,
+    RawFrequencySnippetGenerator,
+    RandomSubtreeSnippetGenerator,
+    TextWindowSnippetGenerator,
+    TextSnippet,
+)
+from repro.snippet.distinct import DistinctSnippetGenerator
+from repro.snippet.render import render_snippet_text, render_snippet_html, render_result_page
+
+__all__ = [
+    "Feature",
+    "FeatureStatistics",
+    "extract_features",
+    "ReturnEntityIdentifier",
+    "ReturnEntityDecision",
+    "QueryResultKeyIdentifier",
+    "ResultKey",
+    "DominantFeatureIdentifier",
+    "ScoredFeature",
+    "IList",
+    "IListItem",
+    "ItemKind",
+    "IListBuilder",
+    "Snippet",
+    "GreedyInstanceSelector",
+    "SelectionStrategy",
+    "OptimalInstanceSelector",
+    "SnippetGenerator",
+    "FirstEdgesSnippetGenerator",
+    "RawFrequencySnippetGenerator",
+    "RandomSubtreeSnippetGenerator",
+    "TextWindowSnippetGenerator",
+    "TextSnippet",
+    "DistinctSnippetGenerator",
+    "render_snippet_text",
+    "render_snippet_html",
+    "render_result_page",
+]

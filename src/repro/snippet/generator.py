@@ -1,0 +1,144 @@
+"""The SnippetGenerator façade — eXtract's primary contribution.
+
+Given a keyword query, a query result and a snippet size bound, the
+generator runs the full Figure 4 pipeline:
+
+1. build the IList (keywords → entity names → result key → dominant
+   features) via :class:`~repro.snippet.ilist.IListBuilder`,
+2. run the greedy Instance Selector to build the snippet tree within the
+   size bound.
+
+The default size bound of 14 edges is what reproduces the Figure 2 snippet
+of the running example; the demo UI (Figure 5) uses a user-chosen bound
+such as 6.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.classify.analyzer import DataAnalyzer
+from repro.errors import InvalidSizeBoundError
+from repro.search.query import KeywordQuery
+from repro.search.results import QueryResult, ResultSet
+from repro.snippet.ilist import IList, IListBuilder
+from repro.snippet.instance_selector import GreedyInstanceSelector, SelectionStrategy
+from repro.snippet.snippet_tree import Snippet
+from repro.utils.timing import TimingBreakdown
+
+#: the default snippet size bound (edges); matches the Figure 2 example
+DEFAULT_SIZE_BOUND = 14
+
+
+@dataclass
+class GeneratedSnippet:
+    """A snippet together with the intermediate artefacts that produced it."""
+
+    result: QueryResult
+    ilist: IList
+    snippet: Snippet
+    size_bound: int
+
+    @property
+    def covered_items(self) -> int:
+        return len(self.snippet.covered_items)
+
+    @property
+    def coverage(self) -> float:
+        """Fraction of coverable IList items captured by the snippet."""
+        coverable = len(self.ilist.coverable_items())
+        if coverable == 0:
+            return 1.0
+        return self.covered_items / coverable
+
+    def __repr__(self) -> str:
+        return (
+            f"<GeneratedSnippet result=#{self.result.result_id} "
+            f"edges={self.snippet.size_edges}/{self.size_bound} "
+            f"items={self.covered_items}/{len(self.ilist.coverable_items())}>"
+        )
+
+
+@dataclass
+class SnippetBatch:
+    """Snippets for a whole result set (one per result, rank order)."""
+
+    query: KeywordQuery
+    size_bound: int
+    snippets: list[GeneratedSnippet] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.snippets)
+
+    def __iter__(self):
+        return iter(self.snippets)
+
+    def __getitem__(self, index: int) -> GeneratedSnippet:
+        return self.snippets[index]
+
+    def mean_coverage(self) -> float:
+        if not self.snippets:
+            return 0.0
+        return sum(generated.coverage for generated in self.snippets) / len(self.snippets)
+
+
+class SnippetGenerator:
+    """Generates eXtract snippets for query results.
+
+    >>> from repro.xmltree.builder import tree_from_dict
+    >>> from repro.index.builder import IndexBuilder
+    >>> from repro.search.engine import SearchEngine
+    >>> tree = tree_from_dict("shops", {"store": [
+    ...     {"name": "Levis", "state": "Texas", "clothes": [{"category": "jeans"}]},
+    ...     {"name": "ESprit", "state": "Oregon", "clothes": [{"category": "outwear"}]},
+    ... ]})
+    >>> index = IndexBuilder().build(tree)
+    >>> results = SearchEngine(index).search("store texas")
+    >>> generator = SnippetGenerator(index.analyzer)
+    >>> generated = generator.generate(results[0], size_bound=6)
+    >>> generated.snippet.size_edges <= 6
+    True
+    """
+
+    def __init__(
+        self,
+        analyzer: DataAnalyzer,
+        strategy: SelectionStrategy = SelectionStrategy.GREEDY_CLOSEST,
+        skip_unfitting_items: bool = True,
+    ):
+        self.analyzer = analyzer
+        self.ilist_builder = IListBuilder(analyzer)
+        self.selector = GreedyInstanceSelector(
+            strategy=strategy, skip_unfitting_items=skip_unfitting_items
+        )
+        self.timings = TimingBreakdown()
+
+    # ------------------------------------------------------------------ #
+    # public API
+    # ------------------------------------------------------------------ #
+    def build_ilist(self, result: QueryResult, query: KeywordQuery | None = None) -> IList:
+        """Build the IList of a result (exposed for tests and experiments)."""
+        return self.ilist_builder.build(query or result.query, result)
+
+    def generate(
+        self,
+        result: QueryResult,
+        size_bound: int = DEFAULT_SIZE_BOUND,
+        query: KeywordQuery | None = None,
+    ) -> GeneratedSnippet:
+        """Generate the snippet of one query result."""
+        if not isinstance(size_bound, int) or isinstance(size_bound, bool) or size_bound <= 0:
+            raise InvalidSizeBoundError(size_bound)
+        effective_query = query or result.query
+        with self.timings.measure("ilist"):
+            ilist = self.ilist_builder.build(effective_query, result)
+        with self.timings.measure("instance_selection"):
+            snippet = self.selector.select(result, ilist, size_bound)
+        return GeneratedSnippet(result=result, ilist=ilist, snippet=snippet, size_bound=size_bound)
+
+    def generate_all(self, results: ResultSet, size_bound: int = DEFAULT_SIZE_BOUND) -> SnippetBatch:
+        """Generate snippets for every result of a result set."""
+        batch = SnippetBatch(query=results.query, size_bound=size_bound)
+        for result in results:
+            batch.snippets.append(self.generate(result, size_bound=size_bound, query=results.query))
+        return batch

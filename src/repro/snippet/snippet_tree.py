@@ -1,0 +1,141 @@
+"""The snippet tree: a small, connected fragment of a query result.
+
+A snippet is a subtree of the query result (Figure 2 is a snippet of the
+Figure 1 result): it is rooted at the result root, it is connected, and its
+*size* is its number of edges (§4: the size bound "is defined as the number
+of edges in the tree").  The snippet grows by adding the path from the
+result root to a chosen item instance; the cost of adding an instance is
+the number of new edges that path contributes.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from repro.errors import SnippetError
+from repro.search.results import QueryResult
+from repro.snippet.ilist import IListItem
+from repro.xmltree.dewey import Dewey
+from repro.xmltree.node import XMLNode
+from repro.xmltree.tree import XMLTree
+
+
+class Snippet:
+    """A growing snippet tree over one query result."""
+
+    def __init__(self, result: QueryResult):
+        self.result = result
+        self.root: Dewey = result.root
+        #: the labels of the selected nodes; always contains the root and is
+        #: closed under "parent within the result subtree"
+        self.node_labels: set[Dewey] = {self.root}
+        #: the IList items covered so far, in coverage order
+        self.covered_items: list[IListItem] = []
+        #: per covered item identity, the instance label chosen to cover it
+        self.chosen_instances: dict[str, Dewey] = {}
+
+    # ------------------------------------------------------------------ #
+    # size accounting
+    # ------------------------------------------------------------------ #
+    @property
+    def size_edges(self) -> int:
+        """Number of edges of the snippet tree (nodes - 1)."""
+        return len(self.node_labels) - 1
+
+    @property
+    def size_nodes(self) -> int:
+        return len(self.node_labels)
+
+    def path_labels(self, instance: Dewey) -> list[Dewey]:
+        """The labels on the path from the snippet root to ``instance``."""
+        if not self.root.is_ancestor_or_self(instance):
+            raise SnippetError(
+                f"instance {instance} lies outside the result rooted at {self.root}"
+            )
+        return [instance.prefix(depth) for depth in range(self.root.depth, instance.depth + 1)]
+
+    def cost_of(self, instance: Dewey) -> int:
+        """Number of *new* edges added by selecting ``instance``."""
+        return sum(1 for label in self.path_labels(instance) if label not in self.node_labels)
+
+    def cheapest_instance(self, instances: Iterable[Dewey]) -> tuple[Dewey, int] | None:
+        """The instance with the lowest addition cost (ties: document order)."""
+        best: tuple[int, Dewey] | None = None
+        for instance in instances:
+            if not self.root.is_ancestor_or_self(instance):
+                continue
+            cost = self.cost_of(instance)
+            if best is None or (cost, instance) < best:
+                best = (cost, instance)
+        if best is None:
+            return None
+        return best[1], best[0]
+
+    # ------------------------------------------------------------------ #
+    # growth
+    # ------------------------------------------------------------------ #
+    def add_instance(self, item: IListItem, instance: Dewey) -> int:
+        """Cover ``item`` using ``instance``; returns the edges added."""
+        new_labels = [label for label in self.path_labels(instance) if label not in self.node_labels]
+        self.node_labels.update(new_labels)
+        self.covered_items.append(item)
+        self.chosen_instances[item.identity] = instance
+        return len(new_labels)
+
+    def would_fit(self, instance: Dewey, bound: int) -> bool:
+        """Would adding ``instance`` keep the snippet within ``bound`` edges?"""
+        return self.size_edges + self.cost_of(instance) <= bound
+
+    # ------------------------------------------------------------------ #
+    # inspection
+    # ------------------------------------------------------------------ #
+    @property
+    def covered_texts(self) -> list[str]:
+        return [item.text for item in self.covered_items]
+
+    def covers(self, identity: str) -> bool:
+        return identity in self.chosen_instances
+
+    def contains_label(self, label: Dewey) -> bool:
+        return label in self.node_labels
+
+    def is_connected(self) -> bool:
+        """Every selected node's parent (down to the root) is selected too."""
+        for label in self.node_labels:
+            if label == self.root:
+                continue
+            if label.parent() not in self.node_labels:
+                return False
+        return True
+
+    # ------------------------------------------------------------------ #
+    # materialisation
+    # ------------------------------------------------------------------ #
+    def to_tree(self) -> XMLTree:
+        """Copy the selected nodes into a standalone tree (for rendering).
+
+        Only the selected labels are copied — unlike
+        :meth:`XMLTree.extract_projection`, subtrees below selected nodes
+        are *not* pulled in, because the snippet's size bound is defined
+        over exactly the selected edges.
+        """
+        source = self.result.source
+        root_copy = self._copy_selected(source.node(self.root))
+        return XMLTree(root_copy, name=f"snippet:{source.name}#{self.result.result_id}")
+
+    def _copy_selected(self, node: XMLNode) -> XMLNode:
+        copy = XMLNode(node.tag, node.text)
+        for child in node.children:
+            if child.dewey in self.node_labels:
+                copy.append_child(self._copy_selected(child))
+        return copy
+
+    def selected_nodes(self) -> list[XMLNode]:
+        """The selected source nodes in document order."""
+        return [self.result.source.node(label) for label in sorted(self.node_labels)]
+
+    def __repr__(self) -> str:
+        return (
+            f"<Snippet result=#{self.result.result_id} edges={self.size_edges} "
+            f"covered={len(self.covered_items)}>"
+        )

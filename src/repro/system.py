@@ -1,0 +1,116 @@
+"""The end-to-end eXtract system façade.
+
+:class:`ExtractSystem` wires the whole Figure 4 architecture together:
+load or accept an XML document, analyze and index it, evaluate keyword
+queries and generate size-bounded snippets for every result.  It is the
+API the examples and the web-page renderer use; the individual components
+remain available for programmatic use.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+
+from repro.index.builder import DocumentIndex, IndexBuilder
+from repro.search.engine import SearchEngine
+from repro.search.results import ResultSet
+from repro.search.xseek import ResultConstruction
+from repro.snippet.generator import DEFAULT_SIZE_BOUND, SnippetBatch, SnippetGenerator
+from repro.snippet.render import render_batch_text, render_result_page
+from repro.utils.timing import TimingBreakdown
+from repro.xmltree.dtd import dtd_for_tree_text
+from repro.xmltree.parser import parse_xml, parse_xml_file
+from repro.xmltree.stats import DocumentStats, compute_stats
+from repro.xmltree.tree import XMLTree
+
+
+@dataclass
+class SearchOutcome:
+    """Results and snippets of one query, plus phase timings."""
+
+    results: ResultSet
+    snippets: SnippetBatch
+    timings: TimingBreakdown
+
+    def __len__(self) -> int:
+        return len(self.results)
+
+    def render_text(self, show_ilist: bool = False) -> str:
+        return render_batch_text(self.snippets, show_ilist=show_ilist)
+
+    def render_html(self) -> str:
+        return render_result_page(self.snippets)
+
+
+class ExtractSystem:
+    """Load → index → search → snippet, in one object.
+
+    >>> from repro.datasets.retail import figure5_document
+    >>> system = ExtractSystem.from_tree(figure5_document())
+    >>> outcome = system.query("store texas", size_bound=6)
+    >>> len(outcome) >= 2
+    True
+    >>> all(g.snippet.size_edges <= 6 for g in outcome.snippets)
+    True
+    """
+
+    def __init__(self, index: DocumentIndex, algorithm: str = "slca"):
+        self.index = index
+        self.engine = SearchEngine(index, algorithm=algorithm)
+        self.generator = SnippetGenerator(index.analyzer)
+
+    # ------------------------------------------------------------------ #
+    # constructors
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_tree(cls, tree: XMLTree, algorithm: str = "slca") -> "ExtractSystem":
+        """Build the system from an in-memory document."""
+        return cls(IndexBuilder().build(tree), algorithm=algorithm)
+
+    @classmethod
+    def from_xml(cls, text: str, name: str = "document", algorithm: str = "slca") -> "ExtractSystem":
+        """Build the system from XML text (the DTD internal subset, if any,
+        informs entity classification)."""
+        parsed = parse_xml(text, name=name)
+        dtd = dtd_for_tree_text(parsed.dtd_text, root=parsed.doctype_name)
+        return cls(IndexBuilder(dtd=dtd).build(parsed.tree), algorithm=algorithm)
+
+    @classmethod
+    def from_file(cls, path: str | os.PathLike[str], algorithm: str = "slca") -> "ExtractSystem":
+        """Build the system from an XML file on disk."""
+        parsed = parse_xml_file(path)
+        dtd = dtd_for_tree_text(parsed.dtd_text, root=parsed.doctype_name)
+        return cls(IndexBuilder(dtd=dtd).build(parsed.tree), algorithm=algorithm)
+
+    # ------------------------------------------------------------------ #
+    # public API
+    # ------------------------------------------------------------------ #
+    def query(
+        self,
+        query_text: str,
+        size_bound: int = DEFAULT_SIZE_BOUND,
+        limit: int | None = None,
+        construction: ResultConstruction = ResultConstruction.XSEEK,
+    ) -> SearchOutcome:
+        """Evaluate a keyword query and generate snippets for its results."""
+        timings = TimingBreakdown()
+        self.engine.construction = construction
+        with timings.measure("search"):
+            results = self.engine.search(query_text, limit=limit)
+        with timings.measure("snippets"):
+            snippets = self.generator.generate_all(results, size_bound=size_bound)
+        timings.merge(self.engine.timings)
+        timings.merge(self.generator.timings)
+        return SearchOutcome(results=results, snippets=snippets, timings=timings)
+
+    def document_stats(self) -> DocumentStats:
+        """Statistics of the loaded document."""
+        return compute_stats(self.index.tree)
+
+    @property
+    def analyzer(self):
+        return self.index.analyzer
+
+    def __repr__(self) -> str:
+        return f"<ExtractSystem doc={self.index.tree.name!r} nodes={self.index.tree.size_nodes}>"

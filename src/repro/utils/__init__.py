@@ -1,0 +1,23 @@
+"""Shared utilities: text normalisation, tokenisation, timing, RNG helpers."""
+
+from repro.utils.text import (
+    STOPWORDS,
+    normalize_token,
+    normalize_value,
+    tokenize,
+    tokenize_query,
+    singularize,
+)
+from repro.utils.timing import Stopwatch, TimingBreakdown, timed
+
+__all__ = [
+    "STOPWORDS",
+    "normalize_token",
+    "normalize_value",
+    "tokenize",
+    "tokenize_query",
+    "singularize",
+    "Stopwatch",
+    "TimingBreakdown",
+    "timed",
+]

@@ -1,0 +1,125 @@
+"""Timing helpers used by the evaluation harness.
+
+The efficiency experiments (E1–E3, E7) report wall-clock times of the
+individual eXtract phases (indexing, search, IList construction, instance
+selection).  :class:`TimingBreakdown` accumulates named phase timings so a
+single experiment run can print the same per-phase rows the companion
+paper's efficiency figures show.
+"""
+
+from __future__ import annotations
+
+import time
+from collections.abc import Iterator
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+
+
+class Stopwatch:
+    """A restartable wall-clock stopwatch based on ``time.perf_counter``."""
+
+    def __init__(self) -> None:
+        self._start: float | None = None
+        self.elapsed: float = 0.0
+
+    def start(self) -> "Stopwatch":
+        """Start (or restart) measuring; returns ``self`` for chaining."""
+        self._start = time.perf_counter()
+        return self
+
+    def stop(self) -> float:
+        """Stop measuring and add the interval to :attr:`elapsed`."""
+        if self._start is None:
+            raise RuntimeError("Stopwatch.stop() called before start()")
+        self.elapsed += time.perf_counter() - self._start
+        self._start = None
+        return self.elapsed
+
+    def reset(self) -> None:
+        """Zero the accumulated time and discard any running interval."""
+        self._start = None
+        self.elapsed = 0.0
+
+    @property
+    def running(self) -> bool:
+        return self._start is not None
+
+
+@dataclass
+class TimingBreakdown:
+    """Accumulates wall-clock time per named phase.
+
+    >>> breakdown = TimingBreakdown()
+    >>> with breakdown.measure("index"):
+    ...     _ = sum(range(1000))
+    >>> "index" in breakdown.phases
+    True
+    """
+
+    phases: dict[str, float] = field(default_factory=dict)
+    counts: dict[str, int] = field(default_factory=dict)
+
+    @contextmanager
+    def measure(self, phase: str) -> Iterator[None]:
+        """Context manager adding the elapsed time of its body to ``phase``."""
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            elapsed = time.perf_counter() - start
+            self.add(phase, elapsed)
+
+    def add(self, phase: str, seconds: float) -> None:
+        """Add ``seconds`` to ``phase`` (creating it if necessary)."""
+        self.phases[phase] = self.phases.get(phase, 0.0) + seconds
+        self.counts[phase] = self.counts.get(phase, 0) + 1
+
+    def merge(self, other: "TimingBreakdown") -> None:
+        """Fold another breakdown's phases into this one."""
+        for phase, seconds in other.phases.items():
+            self.phases[phase] = self.phases.get(phase, 0.0) + seconds
+            self.counts[phase] = self.counts.get(phase, 0) + other.counts.get(phase, 1)
+
+    @property
+    def total(self) -> float:
+        """Total time across all phases, in seconds."""
+        return sum(self.phases.values())
+
+    def mean(self, phase: str) -> float:
+        """Mean time per measurement of ``phase`` (0.0 if never measured)."""
+        count = self.counts.get(phase, 0)
+        if count == 0:
+            return 0.0
+        return self.phases[phase] / count
+
+    def as_dict(self) -> dict[str, float]:
+        """Return a copy of the per-phase totals."""
+        return dict(self.phases)
+
+    def format_table(self) -> str:
+        """Render the breakdown as an aligned plain-text table."""
+        if not self.phases:
+            return "(no timings recorded)"
+        width = max(len(name) for name in self.phases)
+        lines = [f"{'phase'.ljust(width)}  seconds    calls"]
+        for name, seconds in sorted(self.phases.items(), key=lambda kv: -kv[1]):
+            lines.append(f"{name.ljust(width)}  {seconds:9.6f}  {self.counts.get(name, 0):5d}")
+        lines.append(f"{'TOTAL'.ljust(width)}  {self.total:9.6f}")
+        return "\n".join(lines)
+
+
+@contextmanager
+def timed() -> Iterator[Stopwatch]:
+    """Context manager yielding a running :class:`Stopwatch`, stopped on exit.
+
+    >>> with timed() as watch:
+    ...     _ = sum(range(100))
+    >>> watch.elapsed >= 0.0
+    True
+    """
+    watch = Stopwatch().start()
+    try:
+        yield watch
+    finally:
+        if watch.running:
+            watch.stop()

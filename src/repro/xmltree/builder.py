@@ -1,0 +1,168 @@
+"""Fluent programmatic construction of XML trees.
+
+The synthetic dataset generators and many tests build documents directly
+instead of going through XML text.  :class:`TreeBuilder` offers a small
+stack-based API::
+
+    builder = TreeBuilder("retailer")
+    builder.add_value("name", "Brook Brothers")
+    with builder.element("store"):
+        builder.add_value("city", "Houston")
+    tree = builder.build()
+
+Nested Python dictionaries/lists can also be converted with
+:func:`tree_from_dict`, which the dataset generators use heavily.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator, Mapping, Sequence
+from contextlib import contextmanager
+
+from repro.errors import ExtractError
+from repro.xmltree.node import XMLNode
+from repro.xmltree.tree import XMLTree
+
+
+class TreeBuilder:
+    """Builds an :class:`XMLTree` top-down with an explicit element stack."""
+
+    def __init__(self, root_tag: str, name: str = "document"):
+        self._root = XMLNode(root_tag)
+        self._stack: list[XMLNode] = [self._root]
+        self._name = name
+        self._built = False
+
+    # ------------------------------------------------------------------ #
+    # construction
+    # ------------------------------------------------------------------ #
+    @property
+    def current(self) -> XMLNode:
+        """The element new children are currently appended to."""
+        return self._stack[-1]
+
+    def open(self, tag: str, text: str | None = None) -> XMLNode:
+        """Open a new child element and descend into it."""
+        self._ensure_not_built()
+        node = XMLNode(tag, text)
+        self.current.append_child(node)
+        self._stack.append(node)
+        return node
+
+    def close(self) -> None:
+        """Close the current element, moving back to its parent."""
+        self._ensure_not_built()
+        if len(self._stack) == 1:
+            raise ExtractError("cannot close the root element of a TreeBuilder")
+        self._stack.pop()
+
+    @contextmanager
+    def element(self, tag: str, text: str | None = None) -> Iterator[XMLNode]:
+        """Context manager form of :meth:`open`/:meth:`close`."""
+        node = self.open(tag, text)
+        try:
+            yield node
+        finally:
+            self.close()
+
+    def add_value(self, tag: str, value: object) -> XMLNode:
+        """Add a leaf child carrying a text value (an "attribute" node)."""
+        self._ensure_not_built()
+        node = XMLNode(tag, str(value))
+        self.current.append_child(node)
+        return node
+
+    def add_empty(self, tag: str) -> XMLNode:
+        """Add a leaf child with no value (a structural marker element)."""
+        self._ensure_not_built()
+        node = XMLNode(tag)
+        self.current.append_child(node)
+        return node
+
+    def add_subtree(self, subtree_root: XMLNode) -> XMLNode:
+        """Graft an already-built node (and its subtree) under the cursor."""
+        self._ensure_not_built()
+        self.current.append_child(subtree_root)
+        return subtree_root
+
+    # ------------------------------------------------------------------ #
+    # finalisation
+    # ------------------------------------------------------------------ #
+    def build(self) -> XMLTree:
+        """Finalise and return the tree; the builder cannot be reused."""
+        self._ensure_not_built()
+        if len(self._stack) != 1:
+            open_tags = " > ".join(node.tag for node in self._stack[1:])
+            raise ExtractError(f"unclosed elements at build(): {open_tags}")
+        self._built = True
+        return XMLTree(self._root, name=self._name)
+
+    def _ensure_not_built(self) -> None:
+        if self._built:
+            raise ExtractError("TreeBuilder already produced its tree; create a new builder")
+
+
+def tree_from_dict(root_tag: str, content: object, name: str = "document") -> XMLTree:
+    """Build a tree from nested Python data.
+
+    Mapping values become child elements (a list value repeats the child
+    element once per item — this is how ``*``-nodes are expressed); scalar
+    values become leaf text.  Key order of the mapping is preserved, which
+    matters for document order.
+
+    >>> tree = tree_from_dict("retailer", {
+    ...     "name": "Brook Brothers",
+    ...     "store": [{"city": "Houston"}, {"city": "Austin"}],
+    ... })
+    >>> [node.tag for node in tree.root.children]
+    ['name', 'store', 'store']
+    """
+    root = XMLNode(root_tag)
+    _populate(root, content)
+    return XMLTree(root, name=name)
+
+
+def _populate(node: XMLNode, content: object) -> None:
+    if isinstance(content, Mapping):
+        for key, value in content.items():
+            _add_entry(node, str(key), value)
+    elif isinstance(content, (list, tuple)):
+        raise ExtractError(
+            f"a list cannot be the direct content of <{node.tag}>; "
+            "lists are only valid as mapping values (repeated child elements)"
+        )
+    elif content is None:
+        return
+    else:
+        node.text = str(content)
+
+
+def _add_entry(parent: XMLNode, tag: str, value: object) -> None:
+    if isinstance(value, (list, tuple)):
+        for item in value:
+            child = XMLNode(tag)
+            parent.append_child(child)
+            _populate(child, item)
+    else:
+        child = XMLNode(tag)
+        parent.append_child(child)
+        _populate(child, value)
+
+
+def subtree_from_dict(tag: str, content: object) -> XMLNode:
+    """Like :func:`tree_from_dict` but returns a detached node.
+
+    Useful for grafting generated fragments via
+    :meth:`TreeBuilder.add_subtree`.
+    """
+    node = XMLNode(tag)
+    _populate(node, content)
+    return node
+
+
+def sequence_of_values(parent_tag: str, child_tag: str, values: Sequence[object]) -> XMLNode:
+    """Build ``<parent><child>v1</child><child>v2</child>...</parent>``."""
+    parent = XMLNode(parent_tag)
+    for value in values:
+        parent.append_child(XMLNode(child_tag, str(value)))
+    return parent

@@ -1,0 +1,155 @@
+"""Export helpers: Graphviz DOT drawings and DTD generation.
+
+Two small utilities round off the XML substrate:
+
+* :func:`to_dot` renders a tree (document, query result or snippet) in the
+  style of the paper's Figures 1 and 2 — element nodes as ellipses, value
+  leaves attached below their attribute node — as Graphviz DOT text that
+  can be turned into an image with ``dot -Tpng``.
+* :func:`export_dtd` writes the *inferred* schema summary back out as a DTD
+  internal subset, so a document that arrived without a DTD can be given
+  one (useful for persisting the entity classification alongside the data).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+from repro.xmltree.node import XMLNode
+from repro.xmltree.schema import SchemaSummary, TagPath
+from repro.xmltree.tree import XMLTree
+
+
+def _dot_escape(text: str) -> str:
+    return text.replace("\\", "\\\\").replace('"', '\\"')
+
+
+def to_dot(
+    tree_or_node: XMLTree | XMLNode,
+    graph_name: str = "xmltree",
+    highlight: set | None = None,
+    rankdir: str = "TB",
+) -> str:
+    """Render a tree as Graphviz DOT text.
+
+    ``highlight`` is an optional set of Dewey labels drawn with a filled
+    background — used by the examples to show which result nodes a snippet
+    selected.
+
+    >>> from repro.xmltree.builder import tree_from_dict
+    >>> dot = to_dot(tree_from_dict("a", {"b": "1"}))
+    >>> "digraph" in dot and '"a"' in dot
+    True
+    """
+    node = tree_or_node.root if isinstance(tree_or_node, XMLTree) else tree_or_node
+    highlight = highlight or set()
+    lines = [
+        f"digraph {graph_name} {{",
+        f"  rankdir={rankdir};",
+        '  node [shape=ellipse, fontname="Helvetica", fontsize=11];',
+        '  edge [arrowhead=none];',
+    ]
+    counter = 0
+
+    def emit(current: XMLNode) -> str:
+        nonlocal counter
+        identifier = f"n{counter}"
+        counter += 1
+        style = ', style=filled, fillcolor="#ffe9a8"' if current.dewey in highlight else ""
+        lines.append(f'  {identifier} [label="{_dot_escape(current.tag)}"{style}];')
+        if current.has_text_value:
+            value_id = f"{identifier}v"
+            lines.append(
+                f'  {value_id} [label="{_dot_escape(current.text or "")}", shape=box, '
+                'fontsize=10, color="#4477aa", fontcolor="#1a4d8f"];'
+            )
+            lines.append(f"  {identifier} -> {value_id};")
+        for child in current.children:
+            child_id = emit(child)
+            lines.append(f"  {identifier} -> {child_id};")
+        return identifier
+
+    emit(node)
+    lines.append("}")
+    return "\n".join(lines) + "\n"
+
+
+def export_dtd(schema: SchemaSummary, root_tag: str | None = None) -> str:
+    """Generate DTD element declarations from an inferred schema summary.
+
+    The content model of each element lists its observed child tags (in
+    alphabetical order); children that repeat somewhere in the data get ``*``,
+    children missing from some instances get ``?``.  Elements whose
+    instances carry text and have no element children are declared
+    ``(#PCDATA)``; childless valueless elements are ``EMPTY``.
+
+    The output is suitable for embedding in a ``<!DOCTYPE root [...]>``
+    internal subset and for re-parsing with
+    :func:`repro.xmltree.dtd.parse_dtd`; re-parsing it reproduces the same
+    ``*``-node classification the schema summary inferred from the data.
+    """
+    # group schema nodes by tag; merge child information across paths with
+    # the same tag (DTDs are tag-level, paths are context-level)
+    by_tag: dict[str, list[TagPath]] = defaultdict(list)
+    for path in schema.nodes:
+        by_tag[path[-1]].append(path)
+
+    declared: list[str] = []
+    order: list[str] = []
+    if root_tag and root_tag in by_tag:
+        order.append(root_tag)
+    order.extend(sorted(tag for tag in by_tag if tag not in order))
+
+    for tag in order:
+        paths = by_tag[tag]
+        child_tags: list[str] = []
+        child_repeat: dict[str, bool] = {}
+        child_optional: dict[str, bool] = {}
+        has_text = False
+        has_children = False
+        instance_total = 0
+        child_instance_counts: dict[str, int] = defaultdict(int)
+        for path in paths:
+            entry = schema.node_for(path)
+            instance_total += entry.instance_count
+            if entry.with_text:
+                has_text = True
+            if entry.with_element_children:
+                has_children = True
+            for child_path in sorted(entry.child_paths):
+                child_tag = child_path[-1]
+                child_entry = schema.nodes.get(child_path)
+                if child_tag not in child_repeat:
+                    child_tags.append(child_tag)
+                    child_repeat[child_tag] = False
+                    child_optional[child_tag] = False
+                if child_entry is not None:
+                    if child_entry.repeats_in_data or schema.is_star_node(child_path):
+                        child_repeat[child_tag] = True
+                    child_instance_counts[child_tag] += child_entry.instance_count
+
+        if not has_children:
+            model = "(#PCDATA)" if has_text else "EMPTY"
+        else:
+            particles = []
+            for child_tag in child_tags:
+                suffix = ""
+                if child_repeat[child_tag]:
+                    suffix = "*"
+                elif child_instance_counts[child_tag] < instance_total:
+                    suffix = "?"
+                particles.append(f"{child_tag}{suffix}")
+            model = "(" + ", ".join(particles) + ")"
+            if has_text:
+                # mixed content must be declared as a choice group in XML;
+                # keep it simple and readable for the datasets at hand
+                model = "(#PCDATA | " + " | ".join(child_tags) + ")*"
+        declared.append(f"<!ELEMENT {tag} {model}>")
+    return "\n".join(declared) + "\n"
+
+
+def export_doctype(schema: SchemaSummary, root_tag: str) -> str:
+    """A complete ``<!DOCTYPE ...>`` declaration for the inferred schema."""
+    body = export_dtd(schema, root_tag=root_tag)
+    indented = "\n".join("  " + line for line in body.strip().splitlines())
+    return f"<!DOCTYPE {root_tag} [\n{indented}\n]>\n"

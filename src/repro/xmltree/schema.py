@@ -1,0 +1,192 @@
+"""Schema summary inferred from XML data.
+
+eXtract classifies nodes using "DTD or XML data structure" (§2.1).  When no
+DTD is available, the structure of the data itself tells us which elements
+are ``*``-nodes: a *schema node* (identified by its root-to-node tag path)
+is a ``*``-node if **some** instance of its parent schema node has two or
+more children of that tag — i.e. the element demonstrably repeats.
+
+The schema summary also records, per schema node:
+
+* how many instances exist,
+* whether instances carry their own text and whether they have element
+  children (needed for the attribute-node rule),
+* the set of distinct text values and per-value occurrence counts (needed
+  by key mining and by the dominant-feature statistics).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+from repro.errors import SchemaError
+from repro.utils.text import normalize_value
+from repro.xmltree.dtd import DTD
+from repro.xmltree.tree import XMLTree
+
+TagPath = tuple[str, ...]
+
+
+@dataclass
+class SchemaNode:
+    """Aggregate information about all instances sharing one tag path."""
+
+    tag_path: TagPath
+    tag: str
+    instance_count: int = 0
+    #: max number of same-tag siblings observed under a single parent instance
+    max_siblings_per_parent: int = 0
+    with_text: int = 0
+    with_element_children: int = 0
+    child_paths: set[TagPath] = field(default_factory=set)
+    value_counts: Counter[str] = field(default_factory=Counter)
+
+    @property
+    def parent_path(self) -> TagPath | None:
+        if len(self.tag_path) <= 1:
+            return None
+        return self.tag_path[:-1]
+
+    @property
+    def repeats_in_data(self) -> bool:
+        """True when some parent instance holds >= 2 children of this tag."""
+        return self.max_siblings_per_parent >= 2
+
+    @property
+    def always_leaf_with_text(self) -> bool:
+        """True when every instance is a text leaf (no element children)."""
+        return self.with_element_children == 0 and self.with_text == self.instance_count > 0
+
+    @property
+    def distinct_values(self) -> int:
+        return len(self.value_counts)
+
+    def __repr__(self) -> str:
+        return (
+            f"<SchemaNode {'/'.join(self.tag_path)} instances={self.instance_count} "
+            f"max_siblings={self.max_siblings_per_parent}>"
+        )
+
+
+class SchemaSummary:
+    """The inferred schema of one document (or a corpus of documents)."""
+
+    def __init__(self, dtd: DTD | None = None):
+        self.nodes: dict[TagPath, SchemaNode] = {}
+        self.dtd = dtd
+
+    # ------------------------------------------------------------------ #
+    # construction
+    # ------------------------------------------------------------------ #
+    def add_tree(self, tree: XMLTree) -> None:
+        """Fold one document into the summary (may be called repeatedly)."""
+        for node in tree.iter_nodes():
+            path = node.tag_path
+            entry = self.nodes.get(path)
+            if entry is None:
+                entry = SchemaNode(tag_path=path, tag=node.tag)
+                self.nodes[path] = entry
+            entry.instance_count += 1
+            if node.has_text_value:
+                entry.with_text += 1
+                entry.value_counts[normalize_value(node.text or "")] += 1
+            if node.children:
+                entry.with_element_children += 1
+            for child in node.children:
+                entry.child_paths.add(child.tag_path)
+            # count same-tag siblings: done from the parent's perspective so
+            # every parent instance contributes its own sibling counts
+            sibling_counts = Counter(child.tag for child in node.children)
+            for child_tag, count in sibling_counts.items():
+                child_path = path + (child_tag,)
+                child_entry = self.nodes.get(child_path)
+                if child_entry is None:
+                    child_entry = SchemaNode(tag_path=child_path, tag=child_tag)
+                    self.nodes[child_path] = child_entry
+                if count > child_entry.max_siblings_per_parent:
+                    child_entry.max_siblings_per_parent = count
+
+    # ------------------------------------------------------------------ #
+    # queries
+    # ------------------------------------------------------------------ #
+    def node_for(self, tag_path: TagPath) -> SchemaNode:
+        try:
+            return self.nodes[tag_path]
+        except KeyError as exc:
+            raise SchemaError(f"unknown schema node {'/'.join(tag_path)}") from exc
+
+    def has_path(self, tag_path: TagPath) -> bool:
+        return tag_path in self.nodes
+
+    def is_star_node(self, tag_path: TagPath) -> bool:
+        """Is the schema node a ``*``-node (and hence an entity candidate)?
+
+        The DTD answer, when the DTD declares the parent/child pair, takes
+        precedence; otherwise we fall back to what the data shows.  The
+        document root is never a ``*``-node (it cannot repeat).
+        """
+        if len(tag_path) <= 1:
+            return False
+        entry = self.nodes.get(tag_path)
+        if self.dtd is not None:
+            from_dtd = self.dtd.is_repeatable_child(tag_path[-2], tag_path[-1])
+            if from_dtd is not None:
+                return from_dtd
+        if entry is None:
+            raise SchemaError(f"unknown schema node {'/'.join(tag_path)}")
+        return entry.repeats_in_data
+
+    def star_node_paths(self) -> list[TagPath]:
+        """All ``*``-node tag paths, shortest first."""
+        paths = [path for path in self.nodes if self.is_star_node(path)]
+        return sorted(paths, key=lambda path: (len(path), path))
+
+    def tags_of_star_nodes(self) -> set[str]:
+        return {path[-1] for path in self.star_node_paths()}
+
+    def paths_with_tag(self, tag: str) -> list[TagPath]:
+        """All schema paths ending in ``tag``."""
+        return sorted(path for path in self.nodes if path[-1] == tag)
+
+    def child_paths_of(self, tag_path: TagPath) -> list[TagPath]:
+        entry = self.nodes.get(tag_path)
+        if entry is None:
+            return []
+        return sorted(entry.child_paths)
+
+    def total_instances(self) -> int:
+        return sum(entry.instance_count for entry in self.nodes.values())
+
+    def __len__(self) -> int:
+        return len(self.nodes)
+
+    def __repr__(self) -> str:
+        return f"<SchemaSummary paths={len(self.nodes)} dtd={'yes' if self.dtd else 'no'}>"
+
+
+def infer_schema(tree: XMLTree, dtd: DTD | None = None) -> SchemaSummary:
+    """Infer the schema summary of a single document.
+
+    >>> from repro.xmltree.builder import tree_from_dict
+    >>> tree = tree_from_dict("retailer", {
+    ...     "name": "Brook Brothers",
+    ...     "store": [{"city": "Houston"}, {"city": "Austin"}],
+    ... })
+    >>> schema = infer_schema(tree)
+    >>> schema.is_star_node(("retailer", "store"))
+    True
+    >>> schema.is_star_node(("retailer", "name"))
+    False
+    """
+    summary = SchemaSummary(dtd=dtd)
+    summary.add_tree(tree)
+    return summary
+
+
+def infer_schema_from_trees(trees: list[XMLTree], dtd: DTD | None = None) -> SchemaSummary:
+    """Infer a schema summary over a corpus of documents."""
+    summary = SchemaSummary(dtd=dtd)
+    for tree in trees:
+        summary.add_tree(tree)
+    return summary

@@ -1,0 +1,99 @@
+"""Tests for the §2.1 node classification rules."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.classify.categories import (
+    NodeCategory,
+    attribute_paths_of,
+    classify_path,
+    classify_schema,
+    entity_paths,
+)
+from repro.xmltree.builder import tree_from_dict
+from repro.xmltree.dtd import parse_dtd
+from repro.xmltree.schema import infer_schema
+
+
+@pytest.fixture()
+def retailer_schema():
+    tree = tree_from_dict(
+        "retailer",
+        {
+            "name": "Brook Brothers",
+            "store": [
+                {
+                    "name": "Galleria",
+                    "city": "Houston",
+                    "merchandises": {"clothes": [{"category": "suit"}, {"category": "skirt"}]},
+                },
+                {"name": "West Village", "city": "Austin", "merchandises": {"clothes": [{"category": "suit"}]}},
+            ],
+        },
+    )
+    return infer_schema(tree)
+
+
+class TestClassifyPath:
+    def test_repeating_node_is_entity(self, retailer_schema):
+        assert classify_path(retailer_schema, ("retailer", "store")) == NodeCategory.ENTITY
+        assert (
+            classify_path(retailer_schema, ("retailer", "store", "merchandises", "clothes"))
+            == NodeCategory.ENTITY
+        )
+
+    def test_text_leaf_is_attribute(self, retailer_schema):
+        assert classify_path(retailer_schema, ("retailer", "name")) == NodeCategory.ATTRIBUTE
+        assert classify_path(retailer_schema, ("retailer", "store", "city")) == NodeCategory.ATTRIBUTE
+
+    def test_internal_non_repeating_node_is_connection(self, retailer_schema):
+        assert (
+            classify_path(retailer_schema, ("retailer", "store", "merchandises"))
+            == NodeCategory.CONNECTION
+        )
+
+    def test_root_is_connection(self, retailer_schema):
+        # the root neither repeats nor is a text leaf here
+        assert classify_path(retailer_schema, ("retailer",)) == NodeCategory.CONNECTION
+
+    def test_repeating_text_leaf_is_entity_not_attribute(self):
+        # rule order: the *-node rule wins (e.g. repeatable <keyword> leaves)
+        tree = tree_from_dict("paper", {"keyword": ["xml", "search"]})
+        schema = infer_schema(tree)
+        assert classify_path(schema, ("paper", "keyword")) == NodeCategory.ENTITY
+
+    def test_dtd_makes_single_instance_an_entity(self):
+        tree = tree_from_dict("retailer", {"store": [{"city": "Houston"}]})
+        schema = infer_schema(tree, dtd=parse_dtd("<!ELEMENT retailer (store*)>"))
+        assert classify_path(schema, ("retailer", "store")) == NodeCategory.ENTITY
+
+
+class TestClassifySchema:
+    def test_every_path_classified(self, retailer_schema):
+        categories = classify_schema(retailer_schema)
+        assert set(categories) == set(retailer_schema.nodes)
+
+    def test_category_values_are_enum(self, retailer_schema):
+        categories = classify_schema(retailer_schema)
+        assert all(isinstance(category, NodeCategory) for category in categories.values())
+
+
+class TestHelpers:
+    def test_entity_paths_ordered_by_depth(self, retailer_schema):
+        paths = entity_paths(retailer_schema)
+        assert paths[0] == ("retailer", "store")
+        assert paths[-1] == ("retailer", "store", "merchandises", "clothes")
+
+    def test_attribute_paths_of_entity(self, retailer_schema):
+        attributes = attribute_paths_of(retailer_schema, ("retailer", "store"))
+        assert {path[-1] for path in attributes} == {"name", "city"}
+
+    def test_attribute_paths_of_leaf_entity(self, retailer_schema):
+        attributes = attribute_paths_of(
+            retailer_schema, ("retailer", "store", "merchandises", "clothes")
+        )
+        assert {path[-1] for path in attributes} == {"category"}
+
+    def test_node_category_str(self):
+        assert str(NodeCategory.ENTITY) == "entity"

@@ -1,0 +1,119 @@
+"""Tests for key mining."""
+
+from __future__ import annotations
+
+from repro.classify.categories import entity_paths
+from repro.classify.keys import KeyMiner
+from repro.xmltree.builder import tree_from_dict
+from repro.xmltree.dtd import parse_dtd
+from repro.xmltree.schema import infer_schema
+
+
+def mine(tree, dtd=None):
+    schema = infer_schema(tree, dtd=dtd)
+    miner = KeyMiner(schema)
+    return schema, miner.mine(tree, entity_paths(schema))
+
+
+class TestKeyMining:
+    def test_unique_name_is_key(self):
+        tree = tree_from_dict(
+            "db",
+            {"store": [
+                {"name": "Galleria", "city": "Houston"},
+                {"name": "West Village", "city": "Houston"},
+            ]},
+        )
+        _, keys = mine(tree)
+        assert keys[("db", "store")].attribute_tag == "name"
+        assert keys[("db", "store")].uniqueness == 1.0
+
+    def test_non_unique_attribute_rejected(self):
+        tree = tree_from_dict(
+            "db",
+            {"store": [
+                {"brand": "Levis", "city": "Houston"},
+                {"brand": "Levis", "city": "Austin"},
+            ]},
+        )
+        _, keys = mine(tree)
+        # brand repeats; city is unique → city is the only valid key
+        assert keys[("db", "store")].attribute_tag == "city"
+
+    def test_no_candidate_when_nothing_unique(self):
+        tree = tree_from_dict(
+            "db",
+            {"store": [
+                {"brand": "Levis", "state": "Texas"},
+                {"brand": "Levis", "state": "Texas"},
+            ]},
+        )
+        _, keys = mine(tree)
+        assert ("db", "store") not in keys
+
+    def test_preferred_name_wins_over_other_unique_attribute(self):
+        tree = tree_from_dict(
+            "db",
+            {"store": [
+                {"zip": "77001", "name": "Galleria"},
+                {"zip": "78701", "name": "West Village"},
+            ]},
+        )
+        _, keys = mine(tree)
+        # both zip and name are unique; "name" is a conventional identifier
+        assert keys[("db", "store")].attribute_tag == "name"
+
+    def test_id_preference_over_name(self):
+        tree = tree_from_dict(
+            "db",
+            {"store": [
+                {"id": "1", "name": "Galleria"},
+                {"id": "2", "name": "West Village"},
+            ]},
+        )
+        _, keys = mine(tree)
+        assert keys[("db", "store")].attribute_tag == "id"
+
+    def test_dtd_id_attribute_wins(self):
+        tree = tree_from_dict(
+            "db",
+            {"store": [
+                {"code": "S1", "name": "Galleria"},
+                {"code": "S2", "name": "West Village"},
+            ]},
+        )
+        dtd = parse_dtd("<!ELEMENT db (store*)><!ATTLIST store code ID #REQUIRED>")
+        _, keys = mine(tree, dtd=dtd)
+        assert keys[("db", "store")].attribute_tag == "code"
+        assert keys[("db", "store")].from_dtd
+
+    def test_low_coverage_attribute_rejected(self):
+        stores = [{"name": f"Store {i}"} for i in range(10)]
+        stores[0]["nickname"] = "Only one has this"
+        tree = tree_from_dict("db", {"store": stores})
+        _, keys = mine(tree)
+        assert keys[("db", "store")].attribute_tag == "name"
+
+    def test_entity_without_attributes_has_no_key(self):
+        tree = tree_from_dict("db", {"group": [{"member": [{"x": "1"}]}, {"member": [{"x": "2"}]}]})
+        schema, keys = mine(tree)
+        assert ("db", "group") not in keys
+
+    def test_nested_entity_keys(self):
+        tree = tree_from_dict(
+            "db",
+            {"retailer": [
+                {"name": "A", "store": [{"name": "A1"}, {"name": "A2"}]},
+                {"name": "B", "store": [{"name": "B1"}]},
+            ]},
+        )
+        _, keys = mine(tree)
+        assert keys[("db", "retailer")].attribute_tag == "name"
+        assert keys[("db", "retailer", "store")].attribute_tag == "name"
+
+    def test_key_info_repr_and_tags(self):
+        tree = tree_from_dict("db", {"store": [{"name": "A"}, {"name": "B"}]})
+        _, keys = mine(tree)
+        info = keys[("db", "store")]
+        assert info.entity_tag == "store"
+        assert "store.name" in repr(info)

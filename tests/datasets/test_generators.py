@@ -1,0 +1,163 @@
+"""Tests for the parametric dataset generators (retail, movies, auctions, dblp)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets.auctions import AuctionConfig, generate_auction_document
+from repro.datasets.base import DatasetRandom, spread_counts, require_positive
+from repro.datasets.bibliography import BibliographyConfig, generate_bibliography_document
+from repro.datasets.movies import MoviesConfig, generate_movies_document
+from repro.datasets.retail import RetailConfig, figure5_document, generate_retail_document
+from repro.errors import DatasetError
+from repro.index.builder import IndexBuilder
+
+
+class TestBaseHelpers:
+    def test_pick_from_empty_pool_raises(self):
+        with pytest.raises(DatasetError):
+            DatasetRandom(0).pick([])
+
+    def test_name_phrase_capitalised(self):
+        phrase = DatasetRandom(1).name_phrase(2)
+        assert len(phrase.split()) == 2
+        assert all(word[0].isupper() for word in phrase.split())
+
+    def test_skewed_index_bounds(self):
+        rng = DatasetRandom(2)
+        for _ in range(200):
+            assert 0 <= rng.skewed_index(5) < 5
+        assert rng.skewed_index(1) == 0
+
+    def test_skewed_index_is_skewed(self):
+        rng = DatasetRandom(3)
+        draws = [rng.skewed_index(8, skew=1.5) for _ in range(2000)]
+        assert draws.count(0) > draws.count(7)
+
+    def test_skewed_index_invalid_size(self):
+        with pytest.raises(DatasetError):
+            DatasetRandom(0).skewed_index(0)
+
+    def test_spread_counts(self):
+        assert spread_counts(10, 3) == [4, 3, 3]
+        assert sum(spread_counts(1070, 10)) == 1070
+        with pytest.raises(DatasetError):
+            spread_counts(5, 0)
+
+    def test_require_positive(self):
+        assert require_positive("x", 3) == 3
+        for bad in (0, -1, 1.5, True):
+            with pytest.raises(DatasetError):
+                require_positive("x", bad)
+
+
+class TestRetail:
+    def test_structure_counts(self):
+        config = RetailConfig(retailers=3, stores_per_retailer=2, clothes_per_store=4, seed=1)
+        tree = generate_retail_document(config)
+        assert len(tree.root.find_children("retailer")) == 3
+        assert len(tree.find_by_tag("store")) == 6
+        assert len(tree.find_by_tag("clothes")) == 24
+
+    def test_deterministic(self):
+        config = RetailConfig(retailers=2, seed=9)
+        first = generate_retail_document(config)
+        second = generate_retail_document(config)
+        assert [n.text for n in first.iter_nodes()] == [n.text for n in second.iter_nodes()]
+
+    def test_invalid_config_rejected(self):
+        with pytest.raises(DatasetError):
+            generate_retail_document(RetailConfig(retailers=0))
+
+    def test_approximate_nodes_close_to_actual(self):
+        config = RetailConfig(retailers=3, stores_per_retailer=3, clothes_per_store=3, seed=2)
+        tree = generate_retail_document(config)
+        assert abs(config.approximate_nodes - tree.size_nodes) / tree.size_nodes < 0.2
+
+    def test_entities_detected(self):
+        tree = generate_retail_document(RetailConfig(retailers=3, seed=4))
+        index = IndexBuilder().build(tree)
+        assert {"retailer", "store", "clothes"} <= index.analyzer.entity_tags()
+
+    def test_figure5_document_shape(self):
+        tree = figure5_document()
+        stores = tree.root.find_children("store")
+        names = [store.find_child("name").text for store in stores]
+        assert names[:2] == ["Levis", "ESprit"]
+        texas_stores = [s for s in stores if s.find_child("state").text == "Texas"]
+        assert len(texas_stores) == 2
+
+
+class TestMovies:
+    def test_structure_counts(self):
+        config = MoviesConfig(movies=5, actors_per_movie=2, reviews_per_movie=1, seed=1)
+        tree = generate_movies_document(config)
+        assert len(tree.find_by_tag("movie")) == 5
+        assert len(tree.find_by_tag("actor")) == 10
+        assert len(tree.find_by_tag("review")) == 5
+
+    def test_titles_unique(self):
+        tree = generate_movies_document(MoviesConfig(movies=15, seed=2))
+        titles = [node.text for node in tree.find_by_tag("title")]
+        assert len(titles) == len(set(titles))
+
+    def test_years_in_range(self):
+        config = MoviesConfig(movies=10, year_range=(2000, 2003), seed=3)
+        tree = generate_movies_document(config)
+        years = {int(node.text) for node in tree.find_by_tag("year")}
+        assert years <= set(range(2000, 2004))
+
+    def test_invalid_year_range(self):
+        with pytest.raises(ValueError):
+            generate_movies_document(MoviesConfig(year_range=(2010, 2000)))
+
+    def test_entities_detected(self, movies_idx):
+        assert {"movie", "actor", "review"} <= movies_idx.analyzer.entity_tags()
+        movie_type = movies_idx.analyzer.entity_type_by_tag("movie")
+        assert movie_type.key is not None and movie_type.key.attribute_tag == "title"
+
+
+class TestAuctions:
+    def test_scale_controls_size(self):
+        small = generate_auction_document(AuctionConfig(scale=1, items_per_region=2, seed=1))
+        large = generate_auction_document(AuctionConfig(scale=3, items_per_region=2, seed=1))
+        assert large.size_nodes > small.size_nodes * 2
+
+    def test_sections_present(self):
+        tree = generate_auction_document(AuctionConfig(scale=1, items_per_region=1, seed=2))
+        assert [child.tag for child in tree.root.children] == ["regions", "people", "auctions"]
+
+    def test_config_totals(self):
+        config = AuctionConfig(scale=2, items_per_region=3)
+        tree = generate_auction_document(config)
+        assert len(tree.find_by_tag("item")) == config.total_items
+        assert len(tree.find_by_tag("person")) == config.total_people
+        assert len(tree.find_by_tag("auction")) == config.total_auctions
+
+    def test_invalid_scale(self):
+        with pytest.raises(DatasetError):
+            generate_auction_document(AuctionConfig(scale=0))
+
+
+class TestBibliography:
+    def test_structure_counts(self):
+        config = BibliographyConfig(conferences=2, papers_per_conference=4, seed=1)
+        tree = generate_bibliography_document(config)
+        assert len(tree.find_by_tag("conference")) == 2
+        assert len(tree.find_by_tag("paper")) == 8
+        assert len(tree.find_by_tag("author")) >= 8
+
+    def test_authors_bounded(self):
+        config = BibliographyConfig(conferences=1, papers_per_conference=10, max_authors=2, seed=3)
+        tree = generate_bibliography_document(config)
+        for paper in tree.find_by_tag("paper"):
+            assert 1 <= len(paper.find_children("author")) <= 2
+
+    def test_entities_detected(self):
+        tree = generate_bibliography_document(BibliographyConfig(conferences=2, seed=5))
+        index = IndexBuilder().build(tree)
+        assert {"conference", "paper", "author"} <= index.analyzer.entity_tags()
+
+    def test_invalid_config(self):
+        with pytest.raises(DatasetError):
+            generate_bibliography_document(BibliographyConfig(conferences=0))

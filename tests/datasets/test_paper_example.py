@@ -1,0 +1,92 @@
+"""Tests for the Figure 1 dataset generator."""
+
+from __future__ import annotations
+
+from collections import Counter
+
+import pytest
+
+from repro.datasets.paper_example import (
+    FIGURE1_EXPECTED_ILIST,
+    FIGURE1_EXPECTED_SCORES,
+    FIGURE1_QUERY,
+    figure1_document,
+    figure1_query,
+    figure1_statistics,
+)
+
+
+class TestDocumentShape:
+    def test_three_retailers(self, figure1_tree):
+        assert len(figure1_tree.root.find_children("retailer")) == 3
+
+    def test_brook_brothers_has_ten_stores(self, figure1_tree):
+        brook = figure1_tree.root.find_children("retailer")[0]
+        assert brook.find_child("name").text == "Brook Brothers"
+        assert len(brook.find_children("store")) == 10
+
+    def test_store_names_unique(self, figure1_tree):
+        names = [node.text for node in figure1_tree.find_by_tag("name")]
+        store_names = [
+            node.text
+            for node in figure1_tree.find_by_tag("name")
+            if node.parent is not None and node.parent.tag == "store"
+        ]
+        assert len(store_names) == len(set(store_names))
+        assert len(names) >= 13
+
+    def test_deterministic_for_same_seed(self):
+        first = figure1_document(seed=7)
+        second = figure1_document(seed=7)
+        assert [n.tag for n in first.iter_nodes()] == [n.tag for n in second.iter_nodes()]
+        assert [n.text for n in first.iter_nodes()] == [n.text for n in second.iter_nodes()]
+
+    def test_query_constant(self):
+        assert figure1_query() == FIGURE1_QUERY == "Texas, apparel, retailer"
+
+
+class TestPublishedCounts:
+    def test_city_occurrences(self, figure1_tree):
+        brook = figure1_tree.root.find_children("retailer")[0]
+        cities = Counter(node.text for node in brook.find_descendants("city"))
+        assert cities["Houston"] == 6
+        assert cities["Austin"] == 1
+        assert sum(cities.values()) == 10
+        assert len(cities) == 5
+
+    def test_fitting_occurrences(self, figure1_tree):
+        brook = figure1_tree.root.find_children("retailer")[0]
+        fittings = Counter(node.text for node in brook.find_descendants("fitting"))
+        assert fittings == {"man": 600, "woman": 360, "children": 40}
+
+    def test_situation_occurrences(self, figure1_tree):
+        brook = figure1_tree.root.find_children("retailer")[0]
+        situations = Counter(node.text for node in brook.find_descendants("situation"))
+        assert situations == {"casual": 700, "formal": 300}
+
+    def test_category_occurrences(self, figure1_tree):
+        brook = figure1_tree.root.find_children("retailer")[0]
+        categories = Counter(node.text for node in brook.find_descendants("category"))
+        assert categories["outwear"] == 220
+        assert categories["suit"] == 120
+        assert categories["skirt"] == 80
+        assert categories["sweaters"] == 70
+        assert sum(categories.values()) == 1070
+        assert len(categories) == 11
+
+    def test_statistics_helper_matches_generator(self):
+        stats = figure1_statistics()
+        assert stats[("store", "city")]["houston"] == 6
+        assert sum(stats[("clothes", "category")].values()) == 1070
+
+
+class TestExpectedConstants:
+    def test_expected_ilist_matches_figure3(self):
+        assert FIGURE1_EXPECTED_ILIST[:3] == ("texas", "apparel", "retailer")
+        assert FIGURE1_EXPECTED_ILIST[5] == "brook brothers"
+        assert FIGURE1_EXPECTED_ILIST[-1] == "woman"
+        assert len(FIGURE1_EXPECTED_ILIST) == 12
+
+    def test_expected_scores_are_decreasing_in_ilist_order(self):
+        ordered = [FIGURE1_EXPECTED_SCORES[v] for v in FIGURE1_EXPECTED_ILIST if v in FIGURE1_EXPECTED_SCORES]
+        assert ordered == sorted(ordered, reverse=True)

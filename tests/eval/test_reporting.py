@@ -1,0 +1,76 @@
+"""Tests for experiment tables."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import EvaluationError
+from repro.eval.reporting import ExperimentTable
+
+
+@pytest.fixture()
+def table():
+    table = ExperimentTable(
+        experiment_id="T1",
+        title="Example table",
+        columns=["size", "seconds"],
+        notes="a note",
+    )
+    table.add_row(size=10, seconds=0.5)
+    table.add_row(size=20, seconds=1.25)
+    return table
+
+
+class TestRows:
+    def test_add_row_and_len(self, table):
+        assert len(table) == 2
+        assert table.rows[0] == {"size": 10, "seconds": 0.5}
+
+    def test_missing_column_rejected(self, table):
+        with pytest.raises(EvaluationError):
+            table.add_row(size=30)
+
+    def test_extra_values_ignored(self, table):
+        table.add_row(size=30, seconds=2.0, extra="dropped")
+        assert "extra" not in table.rows[-1]
+
+    def test_column_accessor(self, table):
+        assert table.column("size") == [10, 20]
+        with pytest.raises(EvaluationError):
+            table.column("missing")
+
+
+class TestRendering:
+    def test_format_text_contains_everything(self, table):
+        text = table.format_text()
+        assert "[T1] Example table" in text
+        assert "size" in text and "seconds" in text
+        assert "a note" in text
+        assert "0.5000" in text
+
+    def test_format_text_alignment_for_empty_table(self):
+        empty = ExperimentTable("T2", "Empty", ["a"])
+        assert "[T2]" in empty.format_text()
+
+    def test_format_markdown(self, table):
+        markdown = table.format_markdown()
+        assert markdown.count("|") >= 8
+        assert "---" in markdown
+
+    def test_float_formatting(self):
+        table = ExperimentTable("T3", "Floats", ["x"])
+        table.add_row(x=1234.5678)
+        table.add_row(x=2.34567)
+        table.add_row(x=0.001234)
+        text = table.format_text()
+        assert "1235" in text or "1234" in text
+        assert "2.346" in text
+        assert "0.0012" in text
+
+    def test_save(self, table, tmp_path):
+        target = tmp_path / "table.txt"
+        table.save(target)
+        assert target.read_text(encoding="utf-8").startswith("[T1]")
+
+    def test_repr(self, table):
+        assert "rows=2" in repr(table)

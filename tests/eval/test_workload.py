@@ -1,0 +1,57 @@
+"""Tests for workload generation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import EvaluationError
+from repro.eval.workload import WorkloadGenerator
+from repro.search.engine import SearchEngine
+
+
+class TestWorkloadGenerator:
+    def test_generates_requested_number(self, retail_idx):
+        workload = WorkloadGenerator(retail_idx, seed=1).generate(query_count=8, keywords_per_query=2)
+        assert len(workload) == 8
+        assert len(set(workload.texts())) == 8
+
+    def test_queries_have_requested_keyword_count(self, retail_idx):
+        workload = WorkloadGenerator(retail_idx, seed=2).generate(query_count=5, keywords_per_query=3)
+        assert all(query.size <= 3 for query in workload)
+        assert all(query.size >= 2 for query in workload)
+
+    def test_entity_keyword_included(self, retail_idx):
+        generator = WorkloadGenerator(retail_idx, seed=3)
+        entities = set(generator.entity_keywords())
+        workload = generator.generate(query_count=5, keywords_per_query=2, include_entity_keyword=True)
+        assert all(query.keywords[0] in entities for query in workload)
+
+    def test_most_queries_have_results(self, retail_idx):
+        workload = WorkloadGenerator(retail_idx, seed=4).generate(query_count=6, keywords_per_query=2)
+        engine = SearchEngine(retail_idx)
+        with_results = sum(1 for query in workload if len(engine.search(query)) > 0)
+        assert with_results >= len(workload) // 2
+
+    def test_deterministic_for_seed(self, retail_idx):
+        first = WorkloadGenerator(retail_idx, seed=5).generate(query_count=5)
+        second = WorkloadGenerator(retail_idx, seed=5).generate(query_count=5)
+        assert first.texts() == second.texts()
+
+    def test_value_keywords_are_frequent_tokens(self, retail_idx):
+        generator = WorkloadGenerator(retail_idx, seed=6)
+        values = generator.value_keywords(min_occurrences=2, limit=20)
+        assert values
+        assert all(retail_idx.inverted.document_frequency(term) >= 2 for term in values)
+
+    def test_invalid_keyword_count(self, retail_idx):
+        with pytest.raises(EvaluationError):
+            WorkloadGenerator(retail_idx).generate(keywords_per_query=0)
+
+    def test_fixed_paper_queries(self, retail_idx):
+        workload = WorkloadGenerator(retail_idx).fixed_paper_queries()
+        assert workload.texts() == ["Texas, apparel, retailer", "store texas"]
+
+    def test_workload_protocol(self, retail_idx):
+        workload = WorkloadGenerator(retail_idx, seed=7).generate(query_count=3)
+        assert workload[0] is list(workload)[0]
+        assert len(workload.texts()) == 3

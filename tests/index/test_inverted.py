@@ -1,0 +1,88 @@
+"""Tests for the keyword inverted index."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import IndexNotBuiltError
+from repro.index.inverted import InvertedIndex
+from repro.xmltree.builder import tree_from_dict
+
+
+@pytest.fixture()
+def index(small_retailer_tree):
+    return InvertedIndex().build(small_retailer_tree)
+
+
+class TestBuild:
+    def test_indexed_node_count(self, index, small_retailer_tree):
+        assert index.indexed_nodes == small_retailer_tree.size_nodes
+
+    def test_unbuilt_index_raises(self):
+        with pytest.raises(IndexNotBuiltError):
+            InvertedIndex().lookup("x")
+        with pytest.raises(IndexNotBuiltError):
+            _ = InvertedIndex().vocabulary
+
+    def test_repr(self, index):
+        assert "terms=" in repr(index)
+        assert "unbuilt" in repr(InvertedIndex())
+
+
+class TestLookup:
+    def test_tag_lookup(self, index, small_retailer_tree):
+        postings = index.lookup("store")
+        assert len(postings) == 2
+        assert all(small_retailer_tree.node(label).tag == "store" for label in postings)
+
+    def test_value_lookup(self, index):
+        assert len(index.lookup("houston")) == 1
+        assert len(index.lookup("texas")) == 2
+
+    def test_case_insensitive(self, index):
+        assert index.lookup("TEXAS") == index.lookup("texas")
+
+    def test_multi_word_value_tokens(self, index, small_retailer_tree):
+        brook = index.lookup("brook")
+        brothers = index.lookup("brothers")
+        assert len(brook) == 1 and brook == brothers
+
+    def test_unknown_keyword_empty(self, index):
+        assert index.lookup("zzz").is_empty
+
+    def test_plural_query_matches_singular_tag(self, index):
+        assert len(index.lookup("stores")) == 2
+
+    def test_singular_query_matches_plural_tag(self):
+        tree = tree_from_dict("db", {"clothes": [{"category": "suit"}], "shirts": "two"})
+        index = InvertedIndex().build(tree)
+        assert len(index.lookup("shirt")) == 1
+
+    def test_lookup_all(self, index):
+        result = index.lookup_all(["store", "texas"])
+        assert set(result) == {"store", "texas"}
+        assert len(result["store"]) == 2
+
+    def test_document_frequency(self, index):
+        assert index.document_frequency("texas") == 2
+        assert index.document_frequency("missing") == 0
+
+    def test_contains_term(self, index):
+        assert index.contains_term("houston")
+        assert index.contains_term("Stores")
+        assert not index.contains_term("nothing")
+
+
+class TestVocabulary:
+    def test_vocabulary_sorted(self, index):
+        vocabulary = index.vocabulary
+        assert vocabulary == sorted(vocabulary)
+        assert "texas" in vocabulary
+
+    def test_vocabulary_size(self, index):
+        assert index.vocabulary_size == len(index.vocabulary)
+
+    def test_from_postings_round_trip(self, index):
+        rebuilt = InvertedIndex.from_postings(index.postings_dict())
+        assert rebuilt.vocabulary == index.vocabulary
+        assert rebuilt.lookup("texas") == index.lookup("texas")

@@ -1,0 +1,117 @@
+"""Tests for posting lists."""
+
+from __future__ import annotations
+
+from repro.index.postings import PostingList
+from repro.xmltree.dewey import Dewey
+
+
+def labels(*texts: str) -> list[Dewey]:
+    return [Dewey.parse(text) for text in texts]
+
+
+class TestBasics:
+    def test_sorted_and_deduplicated(self):
+        plist = PostingList(labels("1.2", "0", "1.2", "0.5"))
+        assert plist.to_strings() == ["0", "0.5", "1.2"]
+
+    def test_len_iter_getitem_contains(self):
+        plist = PostingList(labels("0", "1"))
+        assert len(plist) == 2
+        assert list(plist) == labels("0", "1")
+        assert plist[1] == Dewey((1,))
+        assert Dewey((0,)) in plist
+        assert Dewey((5,)) not in plist
+
+    def test_is_empty(self):
+        assert PostingList().is_empty
+        assert not PostingList(labels("0")).is_empty
+
+    def test_equality(self):
+        assert PostingList(labels("0", "1")) == PostingList(labels("1", "0"))
+        assert PostingList(labels("0")) != PostingList(labels("1"))
+
+    def test_labels_returns_copy(self):
+        plist = PostingList(labels("0"))
+        copy = plist.labels
+        copy.append(Dewey((9,)))
+        assert len(plist) == 1
+
+    def test_from_strings_round_trip(self):
+        plist = PostingList(labels("0.1", "2"))
+        assert PostingList.from_strings(plist.to_strings()) == plist
+
+    def test_repr_preview(self):
+        plist = PostingList(labels("0", "1", "2", "3", "4"))
+        assert "n=5" in repr(plist) and "..." in repr(plist)
+
+
+class TestNeighbourQueries:
+    def test_left_right_neighbours(self):
+        plist = PostingList(labels("0.1", "0.5", "2"))
+        assert plist.left_neighbour(Dewey.parse("0.3")) == Dewey.parse("0.1")
+        assert plist.right_neighbour(Dewey.parse("0.3")) == Dewey.parse("0.5")
+
+    def test_neighbours_at_extremes(self):
+        plist = PostingList(labels("1", "2"))
+        assert plist.left_neighbour(Dewey.parse("0")) is None
+        assert plist.right_neighbour(Dewey.parse("3")) is None
+
+    def test_neighbours_exact_hit(self):
+        plist = PostingList(labels("1", "2"))
+        assert plist.left_neighbour(Dewey.parse("2")) == Dewey.parse("2")
+        assert plist.right_neighbour(Dewey.parse("2")) == Dewey.parse("2")
+
+    def test_closest_match_prefers_deeper_lca(self):
+        plist = PostingList(labels("0.0.5", "1.9"))
+        # anchor 0.0.1: left neighbour shares prefix 0.0 (depth 2), right shares nothing
+        assert plist.closest_match(Dewey.parse("0.0.7")) == Dewey.parse("0.0.5")
+
+    def test_closest_match_right_when_no_left(self):
+        plist = PostingList(labels("5"))
+        assert plist.closest_match(Dewey.parse("1")) == Dewey.parse("5")
+
+    def test_closest_match_empty(self):
+        assert PostingList().closest_match(Dewey.parse("1")) is None
+
+
+class TestSubtreeQueries:
+    def test_has_descendant_of(self):
+        plist = PostingList(labels("0.1.2", "3"))
+        assert plist.has_descendant_of(Dewey.parse("0.1"))
+        assert plist.has_descendant_of(Dewey.parse("0.1.2"))
+        assert not plist.has_descendant_of(Dewey.parse("0.2"))
+
+    def test_descendants_of(self):
+        plist = PostingList(labels("0.1", "0.1.2", "0.2", "1"))
+        result = plist.descendants_of(Dewey.parse("0.1"))
+        assert result == labels("0.1", "0.1.2")
+
+    def test_descendants_of_root(self):
+        plist = PostingList(labels("0", "1.5"))
+        assert plist.descendants_of(Dewey.root()) == labels("0", "1.5")
+
+    def test_descendants_of_no_match(self):
+        plist = PostingList(labels("2"))
+        assert plist.descendants_of(Dewey.parse("1")) == []
+
+
+class TestSetOperations:
+    def test_union(self):
+        first = PostingList(labels("0", "1"))
+        second = PostingList(labels("1", "2"))
+        assert first.union(second).to_strings() == ["0", "1", "2"]
+
+    def test_intersection(self):
+        first = PostingList(labels("0", "1", "2"))
+        second = PostingList(labels("1", "2", "3"))
+        assert first.intersection(second).to_strings() == ["1", "2"]
+
+    def test_difference(self):
+        first = PostingList(labels("0", "1", "2"))
+        second = PostingList(labels("1"))
+        assert first.difference(second).to_strings() == ["0", "2"]
+
+    def test_union_all(self):
+        lists = [PostingList(labels("0")), PostingList(labels("1")), PostingList(labels("0"))]
+        assert PostingList.union_all(lists).to_strings() == ["0", "1"]

@@ -1,0 +1,68 @@
+"""Tests for index persistence."""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.errors import StorageError
+from repro.index.builder import IndexBuilder
+from repro.index.storage import load_index, save_index
+
+
+class TestSaveLoad:
+    def test_round_trip(self, small_index, tmp_path):
+        directory = tmp_path / "idx"
+        save_index(small_index, directory)
+        assert (directory / "document.xml").exists()
+        assert (directory / "inverted.idx").exists()
+
+        loaded = load_index(directory)
+        assert loaded.tree.size_nodes == small_index.tree.size_nodes
+        assert loaded.inverted.vocabulary == small_index.inverted.vocabulary
+        assert loaded.keyword_matches("texas").to_strings() == small_index.keyword_matches(
+            "texas"
+        ).to_strings()
+
+    def test_loaded_index_searchable(self, small_index, tmp_path):
+        from repro.search.engine import SearchEngine
+
+        save_index(small_index, tmp_path / "idx")
+        loaded = load_index(tmp_path / "idx")
+        results = SearchEngine(loaded).search("store texas")
+        assert len(results) == 2
+
+    def test_missing_directory_raises(self, tmp_path):
+        with pytest.raises(StorageError):
+            load_index(tmp_path / "does-not-exist")
+
+    def test_missing_index_file_raises(self, small_index, tmp_path):
+        directory = tmp_path / "idx"
+        save_index(small_index, directory)
+        os.remove(directory / "inverted.idx")
+        with pytest.raises(StorageError):
+            load_index(directory)
+
+    def test_bad_header_raises(self, small_index, tmp_path):
+        directory = tmp_path / "idx"
+        save_index(small_index, directory)
+        (directory / "inverted.idx").write_text("garbage\n", encoding="utf-8")
+        with pytest.raises(StorageError):
+            load_index(directory)
+
+    def test_node_count_mismatch_raises(self, small_index, tmp_path):
+        directory = tmp_path / "idx"
+        save_index(small_index, directory)
+        index_file = directory / "inverted.idx"
+        content = index_file.read_text(encoding="utf-8").replace(
+            f"#nodes {small_index.tree.size_nodes}", "#nodes 9999"
+        )
+        index_file.write_text(content, encoding="utf-8")
+        with pytest.raises(StorageError):
+            load_index(directory)
+
+    def test_save_creates_directory(self, small_index, tmp_path):
+        nested = tmp_path / "a" / "b" / "c"
+        save_index(small_index, nested)
+        assert nested.exists()

@@ -1,0 +1,73 @@
+"""Tests for the structure index."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.classify.analyzer import DataAnalyzer
+from repro.classify.categories import NodeCategory
+from repro.errors import IndexNotBuiltError
+from repro.index.structure import StructureIndex
+from repro.xmltree.dewey import Dewey
+
+
+@pytest.fixture()
+def structure(small_retailer_tree):
+    analyzer = DataAnalyzer(small_retailer_tree)
+    return StructureIndex().build(small_retailer_tree, analyzer)
+
+
+class TestLookups:
+    def test_instances_of_tag(self, structure):
+        assert len(structure.instances_of_tag("store")) == 2
+        assert len(structure.instances_of_tag("clothes")) == 3
+        assert structure.instances_of_tag("missing").is_empty
+
+    def test_instances_of_path(self, structure):
+        path = ("retailer", "store", "city")
+        assert len(structure.instances_of_path(path)) == 2
+        assert structure.instances_of_path(("nope",)).is_empty
+
+    def test_tag_path_of_label(self, structure, small_retailer_tree):
+        store = small_retailer_tree.find_by_tag("store")[0]
+        assert structure.tag_path_of(store.dewey) == ("retailer", "store")
+        assert structure.tag_of(store.dewey) == "store"
+        assert structure.tag_path_of(Dewey((9, 9))) is None
+        assert structure.tag_of(Dewey((9, 9))) is None
+
+    def test_category_of_label(self, structure, small_retailer_tree):
+        store = small_retailer_tree.find_by_tag("store")[0]
+        city = small_retailer_tree.find_by_tag("city")[0]
+        assert structure.category_of(store.dewey) == NodeCategory.ENTITY
+        assert structure.category_of(city.dewey) == NodeCategory.ATTRIBUTE
+        assert structure.category_of(Dewey((9, 9))) == NodeCategory.CONNECTION
+
+    def test_category_of_path(self, structure):
+        assert structure.category_of_path(("retailer", "store")) == NodeCategory.ENTITY
+        assert structure.category_of_path(("other",)) == NodeCategory.CONNECTION
+
+    def test_parent_of(self, structure, small_retailer_tree):
+        city = small_retailer_tree.find_by_tag("city")[0]
+        assert structure.parent_of(city.dewey) == city.dewey.parent()
+        assert structure.parent_of(Dewey.root()) is None
+
+    def test_children_of(self, structure, small_retailer_tree):
+        store = small_retailer_tree.find_by_tag("store")[0]
+        children = structure.children_of(store.dewey)
+        assert children == [child.dewey for child in store.children]
+
+    def test_known_tags_and_paths(self, structure):
+        assert "store" in structure.known_tags
+        assert ("retailer", "store") in structure.known_paths
+
+    def test_entity_paths(self, structure):
+        paths = structure.entity_paths()
+        assert paths[0] == ("retailer", "store")
+
+    def test_unbuilt_raises(self):
+        with pytest.raises(IndexNotBuiltError):
+            StructureIndex().instances_of_tag("x")
+
+    def test_repr(self, structure):
+        assert "tags=" in repr(structure)
+        assert "unbuilt" in repr(StructureIndex())

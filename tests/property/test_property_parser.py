@@ -1,0 +1,55 @@
+"""Property-based tests: parser/serialiser round trips and tree invariants."""
+
+from __future__ import annotations
+
+from hypothesis import HealthCheck, given, settings
+
+from repro.xmltree.parser import parse_xml
+from repro.xmltree.serialize import from_plain_dict, to_plain_dict, to_xml_string
+from tests.property.strategies import xml_trees
+
+COMMON_SETTINGS = settings(
+    max_examples=40, deadline=None, suppress_health_check=[HealthCheck.too_slow]
+)
+
+
+@COMMON_SETTINGS
+@given(xml_trees())
+def test_xml_round_trip_preserves_structure_and_text(tree):
+    reparsed = parse_xml(to_xml_string(tree)).tree
+    assert [node.tag for node in reparsed.iter_nodes()] == [node.tag for node in tree.iter_nodes()]
+    assert [node.text for node in reparsed.iter_nodes()] == [node.text for node in tree.iter_nodes()]
+
+
+@COMMON_SETTINGS
+@given(xml_trees())
+def test_plain_dict_round_trip(tree):
+    rebuilt = from_plain_dict(to_plain_dict(tree))
+    assert [node.tag for node in rebuilt.iter_nodes()] == [node.tag for node in tree.iter_nodes()]
+    assert [node.text for node in rebuilt.iter_nodes()] == [node.text for node in tree.iter_nodes()]
+
+
+@COMMON_SETTINGS
+@given(xml_trees())
+def test_dewey_registry_consistent(tree):
+    for node in tree.iter_nodes():
+        assert tree.node(node.dewey) is node
+        if node.parent is not None:
+            assert node.dewey.parent() == node.parent.dewey
+            assert node.parent.children[node.dewey.ordinal] is node
+
+
+@COMMON_SETTINGS
+@given(xml_trees())
+def test_document_order_of_registry_matches_preorder(tree):
+    preorder = [node.dewey for node in tree.iter_nodes()]
+    assert preorder == sorted(preorder)
+
+
+@COMMON_SETTINGS
+@given(xml_trees())
+def test_subtree_sizes_add_up(tree):
+    assert tree.size_edges == tree.size_nodes - 1
+    assert tree.root.subtree_size_nodes() == tree.size_nodes
+    child_total = sum(child.subtree_size_nodes() for child in tree.root.children)
+    assert child_total == tree.size_nodes - 1

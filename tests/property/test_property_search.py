@@ -1,0 +1,62 @@
+"""Property-based tests: SLCA/ELCA agree with their brute-force definitions."""
+
+from __future__ import annotations
+
+from hypothesis import HealthCheck, given, settings
+
+from repro.index.postings import PostingList
+from repro.search.elca import compute_elca
+from repro.search.lca import brute_force_elca, brute_force_slca
+from repro.search.slca import compute_slca
+from tests.property.strategies import posting_list_groups
+
+COMMON_SETTINGS = settings(
+    max_examples=80, deadline=None, suppress_health_check=[HealthCheck.too_slow]
+)
+
+
+@COMMON_SETTINGS
+@given(posting_list_groups())
+def test_slca_matches_brute_force(posting_lists):
+    assert compute_slca(posting_lists) == brute_force_slca(posting_lists)
+
+
+@COMMON_SETTINGS
+@given(posting_list_groups())
+def test_elca_matches_brute_force(posting_lists):
+    assert compute_elca(posting_lists) == brute_force_elca(posting_lists)
+
+
+@COMMON_SETTINGS
+@given(posting_list_groups())
+def test_slca_subset_of_elca(posting_lists):
+    assert set(compute_slca(posting_lists)) <= set(compute_elca(posting_lists))
+
+
+@COMMON_SETTINGS
+@given(posting_list_groups())
+def test_slca_is_antichain_and_contains_all_keywords(posting_lists):
+    slcas = compute_slca(posting_lists)
+    for first in slcas:
+        for second in slcas:
+            if first != second:
+                assert not first.is_ancestor_of(second)
+        for postings in posting_lists:
+            assert postings.has_descendant_of(first)
+
+
+@COMMON_SETTINGS
+@given(posting_list_groups())
+def test_every_elca_contains_all_keywords(posting_lists):
+    for elca in compute_elca(posting_lists):
+        for postings in posting_lists:
+            assert postings.has_descendant_of(elca)
+
+
+@COMMON_SETTINGS
+@given(posting_list_groups())
+def test_posting_list_neighbours_consistent(posting_lists):
+    merged = PostingList.union_all(posting_lists)
+    for label in merged:
+        assert merged.left_neighbour(label) == label or merged.left_neighbour(label) < label
+        assert merged.right_neighbour(label) == label

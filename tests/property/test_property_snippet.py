@@ -1,0 +1,102 @@
+"""Property-based tests for the snippet pipeline invariants.
+
+For random documents, random in-vocabulary queries and random size bounds:
+
+* every snippet respects the bound and is a connected subtree of its result,
+* the greedy selector never covers more items than the exact selector,
+* feature statistics satisfy the §2.3 identities (the mean dominance score
+  of a feature type is exactly 1).
+"""
+
+from __future__ import annotations
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.index.builder import IndexBuilder
+from repro.search.engine import SearchEngine
+from repro.snippet.features import extract_features
+from repro.snippet.generator import SnippetGenerator
+from repro.snippet.optimal import OptimalInstanceSelector
+from tests.property.strategies import VALUES, xml_trees
+
+COMMON_SETTINGS = settings(
+    max_examples=25, deadline=None, suppress_health_check=[HealthCheck.too_slow]
+)
+
+
+@COMMON_SETTINGS
+@given(xml_trees(), st.sampled_from(VALUES), st.integers(min_value=1, max_value=12))
+def test_snippet_invariants_on_random_documents(tree, keyword, bound):
+    index = IndexBuilder().build(tree)
+    if index.keyword_matches(keyword).is_empty:
+        return
+    result_set = SearchEngine(index).search(keyword)
+    if not result_set:
+        return
+    generator = SnippetGenerator(index.analyzer)
+    for result in result_set:
+        generated = generator.generate(result, size_bound=bound)
+        snippet = generated.snippet
+        # size bound respected
+        assert snippet.size_edges <= bound
+        # connected subtree rooted at the result root
+        assert snippet.is_connected()
+        assert snippet.contains_label(result.root)
+        # every selected node belongs to the result subtree
+        for label in snippet.node_labels:
+            assert result.contains_label(label)
+        # covered items really have their chosen instance inside the snippet
+        for item in snippet.covered_items:
+            assert snippet.contains_label(snippet.chosen_instances[item.identity])
+
+
+@COMMON_SETTINGS
+@given(xml_trees(), st.sampled_from(VALUES), st.integers(min_value=1, max_value=8))
+def test_greedy_never_beats_optimal(tree, keyword, bound):
+    index = IndexBuilder().build(tree)
+    if not index.keyword_matches(keyword):
+        return
+    engine = SearchEngine(index)
+    result_set = engine.search(keyword)
+    if not result_set:
+        return
+    generator = SnippetGenerator(index.analyzer)
+    optimal = OptimalInstanceSelector(max_instances_per_item=4)
+    result = result_set[0]
+    generated = generator.generate(result, size_bound=bound)
+    best = optimal.select(result, generated.ilist, bound)
+    assert len(generated.snippet.covered_items) <= len(best.covered_items)
+
+
+@COMMON_SETTINGS
+@given(xml_trees(), st.sampled_from(VALUES))
+def test_mean_dominance_score_per_type_is_one(tree, keyword):
+    index = IndexBuilder().build(tree)
+    if not index.keyword_matches(keyword):
+        return
+    result_set = SearchEngine(index).search(keyword)
+    if not result_set:
+        return
+    statistics = extract_features(index.analyzer, result_set[0])
+    by_type: dict[tuple[str, str], list[float]] = {}
+    for feature in statistics.features():
+        by_type.setdefault(feature.feature_type, []).append(statistics.dominance_score(feature))
+    for scores in by_type.values():
+        assert abs(sum(scores) / len(scores) - 1.0) < 1e-9
+
+
+@COMMON_SETTINGS
+@given(xml_trees(), st.sampled_from(VALUES), st.integers(min_value=2, max_value=20))
+def test_coverage_is_monotone_in_bound(tree, keyword, bound):
+    index = IndexBuilder().build(tree)
+    if not index.keyword_matches(keyword):
+        return
+    result_set = SearchEngine(index).search(keyword)
+    if not result_set:
+        return
+    generator = SnippetGenerator(index.analyzer)
+    result = result_set[0]
+    small = generator.generate(result, size_bound=max(1, bound // 2))
+    large = generator.generate(result, size_bound=bound)
+    assert small.covered_items <= large.covered_items

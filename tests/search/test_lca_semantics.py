@@ -1,0 +1,140 @@
+"""Tests for SLCA/ELCA semantics (optimised and brute-force reference)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.index.postings import PostingList
+from repro.search.elca import compute_elca
+from repro.search.lca import (
+    brute_force_elca,
+    brute_force_slca,
+    common_ancestor_candidates,
+    lca_of_match_combination,
+)
+from repro.search.slca import compute_slca
+from repro.xmltree.dewey import Dewey
+
+
+def plist(*texts: str) -> PostingList:
+    return PostingList(Dewey.parse(text) for text in texts)
+
+
+class TestSLCA:
+    def test_basic_two_results(self):
+        # two stores each containing both keywords
+        a = plist("0.0", "1.0")
+        b = plist("0.1", "1.1")
+        assert [str(x) for x in compute_slca([a, b])] == ["0", "1"]
+
+    def test_root_is_slca_when_matches_split(self):
+        a = plist("0.0")
+        b = plist("1.0")
+        assert [str(x) for x in compute_slca([a, b])] == ["r"]
+
+    def test_smaller_lca_excludes_ancestor(self):
+        # one tight match pair under 0.0 and a stray match of b at 1;
+        # the SLCA is 0.0 only (the root is an ancestor of an LCA)
+        a = plist("0.0.0")
+        b = plist("0.0.1", "1")
+        assert [str(x) for x in compute_slca([a, b])] == ["0.0"]
+
+    def test_single_keyword(self):
+        a = plist("0.1", "0.1.2", "2")
+        # every match is a result; ancestors removed
+        assert [str(x) for x in compute_slca([a])] == ["0.1.2", "2"]
+
+    def test_empty_posting_list_gives_no_results(self):
+        assert compute_slca([plist("0"), PostingList()]) == []
+        assert compute_slca([]) == []
+
+    def test_same_node_matches_all_keywords(self):
+        a = plist("0.3")
+        b = plist("0.3")
+        assert [str(x) for x in compute_slca([a, b])] == ["0.3"]
+
+    def test_three_keywords(self):
+        a = plist("0.0", "1.0")
+        b = plist("0.1", "1.1")
+        c = plist("0.2", "2")
+        assert [str(x) for x in compute_slca([a, b, c])] == ["0"]
+
+    def test_matches_brute_force_on_fixed_cases(self):
+        cases = [
+            [plist("0.0", "1.0"), plist("0.1", "1.1")],
+            [plist("0.0.0", "0.1"), plist("0.0.1", "1"), plist("0.0.2")],
+            [plist("0", "1", "2"), plist("1.5", "2.9")],
+            [plist("0.1.2.3"), plist("0.1.2.4", "0.2")],
+        ]
+        for posting_lists in cases:
+            assert compute_slca(posting_lists) == brute_force_slca(posting_lists)
+
+
+class TestELCA:
+    def test_elca_includes_ancestor_with_own_witness(self):
+        # 0 contains both keywords; the root additionally has its own
+        # matches (a at 2, b at 1) -> both 0 and the root are ELCAs.
+        a = plist("0.0", "2")
+        b = plist("0.1", "1")
+        assert [str(x) for x in compute_elca([a, b])] == ["r", "0"]
+
+    def test_elca_excludes_ancestor_without_own_witness(self):
+        a = plist("0.0")
+        b = plist("0.1")
+        assert [str(x) for x in compute_elca([a, b])] == ["0"]
+
+    def test_elca_superset_of_slca(self):
+        a = plist("0.0", "2", "1.0.0")
+        b = plist("0.1", "1", "1.0.1")
+        slca = set(compute_slca([a, b]))
+        elca = set(compute_elca([a, b]))
+        assert slca <= elca
+
+    def test_single_keyword_every_match_is_elca(self):
+        a = plist("0", "1.2")
+        assert compute_elca([a]) == list(a)
+
+    def test_empty_input(self):
+        assert compute_elca([]) == []
+        assert compute_elca([plist("0"), PostingList()]) == []
+
+    def test_blocked_witnesses_do_not_count(self):
+        # child 0 contains all keywords; the root's only extra match is of
+        # keyword a (at 1), keyword b occurs only inside 0 -> root is NOT an ELCA.
+        a = plist("0.0", "1")
+        b = plist("0.1")
+        assert [str(x) for x in compute_elca([a, b])] == ["0"]
+
+    def test_matches_brute_force_on_fixed_cases(self):
+        cases = [
+            [plist("0.0", "2"), plist("0.1", "1")],
+            [plist("0.0", "1"), plist("0.1")],
+            [plist("0.0.0", "0.1"), plist("0.0.1", "0.2")],
+            [plist("0", "1"), plist("0.0", "1.0"), plist("0.1", "1.1")],
+        ]
+        for posting_lists in cases:
+            assert compute_elca(posting_lists) == brute_force_elca(posting_lists)
+
+
+class TestBruteForceHelpers:
+    def test_common_ancestor_candidates(self):
+        a = plist("0.0")
+        b = plist("0.1")
+        candidates = common_ancestor_candidates([a, b])
+        assert candidates == {Dewey.root(), Dewey((0,))}
+
+    def test_candidates_empty_when_no_overlap(self):
+        # still share the root
+        a = plist("0")
+        b = plist("1")
+        assert common_ancestor_candidates([a, b]) == {Dewey.root()}
+
+    def test_candidates_of_empty_input(self):
+        assert common_ancestor_candidates([]) == set()
+
+    def test_lca_of_match_combination(self):
+        assert lca_of_match_combination([Dewey.parse("0.1.2"), Dewey.parse("0.1.5")]) == Dewey.parse("0.1")
+
+    def test_brute_force_empty_lists(self):
+        assert brute_force_slca([]) == []
+        assert brute_force_elca([plist("0"), PostingList()]) == []

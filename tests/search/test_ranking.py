@@ -1,0 +1,41 @@
+"""Tests for result ranking."""
+
+from __future__ import annotations
+
+from repro.search.engine import SearchEngine
+from repro.search.ranking import rank_results, score_result
+
+
+class TestScoring:
+    def test_conjunctive_semantics_single_matching_store(self, small_index):
+        # only the Houston store contains all three keywords (SLCA is conjunctive)
+        results = SearchEngine(small_index).search("store texas houston")
+        assert len(results) == 1
+        assert results[0].root_node.find_child("city").text == "Houston"
+
+    def test_proximity_rewards_tight_matches(self, small_index):
+        # "suit casual" co-occur inside one clothes element; "suit formal" span
+        # two different clothes elements of different stores → lower proximity
+        tight = SearchEngine(small_index).search("suit casual")
+        loose = SearchEngine(small_index).search("suit formal")
+        assert tight[0].score >= loose[0].score
+
+    def test_scores_are_positive(self, retail_results):
+        assert all(result.score > 0 for result in retail_results)
+
+    def test_score_result_components(self, small_index):
+        results = SearchEngine(small_index).search("store")
+        score = score_result(results[0])
+        assert score > 0
+
+
+class TestRankOrdering:
+    def test_rank_results_sorted_descending(self, retail_results):
+        scores = [result.score for result in retail_results]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_result_ids_reassigned_by_rank(self, retail_results):
+        assert [result.result_id for result in retail_results] == list(range(len(retail_results)))
+
+    def test_rank_results_empty(self):
+        assert rank_results([]) == []

@@ -1,0 +1,106 @@
+"""Tests for XSeek-style result construction."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.search.query import KeywordQuery
+from repro.search.slca import compute_slca
+from repro.search.xseek import (
+    ResultConstruction,
+    build_all_results,
+    build_result_tree,
+    promote_to_entity_root,
+)
+
+
+@pytest.fixture()
+def slca_roots(small_index):
+    query = KeywordQuery.parse("store texas")
+    postings = [small_index.keyword_matches(keyword) for keyword in query.keywords]
+    return query, compute_slca(postings)
+
+
+class TestPromotion:
+    def test_connection_root_promoted_to_entity(self, small_index, small_retailer_tree):
+        merchandises = small_retailer_tree.find_by_tag("merchandises")[0]
+        promoted = promote_to_entity_root(small_index.analyzer, merchandises.dewey)
+        assert small_retailer_tree.node(promoted).tag == "store"
+
+    def test_attribute_promoted_to_owning_entity(self, small_index, small_retailer_tree):
+        city = small_retailer_tree.find_by_tag("city")[0]
+        promoted = promote_to_entity_root(small_index.analyzer, city.dewey)
+        assert small_retailer_tree.node(promoted).tag == "store"
+
+    def test_entity_root_stays(self, small_index, small_retailer_tree):
+        store = small_retailer_tree.find_by_tag("store")[0]
+        assert promote_to_entity_root(small_index.analyzer, store.dewey) == store.dewey
+
+    def test_node_without_entity_ancestor_stays(self, small_index, small_retailer_tree):
+        name = small_retailer_tree.root.find_child("name")
+        assert promote_to_entity_root(small_index.analyzer, name.dewey) == name.dewey
+
+
+class TestBuildResultTree:
+    def test_subtree_construction(self, small_index, slca_roots):
+        query, roots = slca_roots
+        result = build_result_tree(
+            small_index, query, roots[0], construction=ResultConstruction.SUBTREE
+        )
+        assert result.root == roots[0]
+        assert result.size_nodes == result.root_node.subtree_size_nodes()
+
+    def test_matches_restricted_to_result(self, small_index, slca_roots):
+        query, roots = slca_roots
+        result = build_result_tree(small_index, query, roots[0])
+        for labels in result.matches.values():
+            assert all(result.contains_label(label) for label in labels)
+
+    def test_xseek_promotes_and_keeps_whole_entity(self, small_index, small_retailer_tree):
+        query = KeywordQuery.parse("houston")
+        city = small_retailer_tree.find_by_tag("city")[0]
+        result = build_result_tree(
+            small_index, query, city.dewey, construction=ResultConstruction.XSEEK
+        )
+        assert result.root_node.tag == "store"
+        # the full store subtree is present (self-contained result)
+        assert result.size_nodes == result.root_node.subtree_size_nodes()
+
+    def test_match_paths_projection_is_smaller(self, small_index, slca_roots):
+        query, roots = slca_roots
+        subtree_result = build_result_tree(
+            small_index, query, roots[0], construction=ResultConstruction.SUBTREE
+        )
+        paths_result = build_result_tree(
+            small_index, query, roots[0], construction=ResultConstruction.MATCH_PATHS
+        )
+        assert paths_result.size_nodes <= subtree_result.size_nodes
+        assert paths_result.to_tree().root.tag == subtree_result.root_node.tag
+
+
+class TestBuildAllResults:
+    def test_one_result_per_root(self, small_index, slca_roots):
+        query, roots = slca_roots
+        results = build_all_results(small_index, query, roots)
+        assert len(results) == len(roots)
+        assert [result.result_id for result in results] == list(range(len(results)))
+
+    def test_duplicate_promotions_are_merged(self, small_index, small_retailer_tree):
+        query = KeywordQuery.parse("suit outwear")
+        # two different clothes nodes inside the same store
+        clothes = small_retailer_tree.find_by_tag("clothes")[:2]
+        results = build_all_results(
+            small_index, query, [node.dewey for node in clothes], construction=ResultConstruction.XSEEK
+        )
+        assert len(results) == 2  # each clothes is its own entity, no merging
+        merged = build_all_results(
+            small_index,
+            query,
+            [clothes[0].children[0].dewey, clothes[0].children[1].dewey],
+            construction=ResultConstruction.XSEEK,
+        )
+        assert len(merged) == 1  # both attributes promote to the same clothes entity
+
+    def test_empty_roots(self, small_index):
+        query = KeywordQuery.parse("anything")
+        assert build_all_results(small_index, query, []) == []

@@ -1,0 +1,137 @@
+"""Tests for the baseline snippet generators."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import InvalidSizeBoundError
+from repro.search.engine import SearchEngine
+from repro.snippet.baselines import (
+    FirstEdgesSnippetGenerator,
+    RandomSubtreeSnippetGenerator,
+    RawFrequencySnippetGenerator,
+    TextWindowSnippetGenerator,
+)
+from repro.snippet.ilist import ItemKind
+
+
+@pytest.fixture()
+def figure5_results(figure5_idx):
+    return SearchEngine(figure5_idx).search("store texas")
+
+
+class TestTextWindow:
+    def test_flat_text_snippet(self, figure5_results):
+        snippet = TextWindowSnippetGenerator().generate(figure5_results[0], size_bound=8)
+        assert snippet.word_count <= 8 + 8  # a window may straddle the budget boundary
+        assert snippet.text
+        assert "texas" in snippet.text.lower()
+
+    def test_contains_keyword_context(self, figure5_results):
+        snippet = TextWindowSnippetGenerator(words_per_window=4).generate(
+            figure5_results[0], size_bound=12
+        )
+        assert snippet.window_words == 4
+
+    def test_no_keyword_hits_falls_back_to_prefix(self, figure5_results):
+        from repro.search.query import KeywordQuery
+
+        snippet = TextWindowSnippetGenerator().generate(
+            figure5_results[0], size_bound=5, query=KeywordQuery.parse("zebra")
+        )
+        assert snippet.word_count <= 5
+
+    def test_invalid_bound(self, figure5_results):
+        with pytest.raises(InvalidSizeBoundError):
+            TextWindowSnippetGenerator().generate(figure5_results[0], size_bound=0)
+
+    def test_repr(self, figure5_results):
+        snippet = TextWindowSnippetGenerator().generate(figure5_results[0], size_bound=6)
+        assert "TextSnippet" in repr(snippet)
+
+
+class TestFirstEdges:
+    def test_respects_bound(self, figure5_idx, figure5_results):
+        generator = FirstEdgesSnippetGenerator(figure5_idx.analyzer)
+        for bound in (2, 5, 9):
+            generated = generator.generate(figure5_results[0], bound)
+            assert generated.snippet.size_edges <= bound
+            assert generated.snippet.is_connected()
+
+    def test_takes_document_order_prefix(self, figure5_idx, figure5_results):
+        generated = FirstEdgesSnippetGenerator(figure5_idx.analyzer).generate(figure5_results[0], 3)
+        tags = [node.tag for node in generated.snippet.to_tree().iter_nodes()]
+        assert tags == ["store", "name", "state", "city"]
+
+    def test_covered_items_reattributed_to_real_ilist(self, figure5_idx, figure5_results):
+        generated = FirstEdgesSnippetGenerator(figure5_idx.analyzer).generate(figure5_results[0], 6)
+        identities = {item.identity for item in generated.ilist.coverable_items()}
+        for item in generated.snippet.covered_items:
+            assert item.identity in identities
+
+    def test_invalid_bound(self, figure5_idx, figure5_results):
+        with pytest.raises(InvalidSizeBoundError):
+            FirstEdgesSnippetGenerator(figure5_idx.analyzer).generate(figure5_results[0], -3)
+
+
+class TestRawFrequency:
+    def test_same_non_feature_prefix_as_extract(self, figure5_idx, figure5_results):
+        generator = RawFrequencySnippetGenerator(figure5_idx.analyzer)
+        ilist = generator.build_ilist(figure5_results[0])
+        kinds = [item.kind for item in ilist]
+        # keywords, entities and key come first exactly as in eXtract
+        assert kinds[0] == ItemKind.KEYWORD
+        assert ItemKind.RESULT_KEY in kinds
+
+    def test_features_ranked_by_raw_count(self, figure1_idx, figure1_result):
+        generator = RawFrequencySnippetGenerator(figure1_idx.analyzer)
+        ilist = generator.build_ilist(figure1_result)
+        features = [item for item in ilist if item.kind == ItemKind.DOMINANT_FEATURE]
+        counts = [item.score for item in features]
+        assert counts == sorted(counts, reverse=True)
+        # raw-frequency ranking puts a high-volume fitting value first, not Houston
+        assert features[0].text.lower() != "houston"
+
+    def test_generates_within_bound(self, figure5_idx, figure5_results):
+        generator = RawFrequencySnippetGenerator(figure5_idx.analyzer)
+        generated = generator.generate(figure5_results[0], 6)
+        assert generated.snippet.size_edges <= 6
+
+    def test_invalid_bound(self, figure5_idx, figure5_results):
+        with pytest.raises(InvalidSizeBoundError):
+            RawFrequencySnippetGenerator(figure5_idx.analyzer).generate(figure5_results[0], 0)
+
+
+class TestRandomSubtree:
+    def test_respects_bound_and_connectivity(self, figure5_idx, figure5_results):
+        generator = RandomSubtreeSnippetGenerator(figure5_idx.analyzer, seed=3)
+        generated = generator.generate(figure5_results[0], 5)
+        assert generated.snippet.size_edges <= 5
+        assert generated.snippet.is_connected()
+
+    def test_deterministic_for_same_seed(self, figure5_idx, figure5_results):
+        first = RandomSubtreeSnippetGenerator(figure5_idx.analyzer, seed=3).generate(
+            figure5_results[0], 5
+        )
+        second = RandomSubtreeSnippetGenerator(figure5_idx.analyzer, seed=3).generate(
+            figure5_results[0], 5
+        )
+        assert first.snippet.node_labels == second.snippet.node_labels
+
+    def test_invalid_bound(self, figure5_idx, figure5_results):
+        with pytest.raises(InvalidSizeBoundError):
+            RandomSubtreeSnippetGenerator(figure5_idx.analyzer).generate(figure5_results[0], 0)
+
+
+class TestComparative:
+    def test_extract_covers_at_least_as_many_items_as_baselines(self, figure5_idx, figure5_results):
+        from repro.snippet.generator import SnippetGenerator
+
+        extract = SnippetGenerator(figure5_idx.analyzer)
+        first_edges = FirstEdgesSnippetGenerator(figure5_idx.analyzer)
+        random_baseline = RandomSubtreeSnippetGenerator(figure5_idx.analyzer, seed=1)
+        for result in figure5_results:
+            bound = 6
+            extract_count = extract.generate(result, size_bound=bound).covered_items
+            assert extract_count >= len(first_edges.generate(result, bound).snippet.covered_items) - 1
+            assert extract_count >= len(random_baseline.generate(result, bound).snippet.covered_items) - 1

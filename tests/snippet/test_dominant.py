@@ -1,0 +1,83 @@
+"""Tests for the Dominant Feature Identifier (§2.3)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.search.engine import SearchEngine
+from repro.snippet.dominant import DominantFeatureIdentifier
+from repro.snippet.features import extract_features
+
+
+@pytest.fixture()
+def figure1_identifier(figure1_idx):
+    return DominantFeatureIdentifier(figure1_idx.analyzer)
+
+
+class TestScoreAll:
+    def test_sorted_by_decreasing_score(self, figure1_identifier, figure1_result):
+        scored = figure1_identifier.score_all(figure1_result)
+        scores = [item.score for item in scored]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_contains_every_extracted_feature(self, figure1_idx, figure1_identifier, figure1_result):
+        statistics = extract_features(figure1_idx.analyzer, figure1_result)
+        scored = figure1_identifier.score_all(figure1_result, statistics)
+        assert len(scored) == len(statistics)
+
+    def test_statistics_fields_consistent(self, figure1_identifier, figure1_result):
+        for item in figure1_identifier.score_all(figure1_result):
+            assert item.value_count <= item.type_count
+            assert item.domain_size >= 1
+            assert len(item.instances) == item.value_count
+
+    def test_deterministic_ordering(self, figure1_identifier, figure1_result):
+        first = [str(item.feature) for item in figure1_identifier.score_all(figure1_result)]
+        second = [str(item.feature) for item in figure1_identifier.score_all(figure1_result)]
+        assert first == second
+
+
+class TestIdentify:
+    def test_paper_dominant_features_in_order(self, figure1_identifier, figure1_result):
+        dominant = figure1_identifier.identify(figure1_result)
+        # drop trivially dominant single-value types (texas, brook brothers,
+        # apparel) to compare with the contested features of §2.3
+        contested = [item for item in dominant if item.domain_size > 1]
+        values = [item.feature.value for item in contested]
+        assert values == ["houston", "outwear", "man", "casual", "suit", "woman"]
+
+    def test_dominant_scores_match_paper(self, figure1_identifier, figure1_result):
+        dominant = {item.feature.value: item.score for item in figure1_identifier.identify(figure1_result)}
+        paper = {"houston": 3.0, "outwear": 2.2, "man": 1.8, "casual": 1.4, "suit": 1.2, "woman": 1.1}
+        for value, expected in paper.items():
+            assert dominant[value] == pytest.approx(expected, abs=0.08)
+
+    def test_non_dominant_features_excluded(self, figure1_identifier, figure1_result):
+        dominant_values = {item.feature.value for item in figure1_identifier.identify(figure1_result)}
+        # children (DS 0.12), formal (0.6), skirt (0.82) must not be dominant
+        assert {"children", "formal", "skirt"}.isdisjoint(dominant_values)
+
+    def test_trivially_dominant_single_value_types_included(self, figure1_identifier, figure1_result):
+        dominant = figure1_identifier.identify(figure1_result)
+        trivial = [item for item in dominant if item.is_trivially_dominant]
+        assert {item.feature.value for item in trivial} >= {"texas", "brook brothers", "apparel"}
+
+    def test_every_dominant_has_score_at_least_one(self, figure1_identifier, figure1_result):
+        for item in figure1_identifier.identify(figure1_result):
+            assert item.score >= 1.0 - 1e-9
+
+
+class TestDominanceTable:
+    def test_table_keys_are_values(self, figure1_identifier, figure1_result):
+        table = figure1_identifier.dominance_table(figure1_result)
+        assert table["houston"] == pytest.approx(3.0)
+        assert table["children"] == pytest.approx(0.12)
+
+    def test_table_on_small_dataset(self, small_index):
+        result = SearchEngine(small_index).search("texas apparel")[0]
+        table = DominantFeatureIdentifier(small_index.analyzer).dominance_table(result)
+        assert table["outwear"] == pytest.approx(4 / 3)
+
+    def test_repr(self, figure1_identifier, figure1_result):
+        item = figure1_identifier.identify(figure1_result)[0]
+        assert "DS=" in repr(item)

@@ -1,0 +1,71 @@
+"""Tests for the exact (branch-and-bound) instance selector."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import InvalidSizeBoundError, SnippetError
+from repro.search.engine import SearchEngine
+from repro.search.query import KeywordQuery
+from repro.snippet.ilist import IListBuilder
+from repro.snippet.instance_selector import GreedyInstanceSelector
+from repro.snippet.optimal import OptimalInstanceSelector
+
+
+@pytest.fixture()
+def small_setup(small_index):
+    result = SearchEngine(small_index).search("texas apparel")[0]
+    ilist = IListBuilder(small_index.analyzer).build(KeywordQuery.parse("texas apparel"), result)
+    return result, ilist
+
+
+class TestOptimality:
+    @pytest.mark.parametrize("bound", [2, 4, 6, 8, 12])
+    def test_respects_bound_and_connectivity(self, small_setup, bound):
+        result, ilist = small_setup
+        snippet = OptimalInstanceSelector().select(result, ilist, bound)
+        assert snippet.size_edges <= bound
+        assert snippet.is_connected()
+
+    @pytest.mark.parametrize("bound", [2, 4, 6, 8, 12, 20])
+    def test_never_worse_than_greedy(self, small_setup, bound):
+        result, ilist = small_setup
+        optimal = OptimalInstanceSelector().select(result, ilist, bound)
+        greedy = GreedyInstanceSelector().select(result, ilist, bound)
+        assert len(optimal.covered_items) >= len(greedy.covered_items)
+
+    def test_large_bound_covers_everything(self, small_setup):
+        result, ilist = small_setup
+        snippet = OptimalInstanceSelector().select(result, ilist, 1000)
+        assert len(snippet.covered_items) == len(ilist.coverable_items())
+
+    def test_zero_coverage_feasible_with_tiny_tree(self, small_setup):
+        result, ilist = small_setup
+        snippet = OptimalInstanceSelector().select(result, ilist, 1)
+        assert snippet.size_edges <= 1
+
+    def test_invalid_bound_rejected(self, small_setup):
+        result, ilist = small_setup
+        with pytest.raises(InvalidSizeBoundError):
+            OptimalInstanceSelector().select(result, ilist, 0)
+
+    def test_expanded_states_tracked(self, small_setup):
+        result, ilist = small_setup
+        selector = OptimalInstanceSelector()
+        selector.select(result, ilist, 6)
+        assert selector.expanded_states > 0
+
+    def test_search_budget_enforced(self, small_setup):
+        result, ilist = small_setup
+        selector = OptimalInstanceSelector(max_search_nodes=5)
+        with pytest.raises(SnippetError):
+            selector.select(result, ilist, 10)
+
+    def test_candidate_cap_limits_branching(self, small_setup):
+        result, ilist = small_setup
+        narrow = OptimalInstanceSelector(max_instances_per_item=1)
+        wide = OptimalInstanceSelector(max_instances_per_item=8)
+        narrow_snippet = narrow.select(result, ilist, 8)
+        wide_snippet = wide.select(result, ilist, 8)
+        assert narrow.expanded_states <= wide.expanded_states
+        assert len(wide_snippet.covered_items) >= len(narrow_snippet.covered_items) - 1

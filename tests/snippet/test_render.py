@@ -1,0 +1,81 @@
+"""Tests for snippet rendering (text and HTML)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.search.engine import SearchEngine
+from repro.snippet.baselines import TextWindowSnippetGenerator
+from repro.snippet.generator import SnippetGenerator
+from repro.snippet.render import (
+    render_batch_text,
+    render_result_page,
+    render_snippet_html,
+    render_snippet_text,
+    render_text_snippet,
+    write_result_page,
+)
+
+
+@pytest.fixture()
+def figure5_batch(figure5_idx):
+    results = SearchEngine(figure5_idx).search("store texas")
+    return SnippetGenerator(figure5_idx.analyzer).generate_all(results, size_bound=6)
+
+
+class TestTextRendering:
+    def test_snippet_text_shows_tags_and_values(self, figure5_batch):
+        text = render_snippet_text(figure5_batch[0])
+        assert "store" in text
+        assert "Texas" in text
+        assert "edges" in text
+
+    def test_snippet_text_header_contains_key(self, figure5_batch):
+        text = render_snippet_text(figure5_batch[0])
+        assert ("Levis" in text) or ("ESprit" in text)
+
+    def test_show_ilist_flag(self, figure5_batch):
+        with_ilist = render_snippet_text(figure5_batch[0], show_ilist=True)
+        without = render_snippet_text(figure5_batch[0], show_ilist=False)
+        assert "IList:" in with_ilist
+        assert "IList:" not in without
+
+    def test_batch_rendering_includes_query_and_all_results(self, figure5_batch):
+        text = render_batch_text(figure5_batch)
+        assert "store texas" in text
+        assert text.count("Result #") == len(figure5_batch)
+
+    def test_text_snippet_rendering(self, figure5_idx):
+        results = SearchEngine(figure5_idx).search("store texas")
+        flat = TextWindowSnippetGenerator().generate(results[0], 6)
+        rendered = render_text_snippet(flat)
+        assert rendered.startswith("Result #")
+        assert "..." in rendered
+
+
+class TestHtmlRendering:
+    def test_fragment_contains_tags_and_values(self, figure5_batch):
+        html_fragment = render_snippet_html(figure5_batch[0])
+        assert '<div class="snippet">' in html_fragment
+        assert "store" in html_fragment
+        assert "Texas" in html_fragment
+
+    def test_fragment_escapes_content(self, figure5_batch):
+        html_fragment = render_snippet_html(figure5_batch[0])
+        assert "<Texas>" not in html_fragment  # values are escaped/wrapped
+
+    def test_full_page_structure(self, figure5_batch):
+        page = render_result_page(figure5_batch)
+        assert page.startswith("<!DOCTYPE html>")
+        assert page.count('<div class="snippet">') == len(figure5_batch)
+        assert "store texas" in page
+
+    def test_full_result_embedded_for_drill_down(self, figure5_batch):
+        page = render_result_page(figure5_batch)
+        assert "<details>" in page and "full query result" in page
+
+    def test_write_result_page(self, figure5_batch, tmp_path):
+        target = tmp_path / "page.html"
+        written = write_result_page(figure5_batch, target)
+        assert written == str(target)
+        assert target.read_text(encoding="utf-8").startswith("<!DOCTYPE html>")

@@ -1,0 +1,163 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import io
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.xmltree.serialize import to_xml_string
+
+
+def run_cli(*argv: str) -> tuple[int, str]:
+    buffer = io.StringIO()
+    code = main(list(argv), out=buffer)
+    return code, buffer.getvalue()
+
+
+class TestParser:
+    def test_all_subcommands_registered(self):
+        parser = build_parser()
+        text = parser.format_help()
+        for command in ("analyze", "search", "ilist", "datasets", "generate", "experiment"):
+            assert command in text
+
+    def test_missing_command_errors(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_source_is_required_and_exclusive(self):
+        parser = build_parser()
+        with pytest.raises(SystemExit):
+            parser.parse_args(["analyze"])
+        with pytest.raises(SystemExit):
+            parser.parse_args(["analyze", "--file", "a.xml", "--dataset", "retail"])
+
+
+class TestDatasetsCommand:
+    def test_lists_builtins(self):
+        code, output = run_cli("datasets")
+        assert code == 0
+        assert "figure1" in output and "movies" in output
+
+
+class TestAnalyzeCommand:
+    def test_analyze_builtin(self):
+        code, output = run_cli("analyze", "--dataset", "figure5-stores")
+        assert code == 0
+        assert "entity types:" in output
+        assert "store" in output and "key=name" in output
+
+    def test_analyze_file(self, small_retailer_tree, tmp_path):
+        path = tmp_path / "doc.xml"
+        path.write_text(to_xml_string(small_retailer_tree), encoding="utf-8")
+        code, output = run_cli("analyze", "--file", str(path))
+        assert code == 0
+        assert "schema nodes" in output
+
+    def test_analyze_missing_file(self, tmp_path):
+        code, output = run_cli("analyze", "--file", str(tmp_path / "missing.xml"))
+        assert code == 1
+        assert "error:" in output
+
+
+class TestSearchCommand:
+    def test_search_prints_snippets(self):
+        code, output = run_cli(
+            "search", "--dataset", "figure5-stores", "--query", "store texas", "--bound", "6"
+        )
+        assert code == 0
+        assert "Levis" in output and "ESprit" in output
+        assert "snippet: " in output
+
+    def test_search_show_ilist_and_limit(self):
+        code, output = run_cli(
+            "search",
+            "--dataset",
+            "figure5-stores",
+            "--query",
+            "store texas",
+            "--limit",
+            "1",
+            "--show-ilist",
+        )
+        assert code == 0
+        assert output.count("Result #") == 1
+        assert "IList:" in output
+
+    def test_search_writes_html(self, tmp_path):
+        target = tmp_path / "page.html"
+        code, output = run_cli(
+            "search", "--dataset", "figure5-stores", "--query", "store texas", "--html", str(target)
+        )
+        assert code == 0
+        assert target.exists()
+        assert "wrote HTML" in output
+
+    def test_search_elca(self):
+        code, output = run_cli(
+            "search", "--dataset", "figure5-stores", "--query", "store texas", "--algorithm", "elca"
+        )
+        assert code == 0
+
+    def test_search_invalid_query(self):
+        code, output = run_cli("search", "--dataset", "figure5-stores", "--query", "the of")
+        assert code == 1
+        assert "error:" in output
+
+
+class TestIlistCommand:
+    def test_ilist_prints_kinds_and_scores(self):
+        code, output = run_cli("ilist", "--dataset", "figure1", "--query", "Texas apparel retailer")
+        assert code == 0
+        assert "[keyword]" in output
+        assert "[key" in output
+        assert "DS " in output
+        assert "Brook Brothers" in output
+
+    def test_ilist_no_results(self):
+        code, output = run_cli("ilist", "--dataset", "figure5-stores", "--query", "zebra")
+        assert code == 0
+        assert "(no results)" in output
+
+
+class TestGenerateCommand:
+    def test_generate_writes_parseable_xml(self, tmp_path):
+        target = tmp_path / "stores.xml"
+        code, output = run_cli("generate", "--dataset", "figure5-stores", "--output", str(target))
+        assert code == 0
+        from repro.xmltree.parser import parse_xml_file
+
+        parsed = parse_xml_file(target)
+        assert parsed.tree.root.tag == "stores"
+
+    def test_generate_with_doctype(self, tmp_path):
+        target = tmp_path / "stores.xml"
+        code, _ = run_cli(
+            "generate", "--dataset", "figure5-stores", "--output", str(target), "--with-doctype"
+        )
+        assert code == 0
+        content = target.read_text(encoding="utf-8")
+        assert "<!DOCTYPE stores [" in content
+        from repro.xmltree.parser import parse_xml
+
+        assert parse_xml(content).dtd_text is not None
+
+
+class TestExperimentCommand:
+    def test_listing_without_ids(self):
+        code, output = run_cli("experiment")
+        assert code == 0
+        assert "F1" in output and "A2" in output
+
+    def test_run_single_experiment(self):
+        code, output = run_cli("experiment", "F3")
+        assert code == 0
+        assert "[F3]" in output
+        assert "brook brothers" in output
+
+    def test_unknown_experiment_id(self):
+        code, output = run_cli("experiment", "Z9")
+        assert code == 2
+        assert "unknown experiment" in output

@@ -1,0 +1,101 @@
+"""Tests for the corpus manager."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.corpus import Corpus, builtin_dataset_names
+from repro.errors import DatasetError, ExtractError
+from repro.xmltree.serialize import to_xml_string
+
+
+class TestRegistration:
+    def test_add_tree_and_query(self, small_retailer_tree):
+        corpus = Corpus()
+        entry = corpus.add_tree("retailer", small_retailer_tree)
+        assert entry.name == "retailer"
+        assert entry.node_count == small_retailer_tree.size_nodes
+        assert "store" in entry.entity_tags
+        outcome = corpus.query("retailer", "store texas", size_bound=6)
+        assert len(outcome) == 2
+
+    def test_add_xml(self):
+        corpus = Corpus()
+        corpus.add_xml("tiny", "<db><item><name>a</name></item><item><name>b</name></item></db>")
+        assert "tiny" in corpus
+        assert corpus.entry("tiny").node_count == 5
+
+    def test_add_file(self, small_retailer_tree, tmp_path):
+        path = tmp_path / "doc.xml"
+        path.write_text(to_xml_string(small_retailer_tree), encoding="utf-8")
+        corpus = Corpus()
+        entry = corpus.add_file(path)
+        assert entry.name == "doc"
+        assert len(corpus) == 1
+
+    def test_add_builtin(self):
+        corpus = Corpus()
+        entry = corpus.add_builtin("figure5-stores")
+        assert entry.node_count > 100
+        assert "store" in entry.entity_tags
+
+    def test_builtin_names_stable(self):
+        names = builtin_dataset_names()
+        assert {"figure1", "figure5-stores", "retail", "movies", "auctions", "bibliography"} <= set(names)
+
+    def test_unknown_builtin_rejected(self):
+        with pytest.raises(DatasetError):
+            Corpus().add_builtin("not-a-dataset")
+
+    def test_duplicate_name_rejected(self, small_retailer_tree):
+        corpus = Corpus()
+        corpus.add_tree("doc", small_retailer_tree)
+        with pytest.raises(ExtractError):
+            corpus.add_tree("doc", small_retailer_tree)
+
+    def test_remove(self, small_retailer_tree):
+        corpus = Corpus()
+        corpus.add_tree("doc", small_retailer_tree)
+        corpus.remove("doc")
+        assert "doc" not in corpus
+        with pytest.raises(ExtractError):
+            corpus.remove("doc")
+
+
+class TestAccessAndQuerying:
+    @pytest.fixture()
+    def corpus(self, small_retailer_tree):
+        corpus = Corpus()
+        corpus.add_tree("retailer", small_retailer_tree)
+        corpus.add_builtin("figure5-stores", name="stores")
+        return corpus
+
+    def test_names_sorted(self, corpus):
+        assert corpus.names() == ["retailer", "stores"]
+
+    def test_unknown_entry_raises_with_hint(self, corpus):
+        with pytest.raises(ExtractError) as excinfo:
+            corpus.entry("missing")
+        assert "registered" in str(excinfo.value)
+
+    def test_query_all_covers_every_document(self, corpus):
+        outcomes = corpus.query_all("store texas", size_bound=6)
+        assert set(outcomes) == {"retailer", "stores"}
+        assert all(len(outcome) >= 1 for outcome in outcomes.values())
+
+    def test_query_all_includes_empty_outcomes(self, corpus):
+        outcomes = corpus.query_all("zebra quagga")
+        assert set(outcomes) == {"retailer", "stores"}
+        assert all(len(outcome) == 0 for outcome in outcomes.values())
+
+    def test_summary_rows(self, corpus):
+        rows = corpus.summary()
+        assert [row["name"] for row in rows] == ["retailer", "stores"]
+        assert all(row["nodes"] > 0 for row in rows)
+
+    def test_iteration_and_len(self, corpus):
+        assert len(corpus) == 2
+        assert {entry.name for entry in corpus} == {"retailer", "stores"}
+
+    def test_repr(self, corpus):
+        assert "documents=2" in repr(corpus)

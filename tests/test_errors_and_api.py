@@ -1,0 +1,88 @@
+"""Tests for the exception hierarchy and the public package surface."""
+
+from __future__ import annotations
+
+import pytest
+
+import repro
+from repro import errors
+
+
+class TestExceptionHierarchy:
+    ALL_ERRORS = (
+        errors.XMLParseError,
+        errors.DTDParseError,
+        errors.DeweyError,
+        errors.SchemaError,
+        errors.IndexError_,
+        errors.IndexNotBuiltError,
+        errors.StorageError,
+        errors.QueryError,
+        errors.SearchError,
+        errors.SnippetError,
+        errors.InvalidSizeBoundError,
+        errors.DatasetError,
+        errors.EvaluationError,
+    )
+
+    def test_every_error_derives_from_extract_error(self):
+        for error_type in self.ALL_ERRORS:
+            assert issubclass(error_type, errors.ExtractError)
+
+    def test_catching_base_class_catches_all(self):
+        for error_type in self.ALL_ERRORS:
+            if error_type is errors.InvalidSizeBoundError:
+                instance = error_type(0)
+            elif error_type is errors.XMLParseError:
+                instance = error_type("bad", line=1, column=2)
+            else:
+                instance = error_type("boom")
+            with pytest.raises(errors.ExtractError):
+                raise instance
+
+    def test_xml_parse_error_location_formatting(self):
+        error = errors.XMLParseError("unexpected token", line=3, column=7)
+        assert "line 3" in str(error) and "column 7" in str(error)
+        assert error.line == 3 and error.column == 7
+        bare = errors.XMLParseError("oops")
+        assert "line" not in str(bare)
+
+    def test_invalid_size_bound_message(self):
+        error = errors.InvalidSizeBoundError(-2)
+        assert "-2" in str(error)
+        assert error.bound == -2
+
+    def test_index_not_built_is_index_error(self):
+        assert issubclass(errors.IndexNotBuiltError, errors.IndexError_)
+
+
+class TestPublicApi:
+    def test_all_names_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), f"repro.__all__ lists {name} but it is not importable"
+
+    def test_version_string(self):
+        assert repro.__version__.count(".") == 2
+
+    def test_key_entry_points_exposed(self):
+        for name in (
+            "ExtractSystem",
+            "SnippetGenerator",
+            "DistinctSnippetGenerator",
+            "SearchEngine",
+            "IndexBuilder",
+            "Corpus",
+            "KeywordQuery",
+            "parse_xml",
+            "tree_from_dict",
+        ):
+            assert name in repro.__all__
+
+    def test_subpackage_all_names_resolve(self):
+        import repro.snippet as snippet_pkg
+        import repro.xmltree as xmltree_pkg
+        import repro.eval as eval_pkg
+
+        for package in (snippet_pkg, xmltree_pkg, eval_pkg):
+            for name in package.__all__:
+                assert hasattr(package, name), f"{package.__name__}.__all__ lists {name}"

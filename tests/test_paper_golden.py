@@ -1,0 +1,105 @@
+"""Golden tests against the numbers printed in the paper (Figures 1-3, §2.3).
+
+These are the reproduction's anchor: if any of them fails, the system no
+longer computes what the paper describes.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets.paper_example import FIGURE1_EXPECTED_ILIST, FIGURE1_EXPECTED_SCORES
+from repro.search.engine import SearchEngine
+from repro.snippet.dominant import DominantFeatureIdentifier
+from repro.snippet.generator import SnippetGenerator
+
+
+class TestFigure1Golden:
+    def test_query_returns_brook_brothers_and_lone_star_only(self, figure1_idx, figure1_query_text):
+        results = SearchEngine(figure1_idx).search(figure1_query_text)
+        names = {result.root_node.find_child("name").text for result in results}
+        assert names == {"Brook Brothers", "Lone Star Apparel"}
+
+    def test_distractor_retailer_never_returned(self, figure1_idx, figure1_query_text):
+        results = SearchEngine(figure1_idx).search(figure1_query_text)
+        names = {result.root_node.find_child("name").text for result in results}
+        assert "Pacific Electronics" not in names
+
+    def test_result_is_the_whole_retailer_subtree(self, figure1_result):
+        assert figure1_result.root_node.tag == "retailer"
+        assert figure1_result.size_nodes == figure1_result.root_node.subtree_size_nodes()
+
+
+class TestFigure3Golden:
+    def test_ilist_matches_paper_exactly(self, figure1_idx, figure1_result):
+        ilist = SnippetGenerator(figure1_idx.analyzer).build_ilist(figure1_result)
+        assert tuple(text.lower() for text in ilist.texts()) == FIGURE1_EXPECTED_ILIST
+
+    @pytest.mark.parametrize("value,expected", sorted(FIGURE1_EXPECTED_SCORES.items()))
+    def test_dominance_scores_match_paper(self, figure1_idx, figure1_result, value, expected):
+        table = DominantFeatureIdentifier(figure1_idx.analyzer).dominance_table(figure1_result)
+        # the paper rounds to one decimal; 0.08 covers its rounding/truncation
+        assert table[value] == pytest.approx(expected, abs=0.08)
+
+    def test_houston_example_from_section_2_3(self, figure1_idx, figure1_result):
+        # "DS(Houston) = 6/(10/5) = 3.0"
+        table = DominantFeatureIdentifier(figure1_idx.analyzer).dominance_table(figure1_result)
+        assert table["houston"] == pytest.approx(3.0)
+
+
+class TestFigure2Golden:
+    def test_snippet_at_bound_14_contains_figure2_content(self, figure1_idx, figure1_result):
+        generated = SnippetGenerator(figure1_idx.analyzer).generate(figure1_result, size_bound=14)
+        visible = set()
+        for node in generated.snippet.selected_nodes():
+            visible.add(node.tag)
+            if node.has_text_value:
+                visible.add(f"{node.tag}={(node.text or '').strip().lower()}")
+        for expected in (
+            "retailer",
+            "name=brook brothers",
+            "product=apparel",
+            "store",
+            "state=texas",
+            "city=houston",
+            "clothes",
+            "category=outwear",
+            "fitting=man",
+        ):
+            assert expected in visible, f"Figure 2 content {expected!r} missing from snippet"
+
+    def test_snippet_respects_figure2_bound(self, figure1_idx, figure1_result):
+        generated = SnippetGenerator(figure1_idx.analyzer).generate(figure1_result, size_bound=14)
+        assert generated.snippet.size_edges <= 14
+
+    def test_houston_store_chosen_over_other_cities(self, figure1_idx, figure1_result):
+        # the snippet's store must be one located in Houston (the dominant
+        # city), mirroring Figure 2
+        generated = SnippetGenerator(figure1_idx.analyzer).generate(figure1_result, size_bound=14)
+        cities = [
+            (node.text or "").strip()
+            for node in generated.snippet.selected_nodes()
+            if node.tag == "city"
+        ]
+        assert cities == ["Houston"]
+
+
+class TestFigure5Golden:
+    def test_demo_walkthrough(self, figure5_idx):
+        results = SearchEngine(figure5_idx).search("store texas")
+        generator = SnippetGenerator(figure5_idx.analyzer)
+        by_name = {}
+        for result in results:
+            generated = generator.generate(result, size_bound=6)
+            name = result.root_node.find_child("name").text
+            values = {
+                (node.tag, (node.text or "").lower())
+                for node in generated.snippet.selected_nodes()
+                if node.has_text_value
+            }
+            by_name[name] = values
+            assert generated.snippet.size_edges <= 6
+        assert ("category", "jeans") in by_name["Levis"]
+        assert ("fitting", "man") in by_name["Levis"]
+        assert ("category", "outwear") in by_name["ESprit"]
+        assert ("fitting", "woman") in by_name["ESprit"]

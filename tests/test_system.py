@@ -1,0 +1,96 @@
+"""Tests for the end-to-end ExtractSystem façade."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import ExtractSystem
+from repro.datasets.retail import figure5_document
+from repro.errors import QueryError, XMLParseError
+from repro.search.xseek import ResultConstruction
+from repro.xmltree.serialize import to_xml_string
+
+SMALL_XML = """<!DOCTYPE stores [
+  <!ELEMENT stores (store*)>
+]>
+<stores>
+  <store><name>Levis</name><state>Texas</state></store>
+  <store><name>ESprit</name><state>Oregon</state></store>
+</stores>
+"""
+
+
+class TestConstruction:
+    def test_from_tree(self):
+        system = ExtractSystem.from_tree(figure5_document())
+        assert system.index.tree.size_nodes > 0
+
+    def test_from_xml_uses_dtd(self):
+        system = ExtractSystem.from_xml(SMALL_XML, name="small")
+        assert "store" in system.analyzer.entity_tags()
+        assert system.index.tree.name == "small"
+
+    def test_from_file(self, tmp_path):
+        path = tmp_path / "doc.xml"
+        path.write_text(to_xml_string(figure5_document()), encoding="utf-8")
+        system = ExtractSystem.from_file(path)
+        outcome = system.query("store texas", size_bound=6)
+        assert len(outcome) == 2
+
+    def test_from_xml_malformed_raises(self):
+        with pytest.raises(XMLParseError):
+            ExtractSystem.from_xml("<a><b></a>")
+
+    def test_repr(self):
+        assert "nodes=" in repr(ExtractSystem.from_tree(figure5_document()))
+
+
+class TestQuery:
+    @pytest.fixture()
+    def system(self):
+        return ExtractSystem.from_tree(figure5_document())
+
+    def test_outcome_contains_results_and_snippets(self, system):
+        outcome = system.query("store texas", size_bound=6)
+        assert len(outcome.results) == len(outcome.snippets) == len(outcome) == 2
+        assert all(generated.snippet.size_edges <= 6 for generated in outcome.snippets)
+
+    def test_limit_applies_to_both(self, system):
+        outcome = system.query("store", size_bound=6, limit=1)
+        assert len(outcome.results) == 1
+        assert len(outcome.snippets) == 1
+
+    def test_empty_query_raises(self, system):
+        with pytest.raises(QueryError):
+            system.query("  ")
+
+    def test_no_results_outcome(self, system):
+        outcome = system.query("store antarctica")
+        assert len(outcome) == 0
+        assert outcome.render_text().count("Result #") == 0
+
+    def test_render_text_and_html(self, system):
+        outcome = system.query("store texas", size_bound=6)
+        text = outcome.render_text(show_ilist=True)
+        assert "IList:" in text
+        html = outcome.render_html()
+        assert html.startswith("<!DOCTYPE html>")
+
+    def test_timings_include_all_phases(self, system):
+        outcome = system.query("store texas", size_bound=6)
+        assert {"search", "snippets"} <= set(outcome.timings.phases)
+        assert outcome.timings.total > 0
+
+    def test_construction_modes(self, system):
+        subtree = system.query("store texas", construction=ResultConstruction.SUBTREE)
+        paths = system.query("store texas", construction=ResultConstruction.MATCH_PATHS)
+        assert len(subtree) >= 1 and len(paths) >= 1
+
+    def test_document_stats(self, system):
+        stats = system.document_stats()
+        assert stats.node_count == system.index.tree.size_nodes
+
+    def test_elca_system(self):
+        system = ExtractSystem.from_tree(figure5_document(), algorithm="elca")
+        outcome = system.query("store texas", size_bound=6)
+        assert len(outcome) >= 2

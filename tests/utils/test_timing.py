@@ -1,0 +1,104 @@
+"""Tests for the timing helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.utils.timing import Stopwatch, TimingBreakdown, timed
+
+
+class TestStopwatch:
+    def test_start_stop_accumulates(self):
+        watch = Stopwatch()
+        watch.start()
+        elapsed = watch.stop()
+        assert elapsed >= 0.0
+        assert watch.elapsed == elapsed
+
+    def test_stop_without_start_raises(self):
+        with pytest.raises(RuntimeError):
+            Stopwatch().stop()
+
+    def test_reset(self):
+        watch = Stopwatch().start()
+        watch.stop()
+        watch.reset()
+        assert watch.elapsed == 0.0
+        assert not watch.running
+
+    def test_running_flag(self):
+        watch = Stopwatch()
+        assert not watch.running
+        watch.start()
+        assert watch.running
+        watch.stop()
+        assert not watch.running
+
+    def test_multiple_intervals_accumulate(self):
+        watch = Stopwatch()
+        watch.start()
+        first = watch.stop()
+        watch.start()
+        second = watch.stop()
+        assert second >= first
+
+
+class TestTimingBreakdown:
+    def test_measure_records_phase(self):
+        breakdown = TimingBreakdown()
+        with breakdown.measure("index"):
+            sum(range(100))
+        assert "index" in breakdown.phases
+        assert breakdown.counts["index"] == 1
+        assert breakdown.total >= 0.0
+
+    def test_add_accumulates(self):
+        breakdown = TimingBreakdown()
+        breakdown.add("search", 0.5)
+        breakdown.add("search", 0.25)
+        assert breakdown.phases["search"] == pytest.approx(0.75)
+        assert breakdown.counts["search"] == 2
+
+    def test_mean(self):
+        breakdown = TimingBreakdown()
+        breakdown.add("phase", 1.0)
+        breakdown.add("phase", 3.0)
+        assert breakdown.mean("phase") == pytest.approx(2.0)
+
+    def test_mean_of_unknown_phase_is_zero(self):
+        assert TimingBreakdown().mean("nothing") == 0.0
+
+    def test_merge(self):
+        first = TimingBreakdown()
+        first.add("a", 1.0)
+        second = TimingBreakdown()
+        second.add("a", 2.0)
+        second.add("b", 0.5)
+        first.merge(second)
+        assert first.phases["a"] == pytest.approx(3.0)
+        assert first.phases["b"] == pytest.approx(0.5)
+
+    def test_as_dict_is_copy(self):
+        breakdown = TimingBreakdown()
+        breakdown.add("a", 1.0)
+        copy = breakdown.as_dict()
+        copy["a"] = 99.0
+        assert breakdown.phases["a"] == pytest.approx(1.0)
+
+    def test_format_table_empty(self):
+        assert "no timings" in TimingBreakdown().format_table()
+
+    def test_format_table_lists_phases(self):
+        breakdown = TimingBreakdown()
+        breakdown.add("index", 0.1)
+        breakdown.add("search", 0.2)
+        text = breakdown.format_table()
+        assert "index" in text and "search" in text and "TOTAL" in text
+
+
+class TestTimedContextManager:
+    def test_timed_yields_running_watch(self):
+        with timed() as watch:
+            assert watch.running
+        assert not watch.running
+        assert watch.elapsed >= 0.0

@@ -1,0 +1,119 @@
+"""Tests for TreeBuilder and dict-based construction."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ExtractError
+from repro.xmltree.builder import (
+    TreeBuilder,
+    sequence_of_values,
+    subtree_from_dict,
+    tree_from_dict,
+)
+
+
+class TestTreeBuilder:
+    def test_basic_build(self):
+        builder = TreeBuilder("retailer")
+        builder.add_value("name", "Brook Brothers")
+        with builder.element("store"):
+            builder.add_value("city", "Houston")
+        tree = builder.build()
+        assert [node.tag for node in tree.root.children] == ["name", "store"]
+        assert tree.node(tree.find_by_tag("city")[0].dewey).text == "Houston"
+
+    def test_open_close_manual(self):
+        builder = TreeBuilder("a")
+        builder.open("b")
+        builder.add_value("c", 1)
+        builder.close()
+        tree = builder.build()
+        assert tree.size_nodes == 3
+
+    def test_close_root_raises(self):
+        with pytest.raises(ExtractError):
+            TreeBuilder("a").close()
+
+    def test_unclosed_elements_raise_at_build(self):
+        builder = TreeBuilder("a")
+        builder.open("b")
+        with pytest.raises(ExtractError):
+            builder.build()
+
+    def test_builder_not_reusable(self):
+        builder = TreeBuilder("a")
+        builder.build()
+        with pytest.raises(ExtractError):
+            builder.add_value("x", 1)
+        with pytest.raises(ExtractError):
+            builder.build()
+
+    def test_add_empty(self):
+        builder = TreeBuilder("a")
+        node = builder.add_empty("flag")
+        tree = builder.build()
+        assert node.text is None
+        assert tree.size_nodes == 2
+
+    def test_add_value_stringifies(self):
+        builder = TreeBuilder("a")
+        builder.add_value("year", 2008)
+        assert builder.current.children[0].text == "2008"
+        builder.build()
+
+    def test_add_subtree(self):
+        builder = TreeBuilder("a")
+        fragment = subtree_from_dict("store", {"city": "Houston"})
+        builder.add_subtree(fragment)
+        tree = builder.build()
+        assert tree.find_by_tag("city")[0].text == "Houston"
+
+    def test_current_tracks_nesting(self):
+        builder = TreeBuilder("a")
+        with builder.element("b"):
+            assert builder.current.tag == "b"
+        assert builder.current.tag == "a"
+
+    def test_tree_name(self):
+        tree = TreeBuilder("a", name="custom").build()
+        assert tree.name == "custom"
+
+
+class TestTreeFromDict:
+    def test_scalar_values_become_text(self):
+        tree = tree_from_dict("a", {"b": 1, "c": "x"})
+        assert tree.find_by_tag("b")[0].text == "1"
+        assert tree.find_by_tag("c")[0].text == "x"
+
+    def test_lists_repeat_elements(self):
+        tree = tree_from_dict("a", {"item": [1, 2, 3]})
+        assert len(tree.find_by_tag("item")) == 3
+
+    def test_nested_mappings(self):
+        tree = tree_from_dict("a", {"b": {"c": {"d": "deep"}}})
+        assert tree.find_by_tag("d")[0].text == "deep"
+        assert tree.max_depth == 3
+
+    def test_none_means_empty_element(self):
+        tree = tree_from_dict("a", {"b": None})
+        assert tree.find_by_tag("b")[0].text is None
+
+    def test_top_level_list_rejected(self):
+        with pytest.raises(ExtractError):
+            tree_from_dict("a", [1, 2])
+
+    def test_key_order_preserved(self):
+        tree = tree_from_dict("a", {"x": 1, "y": 2, "z": 3})
+        assert [node.tag for node in tree.root.children] == ["x", "y", "z"]
+
+
+class TestHelpers:
+    def test_sequence_of_values(self):
+        node = sequence_of_values("list", "item", [1, 2])
+        assert [child.text for child in node.children] == ["1", "2"]
+
+    def test_subtree_from_dict_detached(self):
+        node = subtree_from_dict("store", {"city": "Austin"})
+        assert node.parent is None
+        assert node.children[0].text == "Austin"

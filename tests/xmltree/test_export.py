@@ -1,0 +1,96 @@
+"""Tests for DOT and DTD export."""
+
+from __future__ import annotations
+
+from repro.classify.categories import classify_schema
+from repro.xmltree.builder import tree_from_dict
+from repro.xmltree.dtd import parse_dtd
+from repro.xmltree.export import export_doctype, export_dtd, to_dot
+from repro.xmltree.parser import parse_xml
+from repro.xmltree.schema import infer_schema
+from repro.xmltree.serialize import to_xml_string
+
+
+def sample_tree():
+    return tree_from_dict(
+        "retailer",
+        {
+            "name": "Brook & Brothers",
+            "store": [
+                {"city": "Houston", "merchandises": {"clothes": [{"category": "suit"}]}},
+                {"city": "Austin"},
+            ],
+        },
+    )
+
+
+class TestDot:
+    def test_dot_structure(self):
+        dot = to_dot(sample_tree())
+        assert dot.startswith("digraph")
+        assert dot.rstrip().endswith("}")
+        # one box per value leaf (name, two cities, one category)
+        assert dot.count('shape=box') == 4
+        assert '"retailer"' in dot and '"store"' in dot
+
+    def test_dot_escapes_quotes_and_specials(self):
+        tree = tree_from_dict("a", {"b": 'say "hi"'})
+        dot = to_dot(tree)
+        assert '\\"hi\\"' in dot
+
+    def test_dot_highlight(self):
+        tree = sample_tree()
+        store = tree.find_by_tag("store")[0]
+        dot = to_dot(tree, highlight={store.dewey})
+        assert dot.count("fillcolor") == 1
+
+    def test_dot_rankdir_and_name(self):
+        dot = to_dot(sample_tree(), graph_name="example", rankdir="LR")
+        assert "digraph example" in dot
+        assert "rankdir=LR" in dot
+
+    def test_dot_accepts_detached_node(self):
+        tree = sample_tree()
+        dot = to_dot(tree.find_by_tag("store")[0])
+        assert '"store"' in dot and '"retailer"' not in dot
+
+
+class TestDtdExport:
+    def test_star_children_marked(self):
+        schema = infer_schema(sample_tree())
+        dtd_text = export_dtd(schema, root_tag="retailer")
+        assert "<!ELEMENT retailer" in dtd_text
+        assert "store*" in dtd_text
+        assert "<!ELEMENT city (#PCDATA)>" in dtd_text
+
+    def test_optional_children_marked(self):
+        # the second store has no merchandises → merchandises is optional
+        schema = infer_schema(sample_tree())
+        dtd_text = export_dtd(schema)
+        assert "merchandises?" in dtd_text
+
+    def test_empty_element(self):
+        schema = infer_schema(tree_from_dict("a", {"flag": None}))
+        assert "<!ELEMENT flag EMPTY>" in export_dtd(schema)
+
+    def test_round_trip_preserves_star_classification(self):
+        tree = sample_tree()
+        schema = infer_schema(tree)
+        reparsed_dtd = parse_dtd(export_dtd(schema, root_tag="retailer"))
+        # classification from the exported DTD matches the data-driven one
+        schema_with_dtd = infer_schema(tree, dtd=reparsed_dtd)
+        assert classify_schema(schema_with_dtd) == classify_schema(schema)
+
+    def test_doctype_document_reparses(self):
+        tree = sample_tree()
+        schema = infer_schema(tree)
+        doctype = export_doctype(schema, "retailer")
+        body = to_xml_string(tree, include_declaration=False)
+        result = parse_xml(doctype + body)
+        assert result.doctype_name == "retailer"
+        assert result.dtd_text and "store*" in result.dtd_text
+
+    def test_root_tag_listed_first(self):
+        schema = infer_schema(sample_tree())
+        first_line = export_dtd(schema, root_tag="retailer").splitlines()[0]
+        assert first_line.startswith("<!ELEMENT retailer")

@@ -1,0 +1,157 @@
+"""Tests for the XML parser."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import XMLParseError
+from repro.xmltree.parser import decode_entities, parse_xml, parse_xml_file
+
+
+class TestBasicParsing:
+    def test_single_element(self):
+        tree = parse_xml("<a/>").tree
+        assert tree.root.tag == "a"
+        assert tree.size_nodes == 1
+
+    def test_text_content(self):
+        tree = parse_xml("<a>hello</a>").tree
+        assert tree.root.text == "hello"
+
+    def test_nested_elements(self):
+        tree = parse_xml("<a><b><c>x</c></b></a>").tree
+        assert tree.max_depth == 2
+        assert tree.find_by_tag("c")[0].text == "x"
+
+    def test_sibling_order_preserved(self):
+        tree = parse_xml("<a><x>1</x><y>2</y><x>3</x></a>").tree
+        assert [node.tag for node in tree.root.children] == ["x", "y", "x"]
+
+    def test_whitespace_between_elements_ignored(self):
+        tree = parse_xml("<a>\n  <b>1</b>\n  <c>2</c>\n</a>").tree
+        assert tree.root.text is None
+        assert len(tree.root.children) == 2
+
+    def test_mixed_content_text_joined(self):
+        tree = parse_xml("<a>hello <b>x</b> world</a>").tree
+        assert tree.root.text == "hello world"
+
+    def test_xml_declaration_skipped(self):
+        tree = parse_xml('<?xml version="1.0" encoding="UTF-8"?><a>1</a>').tree
+        assert tree.root.text == "1"
+
+    def test_comments_skipped(self):
+        tree = parse_xml("<!-- hi --><a><!-- inner -->x</a><!-- bye -->").tree
+        assert tree.root.text == "x"
+
+    def test_processing_instruction_skipped(self):
+        tree = parse_xml("<?pi data?><a><?x y?>v</a>").tree
+        assert tree.root.text == "v"
+
+    def test_cdata_becomes_text(self):
+        tree = parse_xml("<a><![CDATA[1 < 2 & 3]]></a>").tree
+        assert tree.root.text == "1 < 2 & 3"
+
+    def test_self_closing_with_sibling(self):
+        tree = parse_xml("<a><b/><c>x</c></a>").tree
+        assert [node.tag for node in tree.root.children] == ["b", "c"]
+
+
+class TestAttributes:
+    def test_attributes_become_children_by_default(self):
+        tree = parse_xml('<store id="3" open="yes"/>').tree
+        assert {child.tag: child.text for child in tree.root.children} == {"id": "3", "open": "yes"}
+        assert tree.root.raw_attributes == {"id": "3", "open": "yes"}
+
+    def test_attributes_kept_raw_when_disabled(self):
+        tree = parse_xml('<store id="3"/>', attributes_as_children=False).tree
+        assert tree.root.children == []
+        assert tree.root.raw_attributes == {"id": "3"}
+
+    def test_single_quoted_attributes(self):
+        tree = parse_xml("<a x='1'/>").tree
+        assert tree.root.raw_attributes["x"] == "1"
+
+    def test_attribute_entity_decoding(self):
+        tree = parse_xml('<a title="Tom &amp; Jerry"/>').tree
+        assert tree.root.raw_attributes["title"] == "Tom & Jerry"
+
+    def test_gt_inside_attribute_value(self):
+        tree = parse_xml('<a expr="x > 1"><b/></a>').tree
+        assert tree.root.raw_attributes["expr"] == "x > 1"
+        assert len(tree.root.find_children("b")) == 1
+
+
+class TestEntities:
+    def test_predefined_entities(self):
+        tree = parse_xml("<a>&lt;tag&gt; &amp; &quot;text&quot; &apos;x&apos;</a>").tree
+        assert tree.root.text == "<tag> & \"text\" 'x'"
+
+    def test_numeric_character_references(self):
+        tree = parse_xml("<a>&#65;&#x42;</a>").tree
+        assert tree.root.text == "AB"
+
+    def test_unknown_entity_kept_verbatim(self):
+        assert decode_entities("&unknown;") == "&unknown;"
+
+
+class TestDoctype:
+    def test_doctype_name_captured(self):
+        result = parse_xml("<!DOCTYPE stores><stores/>")
+        assert result.doctype_name == "stores"
+        assert result.dtd_text is None
+
+    def test_internal_subset_captured(self):
+        xml = """<!DOCTYPE stores [
+          <!ELEMENT stores (store*)>
+          <!ELEMENT store (name, city)>
+        ]>
+        <stores/>"""
+        result = parse_xml(xml)
+        assert result.doctype_name == "stores"
+        assert "<!ELEMENT stores (store*)>" in result.dtd_text
+
+    def test_doctype_with_system_identifier(self):
+        result = parse_xml('<!DOCTYPE a SYSTEM "a.dtd"><a/>')
+        assert result.doctype_name == "a"
+
+
+class TestErrors:
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "",
+            "   ",
+            "<a>",                      # unterminated element
+            "<a></b>",                  # mismatched close tag
+            "<a><b></a></b>",           # interleaved tags
+            "plain text",               # no root element
+            "<a/><b/>",                 # two roots
+            "<a>text",                  # missing close
+            "<!-- only a comment -->",  # no root element
+            "<a><!-- unterminated </a>",
+            "<a><![CDATA[x</a>",
+            "<",
+        ],
+    )
+    def test_malformed_inputs_raise(self, text):
+        with pytest.raises(XMLParseError):
+            parse_xml(text)
+
+    def test_non_string_input_raises(self):
+        with pytest.raises(XMLParseError):
+            parse_xml(b"<a/>")  # type: ignore[arg-type]
+
+    def test_error_reports_location(self):
+        with pytest.raises(XMLParseError) as excinfo:
+            parse_xml("<a>\n<b></c>\n</a>")
+        assert excinfo.value.line == 2
+
+
+class TestFileParsing:
+    def test_parse_xml_file_round_trip(self, tmp_path):
+        path = tmp_path / "doc.xml"
+        path.write_text("<a><b>1</b></a>", encoding="utf-8")
+        result = parse_xml_file(path)
+        assert result.tree.name.endswith("doc.xml")
+        assert result.tree.find_by_tag("b")[0].text == "1"

@@ -1,0 +1,80 @@
+"""Tests for serialisation (XML text, plain dicts, outlines)."""
+
+from __future__ import annotations
+
+from repro.xmltree.builder import tree_from_dict
+from repro.xmltree.parser import parse_xml
+from repro.xmltree.serialize import (
+    escape_text,
+    from_plain_dict,
+    to_outline,
+    to_plain_dict,
+    to_xml_string,
+)
+
+
+class TestToXmlString:
+    def test_leaf_on_one_line(self):
+        tree = tree_from_dict("a", {"b": "1"})
+        text = to_xml_string(tree, include_declaration=False)
+        assert "<b>1</b>" in text
+
+    def test_declaration_included_by_default(self):
+        tree = tree_from_dict("a", {"b": "1"})
+        assert to_xml_string(tree).startswith("<?xml")
+
+    def test_empty_leaf_self_closes(self):
+        tree = tree_from_dict("a", {"b": None})
+        assert "<b/>" in to_xml_string(tree)
+
+    def test_escaping(self):
+        tree = tree_from_dict("a", {"b": "1 < 2 & 3"})
+        text = to_xml_string(tree)
+        assert "&lt;" in text and "&amp;" in text
+
+    def test_round_trip_through_parser(self):
+        original = tree_from_dict(
+            "retailer",
+            {"name": "Brook & Brothers", "store": [{"city": "Houston"}, {"city": "Austin"}]},
+        )
+        reparsed = parse_xml(to_xml_string(original)).tree
+        assert [n.tag for n in reparsed.iter_nodes()] == [n.tag for n in original.iter_nodes()]
+        assert [n.text for n in reparsed.iter_nodes()] == [n.text for n in original.iter_nodes()]
+
+    def test_serialize_detached_node(self):
+        tree = tree_from_dict("a", {"b": "1"})
+        text = to_xml_string(tree.root.children[0], include_declaration=False)
+        assert text.strip() == "<b>1</b>"
+
+
+class TestEscapeText:
+    def test_all_special_characters(self):
+        assert escape_text('<a> & "q"') == "&lt;a&gt; &amp; &quot;q&quot;"
+
+    def test_plain_text_untouched(self):
+        assert escape_text("Houston") == "Houston"
+
+
+class TestPlainDict:
+    def test_round_trip(self):
+        tree = tree_from_dict("a", {"b": "1", "c": [{"d": "2"}, {"d": "3"}]})
+        data = to_plain_dict(tree)
+        rebuilt = from_plain_dict(data)
+        assert [n.tag for n in rebuilt.iter_nodes()] == [n.tag for n in tree.iter_nodes()]
+        assert [n.text for n in rebuilt.iter_nodes()] == [n.text for n in tree.iter_nodes()]
+
+    def test_structure_of_dict(self):
+        tree = tree_from_dict("a", {"b": "1"})
+        data = to_plain_dict(tree)
+        assert data["tag"] == "a"
+        assert data["children"][0] == {"tag": "b", "text": "1", "children": []}
+
+
+class TestOutline:
+    def test_outline_shows_values(self):
+        tree = tree_from_dict("a", {"b": "1"})
+        assert to_outline(tree) == "a\n  b: 1"
+
+    def test_outline_depth_limit(self):
+        tree = tree_from_dict("a", {"b": {"c": "x"}})
+        assert "c" not in to_outline(tree, max_depth=1)

@@ -1,0 +1,64 @@
+"""Tests for document statistics."""
+
+from __future__ import annotations
+
+from repro.xmltree.builder import tree_from_dict
+from repro.xmltree.stats import compute_stats
+
+
+def sample_tree():
+    return tree_from_dict(
+        "retailer",
+        {
+            "name": "Brook Brothers",
+            "store": [
+                {"city": "Houston", "state": "Texas"},
+                {"city": "Austin", "state": "Texas"},
+            ],
+        },
+        name="stats-sample",
+    )
+
+
+class TestComputeStats:
+    def test_node_and_edge_counts(self):
+        stats = compute_stats(sample_tree())
+        assert stats.node_count == 8
+        assert stats.edge_count == 7
+
+    def test_depth_and_leaves(self):
+        stats = compute_stats(sample_tree())
+        assert stats.max_depth == 2
+        assert stats.leaf_count == 5
+        assert stats.text_node_count == 5
+
+    def test_tag_counts(self):
+        stats = compute_stats(sample_tree())
+        assert stats.tag_counts["store"] == 2
+        assert stats.tag_counts["city"] == 2
+        assert stats.distinct_tags == 5
+
+    def test_term_counts_include_values_and_tags(self):
+        stats = compute_stats(sample_tree())
+        assert stats.term_counts["texas"] == 2
+        assert stats.term_counts["store"] >= 2
+
+    def test_average_fanout(self):
+        stats = compute_stats(sample_tree())
+        # 3 internal nodes (retailer + 2 stores), 7 edges
+        assert stats.average_fanout == 7 / 3
+
+    def test_average_fanout_single_node(self):
+        stats = compute_stats(tree_from_dict("only", {}))
+        assert stats.average_fanout == 0.0
+
+    def test_most_common_helpers(self):
+        stats = compute_stats(sample_tree())
+        assert stats.most_common_tags(1)[0][0] in {"store", "city", "state"}
+        assert len(stats.most_common_terms(3)) == 3
+
+    def test_format_summary_mentions_name_and_counts(self):
+        stats = compute_stats(sample_tree())
+        text = stats.format_summary()
+        assert "stats-sample" in text
+        assert "8 / 7" in text
