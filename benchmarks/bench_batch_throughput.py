@@ -1,0 +1,87 @@
+"""Serving benchmark — batch execution throughput vs. per-query execution.
+
+``Corpus.search_batch`` shares parsed queries and posting-list lookups
+across queries and documents, and the query-result cache turns a repeated
+batch into pure lookups.  The acceptance shape (ISSUE 1): warm-cache batch
+queries are **at least 5× faster** than cold per-query execution on the
+retail dataset.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.corpus import Corpus
+from repro.datasets.movies import MoviesConfig, generate_movies_document
+from repro.datasets.retail import RetailConfig, generate_retail_document
+
+QUERIES = [
+    "store texas",
+    "retailer apparel",
+    "clothes casual",
+    "store austin",
+    "suit formal",
+    "movie drama",
+]
+
+_RETAIL = RetailConfig(retailers=8, stores_per_retailer=5, clothes_per_store=5, seed=13)
+_MOVIES = MoviesConfig(movies=30, seed=13)
+
+
+def _fresh_corpus() -> Corpus:
+    corpus = Corpus()
+    corpus.add_tree("retail", generate_retail_document(_RETAIL, name="retail"))
+    corpus.add_tree("movies", generate_movies_document(_MOVIES))
+    return corpus
+
+
+def _cold_per_query_seconds(corpus: Corpus) -> float:
+    """The baseline the batch API replaces: every query evaluated one by
+    one, no caching, no shared lookups."""
+    started = time.perf_counter()
+    for query in QUERIES:
+        for name in corpus.names():
+            corpus.query(name, query, size_bound=6, use_cache=False)
+    return time.perf_counter() - started
+
+
+def test_batch_throughput_warm_vs_cold():
+    corpus = _fresh_corpus()
+    cold = _cold_per_query_seconds(corpus)
+
+    corpus.search_batch(QUERIES, size_bound=6)          # warm the caches
+    started = time.perf_counter()
+    report = corpus.search_batch(QUERIES, size_bound=6)  # fully warm batch
+    warm = time.perf_counter() - started
+
+    assert report.total_results > 0
+    assert all(
+        outcome.from_cache for entry in report for outcome in entry.outcomes.values()
+    )
+    # ISSUE 1 acceptance: warm-cache batch >= 5x faster than cold per-query.
+    assert cold / max(warm, 1e-9) >= 5.0, (cold, warm)
+
+
+def test_batch_report_shape():
+    corpus = _fresh_corpus()
+    report = corpus.search_batch(QUERIES, size_bound=6)
+    assert len(report) == len(QUERIES)
+    assert report.document_names == ["movies", "retail"]
+    assert set(report.timings.phases) == {f"query:{query}" for query in QUERIES}
+    table = report.format_table()
+    assert "TOTAL" in table
+
+
+def test_warm_batch_speed(benchmark):
+    corpus = _fresh_corpus()
+    corpus.search_batch(QUERIES, size_bound=6)  # warm up
+    report = benchmark(corpus.search_batch, QUERIES, None, 6)
+    assert report.total_results > 0
+
+
+def test_cold_batch_still_shares_lookups():
+    """Even a cold batch must answer every query on every document."""
+    corpus = _fresh_corpus()
+    report = corpus.search_batch(QUERIES, size_bound=6, use_cache=False)
+    for entry in report:
+        assert set(entry.outcomes) == {"movies", "retail"}

@@ -16,7 +16,10 @@ def test_f5_end_to_end_demo_speed(benchmark):
     system = ExtractSystem.from_tree(figure5_document())
 
     def run_demo():
-        return system.query("store texas", size_bound=6)
+        # Cache disabled: this benchmark measures the full search + snippet
+        # pipeline, not the serving cache (bench_cache_hit_rate covers that).
+        system.invalidate_cache()
+        return system.query("store texas", size_bound=6, use_cache=False)
 
     outcome = benchmark(run_demo)
     assert len(outcome) == 2

@@ -46,4 +46,8 @@ def retail_result_set(retail_index):
 
 @pytest.fixture(scope="session")
 def retail_snippet_generator(retail_index):
-    return SnippetGenerator(retail_index.analyzer)
+    # Snippet cache disabled: the E1/E2 benchmarks re-invoke generate_all
+    # with identical arguments, and a warm cache would make them measure
+    # LRU lookups instead of snippet generation (bench_cache_hit_rate
+    # covers the cache itself).
+    return SnippetGenerator(retail_index.analyzer, cache_size=0)

@@ -41,8 +41,9 @@ from repro.errors import (
     StorageError,
     XMLParseError,
 )
-from repro.corpus import Corpus
+from repro.corpus import BatchQueryOutcome, BatchReport, Corpus
 from repro.index.builder import DocumentIndex, IndexBuilder
+from repro.index.storage import load_index, save_index
 from repro.search.engine import SearchEngine
 from repro.search.query import KeywordQuery
 from repro.search.results import QueryResult, ResultSet
@@ -51,6 +52,7 @@ from repro.snippet.generator import DEFAULT_SIZE_BOUND, GeneratedSnippet, Snippe
 from repro.snippet.ilist import IList, IListBuilder, IListItem, ItemKind
 from repro.snippet.snippet_tree import Snippet
 from repro.system import ExtractSystem, SearchOutcome
+from repro.utils.cache import DEFAULT_CACHE_SIZE, CacheStats, LRUCache
 from repro.xmltree.builder import TreeBuilder, tree_from_dict
 from repro.xmltree.parser import parse_xml, parse_xml_file
 from repro.xmltree.tree import XMLTree
@@ -62,6 +64,14 @@ __all__ = [
     "ExtractSystem",
     "SearchOutcome",
     "Corpus",
+    # serving layer
+    "BatchQueryOutcome",
+    "BatchReport",
+    "LRUCache",
+    "CacheStats",
+    "DEFAULT_CACHE_SIZE",
+    "save_index",
+    "load_index",
     # snippet pipeline
     "SnippetGenerator",
     "DistinctSnippetGenerator",

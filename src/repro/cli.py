@@ -19,6 +19,12 @@ CLI that drives the same pipeline.  Sub-commands:
 ``experiment``
     Run one or more registered experiments (F1–F5, E1–E7, A1–A2) and print
     their tables.
+``batch``
+    Run every query of a query file (one per line, ``#`` comments) over one
+    or more documents in a single pass and print per-query timing rows.
+``corpus-save``
+    Index one or more documents and snapshot the corpus to a directory that
+    ``batch --corpus-dir`` can reload without re-indexing.
 
 Examples::
 
@@ -26,6 +32,8 @@ Examples::
     python -m repro.cli search --dataset figure5-stores --query "store texas" --bound 6
     python -m repro.cli search --file catalogue.xml --query "movie drama" --html out.html
     python -m repro.cli experiment F3 E4
+    python -m repro.cli corpus-save --dataset retail --dataset movies --output ./corpus
+    python -m repro.cli batch --queries queries.txt --corpus-dir ./corpus
 """
 
 from __future__ import annotations
@@ -88,6 +96,52 @@ def build_parser() -> argparse.ArgumentParser:
 
     experiment = subparsers.add_parser("experiment", help="run registered experiments")
     experiment.add_argument("ids", nargs="*", help="experiment ids (default: list them)")
+
+    def add_corpus_source_arguments(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument(
+            "--dataset",
+            action="append",
+            default=[],
+            choices=builtin_dataset_names(),
+            metavar="NAME",
+            help="add a built-in dataset to the corpus (repeatable)",
+        )
+        sub.add_argument(
+            "--file",
+            action="append",
+            default=[],
+            metavar="PATH",
+            help="add an XML document to the corpus (repeatable)",
+        )
+
+    batch = subparsers.add_parser(
+        "batch", help="run a file of queries over a corpus in one pass"
+    )
+    batch.add_argument(
+        "--queries", required=True, metavar="PATH",
+        help="query file: one keyword query per line, '#' starts a comment",
+    )
+    add_corpus_source_arguments(batch)
+    batch.add_argument(
+        "--corpus-dir", metavar="DIR",
+        help="load a corpus saved by corpus-save instead of (re-)indexing sources",
+    )
+    batch.add_argument("--bound", type=int, default=DEFAULT_SIZE_BOUND, help="snippet size bound (edges)")
+    batch.add_argument("--limit", type=int, default=None, help="top-k results per document")
+    batch.add_argument("--algorithm", choices=("slca", "elca"), default=None)
+    batch.add_argument("--no-cache", action="store_true", help="disable the query-result cache")
+    batch.add_argument(
+        "--repeat", type=int, default=1,
+        help="run the batch N times (cache warm-up demonstration; timings per round)",
+    )
+    batch.add_argument("--show-snippets", action="store_true", help="print each query's snippets")
+
+    corpus_save = subparsers.add_parser(
+        "corpus-save", help="index documents and snapshot the corpus to a directory"
+    )
+    add_corpus_source_arguments(corpus_save)
+    corpus_save.add_argument("--output", required=True, metavar="DIR", help="snapshot directory")
+    corpus_save.add_argument("--algorithm", choices=("slca", "elca"), default="slca")
 
     return parser
 
@@ -191,6 +245,90 @@ def _command_experiment(args: argparse.Namespace, out) -> int:
     return 0
 
 
+def _build_corpus(args: argparse.Namespace, algorithm: str = "slca"):
+    """Assemble a Corpus from --dataset/--file flags (or --corpus-dir)."""
+    from repro.corpus import Corpus
+
+    if getattr(args, "corpus_dir", None):
+        if args.dataset or args.file:
+            raise ExtractError(
+                "--corpus-dir cannot be combined with --dataset/--file: the snapshot "
+                "is authoritative (re-run corpus-save to change its contents)"
+            )
+        return Corpus.load_dir(args.corpus_dir, algorithm=getattr(args, "algorithm", None))
+    corpus = Corpus(algorithm=algorithm)
+    for dataset in args.dataset:
+        if dataset not in corpus:
+            corpus.add_builtin(dataset)
+    for path in args.file:
+        corpus.add_file(path)
+    if len(corpus) == 0:
+        raise ExtractError("no documents given: pass --dataset/--file (or --corpus-dir)")
+    return corpus
+
+
+def _read_query_file(path: str) -> list[str]:
+    """Queries from a text file: one per line, blank lines and '#' comments
+    (inline or full-line) skipped."""
+    queries: list[str] = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            text = line.split("#", 1)[0].strip()
+            if text:
+                queries.append(text)
+    return queries
+
+
+def _command_batch(args: argparse.Namespace, out) -> int:
+    from repro.search.query import KeywordQuery
+
+    corpus = _build_corpus(args, algorithm=args.algorithm or "slca")
+    lines = _read_query_file(args.queries)
+    if not lines:
+        print(f"error: no queries found in {args.queries}", file=out)
+        return 2
+    queries: list[KeywordQuery] = []
+    for line in lines:
+        try:
+            queries.append(KeywordQuery.parse(line))
+        except ExtractError as error:
+            print(f"skipping unparsable query {line!r}: {error}", file=out)
+    if not queries:
+        print("error: no usable query remained after parsing", file=out)
+        return 2
+
+    repeat = max(1, args.repeat)
+    report = None
+    for round_number in range(1, repeat + 1):
+        report = corpus.search_batch(
+            queries, size_bound=args.bound, limit=args.limit, use_cache=not args.no_cache
+        )
+        if repeat > 1:
+            print(f"round {round_number}/{repeat}  ({report.total_seconds:.6f}s)", file=out)
+        print(report.format_table(), file=out)
+        print(file=out)
+    print(f"documents: {', '.join(report.document_names)}", file=out)
+    if args.show_snippets:
+        for entry in report:
+            for document_name, outcome in entry.outcomes.items():
+                print(f"\n=== {document_name} :: {entry.raw} ===", file=out)
+                print(outcome.render_text(), file=out)
+    return 0
+
+
+def _command_corpus_save(args: argparse.Namespace, out) -> int:
+    corpus = _build_corpus(args, algorithm=args.algorithm)
+    subdirs = corpus.save_dir(args.output)
+    total_nodes = sum(entry.node_count for entry in corpus)
+    print(
+        f"saved {len(subdirs)} document index(es), {total_nodes} nodes total, to {args.output}",
+        file=out,
+    )
+    for row in corpus.summary():
+        print(f"  {row['name']:<16s} nodes={row['nodes']}", file=out)
+    return 0
+
+
 _COMMANDS = {
     "analyze": _command_analyze,
     "search": _command_search,
@@ -198,6 +336,8 @@ _COMMANDS = {
     "datasets": _command_datasets,
     "generate": _command_generate,
     "experiment": _command_experiment,
+    "batch": _command_batch,
+    "corpus-save": _command_corpus_save,
 }
 
 

@@ -5,17 +5,34 @@ retrieval" and pick a document before querying (§4).  :class:`Corpus`
 reproduces that workflow programmatically: register documents (from trees,
 XML text, files or the built-in dataset generators), query any of them by
 name, or query all of them at once and get the per-document outcomes back.
+
+Serving features (the demo ran as a web service):
+
+* **Persistence** — :meth:`Corpus.save_dir` snapshots every document index
+  via :mod:`repro.index.storage`; :meth:`Corpus.load_dir` restores the
+  corpus without re-indexing, with byte-identical query results.
+* **Re-registration** — ``add_*(..., replace=True)`` swaps a document in
+  place and explicitly invalidates its result/snippet caches.
+* **Batch execution** — :meth:`Corpus.search_batch` runs many queries over
+  many documents in one pass, sharing parsed queries and posting-list
+  lookups, and reports per-query timings via
+  :class:`~repro.utils.timing.TimingBreakdown`.
 """
 
 from __future__ import annotations
 
 import os
-from collections.abc import Iterator
-from dataclasses import dataclass
+import re
+import time
+from collections.abc import Iterator, Sequence
+from dataclasses import dataclass, field
 
-from repro.errors import DatasetError, ExtractError
+from repro.errors import DatasetError, ExtractError, StorageError
+from repro.search.query import KeywordQuery
 from repro.snippet.generator import DEFAULT_SIZE_BOUND
 from repro.system import ExtractSystem, SearchOutcome
+from repro.utils.cache import DEFAULT_CACHE_SIZE
+from repro.utils.timing import TimingBreakdown
 from repro.xmltree.tree import XMLTree
 
 #: names accepted by :meth:`Corpus.add_builtin` → generator factory
@@ -27,6 +44,9 @@ _BUILTIN_FACTORIES = {
     "auctions": lambda: _lazy("repro.datasets.auctions", "generate_auction_document")(),
     "bibliography": lambda: _lazy("repro.datasets.bibliography", "generate_bibliography_document")(),
 }
+
+_MANIFEST_FILE = "corpus.manifest"
+_MANIFEST_MAGIC = "#extract-corpus v1"
 
 
 def _lazy(module_name: str, attribute: str):
@@ -56,30 +76,115 @@ class CorpusEntry:
         return sorted(self.system.analyzer.entity_tags())
 
 
+@dataclass
+class BatchQueryOutcome:
+    """One batch query's outcomes across all queried documents."""
+
+    raw: str
+    query: KeywordQuery
+    outcomes: dict[str, SearchOutcome] = field(default_factory=dict)
+    seconds: float = 0.0
+
+    @property
+    def total_results(self) -> int:
+        return sum(len(outcome) for outcome in self.outcomes.values())
+
+    def __repr__(self) -> str:
+        return (
+            f"<BatchQueryOutcome query={self.raw!r} documents={len(self.outcomes)} "
+            f"results={self.total_results} seconds={self.seconds:.6f}>"
+        )
+
+
+@dataclass
+class BatchReport:
+    """The result of :meth:`Corpus.search_batch`: per-query outcomes plus a
+    per-query timing breakdown (phase name ``query:<raw text>``)."""
+
+    entries: list[BatchQueryOutcome] = field(default_factory=list)
+    document_names: list[str] = field(default_factory=list)
+    timings: TimingBreakdown = field(default_factory=TimingBreakdown)
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def __iter__(self) -> Iterator[BatchQueryOutcome]:
+        return iter(self.entries)
+
+    def entry(self, raw: str) -> BatchQueryOutcome:
+        for candidate in self.entries:
+            if candidate.raw == raw:
+                return candidate
+        raise ExtractError(f"no batch entry for query {raw!r}")
+
+    @property
+    def total_seconds(self) -> float:
+        return sum(entry.seconds for entry in self.entries)
+
+    @property
+    def total_results(self) -> int:
+        return sum(entry.total_results for entry in self.entries)
+
+    def format_table(self) -> str:
+        """Aligned per-query rows: query text, result count, seconds."""
+        if not self.entries:
+            return "(no queries executed)"
+        width = max(len(entry.raw) for entry in self.entries)
+        width = max(width, len("query"))
+        lines = [f"{'query'.ljust(width)}  results  seconds"]
+        for entry in self.entries:
+            lines.append(
+                f"{entry.raw.ljust(width)}  {entry.total_results:7d}  {entry.seconds:.6f}"
+            )
+        lines.append(
+            f"{'TOTAL'.ljust(width)}  {self.total_results:7d}  {self.total_seconds:.6f}"
+        )
+        return "\n".join(lines)
+
+
 class Corpus:
     """A registry of named, indexed documents."""
 
-    def __init__(self, algorithm: str = "slca"):
+    def __init__(self, algorithm: str = "slca", cache_size: int = DEFAULT_CACHE_SIZE):
         self.algorithm = algorithm
+        self.cache_size = cache_size
         self._entries: dict[str, CorpusEntry] = {}
 
     # ------------------------------------------------------------------ #
     # registration
     # ------------------------------------------------------------------ #
-    def add_tree(self, name: str, tree: XMLTree) -> CorpusEntry:
+    def add_tree(self, name: str, tree: XMLTree, replace: bool = False) -> CorpusEntry:
         """Register an in-memory document under ``name``."""
-        return self._register(name, ExtractSystem.from_tree(tree, algorithm=self.algorithm))
+        return self._register(
+            name,
+            ExtractSystem.from_tree(tree, algorithm=self.algorithm, cache_size=self.cache_size),
+            replace=replace,
+        )
 
-    def add_xml(self, name: str, xml_text: str) -> CorpusEntry:
+    def add_xml(self, name: str, xml_text: str, replace: bool = False) -> CorpusEntry:
         """Register a document given as XML text."""
-        return self._register(name, ExtractSystem.from_xml(xml_text, name=name, algorithm=self.algorithm))
+        return self._register(
+            name,
+            ExtractSystem.from_xml(
+                xml_text, name=name, algorithm=self.algorithm, cache_size=self.cache_size
+            ),
+            replace=replace,
+        )
 
-    def add_file(self, path: str | os.PathLike[str], name: str | None = None) -> CorpusEntry:
+    def add_file(
+        self, path: str | os.PathLike[str], name: str | None = None, replace: bool = False
+    ) -> CorpusEntry:
         """Register a document from an XML file on disk."""
         resolved = name or os.path.splitext(os.path.basename(os.fspath(path)))[0]
-        return self._register(resolved, ExtractSystem.from_file(path, algorithm=self.algorithm))
+        return self._register(
+            resolved,
+            ExtractSystem.from_file(path, algorithm=self.algorithm, cache_size=self.cache_size),
+            replace=replace,
+        )
 
-    def add_builtin(self, dataset: str, name: str | None = None) -> CorpusEntry:
+    def add_builtin(
+        self, dataset: str, name: str | None = None, replace: bool = False
+    ) -> CorpusEntry:
         """Register one of the built-in synthetic datasets by name."""
         factory = _BUILTIN_FACTORIES.get(dataset)
         if factory is None:
@@ -87,19 +192,30 @@ class Corpus:
                 f"unknown built-in dataset {dataset!r}; available: {', '.join(builtin_dataset_names())}"
             )
         tree = factory()
-        return self.add_tree(name or dataset, tree)
+        return self.add_tree(name or dataset, tree, replace=replace)
 
-    def _register(self, name: str, system: ExtractSystem) -> CorpusEntry:
+    def _register(self, name: str, system: ExtractSystem, replace: bool = False) -> CorpusEntry:
         if name in self._entries:
-            raise ExtractError(f"a document named {name!r} is already registered")
+            if not replace:
+                raise ExtractError(
+                    f"a document named {name!r} is already registered "
+                    "(pass replace=True to swap it and invalidate its caches)"
+                )
+            # Explicit invalidation on re-registration: outstanding
+            # references to the old system must not keep serving results
+            # for a document that was just swapped out.
+            self._entries[name].system.invalidate_cache()
+            del self._entries[name]
         entry = CorpusEntry(name=name, system=system)
         self._entries[name] = entry
         return entry
 
     def remove(self, name: str) -> None:
-        """Unregister a document (no-op error if absent)."""
+        """Unregister a document (no-op error if absent); its caches are
+        invalidated so stale outcomes cannot be served."""
         if name not in self._entries:
             raise ExtractError(f"no document named {name!r} in the corpus")
+        self._entries[name].system.invalidate_cache()
         del self._entries[name]
 
     # ------------------------------------------------------------------ #
@@ -137,15 +253,19 @@ class Corpus:
         query_text: str,
         size_bound: int = DEFAULT_SIZE_BOUND,
         limit: int | None = None,
+        use_cache: bool = True,
     ) -> SearchOutcome:
         """Query one registered document (the demo's select-then-search flow)."""
-        return self.entry(name).system.query(query_text, size_bound=size_bound, limit=limit)
+        return self.entry(name).system.query(
+            query_text, size_bound=size_bound, limit=limit, use_cache=use_cache
+        )
 
     def query_all(
         self,
         query_text: str,
         size_bound: int = DEFAULT_SIZE_BOUND,
         limit: int | None = None,
+        use_cache: bool = True,
     ) -> dict[str, SearchOutcome]:
         """Query every registered document; returns outcomes keyed by name.
 
@@ -154,9 +274,160 @@ class Corpus:
         dataset X" explicitly.
         """
         return {
-            name: entry.system.query(query_text, size_bound=size_bound, limit=limit)
+            name: entry.system.query(
+                query_text, size_bound=size_bound, limit=limit, use_cache=use_cache
+            )
             for name, entry in sorted(self._entries.items())
         }
+
+    def search_batch(
+        self,
+        queries: Sequence[str | KeywordQuery],
+        names: Sequence[str] | None = None,
+        size_bound: int = DEFAULT_SIZE_BOUND,
+        limit: int | None = None,
+        use_cache: bool = True,
+    ) -> BatchReport:
+        """Execute many queries over many documents in one pass.
+
+        Shared work across the batch:
+
+        * each query string is **parsed once** (queries that normalise to
+          the same keyword tuple share one :class:`KeywordQuery`), and
+        * per document, every distinct keyword's posting list is **looked
+          up once** and shared by all queries that use it.
+
+        ``names`` restricts (and orders) the documents; ``None`` means every
+        registered document in name order.  The report's timing breakdown
+        has one ``query:<raw>`` phase per query, so callers can print the
+        same per-query rows the efficiency experiments use.
+        """
+        selected = [self.entry(name) for name in (names if names is not None else self.names())]
+
+        # Parse once, sharing KeywordQuery objects between raw strings that
+        # normalise identically ("store texas" / "STORE, texas!"); keyword
+        # order is part of the identity because the IList preserves it.
+        parsed_by_keywords: dict[tuple[str, ...], KeywordQuery] = {}
+        batch_queries: list[tuple[str, KeywordQuery]] = []
+        for query in queries:
+            parsed = query if isinstance(query, KeywordQuery) else KeywordQuery.parse(query)
+            parsed = parsed_by_keywords.setdefault(parsed.keywords, parsed)
+            batch_queries.append((query.raw if isinstance(query, KeywordQuery) else query, parsed))
+
+        # At most one posting lookup per (document, distinct keyword): the
+        # shared mappings memoise lazily, so a fully warm batch (every
+        # query served from the result cache) performs no lookups at all.
+        postings_by_document = {
+            entry.name: _SharedPostings(entry.system.index) for entry in selected
+        }
+
+        report = BatchReport(document_names=[entry.name for entry in selected])
+        for raw, parsed in batch_queries:
+            started = time.perf_counter()
+            outcomes = {
+                entry.name: entry.system.query(
+                    parsed,
+                    size_bound=size_bound,
+                    limit=limit,
+                    use_cache=use_cache,
+                    postings=postings_by_document[entry.name],
+                )
+                for entry in selected
+            }
+            elapsed = time.perf_counter() - started
+            report.entries.append(
+                BatchQueryOutcome(raw=raw, query=parsed, outcomes=outcomes, seconds=elapsed)
+            )
+            report.timings.add(f"query:{raw}", elapsed)
+        return report
+
+    # ------------------------------------------------------------------ #
+    # persistence
+    # ------------------------------------------------------------------ #
+    def save_dir(self, directory: str | os.PathLike[str]) -> list[str]:
+        """Snapshot every registered document index under ``directory``.
+
+        Layout: one subdirectory per document (see
+        :mod:`repro.index.storage`) plus a ``corpus.manifest`` recording the
+        algorithm and the subdirectory ↔ document-name mapping.  Returns
+        the subdirectory names written, in document-name order.
+        """
+        from repro.index.storage import save_index
+
+        path = os.fspath(directory)
+        os.makedirs(path, exist_ok=True)
+        subdirs: list[str] = []
+        lines = [_MANIFEST_MAGIC, f"#algorithm {self.algorithm}"]
+        used: set[str] = set()
+        for name in self.names():
+            subdir = _subdir_for(name, used)
+            used.add(subdir.lower())
+            save_index(self._entries[name].system.index, os.path.join(path, subdir))
+            lines.append(f"entry {subdir} {name}")
+            subdirs.append(subdir)
+        manifest_path = os.path.join(path, _MANIFEST_FILE)
+        try:
+            with open(manifest_path, "w", encoding="utf-8") as handle:
+                handle.write("\n".join(lines) + "\n")
+        except OSError as exc:
+            raise StorageError(f"failed to write corpus manifest {manifest_path}: {exc}") from exc
+        return subdirs
+
+    @classmethod
+    def load_dir(
+        cls,
+        directory: str | os.PathLike[str],
+        algorithm: str | None = None,
+        cache_size: int = DEFAULT_CACHE_SIZE,
+    ) -> "Corpus":
+        """Restore a corpus written by :meth:`save_dir` without re-indexing
+        source XML; queries over the loaded corpus are byte-identical to
+        queries over the corpus that was saved.
+
+        ``algorithm`` overrides the manifest's recorded algorithm.
+        """
+        from repro.index.storage import load_index
+
+        path = os.fspath(directory)
+        manifest_path = os.path.join(path, _MANIFEST_FILE)
+        if not os.path.exists(manifest_path):
+            raise StorageError(f"{path} does not contain a saved eXtract corpus")
+        try:
+            with open(manifest_path, "r", encoding="utf-8") as handle:
+                first = handle.readline().rstrip("\n")
+                if first != _MANIFEST_MAGIC:
+                    raise StorageError(f"unrecognised corpus manifest header: {first!r}")
+                manifest_algorithm = "slca"
+                entries: list[tuple[str, str]] = []
+                for line in handle:
+                    line = line.rstrip("\n")
+                    if not line:
+                        continue
+                    if line.startswith("#algorithm "):
+                        manifest_algorithm = line.partition(" ")[2]
+                        continue
+                    if line.startswith("#"):
+                        continue
+                    kind, _, rest = line.partition(" ")
+                    if kind != "entry":
+                        continue
+                    subdir, _, name = rest.partition(" ")
+                    entries.append((subdir, name or subdir))
+        except OSError as exc:
+            raise StorageError(f"failed to read corpus manifest {manifest_path}: {exc}") from exc
+
+        corpus = cls(algorithm=algorithm or manifest_algorithm, cache_size=cache_size)
+        for subdir, name in entries:
+            # The registry name comes from the manifest; the tree keeps the
+            # document name restored by load_index, so ResultSet.document_name
+            # (and cache keys) are identical before and after the round trip
+            # even when a document was registered under a different name.
+            index = load_index(os.path.join(path, subdir))
+            corpus._register(
+                name,
+                ExtractSystem(index, algorithm=corpus.algorithm, cache_size=cache_size),
+            )
+        return corpus
 
     def summary(self) -> list[dict[str, object]]:
         """One row per document: name, nodes, entity tags (for listings)."""
@@ -171,3 +442,43 @@ class Corpus:
 
     def __repr__(self) -> str:
         return f"<Corpus documents={len(self._entries)}>"
+
+
+class _SharedPostings:
+    """A lazily-memoising keyword → posting-list mapping for one document.
+
+    ``SearchEngine.search`` pulls posting lists via :meth:`get`; the first
+    query of a batch that needs a keyword performs the index lookup, every
+    later query reuses it.  Queries answered from the result cache never
+    call :meth:`get`, so warm batches do no lookups.
+    """
+
+    __slots__ = ("_index", "_postings")
+
+    def __init__(self, index) -> None:
+        self._index = index
+        self._postings: dict[str, object] = {}
+
+    def get(self, keyword: str, default=None):
+        postings = self._postings.get(keyword)
+        if postings is None:
+            postings = self._index.keyword_matches(keyword)
+            self._postings[keyword] = postings
+        return postings
+
+
+def _subdir_for(name: str, used: set[str]) -> str:
+    """A filesystem-safe, collision-free subdirectory name for a document.
+
+    Collisions are detected case-insensitively so that documents whose
+    names differ only by case ("Doc" vs "doc") get distinct directories on
+    case-insensitive filesystems (macOS/Windows defaults) instead of
+    silently overwriting each other's snapshots.
+    """
+    base = re.sub(r"[^A-Za-z0-9._-]+", "_", name).strip("._") or "document"
+    candidate = base
+    counter = 1
+    while candidate.lower() in used:
+        counter += 1
+        candidate = f"{base}-{counter}"
+    return candidate

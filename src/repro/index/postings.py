@@ -79,8 +79,17 @@ class PostingList:
         """The posting whose LCA with ``label`` is deepest (closest match).
 
         This is the core primitive of the Indexed Lookup Eager SLCA
-        algorithm [7]: the closest match is always the left or the right
-        neighbour in document order.
+        algorithm [7]: the closest match is always the left neighbour
+        ``lm`` or the right neighbour ``rm`` in document order, whichever
+        yields the deeper LCA with ``label``.
+
+        **Tie-break** (symmetric matches): when both neighbours yield an
+        equal-depth LCA, those two LCAs are the *same node* — each is the
+        length-``d`` prefix of ``label`` — so the choice cannot change any
+        LCA computed from the returned match.  Following the ``lm``-first
+        orientation of the definition in [7] we deterministically return
+        the **left** neighbour, which keeps downstream traversals stable
+        across runs and documents.
         """
         left = self.left_neighbour(label)
         right = self.right_neighbour(label)
@@ -90,7 +99,9 @@ class PostingList:
             return left
         left_depth = Dewey.common_ancestor(left, label).depth
         right_depth = Dewey.common_ancestor(right, label).depth
-        return left if left_depth >= right_depth else right
+        if left_depth == right_depth:
+            return left  # documented tie-break: prefer lm (see docstring)
+        return left if left_depth > right_depth else right
 
     def has_descendant_of(self, ancestor: Dewey) -> bool:
         """Does any posting lie in the subtree rooted at ``ancestor``?"""

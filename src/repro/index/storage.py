@@ -1,23 +1,36 @@
 """On-disk persistence for document indexes.
 
 The original eXtract demo precomputed its indexes on the server so queries
-over the web UI were fast.  This module provides the equivalent: the
-inverted index (plus enough structural metadata to rebuild posting lists)
-can be written to and loaded from a plain-text, line-oriented format that
-is diff-friendly and independent of pickle.
+over the web UI were fast.  This module provides the equivalent: a
+**versioned snapshot format** for a full :class:`DocumentIndex` — the
+inverted postings, the structure index (tag-path posting lists) and the
+analyzer summary — written as plain, diff-friendly UTF-8 text, independent
+of pickle.  :class:`repro.corpus.Corpus` builds on it to round-trip whole
+multi-document corpora (``save_dir``/``load_dir``) so re-indexing is
+skipped on reload.
 
-Format (UTF-8 text)::
+Format (UTF-8 text), version 2::
 
-    #extract-index v1
+    #extract-index v2
     #document <name>
     #nodes <count>
+    #summary entity=<n> attribute=<n> connection=<n>
     T <term> <label> <label> ...
     P <tag-path joined by '/'> <label> <label> ...
 
-Only the inverted and per-path label lists are stored; the tree itself is
-stored alongside as regular XML (via :mod:`repro.xmltree.serialize`), and
-the analyzer/structure index are recomputed on load — recomputation is fast
-and keeps the stored artefact simple and robust.
+The tree itself is stored alongside as regular XML (via
+:mod:`repro.xmltree.serialize`).  On load the document is re-parsed and
+re-analyzed, then *validated section by section* against the stored
+artefact: node count, analyzer summary, structure paths and vocabulary
+must all agree, guarding against a document/index mismatch on disk.  The
+stored posting lists are authoritative for the loaded index.
+
+Version 1 snapshots (no ``#summary``/``P`` sections) are still readable.
+
+Limitation: a DTD supplied at build time is not part of the snapshot; if
+the DTD changed the analyzer's classification, the stored summary will
+disagree with the re-analysis and loading fails with a clear error rather
+than silently restoring different semantics.
 """
 
 from __future__ import annotations
@@ -31,26 +44,49 @@ from repro.index.postings import PostingList
 from repro.xmltree.parser import parse_xml_file
 from repro.xmltree.serialize import to_xml_string
 
-_MAGIC = "#extract-index v1"
+_MAGIC_V2 = "#extract-index v2"
+_MAGIC_V1 = "#extract-index v1"
+_KNOWN_MAGICS = (_MAGIC_V2, _MAGIC_V1)
+
+#: file names inside a snapshot directory
+DOCUMENT_FILE = "document.xml"
+INDEX_FILE = "inverted.idx"
+
+_PATH_SEPARATOR = "/"
 
 
 def save_index(index: DocumentIndex, directory: str | os.PathLike[str]) -> None:
-    """Persist ``index`` (document + inverted index) into ``directory``."""
+    """Persist ``index`` (document + inverted + structure + summary) into
+    ``directory`` as a version-2 snapshot."""
     path = os.fspath(directory)
     os.makedirs(path, exist_ok=True)
-    document_path = os.path.join(path, "document.xml")
-    index_path = os.path.join(path, "inverted.idx")
+    document_path = os.path.join(path, DOCUMENT_FILE)
+    index_path = os.path.join(path, INDEX_FILE)
+    summary = index.analyzer.summary()
     try:
         with open(document_path, "w", encoding="utf-8") as handle:
             handle.write(to_xml_string(index.tree))
         with open(index_path, "w", encoding="utf-8") as handle:
-            handle.write(f"{_MAGIC}\n")
+            handle.write(f"{_MAGIC_V2}\n")
             handle.write(f"#document {index.tree.name}\n")
             handle.write(f"#nodes {index.tree.size_nodes}\n")
-            for term in sorted(index.inverted.postings_dict()):
-                postings = index.inverted.lookup(term)
-                labels = " ".join(postings.to_strings())
+            handle.write(
+                "#summary "
+                f"entity={summary['entity']} "
+                f"attribute={summary['attribute']} "
+                f"connection={summary['connection']}\n"
+            )
+            postings_map = index.inverted.postings_dict()
+            for term in sorted(postings_map):
+                # The raw per-term lists, not lookup() results: lookup folds
+                # plural forms together, which would inflate the snapshot
+                # and drift on repeated save/load cycles.
+                labels = " ".join(postings_map[term].to_strings())
                 handle.write(f"T {term} {labels}\n")
+            for tag_path in sorted(index.structure.known_paths):
+                postings = index.structure.instances_of_path(tag_path)
+                labels = " ".join(postings.to_strings())
+                handle.write(f"P {_PATH_SEPARATOR.join(tag_path)} {labels}\n")
     except OSError as exc:
         raise StorageError(f"failed to save index to {path}: {exc}") from exc
 
@@ -58,13 +94,16 @@ def save_index(index: DocumentIndex, directory: str | os.PathLike[str]) -> None:
 def load_index(directory: str | os.PathLike[str]) -> DocumentIndex:
     """Load a :class:`DocumentIndex` previously written by :func:`save_index`.
 
-    The XML document is re-parsed and re-analyzed; the stored inverted
-    index is validated against the freshly built one (term count and node
-    count), guarding against a document/index mismatch on disk.
+    The XML document is re-parsed and re-analyzed; every stored section is
+    validated against the freshly built index (node count, analyzer
+    summary, structure paths, vocabulary) and the stored posting lists then
+    replace the rebuilt ones — they are authoritative for the artefact on
+    disk, and queries over the loaded index are byte-identical to queries
+    over the index that was saved.
     """
     path = os.fspath(directory)
-    document_path = os.path.join(path, "document.xml")
-    index_path = os.path.join(path, "inverted.idx")
+    document_path = os.path.join(path, DOCUMENT_FILE)
+    index_path = os.path.join(path, INDEX_FILE)
     if not os.path.exists(document_path) or not os.path.exists(index_path):
         raise StorageError(f"{path} does not contain a saved eXtract index")
 
@@ -73,46 +112,116 @@ def load_index(directory: str | os.PathLike[str]) -> DocumentIndex:
     except OSError as exc:
         raise StorageError(f"failed to read stored document: {exc}") from exc
 
-    stored_postings: dict[str, PostingList] = {}
-    stored_nodes: int | None = None
+    snapshot = _read_snapshot(index_path)
+
+    if snapshot.document_name:
+        # The file on disk is always called document.xml; the logical name
+        # lives in the snapshot header and must survive the round trip
+        # (cache keys and corpus registration key on it).
+        parse_result.tree.name = snapshot.document_name
+
+    index = IndexBuilder().build(parse_result.tree)
+    if snapshot.nodes is not None and snapshot.nodes != parse_result.tree.size_nodes:
+        raise StorageError(
+            f"stored index covers {snapshot.nodes} nodes but the stored document has "
+            f"{parse_result.tree.size_nodes}; the artefacts are out of sync"
+        )
+    if snapshot.summary is not None:
+        rebuilt_summary = index.analyzer.summary()
+        if rebuilt_summary != snapshot.summary:
+            raise StorageError(
+                f"stored analyzer summary {snapshot.summary} does not match the "
+                f"re-analysis {rebuilt_summary}; the index was likely built with a "
+                "DTD that is not part of the snapshot"
+            )
+    if snapshot.structure_paths is not None:
+        rebuilt_structure = {
+            _PATH_SEPARATOR.join(tag_path): index.structure.instances_of_path(tag_path)
+            for tag_path in index.structure.known_paths
+        }
+        if set(rebuilt_structure) != set(snapshot.structure_paths):
+            raise StorageError(
+                "stored structure index paths do not match the stored document; "
+                "refusing to load inconsistent index"
+            )
+        for path_text, stored in snapshot.structure_paths.items():
+            if stored != rebuilt_structure[path_text]:
+                raise StorageError(
+                    f"stored structure postings for path {path_text!r} do not match the "
+                    "stored document; refusing to load inconsistent index"
+                )
+    if snapshot.postings:
+        stored_terms = set(snapshot.postings)
+        rebuilt_vocabulary = set(index.inverted.vocabulary)
+        if stored_terms != rebuilt_vocabulary:
+            drifted = sorted(stored_terms ^ rebuilt_vocabulary)[:5]
+            raise StorageError(
+                f"stored inverted index vocabulary does not match the stored document "
+                f"(e.g. {', '.join(drifted)}); refusing to load inconsistent index"
+            )
+    if snapshot.postings:
+        index.inverted = InvertedIndex.from_postings(snapshot.postings)
+    return index
+
+
+class _Snapshot:
+    """Parsed content of one ``inverted.idx`` file."""
+
+    def __init__(self) -> None:
+        self.version = 0
+        self.document_name: str | None = None
+        self.nodes: int | None = None
+        self.summary: dict[str, int] | None = None
+        self.postings: dict[str, PostingList] = {}
+        self.structure_paths: dict[str, PostingList] | None = None
+
+
+def _read_snapshot(index_path: str) -> _Snapshot:
+    snapshot = _Snapshot()
     try:
         with open(index_path, "r", encoding="utf-8") as handle:
             first = handle.readline().rstrip("\n")
-            if first != _MAGIC:
+            if first not in _KNOWN_MAGICS:
                 raise StorageError(f"unrecognised index file header: {first!r}")
+            snapshot.version = 2 if first == _MAGIC_V2 else 1
             for line in handle:
                 line = line.rstrip("\n")
                 if not line:
                     continue
+                if line.startswith("#document "):
+                    snapshot.document_name = line.partition(" ")[2]
+                    continue
                 if line.startswith("#nodes "):
-                    stored_nodes = int(line.split(" ", 1)[1])
+                    try:
+                        snapshot.nodes = int(line.split(" ", 1)[1])
+                    except ValueError as exc:
+                        raise StorageError(f"malformed #nodes line: {line!r}") from exc
+                    continue
+                if line.startswith("#summary "):
+                    snapshot.summary = _parse_summary(line)
                     continue
                 if line.startswith("#"):
                     continue
                 kind, _, rest = line.partition(" ")
-                if kind != "T":
-                    continue
-                term, _, labels_text = rest.partition(" ")
+                name, _, labels_text = rest.partition(" ")
                 labels = labels_text.split() if labels_text else []
-                stored_postings[term] = PostingList.from_strings(labels)
+                if kind == "T":
+                    snapshot.postings[name] = PostingList.from_strings(labels)
+                elif kind == "P":
+                    if snapshot.structure_paths is None:
+                        snapshot.structure_paths = {}
+                    snapshot.structure_paths[name] = PostingList.from_strings(labels)
     except OSError as exc:
         raise StorageError(f"failed to read stored index: {exc}") from exc
+    return snapshot
 
-    index = IndexBuilder().build(parse_result.tree)
-    if stored_nodes is not None and stored_nodes != parse_result.tree.size_nodes:
-        raise StorageError(
-            f"stored index covers {stored_nodes} nodes but the stored document has "
-            f"{parse_result.tree.size_nodes}; the artefacts are out of sync"
-        )
-    # Prefer the stored posting lists (they are authoritative for the
-    # artefact on disk) but only if they agree in vocabulary size; a
-    # mismatch indicates corruption.
-    rebuilt_terms = index.inverted.vocabulary_size
-    if stored_postings and abs(rebuilt_terms - len(stored_postings)) > 0:
-        raise StorageError(
-            f"stored inverted index has {len(stored_postings)} terms but rebuilding the "
-            f"document yields {rebuilt_terms}; refusing to load inconsistent index"
-        )
-    if stored_postings:
-        index.inverted = InvertedIndex.from_postings(stored_postings)
-    return index
+
+def _parse_summary(line: str) -> dict[str, int]:
+    summary: dict[str, int] = {}
+    for piece in line.split(" ")[1:]:
+        key, _, value = piece.partition("=")
+        try:
+            summary[key] = int(value)
+        except ValueError as exc:
+            raise StorageError(f"malformed #summary line: {line!r}") from exc
+    return summary

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from repro.errors import SearchError
 from repro.index.builder import DocumentIndex
+from repro.index.postings import PostingList
 from repro.search.elca import compute_elca
 from repro.search.query import KeywordQuery
 from repro.search.ranking import rank_results
@@ -57,16 +58,29 @@ class SearchEngine:
     # ------------------------------------------------------------------ #
     # public API
     # ------------------------------------------------------------------ #
-    def search(self, query: str | KeywordQuery, limit: int | None = None) -> ResultSet:
+    def search(
+        self,
+        query: str | KeywordQuery,
+        limit: int | None = None,
+        postings: dict[str, PostingList] | None = None,
+    ) -> ResultSet:
         """Evaluate a keyword query and return ranked results.
 
         ``limit`` truncates the ranked list (like a result page); ``None``
         returns everything, which the efficiency experiments rely on.
+        ``postings`` optionally maps keywords to pre-fetched posting lists
+        (the batch executor shares one lookup across many queries); absent
+        keywords fall back to an index lookup.
         """
         parsed = query if isinstance(query, KeywordQuery) else KeywordQuery.parse(query)
 
         with self.timings.measure("lookup"):
-            posting_lists = [self.index.keyword_matches(keyword) for keyword in parsed.keywords]
+            posting_lists = []
+            for keyword in parsed.keywords:
+                shared = postings.get(keyword) if postings is not None else None
+                posting_lists.append(
+                    shared if shared is not None else self.index.keyword_matches(keyword)
+                )
 
         with self.timings.measure("lca"):
             if self.algorithm == "slca":
@@ -80,13 +94,22 @@ class SearchEngine:
         with self.timings.measure("ranking"):
             ranked = rank_results(results)
 
+        total = len(ranked)
         if limit is not None:
             ranked = ranked[:limit]
+            # Explicit invariant: ids on the returned page are always
+            # 0..len-1.  Today ``rank_results`` already numbers the full
+            # sorted list so this re-assignment is a no-op, but the page
+            # contract must not depend on that implementation detail.
+            # ``total_results`` records the count before the page cut.
+            for position, result in enumerate(ranked):
+                result.result_id = position
         return ResultSet(
             query=parsed,
             document_name=self.index.tree.name,
             results=ranked,
             algorithm=self.algorithm,
+            total_results=total,
         )
 
     def keyword_statistics(self, query: str | KeywordQuery) -> dict[str, int]:

@@ -91,12 +91,27 @@ class QueryResult:
 
 @dataclass
 class ResultSet:
-    """All results of one query over one document, in rank order."""
+    """All results of one query over one document, in rank order.
+
+    ``total_results`` is the number of results *before* any ``limit``
+    truncation (a result page knows how many hits exist in total); when the
+    engine applied no limit it equals ``len(self)``.
+    """
 
     query: KeywordQuery
     document_name: str
     results: list[QueryResult] = field(default_factory=list)
     algorithm: str = "slca"
+    total_results: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.total_results is None:
+            self.total_results = len(self.results)
+
+    @property
+    def is_truncated(self) -> bool:
+        """Did a ``limit`` cut results off this page?"""
+        return (self.total_results or 0) > len(self.results)
 
     def __len__(self) -> int:
         return len(self.results)

@@ -24,6 +24,7 @@ from repro.search.results import QueryResult, ResultSet
 from repro.snippet.ilist import IList, IListBuilder
 from repro.snippet.instance_selector import GreedyInstanceSelector, SelectionStrategy
 from repro.snippet.snippet_tree import Snippet
+from repro.utils.cache import DEFAULT_CACHE_SIZE, LRUCache
 from repro.utils.timing import TimingBreakdown
 
 #: the default snippet size bound (edges); matches the Figure 2 example
@@ -105,6 +106,7 @@ class SnippetGenerator:
         analyzer: DataAnalyzer,
         strategy: SelectionStrategy = SelectionStrategy.GREEDY_CLOSEST,
         skip_unfitting_items: bool = True,
+        cache_size: int = DEFAULT_CACHE_SIZE,
     ):
         self.analyzer = analyzer
         self.ilist_builder = IListBuilder(analyzer)
@@ -112,6 +114,11 @@ class SnippetGenerator:
             strategy=strategy, skip_unfitting_items=skip_unfitting_items
         )
         self.timings = TimingBreakdown()
+        #: snippet cache: (document, result root, normalised query, bound) →
+        #: GeneratedSnippet.  The document and its analysis are immutable
+        #: for the lifetime of a generator, so identical requests can reuse
+        #: the IList and the selected snippet tree verbatim.
+        self.cache = LRUCache(cache_size)
 
     # ------------------------------------------------------------------ #
     # public API
@@ -126,15 +133,29 @@ class SnippetGenerator:
         size_bound: int = DEFAULT_SIZE_BOUND,
         query: KeywordQuery | None = None,
     ) -> GeneratedSnippet:
-        """Generate the snippet of one query result."""
+        """Generate the snippet of one query result.
+
+        Identical requests (same document, result root, normalised query
+        and size bound) are answered from the snippet cache; the cached
+        IList and snippet tree are rewrapped around the caller's ``result``
+        object so ranking metadata (``result_id``, score) stays current.
+        """
         if not isinstance(size_bound, int) or isinstance(size_bound, bool) or size_bound <= 0:
             raise InvalidSizeBoundError(size_bound)
         effective_query = query or result.query
+        key = (result.source.name, result.root, effective_query.keywords, size_bound)
+        cached = self.cache.get(key)
+        if cached is not None:
+            return GeneratedSnippet(
+                result=result, ilist=cached.ilist, snippet=cached.snippet, size_bound=size_bound
+            )
         with self.timings.measure("ilist"):
             ilist = self.ilist_builder.build(effective_query, result)
         with self.timings.measure("instance_selection"):
             snippet = self.selector.select(result, ilist, size_bound)
-        return GeneratedSnippet(result=result, ilist=ilist, snippet=snippet, size_bound=size_bound)
+        generated = GeneratedSnippet(result=result, ilist=ilist, snippet=snippet, size_bound=size_bound)
+        self.cache.put(key, generated)
+        return generated
 
     def generate_all(self, results: ResultSet, size_bound: int = DEFAULT_SIZE_BOUND) -> SnippetBatch:
         """Generate snippets for every result of a result set."""
@@ -142,3 +163,7 @@ class SnippetGenerator:
         for result in results:
             batch.snippets.append(self.generate(result, size_bound=size_bound, query=results.query))
         return batch
+
+    def invalidate_cache(self) -> int:
+        """Drop every cached snippet; returns the number of entries removed."""
+        return self.cache.clear()

@@ -5,6 +5,12 @@ load or accept an XML document, analyze and index it, evaluate keyword
 queries and generate size-bounded snippets for every result.  It is the
 API the examples and the web-page renderer use; the individual components
 remain available for programmatic use.
+
+Because the demo served repeated interactive queries, the system carries
+an LRU **query-result cache**: outcomes are keyed on (document, normalised
+query, algorithm, snippet bound, limit, construction) and re-served
+without touching the index.  :meth:`invalidate_cache` drops everything,
+and :class:`repro.corpus.Corpus` invalidates on re-registration.
 """
 
 from __future__ import annotations
@@ -13,11 +19,14 @@ import os
 from dataclasses import dataclass
 
 from repro.index.builder import DocumentIndex, IndexBuilder
+from repro.index.postings import PostingList
 from repro.search.engine import SearchEngine
+from repro.search.query import KeywordQuery
 from repro.search.results import ResultSet
 from repro.search.xseek import ResultConstruction
 from repro.snippet.generator import DEFAULT_SIZE_BOUND, SnippetBatch, SnippetGenerator
 from repro.snippet.render import render_batch_text, render_result_page
+from repro.utils.cache import DEFAULT_CACHE_SIZE, CacheStats, LRUCache
 from repro.utils.timing import TimingBreakdown
 from repro.xmltree.dtd import dtd_for_tree_text
 from repro.xmltree.parser import parse_xml, parse_xml_file
@@ -32,6 +41,7 @@ class SearchOutcome:
     results: ResultSet
     snippets: SnippetBatch
     timings: TimingBreakdown
+    from_cache: bool = False
 
     def __len__(self) -> int:
         return len(self.results)
@@ -53,56 +63,173 @@ class ExtractSystem:
     True
     >>> all(g.snippet.size_edges <= 6 for g in outcome.snippets)
     True
+    >>> system.query("store texas", size_bound=6).from_cache
+    True
     """
 
-    def __init__(self, index: DocumentIndex, algorithm: str = "slca"):
+    def __init__(
+        self,
+        index: DocumentIndex,
+        algorithm: str = "slca",
+        cache_size: int = DEFAULT_CACHE_SIZE,
+    ):
         self.index = index
         self.engine = SearchEngine(index, algorithm=algorithm)
-        self.generator = SnippetGenerator(index.analyzer)
+        self.generator = SnippetGenerator(index.analyzer, cache_size=cache_size)
+        self.cache = LRUCache(cache_size)
 
     # ------------------------------------------------------------------ #
     # constructors
     # ------------------------------------------------------------------ #
     @classmethod
-    def from_tree(cls, tree: XMLTree, algorithm: str = "slca") -> "ExtractSystem":
+    def from_tree(
+        cls, tree: XMLTree, algorithm: str = "slca", cache_size: int = DEFAULT_CACHE_SIZE
+    ) -> "ExtractSystem":
         """Build the system from an in-memory document."""
-        return cls(IndexBuilder().build(tree), algorithm=algorithm)
+        return cls(IndexBuilder().build(tree), algorithm=algorithm, cache_size=cache_size)
 
     @classmethod
-    def from_xml(cls, text: str, name: str = "document", algorithm: str = "slca") -> "ExtractSystem":
+    def from_xml(
+        cls,
+        text: str,
+        name: str = "document",
+        algorithm: str = "slca",
+        cache_size: int = DEFAULT_CACHE_SIZE,
+    ) -> "ExtractSystem":
         """Build the system from XML text (the DTD internal subset, if any,
         informs entity classification)."""
         parsed = parse_xml(text, name=name)
         dtd = dtd_for_tree_text(parsed.dtd_text, root=parsed.doctype_name)
-        return cls(IndexBuilder(dtd=dtd).build(parsed.tree), algorithm=algorithm)
+        return cls(
+            IndexBuilder(dtd=dtd).build(parsed.tree), algorithm=algorithm, cache_size=cache_size
+        )
 
     @classmethod
-    def from_file(cls, path: str | os.PathLike[str], algorithm: str = "slca") -> "ExtractSystem":
+    def from_file(
+        cls,
+        path: str | os.PathLike[str],
+        algorithm: str = "slca",
+        cache_size: int = DEFAULT_CACHE_SIZE,
+    ) -> "ExtractSystem":
         """Build the system from an XML file on disk."""
         parsed = parse_xml_file(path)
         dtd = dtd_for_tree_text(parsed.dtd_text, root=parsed.doctype_name)
-        return cls(IndexBuilder(dtd=dtd).build(parsed.tree), algorithm=algorithm)
+        return cls(
+            IndexBuilder(dtd=dtd).build(parsed.tree), algorithm=algorithm, cache_size=cache_size
+        )
+
+    @classmethod
+    def from_saved(
+        cls,
+        directory: str | os.PathLike[str],
+        algorithm: str = "slca",
+        cache_size: int = DEFAULT_CACHE_SIZE,
+    ) -> "ExtractSystem":
+        """Build the system from a persisted index snapshot (no re-indexing
+        of external XML: the snapshot directory is authoritative)."""
+        from repro.index.storage import load_index
+
+        return cls(load_index(directory), algorithm=algorithm, cache_size=cache_size)
 
     # ------------------------------------------------------------------ #
     # public API
     # ------------------------------------------------------------------ #
     def query(
         self,
-        query_text: str,
+        query_text: str | KeywordQuery,
         size_bound: int = DEFAULT_SIZE_BOUND,
         limit: int | None = None,
         construction: ResultConstruction = ResultConstruction.XSEEK,
+        use_cache: bool = True,
+        postings: dict[str, PostingList] | None = None,
     ) -> SearchOutcome:
-        """Evaluate a keyword query and generate snippets for its results."""
+        """Evaluate a keyword query and generate snippets for its results.
+
+        Outcomes are served from the LRU cache when an identical request
+        (same normalised keywords, bound, limit, construction) was answered
+        before; ``use_cache=False`` forces a cold evaluation and does not
+        populate the cache.  ``postings`` optionally supplies pre-fetched
+        posting lists per keyword (the batch executor shares lookups across
+        queries this way).
+        """
+        parsed = query_text if isinstance(query_text, KeywordQuery) else KeywordQuery.parse(query_text)
+        key = self._cache_key("query", parsed, size_bound, limit, construction)
+        if use_cache:
+            cached = self.cache.get(key)
+            if cached is not None:
+                return cached
+
         timings = TimingBreakdown()
         self.engine.construction = construction
         with timings.measure("search"):
-            results = self.engine.search(query_text, limit=limit)
+            results = self.engine.search(parsed, limit=limit, postings=postings)
         with timings.measure("snippets"):
             snippets = self.generator.generate_all(results, size_bound=size_bound)
         timings.merge(self.engine.timings)
         timings.merge(self.generator.timings)
-        return SearchOutcome(results=results, snippets=snippets, timings=timings)
+        outcome = SearchOutcome(results=results, snippets=snippets, timings=timings)
+        if use_cache:
+            self.cache.put(key, SearchOutcome(
+                results=results, snippets=snippets, timings=timings, from_cache=True
+            ))
+        return outcome
+
+    def search(
+        self,
+        query_text: str | KeywordQuery,
+        limit: int | None = None,
+        construction: ResultConstruction = ResultConstruction.XSEEK,
+        use_cache: bool = True,
+        postings: dict[str, PostingList] | None = None,
+    ) -> ResultSet:
+        """Evaluate a keyword query without snippet generation.
+
+        Result sets are cached independently of full outcomes (no snippet
+        bound in the key), so callers that only need result roots never pay
+        for snippets.
+        """
+        parsed = query_text if isinstance(query_text, KeywordQuery) else KeywordQuery.parse(query_text)
+        key = self._cache_key("search", parsed, None, limit, construction)
+        if use_cache:
+            cached = self.cache.get(key)
+            if cached is not None:
+                return cached
+        self.engine.construction = construction
+        results = self.engine.search(parsed, limit=limit, postings=postings)
+        if use_cache:
+            self.cache.put(key, results)
+        return results
+
+    # ------------------------------------------------------------------ #
+    # cache management
+    # ------------------------------------------------------------------ #
+    def _cache_key(
+        self,
+        kind: str,
+        parsed: KeywordQuery,
+        size_bound: int | None,
+        limit: int | None,
+        construction: ResultConstruction,
+    ) -> tuple:
+        return (
+            self.index.tree.name,
+            kind,
+            parsed.keywords,
+            self.engine.algorithm,
+            size_bound,
+            limit,
+            construction.value,
+        )
+
+    def invalidate_cache(self) -> int:
+        """Drop every cached outcome, result set and snippet; returns the
+        number of query-level entries removed."""
+        self.generator.invalidate_cache()
+        return self.cache.clear()
+
+    def cache_stats(self) -> dict[str, CacheStats]:
+        """Hit/miss/eviction counters of the two serving caches."""
+        return {"query": self.cache.stats, "snippet": self.generator.cache.stats}
 
     def document_stats(self) -> DocumentStats:
         """Statistics of the loaded document."""

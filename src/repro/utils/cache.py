@@ -1,0 +1,156 @@
+"""A small LRU cache used by the query service layer.
+
+The eXtract demo served interactive web traffic, where the same handful of
+show-case queries arrive over and over.  :class:`LRUCache` is the shared
+building block for the two serving caches:
+
+* the **query-result cache** in :class:`repro.system.ExtractSystem`
+  (keyed on document, normalised query, algorithm, snippet bound), and
+* the **snippet cache** in :class:`repro.snippet.generator.SnippetGenerator`
+  (keyed on result root, normalised query and size bound).
+
+It is deliberately dependency-free (an ``OrderedDict`` with move-to-end
+semantics) and records hit/miss/eviction counts so the cache benchmarks and
+the CLI can report hit rates.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from collections.abc import Callable, Hashable
+from dataclasses import dataclass
+from typing import Any
+
+#: default capacity of the serving caches; large enough for a demo workload,
+#: small enough that eviction is exercised in tests.
+DEFAULT_CACHE_SIZE = 256
+
+_MISSING = object()
+
+
+@dataclass
+class CacheStats:
+    """Counters of one cache's lifetime activity."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    invalidations: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from the cache (0.0 when unused)."""
+        if self.lookups == 0:
+            return 0.0
+        return self.hits / self.lookups
+
+    def as_dict(self) -> dict[str, float]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "invalidations": self.invalidations,
+            "hit_rate": self.hit_rate,
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"<CacheStats hits={self.hits} misses={self.misses} "
+            f"evictions={self.evictions} hit_rate={self.hit_rate:.2f}>"
+        )
+
+
+class LRUCache:
+    """A bounded mapping with least-recently-used eviction.
+
+    >>> cache = LRUCache(maxsize=2)
+    >>> cache.put("a", 1); cache.put("b", 2)
+    >>> cache.get("a")
+    1
+    >>> cache.put("c", 3)          # evicts "b", the least recently used
+    >>> cache.get("b") is None
+    True
+    >>> cache.stats.evictions
+    1
+
+    A ``maxsize`` of 0 disables the cache entirely (every ``get`` misses,
+    ``put`` is a no-op), which lets callers switch caching off without
+    branching at every call site.
+    """
+
+    def __init__(self, maxsize: int = DEFAULT_CACHE_SIZE):
+        if maxsize < 0:
+            raise ValueError(f"cache maxsize must be >= 0, got {maxsize}")
+        self.maxsize = maxsize
+        self._entries: OrderedDict[Hashable, Any] = OrderedDict()
+        self.stats = CacheStats()
+
+    # ------------------------------------------------------------------ #
+    # core mapping operations
+    # ------------------------------------------------------------------ #
+    def get(self, key: Hashable, default: Any = None) -> Any:
+        """Return the cached value (marking it most recently used) or ``default``."""
+        value = self._entries.get(key, _MISSING)
+        if value is _MISSING:
+            self.stats.misses += 1
+            return default
+        self._entries.move_to_end(key)
+        self.stats.hits += 1
+        return value
+
+    def put(self, key: Hashable, value: Any) -> None:
+        """Insert or refresh an entry, evicting the oldest when full."""
+        if self.maxsize == 0:
+            return
+        if key in self._entries:
+            self._entries.move_to_end(key)
+        self._entries[key] = value
+        while len(self._entries) > self.maxsize:
+            self._entries.popitem(last=False)
+            self.stats.evictions += 1
+
+    def __contains__(self, key: Hashable) -> bool:
+        """Membership test; does not update recency or statistics."""
+        return key in self._entries
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    # ------------------------------------------------------------------ #
+    # invalidation
+    # ------------------------------------------------------------------ #
+    def invalidate(self, key: Hashable) -> bool:
+        """Drop one entry; returns whether it was present."""
+        if key in self._entries:
+            del self._entries[key]
+            self.stats.invalidations += 1
+            return True
+        return False
+
+    def invalidate_where(self, predicate: Callable[[Hashable], bool]) -> int:
+        """Drop every entry whose key satisfies ``predicate``; returns the count.
+
+        A selective-invalidation utility for caches shared across
+        documents (the serving caches key on tuples whose first element is
+        the document name).  The built-in serving caches are per-system and
+        are dropped wholesale via :meth:`clear` on re-registration.
+        """
+        doomed = [key for key in self._entries if predicate(key)]
+        for key in doomed:
+            del self._entries[key]
+        self.stats.invalidations += len(doomed)
+        return len(doomed)
+
+    def clear(self) -> int:
+        """Drop everything; returns the number of entries removed."""
+        count = len(self._entries)
+        self._entries.clear()
+        self.stats.invalidations += count
+        return count
+
+    def __repr__(self) -> str:
+        return f"<LRUCache size={len(self._entries)}/{self.maxsize} {self.stats!r}>"

@@ -86,3 +86,52 @@ class TestVocabulary:
         rebuilt = InvertedIndex.from_postings(index.postings_dict())
         assert rebuilt.vocabulary == index.vocabulary
         assert rebuilt.lookup("texas") == index.lookup("texas")
+
+
+class TestTokenisationConsistency:
+    """Index-side and query-side tokenisation must not drift: a query term
+    whose singular form appears only in the index (and vice versa) matches
+    identically through both paths."""
+
+    def test_plural_query_matches_singular_index(self):
+        from repro.index.builder import IndexBuilder
+        from repro.search.engine import SearchEngine
+        from repro.search.query import KeywordQuery
+        from repro.xmltree.builder import tree_from_dict
+
+        tree = tree_from_dict("shop", {"store": [{"name": "Galleria"}]})
+        index = IndexBuilder().build(tree)
+        # "stores" is not literally in the document; its singular is.
+        parsed = KeywordQuery.parse("stores")
+        assert parsed.keywords == ("stores",)
+        direct = index.inverted.lookup("stores")
+        via_engine = SearchEngine(index).search("stores")
+        assert not direct.is_empty
+        assert len(via_engine) == len(direct)
+
+    def test_singular_query_matches_plural_text(self):
+        from repro.index.builder import IndexBuilder
+        from repro.search.engine import SearchEngine
+        from repro.xmltree.builder import tree_from_dict
+
+        tree = tree_from_dict("doc", {"item": [{"note": "great stores here"}]})
+        index = IndexBuilder().build(tree)
+        # The text token "stores" is indexed under both "stores" and "store".
+        assert not index.inverted.lookup("store").is_empty
+        assert len(SearchEngine(index).search("store")) >= 1
+
+    def test_query_and_index_share_normalisation(self):
+        from repro.utils.text import iter_index_terms, tokenize_query
+
+        # Every non-stopword query token must be findable among the index
+        # terms generated for the same text — the two paths share
+        # utils.text tokenisation, so there is no drift.
+        for text in ("The Stores in Texas", "Movie, drama!", "children's CLOTHES"):
+            index_terms = set(iter_index_terms(text))
+            for keyword in tokenize_query(text):
+                assert keyword in index_terms, (text, keyword, index_terms)
+
+    def test_identical_matches_via_both_plural_forms(self, small_index):
+        singular = small_index.inverted.lookup("store")
+        plural = small_index.inverted.lookup("stores")
+        assert singular.to_strings() == plural.to_strings()

@@ -115,3 +115,46 @@ class TestSetOperations:
     def test_union_all(self):
         lists = [PostingList(labels("0")), PostingList(labels("1")), PostingList(labels("0"))]
         assert PostingList.union_all(lists).to_strings() == ["0", "1"]
+
+
+class TestClosestMatchTieBreak:
+    """Regression tests for the documented lm-first tie-break of
+    ``closest_match`` (Indexed Lookup Eager, [7])."""
+
+    def test_symmetric_neighbours_prefer_left(self):
+        # Anchor 1.1 sits exactly between matches 1.0.0 and 1.2.0: both
+        # neighbours yield the LCA "1" (depth 1).  The tie must break left.
+        plist = PostingList(labels("1.0.0", "1.2.0"))
+        anchor = Dewey.parse("1.1")
+        assert str(plist.closest_match(anchor)) == "1.0.0"
+
+    def test_symmetric_document_slca_unaffected_by_tie(self):
+        # In a perfectly symmetric document the SLCA is identical whichever
+        # neighbour wins the tie, because equal-depth LCAs with the anchor
+        # are the same node (both are prefixes of the anchor).
+        from repro.search.lca import brute_force_slca
+        from repro.search.slca import compute_slca
+
+        anchors = PostingList(labels("0.1", "1.1"))
+        matches = PostingList(labels("0.0.0", "0.2.0", "1.0.0", "1.2.0"))
+        assert compute_slca([anchors, matches]) == brute_force_slca([anchors, matches])
+        assert [str(label) for label in compute_slca([anchors, matches])] == ["0", "1"]
+
+    def test_deeper_left_lca_wins(self):
+        plist = PostingList(labels("1.0.0", "2"))
+        assert str(plist.closest_match(Dewey.parse("1.0.5"))) == "1.0.0"
+
+    def test_deeper_right_lca_wins(self):
+        plist = PostingList(labels("0", "1.0.5"))
+        assert str(plist.closest_match(Dewey.parse("1.0.7"))) == "1.0.5"
+
+    def test_only_left_neighbour(self):
+        plist = PostingList(labels("0.0"))
+        assert str(plist.closest_match(Dewey.parse("5"))) == "0.0"
+
+    def test_only_right_neighbour(self):
+        plist = PostingList(labels("5.0"))
+        assert str(plist.closest_match(Dewey.parse("0"))) == "5.0"
+
+    def test_empty_list_returns_none(self):
+        assert PostingList().closest_match(Dewey.parse("1")) is None

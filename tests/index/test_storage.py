@@ -66,3 +66,107 @@ class TestSaveLoad:
         nested = tmp_path / "a" / "b" / "c"
         save_index(small_index, nested)
         assert nested.exists()
+
+
+class TestSnapshotV2:
+    def test_document_name_survives_round_trip(self, small_index, tmp_path):
+        save_index(small_index, tmp_path / "idx")
+        loaded = load_index(tmp_path / "idx")
+        assert loaded.tree.name == small_index.tree.name == "small-retailer"
+
+    def test_snapshot_contains_all_sections(self, small_index, tmp_path):
+        save_index(small_index, tmp_path / "idx")
+        content = (tmp_path / "idx" / "inverted.idx").read_text(encoding="utf-8")
+        lines = content.splitlines()
+        assert lines[0] == "#extract-index v2"
+        assert any(line.startswith("#summary entity=") for line in lines)
+        assert any(line.startswith("T ") for line in lines)
+        assert any(line.startswith("P ") for line in lines)
+
+    def test_structure_paths_round_trip(self, small_index, tmp_path):
+        save_index(small_index, tmp_path / "idx")
+        loaded = load_index(tmp_path / "idx")
+        assert loaded.structure.known_paths == small_index.structure.known_paths
+
+    def test_postings_byte_identical_round_trip(self, small_index, tmp_path):
+        save_index(small_index, tmp_path / "idx")
+        loaded = load_index(tmp_path / "idx")
+        original = small_index.inverted.postings_dict()
+        restored = loaded.inverted.postings_dict()
+        assert sorted(original) == sorted(restored)
+        for term, postings in original.items():
+            assert restored[term].to_strings() == postings.to_strings(), term
+
+    def test_repeated_save_load_is_stable(self, small_index, tmp_path):
+        save_index(small_index, tmp_path / "a")
+        first = load_index(tmp_path / "a")
+        save_index(first, tmp_path / "b")
+        second = load_index(tmp_path / "b")
+        content_a = (tmp_path / "a" / "inverted.idx").read_text(encoding="utf-8")
+        content_b = (tmp_path / "b" / "inverted.idx").read_text(encoding="utf-8")
+        assert content_a == content_b
+        assert second.inverted.vocabulary == first.inverted.vocabulary
+
+    def test_v1_snapshot_still_loads(self, small_index, tmp_path):
+        save_index(small_index, tmp_path / "idx")
+        index_file = tmp_path / "idx" / "inverted.idx"
+        lines = index_file.read_text(encoding="utf-8").splitlines()
+        v1_lines = ["#extract-index v1"] + [
+            line
+            for line in lines[1:]
+            if not line.startswith(("#summary", "P "))
+        ]
+        index_file.write_text("\n".join(v1_lines) + "\n", encoding="utf-8")
+        loaded = load_index(tmp_path / "idx")
+        assert loaded.inverted.vocabulary == small_index.inverted.vocabulary
+
+    def test_tampered_summary_raises(self, small_index, tmp_path):
+        save_index(small_index, tmp_path / "idx")
+        index_file = tmp_path / "idx" / "inverted.idx"
+        content = index_file.read_text(encoding="utf-8")
+        tampered = content.replace("#summary entity=", "#summary entity=9")
+        index_file.write_text(tampered, encoding="utf-8")
+        with pytest.raises(StorageError):
+            load_index(tmp_path / "idx")
+
+    def test_tampered_structure_paths_raise(self, small_index, tmp_path):
+        save_index(small_index, tmp_path / "idx")
+        index_file = tmp_path / "idx" / "inverted.idx"
+        content = index_file.read_text(encoding="utf-8")
+        tampered = content.replace("P retailer ", "P bogus-path ", 1)
+        index_file.write_text(tampered, encoding="utf-8")
+        with pytest.raises(StorageError):
+            load_index(tmp_path / "idx")
+
+    def test_search_results_identical_after_load(self, small_index, tmp_path):
+        from repro.system import ExtractSystem
+
+        before = ExtractSystem(small_index).query("store texas", size_bound=6)
+        save_index(small_index, tmp_path / "idx")
+        after = ExtractSystem(load_index(tmp_path / "idx")).query("store texas", size_bound=6)
+        assert before.render_text() == after.render_text()
+
+    def test_vocabulary_term_drift_raises(self, small_index, tmp_path):
+        # Same term COUNT but different term names must be rejected: a
+        # size-only check would silently serve wrong results.
+        save_index(small_index, tmp_path / "idx")
+        index_file = tmp_path / "idx" / "inverted.idx"
+        content = index_file.read_text(encoding="utf-8")
+        tampered = content.replace("T texas ", "T ztexas ", 1)
+        index_file.write_text(tampered, encoding="utf-8")
+        with pytest.raises(StorageError):
+            load_index(tmp_path / "idx")
+
+    def test_tampered_structure_labels_raise(self, small_index, tmp_path):
+        # Path names intact but posting labels drifted: also rejected.
+        save_index(small_index, tmp_path / "idx")
+        index_file = tmp_path / "idx" / "inverted.idx"
+        lines = index_file.read_text(encoding="utf-8").splitlines()
+        for position, line in enumerate(lines):
+            if line.startswith("P ") and line.count(" ") >= 2:
+                prefix, _, labels = line.rpartition(" ")
+                lines[position] = f"{prefix} 99.99.99"
+                break
+        index_file.write_text("\n".join(lines) + "\n", encoding="utf-8")
+        with pytest.raises(StorageError):
+            load_index(tmp_path / "idx")

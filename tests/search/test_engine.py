@@ -128,3 +128,37 @@ class TestQueryResult:
         assert result.contains_label(result.root)
         other = results[1]
         assert not result.contains_label(other.root)
+
+
+class TestLimitNumbering:
+    """Regression tests: ids on a limited result page must match snippet
+    numbering, and the pre-truncation total must be recorded."""
+
+    def test_limit_reassigns_contiguous_ids(self, retail_idx):
+        engine = SearchEngine(retail_idx)
+        limited = engine.search("retailer apparel", limit=2)
+        assert [result.result_id for result in limited] == list(range(len(limited)))
+
+    def test_total_results_records_pre_truncation_count(self, retail_idx):
+        engine = SearchEngine(retail_idx)
+        full = engine.search("retailer apparel")
+        limited = engine.search("retailer apparel", limit=2)
+        assert limited.total_results == len(full)
+        assert limited.is_truncated
+        assert not full.is_truncated
+        assert full.total_results == len(full)
+
+    def test_snippet_numbering_agrees_with_limited_results(self, retail_idx):
+        from repro.system import ExtractSystem
+
+        system = ExtractSystem(retail_idx)
+        outcome = system.query("retailer apparel", size_bound=6, limit=2)
+        result_ids = [result.result_id for result in outcome.results]
+        snippet_ids = [generated.result.result_id for generated in outcome.snippets]
+        assert snippet_ids == result_ids == list(range(len(outcome.results)))
+
+    def test_limit_zero_and_overlong_limit(self, retail_idx):
+        engine = SearchEngine(retail_idx)
+        assert len(engine.search("retailer apparel", limit=0)) == 0
+        full = engine.search("retailer apparel")
+        assert len(engine.search("retailer apparel", limit=10_000)) == len(full)

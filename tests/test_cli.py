@@ -161,3 +161,87 @@ class TestExperimentCommand:
         code, output = run_cli("experiment", "Z9")
         assert code == 2
         assert "unknown experiment" in output
+
+
+class TestBatchCommand:
+    @pytest.fixture()
+    def query_file(self, tmp_path):
+        path = tmp_path / "queries.txt"
+        path.write_text(
+            "# demo batch\n"
+            "store texas\n"
+            "clothes casual  # inline comment\n"
+            "\n"
+            "the of\n",          # only stop words: skipped with a warning
+            encoding="utf-8",
+        )
+        return str(path)
+
+    def test_batch_over_builtin_dataset(self, query_file):
+        code, output = run_cli("batch", "--queries", query_file, "--dataset", "figure5-stores")
+        assert code == 0
+        assert "store texas" in output
+        assert "clothes casual" in output
+        assert "skipping unparsable query" in output
+        assert "TOTAL" in output
+
+    def test_batch_requires_some_source(self, query_file):
+        code, output = run_cli("batch", "--queries", query_file)
+        assert code == 1
+        assert "no documents" in output
+
+    def test_batch_empty_query_file(self, tmp_path):
+        path = tmp_path / "empty.txt"
+        path.write_text("# nothing here\n", encoding="utf-8")
+        code, output = run_cli("batch", "--queries", str(path), "--dataset", "figure5-stores")
+        assert code == 2
+        assert "no queries" in output
+
+    def test_batch_repeat_rounds(self, query_file):
+        code, output = run_cli(
+            "batch", "--queries", query_file, "--dataset", "figure5-stores", "--repeat", "2"
+        )
+        assert code == 0
+        assert "round 1/2" in output
+        assert "round 2/2" in output
+
+    def test_batch_show_snippets(self, query_file):
+        code, output = run_cli(
+            "batch", "--queries", query_file, "--dataset", "figure5-stores", "--show-snippets"
+        )
+        assert code == 0
+        assert "figure5-stores :: store texas" in output
+
+
+class TestCorpusSaveCommand:
+    def test_save_then_batch_from_snapshot(self, tmp_path):
+        snapshot = str(tmp_path / "corpus")
+        code, output = run_cli(
+            "corpus-save", "--dataset", "figure5-stores", "--output", snapshot
+        )
+        assert code == 0
+        assert "saved 1 document index(es)" in output
+
+        queries = tmp_path / "queries.txt"
+        queries.write_text("store texas\n", encoding="utf-8")
+        code, output = run_cli("batch", "--queries", str(queries), "--corpus-dir", snapshot)
+        assert code == 0
+        assert "store texas" in output
+        assert "figure5-stores" in output
+
+    def test_save_requires_source(self, tmp_path):
+        code, output = run_cli("corpus-save", "--output", str(tmp_path / "corpus"))
+        assert code == 1
+        assert "no documents" in output
+
+    def test_corpus_dir_conflicts_with_sources(self, tmp_path):
+        snapshot = str(tmp_path / "corpus")
+        run_cli("corpus-save", "--dataset", "figure5-stores", "--output", snapshot)
+        queries = tmp_path / "queries.txt"
+        queries.write_text("store texas\n", encoding="utf-8")
+        code, output = run_cli(
+            "batch", "--queries", str(queries), "--corpus-dir", snapshot,
+            "--dataset", "retail",
+        )
+        assert code == 1
+        assert "cannot be combined" in output

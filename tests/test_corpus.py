@@ -99,3 +99,195 @@ class TestAccessAndQuerying:
 
     def test_repr(self, corpus):
         assert "documents=2" in repr(corpus)
+
+
+class TestReplaceRegistration:
+    def test_duplicate_without_replace_raises(self, small_retailer_tree):
+        corpus = Corpus()
+        corpus.add_tree("doc", small_retailer_tree)
+        with pytest.raises(ExtractError):
+            corpus.add_tree("doc", small_retailer_tree)
+
+    def test_replace_swaps_document(self, small_retailer_tree):
+        from repro.xmltree.builder import tree_from_dict
+
+        corpus = Corpus()
+        corpus.add_tree("doc", small_retailer_tree)
+        other = tree_from_dict("db", {"item": [{"name": "zeta"}]}, name="doc")
+        corpus.add_tree("doc", other, replace=True)
+        assert corpus.entry("doc").node_count == other.size_nodes
+
+    def test_replace_invalidates_old_caches(self, small_retailer_tree):
+        corpus = Corpus()
+        corpus.add_tree("doc", small_retailer_tree)
+        old_system = corpus.system("doc")
+        corpus.query("doc", "store texas")          # populate the cache
+        assert len(old_system.cache) > 0
+        corpus.add_tree("doc", small_retailer_tree, replace=True)
+        assert len(old_system.cache) == 0           # explicitly invalidated
+        assert corpus.system("doc") is not old_system
+        # Fresh system: first query is a cold (uncached) evaluation.
+        assert corpus.query("doc", "store texas").from_cache is False
+
+    def test_remove_invalidates_caches(self, small_retailer_tree):
+        corpus = Corpus()
+        corpus.add_tree("doc", small_retailer_tree)
+        system = corpus.system("doc")
+        corpus.query("doc", "store texas")
+        corpus.remove("doc")
+        assert len(system.cache) == 0
+
+
+class TestBatchExecution:
+    @pytest.fixture()
+    def batch_corpus(self, small_retailer_tree):
+        corpus = Corpus()
+        corpus.add_tree("retailer", small_retailer_tree)
+        corpus.add_builtin("figure5-stores", name="stores")
+        return corpus
+
+    def test_batch_covers_all_queries_and_documents(self, batch_corpus):
+        report = batch_corpus.search_batch(["store texas", "clothes casual"])
+        assert len(report) == 2
+        assert report.document_names == ["retailer", "stores"]
+        for entry in report:
+            assert set(entry.outcomes) == {"retailer", "stores"}
+            assert entry.seconds >= 0.0
+
+    def test_batch_matches_individual_queries(self, batch_corpus):
+        report = batch_corpus.search_batch(["store texas"], size_bound=6)
+        individual = batch_corpus.query("retailer", "store texas", size_bound=6, use_cache=False)
+        batch_outcome = report.entry("store texas").outcomes["retailer"]
+        assert batch_outcome.render_text() == individual.render_text()
+
+    def test_batch_shares_parsed_queries(self, batch_corpus):
+        # Same keywords in the same order (keyword order matters to the
+        # IList) but different raw spellings share one parsed query object.
+        report = batch_corpus.search_batch(["store texas", "STORE,  texas!"])
+        first, second = report.entries
+        assert first.query is second.query  # same normalised keyword tuple
+
+    def test_batch_respects_names_subset(self, batch_corpus):
+        report = batch_corpus.search_batch(["store texas"], names=["stores"])
+        assert report.document_names == ["stores"]
+        assert set(report.entry("store texas").outcomes) == {"stores"}
+
+    def test_batch_timings_have_one_phase_per_query(self, batch_corpus):
+        report = batch_corpus.search_batch(["store texas", "clothes casual"])
+        assert set(report.timings.phases) == {"query:store texas", "query:clothes casual"}
+
+    def test_batch_accepts_parsed_queries(self, batch_corpus):
+        from repro.search.query import KeywordQuery
+
+        report = batch_corpus.search_batch([KeywordQuery.parse("store texas")])
+        assert report.entry("store texas").total_results >= 1
+
+    def test_format_table(self, batch_corpus):
+        report = batch_corpus.search_batch(["store texas"])
+        table = report.format_table()
+        assert "store texas" in table
+        assert "TOTAL" in table
+
+    def test_empty_batch(self, batch_corpus):
+        report = batch_corpus.search_batch([])
+        assert len(report) == 0
+        assert report.format_table() == "(no queries executed)"
+
+    def test_warm_batch_is_served_from_cache(self, batch_corpus):
+        batch_corpus.search_batch(["store texas"])
+        warm = batch_corpus.search_batch(["store texas"])
+        outcomes = warm.entry("store texas").outcomes
+        assert all(outcome.from_cache for outcome in outcomes.values())
+
+
+class TestCorpusPersistence:
+    @pytest.fixture()
+    def populated(self, small_retailer_tree):
+        corpus = Corpus()
+        corpus.add_tree("retailer", small_retailer_tree)
+        corpus.add_builtin("figure5-stores", name="stores")
+        corpus.add_builtin("movies")
+        return corpus
+
+    def test_save_dir_layout(self, populated, tmp_path):
+        subdirs = populated.save_dir(tmp_path / "corpus")
+        assert sorted(subdirs) == ["movies", "retailer", "stores"]
+        assert (tmp_path / "corpus" / "corpus.manifest").exists()
+        for subdir in subdirs:
+            assert (tmp_path / "corpus" / subdir / "inverted.idx").exists()
+            assert (tmp_path / "corpus" / subdir / "document.xml").exists()
+
+    def test_round_trip_restores_names_and_sizes(self, populated, tmp_path):
+        populated.save_dir(tmp_path / "corpus")
+        loaded = Corpus.load_dir(tmp_path / "corpus")
+        assert loaded.names() == populated.names()
+        for name in populated.names():
+            assert loaded.entry(name).node_count == populated.entry(name).node_count
+
+    def test_round_trip_search_results_byte_identical(self, populated, tmp_path):
+        queries = ["store texas", "movie drama", "clothes casual"]
+        populated.save_dir(tmp_path / "corpus")
+        loaded = Corpus.load_dir(tmp_path / "corpus")
+        for query in queries:
+            for name in populated.names():
+                before = populated.query(name, query, size_bound=8, use_cache=False)
+                after = loaded.query(name, query, size_bound=8, use_cache=False)
+                assert before.render_text() == after.render_text(), (query, name)
+
+    def test_load_dir_preserves_algorithm(self, small_retailer_tree, tmp_path):
+        corpus = Corpus(algorithm="elca")
+        corpus.add_tree("doc", small_retailer_tree)
+        corpus.save_dir(tmp_path / "corpus")
+        loaded = Corpus.load_dir(tmp_path / "corpus")
+        assert loaded.algorithm == "elca"
+        override = Corpus.load_dir(tmp_path / "corpus", algorithm="slca")
+        assert override.algorithm == "slca"
+
+    def test_load_missing_directory_raises(self, tmp_path):
+        from repro.errors import StorageError
+
+        with pytest.raises(StorageError):
+            Corpus.load_dir(tmp_path / "nope")
+
+    def test_load_bad_manifest_raises(self, tmp_path):
+        from repro.errors import StorageError
+
+        (tmp_path / "corpus.manifest").write_text("garbage\n", encoding="utf-8")
+        with pytest.raises(StorageError):
+            Corpus.load_dir(tmp_path)
+
+    def test_awkward_document_names(self, small_retailer_tree, tmp_path):
+        corpus = Corpus()
+        corpus.add_tree("my doc / with ~ chars", small_retailer_tree)
+        corpus.save_dir(tmp_path / "corpus")
+        loaded = Corpus.load_dir(tmp_path / "corpus")
+        assert loaded.names() == ["my doc / with ~ chars"]
+        outcome = loaded.query("my doc / with ~ chars", "store texas")
+        assert len(outcome) == 2
+
+    def test_round_trip_preserves_document_name(self, tmp_path):
+        # Registered under a different name than the tree's own: both must
+        # survive the round trip unchanged (ResultSet.document_name comes
+        # from the tree, the registry key from the manifest).
+        corpus = Corpus()
+        corpus.add_builtin("figure5-stores", name="stores")
+        tree_name = corpus.system("stores").index.tree.name
+        before = corpus.query("stores", "store texas", use_cache=False)
+        corpus.save_dir(tmp_path / "corpus")
+        loaded = Corpus.load_dir(tmp_path / "corpus")
+        assert loaded.names() == ["stores"]
+        assert loaded.system("stores").index.tree.name == tree_name
+        after = loaded.query("stores", "store texas", use_cache=False)
+        assert after.results.document_name == before.results.document_name
+
+    def test_case_colliding_names_get_distinct_subdirs(self, small_retailer_tree, tmp_path):
+        from repro.xmltree.builder import tree_from_dict
+
+        corpus = Corpus()
+        corpus.add_tree("Doc", small_retailer_tree)
+        corpus.add_tree("doc", tree_from_dict("db", {"item": [{"name": "zeta"}]}))
+        subdirs = corpus.save_dir(tmp_path / "corpus")
+        assert len({subdir.lower() for subdir in subdirs}) == 2
+        loaded = Corpus.load_dir(tmp_path / "corpus")
+        assert loaded.entry("Doc").node_count == small_retailer_tree.size_nodes
+        assert loaded.entry("doc").node_count == 3

@@ -94,3 +94,117 @@ class TestQuery:
         system = ExtractSystem.from_tree(figure5_document(), algorithm="elca")
         outcome = system.query("store texas", size_bound=6)
         assert len(outcome) >= 2
+
+
+class TestQueryResultCache:
+    def test_repeated_query_served_from_cache(self, figure5_idx):
+        from repro.system import ExtractSystem
+
+        system = ExtractSystem(figure5_idx)
+        cold = system.query("store texas", size_bound=6)
+        warm = system.query("store texas", size_bound=6)
+        assert cold.from_cache is False
+        assert warm.from_cache is True
+        assert warm.render_text() == cold.render_text()
+        assert system.cache.stats.hits == 1
+
+    def test_different_parameters_miss(self, figure5_idx):
+        from repro.system import ExtractSystem
+
+        system = ExtractSystem(figure5_idx)
+        system.query("store texas", size_bound=6)
+        assert system.query("store texas", size_bound=8).from_cache is False
+        assert system.query("store texas", size_bound=6, limit=1).from_cache is False
+        assert system.query("store austin", size_bound=6).from_cache is False
+
+    def test_normalised_query_shares_cache_entry(self, figure5_idx):
+        from repro.system import ExtractSystem
+
+        system = ExtractSystem(figure5_idx)
+        system.query("store texas", size_bound=6)
+        # Different raw text, same normalised keywords in the same order.
+        assert system.query("STORE,   texas!", size_bound=6).from_cache is True
+
+    def test_use_cache_false_bypasses(self, figure5_idx):
+        from repro.system import ExtractSystem
+
+        system = ExtractSystem(figure5_idx)
+        system.query("store texas", size_bound=6)
+        outcome = system.query("store texas", size_bound=6, use_cache=False)
+        assert outcome.from_cache is False
+
+    def test_invalidate_cache_clears_everything(self, figure5_idx):
+        from repro.system import ExtractSystem
+
+        system = ExtractSystem(figure5_idx)
+        system.query("store texas", size_bound=6)
+        assert len(system.cache) > 0
+        system.invalidate_cache()
+        assert len(system.cache) == 0
+        assert len(system.generator.cache) == 0
+        assert system.query("store texas", size_bound=6).from_cache is False
+
+    def test_cache_stats_expose_both_caches(self, figure5_idx):
+        from repro.system import ExtractSystem
+
+        system = ExtractSystem(figure5_idx)
+        stats = system.cache_stats()
+        assert set(stats) == {"query", "snippet"}
+
+    def test_search_method_caches_result_sets(self, figure5_idx):
+        from repro.system import ExtractSystem
+
+        system = ExtractSystem(figure5_idx)
+        first = system.search("store texas")
+        second = system.search("store texas")
+        assert second is first  # served verbatim from the cache
+        assert len(first) == 2
+
+    def test_cache_size_zero_disables_caching(self, figure5_idx):
+        from repro.system import ExtractSystem
+
+        system = ExtractSystem(figure5_idx, cache_size=0)
+        system.query("store texas", size_bound=6)
+        assert system.query("store texas", size_bound=6).from_cache is False
+
+    def test_snippet_cache_rewraps_current_result(self, figure5_idx):
+        from repro.system import ExtractSystem
+
+        system = ExtractSystem(figure5_idx)
+        # Same document/root/query/bound through different limits: the
+        # snippet cache must serve the tree but keep each outcome's own
+        # result objects (ranking metadata stays current).
+        full = system.query("store texas", size_bound=6)
+        limited = system.query("store texas", size_bound=6, limit=1)
+        assert limited.snippets[0].result is limited.results[0]
+        assert (
+            limited.snippets[0].snippet.size_edges
+            == full.snippets[0].snippet.size_edges
+        )
+
+    def test_from_saved_round_trip(self, figure5_idx, tmp_path):
+        from repro.index.storage import save_index
+        from repro.system import ExtractSystem
+
+        save_index(figure5_idx, tmp_path / "idx")
+        system = ExtractSystem.from_saved(tmp_path / "idx")
+        reference = ExtractSystem(figure5_idx)
+        assert (
+            system.query("store texas", size_bound=6).render_text()
+            == reference.query("store texas", size_bound=6).render_text()
+        )
+
+    def test_search_construction_is_explicit_not_inherited(self, figure5_idx):
+        from repro.search.xseek import ResultConstruction
+        from repro.system import ExtractSystem
+
+        system = ExtractSystem(figure5_idx)
+        baseline = ExtractSystem(figure5_idx).search("store texas")
+        # A prior query with a different construction must not leak into a
+        # later search(): construction is an explicit parameter.
+        system.query(
+            "store texas", size_bound=6, construction=ResultConstruction.MATCH_PATHS
+        )
+        results = system.search("store texas")
+        assert [type(r) for r in results] == [type(r) for r in baseline]
+        assert [str(r.root) for r in results] == [str(r.root) for r in baseline]

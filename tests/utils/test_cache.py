@@ -1,0 +1,107 @@
+"""Tests for the LRU cache used by the query service layer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.utils.cache import CacheStats, LRUCache
+
+
+class TestLRUCache:
+    def test_put_get_roundtrip(self):
+        cache = LRUCache(maxsize=4)
+        cache.put("a", 1)
+        assert cache.get("a") == 1
+        assert "a" in cache
+        assert len(cache) == 1
+
+    def test_miss_returns_default(self):
+        cache = LRUCache(maxsize=4)
+        assert cache.get("missing") is None
+        assert cache.get("missing", 42) == 42
+        assert cache.stats.misses == 2
+
+    def test_eviction_drops_least_recently_used(self):
+        cache = LRUCache(maxsize=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.get("a")  # refresh "a": "b" is now least recently used
+        cache.put("c", 3)
+        assert cache.get("a") == 1
+        assert cache.get("b") is None
+        assert cache.get("c") == 3
+        assert cache.stats.evictions == 1
+
+    def test_put_refreshes_recency(self):
+        cache = LRUCache(maxsize=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.put("a", 10)  # rewrite refreshes recency and value
+        cache.put("c", 3)
+        assert cache.get("a") == 10
+        assert cache.get("b") is None
+
+    def test_zero_maxsize_disables_cache(self):
+        cache = LRUCache(maxsize=0)
+        cache.put("a", 1)
+        assert cache.get("a") is None
+        assert len(cache) == 0
+
+    def test_negative_maxsize_rejected(self):
+        with pytest.raises(ValueError):
+            LRUCache(maxsize=-1)
+
+    def test_invalidate_single_key(self):
+        cache = LRUCache(maxsize=4)
+        cache.put("a", 1)
+        assert cache.invalidate("a") is True
+        assert cache.invalidate("a") is False
+        assert cache.get("a") is None
+        assert cache.stats.invalidations == 1
+
+    def test_invalidate_where_predicate(self):
+        cache = LRUCache(maxsize=8)
+        cache.put(("doc1", "q1"), 1)
+        cache.put(("doc1", "q2"), 2)
+        cache.put(("doc2", "q1"), 3)
+        removed = cache.invalidate_where(lambda key: key[0] == "doc1")
+        assert removed == 2
+        assert cache.get(("doc2", "q1")) == 3
+        assert cache.get(("doc1", "q1")) is None
+
+    def test_clear(self):
+        cache = LRUCache(maxsize=4)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        assert cache.clear() == 2
+        assert len(cache) == 0
+
+    def test_contains_does_not_touch_stats(self):
+        cache = LRUCache(maxsize=4)
+        cache.put("a", 1)
+        assert "a" in cache
+        assert "b" not in cache
+        assert cache.stats.lookups == 0
+
+    def test_repr(self):
+        cache = LRUCache(maxsize=4)
+        cache.put("a", 1)
+        assert "size=1/4" in repr(cache)
+
+
+class TestCacheStats:
+    def test_hit_rate_empty(self):
+        assert CacheStats().hit_rate == 0.0
+
+    def test_hit_rate(self):
+        stats = CacheStats(hits=3, misses=1)
+        assert stats.hit_rate == 0.75
+        assert stats.lookups == 4
+
+    def test_as_dict(self):
+        stats = CacheStats(hits=1, misses=1, evictions=2, invalidations=3)
+        as_dict = stats.as_dict()
+        assert as_dict["hits"] == 1
+        assert as_dict["hit_rate"] == 0.5
+        assert as_dict["evictions"] == 2
+        assert as_dict["invalidations"] == 3
