@@ -1,0 +1,109 @@
+"""Serving benchmark — service throughput, serial vs. threaded executor.
+
+The acceptance shape (ISSUE 2): on a multi-query workload the
+``ConcurrentExecutor`` must be **no slower than** the ``SerialExecutor``
+(CPython's GIL serialises the CPU-bound pipeline, so "no slower" — within
+scheduling-noise tolerance — is the honest bar; the win today is overlap
+of any GIL-releasing work plus the substrate for the async roadmap), and
+the responses must be byte-identical between the two paths.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+
+from repro.api import ConcurrentExecutor, SearchRequest, SerialExecutor, SnippetService
+from repro.corpus import Corpus
+from repro.datasets.movies import MoviesConfig, generate_movies_document
+from repro.datasets.retail import RetailConfig, generate_retail_document
+
+QUERIES = [
+    "store texas",
+    "retailer apparel",
+    "clothes casual",
+    "store austin",
+    "suit formal",
+    "movie drama",
+]
+
+_RETAIL = RetailConfig(retailers=8, stores_per_retailer=5, clothes_per_store=5, seed=13)
+_MOVIES = MoviesConfig(movies=30, seed=13)
+
+#: tolerance for scheduler noise on top of "no slower than serial" — the
+#: pipeline is GIL-bound CPU work, so threads add only overhead; on noisy
+#: shared CI runners the margin must absorb context-switch jitter without
+#: masking a real regression (a naive lock-per-query serialisation shows
+#: up as 2x+).
+SLOWDOWN_TOLERANCE = 1.5
+ROUNDS = 5
+
+
+def _fresh_corpus() -> Corpus:
+    corpus = Corpus()
+    corpus.add_tree("retail", generate_retail_document(_RETAIL, name="retail"))
+    corpus.add_tree("movies", generate_movies_document(_MOVIES))
+    return corpus
+
+
+def _workload() -> list[SearchRequest]:
+    """A multi-query workload: every query over every document, cold every
+    time (``use_cache=False``) so both executors do real pipeline work."""
+    return [
+        SearchRequest(query=query, document=document, size_bound=6, use_cache=False)
+        for query in QUERIES
+        for document in ("movies", "retail")
+    ]
+
+
+def _best_seconds(service: SnippetService, requests: list[SearchRequest]) -> float:
+    """Best-of-N wall clock (damps scheduler noise in CI)."""
+    best = float("inf")
+    for _ in range(ROUNDS):
+        started = time.perf_counter()
+        service.run_many(requests)
+        best = min(best, time.perf_counter() - started)
+    return best
+
+
+def test_threaded_executor_no_slower_than_serial():
+    requests = _workload()
+
+    serial_service = SnippetService(_fresh_corpus(), executor=SerialExecutor())
+    serial = _best_seconds(serial_service, requests)
+
+    with SnippetService(
+        _fresh_corpus(), executor=ConcurrentExecutor(max_workers=8)
+    ) as service:
+        service.run_many(requests)  # spin the pool up before timing
+        concurrent = _best_seconds(service, requests)
+
+    # ISSUE 2 acceptance: the threaded executor is no slower than serial
+    # (tolerance covers thread scheduling noise on loaded CI runners).
+    assert concurrent <= serial * SLOWDOWN_TOLERANCE, (serial, concurrent)
+
+
+def test_executors_return_identical_bytes():
+    requests = _workload()
+    serial_responses = SnippetService(_fresh_corpus()).run_many(requests)
+    with SnippetService(
+        _fresh_corpus(), executor=ConcurrentExecutor(max_workers=8)
+    ) as service:
+        concurrent_responses = service.run_many(requests)
+    serial_bytes = [json.dumps(r.to_dict(), sort_keys=True) for r in serial_responses]
+    concurrent_bytes = [json.dumps(r.to_dict(), sort_keys=True) for r in concurrent_responses]
+    assert serial_bytes == concurrent_bytes
+
+
+def test_warm_service_throughput(benchmark):
+    """pytest-benchmark row: a fully warm service answering the workload."""
+    corpus = _fresh_corpus()
+    requests = [
+        SearchRequest(query=query, document=document, size_bound=6)
+        for query in QUERIES
+        for document in ("movies", "retail")
+    ]
+    service = SnippetService(corpus)
+    service.run_many(requests)  # warm the caches
+    responses = benchmark(service.run_many, requests)
+    assert all(response.from_cache for response in responses)

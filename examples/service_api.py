@@ -1,0 +1,104 @@
+#!/usr/bin/env python3
+"""The typed service API: JSON requests in, JSON responses out.
+
+Run with::
+
+    python examples/service_api.py
+
+Walks the ``repro.api`` protocol end to end:
+
+* build a corpus and wrap it in a :class:`~repro.api.SnippetService`,
+* execute a typed :class:`~repro.api.SearchRequest` (and the same request
+  as a raw JSON object, the way a wire frontend would),
+* paginate through the result list with ``next_page`` tokens,
+* fan a :class:`~repro.api.BatchRequest` out over a thread pool with the
+  :class:`~repro.api.ConcurrentExecutor` — byte-identical to serial,
+* peek at the per-document cache statistics the service exposes.
+
+The same flow is available from the command line::
+
+    echo '{"kind": "search", "schema_version": 1,
+           "query": "store texas", "document": "stores"}' |
+        python -m repro.cli serve-request --dataset figure5-stores --request -
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro import Corpus
+from repro.api import (
+    BatchRequest,
+    ConcurrentExecutor,
+    SearchRequest,
+    SnippetService,
+)
+
+
+def main() -> None:
+    # ------------------------------------------------------------------ #
+    # 1. a corpus behind a service facade
+    # ------------------------------------------------------------------ #
+    corpus = Corpus()
+    corpus.add_builtin("figure5-stores", name="stores")
+    corpus.add_builtin("retail")
+    service = SnippetService(corpus)
+    print(f"=== {service!r} ===\n")
+
+    # ------------------------------------------------------------------ #
+    # 2. one typed request → one typed response
+    # ------------------------------------------------------------------ #
+    request = SearchRequest(query="store texas", document="stores", size_bound=6)
+    response = service.run(request)
+    print(f"query {request.query!r} on {request.document!r}: "
+          f"{response.total_results} results (algorithm {response.algorithm})")
+    print(response.results[0].text)
+    print()
+
+    # The exact same round trip as JSON, the way a frontend would see it:
+    wire_response = service.handle_dict(request.to_dict())
+    print("wire form keys:", ", ".join(sorted(wire_response)))
+    print()
+
+    # ------------------------------------------------------------------ #
+    # 3. pagination: one result per page, follow the next_page tokens
+    # ------------------------------------------------------------------ #
+    paged = SearchRequest(query="store", document="stores", size_bound=6, page_size=1)
+    page_number = 0
+    while True:
+        page = service.run(paged)
+        page_number += 1
+        for payload in page.results:
+            print(f"page {page.page}: result #{payload.result_id} "
+                  f"root=<{payload.root_tag}> score={payload.score:.2f}")
+        if page.next_page is None:
+            break
+        paged = paged.with_page(page.next_page)
+    print(f"walked {page_number} pages of {page.total_results} results\n")
+
+    # ------------------------------------------------------------------ #
+    # 4. a batch over a thread pool — identical bytes, concurrent wall clock
+    # ------------------------------------------------------------------ #
+    batch = BatchRequest(
+        queries=("store texas", "clothes casual", "retailer apparel"), size_bound=6
+    )
+    serial_batch = service.run_batch(batch)
+    with SnippetService(corpus, executor=ConcurrentExecutor(max_workers=4)) as threaded:
+        concurrent_batch = threaded.run_batch(batch)
+    identical = json.dumps(serial_batch.to_dict(), sort_keys=True) == json.dumps(
+        concurrent_batch.to_dict(), sort_keys=True
+    )
+    print(f"batch of {len(batch.queries)} queries over {len(serial_batch.documents)} documents: "
+          f"{serial_batch.total_results} results; threaded == serial: {identical}\n")
+
+    # ------------------------------------------------------------------ #
+    # 5. serving-cache statistics, per document
+    # ------------------------------------------------------------------ #
+    for name, caches in service.cache_stats().items():
+        query_stats = caches["query"]
+        print(f"  {name:<8s} query-cache hits={query_stats['hits']:.0f} "
+              f"misses={query_stats['misses']:.0f} hit_rate={query_stats['hit_rate']:.2f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -18,6 +18,9 @@ Quick start::
 The most useful entry points:
 
 * :class:`ExtractSystem` — end-to-end: document → index → search → snippets,
+* :class:`repro.api.SnippetService` — the typed serving surface: versioned
+  JSON requests/responses, pluggable (serial/threaded) executors,
+  pagination (see :mod:`repro.api`),
 * :class:`SnippetGenerator` — the paper's contribution in isolation
   (query + query result + size bound → snippet),
 * :class:`SearchEngine` / :class:`IndexBuilder` — the search substrate,
@@ -34,12 +37,24 @@ from repro.errors import (
     EvaluationError,
     ExtractError,
     InvalidSizeBoundError,
+    ProtocolError,
     QueryError,
     SchemaError,
     SearchError,
     SnippetError,
     StorageError,
     XMLParseError,
+)
+from repro.api import (
+    BatchRequest,
+    BatchResponse,
+    ConcurrentExecutor,
+    ErrorResponse,
+    SearchRequest,
+    SearchResponse,
+    SerialExecutor,
+    SnippetPayload,
+    SnippetService,
 )
 from repro.corpus import BatchQueryOutcome, BatchReport, Corpus
 from repro.index.builder import DocumentIndex, IndexBuilder
@@ -65,6 +80,15 @@ __all__ = [
     "SearchOutcome",
     "Corpus",
     # serving layer
+    "SnippetService",
+    "SearchRequest",
+    "SearchResponse",
+    "BatchRequest",
+    "BatchResponse",
+    "SnippetPayload",
+    "ErrorResponse",
+    "SerialExecutor",
+    "ConcurrentExecutor",
     "BatchQueryOutcome",
     "BatchReport",
     "LRUCache",
@@ -108,6 +132,7 @@ __all__ = [
     "InvalidSizeBoundError",
     "DatasetError",
     "StorageError",
+    "ProtocolError",
     "EvaluationError",
     "__version__",
 ]

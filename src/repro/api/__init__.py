@@ -1,0 +1,66 @@
+"""``repro.api`` — the typed, versioned serving surface of the reproduction.
+
+The package splits serving into three layers:
+
+* :mod:`repro.api.protocol` — the wire contract: request/response
+  dataclasses with a lossless, schema-versioned JSON round trip;
+* :mod:`repro.api.executors` — pluggable execution strategies (serial or
+  thread-pool concurrent) with identical observable results;
+* :mod:`repro.api.service` — :class:`SnippetService`, the facade that owns
+  a corpus and runs requests through an executor.
+
+Quick start::
+
+    from repro import Corpus
+    from repro.api import SearchRequest, SnippetService
+
+    corpus = Corpus()
+    corpus.add_builtin("figure5-stores", name="stores")
+    service = SnippetService(corpus)
+    response = service.run(
+        SearchRequest(query="store texas", document="stores", size_bound=6, page_size=1)
+    )
+    print(response.results[0].text)
+    if response.next_page:
+        print(service.run(SearchRequest(
+            query="store texas", document="stores", size_bound=6, page_size=1,
+        ).with_page(response.next_page)))
+"""
+
+from repro.api.executors import ConcurrentExecutor, Executor, SerialExecutor
+from repro.api.protocol import (
+    CONSTRUCTION_MODES,
+    SCHEMA_VERSION,
+    BatchEntry,
+    BatchRequest,
+    BatchResponse,
+    ErrorResponse,
+    SearchRequest,
+    SearchResponse,
+    SnippetPayload,
+    decode_page_token,
+    encode_page_token,
+    parse_request,
+    parse_response,
+)
+from repro.api.service import SnippetService
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "CONSTRUCTION_MODES",
+    "SearchRequest",
+    "BatchRequest",
+    "SearchResponse",
+    "BatchResponse",
+    "BatchEntry",
+    "SnippetPayload",
+    "ErrorResponse",
+    "parse_request",
+    "parse_response",
+    "encode_page_token",
+    "decode_page_token",
+    "Executor",
+    "SerialExecutor",
+    "ConcurrentExecutor",
+    "SnippetService",
+]

@@ -1,0 +1,123 @@
+"""Pluggable request executors for the snippet service.
+
+The service maps a function over a list of work items (requests, batch
+queries).  *How* that map runs is an executor policy:
+
+* :class:`SerialExecutor` — run in the calling thread, one item at a time
+  (deterministic, zero overhead; the default).
+* :class:`ConcurrentExecutor` — fan out over a
+  :class:`concurrent.futures.ThreadPoolExecutor`.  Because the query
+  pipeline is thread-safe (locked caches, no shared mutable engine state),
+  concurrent execution returns results identical to the serial path; the
+  win is overlapping work when queries block on anything releasing the
+  GIL, and it is the substrate the async/sharding roadmap items build on.
+
+Both preserve **input order** in their output list and surface the first
+worker exception (by item order) exactly like a plain loop would, so
+swapping executors never changes observable results — only wall-clock.
+"""
+
+from __future__ import annotations
+
+import abc
+import threading
+from collections.abc import Callable, Sequence
+from concurrent.futures import ThreadPoolExecutor
+from typing import Any, TypeVar
+
+_Item = TypeVar("_Item")
+_Result = TypeVar("_Result")
+
+#: worker-count ceiling guarding against pathological requests
+MAX_WORKERS = 64
+
+
+class Executor(abc.ABC):
+    """Strategy interface: map a callable over items, preserving order."""
+
+    #: short name used in reprs, benchmarks and the CLI
+    name: str = "abstract"
+
+    @abc.abstractmethod
+    def map(self, fn: Callable[[_Item], _Result], items: Sequence[_Item]) -> list[_Result]:
+        """Apply ``fn`` to every item; results in input order.
+
+        The first exception (by item order) propagates to the caller, as
+        in a plain ``for`` loop.
+        """
+
+    def close(self) -> None:
+        """Release worker resources (idempotent; no-op by default)."""
+
+    def __enter__(self) -> "Executor":
+        return self
+
+    def __exit__(self, *_exc: Any) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__}>"
+
+
+class SerialExecutor(Executor):
+    """Run every item inline in the calling thread (the reference path)."""
+
+    name = "serial"
+
+    def map(self, fn: Callable[[_Item], _Result], items: Sequence[_Item]) -> list[_Result]:
+        return [fn(item) for item in items]
+
+
+class ConcurrentExecutor(Executor):
+    """Run items on a shared thread pool.
+
+    The pool is created lazily on first use and reused across calls, so a
+    long-lived service pays thread start-up once.  ``close()`` (or use as
+    a context manager) shuts the pool down; a closed executor transparently
+    recreates its pool if used again.
+    """
+
+    name = "concurrent"
+
+    def __init__(self, max_workers: int = 8):
+        if not isinstance(max_workers, int) or isinstance(max_workers, bool) or max_workers < 1:
+            raise ValueError(f"max_workers must be a positive integer, got {max_workers!r}")
+        self.max_workers = min(max_workers, MAX_WORKERS)
+        self._pool: ThreadPoolExecutor | None = None
+        # Guards pool creation/shutdown: concurrent first users must share
+        # one pool (not leak racing duplicates), and submissions racing a
+        # close() must land in a live pool or in a fresh one — never in a
+        # shut-down pool.
+        self._pool_lock = threading.Lock()
+
+    def _submit_all(self, fn, items) -> list:
+        with self._pool_lock:
+            if self._pool is None:
+                self._pool = ThreadPoolExecutor(
+                    max_workers=self.max_workers, thread_name_prefix="repro-api"
+                )
+            return [self._pool.submit(fn, item) for item in items]
+
+    def map(self, fn: Callable[[_Item], _Result], items: Sequence[_Item]) -> list[_Result]:
+        if len(items) <= 1:
+            # No parallelism to exploit; skip the pool round trip.
+            return [fn(item) for item in items]
+        futures = self._submit_all(fn, items)
+        try:
+            # future.result() re-raises the worker exception; walking the
+            # futures in submission order surfaces the first failing item,
+            # matching serial semantics.
+            return [future.result() for future in futures]
+        finally:
+            for future in futures:
+                future.cancel()
+
+    def close(self) -> None:
+        with self._pool_lock:
+            pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=True)
+
+    def __repr__(self) -> str:
+        state = "idle" if self._pool is None else "running"
+        return f"<ConcurrentExecutor max_workers={self.max_workers} ({state})>"

@@ -1,0 +1,421 @@
+"""The :class:`SnippetService` facade: typed requests in, typed responses out.
+
+This is the serving surface the ROADMAP's concurrent-serving work builds
+on.  A service owns a :class:`repro.corpus.Corpus` and executes
+:class:`~repro.api.protocol.SearchRequest` /
+:class:`~repro.api.protocol.BatchRequest` payloads through a pluggable
+:class:`~repro.api.executors.Executor`:
+
+* ``run*`` methods raise :class:`~repro.errors.ExtractError` subclasses —
+  the in-process API the deprecated ``Corpus``/``ExtractSystem`` shims
+  delegate to;
+* ``execute*`` methods never raise library errors — failures become
+  :class:`~repro.api.protocol.ErrorResponse`, the behaviour a wire
+  endpoint wants;
+* :meth:`handle_dict` / :meth:`handle_json` speak plain JSON objects for
+  frontends like the CLI ``serve-request`` subcommand.
+
+Thread safety: the underlying pipeline never mutates shared engine state
+(:meth:`repro.system.ExtractSystem.run_query`), the LRU caches lock
+internally, and shared posting-list memos serialise their lookups — so one
+service instance may execute requests from many threads (or through
+:class:`~repro.api.executors.ConcurrentExecutor`) and return responses
+identical to serial execution.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from typing import TYPE_CHECKING, Any
+
+from repro.api.executors import Executor, SerialExecutor
+from repro.api.protocol import (
+    BatchEntry,
+    BatchRequest,
+    BatchResponse,
+    ErrorResponse,
+    SearchRequest,
+    SearchResponse,
+    SnippetPayload,
+    encode_page_token,
+    parse_request,
+)
+from repro.errors import ExtractError, ProtocolError
+from repro.search.query import KeywordQuery
+from repro.search.xseek import ResultConstruction
+from repro.snippet.render import render_snippet_text
+from repro.utils.timing import TimingBreakdown
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.corpus import Corpus, CorpusEntry
+    from repro.search.results import QueryResult
+    from repro.snippet.generator import GeneratedSnippet
+    from repro.system import SearchOutcome
+
+
+class SnippetService:
+    """Execute typed search/batch requests over a corpus.
+
+    >>> from repro.corpus import Corpus
+    >>> from repro.api import SearchRequest, SnippetService
+    >>> corpus = Corpus()
+    >>> _ = corpus.add_builtin("figure5-stores", name="stores")
+    >>> service = SnippetService(corpus)
+    >>> response = service.run(SearchRequest(query="store texas", document="stores", size_bound=6))
+    >>> response.total_results >= 2
+    True
+    """
+
+    def __init__(self, corpus: "Corpus", executor: Executor | None = None):
+        self.corpus = corpus
+        self.executor = executor if executor is not None else SerialExecutor()
+
+    # ------------------------------------------------------------------ #
+    # single requests
+    # ------------------------------------------------------------------ #
+    def run(
+        self,
+        request: SearchRequest,
+        parsed: KeywordQuery | None = None,
+        build_payloads: bool = True,
+        validate: bool = True,
+        entry: "CorpusEntry | None" = None,
+    ) -> SearchResponse:
+        """Execute one request; raises :class:`ExtractError` on failure.
+
+        ``parsed`` optionally supplies the pre-parsed form of
+        ``request.query`` (the legacy shims forward the exact
+        :class:`KeywordQuery` their caller built); by default the query
+        string is parsed here.  ``build_payloads=False`` skips wire-payload
+        construction (snippet text rendering) and returns an empty
+        ``results`` page — for in-process callers that only consume the
+        raw ``outcome`` handle, like the deprecated shims.
+        ``validate=False`` skips protocol validation so those shims keep
+        their pre-service error contract (e.g. ``InvalidSizeBoundError``
+        from the pipeline rather than :class:`ProtocolError`).
+        ``entry`` executes against an already-captured corpus entry
+        (snapshot semantics for fan-outs racing re-registration) instead
+        of resolving ``request.document`` now.
+        """
+        if validate:
+            request.validate()
+        if entry is None:
+            entry = self.corpus.entry(request.document)
+        if parsed is None:
+            parsed = KeywordQuery.parse(request.query)
+        return self._run_on_entry(request, entry, parsed, build_payloads=build_payloads)
+
+    def execute(self, request: SearchRequest) -> SearchResponse | ErrorResponse:
+        """Like :meth:`run`, but failures become an :class:`ErrorResponse`."""
+        try:
+            return self.run(request)
+        except ExtractError as error:
+            return ErrorResponse.from_exception(error, request=request.to_dict())
+
+    def run_many(
+        self,
+        requests: list[SearchRequest],
+        parsed: KeywordQuery | None = None,
+        build_payloads: bool = True,
+        validate: bool = True,
+        entries: "list[CorpusEntry] | None" = None,
+    ) -> list[SearchResponse]:
+        """Execute several independent requests through the executor.
+
+        ``parsed``, when given, is the pre-parsed form shared by *every*
+        request's query (the ``query_all`` fan-out: one query, many
+        documents); ``build_payloads`` and ``validate`` as in :meth:`run`;
+        ``entries``, when given, aligns with ``requests`` and pins each
+        one to an already-captured corpus entry (snapshot semantics).
+        """
+        if entries is not None and len(entries) != len(requests):
+            raise ProtocolError(
+                f"entries length {len(entries)} does not match requests length {len(requests)}"
+            )
+        pairs = list(zip(requests, entries if entries is not None else [None] * len(requests)))
+        return self.executor.map(
+            lambda pair: self.run(
+                pair[0],
+                parsed=parsed,
+                build_payloads=build_payloads,
+                validate=validate,
+                entry=pair[1],
+            ),
+            pairs,
+        )
+
+    def execute_many(self, requests: list[SearchRequest]) -> list[SearchResponse | ErrorResponse]:
+        """Per-request error isolation: one bad request never kills the rest."""
+        return self.executor.map(self.execute, requests)
+
+    # ------------------------------------------------------------------ #
+    # batches
+    # ------------------------------------------------------------------ #
+    def run_batch(
+        self,
+        batch: BatchRequest,
+        parsed_queries: list[KeywordQuery] | None = None,
+        build_payloads: bool = True,
+        validate: bool = True,
+    ) -> BatchResponse:
+        """Execute a batch: every query over every selected document.
+
+        Shared work mirrors the PR-1 batch path: each query string is
+        parsed once (strings normalising to the same keyword tuple share a
+        :class:`KeywordQuery`) and per document every distinct keyword's
+        posting list is looked up at most once via the corpus-level shared
+        posting memos.  The executor fans out across *queries*; per query,
+        documents run in order, so response order is deterministic.
+
+        ``parsed_queries`` lets a caller that already holds parsed
+        :class:`KeywordQuery` objects (the ``Corpus.search_batch`` shim)
+        bypass re-parsing, preserving exact legacy semantics;
+        ``build_payloads`` as in :meth:`run` (the shim consumes raw
+        outcomes only, so it skips wire-payload rendering).
+        """
+        if validate:
+            batch.validate()
+        if batch.documents is not None:
+            names = list(batch.documents)
+            entries = [self.corpus.entry(name) for name in names]
+        else:
+            # Snapshot semantics for "every registered document": a
+            # concurrent remove/add cannot fail the batch part-way.
+            entries = self.corpus.entries_snapshot()
+            names = [entry.name for entry in entries]
+
+        if parsed_queries is not None:
+            if len(parsed_queries) != len(batch.queries):
+                raise ProtocolError(
+                    f"parsed_queries length {len(parsed_queries)} does not match "
+                    f"queries length {len(batch.queries)}"
+                )
+            given: list[KeywordQuery] = parsed_queries
+        else:
+            given = [KeywordQuery.parse(raw) for raw in batch.queries]
+
+        pairs = list(zip(batch.queries, KeywordQuery.share(given)))
+
+        def run_one(pair: tuple[str, KeywordQuery]) -> BatchEntry:
+            raw, parsed = pair
+            started = time.perf_counter()
+            responses = tuple(
+                self._run_on_entry(
+                    batch.search_request(raw, entry.name),
+                    entry,
+                    parsed,
+                    build_payloads=build_payloads,
+                )
+                for entry in entries
+            )
+            return BatchEntry(
+                query=raw, responses=responses, seconds=time.perf_counter() - started
+            )
+
+        return BatchResponse(
+            entries=tuple(self.executor.map(run_one, pairs)),
+            documents=tuple(names),
+        )
+
+    def execute_batch(
+        self, batch: BatchRequest
+    ) -> BatchResponse | ErrorResponse:
+        try:
+            return self.run_batch(batch)
+        except ExtractError as error:
+            return ErrorResponse.from_exception(error, request=batch.to_dict())
+
+    # ------------------------------------------------------------------ #
+    # JSON endpoints
+    # ------------------------------------------------------------------ #
+    def handle_dict(
+        self,
+        payload: dict[str, Any],
+        request: SearchRequest | BatchRequest | None = None,
+    ) -> dict[str, Any]:
+        """Serve one JSON-style request object; never raises library errors.
+
+        Parses the payload (dispatching on ``kind``), executes it, and
+        returns the response as a plain dict — with volatile serving
+        metadata attached only when the request set ``include_meta``.
+        ``request`` lets a frontend that already parsed the payload (for
+        fail-fast validation) skip the re-parse.
+        """
+        try:
+            if request is None:
+                request = parse_request(payload)
+        except ExtractError as error:
+            echoed = payload if isinstance(payload, dict) else None
+            return ErrorResponse.from_exception(error, request=echoed).to_dict()
+        if isinstance(request, BatchRequest):
+            response = self.execute_batch(request)
+        else:
+            response = self.execute(request)
+        if isinstance(response, ErrorResponse):
+            return response.to_dict()
+        return response.to_dict(include_meta=request.include_meta)
+
+    def handle_text(self, text: str) -> dict[str, Any]:
+        """Serve one JSON document, returning the response as a dict.
+
+        Frontends that format the response themselves (the CLI's
+        ``--pretty`` flag) use this to avoid a parse → serialise →
+        re-parse round trip; :meth:`handle_json` is the string-in/
+        string-out convenience over it.
+        """
+        try:
+            payload = json.loads(text)
+        except json.JSONDecodeError as error:
+            return ErrorResponse.from_exception(
+                ProtocolError(f"request is not valid JSON: {error}")
+            ).to_dict()
+        return self.handle_dict(payload)
+
+    def handle_json(self, text: str) -> str:
+        """Serve one JSON document (the network entry point)."""
+        return json.dumps(self.handle_text(text), sort_keys=True)
+
+    # ------------------------------------------------------------------ #
+    # observability
+    # ------------------------------------------------------------------ #
+    def cache_stats(self) -> dict[str, dict[str, dict[str, float]]]:
+        """Atomic per-document serving-cache counters, JSON-ready.
+
+        Iterates a snapshot of the registry, so a document removed while
+        the stats are being collected is simply absent from the report
+        instead of crashing the monitoring call.
+        """
+        stats: dict[str, dict[str, dict[str, float]]] = {}
+        for entry in self.corpus.entries_snapshot():
+            stats[entry.name] = {
+                "query": entry.system.cache.stats_snapshot().as_dict(),
+                "snippet": entry.system.generator.cache.stats_snapshot().as_dict(),
+            }
+        return stats
+
+    def close(self) -> None:
+        """Release executor resources (idempotent)."""
+        self.executor.close()
+
+    def __enter__(self) -> "SnippetService":
+        return self
+
+    def __exit__(self, *_exc: Any) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return f"<SnippetService documents={len(self.corpus)} executor={self.executor.name}>"
+
+    # ------------------------------------------------------------------ #
+    # pipeline plumbing
+    # ------------------------------------------------------------------ #
+    def _run_on_entry(
+        self,
+        request: SearchRequest,
+        entry: "CorpusEntry",
+        parsed: KeywordQuery,
+        build_payloads: bool = True,
+    ) -> SearchResponse:
+        """Execute a validated request against one captured corpus entry.
+
+        System and postings memo both come off the same entry object, so a
+        concurrent re-registration can never pair an old engine with a new
+        index's postings (or vice versa).
+        """
+        construction = ResultConstruction(request.construction)
+        system = entry.system
+        postings = entry.postings
+        started = time.perf_counter()
+        if request.include_snippets:
+            outcome = system.run_query(
+                parsed,
+                size_bound=request.size_bound,
+                limit=request.limit,
+                construction=construction,
+                use_cache=request.use_cache,
+                postings=postings,
+            )
+            seconds = time.perf_counter() - started
+            # Pagination is presentation-level: the pipeline evaluates (and
+            # caches) the full outcome once, then every page of the same
+            # request is a slice of that cached outcome — so cold cost
+            # scales with the result count, not page_size, and all
+            # follow-up pages are cache hits.  Only the requested page
+            # pays wire-payload rendering.
+            if build_payloads:
+                page_items = outcome.snippets.page(request.page, request.page_size)
+                payloads = tuple(self._snippet_payload(generated) for generated in page_items)
+            else:
+                payloads = ()
+            count = len(outcome.snippets)
+            total = outcome.results.total_results
+            from_cache = outcome.from_cache
+            timings = outcome.timings.as_dict() if request.include_meta else {}
+        else:
+            breakdown = TimingBreakdown()
+            results, from_cache = system.run_search_with_provenance(
+                parsed,
+                limit=request.limit,
+                construction=construction,
+                use_cache=request.use_cache,
+                postings=postings,
+                timings=breakdown,
+            )
+            seconds = time.perf_counter() - started
+            if build_payloads:
+                page_items = results.page(request.page, request.page_size)
+                payloads = tuple(self._result_payload(result) for result in page_items)
+            else:
+                payloads = ()
+            count = len(results)
+            total = results.total_results
+            outcome = None
+            # A cache hit skips the engine, so the meta timings are empty
+            # on warm search-only responses.
+            timings = breakdown.as_dict() if request.include_meta else {}
+        has_more = (
+            request.page_size is not None and request.page * request.page_size < count
+        )
+        return SearchResponse(
+            query=request.query,
+            document=request.document,
+            keywords=parsed.keywords,
+            algorithm=system.engine.algorithm,
+            total_results=total if total is not None else count,
+            page=request.page,
+            page_size=request.page_size,
+            next_page=encode_page_token(request.page + 1) if has_more else None,
+            results=payloads,
+            from_cache=from_cache,
+            seconds=seconds,
+            timings=timings,
+            outcome=outcome,
+        )
+
+    @staticmethod
+    def _snippet_payload(generated: "GeneratedSnippet") -> SnippetPayload:
+        result = generated.result
+        return SnippetPayload(
+            result_id=result.result_id,
+            score=result.score,
+            root=str(result.root),
+            root_tag=result.root_node.tag,
+            matched_keywords=tuple(result.matched_keywords),
+            result_edges=result.size_edges,
+            snippet_edges=generated.snippet.size_edges,
+            covered_items=generated.covered_items,
+            coverable_items=len(generated.ilist.coverable_items()),
+            text=render_snippet_text(generated),
+        )
+
+    @staticmethod
+    def _result_payload(result: "QueryResult") -> SnippetPayload:
+        return SnippetPayload(
+            result_id=result.result_id,
+            score=result.score,
+            root=str(result.root),
+            root_tag=result.root_node.tag,
+            matched_keywords=tuple(result.matched_keywords),
+            result_edges=result.size_edges,
+        )

@@ -25,6 +25,10 @@ CLI that drives the same pipeline.  Sub-commands:
 ``corpus-save``
     Index one or more documents and snapshot the corpus to a directory that
     ``batch --corpus-dir`` can reload without re-indexing.
+``serve-request``
+    Execute one JSON request of the typed service protocol
+    (:mod:`repro.api`) against a corpus and print the JSON response — the
+    offline stand-in for one round trip of the demo's web service.
 
 Examples::
 
@@ -34,6 +38,9 @@ Examples::
     python -m repro.cli experiment F3 E4
     python -m repro.cli corpus-save --dataset retail --dataset movies --output ./corpus
     python -m repro.cli batch --queries queries.txt --corpus-dir ./corpus
+    echo '{"kind": "search", "schema_version": 1, "query": "store texas",
+           "document": "figure5-stores"}' |
+        python -m repro.cli serve-request --dataset figure5-stores --request -
 """
 
 from __future__ import annotations
@@ -142,6 +149,28 @@ def build_parser() -> argparse.ArgumentParser:
     add_corpus_source_arguments(corpus_save)
     corpus_save.add_argument("--output", required=True, metavar="DIR", help="snapshot directory")
     corpus_save.add_argument("--algorithm", choices=("slca", "elca"), default="slca")
+
+    serve_request = subparsers.add_parser(
+        "serve-request",
+        help="execute one JSON request of the typed service protocol",
+    )
+    add_corpus_source_arguments(serve_request)
+    serve_request.add_argument(
+        "--corpus-dir", metavar="DIR",
+        help="load a corpus saved by corpus-save instead of (re-)indexing sources",
+    )
+    serve_request.add_argument(
+        "--request", required=True, metavar="PATH",
+        help="file holding the JSON request object ('-' reads standard input)",
+    )
+    serve_request.add_argument("--algorithm", choices=("slca", "elca"), default=None)
+    serve_request.add_argument(
+        "--workers", type=int, default=1, metavar="N",
+        help="thread-pool size for batch requests (1 = serial execution)",
+    )
+    serve_request.add_argument(
+        "--pretty", action="store_true", help="indent the JSON response for humans"
+    )
 
     return parser
 
@@ -316,6 +345,46 @@ def _command_batch(args: argparse.Namespace, out) -> int:
     return 0
 
 
+def _command_serve_request(args: argparse.Namespace, out) -> int:
+    import json
+
+    from repro.api.executors import ConcurrentExecutor, SerialExecutor
+    from repro.api.protocol import parse_request
+    from repro.api.service import SnippetService
+    from repro.corpus import Corpus
+
+    if args.request == "-":
+        request_text = sys.stdin.read()
+    else:
+        with open(args.request, "r", encoding="utf-8") as handle:
+            request_text = handle.read()
+
+    def emit(response: dict) -> int:
+        # An error response is still printed (it IS the protocol answer),
+        # but the exit code tells shell callers the request failed.
+        print(
+            json.dumps(response, indent=2 if args.pretty else None, sort_keys=True),
+            file=out,
+        )
+        return 1 if response.get("kind") == "error" else 0
+
+    # Parse and structurally validate the request before building the
+    # corpus: a malformed request must fail fast, not after paying for
+    # dataset generation + indexing.  Only document-existence errors need
+    # the corpus; error shaping stays in the service (an empty service is
+    # enough to produce the error response).
+    try:
+        payload = json.loads(request_text)
+        request = parse_request(payload)
+    except (json.JSONDecodeError, ExtractError):
+        return emit(SnippetService(Corpus()).handle_text(request_text))
+
+    corpus = _build_corpus(args, algorithm=args.algorithm or "slca")
+    executor = ConcurrentExecutor(max_workers=args.workers) if args.workers > 1 else SerialExecutor()
+    with SnippetService(corpus, executor=executor) as service:
+        return emit(service.handle_dict(payload, request=request))
+
+
 def _command_corpus_save(args: argparse.Namespace, out) -> int:
     corpus = _build_corpus(args, algorithm=args.algorithm)
     subdirs = corpus.save_dir(args.output)
@@ -338,6 +407,7 @@ _COMMANDS = {
     "experiment": _command_experiment,
     "batch": _command_batch,
     "corpus-save": _command_corpus_save,
+    "serve-request": _command_serve_request,
 }
 
 

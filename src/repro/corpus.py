@@ -23,7 +23,7 @@ from __future__ import annotations
 
 import os
 import re
-import time
+import threading
 from collections.abc import Iterator, Sequence
 from dataclasses import dataclass, field
 
@@ -31,7 +31,7 @@ from repro.errors import DatasetError, ExtractError, StorageError
 from repro.search.query import KeywordQuery
 from repro.snippet.generator import DEFAULT_SIZE_BOUND
 from repro.system import ExtractSystem, SearchOutcome
-from repro.utils.cache import DEFAULT_CACHE_SIZE
+from repro.utils.cache import DEFAULT_CACHE_SIZE, LRUCache
 from repro.utils.timing import TimingBreakdown
 from repro.xmltree.tree import XMLTree
 
@@ -62,10 +62,19 @@ def builtin_dataset_names() -> list[str]:
 
 @dataclass
 class CorpusEntry:
-    """One registered document and its ready-to-query system."""
+    """One registered document and its ready-to-query system.
+
+    The entry also owns the document's batch-level shared-postings memo
+    (:attr:`postings`): binding the memo to the entry means a replaced or
+    removed document's memo dies with its entry — stale postings can never
+    be paired with a different index, even under concurrent swaps.
+    """
 
     name: str
     system: ExtractSystem
+
+    def __post_init__(self) -> None:
+        self.postings = _SharedPostings(self.system.index)
 
     @property
     def node_count(self) -> int:
@@ -149,6 +158,10 @@ class Corpus:
         self.algorithm = algorithm
         self.cache_size = cache_size
         self._entries: dict[str, CorpusEntry] = {}
+        #: guards registration swaps and the lazy service creation against
+        #: concurrent check-then-set races.
+        self._serving_lock = threading.Lock()
+        self._service = None
 
     # ------------------------------------------------------------------ #
     # registration
@@ -195,34 +208,52 @@ class Corpus:
         return self.add_tree(name or dataset, tree, replace=replace)
 
     def _register(self, name: str, system: ExtractSystem, replace: bool = False) -> CorpusEntry:
-        if name in self._entries:
-            if not replace:
+        entry = CorpusEntry(name=name, system=system)
+        # Atomic swap: concurrent requests either see the old entry (with
+        # its own index-bound postings memo) or the new one — never a
+        # window where the name is unregistered, and never old/new state
+        # mixed (system and memo travel together on the entry).
+        with self._serving_lock:
+            old = self._entries.get(name)
+            if old is not None and not replace:
                 raise ExtractError(
                     f"a document named {name!r} is already registered "
                     "(pass replace=True to swap it and invalidate its caches)"
                 )
+            self._entries[name] = entry
+        if old is not None:
             # Explicit invalidation on re-registration: outstanding
             # references to the old system must not keep serving results
             # for a document that was just swapped out.
-            self._entries[name].system.invalidate_cache()
-            del self._entries[name]
-        entry = CorpusEntry(name=name, system=system)
-        self._entries[name] = entry
+            old.system.invalidate_cache()
         return entry
 
     def remove(self, name: str) -> None:
         """Unregister a document (no-op error if absent); its caches are
-        invalidated so stale outcomes cannot be served."""
-        if name not in self._entries:
-            raise ExtractError(f"no document named {name!r} in the corpus")
-        self._entries[name].system.invalidate_cache()
-        del self._entries[name]
+        invalidated and its batch-level memoised postings die with the
+        entry, so stale outcomes cannot be served — even if the name is
+        later re-registered."""
+        with self._serving_lock:
+            entry = self._entries.pop(name, None)
+            if entry is None:
+                raise ExtractError(f"no document named {name!r} in the corpus")
+        entry.system.invalidate_cache()
 
     # ------------------------------------------------------------------ #
     # access
     # ------------------------------------------------------------------ #
     def names(self) -> list[str]:
-        return sorted(self._entries)
+        with self._serving_lock:
+            return sorted(self._entries)
+
+    def entries_snapshot(self) -> list[CorpusEntry]:
+        """A point-in-time copy of the registry, in name order.
+
+        Fan-outs iterate this instead of the live dict, so a concurrent
+        remove/add can neither crash the iteration (dict resize) nor make
+        an in-flight multi-document operation fail part-way."""
+        with self._serving_lock:
+            return [self._entries[name] for name in sorted(self._entries)]
 
     def entry(self, name: str) -> CorpusEntry:
         try:
@@ -242,27 +273,79 @@ class Corpus:
         return len(self._entries)
 
     def __iter__(self) -> Iterator[CorpusEntry]:
-        return iter(self._entries.values())
+        return iter(self.entries_snapshot())
 
     # ------------------------------------------------------------------ #
-    # querying
+    # the service layer
+    # ------------------------------------------------------------------ #
+    @property
+    def service(self):
+        """The corpus's default :class:`repro.api.SnippetService`.
+
+        Lazily created with a serial executor; replace :attr:`service`
+        ``.executor`` (or build your own service around this corpus) to
+        serve concurrently.  The deprecated ``query``/``query_all``/
+        ``search_batch`` shims below all execute through this service, so
+        legacy callers and protocol callers hit the exact same pipeline.
+        """
+        from repro.api.service import SnippetService
+
+        with self._serving_lock:
+            if self._service is None:
+                self._service = SnippetService(self)
+            return self._service
+
+    def shared_postings(self, name: str) -> "_SharedPostings":
+        """The memoised keyword → posting-list mapping of one document.
+
+        At most one posting lookup per (document, distinct keyword) across
+        *all* queries and batches served from this corpus.  The memo lives
+        on the :class:`CorpusEntry` (always paired with the index it was
+        built from), so replacing or removing the document retires it
+        atomically with the entry.
+        """
+        return self.entry(name).postings
+
+    # ------------------------------------------------------------------ #
+    # querying (deprecated shims over the service layer)
     # ------------------------------------------------------------------ #
     def query(
         self,
         name: str,
-        query_text: str,
+        query_text: str | KeywordQuery,
         size_bound: int = DEFAULT_SIZE_BOUND,
         limit: int | None = None,
         use_cache: bool = True,
     ) -> SearchOutcome:
-        """Query one registered document (the demo's select-then-search flow)."""
-        return self.entry(name).system.query(
-            query_text, size_bound=size_bound, limit=limit, use_cache=use_cache
+        """Query one registered document (the demo's select-then-search flow).
+
+        Deprecated: prefer a :class:`repro.api.SearchRequest` through
+        :attr:`service` — this shim builds exactly that request, executes
+        it on the service and unwraps the raw outcome, so results are
+        identical by construction.
+        """
+        from repro.api.protocol import SearchRequest
+
+        raw, parsed = _raw_and_parsed(query_text)
+        entry = self.entry(name)  # resolve once, like the legacy path
+        response = self.service.run(
+            SearchRequest(
+                query=raw,
+                document=name,
+                size_bound=size_bound,
+                limit=limit,
+                use_cache=use_cache,
+            ),
+            parsed=parsed,
+            build_payloads=False,  # this shim consumes the raw outcome only
+            validate=False,        # keep the legacy error contract (pipeline errors)
+            entry=entry,
         )
+        return response.outcome
 
     def query_all(
         self,
-        query_text: str,
+        query_text: str | KeywordQuery,
         size_bound: int = DEFAULT_SIZE_BOUND,
         limit: int | None = None,
         use_cache: bool = True,
@@ -272,13 +355,34 @@ class Corpus:
         Documents in which the query has no results map to an outcome with
         zero results (they are not omitted), so callers can show "no hits in
         dataset X" explicitly.
+
+        Deprecated: prefer per-document :class:`repro.api.SearchRequest`\\ s
+        (or a :class:`repro.api.BatchRequest`) through :attr:`service`.
         """
-        return {
-            name: entry.system.query(
-                query_text, size_bound=size_bound, limit=limit, use_cache=use_cache
+        from repro.api.protocol import SearchRequest
+
+        raw, parsed = _raw_and_parsed(query_text)
+        # Snapshot the registry once (legacy semantics): a concurrent
+        # remove/replace cannot make an in-flight fan-out fail part-way.
+        snapshot = self.entries_snapshot()
+        requests = [
+            SearchRequest(
+                query=raw,
+                document=entry.name,
+                size_bound=size_bound,
+                limit=limit,
+                use_cache=use_cache,
             )
-            for name, entry in sorted(self._entries.items())
-        }
+            for entry in snapshot
+        ]
+        responses = self.service.run_many(
+            requests,
+            parsed=parsed,
+            build_payloads=False,
+            validate=False,
+            entries=snapshot,
+        )
+        return {entry.name: response.outcome for entry, response in zip(snapshot, responses)}
 
     def search_batch(
         self,
@@ -295,50 +399,66 @@ class Corpus:
         * each query string is **parsed once** (queries that normalise to
           the same keyword tuple share one :class:`KeywordQuery`), and
         * per document, every distinct keyword's posting list is **looked
-          up once** and shared by all queries that use it.
+          up once** and shared by all queries that use it (the memo now
+          persists across batches, see :meth:`shared_postings`).
 
         ``names`` restricts (and orders) the documents; ``None`` means every
         registered document in name order.  The report's timing breakdown
         has one ``query:<raw>`` phase per query, so callers can print the
         same per-query rows the efficiency experiments use.
+
+        Deprecated: prefer a :class:`repro.api.BatchRequest` through
+        :attr:`service` — this shim executes one and repackages the
+        response as the legacy :class:`BatchReport`.
         """
-        selected = [self.entry(name) for name in (names if names is not None else self.names())]
+        from repro.api.protocol import BatchRequest
 
-        # Parse once, sharing KeywordQuery objects between raw strings that
-        # normalise identically ("store texas" / "STORE, texas!"); keyword
-        # order is part of the identity because the IList preserves it.
-        parsed_by_keywords: dict[tuple[str, ...], KeywordQuery] = {}
-        batch_queries: list[tuple[str, KeywordQuery]] = []
-        for query in queries:
-            parsed = query if isinstance(query, KeywordQuery) else KeywordQuery.parse(query)
-            parsed = parsed_by_keywords.setdefault(parsed.keywords, parsed)
-            batch_queries.append((query.raw if isinstance(query, KeywordQuery) else query, parsed))
+        selected_names = list(names) if names is not None else self.names()
+        for name in selected_names:
+            self.entry(name)  # fail fast on unknown documents, even for empty batches
+        report = BatchReport(document_names=selected_names)
+        if not queries:
+            return report
 
-        # At most one posting lookup per (document, distinct keyword): the
-        # shared mappings memoise lazily, so a fully warm batch (every
-        # query served from the result cache) performs no lookups at all.
-        postings_by_document = {
-            entry.name: _SharedPostings(entry.system.index) for entry in selected
-        }
+        # Parse once; KeywordQuery.share makes raw strings that normalise
+        # identically ("store texas" / "STORE, texas!") share one object —
+        # the same rule the service batch path applies, so the report's
+        # query objects are exactly what the service executed.
+        raws = [
+            query.raw if isinstance(query, KeywordQuery) else query for query in queries
+        ]
+        parsed_queries = KeywordQuery.share(
+            [
+                query if isinstance(query, KeywordQuery) else KeywordQuery.parse(query)
+                for query in queries
+            ]
+        )
 
-        report = BatchReport(document_names=[entry.name for entry in selected])
-        for raw, parsed in batch_queries:
-            started = time.perf_counter()
+        response = self.service.run_batch(
+            BatchRequest(
+                queries=tuple(raws),
+                documents=tuple(selected_names),
+                size_bound=size_bound,
+                limit=limit,
+                use_cache=use_cache,
+            ),
+            parsed_queries=parsed_queries,
+            build_payloads=False,  # the legacy report consumes raw outcomes only
+            validate=False,        # keep the legacy error contract (pipeline errors)
+        )
+        for batch_entry, parsed in zip(response.entries, parsed_queries):
             outcomes = {
-                entry.name: entry.system.query(
-                    parsed,
-                    size_bound=size_bound,
-                    limit=limit,
-                    use_cache=use_cache,
-                    postings=postings_by_document[entry.name],
-                )
-                for entry in selected
+                item.document: item.outcome for item in batch_entry.responses
             }
-            elapsed = time.perf_counter() - started
             report.entries.append(
-                BatchQueryOutcome(raw=raw, query=parsed, outcomes=outcomes, seconds=elapsed)
+                BatchQueryOutcome(
+                    raw=batch_entry.query,
+                    query=parsed,
+                    outcomes=outcomes,
+                    seconds=batch_entry.seconds,
+                )
             )
-            report.timings.add(f"query:{raw}", elapsed)
+            report.timings.add(f"query:{batch_entry.query}", batch_entry.seconds)
         return report
 
     # ------------------------------------------------------------------ #
@@ -437,11 +557,31 @@ class Corpus:
                 "nodes": entry.node_count,
                 "entities": ", ".join(entry.entity_tags),
             }
-            for entry in sorted(self._entries.values(), key=lambda e: e.name)
+            for entry in self.entries_snapshot()
         ]
 
     def __repr__(self) -> str:
         return f"<Corpus documents={len(self._entries)}>"
+
+
+def _raw_and_parsed(query_text: str | KeywordQuery) -> tuple[str, KeywordQuery | None]:
+    """Split shim input into the raw request string and a pre-parsed query.
+
+    The legacy shims accepted both raw text and :class:`KeywordQuery`
+    objects; the typed protocol carries raw strings.  When the caller
+    already parsed, the parsed object is forwarded to the service so the
+    exact normalisation the caller constructed is preserved.
+    """
+    if isinstance(query_text, KeywordQuery):
+        return query_text.raw, query_text
+    return query_text, None
+
+
+#: per-document cap on memoised keyword lookups; large enough that every
+#: hot vocabulary fits, small enough that a stream of never-repeated
+#: keywords (typos, adversarial queries) cannot grow a long-lived service
+#: without bound.
+SHARED_POSTINGS_MAXSIZE = 4096
 
 
 class _SharedPostings:
@@ -451,20 +591,36 @@ class _SharedPostings:
     query of a batch that needs a keyword performs the index lookup, every
     later query reuses it.  Queries answered from the result cache never
     call :meth:`get`, so warm batches do no lookups.
+
+    The memo is a bounded :class:`~repro.utils.cache.LRUCache`: unlike the
+    one-batch memos of PR 1 it lives as long as its document entry, and an
+    unbounded dict would grow with every distinct keyword ever queried —
+    LRU eviction keeps the hot vocabulary resident while a stream of
+    never-repeated keywords cycles through the tail.  The outer lock makes
+    the lookup-compute-store step atomic, so concurrent executors never
+    perform duplicate index work.
     """
 
-    __slots__ = ("_index", "_postings")
+    __slots__ = ("_index", "_cache", "_lock")
 
-    def __init__(self, index) -> None:
+    def __init__(self, index, maxsize: int = SHARED_POSTINGS_MAXSIZE) -> None:
         self._index = index
-        self._postings: dict[str, object] = {}
+        self._cache = LRUCache(maxsize)
+        self._lock = threading.Lock()
 
     def get(self, keyword: str, default=None):
-        postings = self._postings.get(keyword)
-        if postings is None:
-            postings = self._index.keyword_matches(keyword)
-            self._postings[keyword] = postings
-        return postings
+        with self._lock:
+            postings = self._cache.get(keyword)
+            if postings is None:
+                postings = self._index.keyword_matches(keyword)
+                self._cache.put(keyword, postings)
+            return postings
+
+    def __len__(self) -> int:
+        return len(self._cache)
+
+    def __contains__(self, keyword: str) -> bool:
+        return keyword in self._cache
 
 
 def _subdir_for(name: str, used: set[str]) -> str:

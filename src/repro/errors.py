@@ -75,6 +75,12 @@ class InvalidSizeBoundError(SnippetError):
         self.bound = bound
 
 
+class ProtocolError(ExtractError):
+    """Raised when a service request/response payload violates the typed
+    protocol of :mod:`repro.api` (unknown kind, wrong schema version,
+    unknown or ill-typed fields, malformed page tokens)."""
+
+
 class DatasetError(ExtractError):
     """Raised when a synthetic dataset generator receives invalid parameters."""
 

@@ -63,6 +63,8 @@ class SearchEngine:
         query: str | KeywordQuery,
         limit: int | None = None,
         postings: dict[str, PostingList] | None = None,
+        construction: ResultConstruction | None = None,
+        timings: TimingBreakdown | None = None,
     ) -> ResultSet:
         """Evaluate a keyword query and return ranked results.
 
@@ -71,10 +73,20 @@ class SearchEngine:
         ``postings`` optionally maps keywords to pre-fetched posting lists
         (the batch executor shares one lookup across many queries); absent
         keywords fall back to an index lookup.
+
+        ``construction`` overrides :attr:`construction` for this call only
+        and ``timings`` redirects the phase measurements into a
+        caller-owned breakdown.  Both exist so concurrent callers (the
+        :mod:`repro.api` service layer) never mutate shared engine state:
+        a search with explicit ``construction`` and ``timings`` touches no
+        attribute of the engine and is therefore safe to run from many
+        threads at once over the same immutable index.
         """
         parsed = query if isinstance(query, KeywordQuery) else KeywordQuery.parse(query)
+        effective_construction = construction if construction is not None else self.construction
+        breakdown = timings if timings is not None else self.timings
 
-        with self.timings.measure("lookup"):
+        with breakdown.measure("lookup"):
             posting_lists = []
             for keyword in parsed.keywords:
                 shared = postings.get(keyword) if postings is not None else None
@@ -82,16 +94,18 @@ class SearchEngine:
                     shared if shared is not None else self.index.keyword_matches(keyword)
                 )
 
-        with self.timings.measure("lca"):
+        with breakdown.measure("lca"):
             if self.algorithm == "slca":
                 roots = compute_slca(posting_lists)
             else:
                 roots = compute_elca(posting_lists)
 
-        with self.timings.measure("result_construction"):
-            results = build_all_results(self.index, parsed, roots, construction=self.construction)
+        with breakdown.measure("result_construction"):
+            results = build_all_results(
+                self.index, parsed, roots, construction=effective_construction
+            )
 
-        with self.timings.measure("ranking"):
+        with breakdown.measure("ranking"):
             ranked = rank_results(results)
 
         total = len(ranked)

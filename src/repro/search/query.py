@@ -59,6 +59,19 @@ class KeywordQuery:
     def size(self) -> int:
         return len(self.keywords)
 
+    @staticmethod
+    def share(parsed: "list[KeywordQuery] | tuple[KeywordQuery, ...]") -> "list[KeywordQuery]":
+        """Share one object among queries normalising to the same keyword
+        tuple (first occurrence wins; keyword *order* is part of the
+        identity because the IList preserves it).
+
+        This is the batch executor's parse-once rule — kept here so the
+        legacy ``Corpus.search_batch`` shim and the service batch path
+        cannot drift apart.
+        """
+        by_keywords: dict[tuple[str, ...], KeywordQuery] = {}
+        return [by_keywords.setdefault(query.keywords, query) for query in parsed]
+
     def __contains__(self, keyword: str) -> bool:
         return normalize_token(keyword.lower()) in self.keywords
 

@@ -19,6 +19,7 @@ from collections.abc import Iterator
 from dataclasses import dataclass, field
 
 from repro.search.query import KeywordQuery
+from repro.utils.paging import page_slice
 from repro.xmltree.dewey import Dewey
 from repro.xmltree.node import XMLNode
 from repro.xmltree.tree import XMLTree
@@ -129,6 +130,11 @@ class ResultSet:
     def top(self, count: int) -> list[QueryResult]:
         """The ``count`` best-ranked results."""
         return self.results[:count]
+
+    def page(self, page: int, page_size: int | None) -> list[QueryResult]:
+        """The results of one page, for paginated serving (conventions in
+        :mod:`repro.utils.paging`)."""
+        return page_slice(self.results, page, page_size)
 
     def total_result_edges(self) -> int:
         """Combined size of all result subtrees (drives experiment E1)."""

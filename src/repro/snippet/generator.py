@@ -25,6 +25,7 @@ from repro.snippet.ilist import IList, IListBuilder
 from repro.snippet.instance_selector import GreedyInstanceSelector, SelectionStrategy
 from repro.snippet.snippet_tree import Snippet
 from repro.utils.cache import DEFAULT_CACHE_SIZE, LRUCache
+from repro.utils.paging import page_slice
 from repro.utils.timing import TimingBreakdown
 
 #: the default snippet size bound (edges); matches the Figure 2 example
@@ -82,6 +83,11 @@ class SnippetBatch:
             return 0.0
         return sum(generated.coverage for generated in self.snippets) / len(self.snippets)
 
+    def page(self, page: int, page_size: int | None) -> list[GeneratedSnippet]:
+        """The snippets of one result page (conventions in
+        :mod:`repro.utils.paging`)."""
+        return page_slice(self.snippets, page, page_size)
+
 
 class SnippetGenerator:
     """Generates eXtract snippets for query results.
@@ -132,6 +138,7 @@ class SnippetGenerator:
         result: QueryResult,
         size_bound: int = DEFAULT_SIZE_BOUND,
         query: KeywordQuery | None = None,
+        timings: TimingBreakdown | None = None,
     ) -> GeneratedSnippet:
         """Generate the snippet of one query result.
 
@@ -139,9 +146,14 @@ class SnippetGenerator:
         and size bound) are answered from the snippet cache; the cached
         IList and snippet tree are rewrapped around the caller's ``result``
         object so ranking metadata (``result_id``, score) stays current.
+
+        ``timings`` redirects the phase measurements into a caller-owned
+        breakdown (the thread-safe service pipeline passes a per-request
+        one); without it the generator's own :attr:`timings` accumulate.
         """
         if not isinstance(size_bound, int) or isinstance(size_bound, bool) or size_bound <= 0:
             raise InvalidSizeBoundError(size_bound)
+        breakdown = timings if timings is not None else self.timings
         effective_query = query or result.query
         key = (result.source.name, result.root, effective_query.keywords, size_bound)
         cached = self.cache.get(key)
@@ -149,19 +161,26 @@ class SnippetGenerator:
             return GeneratedSnippet(
                 result=result, ilist=cached.ilist, snippet=cached.snippet, size_bound=size_bound
             )
-        with self.timings.measure("ilist"):
+        with breakdown.measure("ilist"):
             ilist = self.ilist_builder.build(effective_query, result)
-        with self.timings.measure("instance_selection"):
+        with breakdown.measure("instance_selection"):
             snippet = self.selector.select(result, ilist, size_bound)
         generated = GeneratedSnippet(result=result, ilist=ilist, snippet=snippet, size_bound=size_bound)
         self.cache.put(key, generated)
         return generated
 
-    def generate_all(self, results: ResultSet, size_bound: int = DEFAULT_SIZE_BOUND) -> SnippetBatch:
+    def generate_all(
+        self,
+        results: ResultSet,
+        size_bound: int = DEFAULT_SIZE_BOUND,
+        timings: TimingBreakdown | None = None,
+    ) -> SnippetBatch:
         """Generate snippets for every result of a result set."""
         batch = SnippetBatch(query=results.query, size_bound=size_bound)
         for result in results:
-            batch.snippets.append(self.generate(result, size_bound=size_bound, query=results.query))
+            batch.snippets.append(
+                self.generate(result, size_bound=size_bound, query=results.query, timings=timings)
+            )
         return batch
 
     def invalidate_cache(self) -> int:

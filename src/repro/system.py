@@ -132,9 +132,9 @@ class ExtractSystem:
         return cls(load_index(directory), algorithm=algorithm, cache_size=cache_size)
 
     # ------------------------------------------------------------------ #
-    # public API
+    # the serving pipeline (thread-safe)
     # ------------------------------------------------------------------ #
-    def query(
+    def run_query(
         self,
         query_text: str | KeywordQuery,
         size_bound: int = DEFAULT_SIZE_BOUND,
@@ -144,6 +144,14 @@ class ExtractSystem:
         postings: dict[str, PostingList] | None = None,
     ) -> SearchOutcome:
         """Evaluate a keyword query and generate snippets for its results.
+
+        This is the pipeline the :class:`repro.api.SnippetService` executes
+        requests through.  It is **thread-safe**: every phase measures into
+        a per-call :class:`TimingBreakdown`, the result construction mode is
+        passed down explicitly (no engine attribute is mutated), and the
+        result/snippet caches serialise access internally — so many threads
+        may run queries over the same system concurrently and get results
+        identical to serial execution.
 
         Outcomes are served from the LRU cache when an identical request
         (same normalised keywords, bound, limit, construction) was answered
@@ -160,19 +168,106 @@ class ExtractSystem:
                 return cached
 
         timings = TimingBreakdown()
-        self.engine.construction = construction
         with timings.measure("search"):
-            results = self.engine.search(parsed, limit=limit, postings=postings)
+            results = self.engine.search(
+                parsed, limit=limit, postings=postings, construction=construction, timings=timings
+            )
         with timings.measure("snippets"):
-            snippets = self.generator.generate_all(results, size_bound=size_bound)
-        timings.merge(self.engine.timings)
-        timings.merge(self.generator.timings)
+            snippets = self.generator.generate_all(results, size_bound=size_bound, timings=timings)
         outcome = SearchOutcome(results=results, snippets=snippets, timings=timings)
         if use_cache:
+            # The cached copy carries an empty breakdown: a warm hit did no
+            # phase work, and re-reporting the cold run's timings would
+            # contradict the hit's near-zero wall clock in service metadata.
             self.cache.put(key, SearchOutcome(
-                results=results, snippets=snippets, timings=timings, from_cache=True
+                results=results, snippets=snippets, timings=TimingBreakdown(), from_cache=True
             ))
         return outcome
+
+    def run_search(
+        self,
+        query_text: str | KeywordQuery,
+        limit: int | None = None,
+        construction: ResultConstruction = ResultConstruction.XSEEK,
+        use_cache: bool = True,
+        postings: dict[str, PostingList] | None = None,
+        timings: TimingBreakdown | None = None,
+    ) -> ResultSet:
+        """Evaluate a keyword query without snippet generation (thread-safe).
+
+        Result sets are cached independently of full outcomes (no snippet
+        bound in the key), so callers that only need result roots never pay
+        for snippets.  Phase timings go into the caller-provided ``timings``
+        breakdown (or a discarded per-call one), never into shared engine
+        state — cache hits record no phases.
+        """
+        results, _ = self.run_search_with_provenance(
+            query_text,
+            limit=limit,
+            construction=construction,
+            use_cache=use_cache,
+            postings=postings,
+            timings=timings,
+        )
+        return results
+
+    def run_search_with_provenance(
+        self,
+        query_text: str | KeywordQuery,
+        limit: int | None = None,
+        construction: ResultConstruction = ResultConstruction.XSEEK,
+        use_cache: bool = True,
+        postings: dict[str, PostingList] | None = None,
+        timings: TimingBreakdown | None = None,
+    ) -> tuple[ResultSet, bool]:
+        """:meth:`run_search` plus whether the result set came from the
+        cache (the service reports this in response metadata; result sets,
+        unlike :class:`SearchOutcome`, carry no provenance flag of their
+        own)."""
+        parsed = query_text if isinstance(query_text, KeywordQuery) else KeywordQuery.parse(query_text)
+        key = self._cache_key("search", parsed, None, limit, construction)
+        if use_cache:
+            cached = self.cache.get(key)
+            if cached is not None:
+                return cached, True
+        results = self.engine.search(
+            parsed,
+            limit=limit,
+            postings=postings,
+            construction=construction,
+            timings=timings if timings is not None else TimingBreakdown(),
+        )
+        if use_cache:
+            self.cache.put(key, results)
+        return results, False
+
+    # ------------------------------------------------------------------ #
+    # deprecated shims (kept for callers of the pre-service API)
+    # ------------------------------------------------------------------ #
+    def query(
+        self,
+        query_text: str | KeywordQuery,
+        size_bound: int = DEFAULT_SIZE_BOUND,
+        limit: int | None = None,
+        construction: ResultConstruction = ResultConstruction.XSEEK,
+        use_cache: bool = True,
+        postings: dict[str, PostingList] | None = None,
+    ) -> SearchOutcome:
+        """Deprecated alias of :meth:`run_query`.
+
+        Prefer :meth:`run_query`, or a :class:`repro.api.SearchRequest`
+        executed through :class:`repro.api.SnippetService` for the typed,
+        paginated protocol.  The shim delegates to the exact pipeline the
+        service executes, so its outcomes are identical.
+        """
+        return self.run_query(
+            query_text,
+            size_bound=size_bound,
+            limit=limit,
+            construction=construction,
+            use_cache=use_cache,
+            postings=postings,
+        )
 
     def search(
         self,
@@ -182,23 +277,14 @@ class ExtractSystem:
         use_cache: bool = True,
         postings: dict[str, PostingList] | None = None,
     ) -> ResultSet:
-        """Evaluate a keyword query without snippet generation.
-
-        Result sets are cached independently of full outcomes (no snippet
-        bound in the key), so callers that only need result roots never pay
-        for snippets.
-        """
-        parsed = query_text if isinstance(query_text, KeywordQuery) else KeywordQuery.parse(query_text)
-        key = self._cache_key("search", parsed, None, limit, construction)
-        if use_cache:
-            cached = self.cache.get(key)
-            if cached is not None:
-                return cached
-        self.engine.construction = construction
-        results = self.engine.search(parsed, limit=limit, postings=postings)
-        if use_cache:
-            self.cache.put(key, results)
-        return results
+        """Deprecated alias of :meth:`run_search` (see :meth:`query`)."""
+        return self.run_search(
+            query_text,
+            limit=limit,
+            construction=construction,
+            use_cache=use_cache,
+            postings=postings,
+        )
 
     # ------------------------------------------------------------------ #
     # cache management

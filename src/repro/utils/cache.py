@@ -12,10 +12,16 @@ building block for the two serving caches:
 It is deliberately dependency-free (an ``OrderedDict`` with move-to-end
 semantics) and records hit/miss/eviction counts so the cache benchmarks and
 the CLI can report hit rates.
+
+The cache is **thread-safe**: every operation (including the statistics
+updates) runs under one re-entrant lock, so the concurrent executor of
+:mod:`repro.api` can share a cache between worker threads and still read
+coherent counters (``hits + misses == lookups`` at any observation point).
 """
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from collections.abc import Callable, Hashable
 from dataclasses import dataclass
@@ -80,6 +86,10 @@ class LRUCache:
     A ``maxsize`` of 0 disables the cache entirely (every ``get`` misses,
     ``put`` is a no-op), which lets callers switch caching off without
     branching at every call site.
+
+    All operations are serialised through one :class:`threading.RLock`, so
+    concurrent readers/writers never corrupt the recency order and always
+    observe coherent statistics.
     """
 
     def __init__(self, maxsize: int = DEFAULT_CACHE_SIZE):
@@ -87,6 +97,7 @@ class LRUCache:
             raise ValueError(f"cache maxsize must be >= 0, got {maxsize}")
         self.maxsize = maxsize
         self._entries: OrderedDict[Hashable, Any] = OrderedDict()
+        self._lock = threading.RLock()
         self.stats = CacheStats()
 
     # ------------------------------------------------------------------ #
@@ -94,42 +105,47 @@ class LRUCache:
     # ------------------------------------------------------------------ #
     def get(self, key: Hashable, default: Any = None) -> Any:
         """Return the cached value (marking it most recently used) or ``default``."""
-        value = self._entries.get(key, _MISSING)
-        if value is _MISSING:
-            self.stats.misses += 1
-            return default
-        self._entries.move_to_end(key)
-        self.stats.hits += 1
-        return value
+        with self._lock:
+            value = self._entries.get(key, _MISSING)
+            if value is _MISSING:
+                self.stats.misses += 1
+                return default
+            self._entries.move_to_end(key)
+            self.stats.hits += 1
+            return value
 
     def put(self, key: Hashable, value: Any) -> None:
         """Insert or refresh an entry, evicting the oldest when full."""
         if self.maxsize == 0:
             return
-        if key in self._entries:
-            self._entries.move_to_end(key)
-        self._entries[key] = value
-        while len(self._entries) > self.maxsize:
-            self._entries.popitem(last=False)
-            self.stats.evictions += 1
+        with self._lock:
+            if key in self._entries:
+                self._entries.move_to_end(key)
+            self._entries[key] = value
+            while len(self._entries) > self.maxsize:
+                self._entries.popitem(last=False)
+                self.stats.evictions += 1
 
     def __contains__(self, key: Hashable) -> bool:
         """Membership test; does not update recency or statistics."""
-        return key in self._entries
+        with self._lock:
+            return key in self._entries
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     # ------------------------------------------------------------------ #
     # invalidation
     # ------------------------------------------------------------------ #
     def invalidate(self, key: Hashable) -> bool:
         """Drop one entry; returns whether it was present."""
-        if key in self._entries:
-            del self._entries[key]
-            self.stats.invalidations += 1
-            return True
-        return False
+        with self._lock:
+            if key in self._entries:
+                del self._entries[key]
+                self.stats.invalidations += 1
+                return True
+            return False
 
     def invalidate_where(self, predicate: Callable[[Hashable], bool]) -> int:
         """Drop every entry whose key satisfies ``predicate``; returns the count.
@@ -139,18 +155,31 @@ class LRUCache:
         the document name).  The built-in serving caches are per-system and
         are dropped wholesale via :meth:`clear` on re-registration.
         """
-        doomed = [key for key in self._entries if predicate(key)]
-        for key in doomed:
-            del self._entries[key]
-        self.stats.invalidations += len(doomed)
-        return len(doomed)
+        with self._lock:
+            doomed = [key for key in self._entries if predicate(key)]
+            for key in doomed:
+                del self._entries[key]
+            self.stats.invalidations += len(doomed)
+            return len(doomed)
 
     def clear(self) -> int:
         """Drop everything; returns the number of entries removed."""
-        count = len(self._entries)
-        self._entries.clear()
-        self.stats.invalidations += count
-        return count
+        with self._lock:
+            count = len(self._entries)
+            self._entries.clear()
+            self.stats.invalidations += count
+            return count
+
+    def stats_snapshot(self) -> CacheStats:
+        """An atomic copy of the counters (safe to read while serving)."""
+        with self._lock:
+            return CacheStats(
+                hits=self.stats.hits,
+                misses=self.stats.misses,
+                evictions=self.stats.evictions,
+                invalidations=self.stats.invalidations,
+            )
 
     def __repr__(self) -> str:
-        return f"<LRUCache size={len(self._entries)}/{self.maxsize} {self.stats!r}>"
+        with self._lock:
+            return f"<LRUCache size={len(self._entries)}/{self.maxsize} {self.stats!r}>"

@@ -1,0 +1,22 @@
+"""Shared pagination arithmetic for the serving surfaces.
+
+One definition of "page" for every paginated sequence (result sets,
+snippet batches, payload lists): 1-based pages, ``page_size=None`` means
+everything on one page, and pages past the end are empty rather than an
+error — mirroring web-service paging.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from typing import TypeVar
+
+_Item = TypeVar("_Item")
+
+
+def page_slice(items: Sequence[_Item], page: int, page_size: int | None) -> list[_Item]:
+    """The items of one page (see module docstring for the conventions)."""
+    if page_size is None:
+        return list(items) if page == 1 else []
+    start = (page - 1) * page_size
+    return list(items[start : start + page_size])

@@ -1,0 +1,213 @@
+"""Concurrent serving tests (ISSUE 2 satellite).
+
+Eight threads pushing identical/overlapping requests through the
+``ConcurrentExecutor`` must produce responses **byte-identical** to the
+serial path, and the locked caches must report coherent statistics.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+
+from repro.api import (
+    BatchRequest,
+    ConcurrentExecutor,
+    SearchRequest,
+    SerialExecutor,
+    SnippetService,
+)
+from repro.corpus import Corpus
+from repro.utils.cache import LRUCache
+
+THREADS = 8
+
+QUERIES = [
+    "store texas",
+    "clothes casual",
+    "store austin",
+    "suit formal",
+]
+
+
+def fresh_corpus() -> Corpus:
+    corpus = Corpus()
+    corpus.add_builtin("figure5-stores", name="stores")
+    corpus.add_builtin("retail")
+    return corpus
+
+
+def wire_bytes(response) -> str:
+    """The canonical wire form (no volatile meta), as sorted JSON bytes."""
+    return json.dumps(response.to_dict(), sort_keys=True)
+
+
+class TestIdenticalConcurrentRequests:
+    def test_eight_threads_byte_identical_to_serial(self):
+        request = SearchRequest(query="store texas", document="stores", size_bound=6)
+
+        # Reference: the serial path on a pristine corpus.
+        serial_service = SnippetService(fresh_corpus(), executor=SerialExecutor())
+        reference = wire_bytes(serial_service.run(request))
+
+        # Eight threads, same request, pristine corpus: every thread races
+        # through parsing, posting lookups, caching and snippet generation.
+        with SnippetService(
+            fresh_corpus(), executor=ConcurrentExecutor(max_workers=THREADS)
+        ) as service:
+            responses = service.run_many([request] * THREADS)
+
+        assert len(responses) == THREADS
+        for response in responses:
+            assert wire_bytes(response) == reference
+
+    def test_eight_threads_coherent_cache_stats(self):
+        request = SearchRequest(query="store texas", document="stores", size_bound=6)
+        with SnippetService(
+            fresh_corpus(), executor=ConcurrentExecutor(max_workers=THREADS)
+        ) as service:
+            service.run_many([request] * THREADS)
+            stats = service.cache_stats()["stores"]["query"]
+
+        # Every thread either hit or missed — no lookup may be lost to a
+        # race — and at least the very first evaluation was a miss.
+        assert stats["hits"] + stats["misses"] == THREADS
+        assert 1 <= stats["misses"] <= THREADS
+        assert stats["evictions"] == 0
+
+    def test_eight_threads_raw_threading_on_one_service(self):
+        """Belt and braces: plain ``threading.Thread`` callers (no executor)
+        against one shared service must also match the serial path."""
+        request = SearchRequest(query="clothes casual", document="retail", size_bound=6)
+        serial_service = SnippetService(fresh_corpus())
+        reference = wire_bytes(serial_service.run(request))
+
+        service = SnippetService(fresh_corpus())
+        results: list[str] = [""] * THREADS
+        barrier = threading.Barrier(THREADS)
+
+        def worker(slot: int) -> None:
+            barrier.wait()  # maximise overlap
+            results[slot] = wire_bytes(service.run(request))
+
+        threads = [threading.Thread(target=worker, args=(slot,)) for slot in range(THREADS)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+
+        assert all(result == reference for result in results)
+
+
+class TestOverlappingConcurrentRequests:
+    def test_mixed_workload_matches_serial(self):
+        """Overlapping (not only identical) requests: many queries times
+        many documents, shuffled across 8 workers."""
+        requests = [
+            SearchRequest(query=query, document=document, size_bound=6, page_size=2)
+            for query in QUERIES
+            for document in ("stores", "retail")
+        ] * 2  # repeats exercise the warm path under contention
+
+        serial_service = SnippetService(fresh_corpus())
+        reference = [wire_bytes(r) for r in serial_service.run_many(requests)]
+
+        with SnippetService(
+            fresh_corpus(), executor=ConcurrentExecutor(max_workers=THREADS)
+        ) as service:
+            concurrent = [wire_bytes(r) for r in service.run_many(requests)]
+
+        assert concurrent == reference
+
+    def test_concurrent_batch_matches_serial_batch(self):
+        batch = BatchRequest(queries=tuple(QUERIES), size_bound=6)
+
+        serial = SnippetService(fresh_corpus()).run_batch(batch)
+        with SnippetService(
+            fresh_corpus(), executor=ConcurrentExecutor(max_workers=THREADS)
+        ) as service:
+            concurrent = service.run_batch(batch)
+
+        assert json.dumps(serial.to_dict(), sort_keys=True) == json.dumps(
+            concurrent.to_dict(), sort_keys=True
+        )
+
+    def test_concurrent_snippet_cache_stats_are_coherent(self):
+        request = SearchRequest(query="store texas", document="stores", size_bound=6)
+        with SnippetService(
+            fresh_corpus(), executor=ConcurrentExecutor(max_workers=THREADS)
+        ) as service:
+            service.run_many([request] * THREADS)
+            snippet_stats = service.cache_stats()["stores"]["snippet"]
+        # Lookups happen only on cold evaluations; hits+misses must equal
+        # the number of generate() calls that reached the cache, with no
+        # counter lost to a race (every snippet lookup is accounted for).
+        assert snippet_stats["hits"] + snippet_stats["misses"] >= snippet_stats["misses"] > 0
+
+
+class TestRegistrationUnderServing:
+    def test_replace_leaves_no_unregistered_window(self):
+        """Requests racing a replace must always find the document — the
+        swap is atomic, never a delete-then-insert window."""
+        from repro.xmltree.builder import tree_from_dict
+
+        corpus = Corpus()
+        corpus.add_tree(
+            "doc", tree_from_dict("shop", {"store": [{"name": "A", "state": "Texas"}]}, name="doc")
+        )
+        service = SnippetService(corpus)
+        request = SearchRequest(query="store texas", document="doc", size_bound=6)
+        errors: list[object] = []
+        stop = threading.Event()
+
+        def reader() -> None:
+            while not stop.is_set():
+                response = service.execute(request)
+                if response.kind == "error":
+                    errors.append(response)
+                    return
+
+        def replacer() -> None:
+            for round_number in range(25):
+                corpus.add_tree(
+                    "doc",
+                    tree_from_dict(
+                        "shop",
+                        {"store": [{"name": f"S{round_number}", "state": "Texas"}]},
+                        name="doc",
+                    ),
+                    replace=True,
+                )
+            stop.set()
+
+        threads = [threading.Thread(target=reader) for _ in range(4)]
+        threads.append(threading.Thread(target=replacer))
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert errors == []
+
+
+class TestLRUCacheUnderContention:
+    def test_hammered_cache_keeps_coherent_counters(self):
+        cache = LRUCache(maxsize=32)
+        operations_per_thread = 500
+        barrier = threading.Barrier(THREADS)
+
+        def worker(seed: int) -> None:
+            barrier.wait()
+            for step in range(operations_per_thread):
+                key = (seed * step) % 48  # force hits, misses and evictions
+                if cache.get(key) is None:
+                    cache.put(key, key)
+
+        threads = [threading.Thread(target=worker, args=(seed + 1,)) for seed in range(THREADS)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+
+        stats = cache.stats_snapshot()
+        assert stats.hits + stats.misses == THREADS * operations_per_thread
+        assert len(cache) <= 32

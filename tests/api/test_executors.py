@@ -1,0 +1,108 @@
+"""Tests for the pluggable executors."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.api.executors import ConcurrentExecutor, SerialExecutor
+
+
+class TestSerialExecutor:
+    def test_maps_in_order(self):
+        executor = SerialExecutor()
+        assert executor.map(lambda x: x * 2, [1, 2, 3]) == [2, 4, 6]
+
+    def test_propagates_first_exception(self):
+        def boom(x):
+            if x == 2:
+                raise ValueError("two")
+            return x
+
+        with pytest.raises(ValueError, match="two"):
+            SerialExecutor().map(boom, [1, 2, 3])
+
+    def test_runs_in_calling_thread(self):
+        threads = SerialExecutor().map(lambda _: threading.current_thread().name, range(3))
+        assert set(threads) == {threading.current_thread().name}
+
+    def test_context_manager(self):
+        with SerialExecutor() as executor:
+            assert executor.map(str, [1]) == ["1"]
+
+
+class TestConcurrentExecutor:
+    def test_maps_in_order(self):
+        with ConcurrentExecutor(max_workers=4) as executor:
+            assert executor.map(lambda x: x * 2, list(range(20))) == [x * 2 for x in range(20)]
+
+    def test_actually_uses_worker_threads(self):
+        barrier = threading.Barrier(2, timeout=5)
+
+        def rendezvous(_):
+            # Both items must be in flight at once for the barrier to lift;
+            # a serial executor would deadlock (barrier timeout).
+            barrier.wait()
+            return threading.current_thread().name
+
+        with ConcurrentExecutor(max_workers=2) as executor:
+            names = executor.map(rendezvous, [0, 1])
+        assert all(name.startswith("repro-api") for name in names)
+
+    def test_single_item_runs_inline(self):
+        with ConcurrentExecutor(max_workers=2) as executor:
+            names = executor.map(lambda _: threading.current_thread().name, [0])
+        assert names == [threading.current_thread().name]
+
+    def test_propagates_first_exception_by_item_order(self):
+        def boom(x):
+            if x in (1, 3):
+                raise ValueError(f"item-{x}")
+            return x
+
+        with ConcurrentExecutor(max_workers=4) as executor:
+            with pytest.raises(ValueError, match="item-1"):
+                executor.map(boom, [0, 1, 2, 3])
+
+    def test_close_is_idempotent_and_reusable(self):
+        executor = ConcurrentExecutor(max_workers=2)
+        assert executor.map(str, [1, 2]) == ["1", "2"]
+        executor.close()
+        executor.close()
+        # a closed executor transparently recreates its pool
+        assert executor.map(str, [3, 4]) == ["3", "4"]
+        executor.close()
+
+    def test_concurrent_first_use_shares_one_pool(self):
+        executor = ConcurrentExecutor(max_workers=2)
+        barrier = threading.Barrier(4, timeout=5)
+
+        def use(_):
+            barrier.wait()
+            return executor.map(lambda x: x + 1, [1, 2])
+
+        # four threads race the lazy pool creation; exactly one pool must
+        # survive (no leaked duplicates) and all maps must succeed
+        starters = [threading.Thread(target=use, args=(i,)) for i in range(4)]
+        for thread in starters:
+            thread.start()
+        for thread in starters:
+            thread.join()
+        assert executor._pool is not None
+        executor.close()
+        assert executor._pool is None
+
+    def test_bad_worker_count_rejected(self):
+        with pytest.raises(ValueError):
+            ConcurrentExecutor(max_workers=0)
+        with pytest.raises(ValueError):
+            ConcurrentExecutor(max_workers=True)
+
+    def test_repr_shows_state(self):
+        executor = ConcurrentExecutor(max_workers=3)
+        assert "idle" in repr(executor)
+        executor.map(str, [1, 2])
+        assert "running" in repr(executor)
+        executor.close()
+        assert "idle" in repr(executor)

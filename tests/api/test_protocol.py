@@ -1,0 +1,305 @@
+"""Tests for the typed request/response protocol (JSON round trips)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.api.protocol import (
+    SCHEMA_VERSION,
+    BatchEntry,
+    BatchRequest,
+    BatchResponse,
+    ErrorResponse,
+    SearchRequest,
+    SearchResponse,
+    SnippetPayload,
+    decode_page_token,
+    encode_page_token,
+    parse_request,
+    parse_response,
+)
+from repro.errors import ProtocolError
+
+
+def _json_round_trip(payload: dict) -> dict:
+    """Force an actual JSON serialisation (tuples become lists, etc.)."""
+    return json.loads(json.dumps(payload))
+
+
+def make_payload(**overrides) -> SnippetPayload:
+    base = dict(
+        result_id=0,
+        score=2.5,
+        root="0.1",
+        root_tag="store",
+        matched_keywords=("store", "texas"),
+        result_edges=9,
+        snippet_edges=6,
+        covered_items=5,
+        coverable_items=8,
+        text="Result #0\n  store\n    state: Texas",
+    )
+    base.update(overrides)
+    return SnippetPayload(**base)
+
+
+def make_response(**overrides) -> SearchResponse:
+    base = dict(
+        query="store texas",
+        document="stores",
+        keywords=("store", "texas"),
+        algorithm="slca",
+        total_results=2,
+        page=1,
+        page_size=1,
+        next_page="p2",
+        results=(make_payload(),),
+        from_cache=True,
+        seconds=0.25,
+        timings={"search": 0.1, "snippets": 0.15},
+    )
+    base.update(overrides)
+    return SearchResponse(**base)
+
+
+class TestPageTokens:
+    def test_round_trip(self):
+        for page in (1, 2, 17, 1000):
+            assert decode_page_token(encode_page_token(page)) == page
+
+    @pytest.mark.parametrize(
+        "bad",
+        ["", "2", "p", "p0", "page2", "p-1", "pp2", None, 2, "p²", "p٣"],
+    )
+    def test_malformed_tokens_rejected(self, bad):
+        # includes unicode digits: superscript two passes str.isdigit() but
+        # not int(); Arabic-Indic three would decode to a different page.
+        with pytest.raises(ProtocolError):
+            decode_page_token(bad)
+
+    def test_bad_page_number_rejected(self):
+        with pytest.raises(ProtocolError):
+            encode_page_token(0)
+        with pytest.raises(ProtocolError):
+            encode_page_token(True)
+
+
+class TestSearchRequest:
+    def test_round_trip_is_lossless(self):
+        request = SearchRequest(
+            query="store texas",
+            document="stores",
+            size_bound=6,
+            limit=5,
+            construction="subtree",
+            use_cache=False,
+            page=3,
+            page_size=2,
+            include_snippets=False,
+            include_meta=True,
+        )
+        assert SearchRequest.from_dict(_json_round_trip(request.to_dict())) == request
+
+    def test_defaults_round_trip(self):
+        request = SearchRequest(query="a b", document="doc")
+        assert SearchRequest.from_dict(_json_round_trip(request.to_dict())) == request
+
+    def test_schema_version_is_serialised(self):
+        assert SearchRequest(query="q", document="d").to_dict()["schema_version"] == SCHEMA_VERSION
+
+    def test_wrong_schema_version_rejected(self):
+        payload = SearchRequest(query="q", document="d").to_dict()
+        payload["schema_version"] = SCHEMA_VERSION + 1
+        with pytest.raises(ProtocolError):
+            SearchRequest.from_dict(payload)
+
+    def test_missing_schema_version_rejected(self):
+        payload = SearchRequest(query="q", document="d").to_dict()
+        del payload["schema_version"]
+        with pytest.raises(ProtocolError):
+            SearchRequest.from_dict(payload)
+
+    def test_unknown_field_rejected(self):
+        payload = SearchRequest(query="q", document="d").to_dict()
+        payload["limitt"] = 3
+        with pytest.raises(ProtocolError) as excinfo:
+            SearchRequest.from_dict(payload)
+        assert "limitt" in str(excinfo.value)
+
+    def test_missing_required_field_rejected(self):
+        payload = SearchRequest(query="q", document="d").to_dict()
+        del payload["document"]
+        with pytest.raises(ProtocolError):
+            SearchRequest.from_dict(payload)
+
+    @pytest.mark.parametrize(
+        "field, value",
+        [
+            ("query", "   "),
+            ("document", ""),
+            ("size_bound", 0),
+            ("size_bound", True),
+            ("limit", -1),
+            ("construction", "xpath"),
+            ("page", 0),
+            ("page_size", 0),
+        ],
+    )
+    def test_validate_rejects_bad_values(self, field, value):
+        payload = SearchRequest(query="store", document="doc").to_dict()
+        payload[field] = value
+        with pytest.raises(ProtocolError):
+            SearchRequest.from_dict(payload)
+
+    def test_with_page_accepts_token_and_int(self):
+        request = SearchRequest(query="q", document="d", page_size=2)
+        assert request.with_page("p4").page == 4
+        assert request.with_page(2).page == 2
+        # frozen: the original is untouched
+        assert request.page == 1
+
+
+class TestBatchRequest:
+    def test_round_trip_is_lossless(self):
+        request = BatchRequest(
+            queries=("store texas", "clothes casual"),
+            documents=("stores", "retailer"),
+            size_bound=6,
+            limit=3,
+            construction="match_paths",
+            use_cache=False,
+            include_snippets=False,
+            include_meta=True,
+        )
+        assert BatchRequest.from_dict(_json_round_trip(request.to_dict())) == request
+
+    def test_none_documents_round_trip(self):
+        request = BatchRequest(queries=("store",))
+        restored = BatchRequest.from_dict(_json_round_trip(request.to_dict()))
+        assert restored.documents is None
+        assert restored == request
+
+    def test_empty_queries_rejected(self):
+        with pytest.raises(ProtocolError):
+            BatchRequest(queries=()).validate()
+
+    def test_bare_string_queries_rejected(self):
+        # a string would char-split into one-letter queries if iterated
+        with pytest.raises(ProtocolError):
+            BatchRequest(queries="store texas").validate()
+        with pytest.raises(ProtocolError):
+            BatchRequest(queries=("store",), documents="stores").validate()
+
+    def test_search_request_projection(self):
+        batch = BatchRequest(queries=("a b",), size_bound=7, limit=2, use_cache=False)
+        single = batch.search_request("a b", "doc")
+        assert single.size_bound == 7
+        assert single.limit == 2
+        assert single.use_cache is False
+        assert single.document == "doc"
+
+
+class TestResponses:
+    def test_snippet_payload_round_trip(self):
+        payload = make_payload()
+        assert SnippetPayload.from_dict(_json_round_trip(payload.to_dict())) == payload
+
+    def test_nested_payloads_reject_envelope_fields(self):
+        # sub-objects never carry kind/schema_version; a stray one is a
+        # structural error, not something to silently accept
+        stray = make_payload().to_dict()
+        stray["kind"] = "garbage"
+        with pytest.raises(ProtocolError):
+            SnippetPayload.from_dict(stray)
+
+    def test_results_only_payload_round_trip(self):
+        payload = make_payload(snippet_edges=None, covered_items=None, coverable_items=None, text=None)
+        restored = SnippetPayload.from_dict(_json_round_trip(payload.to_dict()))
+        assert restored == payload
+        assert restored.text is None
+
+    def test_search_response_round_trip_without_meta(self):
+        response = make_response()
+        restored = SearchResponse.from_dict(_json_round_trip(response.to_dict()))
+        assert restored == response  # meta fields are excluded from equality
+        assert restored.from_cache is False  # meta was not serialised
+
+    def test_search_response_round_trip_with_meta(self):
+        response = make_response()
+        restored = SearchResponse.from_dict(_json_round_trip(response.to_dict(include_meta=True)))
+        assert restored == response
+        assert restored.from_cache is True
+        assert restored.seconds == pytest.approx(0.25)
+        assert restored.timings == {"search": 0.1, "snippets": 0.15}
+
+    def test_default_serialisation_is_deterministic(self):
+        fast = make_response(seconds=0.001, from_cache=False)
+        slow = make_response(seconds=9.0, from_cache=True)
+        assert json.dumps(fast.to_dict(), sort_keys=True) == json.dumps(slow.to_dict(), sort_keys=True)
+
+    def test_batch_response_round_trip(self):
+        response = BatchResponse(
+            entries=(
+                BatchEntry(query="store texas", responses=(make_response(),), seconds=0.5),
+            ),
+            documents=("stores",),
+        )
+        restored = BatchResponse.from_dict(_json_round_trip(response.to_dict(include_meta=True)))
+        assert restored == response
+        assert restored.total_results == 2
+
+    def test_error_response_round_trip(self):
+        error = ErrorResponse(error="QueryError", message="no usable keyword", request={"kind": "search"})
+        assert ErrorResponse.from_dict(_json_round_trip(error.to_dict())) == error
+
+    def test_error_from_exception(self):
+        error = ErrorResponse.from_exception(ProtocolError("boom"))
+        assert error.error == "ProtocolError"
+        assert error.message == "boom"
+
+    @pytest.mark.parametrize(
+        "parser, payload, field",
+        [
+            (SearchResponse, "keywords", "keywords"),
+            (SnippetPayload, "matched_keywords", "matched_keywords"),
+            (BatchResponse, "documents", "documents"),
+        ],
+    )
+    def test_scalar_where_list_expected_rejected(self, parser, payload, field):
+        # a JSON string must not silently explode into per-character tuples
+        if parser is SearchResponse:
+            base = make_response().to_dict()
+        elif parser is SnippetPayload:
+            base = make_payload().to_dict()
+        else:
+            base = BatchResponse(entries=(), documents=("d",)).to_dict()
+        base[field] = "retail"
+        with pytest.raises(ProtocolError) as excinfo:
+            parser.from_dict(base)
+        assert field in str(excinfo.value)
+
+
+class TestDispatch:
+    def test_parse_request_dispatches_on_kind(self):
+        search = SearchRequest(query="q", document="d")
+        batch = BatchRequest(queries=("q",))
+        assert parse_request(search.to_dict()) == search
+        assert parse_request(batch.to_dict()) == batch
+
+    def test_parse_response_dispatches_on_kind(self):
+        response = make_response()
+        error = ErrorResponse(error="SearchError", message="x")
+        assert parse_response(response.to_dict()) == response
+        assert parse_response(error.to_dict()) == error
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ProtocolError):
+            parse_request({"kind": "teleport", "schema_version": SCHEMA_VERSION})
+        with pytest.raises(ProtocolError):
+            parse_response({"kind": "teleport", "schema_version": SCHEMA_VERSION})
+
+    def test_non_dict_rejected(self):
+        with pytest.raises(ProtocolError):
+            parse_request([1, 2, 3])

@@ -20,7 +20,10 @@ class TestParser:
     def test_all_subcommands_registered(self):
         parser = build_parser()
         text = parser.format_help()
-        for command in ("analyze", "search", "ilist", "datasets", "generate", "experiment"):
+        for command in (
+            "analyze", "search", "ilist", "datasets", "generate", "experiment",
+            "batch", "corpus-save", "serve-request",
+        ):
             assert command in text
 
     def test_missing_command_errors(self):
@@ -245,3 +248,124 @@ class TestCorpusSaveCommand:
         )
         assert code == 1
         assert "cannot be combined" in output
+
+
+class TestServeRequestCommand:
+    def _write_request(self, tmp_path, payload: dict) -> str:
+        import json
+
+        path = tmp_path / "request.json"
+        path.write_text(json.dumps(payload), encoding="utf-8")
+        return str(path)
+
+    def test_search_request_round_trip(self, tmp_path):
+        import json
+
+        request = self._write_request(
+            tmp_path,
+            {
+                "kind": "search",
+                "schema_version": 1,
+                "query": "store texas",
+                "document": "figure5-stores",
+                "size_bound": 6,
+            },
+        )
+        code, output = run_cli(
+            "serve-request", "--dataset", "figure5-stores", "--request", request
+        )
+        assert code == 0
+        response = json.loads(output)
+        assert response["kind"] == "search_response"
+        assert response["document"] == "figure5-stores"
+        assert response["total_results"] >= 2
+        assert all(result["snippet_edges"] <= 6 for result in response["results"])
+
+    def test_batch_request_with_workers(self, tmp_path):
+        import json
+
+        request = self._write_request(
+            tmp_path,
+            {
+                "kind": "batch",
+                "schema_version": 1,
+                "queries": ["store texas", "clothes casual"],
+                "size_bound": 6,
+            },
+        )
+        code, output = run_cli(
+            "serve-request", "--dataset", "figure5-stores", "--dataset", "retail",
+            "--request", request, "--workers", "4",
+        )
+        assert code == 0
+        response = json.loads(output)
+        assert response["kind"] == "batch_response"
+        assert response["documents"] == ["figure5-stores", "retail"]
+        assert len(response["entries"]) == 2
+
+    def test_error_response_sets_exit_code(self, tmp_path):
+        import json
+
+        request = self._write_request(
+            tmp_path,
+            {
+                "kind": "search",
+                "schema_version": 1,
+                "query": "store",
+                "document": "no-such-document",
+            },
+        )
+        code, output = run_cli(
+            "serve-request", "--dataset", "figure5-stores", "--request", request
+        )
+        assert code == 1
+        response = json.loads(output)
+        assert response["kind"] == "error"
+        assert "no-such-document" in response["message"]
+
+    def test_malformed_json_is_protocol_error(self, tmp_path):
+        import json
+
+        path = tmp_path / "request.json"
+        path.write_text("{broken", encoding="utf-8")
+        code, output = run_cli(
+            "serve-request", "--dataset", "figure5-stores", "--request", str(path)
+        )
+        assert code == 1
+        response = json.loads(output)
+        assert response["error"] == "ProtocolError"
+
+    def test_pretty_flag_indents(self, tmp_path):
+        request = self._write_request(
+            tmp_path,
+            {
+                "kind": "search",
+                "schema_version": 1,
+                "query": "store texas",
+                "document": "figure5-stores",
+            },
+        )
+        code, output = run_cli(
+            "serve-request", "--dataset", "figure5-stores", "--request", request, "--pretty"
+        )
+        assert code == 0
+        assert output.startswith("{\n")
+
+    def test_serve_request_from_corpus_snapshot(self, tmp_path):
+        import json
+
+        snapshot = str(tmp_path / "corpus")
+        run_cli("corpus-save", "--dataset", "figure5-stores", "--output", snapshot)
+        request = self._write_request(
+            tmp_path,
+            {
+                "kind": "search",
+                "schema_version": 1,
+                "query": "store texas",
+                "document": "figure5-stores",
+                "size_bound": 6,
+            },
+        )
+        code, output = run_cli("serve-request", "--corpus-dir", snapshot, "--request", request)
+        assert code == 0
+        assert json.loads(output)["total_results"] >= 2

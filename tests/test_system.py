@@ -208,3 +208,43 @@ class TestQueryResultCache:
         results = system.search("store texas")
         assert [type(r) for r in results] == [type(r) for r in baseline]
         assert [str(r.root) for r in results] == [str(r.root) for r in baseline]
+
+
+class TestServicePipeline:
+    """The deprecated query/search shims must match the run_* pipeline."""
+
+    def test_query_shim_equals_run_query(self, figure5_idx):
+        from repro.system import ExtractSystem
+
+        shimmed = ExtractSystem(figure5_idx).query("store texas", size_bound=6, use_cache=False)
+        direct = ExtractSystem(figure5_idx).run_query("store texas", size_bound=6, use_cache=False)
+        assert shimmed.render_text() == direct.render_text()
+        assert [r.result_id for r in shimmed.results] == [r.result_id for r in direct.results]
+
+    def test_search_shim_equals_run_search(self, figure5_idx):
+        from repro.system import ExtractSystem
+
+        system = ExtractSystem(figure5_idx)
+        assert system.search("store texas") is system.run_search("store texas")  # shared cache
+
+    def test_run_query_does_not_mutate_engine_state(self, figure5_idx):
+        from repro.search.xseek import ResultConstruction
+        from repro.system import ExtractSystem
+
+        system = ExtractSystem(figure5_idx)
+        before = system.engine.construction
+        system.run_query(
+            "store texas", size_bound=6, construction=ResultConstruction.MATCH_PATHS
+        )
+        assert system.engine.construction is before
+        assert system.engine.timings.phases == {}  # per-call breakdown, not shared
+
+    def test_run_query_timings_are_per_call(self, figure5_idx):
+        from repro.system import ExtractSystem
+
+        system = ExtractSystem(figure5_idx)
+        outcome = system.run_query("store texas", size_bound=6, use_cache=False)
+        assert {"search", "snippets", "lookup", "lca", "ilist"} <= set(outcome.timings.phases)
+        # a second cold call gets a fresh breakdown, not an accumulated one
+        again = system.run_query("store texas", size_bound=6, use_cache=False)
+        assert again.timings.counts["search"] == 1
