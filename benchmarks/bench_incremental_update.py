@@ -1,0 +1,130 @@
+"""Serving benchmark — incremental document updates vs full re-registration.
+
+The guard of the incremental-update subsystem (ISSUE 3 tentpole): editing a
+handful of text values in one document of an N-document corpus must be at
+least **5× faster** through ``Corpus.update_document`` (tree diff +
+posting-level deltas + targeted cache invalidation) than through the
+pre-existing path, ``add_tree(..., replace=True)`` (full re-analysis,
+re-tokenisation and re-indexing of the document).
+
+The benchmark also asserts the correctness side of the bargain: after the
+timed rounds, the incrementally updated corpus serves responses
+byte-identical to a corpus rebuilt from scratch on the final trees.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import time
+
+from repro.api import SearchRequest, SnippetService
+from repro.corpus import Corpus
+from repro.xmltree.diff import clone_tree
+
+#: text edits per update round (a realistic "fix a few values" edit)
+EDITS_PER_ROUND = 4
+ROUNDS = 5
+
+
+def _edited_variant(tree, revision: int):
+    """A copy of ``tree`` with EDITS_PER_ROUND text values stamped ``revision``.
+
+    The same nodes are edited every round, so variant r diffs against
+    variant r-1 in exactly EDITS_PER_ROUND nodes.
+    """
+    copy = clone_tree(tree)
+    edited = 0
+    for node in copy.iter_nodes():
+        if node.tag == "city" and node.has_text_value:
+            base = (node.text or "").split(" rev")[0]
+            node.text = f"{base} rev{revision}"
+            edited += 1
+            if edited == EDITS_PER_ROUND:
+                break
+    assert edited == EDITS_PER_ROUND
+    return copy
+
+
+def _variants(base_tree, rounds: int = ROUNDS):
+    return [_edited_variant(base_tree, revision) for revision in range(1, rounds + 1)]
+
+
+def test_incremental_update_at_least_5x_faster_than_reregistration(churn_corpus):
+    corpus, names = churn_corpus()
+    target = names[0]
+    base_tree = corpus.system(target).index.tree
+    variants = _variants(base_tree)
+
+    # Full re-registration baseline: same edited trees, pre-existing path.
+    full_corpus, _ = churn_corpus()
+    full_inputs = [clone_tree(variant) for variant in variants]
+    started = time.perf_counter()
+    for variant in full_inputs:
+        full_corpus.add_tree(target, variant, replace=True)
+    full_seconds = time.perf_counter() - started
+
+    incremental_inputs = [clone_tree(variant) for variant in variants]
+    started = time.perf_counter()
+    for variant in incremental_inputs:
+        report = corpus.update_document(target, variant)
+        assert report.incremental, report
+    incremental_seconds = time.perf_counter() - started
+
+    ratio = full_seconds / max(incremental_seconds, 1e-9)
+    assert ratio >= 5.0, (
+        f"incremental update only {ratio:.1f}x faster than re-registration "
+        f"({incremental_seconds:.4f}s vs {full_seconds:.4f}s)"
+    )
+
+    # Both corpora hold the same final state; responses must agree with a
+    # from-scratch rebuild byte for byte.
+    rebuilt = Corpus()
+    for name in names:
+        source = corpus.system(name).index.tree if name != target else variants[-1]
+        rebuilt.add_tree(name, clone_tree(source))
+    service = SnippetService(corpus)
+    reference = SnippetService(rebuilt)
+    for query in ("store texas", "retailer apparel", f"city rev{ROUNDS}"):
+        request = SearchRequest(query=query, document=target, size_bound=6)
+        ours = json.dumps(service.run(request).to_dict(), sort_keys=True)
+        theirs = json.dumps(reference.run(request).to_dict(), sort_keys=True)
+        assert ours == theirs, query
+
+
+def test_update_keeps_unaffected_documents_cached(churn_corpus):
+    corpus, names = churn_corpus()
+    target, untouched = names[0], names[1]
+    service = SnippetService(corpus)
+    for name in (target, untouched):
+        service.run(SearchRequest(query="store texas", document=name, size_bound=6))
+
+    report = corpus.update_document(
+        target, _edited_variant(corpus.system(target).index.tree, revision=1)
+    )
+    assert report.incremental
+
+    warm = service.run(SearchRequest(query="store texas", document=untouched, size_bound=6))
+    assert warm.from_cache, "untouched document lost its cache to an unrelated update"
+
+
+def test_incremental_update_speed(benchmark, churn_corpus):
+    """pytest-benchmark row: one incremental 4-node update in a 6-doc corpus.
+
+    Two alternating variants guarantee every timed call applies a real
+    (non-empty) delta instead of a no-op diff.
+    """
+    corpus, names = churn_corpus()
+    target = names[0]
+    base_tree = corpus.system(target).index.tree
+    alternating = itertools.cycle(
+        [_edited_variant(base_tree, revision) for revision in (1, 2)]
+    )
+
+    def update_once():
+        report = corpus.update_document(target, clone_tree(next(alternating)))
+        assert report.changed_nodes == EDITS_PER_ROUND
+        return report
+
+    report = benchmark(update_once)
+    assert report.incremental

@@ -13,6 +13,9 @@ Walks the ``repro.api`` protocol end to end:
 * paginate through the result list with ``next_page`` tokens,
 * fan a :class:`~repro.api.BatchRequest` out over a thread pool with the
   :class:`~repro.api.ConcurrentExecutor` — byte-identical to serial,
+* edit a document through an :class:`~repro.api.UpdateRequest` — the
+  text-only edit is applied incrementally (posting-level deltas) and only
+  the affected cache entries are invalidated — then query again,
 * peek at the per-document cache statistics the service exposes.
 
 The same flow is available from the command line::
@@ -32,7 +35,10 @@ from repro.api import (
     ConcurrentExecutor,
     SearchRequest,
     SnippetService,
+    UpdateRequest,
 )
+from repro.xmltree.diff import clone_tree
+from repro.xmltree.serialize import to_xml_string
 
 
 def main() -> None:
@@ -92,7 +98,34 @@ def main() -> None:
           f"{serial_batch.total_results} results; threaded == serial: {identical}\n")
 
     # ------------------------------------------------------------------ #
-    # 5. serving-cache statistics, per document
+    # 5. update-then-query: incremental edits through the same protocol
+    # ------------------------------------------------------------------ #
+    warm = service.run(request)  # identical request -> served from cache
+    print(f"warm repeat of {request.query!r}: from_cache={warm.from_cache}")
+
+    # Edit one text value of the document and push it as an UpdateRequest.
+    # The service diffs the XML against the registered index and applies
+    # posting-level deltas; unaffected cache entries survive the swap.
+    edited = clone_tree(service.corpus.system("stores").index.tree)
+    for node in edited.iter_nodes():
+        if node.tag == "state" and node.text == "Texas":
+            node.text = "Nevada"
+            break
+    update = service.run_update(
+        UpdateRequest(document="stores", xml=to_xml_string(edited))
+    )
+    print(
+        f"update applied: incremental={update.incremental} "
+        f"changed_nodes={update.changed_nodes} changed_terms={update.changed_terms}"
+    )
+    after = service.run(request)  # "store texas" touched the edit -> recomputed
+    print(
+        f"after the edit {request.query!r} finds {after.total_results} result(s) "
+        f"(from_cache={after.from_cache})\n"
+    )
+
+    # ------------------------------------------------------------------ #
+    # 6. serving-cache statistics, per document
     # ------------------------------------------------------------------ #
     for name, caches in service.cache_stats().items():
         query_stats = caches["query"]

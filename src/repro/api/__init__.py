@@ -31,6 +31,7 @@ from repro.api.executors import ConcurrentExecutor, Executor, SerialExecutor
 from repro.api.protocol import (
     CONSTRUCTION_MODES,
     SCHEMA_VERSION,
+    UPDATE_ACTIONS,
     BatchEntry,
     BatchRequest,
     BatchResponse,
@@ -38,6 +39,8 @@ from repro.api.protocol import (
     SearchRequest,
     SearchResponse,
     SnippetPayload,
+    UpdateRequest,
+    UpdateResponse,
     decode_page_token,
     encode_page_token,
     parse_request,
@@ -48,10 +51,13 @@ from repro.api.service import SnippetService
 __all__ = [
     "SCHEMA_VERSION",
     "CONSTRUCTION_MODES",
+    "UPDATE_ACTIONS",
     "SearchRequest",
     "BatchRequest",
+    "UpdateRequest",
     "SearchResponse",
     "BatchResponse",
+    "UpdateResponse",
     "BatchEntry",
     "SnippetPayload",
     "ErrorResponse",

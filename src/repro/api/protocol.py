@@ -331,6 +331,79 @@ class BatchRequest:
         return request.validate()
 
 
+#: document-lifecycle actions accepted on the wire
+UPDATE_ACTIONS = ("update", "remove")
+
+
+@dataclass(frozen=True)
+class UpdateRequest:
+    """A document-lifecycle operation: upsert a document or remove it.
+
+    ``action="update"`` replaces (or, when the name is unknown, registers)
+    the document with the XML carried in ``xml``; the service applies
+    text-only edits incrementally (posting-level deltas, targeted cache
+    invalidation) and falls back to a full re-index for structural
+    changes.  ``action="remove"`` unregisters the document (``xml`` must
+    be omitted).  ``include_meta`` attaches volatile serving metadata
+    (seconds, cache invalidation counts) to the response.
+    """
+
+    kind: ClassVar[str] = "update"
+
+    document: str
+    xml: str | None = None
+    action: str = "update"
+    include_meta: bool = False
+    schema_version: int = SCHEMA_VERSION
+
+    def validate(self) -> "UpdateRequest":
+        """Raise :class:`ProtocolError` on an ill-formed request; return self."""
+        if not isinstance(self.document, str) or not self.document:
+            raise ProtocolError(f"document must be a non-empty string, got {self.document!r}")
+        if self.action not in UPDATE_ACTIONS:
+            raise ProtocolError(
+                f"unknown update action {self.action!r}; expected one of {UPDATE_ACTIONS}"
+            )
+        if self.action == "update":
+            if not isinstance(self.xml, str) or not self.xml.strip():
+                raise ProtocolError(
+                    f"an {self.action!r} request needs a non-empty xml document, got {self.xml!r}"
+                )
+        elif self.xml is not None:
+            raise ProtocolError("a 'remove' request must not carry an xml document")
+        if not isinstance(self.include_meta, bool):
+            raise ProtocolError(f"include_meta must be a boolean, got {self.include_meta!r}")
+        if self.schema_version != SCHEMA_VERSION:
+            raise ProtocolError(
+                f"unsupported schema_version {self.schema_version!r} "
+                f"(this build speaks version {SCHEMA_VERSION})"
+            )
+        return self
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "kind": self.kind,
+            "schema_version": self.schema_version,
+            "document": self.document,
+            "xml": self.xml,
+            "action": self.action,
+            "include_meta": self.include_meta,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict[str, Any]) -> "UpdateRequest":
+        _check_envelope(payload, cls.kind)
+        known = {f.name for f in fields(cls)}
+        _reject_unknown_fields(payload, known, cls.kind)
+        request = cls(
+            document=_require(payload, "document", cls.kind),
+            xml=payload.get("xml"),
+            action=payload.get("action", "update"),
+            include_meta=payload.get("include_meta", False),
+        )
+        return request.validate()
+
+
 # ---------------------------------------------------------------------- #
 # responses
 # ---------------------------------------------------------------------- #
@@ -547,6 +620,76 @@ class BatchResponse:
 
 
 @dataclass(frozen=True)
+class UpdateResponse:
+    """The outcome of an :class:`UpdateRequest`.
+
+    ``action`` reports what actually happened (``updated``, ``added`` or
+    ``removed`` — an upsert of an unknown document comes back ``added``);
+    ``incremental`` whether the edit was applied as posting-level deltas;
+    ``changed_nodes``/``changed_terms`` the size of that delta.  Volatile
+    serving metadata (wall-clock seconds, cache invalidation counters —
+    functions of serving history, not of the update) lives in the opt-in
+    ``meta`` block so the default wire form stays deterministic.
+    """
+
+    kind: ClassVar[str] = "update_response"
+
+    document: str
+    action: str
+    incremental: bool
+    nodes: int
+    changed_nodes: int = 0
+    changed_terms: int = 0
+    structural_reason: str | None = None
+    schema_version: int = SCHEMA_VERSION
+    seconds: float = field(default=0.0, compare=False)
+    cache_entries_kept: int = field(default=0, compare=False)
+    cache_entries_invalidated: int = field(default=0, compare=False)
+
+    def to_dict(self, include_meta: bool = False) -> dict[str, Any]:
+        payload: dict[str, Any] = {
+            "kind": self.kind,
+            "schema_version": self.schema_version,
+            "document": self.document,
+            "action": self.action,
+            "incremental": self.incremental,
+            "nodes": self.nodes,
+            "changed_nodes": self.changed_nodes,
+            "changed_terms": self.changed_terms,
+            "structural_reason": self.structural_reason,
+        }
+        if include_meta:
+            payload["meta"] = {
+                "seconds": self.seconds,
+                "cache_entries_kept": self.cache_entries_kept,
+                "cache_entries_invalidated": self.cache_entries_invalidated,
+            }
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: dict[str, Any]) -> "UpdateResponse":
+        _check_envelope(payload, cls.kind)
+        known = {
+            "document", "action", "incremental", "nodes",
+            "changed_nodes", "changed_terms", "structural_reason", "meta",
+        }
+        _reject_unknown_fields(payload, known, cls.kind)
+        meta = _meta_dict(payload, cls.kind)
+        return cls(
+            document=_require(payload, "document", cls.kind),
+            action=_require(payload, "action", cls.kind),
+            incremental=_require(payload, "incremental", cls.kind),
+            nodes=_require(payload, "nodes", cls.kind),
+            changed_nodes=payload.get("changed_nodes", 0),
+            changed_terms=payload.get("changed_terms", 0),
+            structural_reason=payload.get("structural_reason"),
+            seconds=meta.get("seconds", 0.0),
+            cache_entries_kept=meta.get("cache_entries_kept", 0),
+            cache_entries_invalidated=meta.get("cache_entries_invalidated", 0),
+        )
+
+
+@dataclass(frozen=True)
 class ErrorResponse:
     """A structured failure: the error class name plus a human message.
 
@@ -589,15 +732,20 @@ class ErrorResponse:
 # ---------------------------------------------------------------------- #
 # dispatch
 # ---------------------------------------------------------------------- #
-_REQUEST_KINDS = {SearchRequest.kind: SearchRequest, BatchRequest.kind: BatchRequest}
+_REQUEST_KINDS = {
+    SearchRequest.kind: SearchRequest,
+    BatchRequest.kind: BatchRequest,
+    UpdateRequest.kind: UpdateRequest,
+}
 _RESPONSE_KINDS = {
     SearchResponse.kind: SearchResponse,
     BatchResponse.kind: BatchResponse,
+    UpdateResponse.kind: UpdateResponse,
     ErrorResponse.kind: ErrorResponse,
 }
 
 
-def parse_request(payload: dict[str, Any]) -> SearchRequest | BatchRequest:
+def parse_request(payload: dict[str, Any]) -> "SearchRequest | BatchRequest | UpdateRequest":
     """Parse a request payload, dispatching on its ``kind`` field."""
     if not isinstance(payload, dict):
         raise ProtocolError(f"request must be a JSON object, got {type(payload).__name__}")
@@ -610,7 +758,9 @@ def parse_request(payload: dict[str, Any]) -> SearchRequest | BatchRequest:
     return parser.from_dict(payload)
 
 
-def parse_response(payload: dict[str, Any]) -> SearchResponse | BatchResponse | ErrorResponse:
+def parse_response(
+    payload: dict[str, Any],
+) -> "SearchResponse | BatchResponse | UpdateResponse | ErrorResponse":
     """Parse a response payload, dispatching on its ``kind`` field."""
     if not isinstance(payload, dict):
         raise ProtocolError(f"response must be a JSON object, got {type(payload).__name__}")

@@ -38,6 +38,8 @@ from repro.api.protocol import (
     SearchRequest,
     SearchResponse,
     SnippetPayload,
+    UpdateRequest,
+    UpdateResponse,
     encode_page_token,
     parse_request,
 )
@@ -227,12 +229,59 @@ class SnippetService:
             return ErrorResponse.from_exception(error, request=batch.to_dict())
 
     # ------------------------------------------------------------------ #
+    # document lifecycle
+    # ------------------------------------------------------------------ #
+    def run_update(self, request: UpdateRequest, validate: bool = True) -> UpdateResponse:
+        """Apply a document-lifecycle request to the serving corpus.
+
+        ``update`` upserts: a registered document is diffed and updated
+        incrementally where possible (:meth:`repro.corpus.Corpus.
+        update_document` — posting-level deltas, targeted cache
+        invalidation, atomic swap under the corpus serving lock); an
+        unknown name is registered from the carried XML (its DOCTYPE
+        internal subset, if any, informs classification).  ``remove``
+        unregisters the document.  Requests already being served keep the
+        previous version until the swap; they are never torn mid-flight.
+        """
+        from repro.xmltree.dtd import dtd_for_tree_text
+        from repro.xmltree.parser import parse_xml
+
+        if validate:
+            request.validate()
+        started = time.perf_counter()
+        if request.action == "remove":
+            report = self.corpus.remove_document(request.document)
+        else:
+            parsed = parse_xml(request.xml or "", name=request.document)
+            dtd = dtd_for_tree_text(parsed.dtd_text, root=parsed.doctype_name)
+            report = self.corpus.apply_update(request.document, parsed.tree, dtd=dtd)
+        return UpdateResponse(
+            document=report.document,
+            action=report.action,
+            incremental=report.incremental,
+            nodes=report.nodes,
+            changed_nodes=report.changed_nodes,
+            changed_terms=report.changed_terms,
+            structural_reason=report.structural_reason,
+            seconds=time.perf_counter() - started,
+            cache_entries_kept=report.cache_entries_kept,
+            cache_entries_invalidated=report.cache_entries_invalidated,
+        )
+
+    def execute_update(self, request: UpdateRequest) -> UpdateResponse | ErrorResponse:
+        """Like :meth:`run_update`, but failures become an :class:`ErrorResponse`."""
+        try:
+            return self.run_update(request)
+        except ExtractError as error:
+            return ErrorResponse.from_exception(error, request=request.to_dict())
+
+    # ------------------------------------------------------------------ #
     # JSON endpoints
     # ------------------------------------------------------------------ #
     def handle_dict(
         self,
         payload: dict[str, Any],
-        request: SearchRequest | BatchRequest | None = None,
+        request: SearchRequest | BatchRequest | UpdateRequest | None = None,
     ) -> dict[str, Any]:
         """Serve one JSON-style request object; never raises library errors.
 
@@ -250,6 +299,8 @@ class SnippetService:
             return ErrorResponse.from_exception(error, request=echoed).to_dict()
         if isinstance(request, BatchRequest):
             response = self.execute_batch(request)
+        elif isinstance(request, UpdateRequest):
+            response = self.execute_update(request)
         else:
             response = self.execute(request)
         if isinstance(response, ErrorResponse):

@@ -69,6 +69,33 @@ class DataAnalyzer:
         self.entity_types: dict[TagPath, EntityType] = {}
         self._build_entity_types()
 
+    @classmethod
+    def rebound(
+        cls,
+        tree: XMLTree,
+        dtd: DTD | None,
+        schema: SchemaSummary,
+        categories: dict[TagPath, NodeCategory],
+        entity_types: dict[TagPath, EntityType],
+    ) -> "DataAnalyzer":
+        """An analyzer assembled from precomputed state (incremental updates).
+
+        :mod:`repro.index.incremental` patches the previous analyzer's
+        schema and re-mines only the entity keys an edit can affect; this
+        constructor binds that state to the edited tree without re-running
+        schema inference, classification or full key mining.  The caller is
+        responsible for the state being exactly what ``DataAnalyzer(tree,
+        dtd)`` would compute — the incremental-update property tests hold it
+        to that.
+        """
+        analyzer = cls.__new__(cls)
+        analyzer.tree = tree
+        analyzer.dtd = dtd
+        analyzer.schema = schema
+        analyzer.categories = categories
+        analyzer.entity_types = entity_types
+        return analyzer
+
     # ------------------------------------------------------------------ #
     # construction
     # ------------------------------------------------------------------ #

@@ -77,8 +77,16 @@ class KeyMiner:
                 keys[entity_path] = info
         return keys
 
-    def mine_entity(self, tree: XMLTree, entity_path: TagPath) -> KeyInfo | None:
-        """Mine the key attribute of a single entity type."""
+    def mine_entity(
+        self, tree: XMLTree, entity_path: TagPath, instances: list | None = None
+    ) -> KeyInfo | None:
+        """Mine the key attribute of a single entity type.
+
+        ``instances`` optionally supplies the entity's node instances in
+        document order (the incremental-update path materialises them from
+        the structure index in O(instances) instead of the full-tree scan
+        of :meth:`XMLTree.find_by_tag_path`).
+        """
         candidates = attribute_paths_of(self.schema, entity_path)
         if not candidates:
             return None
@@ -86,7 +94,9 @@ class KeyMiner:
         dtd = self.schema.dtd
         dtd_ids = set(dtd.id_attributes(entity_path[-1])) if dtd is not None else set()
 
-        entity_instances = tree.find_by_tag_path(entity_path)
+        entity_instances = (
+            instances if instances is not None else tree.find_by_tag_path(entity_path)
+        )
         if not entity_instances:
             return None
 

@@ -25,6 +25,12 @@ CLI that drives the same pipeline.  Sub-commands:
 ``corpus-save``
     Index one or more documents and snapshot the corpus to a directory that
     ``batch --corpus-dir`` can reload without re-indexing.
+``corpus-update``
+    Apply one document edit (update, add or remove) to a saved corpus and
+    append it to the corpus's append-only update journal: text-only edits
+    are recorded as node-level deltas (replayed incrementally on the next
+    load), structural edits and additions as fresh snapshot
+    subdirectories — the base snapshot is never rewritten.
 ``serve-request``
     Execute one JSON request of the typed service protocol
     (:mod:`repro.api`) against a corpus and print the JSON response — the
@@ -46,6 +52,7 @@ Examples::
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 
 from repro.corpus import builtin_dataset_names
@@ -149,6 +156,27 @@ def build_parser() -> argparse.ArgumentParser:
     add_corpus_source_arguments(corpus_save)
     corpus_save.add_argument("--output", required=True, metavar="DIR", help="snapshot directory")
     corpus_save.add_argument("--algorithm", choices=("slca", "elca"), default="slca")
+
+    corpus_update = subparsers.add_parser(
+        "corpus-update",
+        help="apply a document update/add/remove to a saved corpus (journalled)",
+    )
+    corpus_update.add_argument(
+        "--corpus-dir", required=True, metavar="DIR",
+        help="corpus directory written by corpus-save",
+    )
+    update_action = corpus_update.add_mutually_exclusive_group(required=True)
+    update_action.add_argument(
+        "--file", metavar="PATH",
+        help="XML file holding the new version of the document (update or add)",
+    )
+    update_action.add_argument(
+        "--remove", metavar="NAME", help="unregister the named document"
+    )
+    corpus_update.add_argument(
+        "--name", metavar="NAME",
+        help="document name for --file (default: the file's base name)",
+    )
 
     serve_request = subparsers.add_parser(
         "serve-request",
@@ -379,10 +407,108 @@ def _command_serve_request(args: argparse.Namespace, out) -> int:
     except (json.JSONDecodeError, ExtractError):
         return emit(SnippetService(Corpus()).handle_text(request_text))
 
+    from repro.api.protocol import ErrorResponse, UpdateRequest
+
+    if isinstance(request, UpdateRequest):
+        # serve-request builds a throwaway corpus per invocation: an update
+        # applied here would vanish on exit while the response claims
+        # success.  Lifecycle edits belong to the journalled surface.
+        return emit(
+            ErrorResponse(
+                error="ProtocolError",
+                message=(
+                    "serve-request is stateless and cannot apply document "
+                    "updates; use 'corpus-update --corpus-dir ...' so the "
+                    "edit is journalled and survives reloads"
+                ),
+                request=payload,
+            ).to_dict()
+        )
+
     corpus = _build_corpus(args, algorithm=args.algorithm or "slca")
     executor = ConcurrentExecutor(max_workers=args.workers) if args.workers > 1 else SerialExecutor()
     with SnippetService(corpus, executor=executor) as service:
         return emit(service.handle_dict(payload, request=request))
+
+
+def _command_corpus_update(args: argparse.Namespace, out) -> int:
+    """Apply one lifecycle operation to a saved corpus and journal it."""
+    from repro.corpus import Corpus, _subdir_for
+    from repro.index.storage import (
+        JournalRecord,
+        append_journal_record,
+        directory_documents,
+        save_index,
+    )
+    from repro.xmltree.parser import parse_xml_file
+
+    directory = args.corpus_dir
+    corpus = Corpus.load_dir(directory)
+    mapping = directory_documents(directory)  # subdir -> name
+    subdir_of = {name: subdir for subdir, name in mapping.items()}
+
+    def fresh_subdir(name: str) -> str:
+        used = {subdir.lower() for subdir in mapping}
+        used.update(entry.lower() for entry in os.listdir(directory))
+        return _subdir_for(name, used)
+
+    if args.remove:
+        name = args.remove
+        report = corpus.remove_document(name)
+        append_journal_record(directory, JournalRecord(kind="remove", subdir=subdir_of[name]))
+        print(
+            f"removed {name!r} from {directory} "
+            f"({report.cache_entries_invalidated} cache entries invalidated, journalled)",
+            file=out,
+        )
+        return 0
+
+    from repro.xmltree.dtd import dtd_for_tree_text
+
+    name = args.name or os.path.splitext(os.path.basename(args.file))[0]
+    parsed = parse_xml_file(args.file)
+    # The DTD only matters on the *add* path (updates keep the registered
+    # document's original DTD context) — same contract as the service's
+    # UpdateRequest handling, and same ingestion semantics as corpus-save.
+    dtd = dtd_for_tree_text(parsed.dtd_text, root=parsed.doctype_name)
+    report = corpus.apply_update(name, parsed.tree, dtd=dtd)
+    if report.action == "added":
+        snapshot = fresh_subdir(name)
+        save_index(corpus.system(name).index, os.path.join(directory, snapshot))
+        append_journal_record(
+            directory, JournalRecord(kind="add", subdir=snapshot, name=name)
+        )
+        print(
+            f"added {name!r} ({report.nodes} nodes); snapshot in {snapshot}/",
+            file=out,
+        )
+    elif report.changed_nodes == 0:
+        print(f"{name!r} is unchanged; nothing journalled", file=out)
+    elif report.incremental:
+        edits = tuple((str(edit.label), edit.new_text) for edit in report.text_edits)
+        append_journal_record(
+            directory,
+            JournalRecord(kind="update", subdir=subdir_of[name], edits=edits),
+        )
+        print(
+            f"updated {name!r} incrementally: {report.changed_nodes} node(s), "
+            f"{report.changed_terms} term(s); cache kept={report.cache_entries_kept} "
+            f"invalidated={report.cache_entries_invalidated} (journalled as deltas)",
+            file=out,
+        )
+    else:
+        snapshot = fresh_subdir(name)
+        save_index(corpus.system(name).index, os.path.join(directory, snapshot))
+        append_journal_record(
+            directory,
+            JournalRecord(kind="replace", subdir=subdir_of[name], snapshot=snapshot),
+        )
+        print(
+            f"updated {name!r} with a full re-index "
+            f"({report.structural_reason}); new snapshot in {snapshot}/",
+            file=out,
+        )
+    return 0
 
 
 def _command_corpus_save(args: argparse.Namespace, out) -> int:
@@ -407,6 +533,7 @@ _COMMANDS = {
     "experiment": _command_experiment,
     "batch": _command_batch,
     "corpus-save": _command_corpus_save,
+    "corpus-update": _command_corpus_update,
     "serve-request": _command_serve_request,
 }
 

@@ -10,9 +10,15 @@ Serving features (the demo ran as a web service):
 
 * **Persistence** — :meth:`Corpus.save_dir` snapshots every document index
   via :mod:`repro.index.storage`; :meth:`Corpus.load_dir` restores the
-  corpus without re-indexing, with byte-identical query results.
+  corpus without re-indexing, with byte-identical query results, replaying
+  any append-only update journal left by ``corpus-update``.
 * **Re-registration** — ``add_*(..., replace=True)`` swaps a document in
   place and explicitly invalidates its result/snippet caches.
+* **Incremental updates** — :meth:`Corpus.update_document` diffs the new
+  version against the registered index and applies posting-level deltas
+  (:mod:`repro.index.incremental`) instead of rebuilding, invalidating
+  only the cache entries and memoised postings the edit can actually
+  affect; :meth:`Corpus.remove_document` completes the document lifecycle.
 * **Batch execution** — :meth:`Corpus.search_batch` runs many queries over
   many documents in one pass, sharing parsed queries and posting-list
   lookups, and reports per-query timings via
@@ -28,11 +34,14 @@ from collections.abc import Iterator, Sequence
 from dataclasses import dataclass, field
 
 from repro.errors import DatasetError, ExtractError, StorageError
+from repro.index.postings import PostingList
 from repro.search.query import KeywordQuery
 from repro.snippet.generator import DEFAULT_SIZE_BOUND
 from repro.system import ExtractSystem, SearchOutcome
 from repro.utils.cache import DEFAULT_CACHE_SIZE, LRUCache
 from repro.utils.timing import TimingBreakdown
+from repro.xmltree.dewey import Dewey
+from repro.xmltree.diff import TextEdit, clone_tree, diff_trees
 from repro.xmltree.tree import XMLTree
 
 #: names accepted by :meth:`Corpus.add_builtin` → generator factory
@@ -44,10 +53,6 @@ _BUILTIN_FACTORIES = {
     "auctions": lambda: _lazy("repro.datasets.auctions", "generate_auction_document")(),
     "bibliography": lambda: _lazy("repro.datasets.bibliography", "generate_bibliography_document")(),
 }
-
-_MANIFEST_FILE = "corpus.manifest"
-_MANIFEST_MAGIC = "#extract-corpus v1"
-
 
 def _lazy(module_name: str, attribute: str):
     """Import a dataset factory lazily (keeps Corpus import light)."""
@@ -83,6 +88,40 @@ class CorpusEntry:
     @property
     def entity_tags(self) -> list[str]:
         return sorted(self.system.analyzer.entity_tags())
+
+
+@dataclass(frozen=True)
+class DocumentUpdate:
+    """The report of one document-lifecycle operation.
+
+    ``incremental`` is True when the edit was applied as posting-level
+    deltas; ``structural_reason`` explains the full-rebuild fallback when
+    it was not.  ``text_edits`` carries the applied edits so persistence
+    (the ``corpus-update`` CLI) can journal exactly what happened.
+    """
+
+    document: str
+    #: "updated", "added" or "removed"
+    action: str
+    incremental: bool
+    #: node count of the document after the operation (0 after removal)
+    nodes: int
+    changed_nodes: int = 0
+    changed_terms: int = 0
+    remined_entities: int = 0
+    cache_entries_kept: int = 0
+    cache_entries_invalidated: int = 0
+    structural_reason: str | None = None
+    text_edits: tuple[TextEdit, ...] = ()
+
+    def __repr__(self) -> str:
+        mode = "incremental" if self.incremental else "full"
+        return (
+            f"<DocumentUpdate {self.action} {self.document!r} {mode} "
+            f"changed_nodes={self.changed_nodes} "
+            f"cache kept={self.cache_entries_kept} "
+            f"invalidated={self.cache_entries_invalidated}>"
+        )
 
 
 @dataclass
@@ -161,6 +200,11 @@ class Corpus:
         #: guards registration swaps and the lazy service creation against
         #: concurrent check-then-set races.
         self._serving_lock = threading.Lock()
+        #: serialises document updates (diff → delta → swap) so concurrent
+        #: updaters cannot diff against the same base and lose an edit;
+        #: readers only contend on the brief swap under _serving_lock.
+        #: Re-entrant because apply_update() delegates to update_document().
+        self._update_lock = threading.RLock()
         self._service = None
 
     # ------------------------------------------------------------------ #
@@ -238,6 +282,149 @@ class Corpus:
             if entry is None:
                 raise ExtractError(f"no document named {name!r} in the corpus")
         entry.system.invalidate_cache()
+
+    # ------------------------------------------------------------------ #
+    # incremental document lifecycle
+    # ------------------------------------------------------------------ #
+    def update_document(self, name: str, tree: XMLTree) -> DocumentUpdate:
+        """Replace the registered document ``name`` with an edited version.
+
+        The new tree is diffed against the registered index
+        (:func:`repro.xmltree.diff.diff_trees`):
+
+        * **no difference** — a no-op; every cache entry survives;
+        * **text-only edits** — applied as posting-level deltas
+          (:func:`repro.index.incremental.apply_text_update`): unchanged
+          posting lists, the structure index, the schema and unaffected
+          entity keys are shared with the previous index, and the new
+          entry *adopts* every result/snippet cache entry and memoised
+          posting lookup the edit provably cannot affect (only entries
+          whose keywords hit a changed term, whose result subtree contains
+          an edited node, or — when a re-mined entity key moved — all
+          snippet-bearing state are invalidated);
+        * **structural edits** — full re-index fallback (preserving the
+          document's original DTD context) with fresh caches.
+
+        Updates are serialised on an update lock (no lost edits between
+        concurrent updaters); the visible swap is atomic under the serving
+        lock, so readers observe either the old or the new document, never
+        a mix.  The tree adopts the registered document's logical name so
+        cache keys stay continuous.  Raises :class:`ExtractError` when the
+        name is unknown or the document is replaced/removed mid-update.
+        """
+        from repro.index.incremental import apply_text_update
+
+        with self._update_lock:
+            old_entry = self.entry(name)
+            old_system = old_entry.system
+            old_index = old_system.index
+            tree.name = old_index.tree.name
+            diff = diff_trees(old_index.tree, tree)
+            if diff.is_empty:
+                return DocumentUpdate(
+                    document=name,
+                    action="updated",
+                    incremental=True,
+                    nodes=old_index.tree.size_nodes,
+                    cache_entries_kept=(
+                        len(old_system.cache) + len(old_system.generator.cache)
+                    ),
+                )
+            if diff.is_text_only:
+                update = apply_text_update(old_index, tree, diff)
+                new_system = ExtractSystem(
+                    update.index, algorithm=self.algorithm, cache_size=self.cache_size
+                )
+                new_entry = CorpusEntry(name=name, system=new_system)
+                kept, dropped = _carry_serving_state(old_entry, new_entry, update)
+                self._swap_entry(name, old_entry, new_entry)
+                old_system.invalidate_cache()
+                return DocumentUpdate(
+                    document=name,
+                    action="updated",
+                    incremental=True,
+                    nodes=update.index.tree.size_nodes,
+                    changed_nodes=len(diff.text_edits),
+                    changed_terms=len(update.changed_terms),
+                    remined_entities=len(update.remined_entity_paths),
+                    cache_entries_kept=kept,
+                    cache_entries_invalidated=dropped,
+                    text_edits=diff.text_edits,
+                )
+            # Structural fallback: rebuild under the original DTD context so
+            # classification semantics cannot silently drift on update.
+            from repro.index.builder import IndexBuilder
+
+            new_index = IndexBuilder(dtd=old_index.analyzer.dtd).build(tree)
+            new_system = ExtractSystem(
+                new_index, algorithm=self.algorithm, cache_size=self.cache_size
+            )
+            new_entry = CorpusEntry(name=name, system=new_system)
+            dropped = len(old_system.cache) + len(old_system.generator.cache)
+            self._swap_entry(name, old_entry, new_entry)
+            old_system.invalidate_cache()
+            return DocumentUpdate(
+                document=name,
+                action="updated",
+                incremental=False,
+                nodes=new_index.tree.size_nodes,
+                changed_nodes=new_index.tree.size_nodes,
+                cache_entries_invalidated=dropped,
+                structural_reason=diff.structural_reason,
+            )
+
+    def remove_document(self, name: str) -> DocumentUpdate:
+        """Unregister a document, reporting what was dropped (the lifecycle
+        counterpart of :meth:`update_document`; :meth:`remove` remains as
+        the report-less original)."""
+        with self._update_lock:
+            entry = self.entry(name)
+            dropped = len(entry.system.cache) + len(entry.system.generator.cache)
+            self.remove(name)
+            return DocumentUpdate(
+                document=name,
+                action="removed",
+                incremental=False,
+                nodes=0,
+                cache_entries_invalidated=dropped,
+            )
+
+    def apply_update(self, name: str, tree: XMLTree, dtd=None) -> DocumentUpdate:
+        """Upsert: update ``name`` when registered, register it otherwise.
+
+        The check-then-act pair runs under the update lock, so two
+        concurrent upserts of the same new document cannot race into the
+        "already registered" error.  ``dtd`` only applies to the *add* path
+        (updates keep the document's original DTD context).
+        """
+        from repro.index.builder import IndexBuilder
+
+        with self._update_lock:
+            if name in self:
+                return self.update_document(name, tree)
+            system = ExtractSystem(
+                IndexBuilder(dtd=dtd).build(tree),
+                algorithm=self.algorithm,
+                cache_size=self.cache_size,
+            )
+            self._register(name, system)
+            return DocumentUpdate(
+                document=name,
+                action="added",
+                incremental=False,
+                nodes=tree.size_nodes,
+                changed_nodes=tree.size_nodes,
+            )
+
+    def _swap_entry(self, name: str, old_entry: CorpusEntry, new_entry: CorpusEntry) -> None:
+        """Atomically publish ``new_entry``, verifying the base is current."""
+        with self._serving_lock:
+            if self._entries.get(name) is not old_entry:
+                raise ExtractError(
+                    f"document {name!r} was concurrently replaced or removed "
+                    "while an update was being prepared; re-read and retry"
+                )
+            self._entries[name] = new_entry
 
     # ------------------------------------------------------------------ #
     # access
@@ -469,28 +656,31 @@ class Corpus:
 
         Layout: one subdirectory per document (see
         :mod:`repro.index.storage`) plus a ``corpus.manifest`` recording the
-        algorithm and the subdirectory ↔ document-name mapping.  Returns
-        the subdirectory names written, in document-name order.
+        algorithm and the subdirectory ↔ document-name mapping.  Any update
+        journal left by earlier ``corpus-update`` runs is discarded — the
+        full snapshot supersedes it (replaying it on top would double-apply
+        the edits).  Returns the subdirectory names written, in
+        document-name order.
         """
-        from repro.index.storage import save_index
+        from repro.index.storage import (
+            discard_corpus_journal,
+            save_index,
+            write_corpus_manifest,
+        )
 
         path = os.fspath(directory)
         os.makedirs(path, exist_ok=True)
         subdirs: list[str] = []
-        lines = [_MANIFEST_MAGIC, f"#algorithm {self.algorithm}"]
+        entries: list[tuple[str, str]] = []
         used: set[str] = set()
         for name in self.names():
             subdir = _subdir_for(name, used)
             used.add(subdir.lower())
             save_index(self._entries[name].system.index, os.path.join(path, subdir))
-            lines.append(f"entry {subdir} {name}")
+            entries.append((subdir, name))
             subdirs.append(subdir)
-        manifest_path = os.path.join(path, _MANIFEST_FILE)
-        try:
-            with open(manifest_path, "w", encoding="utf-8") as handle:
-                handle.write("\n".join(lines) + "\n")
-        except OSError as exc:
-            raise StorageError(f"failed to write corpus manifest {manifest_path}: {exc}") from exc
+        write_corpus_manifest(path, self.algorithm, entries)
+        discard_corpus_journal(path)
         return subdirs
 
     @classmethod
@@ -504,50 +694,119 @@ class Corpus:
         source XML; queries over the loaded corpus are byte-identical to
         queries over the corpus that was saved.
 
+        The whole load is **staged**: documents are registered into a fresh
+        corpus, the update journal (if any) is replayed on top of it, and
+        only when everything — base snapshots and every journal record —
+        validated cleanly is the corpus handed to the caller.  A corrupt or
+        truncated snapshot, or a journal referencing a missing document,
+        raises :class:`~repro.errors.StorageError` and leaves no partially-
+        registered corpus behind.
+
         ``algorithm`` overrides the manifest's recorded algorithm.
         """
-        from repro.index.storage import load_index
+        from repro.index.storage import (
+            load_index,
+            read_corpus_journal,
+            read_corpus_manifest,
+        )
 
         path = os.fspath(directory)
-        manifest_path = os.path.join(path, _MANIFEST_FILE)
-        if not os.path.exists(manifest_path):
-            raise StorageError(f"{path} does not contain a saved eXtract corpus")
-        try:
-            with open(manifest_path, "r", encoding="utf-8") as handle:
-                first = handle.readline().rstrip("\n")
-                if first != _MANIFEST_MAGIC:
-                    raise StorageError(f"unrecognised corpus manifest header: {first!r}")
-                manifest_algorithm = "slca"
-                entries: list[tuple[str, str]] = []
-                for line in handle:
-                    line = line.rstrip("\n")
-                    if not line:
-                        continue
-                    if line.startswith("#algorithm "):
-                        manifest_algorithm = line.partition(" ")[2]
-                        continue
-                    if line.startswith("#"):
-                        continue
-                    kind, _, rest = line.partition(" ")
-                    if kind != "entry":
-                        continue
-                    subdir, _, name = rest.partition(" ")
-                    entries.append((subdir, name or subdir))
-        except OSError as exc:
-            raise StorageError(f"failed to read corpus manifest {manifest_path}: {exc}") from exc
+        manifest = read_corpus_manifest(path)
+        journal = read_corpus_journal(path)
 
-        corpus = cls(algorithm=algorithm or manifest_algorithm, cache_size=cache_size)
-        for subdir, name in entries:
+        staged = cls(algorithm=algorithm or manifest.algorithm, cache_size=cache_size)
+        names_by_subdir: dict[str, str] = {}
+        for subdir, name in manifest.entries:
             # The registry name comes from the manifest; the tree keeps the
             # document name restored by load_index, so ResultSet.document_name
             # (and cache keys) are identical before and after the round trip
             # even when a document was registered under a different name.
             index = load_index(os.path.join(path, subdir))
-            corpus._register(
+            staged._register(
                 name,
-                ExtractSystem(index, algorithm=corpus.algorithm, cache_size=cache_size),
+                ExtractSystem(index, algorithm=staged.algorithm, cache_size=cache_size),
             )
-        return corpus
+            names_by_subdir[subdir] = name
+        staged._replay_journal(path, journal, names_by_subdir)
+        return staged
+
+    def _replay_journal(
+        self,
+        path: str,
+        records: list,
+        names_by_subdir: dict[str, str],
+    ) -> None:
+        """Apply journal records to a freshly staged corpus, in order.
+
+        Text-only updates flow through :meth:`update_document`, so a
+        replayed corpus is byte-identical to the corpus the updates were
+        originally applied to.  Any inconsistency (unknown document
+        directory, missing node, duplicate add) is a :class:`StorageError`.
+        """
+        from repro.index.storage import load_index
+
+        def resolve(subdir: str) -> str:
+            name = names_by_subdir.get(subdir)
+            if name is None:
+                raise StorageError(
+                    f"update journal references unknown document directory {subdir!r}"
+                )
+            return name
+
+        for record in records:
+            try:
+                if record.kind == "add":
+                    if record.subdir in names_by_subdir:
+                        raise StorageError(
+                            f"update journal adds duplicate document directory {record.subdir!r}"
+                        )
+                    index = load_index(os.path.join(path, record.subdir))
+                    self._register(
+                        record.name,
+                        ExtractSystem(
+                            index, algorithm=self.algorithm, cache_size=self.cache_size
+                        ),
+                    )
+                    names_by_subdir[record.subdir] = record.name
+                elif record.kind == "remove":
+                    name = resolve(record.subdir)
+                    self.remove(name)
+                    del names_by_subdir[record.subdir]
+                elif record.kind == "replace":
+                    name = resolve(record.subdir)
+                    index = load_index(os.path.join(path, record.snapshot))
+                    self._register(
+                        name,
+                        ExtractSystem(
+                            index, algorithm=self.algorithm, cache_size=self.cache_size
+                        ),
+                        replace=True,
+                    )
+                    del names_by_subdir[record.subdir]
+                    names_by_subdir[record.snapshot] = name
+                elif record.kind == "update":
+                    name = resolve(record.subdir)
+                    edited = clone_tree(self.system(name).index.tree)
+                    for label_text, new_text in record.edits:
+                        label = Dewey.parse(label_text)
+                        if not edited.has_node(label):
+                            raise StorageError(
+                                f"update journal references missing node {label_text} "
+                                f"in document {name!r}"
+                            )
+                        edited.node(label).text = new_text if new_text else None
+                    self.update_document(name, edited)
+                else:
+                    raise StorageError(
+                        f"unknown update journal record kind {record.kind!r}"
+                    )
+            except StorageError:
+                raise
+            except ExtractError as exc:
+                raise StorageError(
+                    f"replaying journal record {record.kind!r} for directory "
+                    f"{record.subdir!r} failed: {exc}"
+                ) from exc
 
     def summary(self) -> list[dict[str, object]]:
         """One row per document: name, nodes, entity tags (for listings)."""
@@ -616,11 +875,84 @@ class _SharedPostings:
                 self._cache.put(keyword, postings)
             return postings
 
+    def adopt(self, source: "_SharedPostings", keep) -> tuple[int, int]:
+        """Carry over the memoised lookups of a replaced entry's memo.
+
+        ``keep(keyword)`` decides survival; for keywords an incremental
+        update did not touch, the memoised :class:`PostingList` is the very
+        object the new index shares with the old one, so re-looking it up
+        would be pure waste.  Returns ``(kept, dropped)``.
+        """
+        with self._lock:
+            return self._cache.adopt(source._cache, lambda keyword, _postings: keep(keyword))
+
     def __len__(self) -> int:
         return len(self._cache)
 
     def __contains__(self, keyword: str) -> bool:
         return keyword in self._cache
+
+
+def _carry_serving_state(
+    old_entry: CorpusEntry, new_entry: CorpusEntry, update
+) -> tuple[int, int]:
+    """Adopt every cache entry an incremental update cannot have affected.
+
+    The precision contract (property-tested against from-scratch
+    rebuilds):
+
+    * a cached query outcome is stale iff one of its keywords (or its
+      singular form) has a changed posting list, or an edited node lies
+      inside one of its result subtrees — every piece of snippet content
+      (keyword matches, entity names, key values, dominant features) comes
+      from inside the result subtree, so an untouched subtree renders
+      byte-identically;
+    * a cached snippet is stale iff an edited node lies under its result
+      root;
+    * a memoised posting lookup is stale iff its keyword has a changed
+      posting list;
+    * when a re-mined entity *key attribute* moved, snippets anywhere in
+      the document may name a different key — everything is dropped.
+
+    Returns combined (kept, dropped) counts over the two result caches.
+    """
+    old_system = old_entry.system
+    new_system = new_entry.system
+    if update.key_attributes_changed:
+        def keep_query(key, value):
+            return False
+
+        keep_snippet = keep_query
+
+        def keep_keyword(keyword):
+            return False
+    else:
+        changed = PostingList(update.changed_labels)
+
+        def untouched_results(value):
+            results = value.results if isinstance(value, SearchOutcome) else value
+            return not any(changed.has_descendant_of(result.root) for result in results)
+
+        def keep_query(key, value):
+            # key = (tree name, kind, keywords, algorithm, bound, limit, construction)
+            keywords = key[2]
+            if any(update.touches_keyword(keyword) for keyword in keywords):
+                return False
+            return untouched_results(value)
+
+        def keep_snippet(key, value):
+            # key = (tree name, result root, keywords, bound)
+            return not changed.has_descendant_of(key[1])
+
+        def keep_keyword(keyword):
+            return not update.touches_keyword(keyword)
+
+    kept_q, dropped_q = new_system.cache.adopt(old_system.cache, keep_query)
+    kept_s, dropped_s = new_system.generator.cache.adopt(
+        old_system.generator.cache, keep_snippet
+    )
+    new_entry.postings.adopt(old_entry.postings, keep_keyword)
+    return kept_q + kept_s, dropped_q + dropped_s
 
 
 def _subdir_for(name: str, used: set[str]) -> str:

@@ -75,6 +75,13 @@ class InvalidSizeBoundError(SnippetError):
         self.bound = bound
 
 
+class PagingError(ExtractError):
+    """Raised for invalid pagination arithmetic (non-positive page numbers
+    or page sizes).  Before this guard existed, ``page <= 0`` silently
+    produced a negative slice start and returned items from the *end* of
+    the sequence."""
+
+
 class ProtocolError(ExtractError):
     """Raised when a service request/response payload violates the typed
     protocol of :mod:`repro.api` (unknown kind, wrong schema version,

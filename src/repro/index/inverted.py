@@ -62,6 +62,45 @@ class InvertedIndex:
         index.indexed_nodes = sum(len(plist) for plist in postings.values())
         return index
 
+    def apply_delta(
+        self,
+        added: dict[str, set[Dewey]],
+        removed: dict[str, set[Dewey]],
+    ) -> "InvertedIndex":
+        """A new index with posting-level deltas applied (``self`` untouched).
+
+        ``added``/``removed`` map index terms to the labels gaining/losing
+        that term.  Only the touched terms get new :class:`PostingList`
+        objects; every other term shares its list with this index, so the
+        cost of an update scales with the *edit*, not with the vocabulary.
+        Terms whose last label is removed drop out of the vocabulary —
+        exactly what a from-scratch :meth:`build` of the edited document
+        would produce.
+
+        The original index keeps serving unchanged (copy-on-write): in-
+        flight readers hold either the old or the new object, never a
+        half-updated one.
+        """
+        self._ensure_built()
+        postings = dict(self._postings)
+        for term in set(added) | set(removed):
+            base = postings.get(term, PostingList())
+            updated = base.with_changes(
+                added=added.get(term, ()), removed=removed.get(term, ())
+            )
+            if updated.is_empty:
+                postings.pop(term, None)
+            else:
+                postings[term] = updated
+        index = InvertedIndex()
+        index._postings = postings
+        index._built = True
+        # Text edits touch values, not the node set: the node count of the
+        # edited document is unchanged by construction (structural edits
+        # take the full-rebuild path instead).
+        index.indexed_nodes = self.indexed_nodes
+        return index
+
     # ------------------------------------------------------------------ #
     # lookup
     # ------------------------------------------------------------------ #

@@ -143,6 +143,44 @@ class PostingList:
         return PostingList(labels)
 
     # ------------------------------------------------------------------ #
+    # delta application (incremental index maintenance)
+    # ------------------------------------------------------------------ #
+    def with_changes(
+        self, added: Iterable[Dewey] = (), removed: Iterable[Dewey] = ()
+    ) -> "PostingList":
+        """A new list equal to ``(self - removed) | added``.
+
+        This is the posting-level primitive of incremental index updates
+        (:meth:`repro.index.inverted.InvertedIndex.apply_delta`): instead of
+        re-sorting the whole list, surviving labels are walked once and the
+        (typically tiny, already-sorted) additions are merged in — O(n + a
+        log a) rather than the O(n log n) of rebuilding via the constructor.
+        A label present in both ``removed`` and ``added`` ends up present.
+
+        >>> plist = PostingList([Dewey((0,)), Dewey((1,))])
+        >>> changed = plist.with_changes(added=[Dewey((2,))], removed=[Dewey((0,))])
+        >>> changed.to_strings()
+        ['1', '2']
+        """
+        removed_set = set(removed)
+        additions = sorted(set(added))
+        merged: list[Dewey] = []
+        position = 0
+        for label in self._labels:
+            if label in removed_set:
+                continue
+            while position < len(additions) and additions[position] < label:
+                merged.append(additions[position])
+                position += 1
+            if position < len(additions) and additions[position] == label:
+                position += 1  # already present; keep the single copy below
+            merged.append(label)
+        merged.extend(additions[position:])
+        result = PostingList.__new__(PostingList)
+        result._labels = merged
+        return result
+
+    # ------------------------------------------------------------------ #
     # serialisation helpers (used by repro.index.storage)
     # ------------------------------------------------------------------ #
     def to_strings(self) -> list[str]:

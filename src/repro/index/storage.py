@@ -1,4 +1,4 @@
-"""On-disk persistence for document indexes.
+"""On-disk persistence for document indexes and corpus update journals.
 
 The original eXtract demo precomputed its indexes on the server so queries
 over the web UI were fast.  This module provides the equivalent: a
@@ -9,14 +9,22 @@ of pickle.  :class:`repro.corpus.Corpus` builds on it to round-trip whole
 multi-document corpora (``save_dir``/``load_dir``) so re-indexing is
 skipped on reload.
 
-Format (UTF-8 text), version 2::
+Format (UTF-8 text), version 3::
 
-    #extract-index v2
+    #extract-index v3
     #document <name>
     #nodes <count>
     #summary entity=<n> attribute=<n> connection=<n>
+    #counts terms=<n> paths=<n>
     T <term> <label> <label> ...
     P <tag-path joined by '/'> <label> <label> ...
+    #end
+
+Version 3 adds the ``#counts`` section header and the ``#end`` sentinel so
+a truncated file (a killed writer, a partial copy) is detected *before*
+any posting list is trusted — a v2 file cut mid-section could previously
+only be caught by the slower cross-validation, and a cut that removed
+label text from the tail of a line not at all.
 
 The tree itself is stored alongside as regular XML (via
 :mod:`repro.xmltree.serialize`).  On load the document is re-parsed and
@@ -25,7 +33,19 @@ artefact: node count, analyzer summary, structure paths and vocabulary
 must all agree, guarding against a document/index mismatch on disk.  The
 stored posting lists are authoritative for the loaded index.
 
-Version 1 snapshots (no ``#summary``/``P`` sections) are still readable.
+Version 1 (no ``#summary``/``P`` sections) and version 2 snapshots are
+still readable.
+
+This module also owns the **corpus-level persistence**: the
+``corpus.manifest`` written by :meth:`Corpus.save_dir` and the
+**append-only update journal** (``corpus.journal``) the ``corpus-update``
+CLI appends to.  Journal records describe document-lifecycle operations —
+inline text deltas for incremental updates, references to freshly written
+snapshot subdirectories for structural replacements and additions, and
+removals — and :meth:`Corpus.load_dir` replays them over the base
+snapshots through the same incremental machinery the live corpus uses, so
+a reloaded corpus is byte-identical to the corpus the updates were
+originally applied to.
 
 Limitation: a DTD supplied at build time is not part of the snapshot; if
 the DTD changed the analyzer's classification, the stored summary will
@@ -35,7 +55,9 @@ than silently restoring different semantics.
 
 from __future__ import annotations
 
+import json
 import os
+from dataclasses import dataclass
 
 from repro.errors import StorageError
 from repro.index.builder import DocumentIndex, IndexBuilder
@@ -44,20 +66,28 @@ from repro.index.postings import PostingList
 from repro.xmltree.parser import parse_xml_file
 from repro.xmltree.serialize import to_xml_string
 
+_MAGIC_V3 = "#extract-index v3"
 _MAGIC_V2 = "#extract-index v2"
 _MAGIC_V1 = "#extract-index v1"
-_KNOWN_MAGICS = (_MAGIC_V2, _MAGIC_V1)
+_KNOWN_MAGICS = (_MAGIC_V3, _MAGIC_V2, _MAGIC_V1)
 
 #: file names inside a snapshot directory
 DOCUMENT_FILE = "document.xml"
 INDEX_FILE = "inverted.idx"
 
+#: corpus-level files (written next to the per-document subdirectories)
+MANIFEST_FILE = "corpus.manifest"
+JOURNAL_FILE = "corpus.journal"
+_MANIFEST_MAGIC = "#extract-corpus v1"
+_JOURNAL_MAGIC = "#extract-corpus-journal v1"
+
 _PATH_SEPARATOR = "/"
+_END_SENTINEL = "#end"
 
 
 def save_index(index: DocumentIndex, directory: str | os.PathLike[str]) -> None:
     """Persist ``index`` (document + inverted + structure + summary) into
-    ``directory`` as a version-2 snapshot."""
+    ``directory`` as a version-3 snapshot."""
     path = os.fspath(directory)
     os.makedirs(path, exist_ok=True)
     document_path = os.path.join(path, DOCUMENT_FILE)
@@ -67,7 +97,7 @@ def save_index(index: DocumentIndex, directory: str | os.PathLike[str]) -> None:
         with open(document_path, "w", encoding="utf-8") as handle:
             handle.write(to_xml_string(index.tree))
         with open(index_path, "w", encoding="utf-8") as handle:
-            handle.write(f"{_MAGIC_V2}\n")
+            handle.write(f"{_MAGIC_V3}\n")
             handle.write(f"#document {index.tree.name}\n")
             handle.write(f"#nodes {index.tree.size_nodes}\n")
             handle.write(
@@ -77,16 +107,19 @@ def save_index(index: DocumentIndex, directory: str | os.PathLike[str]) -> None:
                 f"connection={summary['connection']}\n"
             )
             postings_map = index.inverted.postings_dict()
+            known_paths = index.structure.known_paths
+            handle.write(f"#counts terms={len(postings_map)} paths={len(known_paths)}\n")
             for term in sorted(postings_map):
                 # The raw per-term lists, not lookup() results: lookup folds
                 # plural forms together, which would inflate the snapshot
                 # and drift on repeated save/load cycles.
                 labels = " ".join(postings_map[term].to_strings())
                 handle.write(f"T {term} {labels}\n")
-            for tag_path in sorted(index.structure.known_paths):
+            for tag_path in sorted(known_paths):
                 postings = index.structure.instances_of_path(tag_path)
                 labels = " ".join(postings.to_strings())
                 handle.write(f"P {_PATH_SEPARATOR.join(tag_path)} {labels}\n")
+            handle.write(f"{_END_SENTINEL}\n")
     except OSError as exc:
         raise StorageError(f"failed to save index to {path}: {exc}") from exc
 
@@ -174,6 +207,8 @@ class _Snapshot:
         self.summary: dict[str, int] | None = None
         self.postings: dict[str, PostingList] = {}
         self.structure_paths: dict[str, PostingList] | None = None
+        self.counts: dict[str, int] | None = None
+        self.end_seen = False
 
 
 def _read_snapshot(index_path: str) -> _Snapshot:
@@ -183,11 +218,17 @@ def _read_snapshot(index_path: str) -> _Snapshot:
             first = handle.readline().rstrip("\n")
             if first not in _KNOWN_MAGICS:
                 raise StorageError(f"unrecognised index file header: {first!r}")
-            snapshot.version = 2 if first == _MAGIC_V2 else 1
+            snapshot.version = {_MAGIC_V3: 3, _MAGIC_V2: 2, _MAGIC_V1: 1}[first]
             for line in handle:
                 line = line.rstrip("\n")
                 if not line:
                     continue
+                if line == _END_SENTINEL:
+                    # The sentinel *terminates* the snapshot: anything after
+                    # it (a concatenated fragment, stray bytes) must not be
+                    # able to override the already-read header sections.
+                    snapshot.end_seen = True
+                    break
                 if line.startswith("#document "):
                     snapshot.document_name = line.partition(" ")[2]
                     continue
@@ -199,6 +240,9 @@ def _read_snapshot(index_path: str) -> _Snapshot:
                     continue
                 if line.startswith("#summary "):
                     snapshot.summary = _parse_summary(line)
+                    continue
+                if line.startswith("#counts "):
+                    snapshot.counts = _parse_counts(line)
                     continue
                 if line.startswith("#"):
                     continue
@@ -213,7 +257,39 @@ def _read_snapshot(index_path: str) -> _Snapshot:
                     snapshot.structure_paths[name] = PostingList.from_strings(labels)
     except OSError as exc:
         raise StorageError(f"failed to read stored index: {exc}") from exc
+    if snapshot.version >= 3:
+        _check_snapshot_complete(snapshot, index_path)
     return snapshot
+
+
+def _check_snapshot_complete(snapshot: _Snapshot, index_path: str) -> None:
+    """Reject truncated v3 snapshots before any section is trusted."""
+    if not snapshot.end_seen:
+        raise StorageError(
+            f"stored index {index_path} is truncated: missing the {_END_SENTINEL!r} sentinel"
+        )
+    if snapshot.counts is None:
+        raise StorageError(f"stored index {index_path} is missing its #counts section")
+    stored_paths = len(snapshot.structure_paths or {})
+    if snapshot.counts.get("terms") != len(snapshot.postings) or snapshot.counts.get(
+        "paths"
+    ) != stored_paths:
+        raise StorageError(
+            f"stored index {index_path} is truncated: #counts declares "
+            f"{snapshot.counts.get('terms')} terms / {snapshot.counts.get('paths')} paths "
+            f"but {len(snapshot.postings)} / {stored_paths} were read"
+        )
+
+
+def _parse_counts(line: str) -> dict[str, int]:
+    counts: dict[str, int] = {}
+    for piece in line.split(" ")[1:]:
+        key, _, value = piece.partition("=")
+        try:
+            counts[key] = int(value)
+        except ValueError as exc:
+            raise StorageError(f"malformed #counts line: {line!r}") from exc
+    return counts
 
 
 def _parse_summary(line: str) -> dict[str, int]:
@@ -225,3 +301,252 @@ def _parse_summary(line: str) -> dict[str, int]:
         except ValueError as exc:
             raise StorageError(f"malformed #summary line: {line!r}") from exc
     return summary
+
+
+# ---------------------------------------------------------------------- #
+# corpus manifest
+# ---------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class CorpusManifest:
+    """The parsed ``corpus.manifest``: algorithm plus (subdir, name) pairs."""
+
+    algorithm: str
+    entries: tuple[tuple[str, str], ...]
+
+
+def write_corpus_manifest(
+    directory: str | os.PathLike[str],
+    algorithm: str,
+    entries: list[tuple[str, str]],
+) -> None:
+    """Write the corpus manifest mapping snapshot subdirectories to names."""
+    path = os.fspath(directory)
+    manifest_path = os.path.join(path, MANIFEST_FILE)
+    lines = [_MANIFEST_MAGIC, f"#algorithm {algorithm}"]
+    lines.extend(f"entry {subdir} {name}" for subdir, name in entries)
+    try:
+        with open(manifest_path, "w", encoding="utf-8") as handle:
+            handle.write("\n".join(lines) + "\n")
+    except OSError as exc:
+        raise StorageError(f"failed to write corpus manifest {manifest_path}: {exc}") from exc
+
+
+def read_corpus_manifest(directory: str | os.PathLike[str]) -> CorpusManifest:
+    """Parse the corpus manifest written by :func:`write_corpus_manifest`."""
+    path = os.fspath(directory)
+    manifest_path = os.path.join(path, MANIFEST_FILE)
+    if not os.path.exists(manifest_path):
+        raise StorageError(f"{path} does not contain a saved eXtract corpus")
+    algorithm = "slca"
+    entries: list[tuple[str, str]] = []
+    try:
+        with open(manifest_path, "r", encoding="utf-8") as handle:
+            first = handle.readline().rstrip("\n")
+            if first != _MANIFEST_MAGIC:
+                raise StorageError(f"unrecognised corpus manifest header: {first!r}")
+            for line in handle:
+                line = line.rstrip("\n")
+                if not line:
+                    continue
+                if line.startswith("#algorithm "):
+                    algorithm = line.partition(" ")[2]
+                    continue
+                if line.startswith("#"):
+                    continue
+                kind, _, rest = line.partition(" ")
+                if kind != "entry":
+                    continue
+                subdir, _, name = rest.partition(" ")
+                entries.append((subdir, name or subdir))
+    except OSError as exc:
+        raise StorageError(f"failed to read corpus manifest {manifest_path}: {exc}") from exc
+    return CorpusManifest(algorithm=algorithm, entries=tuple(entries))
+
+
+# ---------------------------------------------------------------------- #
+# the append-only update journal
+# ---------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class JournalRecord:
+    """One document-lifecycle operation in the corpus update journal.
+
+    ``kind`` is one of:
+
+    * ``update`` — text-only edit of the document in ``subdir``; ``edits``
+      holds ``(dewey label text, new text)`` pairs applied through the
+      incremental-update path on replay;
+    * ``replace`` — structural edit: the document in ``subdir`` is now the
+      full snapshot stored in the ``snapshot`` subdirectory;
+    * ``add`` — a new document, stored as a full snapshot in ``subdir``
+      and registered under ``name``;
+    * ``remove`` — the document in ``subdir`` was unregistered.
+    """
+
+    kind: str
+    subdir: str
+    name: str | None = None
+    snapshot: str | None = None
+    edits: tuple[tuple[str, str], ...] = ()
+
+
+def append_journal_record(
+    directory: str | os.PathLike[str], record: JournalRecord
+) -> None:
+    """Append one record to the corpus update journal (created on first use).
+
+    The journal is strictly append-only: full snapshots stay immutable
+    between ``corpus-save`` runs, and every mutation since the last full
+    snapshot is replayable in order.
+    """
+    path = os.fspath(directory)
+    journal_path = os.path.join(path, JOURNAL_FILE)
+    lines: list[str] = []
+    if not os.path.exists(journal_path):
+        lines.append(_JOURNAL_MAGIC)
+    if record.kind == "update":
+        lines.append(f"update {record.subdir} {len(record.edits)}")
+        for label_text, new_text in record.edits:
+            # JSON string encoding keeps arbitrary text (spaces, newlines,
+            # unicode) on one parseable line.
+            lines.append(f"t {label_text} {json.dumps(new_text)}")
+    elif record.kind == "replace":
+        if not record.snapshot:
+            raise StorageError("a 'replace' journal record needs a snapshot subdirectory")
+        lines.append(f"replace {record.subdir} {record.snapshot}")
+    elif record.kind == "add":
+        if not record.name:
+            raise StorageError("an 'add' journal record needs a document name")
+        lines.append(f"add {record.subdir} {record.name}")
+    elif record.kind == "remove":
+        lines.append(f"remove {record.subdir}")
+    else:
+        raise StorageError(f"unknown journal record kind {record.kind!r}")
+    try:
+        with open(journal_path, "a", encoding="utf-8") as handle:
+            handle.write("\n".join(lines) + "\n")
+    except OSError as exc:
+        raise StorageError(f"failed to append to update journal {journal_path}: {exc}") from exc
+
+
+def read_corpus_journal(directory: str | os.PathLike[str]) -> list[JournalRecord]:
+    """Parse the update journal; an absent journal is an empty history.
+
+    Truncated or malformed journals raise :class:`StorageError` — replaying
+    half an update would silently desynchronise the corpus from the one the
+    journal was recorded against.
+    """
+    path = os.fspath(directory)
+    journal_path = os.path.join(path, JOURNAL_FILE)
+    if not os.path.exists(journal_path):
+        return []
+    try:
+        with open(journal_path, "r", encoding="utf-8") as handle:
+            lines = [line.rstrip("\n") for line in handle]
+    except OSError as exc:
+        raise StorageError(f"failed to read update journal {journal_path}: {exc}") from exc
+    if not lines or lines[0] != _JOURNAL_MAGIC:
+        raise StorageError(
+            f"unrecognised update journal header in {journal_path}: "
+            f"{lines[0]!r}" if lines else f"empty update journal {journal_path}"
+        )
+    records: list[JournalRecord] = []
+    position = 1
+    while position < len(lines):
+        line = lines[position]
+        position += 1
+        if not line or line.startswith("#"):
+            continue
+        kind, _, rest = line.partition(" ")
+        if kind == "update":
+            subdir, _, count_text = rest.partition(" ")
+            try:
+                count = int(count_text)
+            except ValueError as exc:
+                raise StorageError(f"malformed journal update header: {line!r}") from exc
+            edits: list[tuple[str, str]] = []
+            for _ in range(count):
+                if position >= len(lines):
+                    raise StorageError(
+                        f"truncated update journal {journal_path}: update record for "
+                        f"{subdir!r} declares {count} edits but the file ends after "
+                        f"{len(edits)}"
+                    )
+                edit_line = lines[position]
+                position += 1
+                marker, _, payload = edit_line.partition(" ")
+                label_text, _, encoded = payload.partition(" ")
+                if marker != "t" or not encoded:
+                    raise StorageError(f"malformed journal edit line: {edit_line!r}")
+                try:
+                    new_text = json.loads(encoded)
+                except ValueError as exc:
+                    raise StorageError(f"malformed journal edit line: {edit_line!r}") from exc
+                if not isinstance(new_text, str):
+                    raise StorageError(f"malformed journal edit line: {edit_line!r}")
+                edits.append((label_text, new_text))
+            records.append(JournalRecord(kind="update", subdir=subdir, edits=tuple(edits)))
+        elif kind == "replace":
+            subdir, _, snapshot = rest.partition(" ")
+            if not subdir or not snapshot:
+                raise StorageError(f"malformed journal replace record: {line!r}")
+            records.append(JournalRecord(kind="replace", subdir=subdir, snapshot=snapshot))
+        elif kind == "add":
+            subdir, _, name = rest.partition(" ")
+            if not subdir or not name:
+                raise StorageError(f"malformed journal add record: {line!r}")
+            records.append(JournalRecord(kind="add", subdir=subdir, name=name))
+        elif kind == "remove":
+            if not rest:
+                raise StorageError(f"malformed journal remove record: {line!r}")
+            records.append(JournalRecord(kind="remove", subdir=rest))
+        else:
+            raise StorageError(f"unknown journal record kind in line: {line!r}")
+    return records
+
+
+def discard_corpus_journal(directory: str | os.PathLike[str]) -> bool:
+    """Delete the update journal (after a full snapshot superseded it)."""
+    journal_path = os.path.join(os.fspath(directory), JOURNAL_FILE)
+    if not os.path.exists(journal_path):
+        return False
+    try:
+        os.remove(journal_path)
+    except OSError as exc:
+        raise StorageError(f"failed to discard update journal {journal_path}: {exc}") from exc
+    return True
+
+
+def directory_documents(directory: str | os.PathLike[str]) -> dict[str, str]:
+    """The subdir → document-name mapping after journal bookkeeping.
+
+    Pure bookkeeping (no index is loaded): the manifest entries with every
+    journal record's add/remove/replace applied.  The ``corpus-update`` CLI
+    uses it to resolve which snapshot subdirectory currently backs a name.
+    """
+    manifest = read_corpus_manifest(directory)
+    mapping: dict[str, str] = dict(manifest.entries)
+    for record in read_corpus_journal(directory):
+        if record.kind == "add":
+            if record.subdir in mapping:
+                raise StorageError(
+                    f"update journal adds duplicate document directory {record.subdir!r}"
+                )
+            mapping[record.subdir] = record.name or record.subdir
+        elif record.kind == "remove":
+            if record.subdir not in mapping:
+                raise StorageError(
+                    f"update journal references unknown document directory {record.subdir!r}"
+                )
+            del mapping[record.subdir]
+        elif record.kind == "replace":
+            if record.subdir not in mapping:
+                raise StorageError(
+                    f"update journal references unknown document directory {record.subdir!r}"
+                )
+            mapping[record.snapshot or record.subdir] = mapping.pop(record.subdir)
+        elif record.kind == "update":
+            if record.subdir not in mapping:
+                raise StorageError(
+                    f"update journal references unknown document directory {record.subdir!r}"
+                )
+    return mapping

@@ -162,6 +162,38 @@ class LRUCache:
             self.stats.invalidations += len(doomed)
             return len(doomed)
 
+    def adopt(
+        self, source: "LRUCache", keep: Callable[[Hashable, Any], bool]
+    ) -> tuple[int, int]:
+        """Carry the entries of ``source`` that satisfy ``keep`` into this cache.
+
+        The selective-invalidation primitive of incremental document
+        updates: the *new* (empty) cache adopts every entry of the replaced
+        document's cache that the edit provably cannot affect, preserving
+        recency order, and inherits the source's statistics so monitoring
+        counters stay continuous across the swap — with every dropped entry
+        recorded as an invalidation.  ``source`` is only read (it may still
+        be serving in-flight requests) and never mutated.
+
+        Returns ``(kept, dropped)``.  Entries are snapshotted from
+        ``source`` first and inserted under this cache's lock second, so
+        the two locks are never held together.
+        """
+        with source._lock:
+            entries = list(source._entries.items())
+            stats = source.stats_snapshot()
+        kept = dropped = 0
+        with self._lock:
+            self.stats = stats
+            for key, value in entries:
+                if keep(key, value):
+                    self.put(key, value)
+                    kept += 1
+                else:
+                    dropped += 1
+            self.stats.invalidations += dropped
+        return kept, dropped
+
     def clear(self) -> int:
         """Drop everything; returns the number of entries removed."""
         with self._lock:

@@ -1,0 +1,149 @@
+"""Diffing two versions of a document tree (incremental-update support).
+
+:func:`diff_trees` compares an indexed document against an edited version
+of it and classifies the difference:
+
+* **empty** — the trees are identical; an update is a no-op,
+* **text-only** — the same nodes in the same shape, with the same tags and
+  attributes, but some nodes carry different (non-empty) text values.
+  These edits can be applied to an existing :class:`~repro.index.builder.
+  DocumentIndex` as posting-level deltas (see
+  :mod:`repro.index.incremental`),
+* **structural** — anything else: nodes added or removed, tags renamed,
+  attributes changed, or text appearing/disappearing entirely.  Structural
+  changes can move schema classification (entity / attribute / connection)
+  and therefore force a full re-index.
+
+Text *presence* flips (``None`` ↔ a value) are deliberately classified as
+structural: the attribute rule of §2.1 keys on whether instances carry
+text, so such an edit can reclassify a schema node.
+
+The walk compares the two pre-order node sequences positionally.  Because
+Dewey labels are assigned purely by position, two trees of equal size with
+the same shape visit the same labels in the same order; any divergence in
+label, tag or attributes is reported as the structural reason and the walk
+stops early.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+from dataclasses import dataclass
+
+from repro.xmltree.dewey import Dewey
+from repro.xmltree.tree import XMLTree
+
+
+@dataclass(frozen=True)
+class TextEdit:
+    """One node whose text value changed between two document versions."""
+
+    label: Dewey
+    tag: str
+    tag_path: tuple[str, ...]
+    old_text: str
+    new_text: str
+
+    def __repr__(self) -> str:
+        return f"<TextEdit {self.label} {self.old_text!r} -> {self.new_text!r}>"
+
+
+@dataclass(frozen=True)
+class TreeDiff:
+    """The difference between an old and a new version of one document."""
+
+    text_edits: tuple[TextEdit, ...] = ()
+    #: human-readable reason when the change is structural, else ``None``
+    structural_reason: str | None = None
+
+    @property
+    def is_empty(self) -> bool:
+        return not self.text_edits and self.structural_reason is None
+
+    @property
+    def is_text_only(self) -> bool:
+        """True when the change can be applied as posting-level deltas."""
+        return self.structural_reason is None and bool(self.text_edits)
+
+    @property
+    def is_structural(self) -> bool:
+        return self.structural_reason is not None
+
+    def changed_labels(self) -> Iterator[Dewey]:
+        return (edit.label for edit in self.text_edits)
+
+    def __repr__(self) -> str:
+        if self.is_structural:
+            return f"<TreeDiff structural: {self.structural_reason}>"
+        return f"<TreeDiff text_edits={len(self.text_edits)}>"
+
+
+def _structural(reason: str) -> TreeDiff:
+    return TreeDiff(text_edits=(), structural_reason=reason)
+
+
+def diff_trees(old: XMLTree, new: XMLTree) -> TreeDiff:
+    """Classify the difference between two versions of one document.
+
+    >>> from repro.xmltree.builder import tree_from_dict
+    >>> old = tree_from_dict("shop", {"name": "Levis", "city": "Austin"})
+    >>> new = tree_from_dict("shop", {"name": "Levis", "city": "Houston"})
+    >>> diff = diff_trees(old, new)
+    >>> diff.is_text_only, len(diff.text_edits)
+    (True, 1)
+    >>> diff.text_edits[0].new_text
+    'Houston'
+    """
+    if old.size_nodes != new.size_nodes:
+        return _structural(
+            f"node count changed from {old.size_nodes} to {new.size_nodes}"
+        )
+    edits: list[TextEdit] = []
+    for old_node, new_node in zip(old.iter_nodes(), new.iter_nodes()):
+        if old_node.dewey != new_node.dewey:
+            return _structural(
+                f"tree shape changed near {old_node.dewey} / {new_node.dewey}"
+            )
+        if old_node.tag != new_node.tag:
+            return _structural(
+                f"tag at {old_node.dewey} changed from "
+                f"{old_node.tag!r} to {new_node.tag!r}"
+            )
+        if old_node.raw_attributes != new_node.raw_attributes:
+            return _structural(f"attributes at {old_node.dewey} changed")
+        if old_node.text != new_node.text:
+            # Presence follows has_text_value (truthiness): the parser
+            # normalises empty text to None, but nodes built or edited
+            # directly may carry "" — which the whole pipeline (schema
+            # with_text, indexing, feature extraction) treats as absent.
+            if bool(old_node.text) != bool(new_node.text):
+                # A value appearing or disappearing can flip the §2.1
+                # attribute classification of the whole schema node.
+                return _structural(
+                    f"text presence at {old_node.dewey} (<{old_node.tag}>) changed"
+                )
+            if not new_node.text:
+                continue  # "" vs None: indistinguishable to the pipeline
+            edits.append(
+                TextEdit(
+                    label=old_node.dewey,
+                    tag=old_node.tag,
+                    tag_path=old_node.tag_path,
+                    old_text=old_node.text or "",
+                    new_text=new_node.text or "",
+                )
+            )
+    return TreeDiff(text_edits=tuple(edits))
+
+
+def clone_tree(tree: XMLTree, name: str | None = None) -> XMLTree:
+    """A deep copy of ``tree`` keeping (or overriding) its logical name.
+
+    :meth:`XMLTree.copy` tags copies as projections; update flows (journal
+    replay, tests building edited variants) need a faithful clone that
+    still carries the original document identity, because cache keys and
+    registry names derive from it.
+    """
+    copy = tree.copy()
+    copy.name = name if name is not None else tree.name
+    return copy

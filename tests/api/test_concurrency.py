@@ -189,6 +189,113 @@ class TestRegistrationUnderServing:
         assert errors == []
 
 
+class TestIncrementalUpdateUnderServing:
+    def make_tree(self, city: str):
+        from repro.xmltree.builder import tree_from_dict
+
+        return tree_from_dict(
+            "shop",
+            {
+                "store": [
+                    {"name": "Galleria", "state": "Texas", "city": city},
+                    {"name": "Downtown", "state": "Oregon", "city": "Portland"},
+                ]
+            },
+            name="doc",
+        )
+
+    def test_readers_see_old_or_new_state_never_a_mix(self):
+        """8 reader threads racing incremental updates must only ever see a
+        response byte-identical to one of the versioned reference
+        responses — the swap is atomic and copy-on-write."""
+        corpus = Corpus()
+        corpus.add_tree("doc", self.make_tree("Houston"))
+        service = SnippetService(corpus)
+        request = SearchRequest(query="store texas", document="doc", size_bound=6)
+
+        cities = [f"City{round_number}" for round_number in range(20)]
+        references = set()
+        reference_corpus = Corpus()
+        reference_corpus.add_tree("doc", self.make_tree("Houston"))
+        references.add(wire_bytes(SnippetService(reference_corpus).run(request)))
+        for city in cities:
+            versioned = Corpus()
+            versioned.add_tree("doc", self.make_tree(city))
+            references.add(wire_bytes(SnippetService(versioned).run(request)))
+
+        seen: list[str] = []
+        errors: list[BaseException] = []
+        stop = threading.Event()
+
+        def reader() -> None:
+            try:
+                while not stop.is_set():
+                    seen.append(wire_bytes(service.run(request)))
+            except BaseException as exc:  # noqa: BLE001 - surfaced in the assert
+                errors.append(exc)
+
+        def updater() -> None:
+            try:
+                for city in cities:
+                    report = corpus.update_document("doc", self.make_tree(city))
+                    assert report.incremental, report
+            except BaseException as exc:  # noqa: BLE001
+                errors.append(exc)
+            finally:
+                stop.set()
+
+        threads = [threading.Thread(target=reader) for _ in range(THREADS - 1)]
+        threads.append(threading.Thread(target=updater))
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+
+        assert errors == []
+        assert seen, "readers never completed a request"
+        stray = [response for response in seen if response not in references]
+        assert stray == [], f"{len(stray)} responses matched no document version"
+
+    def test_concurrent_cache_precision_after_update(self):
+        """Under 8-thread serving, an update must invalidate exactly the
+        affected document's affected entries: the untouched document keeps
+        hitting, the unaffected query on the updated document keeps
+        hitting, and the affected query misses (ISSUE 3 satellite)."""
+        corpus = Corpus()
+        corpus.add_tree("doc", self.make_tree("Houston"))
+        corpus.add_tree("other", self.make_tree("Houston"))
+        affected = SearchRequest(query="city houston", document="doc", size_bound=6)
+        unaffected = SearchRequest(query="store oregon", document="doc", size_bound=6)
+        untouched = SearchRequest(query="city houston", document="other", size_bound=6)
+        requests = [affected, unaffected, untouched] * 4
+
+        with SnippetService(
+            corpus, executor=ConcurrentExecutor(max_workers=THREADS)
+        ) as service:
+            service.run_many(requests)  # warm every cache under contention
+            report = corpus.update_document("doc", self.make_tree("Dallas"))
+            assert report.incremental
+            assert report.cache_entries_kept >= 1
+
+            doc_before = corpus.system("doc").cache.stats_snapshot()
+            other_before = corpus.system("other").cache.stats_snapshot()
+            responses = service.run_many(requests)
+            doc_after = corpus.system("doc").cache.stats_snapshot()
+            other_after = corpus.system("other").cache.stats_snapshot()
+
+        assert all(response.kind == "search_response" for response in responses)
+        # the untouched document served every repeat from cache
+        assert other_after.hits - other_before.hits == requests.count(untouched)
+        assert other_after.misses == other_before.misses
+        # only the affected query's re-evaluations may miss (identical
+        # requests racing before the first one repopulates the entry); the
+        # unaffected query keeps hitting from the adopted cache
+        doc_lookups = len(requests) - requests.count(untouched)
+        miss_delta = doc_after.misses - doc_before.misses
+        assert 1 <= miss_delta <= requests.count(affected)
+        assert doc_after.hits - doc_before.hits == doc_lookups - miss_delta
+
+
 class TestLRUCacheUnderContention:
     def test_hammered_cache_keeps_coherent_counters(self):
         cache = LRUCache(maxsize=32)

@@ -15,6 +15,8 @@ from repro.api.protocol import (
     SearchRequest,
     SearchResponse,
     SnippetPayload,
+    UpdateRequest,
+    UpdateResponse,
     decode_page_token,
     encode_page_token,
     parse_request,
@@ -281,12 +283,88 @@ class TestResponses:
         assert field in str(excinfo.value)
 
 
+class TestUpdateRequest:
+    def test_round_trip(self):
+        request = UpdateRequest(document="doc", xml="<a><b>x</b></a>")
+        assert UpdateRequest.from_dict(_json_round_trip(request.to_dict())) == request
+
+    def test_remove_round_trip(self):
+        request = UpdateRequest(document="doc", action="remove")
+        assert UpdateRequest.from_dict(_json_round_trip(request.to_dict())) == request
+
+    def test_update_needs_xml(self):
+        with pytest.raises(ProtocolError):
+            UpdateRequest(document="doc").validate()
+        with pytest.raises(ProtocolError):
+            UpdateRequest(document="doc", xml="   ").validate()
+
+    def test_remove_forbids_xml(self):
+        with pytest.raises(ProtocolError):
+            UpdateRequest(document="doc", action="remove", xml="<a/>").validate()
+
+    def test_unknown_action_rejected(self):
+        with pytest.raises(ProtocolError):
+            UpdateRequest(document="doc", xml="<a/>", action="upgrade").validate()
+
+    def test_empty_document_rejected(self):
+        with pytest.raises(ProtocolError):
+            UpdateRequest(document="", xml="<a/>").validate()
+
+    def test_unknown_field_rejected(self):
+        payload = UpdateRequest(document="doc", xml="<a/>").to_dict()
+        payload["force"] = True
+        with pytest.raises(ProtocolError):
+            UpdateRequest.from_dict(payload)
+
+    def test_wrong_schema_version_rejected(self):
+        payload = UpdateRequest(document="doc", xml="<a/>").to_dict()
+        payload["schema_version"] = SCHEMA_VERSION + 1
+        with pytest.raises(ProtocolError):
+            UpdateRequest.from_dict(payload)
+
+
+class TestUpdateResponse:
+    def make(self) -> UpdateResponse:
+        return UpdateResponse(
+            document="doc",
+            action="updated",
+            incremental=True,
+            nodes=14,
+            changed_nodes=2,
+            changed_terms=5,
+            seconds=0.25,
+            cache_entries_kept=3,
+            cache_entries_invalidated=1,
+        )
+
+    def test_default_wire_form_is_deterministic(self):
+        payload = self.make().to_dict()
+        assert "meta" not in payload
+        assert payload["incremental"] is True
+        assert payload["changed_nodes"] == 2
+
+    def test_meta_round_trip(self):
+        response = self.make()
+        restored = UpdateResponse.from_dict(_json_round_trip(response.to_dict(include_meta=True)))
+        assert restored == response  # volatile fields excluded from equality
+        assert restored.seconds == 0.25
+        assert restored.cache_entries_kept == 3
+
+    def test_round_trip_without_meta(self):
+        response = self.make()
+        restored = UpdateResponse.from_dict(_json_round_trip(response.to_dict()))
+        assert restored == response
+        assert restored.seconds == 0.0
+
+
 class TestDispatch:
     def test_parse_request_dispatches_on_kind(self):
         search = SearchRequest(query="q", document="d")
         batch = BatchRequest(queries=("q",))
+        update = UpdateRequest(document="d", xml="<a/>")
         assert parse_request(search.to_dict()) == search
         assert parse_request(batch.to_dict()) == batch
+        assert parse_request(update.to_dict()) == update
 
     def test_parse_response_dispatches_on_kind(self):
         response = make_response()

@@ -171,6 +171,113 @@ class TestPagination:
         assert response.next_page is None
 
 
+class TestNextPageBoundaries:
+    """ISSUE 3 satellite: no token may ever point at an empty trailing page."""
+
+    def walk(self, service, request: SearchRequest) -> list[SearchResponse]:
+        responses = []
+        while True:
+            response = service.run(request)
+            responses.append(response)
+            if response.next_page is None:
+                break
+            request = request.with_page(response.next_page)
+        return responses
+
+    def total(self, service, query: str) -> int:
+        return service.run(
+            SearchRequest(query=query, document="stores", size_bound=6)
+        ).total_results
+
+    def test_exact_multiple_emits_no_trailing_token(self, service):
+        count = self.total(service, "store")
+        assert count >= 2
+        divisor = next(size for size in (2, 3, count) if count % size == 0)
+        responses = self.walk(
+            service,
+            SearchRequest(query="store", document="stores", size_bound=6, page_size=divisor),
+        )
+        # every page non-empty, count/divisor pages, last token absent
+        assert len(responses) == count // divisor
+        assert all(response.results for response in responses)
+        assert responses[-1].next_page is None
+
+    def test_one_over_gets_a_final_short_page(self, service):
+        count = self.total(service, "store")
+        size = count - 1
+        if size < 1:
+            pytest.skip("needs at least two results")
+        responses = self.walk(
+            service,
+            SearchRequest(query="store", document="stores", size_bound=6, page_size=size),
+        )
+        assert len(responses) == 2
+        assert len(responses[-1].results) == 1
+        assert responses[-1].next_page is None
+
+    def test_empty_result_set_has_no_token(self, service):
+        response = service.run(
+            SearchRequest(
+                query="zzz-no-such-keyword", document="stores", size_bound=6, page_size=3
+            )
+        )
+        assert response.total_results == 0
+        assert response.results == ()
+        assert response.next_page is None
+
+    def test_results_only_requests_agree(self, service):
+        count = self.total(service, "store")
+        divisor = next(size for size in (2, 3, count) if count % size == 0)
+        responses = self.walk(
+            service,
+            SearchRequest(
+                query="store",
+                document="stores",
+                size_bound=6,
+                page_size=divisor,
+                include_snippets=False,
+            ),
+        )
+        assert len(responses) == count // divisor
+        assert responses[-1].next_page is None
+
+
+class TestPagingValidation:
+    """Negative pages become ErrorResponses, never wrapped garbage pages."""
+
+    @pytest.mark.parametrize("bad", [{"page": 0}, {"page": -1}, {"page_size": -2}, {"page_size": 0}])
+    def test_bad_paging_is_error_response(self, service, bad):
+        request = SearchRequest(query="store texas", document="stores", size_bound=6, **bad)
+        response = service.execute(request)
+        assert isinstance(response, ErrorResponse)
+        assert response.error == "ProtocolError"
+
+    def test_bad_paging_over_the_wire(self, service):
+        payload = {
+            "kind": "search",
+            "schema_version": 1,
+            "query": "store texas",
+            "document": "stores",
+            "page": -1,
+            "page_size": 2,
+        }
+        wire = service.handle_dict(payload)
+        assert wire["kind"] == "error"
+        assert wire["error"] == "ProtocolError"
+
+    def test_internal_page_slice_guard(self, service):
+        # Even bypassing request validation, the paging utility refuses to
+        # wrap around (PagingError is an ExtractError -> ErrorResponse).
+        from repro.errors import PagingError
+        from repro.utils.paging import page_slice
+
+        outcome = service.run(
+            SearchRequest(query="store texas", document="stores", size_bound=6)
+        )
+        with pytest.raises(PagingError):
+            page_slice(list(outcome.results), page=-1, page_size=1)
+
+
 class TestBatch:
     def test_batch_covers_queries_and_documents(self, service):
         response = service.run_batch(

@@ -68,7 +68,7 @@ class TestSaveLoad:
         assert nested.exists()
 
 
-class TestSnapshotV2:
+class TestSnapshotV3:
     def test_document_name_survives_round_trip(self, small_index, tmp_path):
         save_index(small_index, tmp_path / "idx")
         loaded = load_index(tmp_path / "idx")
@@ -78,10 +78,70 @@ class TestSnapshotV2:
         save_index(small_index, tmp_path / "idx")
         content = (tmp_path / "idx" / "inverted.idx").read_text(encoding="utf-8")
         lines = content.splitlines()
-        assert lines[0] == "#extract-index v2"
+        assert lines[0] == "#extract-index v3"
         assert any(line.startswith("#summary entity=") for line in lines)
+        assert any(line.startswith("#counts terms=") for line in lines)
         assert any(line.startswith("T ") for line in lines)
         assert any(line.startswith("P ") for line in lines)
+        assert lines[-1] == "#end"
+
+    def test_truncated_snapshot_raises(self, small_index, tmp_path):
+        # Cut the file mid-way: the missing #end sentinel (and short
+        # section counts) must be rejected before any posting is trusted.
+        save_index(small_index, tmp_path / "idx")
+        index_file = tmp_path / "idx" / "inverted.idx"
+        lines = index_file.read_text(encoding="utf-8").splitlines()
+        cut = len(lines) // 2
+        index_file.write_text("\n".join(lines[:cut]) + "\n", encoding="utf-8")
+        with pytest.raises(StorageError, match="truncated"):
+            load_index(tmp_path / "idx")
+
+    def test_missing_end_sentinel_raises(self, small_index, tmp_path):
+        save_index(small_index, tmp_path / "idx")
+        index_file = tmp_path / "idx" / "inverted.idx"
+        content = index_file.read_text(encoding="utf-8")
+        index_file.write_text(content.replace("#end\n", ""), encoding="utf-8")
+        with pytest.raises(StorageError, match="#end"):
+            load_index(tmp_path / "idx")
+
+    def test_dropped_posting_line_raises(self, small_index, tmp_path):
+        # Remove one T line but keep the sentinel: the #counts section
+        # still detects the loss.
+        save_index(small_index, tmp_path / "idx")
+        index_file = tmp_path / "idx" / "inverted.idx"
+        lines = index_file.read_text(encoding="utf-8").splitlines()
+        survivors = [line for line in lines if not line.startswith("T texas")]
+        assert len(survivors) == len(lines) - 1
+        index_file.write_text("\n".join(survivors) + "\n", encoding="utf-8")
+        with pytest.raises(StorageError):
+            load_index(tmp_path / "idx")
+
+    def test_content_after_end_sentinel_is_ignored(self, small_index, tmp_path):
+        # #end terminates the snapshot: a concatenated fragment must not be
+        # able to override the validated header sections.
+        save_index(small_index, tmp_path / "idx")
+        index_file = tmp_path / "idx" / "inverted.idx"
+        content = index_file.read_text(encoding="utf-8")
+        index_file.write_text(
+            content + "#counts terms=0 paths=0\n#document hijacked\nT bogus 9.9\n",
+            encoding="utf-8",
+        )
+        loaded = load_index(tmp_path / "idx")
+        assert loaded.tree.name == small_index.tree.name
+        assert loaded.inverted.vocabulary == small_index.inverted.vocabulary
+
+    def test_v2_snapshot_still_loads(self, small_index, tmp_path):
+        save_index(small_index, tmp_path / "idx")
+        index_file = tmp_path / "idx" / "inverted.idx"
+        lines = index_file.read_text(encoding="utf-8").splitlines()
+        v2_lines = ["#extract-index v2"] + [
+            line
+            for line in lines[1:]
+            if not line.startswith("#counts") and line != "#end"
+        ]
+        index_file.write_text("\n".join(v2_lines) + "\n", encoding="utf-8")
+        loaded = load_index(tmp_path / "idx")
+        assert loaded.inverted.vocabulary == small_index.inverted.vocabulary
 
     def test_structure_paths_round_trip(self, small_index, tmp_path):
         save_index(small_index, tmp_path / "idx")
@@ -114,7 +174,7 @@ class TestSnapshotV2:
         v1_lines = ["#extract-index v1"] + [
             line
             for line in lines[1:]
-            if not line.startswith(("#summary", "P "))
+            if not line.startswith(("#summary", "#counts", "P ")) and line != "#end"
         ]
         index_file.write_text("\n".join(v1_lines) + "\n", encoding="utf-8")
         loaded = load_index(tmp_path / "idx")

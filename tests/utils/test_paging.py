@@ -1,0 +1,57 @@
+"""Regression tests for pagination validation (ISSUE 3 satellite).
+
+Before the guard, ``page <= 0`` produced a negative slice start and
+silently returned items from the *end* of the sequence.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import PagingError
+from repro.utils.paging import page_slice
+
+ITEMS = ["a", "b", "c", "d", "e"]
+
+
+class TestValidPaging:
+    def test_first_page(self):
+        assert page_slice(ITEMS, page=1, page_size=2) == ["a", "b"]
+
+    def test_middle_and_last_pages(self):
+        assert page_slice(ITEMS, page=2, page_size=2) == ["c", "d"]
+        assert page_slice(ITEMS, page=3, page_size=2) == ["e"]
+
+    def test_page_past_the_end_is_empty(self):
+        assert page_slice(ITEMS, page=4, page_size=2) == []
+
+    def test_none_page_size_is_everything_on_page_one(self):
+        assert page_slice(ITEMS, page=1, page_size=None) == ITEMS
+        assert page_slice(ITEMS, page=2, page_size=None) == []
+
+
+class TestRejectedPaging:
+    def test_page_zero_raises(self):
+        with pytest.raises(PagingError):
+            page_slice(ITEMS, page=0, page_size=2)
+
+    def test_negative_page_raises_instead_of_wrapping(self):
+        # page=-1 used to slice items[-4:-2] — data from the END of the list.
+        with pytest.raises(PagingError):
+            page_slice(ITEMS, page=-1, page_size=2)
+
+    def test_negative_page_size_raises(self):
+        with pytest.raises(PagingError):
+            page_slice(ITEMS, page=1, page_size=-2)
+
+    def test_zero_page_size_raises(self):
+        with pytest.raises(PagingError):
+            page_slice(ITEMS, page=1, page_size=0)
+
+    def test_bool_page_rejected(self):
+        with pytest.raises(PagingError):
+            page_slice(ITEMS, page=True, page_size=2)
+
+    def test_negative_page_with_none_size_raises(self):
+        with pytest.raises(PagingError):
+            page_slice(ITEMS, page=-3, page_size=None)

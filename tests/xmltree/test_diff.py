@@ -1,0 +1,137 @@
+"""Tests for the document-tree diff behind incremental updates."""
+
+from __future__ import annotations
+
+from repro.xmltree.builder import tree_from_dict
+from repro.xmltree.diff import clone_tree, diff_trees
+
+
+def shop(city="Houston", category="suit"):
+    return tree_from_dict(
+        "shop",
+        {
+            "name": "Levis",
+            "store": [
+                {"name": "Galleria", "city": city},
+                {"name": "Downtown", "city": "Austin"},
+            ],
+            "clothes": [{"category": category}],
+        },
+        name="shop",
+    )
+
+
+class TestEmptyAndTextOnly:
+    def test_identical_trees_diff_empty(self):
+        diff = diff_trees(shop(), shop())
+        assert diff.is_empty
+        assert not diff.is_text_only
+        assert not diff.is_structural
+
+    def test_clone_diffs_empty(self):
+        tree = shop()
+        diff = diff_trees(tree, clone_tree(tree))
+        assert diff.is_empty
+
+    def test_single_text_edit(self):
+        diff = diff_trees(shop(city="Houston"), shop(city="Dallas"))
+        assert diff.is_text_only
+        assert len(diff.text_edits) == 1
+        edit = diff.text_edits[0]
+        assert (edit.old_text, edit.new_text) == ("Houston", "Dallas")
+        assert edit.tag == "city"
+        assert edit.tag_path[-1] == "city"
+
+    def test_multiple_text_edits_in_document_order(self):
+        diff = diff_trees(shop("Houston", "suit"), shop("Dallas", "jeans"))
+        assert diff.is_text_only
+        assert [edit.new_text for edit in diff.text_edits] == ["Dallas", "jeans"]
+        labels = [edit.label for edit in diff.text_edits]
+        assert labels == sorted(labels)
+
+
+class TestStructural:
+    def test_added_node_is_structural(self):
+        old = tree_from_dict("shop", {"store": [{"city": "Houston"}]})
+        new = tree_from_dict("shop", {"store": [{"city": "Houston"}, {"city": "Austin"}]})
+        diff = diff_trees(old, new)
+        assert diff.is_structural
+        assert "node count" in diff.structural_reason
+
+    def test_renamed_tag_is_structural(self):
+        old = tree_from_dict("shop", {"store": [{"city": "Houston"}]})
+        new = tree_from_dict("shop", {"store": [{"town": "Houston"}]})
+        diff = diff_trees(old, new)
+        assert diff.is_structural
+        assert "tag" in diff.structural_reason
+
+    def test_text_presence_flip_is_structural(self):
+        # A value disappearing can reclassify the schema node (attribute ->
+        # connection), so it must not take the delta path.
+        old = tree_from_dict("shop", {"store": [{"city": "Houston"}]})
+        new = clone_tree(old)
+        for node in new.iter_nodes():
+            if node.tag == "city":
+                node.text = None
+        diff = diff_trees(old, new)
+        assert diff.is_structural
+        assert "presence" in diff.structural_reason
+
+    def test_empty_string_to_text_is_structural(self):
+        # has_text_value is truthiness-based: "" and None are both "no
+        # text" to the pipeline, so filling in "" flips classification
+        # inputs exactly like filling in None would — structural.
+        old = tree_from_dict("shop", {"store": [{"name": "x", "city": "Austin"}]})
+        for node in old.iter_nodes():
+            if node.tag == "name":
+                node.text = ""
+        new = tree_from_dict("shop", {"store": [{"name": "Levis", "city": "Austin"}]})
+        diff = diff_trees(old, new)
+        assert diff.is_structural
+        assert "presence" in diff.structural_reason
+
+    def test_empty_string_vs_none_is_no_edit(self):
+        # "" and None are indistinguishable to indexing, schema inference
+        # and feature extraction; the diff must not manufacture an edit.
+        old = tree_from_dict("shop", {"store": [{"name": "x", "city": "Austin"}]})
+        new = clone_tree(old)
+        for tree in (old, new):
+            for node in tree.iter_nodes():
+                if node.tag == "name":
+                    node.text = "" if tree is old else None
+        assert diff_trees(old, new).is_empty
+
+    def test_changed_attributes_are_structural(self):
+        old = tree_from_dict("shop", {"store": [{"city": "Houston"}]})
+        new = clone_tree(old)
+        new.root.raw_attributes["version"] = "2"
+        diff = diff_trees(old, new)
+        assert diff.is_structural
+
+    def test_reshaped_tree_with_same_node_count_is_structural(self):
+        old = tree_from_dict("shop", {"a": {"b": "x"}, "c": "y"})
+        new = tree_from_dict("shop", {"a": "x", "c": {"b": "y"}})
+        assert old.size_nodes == new.size_nodes
+        assert diff_trees(old, new).is_structural
+
+
+class TestCloneTree:
+    def test_clone_preserves_name_and_content(self):
+        tree = shop()
+        copy = clone_tree(tree)
+        assert copy.name == tree.name
+        assert copy.size_nodes == tree.size_nodes
+        assert [node.dewey for node in copy.iter_nodes()] == [
+            node.dewey for node in tree.iter_nodes()
+        ]
+
+    def test_clone_is_independent(self):
+        tree = shop()
+        copy = clone_tree(tree)
+        for node in copy.iter_nodes():
+            if node.tag == "city":
+                node.text = "Elsewhere"
+        assert diff_trees(tree, copy).is_text_only
+
+    def test_clone_rename(self):
+        assert clone_tree(shop(), name="other").name == "other"
