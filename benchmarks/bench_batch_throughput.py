@@ -15,6 +15,8 @@ from repro.corpus import Corpus
 from repro.datasets.movies import MoviesConfig, generate_movies_document
 from repro.datasets.retail import RetailConfig, generate_retail_document
 
+from reporting import bench_row, record_benchmark
+
 QUERIES = [
     "store texas",
     "retailer apparel",
@@ -57,6 +59,15 @@ def test_batch_throughput_warm_vs_cold():
     assert report.total_results > 0
     assert all(
         outcome.from_cache for entry in report for outcome in entry.outcomes.values()
+    )
+    record_benchmark(
+        "batch_throughput",
+        [
+            bench_row("cold_per_query", cold),
+            bench_row(
+                "warm_batch", warm, baseline_op="cold_per_query", baseline_seconds=cold
+            ),
+        ],
     )
     # ISSUE 1 acceptance: warm-cache batch >= 5x faster than cold per-query.
     assert cold / max(warm, 1e-9) >= 5.0, (cold, warm)

@@ -22,6 +22,8 @@ from repro.api import SearchRequest, SnippetService
 from repro.corpus import Corpus
 from repro.xmltree.diff import clone_tree
 
+from reporting import bench_row, record_benchmark
+
 #: text edits per update round (a realistic "fix a few values" edit)
 EDITS_PER_ROUND = 4
 ROUNDS = 5
@@ -71,6 +73,18 @@ def test_incremental_update_at_least_5x_faster_than_reregistration(churn_corpus)
         assert report.incremental, report
     incremental_seconds = time.perf_counter() - started
 
+    record_benchmark(
+        "incremental_update",
+        [
+            bench_row("full_reregistration", full_seconds),
+            bench_row(
+                "incremental_update",
+                incremental_seconds,
+                baseline_op="full_reregistration",
+                baseline_seconds=full_seconds,
+            ),
+        ],
+    )
     ratio = full_seconds / max(incremental_seconds, 1e-9)
     assert ratio >= 5.0, (
         f"incremental update only {ratio:.1f}x faster than re-registration "

@@ -18,6 +18,8 @@ from repro.corpus import Corpus
 from repro.datasets.movies import MoviesConfig, generate_movies_document
 from repro.datasets.retail import RetailConfig, generate_retail_document
 
+from reporting import bench_row, record_benchmark
+
 QUERIES = [
     "store texas",
     "retailer apparel",
@@ -78,6 +80,18 @@ def test_threaded_executor_no_slower_than_serial():
         service.run_many(requests)  # spin the pool up before timing
         concurrent = _best_seconds(service, requests)
 
+    record_benchmark(
+        "service_throughput",
+        [
+            bench_row("serial_executor", serial),
+            bench_row(
+                "concurrent_executor",
+                concurrent,
+                baseline_op="serial_executor",
+                baseline_seconds=serial,
+            ),
+        ],
+    )
     # ISSUE 2 acceptance: the threaded executor is no slower than serial
     # (tolerance covers thread scheduling noise on loaded CI runners).
     assert concurrent <= serial * SLOWDOWN_TOLERANCE, (serial, concurrent)

@@ -1,0 +1,103 @@
+"""Machine-readable benchmark reports: ``BENCH_<name>.json`` files.
+
+Every serving benchmark asserts an acceptance shape (a speedup floor, a
+non-regression bound) but until now threw the measured numbers away — the
+perf trajectory across PRs was not tracked anywhere a tool could read.
+This module is the shared sink: each benchmark calls
+:func:`record_benchmark` with one row per measured operation and the
+numbers land in ``benchmarks/BENCH_<name>.json`` (override the directory
+with ``REPRO_BENCH_REPORT_DIR``), ready for CI artefact upload or a
+trend-plotting script.
+
+Report schema (stable, ``schema_version``-stamped)::
+
+    {
+      "schema_version": 1,
+      "benchmark": "<name>",
+      "results": [
+        {"op": "<operation>", "seconds": <wall time>,
+         "baseline_op": "...", "baseline_seconds": ..., "speedup": ...},
+        ...
+      ]
+    }
+
+``speedup`` is ``baseline_seconds / seconds`` (> 1 means the measured op
+beats its baseline); rows without a baseline omit the three baseline
+fields.  Repeated calls for the same benchmark merge by ``op`` — each test
+of a module contributes its rows without clobbering the others — and rows
+are kept sorted by ``op`` so the file is diff-stable apart from the
+volatile timings themselves.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Any
+
+#: environment variable overriding where BENCH_*.json files are written
+REPORT_DIR_ENV = "REPRO_BENCH_REPORT_DIR"
+
+#: bump on incompatible report-schema change
+REPORT_SCHEMA_VERSION = 1
+
+
+def report_dir() -> str:
+    """Directory receiving the report files (defaults to ``benchmarks/``)."""
+    return os.environ.get(REPORT_DIR_ENV) or os.path.dirname(os.path.abspath(__file__))
+
+
+def report_path(name: str) -> str:
+    """The file a benchmark's rows land in."""
+    return os.path.join(report_dir(), f"BENCH_{name}.json")
+
+
+def bench_row(
+    op: str,
+    seconds: float,
+    baseline_op: str | None = None,
+    baseline_seconds: float | None = None,
+) -> dict[str, Any]:
+    """One result row; computes the speedup when a baseline is given."""
+    row: dict[str, Any] = {"op": op, "seconds": seconds}
+    if baseline_op is not None and baseline_seconds is not None:
+        row["baseline_op"] = baseline_op
+        row["baseline_seconds"] = baseline_seconds
+        row["speedup"] = baseline_seconds / max(seconds, 1e-12)
+    return row
+
+
+def record_benchmark(name: str, rows: list[dict[str, Any]]) -> str:
+    """Merge ``rows`` into ``BENCH_<name>.json``; returns the file path.
+
+    Rows replace existing rows with the same ``op``, so re-running a test
+    refreshes its numbers while other tests' rows survive.  A corrupt or
+    foreign existing file is overwritten rather than trusted.
+    """
+    path = report_path(name)
+    existing: dict[str, dict[str, Any]] = {}
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            previous = json.load(handle)
+        if (
+            isinstance(previous, dict)
+            and previous.get("schema_version") == REPORT_SCHEMA_VERSION
+            and previous.get("benchmark") == name
+        ):
+            for row in previous.get("results", []):
+                if isinstance(row, dict) and isinstance(row.get("op"), str):
+                    existing[row["op"]] = row
+    except (OSError, ValueError):
+        pass
+    for row in rows:
+        existing[row["op"]] = row
+    report = {
+        "schema_version": REPORT_SCHEMA_VERSION,
+        "benchmark": name,
+        "results": [existing[op] for op in sorted(existing)],
+    }
+    os.makedirs(os.path.dirname(path), exist_ok=True)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return path

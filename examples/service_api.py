@@ -16,7 +16,11 @@ Walks the ``repro.api`` protocol end to end:
 * edit a document through an :class:`~repro.api.UpdateRequest` — the
   text-only edit is applied incrementally (posting-level deltas) and only
   the affected cache entries are invalidated — then query again,
-* peek at the per-document cache statistics the service exposes.
+* peek at the per-document cache statistics the service exposes,
+* serve the same documents from a **sharded cluster**
+  (:class:`~repro.cluster.ClusterService`): byte-identical responses for
+  any shard count, shard provenance in the opt-in ``meta`` block, and
+  replication deltas a replica can re-apply.
 
 The same flow is available from the command line::
 
@@ -131,6 +135,54 @@ def main() -> None:
         query_stats = caches["query"]
         print(f"  {name:<8s} query-cache hits={query_stats['hits']:.0f} "
               f"misses={query_stats['misses']:.0f} hit_rate={query_stats['hit_rate']:.2f}")
+    print()
+
+    # ------------------------------------------------------------------ #
+    # 7. the same corpus, sharded: ClusterService is a drop-in router
+    # ------------------------------------------------------------------ #
+    from repro.cluster import ClusterService
+
+    def fresh_corpus() -> Corpus:
+        # A document belongs to exactly one registry at a time, so the
+        # cluster gets its own copies instead of adopting `corpus`'s.
+        rebuilt = Corpus()
+        rebuilt.add_builtin("figure5-stores", name="stores")
+        rebuilt.add_builtin("retail")
+        return rebuilt
+
+    with ClusterService.from_corpus(fresh_corpus(), shards=2) as cluster:
+        print(f"=== {cluster!r} ===")
+        for row in cluster.shard_summary():
+            print(f"  shard-{row['shard']}: {row['names']}")
+
+        # Identical bytes through the identical JSON surface — the router
+        # fans out/merges, the caller cannot tell the difference...
+        single = SnippetService(fresh_corpus())
+        probe = SearchRequest(query="clothes casual", document="retail", size_bound=6)
+        identical = json.dumps(cluster.handle_dict(probe.to_dict()), sort_keys=True) == (
+            json.dumps(single.handle_dict(probe.to_dict()), sort_keys=True)
+        )
+        print(f"cluster response == single-corpus response: {identical}")
+
+        # ...unless it asks for meta, where shard provenance lives.
+        with_meta = cluster.run(
+            SearchRequest(query="clothes casual", document="retail", include_meta=True)
+        )
+        print(f"served by shard {with_meta.shard} "
+              f"(meta block: {sorted(with_meta.to_dict(include_meta=True)['meta'])})")
+
+        # Updates route to the owning shard and come back as a replication
+        # delta: node-level edits, not the whole document.
+        _, delta = cluster.run_update_with_delta(
+            UpdateRequest(document="stores", xml=to_xml_string(edited))
+        )
+        print(f"replication delta: {delta!r}")
+
+    # The same cluster persists and reloads from disk:
+    #   python -m repro.cli cluster-init --dataset retail --shards 4 --output ./cluster
+    #   python -m repro.cli cluster-serve-request --cluster-dir ./cluster --request -
+    #   python -m repro.cli cluster-update --cluster-dir ./cluster --file edited.xml
+    #   python -m repro.cli corpus-compact --corpus-dir ./cluster/shard-0
 
 
 if __name__ == "__main__":

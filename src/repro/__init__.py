@@ -31,6 +31,7 @@ The most useful entry points:
 """
 
 from repro.errors import (
+    ClusterError,
     DatasetError,
     DeweyError,
     DTDParseError,
@@ -56,7 +57,8 @@ from repro.api import (
     SnippetPayload,
     SnippetService,
 )
-from repro.corpus import BatchQueryOutcome, BatchReport, Corpus
+from repro.cluster import ClusterService, HashPartitioner, ShardExecutor, ShardServer
+from repro.corpus import BatchQueryOutcome, BatchReport, Corpus, compact_corpus_dir
 from repro.index.builder import DocumentIndex, IndexBuilder
 from repro.index.storage import load_index, save_index
 from repro.search.engine import SearchEngine
@@ -91,6 +93,12 @@ __all__ = [
     "ConcurrentExecutor",
     "BatchQueryOutcome",
     "BatchReport",
+    # sharded serving
+    "ClusterService",
+    "ShardServer",
+    "ShardExecutor",
+    "HashPartitioner",
+    "compact_corpus_dir",
     "LRUCache",
     "CacheStats",
     "DEFAULT_CACHE_SIZE",
@@ -133,6 +141,7 @@ __all__ = [
     "DatasetError",
     "StorageError",
     "ProtocolError",
+    "ClusterError",
     "EvaluationError",
     "__version__",
 ]

@@ -46,7 +46,7 @@ from repro.api.protocol import (
     parse_request,
     parse_response,
 )
-from repro.api.service import SnippetService
+from repro.api.service import JsonServing, SnippetService
 
 __all__ = [
     "SCHEMA_VERSION",
@@ -69,4 +69,5 @@ __all__ = [
     "SerialExecutor",
     "ConcurrentExecutor",
     "SnippetService",
+    "JsonServing",
 ]

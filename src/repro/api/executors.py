@@ -15,6 +15,16 @@ queries).  *How* that map runs is an executor policy:
 Both preserve **input order** in their output list and surface the first
 worker exception (by item order) exactly like a plain loop would, so
 swapping executors never changes observable results — only wall-clock.
+
+Lifecycle contract (every implementation, including
+:class:`repro.cluster.router.ShardExecutor`, must satisfy it):
+
+* :meth:`Executor.close` is **idempotent** — closing twice is a no-op;
+* submitting work through a closed executor raises :class:`RuntimeError`
+  with a clear message (silently recreating worker resources would hide
+  resource leaks in long-lived services);
+* re-entering the executor as a context manager **re-opens** it — worker
+  resources are recreated lazily on the next submission.
 """
 
 from __future__ import annotations
@@ -38,18 +48,39 @@ class Executor(abc.ABC):
     #: short name used in reprs, benchmarks and the CLI
     name: str = "abstract"
 
+    @property
+    def closed(self) -> bool:
+        """True between :meth:`close` and the next context-manager entry."""
+        return getattr(self, "_closed", False)
+
+    def _require_open(self) -> None:
+        if self.closed:
+            raise RuntimeError(
+                f"{type(self).__name__} is closed; re-enter it as a context "
+                "manager (or create a new executor) before submitting work"
+            )
+
     @abc.abstractmethod
     def map(self, fn: Callable[[_Item], _Result], items: Sequence[_Item]) -> list[_Result]:
         """Apply ``fn`` to every item; results in input order.
 
         The first exception (by item order) propagates to the caller, as
-        in a plain ``for`` loop.
+        in a plain ``for`` loop.  Raises :class:`RuntimeError` when the
+        executor has been closed.
         """
 
     def close(self) -> None:
-        """Release worker resources (idempotent; no-op by default)."""
+        """Release worker resources (idempotent).
+
+        A closed executor refuses further work until re-opened by
+        context-manager re-entry.
+        """
+        self._closed = True
 
     def __enter__(self) -> "Executor":
+        # Context-manager re-entry re-opens a closed executor; worker
+        # resources come back lazily on the next map().
+        self._closed = False
         return self
 
     def __exit__(self, *_exc: Any) -> None:
@@ -65,6 +96,7 @@ class SerialExecutor(Executor):
     name = "serial"
 
     def map(self, fn: Callable[[_Item], _Result], items: Sequence[_Item]) -> list[_Result]:
+        self._require_open()
         return [fn(item) for item in items]
 
 
@@ -72,9 +104,10 @@ class ConcurrentExecutor(Executor):
     """Run items on a shared thread pool.
 
     The pool is created lazily on first use and reused across calls, so a
-    long-lived service pays thread start-up once.  ``close()`` (or use as
-    a context manager) shuts the pool down; a closed executor transparently
-    recreates its pool if used again.
+    long-lived service pays thread start-up once.  ``close()`` (or exiting
+    the context manager) shuts the pool down; per the lifecycle contract a
+    closed executor raises on further submissions until re-entered as a
+    context manager, which recreates the pool lazily.
     """
 
     name = "concurrent"
@@ -92,13 +125,18 @@ class ConcurrentExecutor(Executor):
 
     def _submit_all(self, fn, items) -> list:
         with self._pool_lock:
+            # Re-check under the lock: a close() racing this map() must not
+            # see us resurrect a fresh pool after it shut the old one down
+            # (the pool would leak — nothing would ever close it again).
+            self._require_open()
             if self._pool is None:
                 self._pool = ThreadPoolExecutor(
-                    max_workers=self.max_workers, thread_name_prefix="repro-api"
+                    max_workers=self.max_workers, thread_name_prefix=f"repro-{self.name}"
                 )
             return [self._pool.submit(fn, item) for item in items]
 
     def map(self, fn: Callable[[_Item], _Result], items: Sequence[_Item]) -> list[_Result]:
+        self._require_open()
         if len(items) <= 1:
             # No parallelism to exploit; skip the pool round trip.
             return [fn(item) for item in items]
@@ -113,11 +151,12 @@ class ConcurrentExecutor(Executor):
                 future.cancel()
 
     def close(self) -> None:
+        self._closed = True
         with self._pool_lock:
             pool, self._pool = self._pool, None
         if pool is not None:
             pool.shutdown(wait=True)
 
     def __repr__(self) -> str:
-        state = "idle" if self._pool is None else "running"
-        return f"<ConcurrentExecutor max_workers={self.max_workers} ({state})>"
+        state = "closed" if self.closed else ("idle" if self._pool is None else "running")
+        return f"<{type(self).__name__} max_workers={self.max_workers} ({state})>"

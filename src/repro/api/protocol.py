@@ -476,6 +476,11 @@ class SearchResponse:
     ``from_cache``/``timings``/``seconds`` are volatile serving metadata:
     excluded from equality, serialised only when the originating request
     set ``include_meta``, so the default wire form is deterministic.
+    ``shard`` is serving provenance stamped by the cluster router
+    (:class:`repro.cluster.ClusterService`): the id of the shard that
+    served the response.  It is ``None`` for single-corpus services and is
+    emitted in the ``meta`` block only when set, so the meta wire form of
+    a non-sharded service is unchanged.
     ``outcome`` is a server-side handle on the raw
     :class:`~repro.system.SearchOutcome` (never serialised) that lets the
     deprecated ``Corpus``/``ExtractSystem`` shims return their legacy types
@@ -497,6 +502,7 @@ class SearchResponse:
     from_cache: bool = field(default=False, compare=False)
     seconds: float = field(default=0.0, compare=False)
     timings: dict[str, float] = field(default_factory=dict, compare=False, repr=False)
+    shard: int | None = field(default=None, compare=False)
     outcome: "SearchOutcome | None" = field(default=None, compare=False, repr=False)
 
     def to_dict(self, include_meta: bool = False) -> dict[str, Any]:
@@ -514,11 +520,14 @@ class SearchResponse:
             "results": [result.to_dict() for result in self.results],
         }
         if include_meta:
-            payload["meta"] = {
+            meta: dict[str, Any] = {
                 "from_cache": self.from_cache,
                 "seconds": self.seconds,
                 "timings": dict(self.timings),
             }
+            if self.shard is not None:
+                meta["shard"] = self.shard
+            payload["meta"] = meta
         return payload
 
     @classmethod
@@ -544,6 +553,7 @@ class SearchResponse:
             from_cache=meta.get("from_cache", False),
             seconds=meta.get("seconds", 0.0),
             timings=dict(meta.get("timings", {})),
+            shard=meta.get("shard"),
         )
 
 
@@ -645,6 +655,7 @@ class UpdateResponse:
     seconds: float = field(default=0.0, compare=False)
     cache_entries_kept: int = field(default=0, compare=False)
     cache_entries_invalidated: int = field(default=0, compare=False)
+    shard: int | None = field(default=None, compare=False)
 
     def to_dict(self, include_meta: bool = False) -> dict[str, Any]:
         payload: dict[str, Any] = {
@@ -659,11 +670,14 @@ class UpdateResponse:
             "structural_reason": self.structural_reason,
         }
         if include_meta:
-            payload["meta"] = {
+            meta: dict[str, Any] = {
                 "seconds": self.seconds,
                 "cache_entries_kept": self.cache_entries_kept,
                 "cache_entries_invalidated": self.cache_entries_invalidated,
             }
+            if self.shard is not None:
+                meta["shard"] = self.shard
+            payload["meta"] = meta
         return payload
 
     @classmethod
@@ -686,6 +700,7 @@ class UpdateResponse:
             seconds=meta.get("seconds", 0.0),
             cache_entries_kept=meta.get("cache_entries_kept", 0),
             cache_entries_invalidated=meta.get("cache_entries_invalidated", 0),
+            shard=meta.get("shard"),
         )
 
 

@@ -50,13 +50,75 @@ from repro.snippet.render import render_snippet_text
 from repro.utils.timing import TimingBreakdown
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
-    from repro.corpus import Corpus, CorpusEntry
+    from repro.corpus import Corpus, CorpusEntry, DocumentUpdate
     from repro.search.results import QueryResult
     from repro.snippet.generator import GeneratedSnippet
     from repro.system import SearchOutcome
 
 
-class SnippetService:
+class JsonServing:
+    """The plain-JSON endpoint surface shared by every service facade.
+
+    Anything that implements ``execute`` / ``execute_batch`` /
+    ``execute_update`` (returning protocol responses, never raising library
+    errors) gets the ``handle_dict`` / ``handle_text`` / ``handle_json``
+    endpoints for free — :class:`SnippetService` and the sharded
+    :class:`repro.cluster.ClusterService` speak byte-identical JSON through
+    this one implementation, which is what makes the cluster router a
+    drop-in replacement at the wire level.
+    """
+
+    def handle_dict(
+        self,
+        payload: dict[str, Any],
+        request: SearchRequest | BatchRequest | UpdateRequest | None = None,
+    ) -> dict[str, Any]:
+        """Serve one JSON-style request object; never raises library errors.
+
+        Parses the payload (dispatching on ``kind``), executes it, and
+        returns the response as a plain dict — with volatile serving
+        metadata attached only when the request set ``include_meta``.
+        ``request`` lets a frontend that already parsed the payload (for
+        fail-fast validation) skip the re-parse.
+        """
+        try:
+            if request is None:
+                request = parse_request(payload)
+        except ExtractError as error:
+            echoed = payload if isinstance(payload, dict) else None
+            return ErrorResponse.from_exception(error, request=echoed).to_dict()
+        if isinstance(request, BatchRequest):
+            response = self.execute_batch(request)
+        elif isinstance(request, UpdateRequest):
+            response = self.execute_update(request)
+        else:
+            response = self.execute(request)
+        if isinstance(response, ErrorResponse):
+            return response.to_dict()
+        return response.to_dict(include_meta=request.include_meta)
+
+    def handle_text(self, text: str) -> dict[str, Any]:
+        """Serve one JSON document, returning the response as a dict.
+
+        Frontends that format the response themselves (the CLI's
+        ``--pretty`` flag) use this to avoid a parse → serialise →
+        re-parse round trip; :meth:`handle_json` is the string-in/
+        string-out convenience over it.
+        """
+        try:
+            payload = json.loads(text)
+        except json.JSONDecodeError as error:
+            return ErrorResponse.from_exception(
+                ProtocolError(f"request is not valid JSON: {error}")
+            ).to_dict()
+        return self.handle_dict(payload)
+
+    def handle_json(self, text: str) -> str:
+        """Serve one JSON document (the network entry point)."""
+        return json.dumps(self.handle_text(text), sort_keys=True)
+
+
+class SnippetService(JsonServing):
     """Execute typed search/batch requests over a corpus.
 
     >>> from repro.corpus import Corpus
@@ -160,6 +222,7 @@ class SnippetService:
         parsed_queries: list[KeywordQuery] | None = None,
         build_payloads: bool = True,
         validate: bool = True,
+        entries: "list[CorpusEntry] | None" = None,
     ) -> BatchResponse:
         """Execute a batch: every query over every selected document.
 
@@ -174,11 +237,22 @@ class SnippetService:
         :class:`KeywordQuery` objects (the ``Corpus.search_batch`` shim)
         bypass re-parsing, preserving exact legacy semantics;
         ``build_payloads`` as in :meth:`run` (the shim consumes raw
-        outcomes only, so it skips wire-payload rendering).
+        outcomes only, so it skips wire-payload rendering); ``entries``,
+        when given, aligns with ``batch.documents`` and pins each one to
+        an already-captured corpus entry (snapshot semantics for the
+        cluster router's per-shard sub-batches — a concurrent remove
+        cannot fail the fan-out part-way).
         """
         if validate:
             batch.validate()
-        if batch.documents is not None:
+        if entries is not None:
+            if batch.documents is None or len(entries) != len(batch.documents):
+                raise ProtocolError(
+                    f"entries length {len(entries)} does not match the batch's "
+                    "documents"
+                )
+            names = list(batch.documents)
+        elif batch.documents is not None:
             names = list(batch.documents)
             entries = [self.corpus.entry(name) for name in names]
         else:
@@ -243,6 +317,19 @@ class SnippetService:
         unregisters the document.  Requests already being served keep the
         previous version until the swap; they are never torn mid-flight.
         """
+        return self.run_update_with_report(request, validate=validate)[0]
+
+    def run_update_with_report(
+        self, request: UpdateRequest, validate: bool = True
+    ) -> "tuple[UpdateResponse, DocumentUpdate]":
+        """Like :meth:`run_update`, but also returns the raw corpus report.
+
+        The report carries what the wire response deliberately omits — the
+        applied text edits above all — which is exactly what journalling
+        (the ``corpus-update`` CLI) and shard replication
+        (:meth:`repro.cluster.ShardServer.apply_update`) need to describe
+        the operation as a delta instead of a document.
+        """
         from repro.xmltree.dtd import dtd_for_tree_text
         from repro.xmltree.parser import parse_xml
 
@@ -255,7 +342,7 @@ class SnippetService:
             parsed = parse_xml(request.xml or "", name=request.document)
             dtd = dtd_for_tree_text(parsed.dtd_text, root=parsed.doctype_name)
             report = self.corpus.apply_update(request.document, parsed.tree, dtd=dtd)
-        return UpdateResponse(
+        response = UpdateResponse(
             document=report.document,
             action=report.action,
             incremental=report.incremental,
@@ -267,6 +354,7 @@ class SnippetService:
             cache_entries_kept=report.cache_entries_kept,
             cache_entries_invalidated=report.cache_entries_invalidated,
         )
+        return response, report
 
     def execute_update(self, request: UpdateRequest) -> UpdateResponse | ErrorResponse:
         """Like :meth:`run_update`, but failures become an :class:`ErrorResponse`."""
@@ -275,57 +363,8 @@ class SnippetService:
         except ExtractError as error:
             return ErrorResponse.from_exception(error, request=request.to_dict())
 
-    # ------------------------------------------------------------------ #
-    # JSON endpoints
-    # ------------------------------------------------------------------ #
-    def handle_dict(
-        self,
-        payload: dict[str, Any],
-        request: SearchRequest | BatchRequest | UpdateRequest | None = None,
-    ) -> dict[str, Any]:
-        """Serve one JSON-style request object; never raises library errors.
-
-        Parses the payload (dispatching on ``kind``), executes it, and
-        returns the response as a plain dict — with volatile serving
-        metadata attached only when the request set ``include_meta``.
-        ``request`` lets a frontend that already parsed the payload (for
-        fail-fast validation) skip the re-parse.
-        """
-        try:
-            if request is None:
-                request = parse_request(payload)
-        except ExtractError as error:
-            echoed = payload if isinstance(payload, dict) else None
-            return ErrorResponse.from_exception(error, request=echoed).to_dict()
-        if isinstance(request, BatchRequest):
-            response = self.execute_batch(request)
-        elif isinstance(request, UpdateRequest):
-            response = self.execute_update(request)
-        else:
-            response = self.execute(request)
-        if isinstance(response, ErrorResponse):
-            return response.to_dict()
-        return response.to_dict(include_meta=request.include_meta)
-
-    def handle_text(self, text: str) -> dict[str, Any]:
-        """Serve one JSON document, returning the response as a dict.
-
-        Frontends that format the response themselves (the CLI's
-        ``--pretty`` flag) use this to avoid a parse → serialise →
-        re-parse round trip; :meth:`handle_json` is the string-in/
-        string-out convenience over it.
-        """
-        try:
-            payload = json.loads(text)
-        except json.JSONDecodeError as error:
-            return ErrorResponse.from_exception(
-                ProtocolError(f"request is not valid JSON: {error}")
-            ).to_dict()
-        return self.handle_dict(payload)
-
-    def handle_json(self, text: str) -> str:
-        """Serve one JSON document (the network entry point)."""
-        return json.dumps(self.handle_text(text), sort_keys=True)
+    # JSON endpoints (handle_dict / handle_text / handle_json) come from
+    # JsonServing, shared byte-for-byte with the cluster router.
 
     # ------------------------------------------------------------------ #
     # observability
@@ -350,6 +389,10 @@ class SnippetService:
         self.executor.close()
 
     def __enter__(self) -> "SnippetService":
+        # Entering the service enters its executor, so service-level
+        # context-manager re-entry re-opens a previously closed executor —
+        # the same contract the executors themselves document.
+        self.executor.__enter__()
         return self
 
     def __exit__(self, *_exc: Any) -> None:

@@ -35,6 +35,21 @@ CLI that drives the same pipeline.  Sub-commands:
     Execute one JSON request of the typed service protocol
     (:mod:`repro.api`) against a corpus and print the JSON response — the
     offline stand-in for one round trip of the demo's web service.
+``corpus-compact``
+    Fold a saved corpus's append-only update journal back into fresh base
+    snapshots (staged, atomic, byte-identical search results) — the cheap
+    bootstrap form for new shard replicas.
+``cluster-init``
+    Partition documents across N shards and save the cluster (shard
+    corpus directories plus a versioned ``cluster.manifest``).
+``cluster-serve-request``
+    Execute one JSON request against a sharded cluster through the
+    fan-out router (:class:`repro.cluster.ClusterService`) — byte-
+    identical responses to ``serve-request`` over the same documents.
+``cluster-update``
+    Apply one document edit (update, add or remove) to a saved cluster:
+    the edit is routed to the owning shard, journalled in that shard's
+    ``corpus.journal``, and the cluster manifest version is bumped.
 
 Examples::
 
@@ -47,6 +62,12 @@ Examples::
     echo '{"kind": "search", "schema_version": 1, "query": "store texas",
            "document": "figure5-stores"}' |
         python -m repro.cli serve-request --dataset figure5-stores --request -
+    python -m repro.cli cluster-init --dataset retail --dataset movies \\
+        --shards 4 --output ./cluster
+    echo '{"kind": "search", "schema_version": 1, "query": "movie drama",
+           "document": "movies"}' |
+        python -m repro.cli cluster-serve-request --cluster-dir ./cluster --request -
+    python -m repro.cli corpus-compact --corpus-dir ./corpus
 """
 
 from __future__ import annotations
@@ -198,6 +219,71 @@ def build_parser() -> argparse.ArgumentParser:
     )
     serve_request.add_argument(
         "--pretty", action="store_true", help="indent the JSON response for humans"
+    )
+
+    corpus_compact = subparsers.add_parser(
+        "corpus-compact",
+        help="fold a saved corpus's update journal back into fresh base snapshots",
+    )
+    corpus_compact.add_argument(
+        "--corpus-dir", required=True, metavar="DIR",
+        help="corpus directory written by corpus-save (a cluster shard directory works too)",
+    )
+
+    cluster_init = subparsers.add_parser(
+        "cluster-init", help="partition documents across N shards and save the cluster"
+    )
+    add_corpus_source_arguments(cluster_init)
+    cluster_init.add_argument("--output", required=True, metavar="DIR", help="cluster directory")
+    cluster_init.add_argument(
+        "--shards", type=int, default=2, metavar="N", help="number of shards (default: 2)"
+    )
+    cluster_init.add_argument("--algorithm", choices=("slca", "elca"), default="slca")
+    cluster_init.add_argument(
+        "--assign", action="append", default=[], metavar="NAME=SHARD",
+        help="pin a document to a shard (repeatable; implies the explicit partitioner)",
+    )
+    cluster_init.add_argument(
+        "--default-shard", type=int, default=None, metavar="N",
+        help="shard for documents without an --assign pin (explicit partitioner only)",
+    )
+
+    cluster_serve = subparsers.add_parser(
+        "cluster-serve-request",
+        help="execute one JSON request against a sharded cluster (fan-out router)",
+    )
+    cluster_serve.add_argument(
+        "--cluster-dir", required=True, metavar="DIR",
+        help="cluster directory written by cluster-init",
+    )
+    cluster_serve.add_argument(
+        "--request", required=True, metavar="PATH",
+        help="file holding the JSON request object ('-' reads standard input)",
+    )
+    cluster_serve.add_argument("--algorithm", choices=("slca", "elca"), default=None)
+    cluster_serve.add_argument(
+        "--pretty", action="store_true", help="indent the JSON response for humans"
+    )
+
+    cluster_update = subparsers.add_parser(
+        "cluster-update",
+        help="apply a document update/add/remove to a saved cluster (journalled per shard)",
+    )
+    cluster_update.add_argument(
+        "--cluster-dir", required=True, metavar="DIR",
+        help="cluster directory written by cluster-init",
+    )
+    cluster_action = cluster_update.add_mutually_exclusive_group(required=True)
+    cluster_action.add_argument(
+        "--file", metavar="PATH",
+        help="XML file holding the new version of the document (update or add)",
+    )
+    cluster_action.add_argument(
+        "--remove", metavar="NAME", help="unregister the named document"
+    )
+    cluster_update.add_argument(
+        "--name", metavar="NAME",
+        help="document name for --file (default: the file's base name)",
     )
 
     return parser
@@ -431,9 +517,22 @@ def _command_serve_request(args: argparse.Namespace, out) -> int:
         return emit(service.handle_dict(payload, request=request))
 
 
-def _command_corpus_update(args: argparse.Namespace, out) -> int:
-    """Apply one lifecycle operation to a saved corpus and journal it."""
-    from repro.corpus import Corpus, _subdir_for
+def _apply_journalled_update(
+    directory: str,
+    corpus,
+    file: str | None,
+    remove: str | None,
+    name: str | None,
+    out,
+) -> int:
+    """Apply one lifecycle operation to a loaded corpus directory, journal it.
+
+    Shared by ``corpus-update`` (directory = the corpus dir) and
+    ``cluster-update`` (directory = the owning shard's dir): same routing
+    of incremental edits to journal deltas, structural edits and additions
+    to fresh snapshot subdirectories, removals to tombstones.
+    """
+    from repro.corpus import _subdir_for
     from repro.index.storage import (
         JournalRecord,
         append_journal_record,
@@ -442,18 +541,16 @@ def _command_corpus_update(args: argparse.Namespace, out) -> int:
     )
     from repro.xmltree.parser import parse_xml_file
 
-    directory = args.corpus_dir
-    corpus = Corpus.load_dir(directory)
     mapping = directory_documents(directory)  # subdir -> name
-    subdir_of = {name: subdir for subdir, name in mapping.items()}
+    subdir_of = {doc_name: subdir for subdir, doc_name in mapping.items()}
 
     def fresh_subdir(name: str) -> str:
         used = {subdir.lower() for subdir in mapping}
         used.update(entry.lower() for entry in os.listdir(directory))
         return _subdir_for(name, used)
 
-    if args.remove:
-        name = args.remove
+    if remove:
+        name = remove
         report = corpus.remove_document(name)
         append_journal_record(directory, JournalRecord(kind="remove", subdir=subdir_of[name]))
         print(
@@ -465,8 +562,8 @@ def _command_corpus_update(args: argparse.Namespace, out) -> int:
 
     from repro.xmltree.dtd import dtd_for_tree_text
 
-    name = args.name or os.path.splitext(os.path.basename(args.file))[0]
-    parsed = parse_xml_file(args.file)
+    name = name or os.path.splitext(os.path.basename(file))[0]
+    parsed = parse_xml_file(file)
     # The DTD only matters on the *add* path (updates keep the registered
     # document's original DTD context) — same contract as the service's
     # UpdateRequest handling, and same ingestion semantics as corpus-save.
@@ -511,6 +608,172 @@ def _command_corpus_update(args: argparse.Namespace, out) -> int:
     return 0
 
 
+def _command_corpus_update(args: argparse.Namespace, out) -> int:
+    """Apply one lifecycle operation to a saved corpus and journal it."""
+    from repro.corpus import Corpus
+
+    corpus = Corpus.load_dir(args.corpus_dir)
+    return _apply_journalled_update(
+        args.corpus_dir, corpus, args.file, args.remove, args.name, out
+    )
+
+
+def _command_corpus_compact(args: argparse.Namespace, out) -> int:
+    """Fold the update journal of a saved corpus into fresh base snapshots."""
+    from repro.corpus import compact_corpus_dir
+
+    report = compact_corpus_dir(args.corpus_dir)
+    print(
+        f"compacted {report.directory}: folded {report.records_folded} journal "
+        f"record(s) into {report.documents} base snapshot(s)",
+        file=out,
+    )
+    for subdir in report.subdirs:
+        print(f"  {subdir}/", file=out)
+    return 0
+
+
+def _parse_assignments(pairs: list[str], shards: int):
+    """--assign NAME=SHARD pairs → an ExplicitPartitioner (None when empty)."""
+    from repro.cluster import ExplicitPartitioner
+
+    if not pairs:
+        return None
+    assignments: dict[str, int] = {}
+    for pair in pairs:
+        name, separator, shard_text = pair.rpartition("=")
+        try:
+            shard_id = int(shard_text)
+        except ValueError:
+            shard_id = -1
+        if not separator or not name or shard_id < 0:
+            raise ExtractError(
+                f"--assign expects NAME=SHARD with a non-negative shard id, got {pair!r}"
+            )
+        assignments[name] = shard_id
+    return ExplicitPartitioner(assignments, shards)
+
+
+def _command_cluster_init(args: argparse.Namespace, out) -> int:
+    """Partition documents across N shards and save the cluster."""
+    from repro.cluster import ClusterService, ExplicitPartitioner
+
+    corpus = _build_corpus(args, algorithm=args.algorithm)
+    partitioner = _parse_assignments(args.assign, args.shards)
+    if partitioner is not None and args.default_shard is not None:
+        partitioner = ExplicitPartitioner(
+            partitioner.assignments, args.shards, default=args.default_shard
+        )
+    elif partitioner is None and args.default_shard is not None:
+        raise ExtractError("--default-shard only applies with --assign (explicit partitioner)")
+    cluster = ClusterService.from_corpus(
+        corpus, shards=args.shards, partitioner=partitioner
+    )
+    subdirs = cluster.save_dir(args.output)
+    print(
+        f"saved {len(subdirs)}-shard cluster ({len(cluster)} document(s), "
+        f"{cluster.partitioner.kind} partitioner) to {args.output}",
+        file=out,
+    )
+    for row in cluster.shard_summary():
+        print(f"  shard-{row['shard']}  documents={row['documents']}  [{row['names']}]", file=out)
+    return 0
+
+
+def _command_cluster_serve_request(args: argparse.Namespace, out) -> int:
+    """Execute one JSON protocol request through the cluster router."""
+    import json
+
+    from repro.api.protocol import ErrorResponse, UpdateRequest, parse_request
+    from repro.api.service import SnippetService
+    from repro.cluster import ClusterService
+    from repro.corpus import Corpus
+
+    if args.request == "-":
+        request_text = sys.stdin.read()
+    else:
+        with open(args.request, "r", encoding="utf-8") as handle:
+            request_text = handle.read()
+
+    def emit(response: dict) -> int:
+        print(
+            json.dumps(response, indent=2 if args.pretty else None, sort_keys=True),
+            file=out,
+        )
+        return 1 if response.get("kind") == "error" else 0
+
+    # Fail fast on malformed requests before paying for the cluster load —
+    # same discipline as serve-request.
+    try:
+        payload = json.loads(request_text)
+        request = parse_request(payload)
+    except (json.JSONDecodeError, ExtractError):
+        return emit(SnippetService(Corpus()).handle_text(request_text))
+
+    if isinstance(request, UpdateRequest):
+        # cluster-serve-request loads a throwaway cluster per invocation;
+        # lifecycle edits belong to the journalled cluster-update surface.
+        return emit(
+            ErrorResponse(
+                error="ProtocolError",
+                message=(
+                    "cluster-serve-request is stateless and cannot apply "
+                    "document updates; use 'cluster-update --cluster-dir ...' "
+                    "so the edit is journalled on the owning shard"
+                ),
+                request=payload,
+            ).to_dict()
+        )
+
+    with ClusterService.load_dir(args.cluster_dir, algorithm=args.algorithm) as cluster:
+        return emit(cluster.handle_dict(payload, request=request))
+
+
+def _command_cluster_update(args: argparse.Namespace, out) -> int:
+    """Route a lifecycle edit to the owning shard, journal it there, and
+    bump the cluster manifest version."""
+    from repro.cluster import partitioner_from_manifest, read_cluster_manifest, write_cluster_manifest
+    from repro.corpus import Corpus
+    from repro.index.storage import directory_documents
+
+    directory = args.cluster_dir
+    manifest = read_cluster_manifest(directory)
+    name = args.remove or args.name or os.path.splitext(os.path.basename(args.file))[0]
+
+    # Route on journal bookkeeping alone (no shard index is loaded until
+    # the owner is known, and the scan stops at the owning shard): the
+    # cheap path a large cluster needs.
+    owner: int | None = None
+    for shard_id, subdir in enumerate(manifest.shard_dirs):
+        documents = directory_documents(os.path.join(directory, subdir))
+        if name in documents.values():
+            owner = shard_id
+            break
+    if owner is None:
+        if args.remove:
+            registered = sorted(
+                doc_name
+                for subdir in manifest.shard_dirs
+                for doc_name in directory_documents(
+                    os.path.join(directory, subdir)
+                ).values()
+            )
+            raise ExtractError(
+                f"no document named {name!r} in the cluster; "
+                f"registered: {', '.join(registered) or '(none)'}"
+            )
+        owner = partitioner_from_manifest(manifest).shard_of(name)
+
+    shard_dir = os.path.join(directory, manifest.shard_dirs[owner])
+    corpus = Corpus.load_dir(shard_dir)
+    print(f"routing {name!r} to shard {owner} ({manifest.shard_dirs[owner]}/)", file=out)
+    code = _apply_journalled_update(shard_dir, corpus, args.file, args.remove, args.name, out)
+    if code == 0:
+        write_cluster_manifest(directory, manifest.bumped())
+        print(f"cluster manifest version {manifest.version} -> {manifest.version + 1}", file=out)
+    return code
+
+
 def _command_corpus_save(args: argparse.Namespace, out) -> int:
     corpus = _build_corpus(args, algorithm=args.algorithm)
     subdirs = corpus.save_dir(args.output)
@@ -534,7 +797,11 @@ _COMMANDS = {
     "batch": _command_batch,
     "corpus-save": _command_corpus_save,
     "corpus-update": _command_corpus_update,
+    "corpus-compact": _command_corpus_compact,
     "serve-request": _command_serve_request,
+    "cluster-init": _command_cluster_init,
+    "cluster-serve-request": _command_cluster_serve_request,
+    "cluster-update": _command_cluster_update,
 }
 
 

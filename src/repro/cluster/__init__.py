@@ -1,0 +1,58 @@
+"""``repro.cluster`` — one logical corpus served from N shards.
+
+The scale-out layer of the reproduction's serving stack (the executor seam
+of :mod:`repro.api` and the update journal of :mod:`repro.index.storage`
+were built so this package could ship journal deltas, not documents):
+
+* :mod:`repro.cluster.partition` — deterministic document → shard
+  assignment (:class:`HashPartitioner`, :class:`ExplicitPartitioner`) and
+  the versioned ``cluster.manifest`` persisted beside the shard snapshot
+  directories;
+* :mod:`repro.cluster.shard` — :class:`ShardServer`, one shard's corpus
+  plus service, producing and applying replication deltas
+  (:class:`ShardDelta`) so replicas stay byte-identical to their primary;
+* :mod:`repro.cluster.router` — :class:`ClusterService`, a drop-in
+  replacement for :class:`repro.api.SnippetService` that fans requests out
+  across shards through a :class:`ShardExecutor` and merges the results
+  deterministically.
+
+Quick start::
+
+    from repro import Corpus
+    from repro.api import SearchRequest
+    from repro.cluster import ClusterService
+
+    corpus = Corpus()
+    corpus.add_builtin("figure5-stores", name="stores")
+    corpus.add_builtin("retail")
+    cluster = ClusterService.from_corpus(corpus, shards=2)
+    response = cluster.run(SearchRequest(query="store texas", document="stores"))
+"""
+
+from repro.cluster.partition import (
+    CLUSTER_MANIFEST_FILE,
+    ClusterManifest,
+    ExplicitPartitioner,
+    HashPartitioner,
+    Partitioner,
+    partitioner_from_manifest,
+    read_cluster_manifest,
+    write_cluster_manifest,
+)
+from repro.cluster.router import ClusterService, ShardExecutor
+from repro.cluster.shard import ShardDelta, ShardServer
+
+__all__ = [
+    "Partitioner",
+    "HashPartitioner",
+    "ExplicitPartitioner",
+    "ClusterManifest",
+    "CLUSTER_MANIFEST_FILE",
+    "read_cluster_manifest",
+    "write_cluster_manifest",
+    "partitioner_from_manifest",
+    "ShardServer",
+    "ShardDelta",
+    "ClusterService",
+    "ShardExecutor",
+]

@@ -251,6 +251,17 @@ class Corpus:
         tree = factory()
         return self.add_tree(name or dataset, tree, replace=replace)
 
+    def add_system(self, name: str, system: ExtractSystem, replace: bool = False) -> CorpusEntry:
+        """Register an already-built :class:`ExtractSystem` under ``name``.
+
+        The seam the sharding layer (:mod:`repro.cluster`) uses to move a
+        document between corpora without re-indexing: the system (index,
+        caches, analyzer) is adopted as-is.  The caller must not keep
+        serving the system through another corpus — a document belongs to
+        exactly one registry at a time.
+        """
+        return self._register(name, system, replace=replace)
+
     def _register(self, name: str, system: ExtractSystem, replace: bool = False) -> CorpusEntry:
         entry = CorpusEntry(name=name, system=system)
         # Atomic swap: concurrent requests either see the old entry (with
@@ -821,6 +832,81 @@ class Corpus:
 
     def __repr__(self) -> str:
         return f"<Corpus documents={len(self._entries)}>"
+
+
+@dataclass(frozen=True)
+class CompactionReport:
+    """What :func:`compact_corpus_dir` folded: journal records absorbed into
+    fresh base snapshots, and the resulting document subdirectories."""
+
+    directory: str
+    records_folded: int
+    documents: int
+    subdirs: tuple[str, ...]
+
+    def __repr__(self) -> str:
+        return (
+            f"<CompactionReport {self.directory!r} folded={self.records_folded} "
+            f"documents={self.documents}>"
+        )
+
+
+def compact_corpus_dir(
+    directory: str | os.PathLike[str], cache_size: int = DEFAULT_CACHE_SIZE
+) -> CompactionReport:
+    """Fold a corpus directory's update journal into fresh base snapshots.
+
+    A long-lived corpus accumulates ``corpus.journal`` records (and
+    orphaned snapshot subdirectories from structural replacements) that
+    every ``load_dir`` must replay; compaction replays them once and
+    rewrites the directory as a clean set of v3 base snapshots with no
+    journal — the cheap-bootstrap form a new shard replica loads fastest.
+
+    The compaction is **staged**: the journal-replayed corpus is saved
+    into a sibling ``<dir>.compacting`` staging directory, then swapped
+    into place by directory rename (old state briefly parked at
+    ``<dir>.pre-compact``, removed on success).  The corpus directory is
+    never rewritten in place, so no crash can produce a half-compacted
+    corpus: any failure before the swap leaves the original untouched, a
+    failure during the second rename restores the original from the
+    backup, and a hard kill between the two renames — the one unguarded
+    window — leaves the full original parked at ``<dir>.pre-compact``
+    (rename it back to recover; the next compaction only clears leftovers
+    when the corpus directory itself is present).  Search results before
+    and after are byte-identical (``load_dir`` replay and ``save_dir``
+    round trips both preserve served bytes).
+    """
+    import shutil
+
+    from repro.index.storage import read_corpus_journal
+
+    path = os.path.normpath(os.fspath(directory))
+    records = read_corpus_journal(path)
+    corpus = Corpus.load_dir(path, cache_size=cache_size)
+    staging = f"{path}.compacting"
+    backup = f"{path}.pre-compact"
+    for leftover in (staging, backup):
+        if os.path.exists(leftover):
+            shutil.rmtree(leftover)
+    try:
+        subdirs = corpus.save_dir(staging)
+        os.rename(path, backup)
+    except OSError as exc:
+        raise StorageError(f"failed to compact corpus directory {path}: {exc}") from exc
+    try:
+        os.rename(staging, path)
+    except OSError as exc:
+        # Put the original back: a failed swap must not leave the corpus
+        # directory missing with its content stranded in the backup.
+        os.rename(backup, path)
+        raise StorageError(f"failed to compact corpus directory {path}: {exc}") from exc
+    shutil.rmtree(backup)
+    return CompactionReport(
+        directory=path,
+        records_folded=len(records),
+        documents=len(corpus),
+        subdirs=tuple(subdirs),
+    )
 
 
 def _raw_and_parsed(query_text: str | KeywordQuery) -> tuple[str, KeywordQuery | None]:

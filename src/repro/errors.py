@@ -88,6 +88,12 @@ class ProtocolError(ExtractError):
     unknown or ill-typed fields, malformed page tokens)."""
 
 
+class ClusterError(ExtractError):
+    """Raised for sharded-cluster misconfiguration (:mod:`repro.cluster`):
+    invalid shard counts, out-of-range or missing partition assignments,
+    or a cluster manifest that disagrees with the shard directories."""
+
+
 class DatasetError(ExtractError):
     """Raised when a synthetic dataset generator receives invalid parameters."""
 

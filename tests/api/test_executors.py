@@ -1,4 +1,12 @@
-"""Tests for the pluggable executors."""
+"""Tests for the pluggable executors, including the lifecycle contract.
+
+The lifecycle contract (documented in :mod:`repro.api.executors`) is
+shared by every implementation — :class:`SerialExecutor`,
+:class:`ConcurrentExecutor` and the cluster's
+:class:`~repro.cluster.router.ShardExecutor`: close is idempotent,
+submitting through a closed executor raises a clear :class:`RuntimeError`,
+and context-manager re-entry re-opens the executor.
+"""
 
 from __future__ import annotations
 
@@ -6,7 +14,8 @@ import threading
 
 import pytest
 
-from repro.api.executors import ConcurrentExecutor, SerialExecutor
+from repro.api.executors import ConcurrentExecutor, Executor, SerialExecutor
+from repro.cluster.router import ShardExecutor
 
 
 class TestSerialExecutor:
@@ -48,7 +57,7 @@ class TestConcurrentExecutor:
 
         with ConcurrentExecutor(max_workers=2) as executor:
             names = executor.map(rendezvous, [0, 1])
-        assert all(name.startswith("repro-api") for name in names)
+        assert all(name.startswith("repro-") for name in names)
 
     def test_single_item_runs_inline(self):
         with ConcurrentExecutor(max_workers=2) as executor:
@@ -64,15 +73,6 @@ class TestConcurrentExecutor:
         with ConcurrentExecutor(max_workers=4) as executor:
             with pytest.raises(ValueError, match="item-1"):
                 executor.map(boom, [0, 1, 2, 3])
-
-    def test_close_is_idempotent_and_reusable(self):
-        executor = ConcurrentExecutor(max_workers=2)
-        assert executor.map(str, [1, 2]) == ["1", "2"]
-        executor.close()
-        executor.close()
-        # a closed executor transparently recreates its pool
-        assert executor.map(str, [3, 4]) == ["3", "4"]
-        executor.close()
 
     def test_concurrent_first_use_shares_one_pool(self):
         executor = ConcurrentExecutor(max_workers=2)
@@ -105,4 +105,67 @@ class TestConcurrentExecutor:
         executor.map(str, [1, 2])
         assert "running" in repr(executor)
         executor.close()
-        assert "idle" in repr(executor)
+        assert "closed" in repr(executor)
+
+
+#: every executor implementation must satisfy the same lifecycle contract
+LIFECYCLE_FACTORIES = [
+    pytest.param(SerialExecutor, id="serial"),
+    pytest.param(lambda: ConcurrentExecutor(max_workers=2), id="concurrent"),
+    pytest.param(lambda: ShardExecutor(shards=2), id="shard"),
+]
+
+
+class TestExecutorLifecycleContract:
+    @pytest.mark.parametrize("factory", LIFECYCLE_FACTORIES)
+    def test_close_is_idempotent(self, factory):
+        executor = factory()
+        executor.map(str, [1, 2])
+        executor.close()
+        executor.close()  # second close must be a harmless no-op
+        assert executor.closed
+
+    @pytest.mark.parametrize("factory", LIFECYCLE_FACTORIES)
+    def test_submitting_after_close_raises_clear_error(self, factory):
+        executor = factory()
+        executor.close()
+        with pytest.raises(RuntimeError, match="closed"):
+            executor.map(str, [1, 2])
+        # the single-item inline fast path must refuse too
+        with pytest.raises(RuntimeError, match="closed"):
+            executor.map(str, [1])
+
+    @pytest.mark.parametrize("factory", LIFECYCLE_FACTORIES)
+    def test_context_manager_reentry_reopens(self, factory):
+        executor = factory()
+        with executor as entered:
+            assert entered is executor
+            assert executor.map(str, [1, 2]) == ["1", "2"]
+        assert executor.closed
+        # Re-entry re-opens the executor; worker resources come back
+        # lazily on the next submission.
+        with executor:
+            assert not executor.closed
+            assert executor.map(str, [3, 4]) == ["3", "4"]
+        assert executor.closed
+
+    @pytest.mark.parametrize("factory", LIFECYCLE_FACTORIES)
+    def test_new_executor_starts_open(self, factory):
+        executor = factory()
+        assert not executor.closed
+        executor.close()
+
+    def test_shard_executor_is_an_executor(self):
+        assert issubclass(ShardExecutor, Executor)
+        executor = ShardExecutor(shards=3)
+        assert executor.name == "shard"
+        assert executor.max_workers == 3
+        executor.close()
+
+    def test_shard_executor_rejects_bad_shard_count(self):
+        from repro.errors import ClusterError
+
+        with pytest.raises(ClusterError):
+            ShardExecutor(shards=0)
+        with pytest.raises(ClusterError):
+            ShardExecutor(shards=True)

@@ -241,6 +241,22 @@ class TestResponses:
         slow = make_response(seconds=9.0, from_cache=True)
         assert json.dumps(fast.to_dict(), sort_keys=True) == json.dumps(slow.to_dict(), sort_keys=True)
 
+    def test_shard_provenance_round_trips_in_meta_only(self):
+        import dataclasses
+
+        stamped = dataclasses.replace(make_response(), shard=3)
+        # the default wire form never carries provenance
+        assert "meta" not in stamped.to_dict()
+        restored = SearchResponse.from_dict(_json_round_trip(stamped.to_dict(include_meta=True)))
+        assert restored.shard == 3
+        # an unstamped (single-corpus) response keeps its meta form unchanged
+        plain = make_response()
+        assert plain.shard is None
+        assert "shard" not in plain.to_dict(include_meta=True)["meta"]
+        assert SearchResponse.from_dict(
+            _json_round_trip(plain.to_dict(include_meta=True))
+        ).shard is None
+
     def test_batch_response_round_trip(self):
         response = BatchResponse(
             entries=(

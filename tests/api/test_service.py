@@ -559,7 +559,10 @@ class TestObservability:
                 ]
             )
             assert "running" in repr(executor)
-        assert "idle" in repr(executor)
+        # Exiting the context manager closes the executor; per the
+        # lifecycle contract it now refuses work until re-entered.
+        assert "closed" in repr(executor)
+        assert executor.closed
 
     def test_run_batch_rejects_mismatched_parsed_queries(self, service):
         from repro.search.query import KeywordQuery

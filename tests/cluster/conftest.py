@@ -1,0 +1,45 @@
+"""Shared fixtures for the cluster (sharded serving) test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.corpus import Corpus
+
+#: the documents every equivalence test serves — enough of them that any
+#: shard count from 1 to 4 gets a non-trivial spread
+CLUSTER_DATASETS = (
+    ("figure5-stores", "stores"),
+    ("retail", "retail"),
+    ("movies", "movies"),
+    ("bibliography", "bibliography"),
+)
+
+QUERIES = (
+    "store texas",
+    "retailer apparel",
+    "movie drama",
+    "author",
+    "clothes casual",
+)
+
+
+def build_corpus() -> Corpus:
+    """A fresh multi-document corpus (never share one between services —
+    a document belongs to exactly one registry at a time)."""
+    corpus = Corpus()
+    for dataset, name in CLUSTER_DATASETS:
+        corpus.add_builtin(dataset, name=name)
+    return corpus
+
+
+@pytest.fixture()
+def corpus():
+    return build_corpus()
+
+
+@pytest.fixture()
+def single_service():
+    from repro.api import SnippetService
+
+    return SnippetService(build_corpus())

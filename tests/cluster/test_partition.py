@@ -1,0 +1,181 @@
+"""Tests for document→shard assignment and the cluster manifest."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster.partition import (
+    CLUSTER_MANIFEST_FILE,
+    ClusterManifest,
+    ExplicitPartitioner,
+    HashPartitioner,
+    manifest_for_partitioner,
+    partitioner_from_manifest,
+    read_cluster_manifest,
+    write_cluster_manifest,
+)
+from repro.errors import ClusterError, StorageError
+
+
+class TestHashPartitioner:
+    def test_deterministic_and_in_range(self):
+        partitioner = HashPartitioner(4)
+        names = [f"doc-{i}" for i in range(100)] + ["stores", "retail", "movies"]
+        first = [partitioner.shard_of(name) for name in names]
+        second = [partitioner.shard_of(name) for name in names]
+        assert first == second
+        assert all(0 <= shard < 4 for shard in first)
+
+    def test_stable_across_processes(self):
+        # SHA-1 based, not Python's salted hash: these pinned values must
+        # never drift, or a reloaded cluster would route new documents to
+        # different shards than the cluster that saved the manifest.
+        partitioner = HashPartitioner(4)
+        assert partitioner.shard_of("stores") == 0
+        assert partitioner.shard_of("retail") == 3
+        assert partitioner.shard_of("movies") == 2
+
+    def test_spreads_documents(self):
+        partitioner = HashPartitioner(4)
+        shards = {partitioner.shard_of(f"document-{i}") for i in range(64)}
+        assert shards == {0, 1, 2, 3}
+
+    def test_single_shard_degenerates(self):
+        partitioner = HashPartitioner(1)
+        assert partitioner.shard_of("anything") == 0
+
+    def test_bad_shard_count_rejected(self):
+        with pytest.raises(ClusterError):
+            HashPartitioner(0)
+        with pytest.raises(ClusterError):
+            HashPartitioner(True)
+        with pytest.raises(ClusterError):
+            HashPartitioner(-3)
+
+
+class TestExplicitPartitioner:
+    def test_assignments_and_default(self):
+        partitioner = ExplicitPartitioner({"hot": 0, "cold": 2}, 3, default=1)
+        assert partitioner.shard_of("hot") == 0
+        assert partitioner.shard_of("cold") == 2
+        assert partitioner.shard_of("anything-else") == 1
+
+    def test_unmapped_without_default_raises(self):
+        partitioner = ExplicitPartitioner({"hot": 0}, 2)
+        with pytest.raises(ClusterError, match="no explicit shard assignment"):
+            partitioner.shard_of("stranger")
+
+    def test_out_of_range_assignment_rejected(self):
+        with pytest.raises(ClusterError):
+            ExplicitPartitioner({"doc": 5}, 2)
+        with pytest.raises(ClusterError):
+            ExplicitPartitioner({"doc": -1}, 2)
+        with pytest.raises(ClusterError):
+            ExplicitPartitioner({}, 2, default=7)
+
+
+class TestClusterManifest:
+    def test_round_trip_hash(self, tmp_path):
+        manifest = manifest_for_partitioner(
+            HashPartitioner(3), ["shard-0", "shard-1", "shard-2"], version=4
+        )
+        write_cluster_manifest(tmp_path, manifest)
+        loaded = read_cluster_manifest(tmp_path)
+        assert loaded == manifest
+        assert isinstance(partitioner_from_manifest(loaded), HashPartitioner)
+
+    def test_round_trip_explicit_with_odd_names(self, tmp_path):
+        partitioner = ExplicitPartitioner(
+            {"doc with spaces": 1, "unicode-ö": 0}, 2, default=1
+        )
+        manifest = manifest_for_partitioner(partitioner, ["shard-0", "shard-1"])
+        write_cluster_manifest(tmp_path, manifest)
+        loaded = read_cluster_manifest(tmp_path)
+        rebuilt = partitioner_from_manifest(loaded)
+        assert rebuilt.shard_of("doc with spaces") == 1
+        assert rebuilt.shard_of("unicode-ö") == 0
+        assert rebuilt.shard_of("anything") == 1
+
+    def test_bumped_increments_version(self):
+        manifest = manifest_for_partitioner(HashPartitioner(2), ["shard-0", "shard-1"])
+        assert manifest.version == 1
+        assert manifest.bumped().version == 2
+        assert manifest.bumped().shard_dirs == manifest.shard_dirs
+
+    def test_missing_manifest(self, tmp_path):
+        with pytest.raises(StorageError, match="does not contain a saved eXtract cluster"):
+            read_cluster_manifest(tmp_path)
+
+    def test_truncated_manifest_rejected(self, tmp_path):
+        manifest = manifest_for_partitioner(HashPartitioner(2), ["shard-0", "shard-1"])
+        write_cluster_manifest(tmp_path, manifest)
+        path = tmp_path / CLUSTER_MANIFEST_FILE
+        text = path.read_text(encoding="utf-8")
+        path.write_text(text.replace("#end\n", ""), encoding="utf-8")
+        with pytest.raises(StorageError, match="truncated"):
+            read_cluster_manifest(tmp_path)
+
+    def test_shard_count_mismatch_rejected(self, tmp_path):
+        manifest = manifest_for_partitioner(HashPartitioner(2), ["shard-0", "shard-1"])
+        write_cluster_manifest(tmp_path, manifest)
+        path = tmp_path / CLUSTER_MANIFEST_FILE
+        text = path.read_text(encoding="utf-8").replace("#shards 2", "#shards 3")
+        path.write_text(text, encoding="utf-8")
+        with pytest.raises(StorageError, match="declares 3 shard"):
+            read_cluster_manifest(tmp_path)
+
+    def test_unknown_header_rejected(self, tmp_path):
+        (tmp_path / CLUSTER_MANIFEST_FILE).write_text("#not-a-cluster\n", encoding="utf-8")
+        with pytest.raises(StorageError, match="unrecognised"):
+            read_cluster_manifest(tmp_path)
+
+    def test_out_of_range_assignment_in_manifest_is_a_storage_error(self, tmp_path):
+        # A malformed manifest must fail while being *read* (StorageError),
+        # before any shard is loaded — not later as a ClusterError from
+        # partitioner construction.
+        partitioner = ExplicitPartitioner({"retail": 1}, 2)
+        write_cluster_manifest(
+            tmp_path, manifest_for_partitioner(partitioner, ["shard-0", "shard-1"])
+        )
+        path = tmp_path / CLUSTER_MANIFEST_FILE
+        text = path.read_text(encoding="utf-8").replace('assign 1 "retail"', 'assign 9 "retail"')
+        path.write_text(text, encoding="utf-8")
+        with pytest.raises(StorageError, match="outside"):
+            read_cluster_manifest(tmp_path)
+
+    def test_unknown_line_rejected(self, tmp_path):
+        manifest = manifest_for_partitioner(HashPartitioner(1), ["shard-0"])
+        write_cluster_manifest(tmp_path, manifest)
+        path = tmp_path / CLUSTER_MANIFEST_FILE
+        text = path.read_text(encoding="utf-8").replace(
+            "shard shard-0", "shard shard-0\nmystery line"
+        )
+        path.write_text(text, encoding="utf-8")
+        with pytest.raises(StorageError, match="unknown cluster manifest line"):
+            read_cluster_manifest(tmp_path)
+
+    def test_validate_rejects_duplicates_and_bad_kinds(self):
+        with pytest.raises(ClusterError):
+            ClusterManifest(
+                version=1, partitioner="hash", shard_dirs=("a", "a")
+            ).validate()
+        with pytest.raises(ClusterError):
+            ClusterManifest(
+                version=1, partitioner="mystery", shard_dirs=("a",)
+            ).validate()
+        with pytest.raises(ClusterError):
+            ClusterManifest(
+                version=0, partitioner="hash", shard_dirs=("a",)
+            ).validate()
+        # assignments only make sense for the explicit partitioner
+        with pytest.raises(ClusterError):
+            ClusterManifest(
+                version=1,
+                partitioner="hash",
+                shard_dirs=("a",),
+                assignments=(("doc", 0),),
+            ).validate()
+
+    def test_manifest_for_partitioner_checks_dir_count(self):
+        with pytest.raises(ClusterError):
+            manifest_for_partitioner(HashPartitioner(2), ["only-one"])

@@ -22,7 +22,9 @@ class TestParser:
         text = parser.format_help()
         for command in (
             "analyze", "search", "ilist", "datasets", "generate", "experiment",
-            "batch", "corpus-save", "corpus-update", "serve-request",
+            "batch", "corpus-save", "corpus-update", "corpus-compact",
+            "serve-request", "cluster-init", "cluster-serve-request",
+            "cluster-update",
         ):
             assert command in text
 
