@@ -20,13 +20,25 @@ Walks the ``repro.api`` protocol end to end:
 * serve the same documents from a **sharded cluster**
   (:class:`~repro.cluster.ClusterService`): byte-identical responses for
   any shard count, shard provenance in the opt-in ``meta`` block, and
-  replication deltas a replica can re-apply.
+  replication deltas a replica can re-apply,
+* put the whole thing **on the network**: wrap the service in the gateway
+  middleware stack (validation, admission control, deadlines, metrics),
+  start the asyncio HTTP frontend (:class:`~repro.api.HttpServer`), and
+  query it with the typed :class:`~repro.api.ServiceClient` — which is
+  itself a :class:`~repro.api.ServingBackend`, so remote and in-process
+  backends are interchangeable behind one seam.
 
 The same flow is available from the command line::
 
     echo '{"kind": "search", "schema_version": 1,
            "query": "store texas", "document": "stores"}' |
         python -m repro.cli serve-request --dataset figure5-stores --request -
+
+    python -m repro.cli serve --dataset figure5-stores --port 8080 \\
+        --max-in-flight 16 --deadline 30
+    curl -s -X POST http://127.0.0.1:8080/v1/search -d '{
+        "kind": "search", "schema_version": 1,
+        "query": "store texas", "document": "figure5-stores"}'
 """
 
 from __future__ import annotations
@@ -183,6 +195,49 @@ def main() -> None:
     #   python -m repro.cli cluster-serve-request --cluster-dir ./cluster --request -
     #   python -m repro.cli cluster-update --cluster-dir ./cluster --file edited.xml
     #   python -m repro.cli corpus-compact --corpus-dir ./cluster/shard-0
+
+    # ------------------------------------------------------------------ #
+    # 8. the network frontend: gateway middleware + HTTP server + client
+    # ------------------------------------------------------------------ #
+    from repro.api import HttpServer, ServiceClient, ServingBackend, build_gateway
+
+    # Any backend — the single-corpus service, the cluster router, or a
+    # middleware stack — plugs in behind the same ServingBackend seam.
+    gateway = build_gateway(
+        SnippetService(fresh_corpus()),
+        max_in_flight=8,    # admission control: shed load past 8 in flight
+        deadline=30.0,      # per-request deadline: a miss answers 504
+    )
+    print(f"=== gateway stack: {gateway.capabilities()['middleware']} ===")
+
+    with HttpServer(gateway, port=0) as server:  # port=0: pick a free port
+        client = ServiceClient(port=server.port)
+        print(f"client is a ServingBackend too: {isinstance(client, ServingBackend)}")
+
+        remote = client.execute(
+            SearchRequest(query="store texas", document="stores", size_bound=6)
+        )
+        print(f"over HTTP: {remote.total_results} results "
+              f"(kind {remote.kind}, algorithm {remote.algorithm})")
+
+        # The wire body is byte-identical to the in-process handle_json —
+        # HTTP adds transport, never semantics.
+        in_process = gateway.handle_json(json.dumps(probe.to_dict()))
+        over_http = json.dumps(client.handle_dict(probe.to_dict()), sort_keys=True)
+        print(f"HTTP bytes == in-process bytes: {in_process == over_http}")
+
+        # Errors carry machine-readable codes mapped to HTTP statuses:
+        # unknown_document -> 404, bad_request -> 400, overloaded -> 503.
+        missing = client.execute(SearchRequest(query="x", document="ghost"))
+        print(f"unknown document -> error code {missing.code!r}")
+
+        health = client.health()
+        served = client.stats()["requests"]["total"]
+        print(f"health {health['status']!r}; served {served} request(s) so far")
+
+    # The same server from the command line:
+    #   python -m repro.cli serve --dataset figure5-stores --port 8080 \
+    #       --max-in-flight 16 --deadline 30
 
 
 if __name__ == "__main__":

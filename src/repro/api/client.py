@@ -1,0 +1,201 @@
+"""A typed in-repo client for the HTTP frontend (:mod:`repro.api.http`).
+
+:class:`ServiceClient` speaks the versioned endpoints with stdlib
+``http.client`` and is **itself a** :class:`~repro.api.backend.ServingBackend`
+— a remote service plugs in behind the exact seam the local facades
+implement, so code written against the protocol cannot tell a
+:class:`~repro.api.SnippetService` in-process from one across the network::
+
+    from repro.api import SearchRequest, ServiceClient
+
+    client = ServiceClient("127.0.0.1", 8080)
+    response = client.execute(SearchRequest(query="store texas", document="stores"))
+
+``execute*`` return typed protocol responses; transport failures
+(connection refused, read timeout) become a structured
+:class:`~repro.api.protocol.ErrorResponse` with code ``internal`` instead
+of an exception, preserving the backend contract that ``execute*`` never
+raise.  The raw-dict endpoints (:meth:`handle_dict` and the inherited
+``handle_text`` / ``handle_json``) route on the payload's ``kind``.
+
+``keep_alive=True`` reuses one persistent connection (HTTP keep-alive) —
+noticeably faster for request streams, but then the client must stay on a
+single thread; the default opens a connection per request and is
+thread-safe.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import threading
+from typing import Any
+
+from repro.api.backend import ServingBackendBase
+from repro.api.protocol import (
+    BatchRequest,
+    BatchResponse,
+    ErrorResponse,
+    SearchRequest,
+    SearchResponse,
+    UpdateRequest,
+    UpdateResponse,
+    parse_response,
+)
+from repro.api.http import POST_ENDPOINTS
+from repro.errors import ProtocolError
+
+#: request kind → versioned endpoint (the inverse of the server's table)
+ENDPOINT_BY_KIND = {kind: path for path, kind in POST_ENDPOINTS.items()}
+
+
+class ServiceClient(ServingBackendBase):
+    """Drive a served backend over HTTP; a backend itself."""
+
+    backend_name = "http-client"
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 8080,
+        timeout: float = 30.0,
+        keep_alive: bool = False,
+    ):
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+        self.keep_alive = keep_alive
+        self._conn: http.client.HTTPConnection | None = None
+        self._conn_lock = threading.Lock()
+
+    # ------------------------------------------------------------------ #
+    # transport
+    # ------------------------------------------------------------------ #
+    def _open(self) -> http.client.HTTPConnection:
+        return http.client.HTTPConnection(self.host, self.port, timeout=self.timeout)
+
+    def _round_trip(self, method: str, path: str, body: bytes | None) -> dict[str, Any]:
+        headers = {"Content-Type": "application/json"} if body is not None else {}
+        # A broken persistent connection is retried once — but only for
+        # idempotent traffic.  An update the server may already have
+        # applied (it consumed the request, the response got lost) must
+        # never be silently re-sent: the retry would apply it twice.
+        retriable = method == "GET" or path != "/v1/update"
+        if self.keep_alive:
+            with self._conn_lock:
+                for attempt in (1, 2):
+                    if self._conn is None:
+                        self._conn = self._open()
+                    try:
+                        self._conn.request(method, path, body=body, headers=headers)
+                        response = self._conn.getresponse()
+                        text = response.read().decode("utf-8")
+                        break
+                    except (http.client.HTTPException, OSError):
+                        self._conn.close()
+                        self._conn = None
+                        if attempt == 2 or not retriable:
+                            raise
+        else:
+            conn = self._open()
+            try:
+                conn.request(method, path, body=body, headers=headers)
+                response = conn.getresponse()
+                text = response.read().decode("utf-8")
+            finally:
+                conn.close()
+        try:
+            payload = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise ProtocolError(f"server returned a non-JSON body: {exc}") from exc
+        if not isinstance(payload, dict):
+            raise ProtocolError(
+                f"server returned a non-object JSON body ({type(payload).__name__})"
+            )
+        return payload
+
+    def _post_dict(self, payload: dict[str, Any]) -> dict[str, Any]:
+        kind = payload.get("kind") if isinstance(payload, dict) else None
+        # Unroutable payloads (unknown, missing, or unhashable kinds) still
+        # go to /v1/search so the *server* produces its canonical
+        # structured error for them.
+        path = ENDPOINT_BY_KIND.get(kind, "/v1/search") if isinstance(kind, str) else "/v1/search"
+        try:
+            body = json.dumps(payload, sort_keys=True).encode("utf-8")
+        except (TypeError, ValueError) as exc:
+            raise ProtocolError(f"request payload is not JSON-serialisable: {exc}") from exc
+        return self._round_trip("POST", path, body)
+
+    @staticmethod
+    def _transport_error(
+        exc: Exception, request: dict[str, Any] | None
+    ) -> ErrorResponse:
+        return ErrorResponse(
+            error=type(exc).__name__,
+            message=f"transport failure talking to the service: {exc}",
+            request=request,
+            code="internal",
+        )
+
+    # ------------------------------------------------------------------ #
+    # the backend surface
+    # ------------------------------------------------------------------ #
+    def execute(self, request: SearchRequest) -> SearchResponse | ErrorResponse:
+        try:
+            return parse_response(self._post_dict(request.to_dict()))
+        except (OSError, http.client.HTTPException, ProtocolError) as exc:
+            return self._transport_error(exc, request.to_dict())
+
+    def execute_batch(self, batch: BatchRequest) -> BatchResponse | ErrorResponse:
+        try:
+            return parse_response(self._post_dict(batch.to_dict()))
+        except (OSError, http.client.HTTPException, ProtocolError) as exc:
+            return self._transport_error(exc, batch.to_dict())
+
+    def execute_update(self, request: UpdateRequest) -> UpdateResponse | ErrorResponse:
+        try:
+            return parse_response(self._post_dict(request.to_dict()))
+        except (OSError, http.client.HTTPException, ProtocolError) as exc:
+            return self._transport_error(exc, request.to_dict())
+
+    def handle_dict(
+        self,
+        payload: dict[str, Any],
+        request: SearchRequest | BatchRequest | UpdateRequest | None = None,
+    ) -> dict[str, Any]:
+        """Ship the raw payload to the server and return its raw answer —
+        parsing, validation and error shaping all happen server-side, so
+        the dict that comes back is exactly what any other backend's
+        ``handle_dict`` would have produced."""
+        del request  # the server re-parses; a pre-parsed form saves nothing
+        try:
+            return self._post_dict(payload)
+        except (OSError, http.client.HTTPException, ProtocolError) as exc:
+            echoed = payload if isinstance(payload, dict) else None
+            return self._transport_error(exc, echoed).to_dict()
+
+    # ------------------------------------------------------------------ #
+    # monitoring endpoints
+    # ------------------------------------------------------------------ #
+    def health(self) -> dict[str, Any]:
+        """``GET /v1/health`` (raises on transport failure — health checks
+        must distinguish "down" from "unhealthy answer")."""
+        return self._round_trip("GET", "/v1/health", None)
+
+    def capabilities(self) -> dict[str, Any]:
+        """The *served* backend's capabilities (from the health endpoint)."""
+        return self.health().get("backend", {})
+
+    def stats(self) -> dict[str, Any]:
+        """``GET /v1/stats`` — the served backend's counters."""
+        return self._round_trip("GET", "/v1/stats", None)
+
+    def close(self) -> None:
+        with self._conn_lock:
+            if self._conn is not None:
+                self._conn.close()
+                self._conn = None
+
+    def __repr__(self) -> str:
+        mode = "keep-alive" if self.keep_alive else "per-request"
+        return f"<ServiceClient http://{self.host}:{self.port} ({mode})>"

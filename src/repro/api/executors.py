@@ -32,7 +32,7 @@ from __future__ import annotations
 import abc
 import threading
 from collections.abc import Callable, Sequence
-from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures import Future, ThreadPoolExecutor
 from typing import Any, TypeVar
 
 _Item = TypeVar("_Item")
@@ -68,6 +68,26 @@ class Executor(abc.ABC):
         in a plain ``for`` loop.  Raises :class:`RuntimeError` when the
         executor has been closed.
         """
+
+    def submit(self, fn: Callable[..., _Result], *args: Any) -> "Future[_Result]":
+        """Submit one call, returning a :class:`concurrent.futures.Future`.
+
+        This is the bridge an async frontend needs: the HTTP server awaits
+        the future (``asyncio.wrap_future``) while the blocking backend
+        call runs wherever the executor policy puts it.  The base
+        implementation runs the call **inline** and returns an
+        already-completed future (serial semantics — an event loop driving
+        it will block, which is exactly what "serial" means);
+        :class:`ConcurrentExecutor` dispatches to its thread pool.  Raises
+        :class:`RuntimeError` when the executor has been closed.
+        """
+        self._require_open()
+        future: Future[_Result] = Future()
+        try:
+            future.set_result(fn(*args))
+        except BaseException as exc:  # noqa: BLE001 - mirrored into the future
+            future.set_exception(exc)
+        return future
 
     def close(self) -> None:
         """Release worker resources (idempotent).
@@ -134,6 +154,16 @@ class ConcurrentExecutor(Executor):
                     max_workers=self.max_workers, thread_name_prefix=f"repro-{self.name}"
                 )
             return [self._pool.submit(fn, item) for item in items]
+
+    def submit(self, fn: Callable[..., _Result], *args: Any) -> "Future[_Result]":
+        """Dispatch one call to the shared pool (created lazily)."""
+        with self._pool_lock:
+            self._require_open()
+            if self._pool is None:
+                self._pool = ThreadPoolExecutor(
+                    max_workers=self.max_workers, thread_name_prefix=f"repro-{self.name}"
+                )
+            return self._pool.submit(fn, *args)
 
     def map(self, fn: Callable[[_Item], _Result], items: Sequence[_Item]) -> list[_Result]:
         self._require_open()

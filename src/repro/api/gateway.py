@@ -1,0 +1,356 @@
+"""The gateway: composable middleware around any :class:`ServingBackend`.
+
+A middleware wraps an inner backend and is **itself a backend** — the
+composition is uniform, so stages stack in any order and each one is
+individually testable against the same contract:
+
+* :class:`ValidationMiddleware` — reject ill-formed requests with a
+  structured ``bad_request`` error before they reach the backend;
+* :class:`DeadlineMiddleware` — bound per-request wall-clock: a request
+  that misses its deadline comes back as a ``deadline_exceeded`` error
+  (HTTP 504) instead of hanging its caller;
+* :class:`AdmissionControlMiddleware` — bound concurrent in-flight
+  requests: a saturating burst is shed with ``overloaded`` errors
+  (HTTP 503) instead of queueing without bound, while already-admitted
+  requests complete normally;
+* :class:`MetricsMiddleware` — request/response/error counters (exposed
+  through :meth:`~Middleware.stats`) plus an optional per-request log
+  callback.
+
+:func:`build_gateway` assembles the canonical stack::
+
+    metrics(validation(deadline(admission(backend))))
+
+— metrics outermost so every outcome (including shed load) is counted,
+validation before the expensive stages so malformed requests never cost a
+worker or a slot, and admission **inside** the deadline: a timed-out
+request's abandoned worker keeps its admission slot until the backend
+call actually finishes, so ``max_in_flight`` bounds *real* backend
+concurrency — a wedged backend makes later arrivals shed with
+``overloaded`` instead of piling ever more abandoned workers onto it.
+
+Every middleware's single extension point is
+:meth:`Middleware.process(request, call_next) <Middleware.process>`, which
+sees search, batch and update requests alike — one implementation guards
+all three request shapes.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Any, Callable
+
+from repro.api.backend import ServingBackend, ServingBackendBase
+from repro.api.protocol import (
+    BatchRequest,
+    BatchResponse,
+    ErrorResponse,
+    SearchRequest,
+    SearchResponse,
+    UpdateRequest,
+    UpdateResponse,
+)
+from repro.errors import DeadlineError, ExtractError, OverloadedError
+
+AnyRequest = SearchRequest | BatchRequest | UpdateRequest
+AnyResponse = SearchResponse | BatchResponse | UpdateResponse | ErrorResponse
+CallNext = Callable[[AnyRequest], AnyResponse]
+
+
+class Middleware(ServingBackendBase):
+    """A backend that decorates another backend.
+
+    Subclasses override :meth:`process`; the three ``execute*`` methods
+    funnel through it with the matching inner call, so one hook guards
+    every request shape.  Introspection and lifecycle delegate inward:
+    :meth:`capabilities` reports the inner backend's surface plus the
+    middleware chain (innermost first), :meth:`stats` merges this stage's
+    counters over the inner report, :meth:`close` closes the whole stack.
+    """
+
+    #: short stage name, shown in the capabilities middleware chain
+    name: str = "middleware"
+
+    def __init__(self, inner: ServingBackend):
+        self.inner = inner
+
+    def process(self, request: AnyRequest, call_next: CallNext) -> AnyResponse:
+        """Serve one request; ``call_next(request)`` invokes the inner stage.
+
+        The default is a transparent pass-through.  Implementations may
+        short-circuit (return without calling ``call_next``), substitute
+        the request, or inspect the response on the way out — but must
+        return a protocol response, never raise a library error.
+        """
+        return call_next(request)
+
+    # ------------------------------------------------------------------ #
+    # the backend surface, funnelled through process()
+    # ------------------------------------------------------------------ #
+    def execute(self, request: SearchRequest) -> SearchResponse | ErrorResponse:
+        return self.process(request, self.inner.execute)
+
+    def execute_batch(self, batch: BatchRequest) -> BatchResponse | ErrorResponse:
+        return self.process(batch, self.inner.execute_batch)
+
+    def execute_update(self, request: UpdateRequest) -> UpdateResponse | ErrorResponse:
+        return self.process(request, self.inner.execute_update)
+
+    # ------------------------------------------------------------------ #
+    # introspection & lifecycle
+    # ------------------------------------------------------------------ #
+    def capabilities(self) -> dict[str, Any]:
+        caps = dict(self.inner.capabilities())
+        caps["middleware"] = [*caps.get("middleware", []), self.name]
+        return caps
+
+    def stats(self) -> dict[str, Any]:
+        return dict(self.inner.stats())
+
+    def close(self) -> None:
+        self.inner.close()
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} inner={self.inner!r}>"
+
+
+class ValidationMiddleware(Middleware):
+    """Reject ill-formed requests before they consume backend resources.
+
+    ``request.validate()`` failures become a structured ``bad_request``
+    error response — the same shape the backend itself would produce, but
+    produced here so later stages (admission slots, deadline workers)
+    never pay for garbage.
+    """
+
+    name = "validation"
+
+    def process(self, request: AnyRequest, call_next: CallNext) -> AnyResponse:
+        try:
+            request.validate()
+        except ExtractError as error:
+            return ErrorResponse.from_exception(error, request=request.to_dict())
+        return call_next(request)
+
+
+class DeadlineMiddleware(Middleware):
+    """Bound per-request wall-clock time.
+
+    The inner call runs on a **dedicated** worker thread; if it has not
+    completed within ``timeout`` seconds the caller gets a
+    ``deadline_exceeded`` error response (HTTP 504).  Python threads
+    cannot be killed, so the abandoned worker runs its request to
+    completion in the background — the deadline bounds the *caller's*
+    latency, not the backend's work (same trade-off as every thread-based
+    timeout).  One thread per request (not a bounded pool) is deliberate:
+    an abandoned worker must never make a new request queue behind dead
+    work and burn its own deadline waiting for a free slot.  Bounding how
+    many workers can occupy the backend at once is admission control's
+    job — compose it **inside** this stage (see :func:`build_gateway`) so
+    an abandoned worker keeps its slot until the backend call really
+    finishes.
+    """
+
+    name = "deadline"
+
+    def __init__(self, inner: ServingBackend, timeout: float):
+        if not isinstance(timeout, (int, float)) or isinstance(timeout, bool) or timeout <= 0:
+            raise ValueError(f"timeout must be a positive number of seconds, got {timeout!r}")
+        super().__init__(inner)
+        self.timeout = float(timeout)
+
+    def process(self, request: AnyRequest, call_next: CallNext) -> AnyResponse:
+        outcome: dict[str, Any] = {}
+        done = threading.Event()
+
+        def run() -> None:
+            try:
+                outcome["response"] = call_next(request)
+            except BaseException as exc:  # noqa: BLE001 - re-raised in the caller
+                outcome["error"] = exc
+            finally:
+                done.set()
+
+        worker = threading.Thread(target=run, name="repro-deadline", daemon=True)
+        worker.start()
+        if not done.wait(self.timeout):
+            return ErrorResponse.from_exception(
+                DeadlineError(
+                    f"request missed its {self.timeout:.3f}s deadline "
+                    "(the server kept working; retry with a larger deadline)"
+                ),
+                request=request.to_dict(),
+            )
+        if "error" in outcome:
+            raise outcome["error"]
+        return outcome["response"]
+
+
+class AdmissionControlMiddleware(Middleware):
+    """Bound concurrent in-flight requests; shed the excess explicitly.
+
+    At most ``max_in_flight`` requests run in the stack below at once.  A
+    request arriving with no free slot is **rejected immediately** with an
+    ``overloaded`` error response (HTTP 503) — a non-blocking semaphore
+    probe, so the overload path cannot deadlock and cannot queue without
+    bound.  Admitted requests always release their slot (`finally`), even
+    when the backend fails.
+    """
+
+    name = "admission"
+
+    def __init__(self, inner: ServingBackend, max_in_flight: int):
+        if (
+            not isinstance(max_in_flight, int)
+            or isinstance(max_in_flight, bool)
+            or max_in_flight < 1
+        ):
+            raise ValueError(
+                f"max_in_flight must be a positive integer, got {max_in_flight!r}"
+            )
+        super().__init__(inner)
+        self.max_in_flight = max_in_flight
+        self._slots = threading.BoundedSemaphore(max_in_flight)
+        self._counter_lock = threading.Lock()
+        self._admitted = 0
+        self._rejected = 0
+
+    def process(self, request: AnyRequest, call_next: CallNext) -> AnyResponse:
+        if not self._slots.acquire(blocking=False):
+            with self._counter_lock:
+                self._rejected += 1
+            return ErrorResponse.from_exception(
+                OverloadedError(
+                    f"server is at its in-flight request limit "
+                    f"({self.max_in_flight}); retry later"
+                ),
+                request=request.to_dict(),
+            )
+        try:
+            with self._counter_lock:
+                self._admitted += 1
+            return call_next(request)
+        finally:
+            self._slots.release()
+
+    def stats(self) -> dict[str, Any]:
+        merged = super().stats()
+        with self._counter_lock:
+            merged["admission"] = {
+                "max_in_flight": self.max_in_flight,
+                "admitted": self._admitted,
+                "rejected": self._rejected,
+            }
+        return merged
+
+
+class MetricsMiddleware(Middleware):
+    """Count requests, responses and error codes; optionally log each call.
+
+    Counters are cumulative since construction and exposed through
+    :meth:`stats` under the ``"requests"`` key::
+
+        {"requests": {"total": 7, "by_kind": {"search": 6, "batch": 1},
+                      "errors": 2, "by_code": {"unknown_document": 2},
+                      "seconds": 0.42}}
+
+    Payloads that fail to parse at the JSON endpoints are counted too
+    (``by_kind`` bucket ``"invalid"``) — a flood of garbage requests must
+    be visible in the stats, not invisible because it never produced a
+    typed request.  ``log`` (when given) is called after every request as
+    ``log(request, response, seconds)`` — the request-logging hook; it
+    runs outside the counter lock, and a failing logger never fails the
+    request.
+    """
+
+    name = "metrics"
+
+    def __init__(
+        self,
+        inner: ServingBackend,
+        log: Callable[[AnyRequest, AnyResponse, float], None] | None = None,
+    ):
+        super().__init__(inner)
+        self._log = log
+        self._lock = threading.Lock()
+        self._total = 0
+        self._errors = 0
+        self._seconds = 0.0
+        self._by_kind: dict[str, int] = {}
+        self._by_code: dict[str, int] = {}
+
+    def _record(self, kind: str, response: AnyResponse, seconds: float) -> None:
+        with self._lock:
+            self._total += 1
+            self._seconds += seconds
+            self._by_kind[kind] = self._by_kind.get(kind, 0) + 1
+            if isinstance(response, ErrorResponse):
+                self._errors += 1
+                code = response.code or "internal"
+                self._by_code[code] = self._by_code.get(code, 0) + 1
+
+    def process(self, request: AnyRequest, call_next: CallNext) -> AnyResponse:
+        started = time.perf_counter()
+        response = call_next(request)
+        seconds = time.perf_counter() - started
+        self._record(request.kind, response, seconds)
+        if self._log is not None:
+            try:
+                self._log(request, response, seconds)
+            except Exception:  # noqa: BLE001 - observability must not fail serving
+                pass
+        return response
+
+    def _reject(self, error: ExtractError, request: dict[str, Any] | None) -> dict[str, Any]:
+        # Payloads rejected before they became a typed request (malformed
+        # JSON, unknown kind) never reach process(); the base endpoints
+        # funnel them through this hook, so they land in the counters too.
+        response = ErrorResponse.from_exception(error, request=request)
+        self._record("invalid", response, 0.0)
+        return response.to_dict()
+
+    def stats(self) -> dict[str, Any]:
+        merged = super().stats()
+        with self._lock:
+            merged["requests"] = {
+                "total": self._total,
+                "by_kind": dict(self._by_kind),
+                "errors": self._errors,
+                "by_code": dict(self._by_code),
+                "seconds": self._seconds,
+            }
+        return merged
+
+
+def build_gateway(
+    backend: ServingBackend,
+    validate: bool = True,
+    max_in_flight: int | None = None,
+    deadline: float | None = None,
+    metrics: bool = True,
+    log: Callable[[AnyRequest, AnyResponse, float], None] | None = None,
+) -> ServingBackend:
+    """Wrap ``backend`` in the canonical middleware stack.
+
+    Stages are applied innermost-first — admission, deadline, validation,
+    metrics — so the composed order is
+    ``metrics(validation(deadline(admission(backend))))``; any stage whose
+    knob is ``None``/``False`` is skipped.  Admission sits inside the
+    deadline on purpose: a timed-out request's worker holds its slot until
+    the backend call finishes, so ``max_in_flight`` bounds how many calls
+    can actually occupy the backend — arrivals beyond that are shed
+    quickly with ``overloaded`` rather than stacking abandoned workers on
+    a wedged backend.  Closing the returned backend closes the whole
+    stack down to ``backend`` itself.
+    """
+    stack = backend
+    if max_in_flight is not None:
+        stack = AdmissionControlMiddleware(stack, max_in_flight=max_in_flight)
+    if deadline is not None:
+        stack = DeadlineMiddleware(stack, timeout=deadline)
+    if validate:
+        stack = ValidationMiddleware(stack)
+    if metrics or log is not None:
+        stack = MetricsMiddleware(stack, log=log)
+    return stack

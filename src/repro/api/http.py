@@ -1,0 +1,392 @@
+"""The asyncio HTTP/1.1 JSON frontend over any :class:`ServingBackend`.
+
+The original eXtract demo was a web service (§4); this module is the
+reproduction's network face — stdlib ``asyncio`` only, no third-party
+dependencies.  Versioned endpoints:
+
+===========================  =====================================================
+``POST /v1/search``          one :class:`~repro.api.SearchRequest` payload
+``POST /v1/batch``           one :class:`~repro.api.BatchRequest` payload
+``POST /v1/update``          one :class:`~repro.api.UpdateRequest` payload
+``GET /v1/health``           liveness + backend capabilities
+``GET /v1/stats``            the backend's serving counters
+===========================  =====================================================
+
+Contract: for a well-routed request the response **body is byte-identical
+to the in-process** ``backend.handle_json(body)`` — the HTTP layer adds
+transport, never semantics.  Protocol failures stay structured
+:class:`~repro.api.protocol.ErrorResponse` bodies, with the HTTP status
+derived from their machine-readable ``code`` via the documented
+:data:`~repro.api.protocol.HTTP_STATUS_BY_CODE` mapping (``bad_request`` →
+400, ``unknown_document`` → 404, ``overloaded`` → 503,
+``deadline_exceeded`` → 504, ...).
+
+The event loop never runs backend work: blocking calls go through the
+executor seam (:meth:`repro.api.executors.Executor.submit` +
+``asyncio.wrap_future``), by default a
+:class:`~repro.api.executors.ConcurrentExecutor` thread pool — pass a
+:class:`~repro.api.executors.SerialExecutor` to serialise the whole server
+(useful for deterministic tests).
+
+Two ways to run it::
+
+    # embedded in an asyncio program
+    server = HttpServer(backend, port=8080)
+    await server.serve_async()
+
+    # threaded, from synchronous code (tests, the CLI `serve` command)
+    with HttpServer(backend, port=0) as server:
+        print(server.port)   # the bound port
+        ...                  # server answers until the with-block exits
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import threading
+from typing import Any
+
+from repro.api.backend import ServingBackend
+from repro.api.executors import ConcurrentExecutor, Executor
+from repro.api.protocol import (
+    BatchRequest,
+    ErrorResponse,
+    SearchRequest,
+    UpdateRequest,
+    http_status_for_code,
+)
+from repro.errors import ProtocolError
+
+#: request kind expected by each POST endpoint
+POST_ENDPOINTS = {
+    "/v1/search": SearchRequest.kind,
+    "/v1/batch": BatchRequest.kind,
+    "/v1/update": UpdateRequest.kind,
+}
+
+GET_ENDPOINTS = ("/v1/health", "/v1/stats")
+
+#: largest accepted request body; a bound, not a tuning knob — one XML
+#: document per update request easily fits.
+MAX_BODY_BYTES = 64 * 1024 * 1024
+
+#: largest accepted request line + header block
+MAX_HEADER_BYTES = 64 * 1024
+
+_REASONS = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    411: "Length Required",
+    413: "Payload Too Large",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+    504: "Gateway Timeout",
+}
+
+
+def _error_body(message: str, code: str, request: dict[str, Any] | None = None) -> dict[str, Any]:
+    """A transport-level failure in the same ErrorResponse wire shape the
+    protocol uses everywhere else, so clients parse exactly one format."""
+    return ErrorResponse(
+        error="ProtocolError", message=message, request=request, code=code
+    ).to_dict()
+
+
+class HttpServer:
+    """Serve a :class:`ServingBackend` over HTTP/1.1 (keep-alive, JSON).
+
+    ``port=0`` binds an ephemeral port; :attr:`port` holds the real one
+    once the server is up.  ``executor`` is the blocking-call seam
+    (defaults to a :class:`ConcurrentExecutor`; owned executors are closed
+    with the server).  ``max_requests`` stops the server after N served
+    requests — the hook scripted smoke runs and the CLI use for bounded
+    serving.
+    """
+
+    def __init__(
+        self,
+        backend: ServingBackend,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        executor: Executor | None = None,
+        max_requests: int | None = None,
+    ):
+        self.backend = backend
+        self.host = host
+        self.port = port
+        self.executor = executor if executor is not None else ConcurrentExecutor(max_workers=8)
+        self._owns_executor = executor is None
+        self.max_requests = max_requests
+        self.requests_served = 0
+        self._count_lock = threading.Lock()
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._shutdown: asyncio.Event | None = None
+        self._thread: threading.Thread | None = None
+        self._started = threading.Event()
+        self._startup_error: BaseException | None = None
+
+    # ------------------------------------------------------------------ #
+    # request handling
+    # ------------------------------------------------------------------ #
+    def _serve_payload(self, method: str, path: str, body: str) -> tuple[int, dict[str, Any]]:
+        """One request → (status, response dict).  Runs on an executor
+        worker — everything here may block."""
+        if path not in POST_ENDPOINTS and path not in GET_ENDPOINTS:
+            return self._route_miss(method, path)
+        if method == "GET":
+            if path == "/v1/health":
+                return 200, {"status": "ok", "backend": self.backend.capabilities()}
+            if path == "/v1/stats":
+                return 200, self.backend.stats()
+        if method != "POST" or path not in POST_ENDPOINTS:
+            # The endpoint exists but not under this verb — 405, distinct
+            # from the 404 a missing path gets (the documented semantics
+            # of the two codes).
+            allowed = "POST" if path in POST_ENDPOINTS else "GET"
+            return 405, _error_body(
+                f"method {method} is not allowed on {path}; use {allowed}",
+                code="method_not_allowed",
+            )
+        expected_kind = POST_ENDPOINTS[path]
+        try:
+            payload = json.loads(body)
+        except (json.JSONDecodeError, ValueError):
+            # handle_text reproduces the canonical invalid-JSON error.
+            response = self.backend.handle_text(body)
+        else:
+            if isinstance(payload, dict):
+                kind = payload.get("kind")
+                # Only a *valid but different* kind is a misroute; unknown
+                # or ill-typed kinds fall through to the backend, whose
+                # canonical structured error keeps HTTP bytes identical to
+                # handle_json.
+                if kind != expected_kind and kind in POST_ENDPOINTS.values():
+                    return 400, _error_body(
+                        f"endpoint {path} serves kind {expected_kind!r}, "
+                        f"got {kind!r} (POST /v1/<kind> must match the payload kind)",
+                        code="bad_request",
+                        request=payload,
+                    )
+            # Already parsed — hand the object over directly; re-parsing
+            # the text would deserialise every request body twice.
+            response = self.backend.handle_dict(payload)
+        status = 200
+        if response.get("kind") == ErrorResponse.kind:
+            status = http_status_for_code(response.get("code"))
+        return status, response
+
+    def _route_miss(self, method: str, path: str) -> tuple[int, dict[str, Any]]:
+        known = sorted([*POST_ENDPOINTS, *GET_ENDPOINTS])
+        return 404, _error_body(
+            f"no endpoint {method} {path}; available: {', '.join(known)}",
+            code="not_found",
+        )
+
+    async def _respond(
+        self,
+        writer: asyncio.StreamWriter,
+        status: int,
+        payload: dict[str, Any],
+        keep_alive: bool,
+    ) -> None:
+        # sort_keys=True matches handle_json exactly — the byte-identity
+        # contract the round-trip tests pin down.
+        body = json.dumps(payload, sort_keys=True).encode("utf-8")
+        head = (
+            f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}\r\n"
+            "Content-Type: application/json\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            f"Connection: {'keep-alive' if keep_alive else 'close'}\r\n"
+            "\r\n"
+        ).encode("ascii")
+        writer.write(head + body)
+        await writer.drain()
+
+    async def _read_request(
+        self, reader: asyncio.StreamReader
+    ) -> tuple[str, str, dict[str, str], bytes] | None:
+        """Parse one request; None on clean EOF (client closed keep-alive)."""
+        try:
+            request_line = await reader.readline()
+        except ConnectionError:
+            return None
+        except ValueError as exc:
+            # The StreamReader raises ValueError when a line exceeds its
+            # buffer limit — an oversized request line is a 400, not a
+            # dropped connection.
+            raise ProtocolError(f"HTTP request line exceeds the server limit: {exc}") from exc
+        if not request_line.strip():
+            return None
+        parts = request_line.decode("latin-1").split()
+        if len(parts) != 3:
+            raise ProtocolError(f"malformed HTTP request line: {request_line!r}")
+        method, path, _version = parts
+        headers: dict[str, str] = {}
+        header_bytes = 0
+        while True:
+            try:
+                line = await reader.readline()
+            except ValueError as exc:
+                raise ProtocolError(f"HTTP header exceeds the server limit: {exc}") from exc
+            header_bytes += len(line)
+            if header_bytes > MAX_HEADER_BYTES:
+                raise ProtocolError("HTTP header block exceeds the server limit")
+            if line in (b"\r\n", b"\n", b""):
+                break
+            name, _, value = line.decode("latin-1").partition(":")
+            headers[name.strip().lower()] = value.strip()
+        encoding = headers.get("transfer-encoding", "identity").lower()
+        if encoding not in ("", "identity"):
+            # Silently reading length 0 would serve an empty body and then
+            # misparse the first chunk-size line as the next request.
+            raise ProtocolError(
+                f"Transfer-Encoding {encoding!r} is not supported; "
+                "send a Content-Length body"
+            )
+        length_text = headers.get("content-length", "0")
+        try:
+            length = int(length_text)
+        except ValueError as exc:
+            raise ProtocolError(f"invalid Content-Length {length_text!r}") from exc
+        if length < 0 or length > MAX_BODY_BYTES:
+            raise ProtocolError(f"request body of {length} bytes exceeds the server limit")
+        body = await reader.readexactly(length) if length else b""
+        return method, path.split("?", 1)[0], headers, body
+
+    async def _on_client(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            while True:
+                try:
+                    parsed = await self._read_request(reader)
+                except ProtocolError as error:
+                    await self._respond(
+                        writer, 400, _error_body(str(error), code="bad_request"), False
+                    )
+                    break
+                except (asyncio.IncompleteReadError, ConnectionError):
+                    break
+                if parsed is None:
+                    break
+                method, path, headers, body = parsed
+                keep_alive = headers.get("connection", "keep-alive").lower() != "close"
+                try:
+                    # The blocking backend call runs through the executor
+                    # seam; the event loop stays free for other connections.
+                    future = self.executor.submit(
+                        self._serve_payload, method, path, body.decode("utf-8", "replace")
+                    )
+                    status, payload = await asyncio.wrap_future(future)
+                except asyncio.CancelledError:
+                    raise
+                except Exception as exc:  # noqa: BLE001 - a crash must answer 500
+                    status = 500
+                    payload = _error_body(
+                        f"internal server error: {exc}", code="internal"
+                    )
+                    keep_alive = False
+                await self._respond(writer, status, payload, keep_alive)
+                if self._count_request():
+                    break
+                if not keep_alive:
+                    break
+        except (ConnectionError, asyncio.CancelledError):
+            pass
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    def _count_request(self) -> bool:
+        """Bump the served counter; True when the request budget is spent."""
+        with self._count_lock:
+            self.requests_served += 1
+            spent = (
+                self.max_requests is not None
+                and self.requests_served >= self.max_requests
+            )
+        if spent and self._loop is not None and self._shutdown is not None:
+            self._loop.call_soon_threadsafe(self._shutdown.set)
+        return spent
+
+    # ------------------------------------------------------------------ #
+    # lifecycle
+    # ------------------------------------------------------------------ #
+    async def serve_async(self) -> None:
+        """Bind, publish :attr:`port`, and serve until :meth:`stop` (or the
+        ``max_requests`` budget) shuts the server down."""
+        self._loop = asyncio.get_running_loop()
+        self._shutdown = asyncio.Event()
+        server = await asyncio.start_server(self._on_client, self.host, self.port)
+        self.port = server.sockets[0].getsockname()[1]
+        self._started.set()
+        try:
+            async with server:
+                await self._shutdown.wait()
+        finally:
+            self._started.clear()
+
+    def _run(self) -> None:
+        try:
+            asyncio.run(self.serve_async())
+        except BaseException as exc:  # noqa: BLE001 - surfaced to start()
+            self._startup_error = exc
+            self._started.set()
+
+    def start(self, timeout: float = 10.0) -> "HttpServer":
+        """Run the server on a daemon thread; returns once it is accepting
+        connections (with :attr:`port` resolved)."""
+        if self._thread is not None and self._thread.is_alive():
+            raise RuntimeError("the server is already running")
+        if self._owns_executor and self.executor.closed:
+            # stop() closed the owned executor; a restart must reopen it
+            # (the documented context-manager re-entry contract) or every
+            # request would answer 500 off a closed pool.
+            self.executor.__enter__()
+        self._startup_error = None
+        self._started.clear()
+        self._thread = threading.Thread(
+            target=self._run, name="repro-http", daemon=True
+        )
+        self._thread.start()
+        if not self._started.wait(timeout):
+            raise RuntimeError("the HTTP server did not start in time")
+        if self._startup_error is not None:
+            error, self._startup_error = self._startup_error, None
+            raise RuntimeError(f"the HTTP server failed to start: {error}") from error
+        return self
+
+    def stop(self, timeout: float = 10.0) -> None:
+        """Shut the server down (idempotent); closes an owned executor."""
+        if self._loop is not None and self._shutdown is not None:
+            try:
+                self._loop.call_soon_threadsafe(self._shutdown.set)
+            except RuntimeError:
+                pass  # loop already closed
+        if self._thread is not None:
+            self._thread.join(timeout)
+            self._thread = None
+        if self._owns_executor:
+            self.executor.close()
+
+    def join(self, timeout: float | None = None) -> None:
+        """Block until the serving thread exits (Ctrl-C still interrupts —
+        the CLI's foreground wait)."""
+        if self._thread is not None:
+            self._thread.join(timeout)
+
+    def __enter__(self) -> "HttpServer":
+        return self.start()
+
+    def __exit__(self, *_exc: Any) -> None:
+        self.stop()
+
+    def __repr__(self) -> str:
+        state = "running" if self._started.is_set() else "stopped"
+        return f"<HttpServer {self.host}:{self.port} backend={self.backend!r} ({state})>"

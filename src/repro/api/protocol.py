@@ -29,7 +29,15 @@ from __future__ import annotations
 from dataclasses import dataclass, field, fields, replace
 from typing import TYPE_CHECKING, Any, ClassVar
 
-from repro.errors import ProtocolError
+from repro.errors import (
+    DeadlineError,
+    OverloadedError,
+    PagingError,
+    ProtocolError,
+    QueryError,
+    UnknownDocumentError,
+    XMLParseError,
+)
 from repro.snippet.generator import DEFAULT_SIZE_BOUND
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -43,6 +51,65 @@ SCHEMA_VERSION = 1
 CONSTRUCTION_MODES = ("xseek", "subtree", "match_paths")
 
 _PAGE_TOKEN_PREFIX = "p"
+
+
+# ---------------------------------------------------------------------- #
+# error codes
+# ---------------------------------------------------------------------- #
+#: machine-readable failure codes carried by :class:`ErrorResponse`.
+#: ``error`` names the Python exception class (for humans and logs); the
+#: ``code`` is the stable contract clients and HTTP frontends branch on.
+ERROR_CODES = (
+    "bad_request",        # malformed payload, protocol violation, bad query/XML
+    "invalid_page",       # pagination arithmetic rejected (PagingError)
+    "unknown_document",   # request names a document the corpus doesn't hold
+    "overloaded",         # admission control shed the request (retry later)
+    "deadline_exceeded",  # the request missed its per-request deadline
+    "not_found",          # HTTP frontend: no such endpoint
+    "method_not_allowed", # HTTP frontend: endpoint exists, verb doesn't
+    "internal",           # anything else — a server-side failure
+)
+
+#: the documented code → HTTP status mapping every wire frontend applies
+#: (:mod:`repro.api.http` uses it verbatim).  Codes outside this table —
+#: there are none today — fall back to 500.
+HTTP_STATUS_BY_CODE = {
+    "bad_request": 400,
+    "invalid_page": 400,
+    "unknown_document": 404,
+    "not_found": 404,
+    "method_not_allowed": 405,
+    "overloaded": 503,
+    "deadline_exceeded": 504,
+    "internal": 500,
+}
+
+#: exception class → error code, most specific class first (the lookup
+#: walks the exception's MRO, so subclasses inherit their parent's code
+#: unless listed themselves).
+_CODE_BY_EXCEPTION = (
+    (UnknownDocumentError, "unknown_document"),
+    (OverloadedError, "overloaded"),
+    (DeadlineError, "deadline_exceeded"),
+    (PagingError, "invalid_page"),
+    (ProtocolError, "bad_request"),
+    (QueryError, "bad_request"),
+    (XMLParseError, "bad_request"),
+)
+
+
+def code_for_exception(exc: BaseException) -> str:
+    """The machine-readable error code for a library exception."""
+    for exc_type, code in _CODE_BY_EXCEPTION:
+        if isinstance(exc, exc_type):
+            return code
+    return "internal"
+
+
+def http_status_for_code(code: str | None) -> int:
+    """The HTTP status an :class:`ErrorResponse` code maps onto (500 for
+    unknown or missing codes — an uncoded error is a server-side failure)."""
+    return HTTP_STATUS_BY_CODE.get(code, 500)
 
 
 # ---------------------------------------------------------------------- #
@@ -706,11 +773,16 @@ class UpdateResponse:
 
 @dataclass(frozen=True)
 class ErrorResponse:
-    """A structured failure: the error class name plus a human message.
+    """A structured failure: error class, machine-readable code, message.
 
     ``error`` is the :mod:`repro.errors` class name (``QueryError``,
-    ``ProtocolError``, ...), so clients can branch without parsing prose;
+    ``ProtocolError``, ...) — useful in logs; ``code`` is the stable
+    machine-readable contract (one of :data:`ERROR_CODES`) that clients
+    branch on and :data:`HTTP_STATUS_BY_CODE` maps to an HTTP status.
     ``request`` echoes the offending request payload when available.
+
+    ``code`` is optional on :meth:`from_dict` so payloads produced by
+    pre-code builds still parse (they come back with ``code=None``).
     """
 
     kind: ClassVar[str] = "error"
@@ -718,6 +790,7 @@ class ErrorResponse:
     error: str
     message: str
     request: dict[str, Any] | None = None
+    code: str | None = None
     schema_version: int = SCHEMA_VERSION
 
     def to_dict(self) -> dict[str, Any]:
@@ -725,6 +798,7 @@ class ErrorResponse:
             "kind": self.kind,
             "schema_version": self.schema_version,
             "error": self.error,
+            "code": self.code,
             "message": self.message,
             "request": self.request,
         }
@@ -732,16 +806,22 @@ class ErrorResponse:
     @classmethod
     def from_dict(cls, payload: dict[str, Any]) -> "ErrorResponse":
         _check_envelope(payload, cls.kind)
-        _reject_unknown_fields(payload, {"error", "message", "request"}, cls.kind)
+        _reject_unknown_fields(payload, {"error", "code", "message", "request"}, cls.kind)
         return cls(
             error=_require(payload, "error", cls.kind),
             message=_require(payload, "message", cls.kind),
             request=payload.get("request"),
+            code=payload.get("code"),
         )
 
     @classmethod
     def from_exception(cls, exc: BaseException, request: dict[str, Any] | None = None) -> "ErrorResponse":
-        return cls(error=type(exc).__name__, message=str(exc), request=request)
+        return cls(
+            error=type(exc).__name__,
+            message=str(exc),
+            request=request,
+            code=code_for_exception(exc),
+        )
 
 
 # ---------------------------------------------------------------------- #
@@ -765,7 +845,10 @@ def parse_request(payload: dict[str, Any]) -> "SearchRequest | BatchRequest | Up
     if not isinstance(payload, dict):
         raise ProtocolError(f"request must be a JSON object, got {type(payload).__name__}")
     kind = payload.get("kind")
-    parser = _REQUEST_KINDS.get(kind)
+    # The isinstance guard keeps an unhashable kind (a JSON array/object)
+    # from blowing up the dict lookup with a TypeError a wire frontend
+    # could never turn into a structured error response.
+    parser = _REQUEST_KINDS.get(kind) if isinstance(kind, str) else None
     if parser is None:
         raise ProtocolError(
             f"unknown request kind {kind!r}; expected one of {sorted(_REQUEST_KINDS)}"
@@ -780,7 +863,7 @@ def parse_response(
     if not isinstance(payload, dict):
         raise ProtocolError(f"response must be a JSON object, got {type(payload).__name__}")
     kind = payload.get("kind")
-    parser = _RESPONSE_KINDS.get(kind)
+    parser = _RESPONSE_KINDS.get(kind) if isinstance(kind, str) else None
     if parser is None:
         raise ProtocolError(
             f"unknown response kind {kind!r}; expected one of {sorted(_RESPONSE_KINDS)}"

@@ -25,10 +25,10 @@ identical to serial execution.
 
 from __future__ import annotations
 
-import json
 import time
 from typing import TYPE_CHECKING, Any
 
+from repro.api.backend import ServingBackend, ServingBackendBase
 from repro.api.executors import Executor, SerialExecutor
 from repro.api.protocol import (
     BatchEntry,
@@ -41,7 +41,6 @@ from repro.api.protocol import (
     UpdateRequest,
     UpdateResponse,
     encode_page_token,
-    parse_request,
 )
 from repro.errors import ExtractError, ProtocolError
 from repro.search.query import KeywordQuery
@@ -56,69 +55,15 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.system import SearchOutcome
 
 
-class JsonServing:
-    """The plain-JSON endpoint surface shared by every service facade.
-
-    Anything that implements ``execute`` / ``execute_batch`` /
-    ``execute_update`` (returning protocol responses, never raising library
-    errors) gets the ``handle_dict`` / ``handle_text`` / ``handle_json``
-    endpoints for free — :class:`SnippetService` and the sharded
-    :class:`repro.cluster.ClusterService` speak byte-identical JSON through
-    this one implementation, which is what makes the cluster router a
-    drop-in replacement at the wire level.
-    """
-
-    def handle_dict(
-        self,
-        payload: dict[str, Any],
-        request: SearchRequest | BatchRequest | UpdateRequest | None = None,
-    ) -> dict[str, Any]:
-        """Serve one JSON-style request object; never raises library errors.
-
-        Parses the payload (dispatching on ``kind``), executes it, and
-        returns the response as a plain dict — with volatile serving
-        metadata attached only when the request set ``include_meta``.
-        ``request`` lets a frontend that already parsed the payload (for
-        fail-fast validation) skip the re-parse.
-        """
-        try:
-            if request is None:
-                request = parse_request(payload)
-        except ExtractError as error:
-            echoed = payload if isinstance(payload, dict) else None
-            return ErrorResponse.from_exception(error, request=echoed).to_dict()
-        if isinstance(request, BatchRequest):
-            response = self.execute_batch(request)
-        elif isinstance(request, UpdateRequest):
-            response = self.execute_update(request)
-        else:
-            response = self.execute(request)
-        if isinstance(response, ErrorResponse):
-            return response.to_dict()
-        return response.to_dict(include_meta=request.include_meta)
-
-    def handle_text(self, text: str) -> dict[str, Any]:
-        """Serve one JSON document, returning the response as a dict.
-
-        Frontends that format the response themselves (the CLI's
-        ``--pretty`` flag) use this to avoid a parse → serialise →
-        re-parse round trip; :meth:`handle_json` is the string-in/
-        string-out convenience over it.
-        """
-        try:
-            payload = json.loads(text)
-        except json.JSONDecodeError as error:
-            return ErrorResponse.from_exception(
-                ProtocolError(f"request is not valid JSON: {error}")
-            ).to_dict()
-        return self.handle_dict(payload)
-
-    def handle_json(self, text: str) -> str:
-        """Serve one JSON document (the network entry point)."""
-        return json.dumps(self.handle_text(text), sort_keys=True)
+#: Backwards-compatible name for the JSON endpoint surface: the PR-4
+#: ``JsonServing`` mixin is subsumed by the checked
+#: :class:`~repro.api.backend.ServingBackend` contract, whose convenience
+#: base carries the same ``handle_dict`` / ``handle_text`` /
+#: ``handle_json`` implementation.
+JsonServing = ServingBackendBase
 
 
-class SnippetService(JsonServing):
+class SnippetService(ServingBackendBase):
     """Execute typed search/batch requests over a corpus.
 
     >>> from repro.corpus import Corpus
@@ -130,6 +75,8 @@ class SnippetService(JsonServing):
     >>> response.total_results >= 2
     True
     """
+
+    backend_name = "snippet-service"
 
     def __init__(self, corpus: "Corpus", executor: Executor | None = None):
         self.corpus = corpus
@@ -364,7 +311,7 @@ class SnippetService(JsonServing):
             return ErrorResponse.from_exception(error, request=request.to_dict())
 
     # JSON endpoints (handle_dict / handle_text / handle_json) come from
-    # JsonServing, shared byte-for-byte with the cluster router.
+    # ServingBackendBase, shared byte-for-byte with the cluster router.
 
     # ------------------------------------------------------------------ #
     # observability
@@ -383,6 +330,15 @@ class SnippetService(JsonServing):
                 "snippet": entry.system.generator.cache.stats_snapshot().as_dict(),
             }
         return stats
+
+    def capabilities(self) -> dict[str, Any]:
+        caps = super().capabilities()
+        caps["documents"] = len(self.corpus)
+        caps["executor"] = self.executor.name
+        return caps
+
+    def stats(self) -> dict[str, Any]:
+        return {"documents": len(self.corpus), "caches": self.cache_stats()}
 
     def close(self) -> None:
         """Release executor resources (idempotent)."""

@@ -35,6 +35,12 @@ CLI that drives the same pipeline.  Sub-commands:
     Execute one JSON request of the typed service protocol
     (:mod:`repro.api`) against a corpus and print the JSON response — the
     offline stand-in for one round trip of the demo's web service.
+``serve``
+    Run the asyncio HTTP frontend (:mod:`repro.api.http`) over a corpus
+    or a sharded cluster: ``POST /v1/search``, ``/v1/batch``,
+    ``/v1/update`` and ``GET /v1/health``, ``/v1/stats``, with the
+    gateway middleware stack (validation, optional admission control and
+    per-request deadlines, metrics) in front of the backend.
 ``corpus-compact``
     Fold a saved corpus's append-only update journal back into fresh base
     snapshots (staged, atomic, byte-identical search results) — the cheap
@@ -68,6 +74,8 @@ Examples::
            "document": "movies"}' |
         python -m repro.cli cluster-serve-request --cluster-dir ./cluster --request -
     python -m repro.cli corpus-compact --corpus-dir ./corpus
+    python -m repro.cli serve --dataset figure5-stores --port 8080 \\
+        --max-in-flight 16 --deadline 30
 """
 
 from __future__ import annotations
@@ -219,6 +227,50 @@ def build_parser() -> argparse.ArgumentParser:
     )
     serve_request.add_argument(
         "--pretty", action="store_true", help="indent the JSON response for humans"
+    )
+
+    serve = subparsers.add_parser(
+        "serve",
+        help="serve a corpus or cluster over HTTP (gateway + asyncio frontend)",
+    )
+    add_corpus_source_arguments(serve)
+    serve.add_argument(
+        "--corpus-dir", metavar="DIR",
+        help="load a corpus saved by corpus-save instead of (re-)indexing sources",
+    )
+    serve.add_argument(
+        "--cluster-dir", metavar="DIR",
+        help="serve a sharded cluster written by cluster-init (fan-out router backend)",
+    )
+    serve.add_argument("--host", default="127.0.0.1", help="bind address (default: 127.0.0.1)")
+    serve.add_argument(
+        "--port", type=int, default=8080,
+        help="TCP port (default: 8080; 0 binds an ephemeral port)",
+    )
+    serve.add_argument("--algorithm", choices=("slca", "elca"), default=None)
+    serve.add_argument(
+        "--workers", type=int, default=8, metavar="N",
+        help="HTTP worker threads executing backend calls (default: 8)",
+    )
+    serve.add_argument(
+        "--max-in-flight", type=int, default=None, metavar="N",
+        help="admission control: reject (503 overloaded) beyond N concurrent requests",
+    )
+    serve.add_argument(
+        "--deadline", type=float, default=None, metavar="SECONDS",
+        help="per-request deadline; a miss answers 504 deadline_exceeded",
+    )
+    serve.add_argument(
+        "--no-validate", action="store_true",
+        help="skip the request-validation middleware (backend still validates)",
+    )
+    serve.add_argument(
+        "--max-requests", type=int, default=None, metavar="N",
+        help="stop after serving N requests (scripted smoke runs)",
+    )
+    serve.add_argument(
+        "--port-file", metavar="PATH",
+        help="write the bound port to PATH once listening (for scripts using --port 0)",
     )
 
     corpus_compact = subparsers.add_parser(
@@ -608,6 +660,64 @@ def _apply_journalled_update(
     return 0
 
 
+def _command_serve(args: argparse.Namespace, out) -> int:
+    """Serve a corpus or cluster over HTTP through the gateway stack."""
+    from repro.api.executors import ConcurrentExecutor
+    from repro.api.gateway import build_gateway
+    from repro.api.http import HttpServer
+
+    if args.cluster_dir:
+        if args.dataset or args.file or args.corpus_dir:
+            raise ExtractError(
+                "--cluster-dir cannot be combined with --dataset/--file/--corpus-dir: "
+                "the cluster manifest is authoritative"
+            )
+        from repro.cluster import ClusterService
+
+        backend = ClusterService.load_dir(args.cluster_dir, algorithm=args.algorithm)
+    else:
+        from repro.api.service import SnippetService
+
+        corpus = _build_corpus(args, algorithm=args.algorithm or "slca")
+        backend = SnippetService(corpus)
+
+    stack = build_gateway(
+        backend,
+        validate=not args.no_validate,
+        max_in_flight=args.max_in_flight,
+        deadline=args.deadline,
+    )
+    http_executor = ConcurrentExecutor(max_workers=args.workers)
+    server = HttpServer(
+        stack,
+        host=args.host,
+        port=args.port,
+        executor=http_executor,
+        max_requests=args.max_requests,
+    )
+    server.start()
+    try:
+        if args.port_file:
+            with open(args.port_file, "w", encoding="utf-8") as handle:
+                handle.write(f"{server.port}\n")
+        print(
+            f"serving {backend!r}\n"
+            f"  http://{server.host}:{server.port}/v1/search (POST; also /v1/batch, /v1/update)\n"
+            f"  http://{server.host}:{server.port}/v1/health (GET; also /v1/stats)",
+            file=out,
+        )
+        try:
+            server.join()  # returns when --max-requests is spent
+        except KeyboardInterrupt:
+            print("shutting down", file=out)
+    finally:
+        server.stop()
+        http_executor.close()
+        stack.close()
+    print(f"served {server.requests_served} request(s)", file=out)
+    return 0
+
+
 def _command_corpus_update(args: argparse.Namespace, out) -> int:
     """Apply one lifecycle operation to a saved corpus and journal it."""
     from repro.corpus import Corpus
@@ -799,6 +909,7 @@ _COMMANDS = {
     "corpus-update": _command_corpus_update,
     "corpus-compact": _command_corpus_compact,
     "serve-request": _command_serve_request,
+    "serve": _command_serve,
     "cluster-init": _command_cluster_init,
     "cluster-serve-request": _command_cluster_serve_request,
     "cluster-update": _command_cluster_update,

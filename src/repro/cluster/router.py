@@ -50,7 +50,7 @@ from repro.api.protocol import (
     UpdateRequest,
     UpdateResponse,
 )
-from repro.api.service import JsonServing
+from repro.api.backend import ServingBackendBase
 from repro.cluster.partition import (
     CLUSTER_MANIFEST_FILE,
     ClusterManifest,
@@ -63,7 +63,7 @@ from repro.cluster.partition import (
     write_cluster_manifest,
 )
 from repro.cluster.shard import ShardDelta, ShardServer
-from repro.errors import ClusterError, ExtractError, StorageError
+from repro.errors import ClusterError, ExtractError, StorageError, UnknownDocumentError
 from repro.utils.cache import DEFAULT_CACHE_SIZE
 
 
@@ -84,7 +84,7 @@ class ShardExecutor(ConcurrentExecutor):
         super().__init__(max_workers=_require_shard_count(shards))
 
 
-class ClusterService(JsonServing):
+class ClusterService(ServingBackendBase):
     """Serve one logical corpus from N shards, drop-in for SnippetService.
 
     >>> from repro.corpus import Corpus
@@ -96,6 +96,8 @@ class ClusterService(JsonServing):
     >>> cluster.run(SearchRequest(query="store texas", document="stores")).total_results >= 2
     True
     """
+
+    backend_name = "cluster-service"
 
     def __init__(
         self,
@@ -193,7 +195,7 @@ class ClusterService(JsonServing):
     def _unknown_document(self, document: str) -> ExtractError:
         # Byte-identical to Corpus.entry's error over the union of every
         # shard's registry — the cluster is one logical corpus.
-        return ExtractError(
+        return UnknownDocumentError(
             f"no document named {document!r} in the corpus; "
             f"registered: {', '.join(self.names()) or '(none)'}"
         )
@@ -473,6 +475,24 @@ class ClusterService(JsonServing):
         for shard in self.shards:
             stats.update(shard.service.cache_stats())
         return stats
+
+    def capabilities(self) -> dict[str, Any]:
+        caps = super().capabilities()
+        caps["documents"] = len(self)
+        caps["executor"] = self.executor.name
+        caps["shards"] = len(self.shards)
+        caps["partitioner"] = self.partitioner.kind
+        return caps
+
+    def stats(self) -> dict[str, Any]:
+        return {
+            "documents": len(self),
+            "shards": [
+                {"shard": shard.shard_id, "documents": len(shard)}
+                for shard in self.shards
+            ],
+            "caches": self.cache_stats(),
+        }
 
     def shard_summary(self) -> list[dict[str, object]]:
         """One row per shard: id, document count, document names."""

@@ -33,7 +33,7 @@ import threading
 from collections.abc import Iterator, Sequence
 from dataclasses import dataclass, field
 
-from repro.errors import DatasetError, ExtractError, StorageError
+from repro.errors import DatasetError, ExtractError, StorageError, UnknownDocumentError
 from repro.index.postings import PostingList
 from repro.search.query import KeywordQuery
 from repro.snippet.generator import DEFAULT_SIZE_BOUND
@@ -291,7 +291,7 @@ class Corpus:
         with self._serving_lock:
             entry = self._entries.pop(name, None)
             if entry is None:
-                raise ExtractError(f"no document named {name!r} in the corpus")
+                raise UnknownDocumentError(f"no document named {name!r} in the corpus")
         entry.system.invalidate_cache()
 
     # ------------------------------------------------------------------ #
@@ -457,7 +457,7 @@ class Corpus:
         try:
             return self._entries[name]
         except KeyError as exc:
-            raise ExtractError(
+            raise UnknownDocumentError(
                 f"no document named {name!r} in the corpus; registered: {', '.join(self.names()) or '(none)'}"
             ) from exc
 

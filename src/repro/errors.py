@@ -88,6 +88,26 @@ class ProtocolError(ExtractError):
     unknown or ill-typed fields, malformed page tokens)."""
 
 
+class UnknownDocumentError(ExtractError):
+    """Raised when a request names a document that is not registered in the
+    serving corpus (or anywhere in a cluster).  Distinguished from the base
+    class so wire frontends can map it to a ``unknown_document`` error code
+    (HTTP 404) instead of a generic failure."""
+
+
+class OverloadedError(ExtractError):
+    """Raised (or wrapped into an ``overloaded`` error response, HTTP 503)
+    by the gateway's admission-control middleware when the bounded
+    in-flight request budget is exhausted — shedding load explicitly
+    instead of queueing without bound."""
+
+
+class DeadlineError(ExtractError):
+    """Raised (or wrapped into a ``deadline_exceeded`` error response,
+    HTTP 504) by the gateway's deadline middleware when a request misses
+    its per-request completion deadline."""
+
+
 class ClusterError(ExtractError):
     """Raised for sharded-cluster misconfiguration (:mod:`repro.cluster`):
     invalid shard counts, out-of-range or missing partition assignments,

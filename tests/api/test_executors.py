@@ -155,6 +155,39 @@ class TestExecutorLifecycleContract:
         assert not executor.closed
         executor.close()
 
+    @pytest.mark.parametrize("factory", LIFECYCLE_FACTORIES)
+    def test_submit_returns_a_future(self, factory):
+        executor = factory()
+        try:
+            assert executor.submit(str, 7).result(timeout=10) == "7"
+        finally:
+            executor.close()
+
+    @pytest.mark.parametrize("factory", LIFECYCLE_FACTORIES)
+    def test_submit_mirrors_exceptions_into_the_future(self, factory):
+        def boom():
+            raise ValueError("worker failure")
+
+        executor = factory()
+        try:
+            future = executor.submit(boom)
+            with pytest.raises(ValueError, match="worker failure"):
+                future.result(timeout=10)
+        finally:
+            executor.close()
+
+    @pytest.mark.parametrize("factory", LIFECYCLE_FACTORIES)
+    def test_submit_after_close_raises(self, factory):
+        executor = factory()
+        executor.close()
+        with pytest.raises(RuntimeError, match="closed"):
+            executor.submit(str, 1)
+
+    def test_concurrent_submit_runs_off_thread(self):
+        with ConcurrentExecutor(max_workers=2) as executor:
+            worker = executor.submit(threading.get_ident).result(timeout=10)
+            assert worker != threading.get_ident()
+
     def test_shard_executor_is_an_executor(self):
         assert issubclass(ShardExecutor, Executor)
         executor = ShardExecutor(shards=3)

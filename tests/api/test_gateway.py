@@ -1,0 +1,416 @@
+"""Tests for the gateway middleware pipeline (:mod:`repro.api.gateway`).
+
+The contracts under test:
+
+* every middleware (and both service facades) satisfies the checked
+  :class:`~repro.api.backend.ServingBackend` protocol;
+* admission control under concurrent load rejects the overflow with
+  ``overloaded`` (never deadlocks, never loses a slot), while admitted
+  requests complete correctly;
+* deadline expiry surfaces a structured ``deadline_exceeded`` error;
+* middleware ordering is observable (capabilities chain + short-circuit
+  behaviour);
+* metrics count what actually happened.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+
+import pytest
+
+from repro.api import (
+    BatchRequest,
+    ErrorResponse,
+    SearchRequest,
+    SearchResponse,
+    ServingBackend,
+    SnippetService,
+    UpdateRequest,
+    build_gateway,
+)
+from repro.api.gateway import (
+    AdmissionControlMiddleware,
+    DeadlineMiddleware,
+    MetricsMiddleware,
+    Middleware,
+    ValidationMiddleware,
+)
+from repro.corpus import Corpus
+
+
+@pytest.fixture()
+def service():
+    corpus = Corpus()
+    corpus.add_builtin("figure5-stores", name="stores")
+    return SnippetService(corpus)
+
+
+REQUEST = SearchRequest(query="store texas", document="stores", size_bound=6)
+
+
+class Gate(Middleware):
+    """A controllable stage: blocks every request until released."""
+
+    name = "gate"
+
+    def __init__(self, inner):
+        super().__init__(inner)
+        self.release = threading.Event()
+        self.entered = threading.Semaphore(0)
+
+    def process(self, request, call_next):
+        self.entered.release()
+        assert self.release.wait(timeout=30), "gate never released (deadlock?)"
+        return call_next(request)
+
+
+class Trace(Middleware):
+    """Records the order it saw the request in a shared list."""
+
+    name = "trace"
+
+    def __init__(self, inner, log, tag):
+        super().__init__(inner)
+        self._order_log = log
+        self._tag = tag
+
+    def process(self, request, call_next):
+        self._order_log.append(f"{self._tag}:in")
+        response = call_next(request)
+        self._order_log.append(f"{self._tag}:out")
+        return response
+
+
+class TestServingBackendProtocol:
+    def test_service_is_a_backend(self, service):
+        assert isinstance(service, ServingBackend)
+
+    def test_cluster_is_a_backend(self):
+        from repro.cluster import ClusterService
+
+        corpus = Corpus()
+        corpus.add_builtin("figure5-stores", name="stores")
+        assert isinstance(ClusterService.from_corpus(corpus, shards=2), ServingBackend)
+
+    def test_every_middleware_is_a_backend(self, service):
+        stages = [
+            ValidationMiddleware(service),
+            DeadlineMiddleware(service, timeout=1.0),
+            AdmissionControlMiddleware(service, max_in_flight=2),
+            MetricsMiddleware(service),
+            Middleware(service),
+        ]
+        for stage in stages:
+            assert isinstance(stage, ServingBackend), stage
+
+    def test_client_is_a_backend(self):
+        from repro.api import ServiceClient
+
+        assert isinstance(ServiceClient(port=1), ServingBackend)
+
+    def test_transparent_middleware_preserves_bytes(self, service):
+        wrapped = Middleware(Middleware(service))
+        text = json.dumps(REQUEST.to_dict())
+        assert wrapped.handle_json(text) == service.handle_json(text)
+
+    def test_capabilities_report_chain_innermost_first(self, service):
+        stack = build_gateway(service, max_in_flight=2, deadline=5.0)
+        caps = stack.capabilities()
+        assert caps["backend"] == "snippet-service"
+        assert caps["middleware"] == ["admission", "deadline", "validation", "metrics"]
+        assert caps["documents"] == 1
+
+
+class TestValidation:
+    def test_invalid_request_short_circuits(self, service):
+        calls = []
+
+        class Spy(Middleware):
+            def process(self, request, call_next):
+                calls.append(request)
+                return call_next(request)
+
+        stack = ValidationMiddleware(Spy(service))
+        response = stack.execute(SearchRequest(query="", document="stores"))
+        assert isinstance(response, ErrorResponse)
+        assert response.code == "bad_request"
+        assert calls == []  # the backend never saw the garbage
+
+    def test_valid_request_passes_through(self, service):
+        response = ValidationMiddleware(service).execute(REQUEST)
+        assert isinstance(response, SearchResponse)
+        assert response.total_results >= 2
+
+    def test_all_three_request_shapes_guarded(self, service):
+        stack = ValidationMiddleware(service)
+        bad_batch = stack.execute_batch(BatchRequest(queries=()))
+        bad_update = stack.execute_update(UpdateRequest(document="", xml="<a/>"))
+        assert bad_batch.code == "bad_request"
+        assert bad_update.code == "bad_request"
+
+
+class TestDeadline:
+    def test_fast_request_unaffected(self, service):
+        stack = DeadlineMiddleware(service, timeout=30.0)
+        try:
+            response = stack.execute(REQUEST)
+            assert isinstance(response, SearchResponse)
+        finally:
+            stack.close()
+
+    def test_expiry_surfaces_timeout_error(self, service):
+        class Slow(Middleware):
+            def process(self, request, call_next):
+                time.sleep(0.5)
+                return call_next(request)
+
+        stack = DeadlineMiddleware(Slow(service), timeout=0.05)
+        try:
+            started = time.perf_counter()
+            response = stack.execute(REQUEST)
+            elapsed = time.perf_counter() - started
+            assert isinstance(response, ErrorResponse)
+            assert response.code == "deadline_exceeded"
+            assert response.error == "DeadlineError"
+            assert response.request["query"] == REQUEST.query
+            assert elapsed < 0.4  # answered at the deadline, not after the work
+        finally:
+            stack.close()
+
+    def test_rejects_non_positive_timeout(self, service):
+        with pytest.raises(ValueError):
+            DeadlineMiddleware(service, timeout=0)
+
+    def test_worker_exception_propagates(self, service):
+        class Broken(Middleware):
+            def process(self, request, call_next):
+                raise RuntimeError("programming error")
+
+        stack = DeadlineMiddleware(Broken(service), timeout=5.0)
+        with pytest.raises(RuntimeError, match="programming error"):
+            stack.execute(REQUEST)
+
+    def test_abandoned_worker_keeps_its_admission_slot(self, service):
+        # build_gateway composes admission INSIDE the deadline: a timed-out
+        # request's worker must hold its slot until the backend call really
+        # finishes, so max_in_flight bounds actual backend concurrency and
+        # a wedged backend sheds later arrivals instead of stacking
+        # abandoned workers.
+        gate = Gate(service)
+        admission = AdmissionControlMiddleware(gate, max_in_flight=1)
+        stack = DeadlineMiddleware(admission, timeout=0.2)
+
+        stuck = stack.execute(REQUEST)
+        assert stuck.code == "deadline_exceeded"
+        shed = stack.execute(REQUEST)  # slot still held by the stuck worker
+        assert shed.code == "overloaded"
+        gate.release.set()
+        deadline = time.time() + 10
+        while time.time() < deadline:  # slot frees once the worker finishes
+            response = stack.execute(REQUEST)
+            if isinstance(response, SearchResponse):
+                break
+            time.sleep(0.05)
+        assert isinstance(response, SearchResponse)
+        assert admission.stats()["admission"]["rejected"] >= 1
+
+    def test_abandoned_workers_never_block_new_requests(self, service):
+        # A timed-out request's worker keeps running in the background;
+        # requests admitted afterwards must get a *fresh* worker, not
+        # queue behind the dead one and burn their deadline waiting.
+        release = threading.Event()
+
+        class StuckOnce(Middleware):
+            def __init__(self, inner):
+                super().__init__(inner)
+                self.calls = 0
+                self._lock = threading.Lock()
+
+            def process(self, request, call_next):
+                with self._lock:
+                    self.calls += 1
+                    first = self.calls == 1
+                if first:
+                    assert release.wait(timeout=30)
+                return call_next(request)
+
+        stack = DeadlineMiddleware(StuckOnce(service), timeout=0.2)
+        try:
+            stuck = stack.execute(REQUEST)
+            assert stuck.code == "deadline_exceeded"
+            fresh = stack.execute(REQUEST)  # must not wait for the stuck worker
+            assert isinstance(fresh, SearchResponse)
+        finally:
+            release.set()
+
+
+class TestAdmissionControl:
+    def test_burst_beyond_limit_gets_overloaded(self, service):
+        limit = 2
+        extra = 4
+        gate = Gate(service)
+        stack = AdmissionControlMiddleware(gate, max_in_flight=limit)
+        responses: list = [None] * (limit + extra)
+
+        def call(index):
+            responses[index] = stack.execute(REQUEST)
+
+        threads = [
+            threading.Thread(target=call, args=(index,))
+            for index in range(limit + extra)
+        ]
+        for thread in threads[:limit]:
+            thread.start()
+        # Wait until both admitted requests are inside the gate, so the
+        # burst below deterministically finds every slot taken.
+        for _ in range(limit):
+            assert gate.entered.acquire(timeout=10)
+        for thread in threads[limit:]:
+            thread.start()
+        for thread in threads[limit:]:
+            thread.join(timeout=10)  # rejections return without the gate
+            assert not thread.is_alive(), "overload path blocked (deadlock?)"
+        gate.release.set()
+        for thread in threads[:limit]:
+            thread.join(timeout=30)
+            assert not thread.is_alive()
+
+        overloaded = [r for r in responses if isinstance(r, ErrorResponse)]
+        served = [r for r in responses if isinstance(r, SearchResponse)]
+        assert len(overloaded) == extra
+        assert len(served) == limit
+        for response in overloaded:
+            assert response.code == "overloaded"
+            assert response.error == "OverloadedError"
+        for response in served:  # admitted work completed correctly
+            assert response.total_results >= 2
+        stats = stack.stats()["admission"]
+        assert stats == {"max_in_flight": limit, "admitted": limit, "rejected": extra}
+
+    def test_slots_are_released_after_completion(self, service):
+        stack = AdmissionControlMiddleware(service, max_in_flight=1)
+        for _ in range(5):  # sequential requests never trip the limit
+            assert isinstance(stack.execute(REQUEST), SearchResponse)
+        assert stack.stats()["admission"]["rejected"] == 0
+
+    def test_slot_released_when_backend_errors(self, service):
+        stack = AdmissionControlMiddleware(service, max_in_flight=1)
+        for _ in range(3):
+            response = stack.execute(SearchRequest(query="x", document="ghost"))
+            assert response.code == "unknown_document"
+        assert stack.stats()["admission"]["admitted"] == 3
+
+    def test_rejects_non_positive_limit(self, service):
+        with pytest.raises(ValueError):
+            AdmissionControlMiddleware(service, max_in_flight=0)
+
+
+class TestMetrics:
+    def test_counts_requests_and_errors(self, service):
+        logged = []
+        stack = MetricsMiddleware(
+            service, log=lambda req, resp, secs: logged.append((req.kind, resp.kind))
+        )
+        stack.execute(REQUEST)
+        stack.execute(SearchRequest(query="x", document="ghost"))
+        stack.execute_batch(BatchRequest(queries=("store",)))
+        stats = stack.stats()["requests"]
+        assert stats["total"] == 3
+        assert stats["by_kind"] == {"search": 2, "batch": 1}
+        assert stats["errors"] == 1
+        assert stats["by_code"] == {"unknown_document": 1}
+        assert stats["seconds"] > 0
+        assert logged == [
+            ("search", "search_response"),
+            ("search", "error"),
+            ("batch", "batch_response"),
+        ]
+
+    def test_failing_logger_never_fails_the_request(self, service):
+        def bad_log(*_args):
+            raise RuntimeError("observability crashed")
+
+        stack = MetricsMiddleware(service, log=bad_log)
+        assert isinstance(stack.execute(REQUEST), SearchResponse)
+
+    def test_malformed_payloads_are_counted(self, service):
+        # Garbage never produces a typed request, but a flood of it must
+        # still be visible in the stats (the "invalid" kind bucket).
+        stack = MetricsMiddleware(service)
+        stack.handle_json("{not json")
+        stack.handle_dict({"kind": "nope"})
+        stack.handle_dict([1, 2])
+        stack.execute(REQUEST)
+        stats = stack.stats()["requests"]
+        assert stats["total"] == 4
+        assert stats["by_kind"] == {"invalid": 3, "search": 1}
+        assert stats["errors"] == 3
+        assert stats["by_code"] == {"bad_request": 3}
+
+    def test_parseable_requests_counted_exactly_once(self, service):
+        stack = MetricsMiddleware(service)
+        stack.handle_dict(REQUEST.to_dict())  # flows through process() only
+        assert stack.stats()["requests"]["total"] == 1
+
+
+class TestOrdering:
+    def test_order_is_observable_and_matches_composition(self, service):
+        order: list[str] = []
+        stack = Trace(Trace(service, order, "inner"), order, "outer")
+        stack.execute(REQUEST)
+        assert order == ["outer:in", "inner:in", "inner:out", "outer:out"]
+
+    def test_validation_before_admission_spares_a_slot(self, service):
+        # build_gateway puts validation outside admission: garbage must be
+        # rejected without ever touching the admission counters.
+        stack = build_gateway(service, max_in_flight=1, metrics=False)
+        admission = stack.inner  # validation -> admission -> backend
+        assert isinstance(admission, AdmissionControlMiddleware)
+        response = stack.execute(SearchRequest(query="", document="stores"))
+        assert response.code == "bad_request"
+        assert admission.stats()["admission"] == {
+            "max_in_flight": 1,
+            "admitted": 0,
+            "rejected": 0,
+        }
+
+    def test_metrics_outermost_counts_shed_load(self, service):
+        gate = Gate(service)
+        admission = AdmissionControlMiddleware(gate, max_in_flight=1)
+        stack = MetricsMiddleware(admission)
+
+        blocker = threading.Thread(target=stack.execute, args=(REQUEST,))
+        blocker.start()
+        assert gate.entered.acquire(timeout=10)
+        rejected = stack.execute(REQUEST)
+        gate.release.set()
+        blocker.join(timeout=30)
+        assert rejected.code == "overloaded"
+        stats = stack.stats()["requests"]
+        assert stats["total"] == 2  # the shed request was counted too
+        assert stats["by_code"] == {"overloaded": 1}
+
+    def test_close_closes_the_whole_stack(self, service):
+        stack = build_gateway(service, max_in_flight=2, deadline=5.0)
+        stack.close()
+        # the service's executor honours the documented lifecycle contract
+        assert service.executor.closed
+
+    def test_gateway_wire_bytes_match_bare_backend(self, service):
+        corpus = Corpus()
+        corpus.add_builtin("figure5-stores", name="stores")
+        bare = SnippetService(corpus)
+        stack = build_gateway(service, max_in_flight=8, deadline=30.0)
+        try:
+            for payload in (
+                REQUEST.to_dict(),
+                BatchRequest(queries=("store texas",)).to_dict(),
+                SearchRequest(query="x", document="ghost").to_dict(),
+            ):
+                text = json.dumps(payload)
+                assert stack.handle_json(text) == bare.handle_json(text)
+        finally:
+            stack.close()

@@ -276,6 +276,62 @@ class TestResponses:
         error = ErrorResponse.from_exception(ProtocolError("boom"))
         assert error.error == "ProtocolError"
         assert error.message == "boom"
+        assert error.code == "bad_request"
+
+    def test_error_code_round_trip(self):
+        error = ErrorResponse(
+            error="UnknownDocumentError", message="x", code="unknown_document"
+        )
+        restored = ErrorResponse.from_dict(_json_round_trip(error.to_dict()))
+        assert restored == error
+        assert restored.code == "unknown_document"
+
+    def test_code_optional_for_pre_code_payloads(self):
+        # Payloads written by builds that predate the code field still parse.
+        legacy = {
+            "kind": "error",
+            "schema_version": SCHEMA_VERSION,
+            "error": "QueryError",
+            "message": "no usable keyword",
+            "request": None,
+        }
+        restored = ErrorResponse.from_dict(legacy)
+        assert restored.code is None
+
+    def test_exception_to_code_mapping(self):
+        from repro.errors import (
+            DeadlineError,
+            ExtractError,
+            OverloadedError,
+            PagingError,
+            QueryError,
+            UnknownDocumentError,
+        )
+        from repro.api.protocol import code_for_exception, http_status_for_code
+
+        cases = {
+            UnknownDocumentError("x"): ("unknown_document", 404),
+            OverloadedError("x"): ("overloaded", 503),
+            DeadlineError("x"): ("deadline_exceeded", 504),
+            PagingError("x"): ("invalid_page", 400),
+            ProtocolError("x"): ("bad_request", 400),
+            QueryError("x"): ("bad_request", 400),
+            ExtractError("x"): ("internal", 500),
+        }
+        for exc, (code, status) in cases.items():
+            assert code_for_exception(exc) == code, exc
+            assert http_status_for_code(code) == status, exc
+
+    def test_every_code_has_an_http_status(self):
+        from repro.api.protocol import (
+            ERROR_CODES,
+            HTTP_STATUS_BY_CODE,
+            http_status_for_code,
+        )
+
+        assert set(ERROR_CODES) == set(HTTP_STATUS_BY_CODE)
+        assert http_status_for_code(None) == 500
+        assert http_status_for_code("never-heard-of-it") == 500
 
     @pytest.mark.parametrize(
         "parser, payload, field",
@@ -397,3 +453,12 @@ class TestDispatch:
     def test_non_dict_rejected(self):
         with pytest.raises(ProtocolError):
             parse_request([1, 2, 3])
+
+    @pytest.mark.parametrize("kind", [["search"], {"a": 1}, None, 7])
+    def test_unhashable_or_non_string_kind_rejected(self, kind):
+        # An unhashable kind used to escape as a TypeError from the dict
+        # lookup — a wire frontend could never shape that into an error.
+        with pytest.raises(ProtocolError):
+            parse_request({"kind": kind, "schema_version": SCHEMA_VERSION})
+        with pytest.raises(ProtocolError):
+            parse_response({"kind": kind, "schema_version": SCHEMA_VERSION})

@@ -52,7 +52,8 @@ class TestRun:
     def test_execute_wraps_errors(self, service):
         response = service.execute(SearchRequest(query="store", document="nope"))
         assert isinstance(response, ErrorResponse)
-        assert response.error == "ExtractError"
+        assert response.error == "UnknownDocumentError"
+        assert response.code == "unknown_document"
         assert response.request["document"] == "nope"
 
     def test_invalid_request_is_protocol_error(self, service):
@@ -351,6 +352,76 @@ class TestJsonEndpoints:
         payload["schema_version"] = 99
         response = service.handle_dict(payload)
         assert response["kind"] == "error"
+
+
+def _cluster_facade(corpus_factory):
+    from repro.cluster import ClusterService
+
+    return ClusterService.from_corpus(corpus_factory(), shards=2)
+
+
+class TestHandleJsonNeverRaises:
+    """Satellite regression: every malformed payload — bad JSON, scalars,
+    arrays, unhashable ``kind`` values — must come back as a structured
+    ``bad_request`` error response, never raise, on *both* facades."""
+
+    MALFORMED = (
+        "not json at all",
+        "{truncated",
+        "[1, 2, 3]",            # JSON, but not an object
+        '"scalar"',
+        "null",
+        "42",
+        '{"kind": ["search"]}',  # unhashable kind used to raise TypeError
+        '{"kind": {"a": 1}}',
+        '{"kind": null}',
+        '{"kind": "nope"}',
+        "{}",
+    )
+
+    @pytest.fixture(params=["service", "cluster"])
+    def facade(self, request, small_retailer_tree):
+        def fresh():
+            corpus = Corpus()
+            corpus.add_tree("retailer", small_retailer_tree)
+            corpus.add_builtin("figure5-stores", name="stores")
+            return corpus
+
+        if request.param == "service":
+            return SnippetService(fresh())
+        return _cluster_facade(fresh)
+
+    @pytest.mark.parametrize("text", MALFORMED)
+    def test_malformed_payload_is_bad_request(self, facade, text):
+        response = json.loads(facade.handle_json(text))
+        assert response["kind"] == "error"
+        assert response["error"] == "ProtocolError"
+        assert response["code"] == "bad_request"
+
+    def test_handle_dict_non_object_payload(self, facade):
+        for payload in ([1, 2], "scalar", None, 42):
+            response = facade.handle_dict(payload)
+            assert response["kind"] == "error"
+            assert response["code"] == "bad_request"
+            assert response["request"] is None  # nothing sane to echo
+
+    def test_unknown_document_code_on_the_wire(self, facade):
+        payload = SearchRequest(query="store", document="ghost").to_dict()
+        response = facade.handle_dict(payload)
+        assert response["kind"] == "error"
+        assert response["error"] == "UnknownDocumentError"
+        assert response["code"] == "unknown_document"
+
+    def test_error_bytes_identical_across_facades(self, small_retailer_tree):
+        def fresh():
+            corpus = Corpus()
+            corpus.add_tree("retailer", small_retailer_tree)
+            return corpus
+
+        single = SnippetService(fresh())
+        cluster = _cluster_facade(fresh)
+        for text in (*self.MALFORMED, json.dumps(SearchRequest(query="q", document="ghost").to_dict())):
+            assert single.handle_json(text) == cluster.handle_json(text)
 
 
 class TestShimEquivalence:

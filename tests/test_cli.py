@@ -23,7 +23,7 @@ class TestParser:
         for command in (
             "analyze", "search", "ilist", "datasets", "generate", "experiment",
             "batch", "corpus-save", "corpus-update", "corpus-compact",
-            "serve-request", "cluster-init", "cluster-serve-request",
+            "serve-request", "serve", "cluster-init", "cluster-serve-request",
             "cluster-update",
         ):
             assert command in text
@@ -501,3 +501,81 @@ class TestServeRequestCommand:
         code, output = run_cli("serve-request", "--corpus-dir", snapshot, "--request", request)
         assert code == 0
         assert json.loads(output)["total_results"] >= 2
+
+
+class TestServeCommand:
+    """The HTTP frontend, driven end to end through the CLI."""
+
+    def _serve_in_thread(self, tmp_path, *extra):
+        import os
+        import threading
+        import time
+
+        port_file = str(tmp_path / "port")
+        result: dict = {}
+
+        def run():
+            result["code"], result["output"] = run_cli(
+                "serve", "--port", "0", "--port-file", port_file, *extra
+            )
+
+        thread = threading.Thread(target=run)
+        thread.start()
+        deadline = time.time() + 30
+        while not os.path.exists(port_file):
+            assert time.time() < deadline, "server never wrote its port file"
+            assert thread.is_alive(), result
+            time.sleep(0.05)
+        with open(port_file, "r", encoding="utf-8") as handle:
+            port = int(handle.read().strip())
+        return thread, port, result
+
+    def test_serve_corpus_over_http(self, tmp_path):
+        from repro.api import SearchRequest, ServiceClient
+
+        thread, port, result = self._serve_in_thread(
+            tmp_path,
+            "--dataset", "figure5-stores",
+            "--max-requests", "3",
+            "--max-in-flight", "4",
+            "--deadline", "30",
+        )
+        client = ServiceClient(port=port)
+        assert client.health()["status"] == "ok"
+        response = client.execute(
+            SearchRequest(query="store texas", document="figure5-stores", size_bound=6)
+        )
+        assert response.total_results >= 2
+        assert client.stats()["requests"]["total"] >= 1  # 3rd request stops the server
+        thread.join(timeout=30)
+        assert not thread.is_alive()
+        assert result["code"] == 0
+        assert "served 3 request(s)" in result["output"]
+
+    def test_serve_cluster_backend(self, tmp_path):
+        from repro.api import SearchRequest, ServiceClient
+
+        cluster_dir = str(tmp_path / "cluster")
+        code, _ = run_cli(
+            "cluster-init", "--dataset", "figure5-stores", "--dataset", "retail",
+            "--shards", "2", "--output", cluster_dir,
+        )
+        assert code == 0
+        thread, port, result = self._serve_in_thread(
+            tmp_path, "--cluster-dir", cluster_dir, "--max-requests", "2"
+        )
+        client = ServiceClient(port=port)
+        assert client.capabilities()["shards"] == 2
+        response = client.execute(
+            SearchRequest(query="store texas", document="figure5-stores", size_bound=6)
+        )
+        assert response.total_results >= 2
+        thread.join(timeout=30)
+        assert result["code"] == 0
+
+    def test_cluster_dir_conflicts_with_sources(self, tmp_path):
+        code, output = run_cli(
+            "serve", "--cluster-dir", str(tmp_path), "--dataset", "retail",
+        )
+        assert code == 1
+        assert "--cluster-dir cannot be combined" in output
