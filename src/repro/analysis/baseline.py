@@ -1,0 +1,123 @@
+"""Baseline handling: grandfathered findings live in a committed file.
+
+A baseline lets the linter be adopted on a tree that already has
+findings: known violations are recorded once (``lint --update-baseline``)
+and stop failing the build, while anything *new* still fails.  Entries
+match on :meth:`~repro.analysis.findings.Finding.key` — rule id, path,
+message — and deliberately not on line/column, so unrelated edits do not
+expire them.
+
+An entry whose finding no longer occurs is *stale*.  Stale entries are
+always reported and, under ``--strict``, fail the run: a baseline must
+shrink as debt is paid, never silently accumulate dead weight.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass
+from typing import Any
+
+from repro.analysis.findings import Finding
+from repro.errors import AnalysisError
+
+#: bump on incompatible changes to the baseline file shape.
+BASELINE_VERSION = 1
+
+#: the baseline file picked up automatically from the working directory.
+DEFAULT_BASELINE_NAME = "analysis-baseline.json"
+
+
+@dataclass(frozen=True)
+class BaselineEntry:
+    """One grandfathered finding (line-independent identity)."""
+
+    rule_id: str
+    path: str
+    message: str
+
+    def key(self) -> tuple[str, str, str]:
+        return (self.rule_id, self.path, self.message)
+
+    def to_dict(self) -> dict[str, str]:
+        return {"rule": self.rule_id, "path": self.path, "message": self.message}
+
+
+def entry_for(finding: Finding) -> BaselineEntry:
+    return BaselineEntry(
+        rule_id=finding.rule_id, path=finding.path, message=finding.message
+    )
+
+
+def read_baseline(path: str) -> list[BaselineEntry]:
+    """Parse a baseline file; malformed content raises :class:`AnalysisError`."""
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            data = json.load(handle)
+    except OSError as exc:
+        raise AnalysisError(f"cannot read baseline {path}: {exc}") from exc
+    except json.JSONDecodeError as exc:
+        raise AnalysisError(f"baseline {path} is not valid JSON: {exc}") from exc
+    if not isinstance(data, dict) or "entries" not in data:
+        raise AnalysisError(
+            f"baseline {path} must be an object with an 'entries' list"
+        )
+    version = data.get("version")
+    if version != BASELINE_VERSION:
+        raise AnalysisError(
+            f"baseline {path} has version {version!r}; this tool reads "
+            f"version {BASELINE_VERSION}"
+        )
+    entries: list[BaselineEntry] = []
+    for raw in data["entries"]:
+        entries.append(_entry_from_dict(path, raw))
+    return entries
+
+
+def _entry_from_dict(path: str, raw: Any) -> BaselineEntry:
+    if not isinstance(raw, dict):
+        raise AnalysisError(
+            f"baseline {path}: entry must be an object, got {type(raw).__name__}"
+        )
+    try:
+        return BaselineEntry(
+            rule_id=str(raw["rule"]), path=str(raw["path"]), message=str(raw["message"])
+        )
+    except KeyError as exc:
+        raise AnalysisError(
+            f"baseline {path}: entry {raw!r} is missing key {exc.args[0]!r}"
+        ) from exc
+
+
+def write_baseline(path: str, findings: list[Finding]) -> list[BaselineEntry]:
+    """Write the baseline covering ``findings`` (sorted, deduplicated)."""
+    entries = sorted(
+        {entry_for(finding) for finding in findings}, key=BaselineEntry.key
+    )
+    payload = {
+        "version": BASELINE_VERSION,
+        "entries": [entry.to_dict() for entry in entries],
+    }
+    tmp_path = path + ".tmp"
+    with open(tmp_path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    os.replace(tmp_path, path)
+    return entries
+
+
+def apply_baseline(
+    findings: list[Finding], entries: list[BaselineEntry]
+) -> tuple[list[Finding], list[BaselineEntry]]:
+    """Split a run's findings against the baseline.
+
+    Returns ``(new_findings, stale_entries)``: findings not covered by
+    any entry, and entries no finding matched (debt that has been paid —
+    the baseline file should drop them).
+    """
+    covered = {entry.key() for entry in entries}
+    new_findings = [f for f in findings if f.key() not in covered]
+    seen = {f.key() for f in findings}
+    stale = [entry for entry in entries if entry.key() not in seen]
+    return new_findings, stale

@@ -1,0 +1,100 @@
+"""Findings: the one value type every analysis rule produces.
+
+A :class:`Finding` names a rule violation at a source location.  Findings
+are plain, hashable, ordered data so the framework can sort them into a
+stable report order, diff them against a committed baseline, and emit
+them as text or JSON without any per-rule formatting code.
+
+The JSON report shape is versioned (:data:`REPORT_SCHEMA_VERSION`) and
+round-trips losslessly through :func:`report_to_dict` /
+:func:`finding_from_dict` — CI consumers parse one stable format.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from repro.errors import AnalysisError
+
+#: bump on incompatible changes to the JSON report shape.
+REPORT_SCHEMA_VERSION = 1
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation at one source location.
+
+    ``path`` is the analysed file's path *relative to the scan root*, in
+    POSIX form — stable across machines, which is what lets a committed
+    baseline match findings produced on a different checkout.
+    """
+
+    path: str
+    line: int
+    column: int
+    rule_id: str
+    message: str
+
+    def key(self) -> tuple[str, str, str]:
+        """The identity a baseline entry matches on.
+
+        Line and column are deliberately excluded: unrelated edits move
+        code around, and a grandfathered finding must not "expire" just
+        because an import was added above it.
+        """
+        return (self.rule_id, self.path, self.message)
+
+    def format(self) -> str:
+        """The one-line human-readable form (``path:line:col: rule: msg``)."""
+        return f"{self.path}:{self.line}:{self.column}: {self.rule_id}: {self.message}"
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "path": self.path,
+            "line": self.line,
+            "column": self.column,
+            "rule": self.rule_id,
+            "message": self.message,
+        }
+
+
+def finding_from_dict(data: dict[str, Any]) -> Finding:
+    """Rebuild a :class:`Finding` from its :meth:`~Finding.to_dict` form."""
+    if not isinstance(data, dict):
+        raise AnalysisError(f"finding entry must be an object, got {type(data).__name__}")
+    try:
+        return Finding(
+            path=str(data["path"]),
+            line=int(data["line"]),
+            column=int(data["column"]),
+            rule_id=str(data["rule"]),
+            message=str(data["message"]),
+        )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise AnalysisError(f"malformed finding entry {data!r}: {exc}") from exc
+
+
+def report_to_dict(
+    findings: list[Finding],
+    rules_run: list[str],
+    files_analyzed: int,
+    baselined: int = 0,
+    stale_baseline: list[dict[str, str]] | None = None,
+) -> dict[str, Any]:
+    """The machine-readable lint report (stable keys, sorted findings)."""
+    ordered = sorted(findings)
+    by_rule: dict[str, int] = {}
+    for finding in ordered:
+        by_rule[finding.rule_id] = by_rule.get(finding.rule_id, 0) + 1
+    return {
+        "schema_version": REPORT_SCHEMA_VERSION,
+        "rules": sorted(rules_run),
+        "files_analyzed": files_analyzed,
+        "findings": [finding.to_dict() for finding in ordered],
+        "counts": {"total": len(ordered), "by_rule": by_rule},
+        "baseline": {
+            "suppressed": baselined,
+            "stale": list(stale_baseline or []),
+        },
+    }

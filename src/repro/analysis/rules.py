@@ -1,0 +1,700 @@
+"""The project-specific invariant rules.
+
+Each rule mechanises one documented contract of the serving stack (see
+``docs/analysis.md`` for the catalogue and ROADMAP for the prose the
+rules are grounded in):
+
+==========================  =============================================
+``lock-discipline``         container state of a lock-bearing class is
+                            only mutated inside ``with self.<lock>:``
+``wire-determinism``        no volatile value sources in the modules that
+                            build default wire bodies
+``error-contract``          ``ERROR_CODES`` / ``HTTP_STATUS_BY_CODE`` /
+                            ``_CODE_BY_EXCEPTION`` stay mutually
+                            exhaustive and name real exception classes
+``no-silent-swallow``       no bare/broad ``except`` on serving paths
+                            (a pure re-raise is fine)
+``executor-lifecycle``      ``Executor`` subclasses respect the
+                            open/close contract; pools only live behind
+                            the executor seam
+``no-print-in-library``     ``print()`` stays in the CLI and tooling
+==========================  =============================================
+
+Every rule is suppressible per line with ``# repro: ignore[rule-id]``.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from repro.analysis.findings import Finding
+from repro.analysis.framework import (
+    AnalysisContext,
+    ModuleSource,
+    Rule,
+    path_matches,
+    register_rule,
+)
+
+#: method names that mutate a dict/list/set in place.
+_MUTATING_METHODS = frozenset(
+    {
+        "append", "extend", "insert", "remove", "pop", "popitem", "clear",
+        "update", "setdefault", "add", "discard", "sort", "reverse",
+        "move_to_end",
+    }
+)
+
+
+def _is_self_attr(node: ast.AST, attr: str | None = None) -> bool:
+    """True for ``self.<attr>`` (any attribute when ``attr`` is None)."""
+    return (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "self"
+        and (attr is None or node.attr == attr)
+    )
+
+
+def _call_name(node: ast.Call) -> str:
+    """Dotted name of a call target (``time.time``, ``print``, ``x.pop``)."""
+    parts: list[str] = []
+    target = node.func
+    while isinstance(target, ast.Attribute):
+        parts.append(target.attr)
+        target = target.value
+    if isinstance(target, ast.Name):
+        parts.append(target.id)
+    return ".".join(reversed(parts))
+
+
+# ---------------------------------------------------------------------- #
+# lock-discipline
+# ---------------------------------------------------------------------- #
+@register_rule
+class LockDisciplineRule(Rule):
+    """Writes to lock-guarded container attributes must hold the lock.
+
+    A class that creates ``self.<...>lock = threading.Lock()`` (or
+    ``RLock``) in ``__init__`` is a lock-bearing class; every mutable
+    container it also creates in ``__init__`` (``{}``, ``[]``, ``set()``,
+    ``OrderedDict()``…) is treated as guarded state.  Outside
+    ``__init__``, any mutation of a guarded attribute — reassignment,
+    ``self.attr[...] = ...``, ``del``, or an in-place mutator call like
+    ``.pop()``/``.update()`` — must sit lexically inside a
+    ``with self.<some lock>:`` block.  This is the ``Corpus._entries``
+    discipline (atomic entry swaps under ``_serving_lock``) that the
+    concurrency tests only probabilistically cover.
+    """
+
+    rule_id = "lock-discipline"
+    description = (
+        "mutations of lock-guarded container attributes must happen inside "
+        "a 'with self.<lock>:' block"
+    )
+
+    #: container constructors treated as guarded mutable state.
+    _CONTAINER_CALLS = frozenset(
+        {"dict", "list", "set", "OrderedDict", "defaultdict", "deque", "Counter"}
+    )
+
+    def check(self, module: ModuleSource, context: AnalysisContext) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.ClassDef):
+                yield from self._check_class(module, node)
+
+    def _check_class(self, module: ModuleSource, cls: ast.ClassDef) -> Iterator[Finding]:
+        lock_attrs, guarded = self._init_state(cls)
+        if not lock_attrs or not guarded:
+            return
+        for item in cls.body:
+            if not isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            if item.name == "__init__":
+                # The object is not shared before __init__ returns.
+                continue
+            yield from self._check_function(module, item, guarded)
+
+    def _init_state(self, cls: ast.ClassDef) -> tuple[set[str], set[str]]:
+        """(lock attributes, guarded container attributes) from ``__init__``."""
+        lock_attrs: set[str] = set()
+        guarded: set[str] = set()
+        init = next(
+            (
+                item
+                for item in cls.body
+                if isinstance(item, ast.FunctionDef) and item.name == "__init__"
+            ),
+            None,
+        )
+        if init is None:
+            return lock_attrs, guarded
+        for node in ast.walk(init):
+            targets: list[ast.expr] = []
+            value: ast.expr | None = None
+            if isinstance(node, ast.Assign):
+                targets, value = node.targets, node.value
+            elif isinstance(node, ast.AnnAssign) and node.value is not None:
+                targets, value = [node.target], node.value
+            for target in targets:
+                if not _is_self_attr(target):
+                    continue
+                attr = target.attr  # type: ignore[union-attr]
+                if self._is_lock_value(value):
+                    lock_attrs.add(attr)
+                elif self._is_container_value(value):
+                    guarded.add(attr)
+        return lock_attrs, guarded
+
+    @staticmethod
+    def _is_lock_value(value: ast.expr | None) -> bool:
+        return (
+            isinstance(value, ast.Call)
+            and _call_name(value).rsplit(".", 1)[-1] in ("Lock", "RLock")
+        )
+
+    def _is_container_value(self, value: ast.expr | None) -> bool:
+        if isinstance(value, (ast.Dict, ast.List, ast.Set)):
+            return True
+        return (
+            isinstance(value, ast.Call)
+            and not value.args
+            and not value.keywords
+            and _call_name(value).rsplit(".", 1)[-1] in self._CONTAINER_CALLS
+        )
+
+    def _check_function(
+        self, module: ModuleSource, func: ast.AST, guarded: set[str]
+    ) -> Iterator[Finding]:
+        yield from self._walk(module, getattr(func, "body", []), guarded, locked=False)
+
+    def _walk(
+        self, module: ModuleSource, body: list[ast.stmt], guarded: set[str], locked: bool
+    ) -> Iterator[Finding]:
+        for stmt in body:
+            if isinstance(stmt, (ast.With, ast.AsyncWith)):
+                inner_locked = locked or any(
+                    self._is_lock_context(item.context_expr) for item in stmt.items
+                )
+                yield from self._walk(module, stmt.body, guarded, inner_locked)
+                continue
+            if not locked:
+                attr = self._mutated_attr(stmt)
+                if attr is not None and attr in guarded:
+                    yield self.finding(
+                        module,
+                        stmt,
+                        f"write to lock-guarded attribute 'self.{attr}' outside a "
+                        "'with self.<lock>:' block",
+                    )
+            # Nested statement bodies (if/for/try/...) keep the current
+            # locked state; nested function definitions are walked too —
+            # a closure mutating guarded state inherits the obligation.
+            for child_body in self._child_bodies(stmt):
+                yield from self._walk(module, child_body, guarded, locked)
+
+    @staticmethod
+    def _child_bodies(stmt: ast.stmt) -> list[list[ast.stmt]]:
+        bodies = []
+        for field_name in ("body", "orelse", "finalbody"):
+            value = getattr(stmt, field_name, None)
+            if isinstance(value, list) and value and isinstance(value[0], ast.stmt):
+                bodies.append(value)
+        for handler in getattr(stmt, "handlers", []):
+            bodies.append(handler.body)
+        return bodies
+
+    @staticmethod
+    def _is_lock_context(expr: ast.expr) -> bool:
+        """``with self.<x>lock:`` / ``with <anything>._lock:`` style guards."""
+        return isinstance(expr, ast.Attribute) and expr.attr.lower().endswith("lock")
+
+    @staticmethod
+    def _mutated_attr(stmt: ast.stmt) -> str | None:
+        """The guarded-candidate attribute a statement writes, if any."""
+        targets: list[ast.expr] = []
+        if isinstance(stmt, ast.Assign):
+            targets = stmt.targets
+        elif isinstance(stmt, (ast.AnnAssign, ast.AugAssign)):
+            targets = [stmt.target]
+        elif isinstance(stmt, ast.Delete):
+            targets = stmt.targets
+        for target in targets:
+            # self.attr = ... / self.attr += ... / del self.attr
+            if _is_self_attr(target):
+                return target.attr  # type: ignore[union-attr]
+            # self.attr[k] = ... / del self.attr[k]
+            if isinstance(target, ast.Subscript) and _is_self_attr(target.value):
+                return target.value.attr  # type: ignore[union-attr]
+        if isinstance(stmt, ast.Expr) and isinstance(stmt.value, ast.Call):
+            func = stmt.value.func
+            # self.attr.pop(...) and friends
+            if (
+                isinstance(func, ast.Attribute)
+                and func.attr in _MUTATING_METHODS
+                and _is_self_attr(func.value)
+            ):
+                return func.value.attr  # type: ignore[union-attr]
+        return None
+
+
+# ---------------------------------------------------------------------- #
+# wire-determinism
+# ---------------------------------------------------------------------- #
+@register_rule
+class WireDeterminismRule(Rule):
+    """No volatile value sources in the modules building default wire bodies.
+
+    The protocol contract (ROADMAP, PR 2/5): the default — meta-free —
+    serialisation of every response is byte-for-byte deterministic; the
+    opt-in ``meta`` block is the only sanctioned home for volatile data.
+    So the protocol/service/router/partition modules must not call
+    wall-clock time (``time.time``), calendar time (``datetime.now``),
+    ``random``, ``id()`` or the salted builtin ``hash()`` — the PR-4
+    partitioning bug (salted ``hash()`` instead of SHA-1) is exactly this
+    class of drift.  ``time.perf_counter``/``monotonic`` stay allowed:
+    they feed the timing fields the protocol only emits inside ``meta``.
+    """
+
+    rule_id = "wire-determinism"
+    description = (
+        "no time.time/datetime.now/random/id()/builtin hash() in the "
+        "wire-building modules (volatile data belongs in the meta block)"
+    )
+
+    #: the modules whose output reaches default wire bodies.
+    PATHS = (
+        "repro/api/protocol.py",
+        "repro/api/service.py",
+        "repro/api/backend.py",
+        "repro/api/http.py",
+        "repro/cluster/router.py",
+        "repro/cluster/shard.py",
+        "repro/cluster/partition.py",
+    )
+
+    #: dotted call names that produce volatile values.
+    _BANNED_DOTTED = frozenset(
+        {
+            "time.time",
+            "time.time_ns",
+            "time.ctime",
+            "time.strftime",
+            "time.localtime",
+            "time.gmtime",
+            "datetime.now",
+            "datetime.utcnow",
+            "datetime.today",
+            "datetime.datetime.now",
+            "datetime.datetime.utcnow",
+            "datetime.datetime.today",
+            "date.today",
+            "datetime.date.today",
+        }
+    )
+
+    def check(self, module: ModuleSource, context: AnalysisContext) -> Iterator[Finding]:
+        if not path_matches(module.rel_path, self.PATHS):
+            return
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = _call_name(node)
+            if not name:
+                continue
+            if name in self._BANNED_DOTTED:
+                yield self.finding(
+                    module,
+                    node,
+                    f"volatile call {name}() in a wire-building module; "
+                    "volatile data may only travel in the opt-in meta block",
+                )
+            elif name.split(".", 1)[0] == "random":
+                yield self.finding(
+                    module,
+                    node,
+                    f"random source {name}() in a wire-building module breaks "
+                    "byte-deterministic default wire bodies",
+                )
+            elif name in ("id", "hash"):
+                yield self.finding(
+                    module,
+                    node,
+                    f"builtin {name}() is process-dependent"
+                    + (
+                        " (salted per interpreter — the PR-4 partitioning bug); "
+                        "use hashlib for stable hashing"
+                        if name == "hash"
+                        else "; its value cannot appear in deterministic wire bodies"
+                    ),
+                )
+
+
+# ---------------------------------------------------------------------- #
+# error-contract
+# ---------------------------------------------------------------------- #
+@register_rule
+class ErrorContractRule(Rule):
+    """The error-code tables of the protocol module stay exhaustive.
+
+    Checked on ``repro/api/protocol.py`` (cross-referencing
+    ``repro/errors.py`` when it is part of the scan):
+
+    * every code in ``_CODE_BY_EXCEPTION`` is declared in ``ERROR_CODES``;
+    * ``ERROR_CODES`` and ``HTTP_STATUS_BY_CODE`` cover exactly the same
+      codes (a code without an HTTP status would fall back to 500 and
+      silently lose its documented wire semantics);
+    * the ``"internal"`` fallback code exists in both tables — it is what
+      every unlisted exception class maps to;
+    * every exception class named in ``_CODE_BY_EXCEPTION`` is defined in
+      ``repro/errors.py``.
+
+    The runtime twin of this rule walks the live modules with
+    :mod:`inspect` (``tests/api/test_error_contract.py``), so the
+    contract holds even when the linter is skipped.
+    """
+
+    rule_id = "error-contract"
+    description = (
+        "ERROR_CODES, HTTP_STATUS_BY_CODE and _CODE_BY_EXCEPTION must stay "
+        "mutually exhaustive and name real exception classes"
+    )
+
+    PROTOCOL_PATH = "repro/api/protocol.py"
+    ERRORS_PATH = "repro/errors.py"
+
+    def check(self, module: ModuleSource, context: AnalysisContext) -> Iterator[Finding]:
+        if not path_matches(module.rel_path, (self.PROTOCOL_PATH,)):
+            return
+        tables = self._module_tables(module.tree)
+        error_codes = tables.get("ERROR_CODES")
+        status_by_code = tables.get("HTTP_STATUS_BY_CODE")
+        code_by_exception = tables.get("_CODE_BY_EXCEPTION")
+        for name, value in (
+            ("ERROR_CODES", error_codes),
+            ("HTTP_STATUS_BY_CODE", status_by_code),
+            ("_CODE_BY_EXCEPTION", code_by_exception),
+        ):
+            if value is None:
+                yield self.finding(
+                    module,
+                    module.tree,
+                    f"protocol module defines no literal {name} table; the "
+                    "error contract cannot be checked",
+                )
+        if error_codes is None or status_by_code is None or code_by_exception is None:
+            return
+        codes, codes_node = error_codes
+        statuses, statuses_node = status_by_code
+        mapping, mapping_node = code_by_exception
+
+        if "internal" not in codes:
+            yield self.finding(
+                module, codes_node,
+                "ERROR_CODES is missing the 'internal' fallback code every "
+                "unlisted exception maps to",
+            )
+        for code in sorted(set(codes) - set(statuses)):
+            yield self.finding(
+                module, statuses_node,
+                f"error code {code!r} has no HTTP_STATUS_BY_CODE entry; wire "
+                "frontends would silently answer 500 for it",
+            )
+        for code in sorted(set(statuses) - set(codes)):
+            yield self.finding(
+                module, statuses_node,
+                f"HTTP_STATUS_BY_CODE maps undeclared code {code!r}; add it to "
+                "ERROR_CODES or drop the entry",
+            )
+        for exc_name, code, node in mapping:
+            if code not in codes:
+                yield self.finding(
+                    module, node,
+                    f"_CODE_BY_EXCEPTION maps {exc_name} to undeclared code "
+                    f"{code!r}",
+                )
+        errors_module = context.find_module(self.ERRORS_PATH)
+        if errors_module is not None:
+            defined = {
+                stmt.name
+                for stmt in ast.walk(errors_module.tree)
+                if isinstance(stmt, ast.ClassDef)
+            }
+            for exc_name, _code, node in mapping:
+                if exc_name not in defined:
+                    yield self.finding(
+                        module, node,
+                        f"_CODE_BY_EXCEPTION names {exc_name}, which is not "
+                        f"defined in {self.ERRORS_PATH}",
+                    )
+
+    def _module_tables(self, tree: ast.Module) -> dict[str, object]:
+        """The three literal tables, parsed from module-level assignments."""
+        tables: dict[str, object] = {}
+        for stmt in tree.body:
+            if not isinstance(stmt, ast.Assign) or len(stmt.targets) != 1:
+                continue
+            target = stmt.targets[0]
+            if not isinstance(target, ast.Name):
+                continue
+            if target.id == "ERROR_CODES":
+                codes = self._string_elements(stmt.value)
+                if codes is not None:
+                    tables["ERROR_CODES"] = (codes, stmt)
+            elif target.id == "HTTP_STATUS_BY_CODE":
+                if isinstance(stmt.value, ast.Dict):
+                    keys = [
+                        key.value
+                        for key in stmt.value.keys
+                        if isinstance(key, ast.Constant) and isinstance(key.value, str)
+                    ]
+                    tables["HTTP_STATUS_BY_CODE"] = (keys, stmt)
+            elif target.id == "_CODE_BY_EXCEPTION":
+                entries = self._exception_entries(stmt.value)
+                if entries is not None:
+                    tables["_CODE_BY_EXCEPTION"] = (entries, stmt)
+        return tables
+
+    @staticmethod
+    def _string_elements(value: ast.expr) -> list[str] | None:
+        if not isinstance(value, (ast.Tuple, ast.List)):
+            return None
+        return [
+            element.value
+            for element in value.elts
+            if isinstance(element, ast.Constant) and isinstance(element.value, str)
+        ]
+
+    @staticmethod
+    def _exception_entries(value: ast.expr) -> list[tuple[str, str, ast.expr]] | None:
+        if not isinstance(value, (ast.Tuple, ast.List)):
+            return None
+        entries: list[tuple[str, str, ast.expr]] = []
+        for element in value.elts:
+            if not isinstance(element, (ast.Tuple, ast.List)) or len(element.elts) != 2:
+                continue
+            exc_node, code_node = element.elts
+            if isinstance(exc_node, ast.Name) and isinstance(code_node, ast.Constant):
+                entries.append((exc_node.id, str(code_node.value), element))
+        return entries
+
+
+# ---------------------------------------------------------------------- #
+# no-silent-swallow
+# ---------------------------------------------------------------------- #
+@register_rule
+class NoSilentSwallowRule(Rule):
+    """No bare or broad ``except`` on serving paths.
+
+    A handler catching ``Exception``/``BaseException`` (or bare) in the
+    serving modules hides programming errors from the error contract.
+    A handler whose entire body is a bare ``raise`` is exempt (it narrows
+    nothing and hides nothing).  Boundary sites that genuinely must catch
+    everything — mirroring into a Future, answering 500 at the HTTP edge —
+    carry an explicit ``# repro: ignore[no-silent-swallow]`` with a
+    justifying comment, so every such site is deliberate and auditable.
+    """
+
+    rule_id = "no-silent-swallow"
+    description = (
+        "no bare/broad 'except' on serving paths; justified boundary sites "
+        "carry an explicit suppression"
+    )
+
+    #: the serving-path modules the contract covers.
+    PATHS = (
+        "repro/api/",
+        "repro/cluster/",
+        "repro/index/",
+        "repro/corpus.py",
+        "repro/system.py",
+    )
+
+    _BROAD = ("Exception", "BaseException")
+
+    def check(self, module: ModuleSource, context: AnalysisContext) -> Iterator[Finding]:
+        if not path_matches(module.rel_path, self.PATHS):
+            return
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            broad = self._broad_catch(node.type)
+            if broad is None:
+                continue
+            if self._is_pure_reraise(node):
+                continue
+            caught = "bare 'except:'" if broad == "" else f"'except {broad}'"
+            yield self.finding(
+                module,
+                node,
+                f"{caught} on a serving path; catch the narrowest exception "
+                "set (or justify with '# repro: ignore[no-silent-swallow]')",
+            )
+
+    def _broad_catch(self, type_node: ast.expr | None) -> str | None:
+        """The broad exception name caught, '' for bare, None when narrow."""
+        if type_node is None:
+            return ""
+        names = [type_node] if not isinstance(type_node, ast.Tuple) else type_node.elts
+        for name in names:
+            if isinstance(name, ast.Name) and name.id in self._BROAD:
+                return name.id
+        return None
+
+    @staticmethod
+    def _is_pure_reraise(handler: ast.ExceptHandler) -> bool:
+        return (
+            len(handler.body) == 1
+            and isinstance(handler.body[0], ast.Raise)
+            and handler.body[0].exc is None
+        )
+
+
+# ---------------------------------------------------------------------- #
+# executor-lifecycle
+# ---------------------------------------------------------------------- #
+@register_rule
+class ExecutorLifecycleRule(Rule):
+    """Executor subclasses respect the documented lifecycle contract.
+
+    ``repro.api.executors`` pins the contract: ``close()`` is idempotent,
+    submitting through a closed executor raises, re-entry re-opens.  The
+    mechanical consequences a subclass must honour:
+
+    * an overridden ``map``/``submit`` must gate on ``self._require_open()``
+      (or delegate to ``super()``, which gates) — otherwise a closed
+      executor would silently resurrect worker resources;
+    * an overridden ``close`` must set ``self._closed = True`` or call
+      ``super().close()`` — otherwise ``closed`` lies;
+    * ``concurrent.futures`` pools are only constructed inside the
+      executors module — everything else routes work through the
+      ``Executor`` seam, which is what lets process-pool and remote
+      variants plug in without touching callers.
+    """
+
+    rule_id = "executor-lifecycle"
+    description = (
+        "Executor subclasses must gate map/submit on _require_open, keep "
+        "close() honest, and pools must stay behind the executor seam"
+    )
+
+    EXECUTORS_PATH = "repro/api/executors.py"
+
+    _EXECUTOR_BASES = frozenset(
+        {"Executor", "SerialExecutor", "ConcurrentExecutor", "ShardExecutor"}
+    )
+    _POOLS = frozenset({"ThreadPoolExecutor", "ProcessPoolExecutor"})
+
+    def check(self, module: ModuleSource, context: AnalysisContext) -> Iterator[Finding]:
+        in_executors_module = path_matches(module.rel_path, (self.EXECUTORS_PATH,))
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.ClassDef) and self._is_executor_subclass(node):
+                yield from self._check_subclass(module, node)
+            elif (
+                not in_executors_module
+                and isinstance(node, ast.Call)
+                and _call_name(node).rsplit(".", 1)[-1] in self._POOLS
+            ):
+                yield self.finding(
+                    module,
+                    node,
+                    f"{_call_name(node)} constructed outside the executors "
+                    "module; route pooled work through the Executor seam "
+                    "(submit/map) so lifecycle and shutdown stay uniform",
+                )
+
+    def _is_executor_subclass(self, cls: ast.ClassDef) -> bool:
+        for base in cls.bases:
+            name = base.attr if isinstance(base, ast.Attribute) else getattr(base, "id", "")
+            if name in self._EXECUTOR_BASES:
+                return True
+        return False
+
+    def _check_subclass(self, module: ModuleSource, cls: ast.ClassDef) -> Iterator[Finding]:
+        for item in cls.body:
+            if not isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            if item.name in ("map", "submit"):
+                if not self._calls_any(item, ("_require_open", item.name)):
+                    yield self.finding(
+                        module,
+                        item,
+                        f"{cls.name}.{item.name} neither calls "
+                        "self._require_open() nor delegates to super(); a "
+                        "closed executor would silently accept work",
+                    )
+            elif item.name == "close":
+                if not self._closes_honestly(item):
+                    yield self.finding(
+                        module,
+                        item,
+                        f"{cls.name}.close neither sets self._closed = True "
+                        "nor calls super().close(); 'closed' would lie and "
+                        "close() would not be idempotent",
+                    )
+
+    @staticmethod
+    def _calls_any(func: ast.AST, names: tuple[str, ...]) -> bool:
+        """True when the body calls ``self.<name>()`` or ``super().<name>()``."""
+        for node in ast.walk(func):
+            if not isinstance(node, ast.Call):
+                continue
+            target = node.func
+            if not isinstance(target, ast.Attribute) or target.attr not in names:
+                continue
+            owner = target.value
+            if isinstance(owner, ast.Name) and owner.id == "self":
+                return True
+            if isinstance(owner, ast.Call) and _call_name(owner) == "super":
+                return True
+        return False
+
+    def _closes_honestly(self, func: ast.AST) -> bool:
+        if self._calls_any(func, ("close",)):
+            return True
+        for node in ast.walk(func):
+            if isinstance(node, ast.Assign):
+                for target in node.targets:
+                    if _is_self_attr(target, "_closed"):
+                        return True
+        return False
+
+
+# ---------------------------------------------------------------------- #
+# no-print-in-library
+# ---------------------------------------------------------------------- #
+@register_rule
+class NoPrintInLibraryRule(Rule):
+    """``print()`` belongs to the CLI, examples and benchmarks — not the
+    library.  Library output travels through return values (the
+    ``format_*``/``render_*`` seams) or the response protocol, so serving
+    processes never write stray lines to stdout.
+    """
+
+    rule_id = "no-print-in-library"
+    description = "no print() outside repro/cli.py (library output uses return values)"
+
+    #: paths where printing is the job.
+    EXEMPT = (
+        "repro/cli.py",
+        "examples/",
+        "benchmarks/",
+        "tests/",
+    )
+
+    def check(self, module: ModuleSource, context: AnalysisContext) -> Iterator[Finding]:
+        if path_matches(module.rel_path, self.EXEMPT):
+            return
+        for node in ast.walk(module.tree):
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Name)
+                and node.func.id == "print"
+            ):
+                yield self.finding(
+                    module,
+                    node,
+                    "print() in library code; return the text (or use the "
+                    "logging seam) so serving processes keep stdout clean",
+                )

@@ -85,6 +85,9 @@ class Executor(abc.ABC):
         future: Future[_Result] = Future()
         try:
             future.set_result(fn(*args))
+        # Nothing is swallowed: the exception is mirrored into the
+        # Future, exactly as a concurrent.futures pool does.
+        # repro: ignore[no-silent-swallow]
         except BaseException as exc:  # noqa: BLE001 - mirrored into the future
             future.set_exception(exc)
         return future

@@ -167,6 +167,9 @@ class DeadlineMiddleware(Middleware):
         def run() -> None:
             try:
                 outcome["response"] = call_next(request)
+            # The worker thread only ferries the exception across;
+            # the caller re-raises it.
+            # repro: ignore[no-silent-swallow]
             except BaseException as exc:  # noqa: BLE001 - re-raised in the caller
                 outcome["error"] = exc
             finally:
@@ -298,6 +301,9 @@ class MetricsMiddleware(Middleware):
         if self._log is not None:
             try:
                 self._log(request, response, seconds)
+            # A broken log callback must not fail the request it
+            # observes; the response is already built.
+            # repro: ignore[no-silent-swallow]
             except Exception:  # noqa: BLE001 - observability must not fail serving
                 pass
         return response

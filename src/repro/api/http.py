@@ -283,6 +283,9 @@ class HttpServer:
                     status, payload = await asyncio.wrap_future(future)
                 except asyncio.CancelledError:
                     raise
+                # The HTTP edge: any crash becomes a 500 'internal'
+                # body instead of a dropped connection.
+                # repro: ignore[no-silent-swallow]
                 except Exception as exc:  # noqa: BLE001 - a crash must answer 500
                     status = 500
                     payload = _error_body(
@@ -335,6 +338,9 @@ class HttpServer:
     def _run(self) -> None:
         try:
             asyncio.run(self.serve_async())
+        # Stored, not swallowed: start() re-raises this as the
+        # server's startup failure.
+        # repro: ignore[no-silent-swallow]
         except BaseException as exc:  # noqa: BLE001 - surfaced to start()
             self._startup_error = exc
             self._started.set()

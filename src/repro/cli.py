@@ -56,6 +56,11 @@ CLI that drives the same pipeline.  Sub-commands:
     Apply one document edit (update, add or remove) to a saved cluster:
     the edit is routed to the owning shard, journalled in that shard's
     ``corpus.journal``, and the cluster manifest version is bumped.
+``lint``
+    Run the :mod:`repro.analysis` invariant linter (lock discipline,
+    wire determinism, error-contract exhaustiveness, …) over the source
+    tree.  Exit codes: 0 clean, 1 findings (with ``--strict`` also stale
+    baseline entries), 2 usage error.  See ``docs/analysis.md``.
 
 Examples::
 
@@ -336,6 +341,39 @@ def build_parser() -> argparse.ArgumentParser:
     cluster_update.add_argument(
         "--name", metavar="NAME",
         help="document name for --file (default: the file's base name)",
+    )
+
+    lint = subparsers.add_parser(
+        "lint", help="run the repro.analysis invariant linter over the source tree"
+    )
+    lint.add_argument(
+        "paths", nargs="*", metavar="PATH",
+        help="files or directories to analyse (default: the repro source tree)",
+    )
+    lint.add_argument(
+        "--strict", action="store_true",
+        help="also fail (exit 1) on stale baseline entries",
+    )
+    lint.add_argument(
+        "--json", action="store_true", dest="as_json",
+        help="emit the machine-readable JSON report instead of text",
+    )
+    lint.add_argument(
+        "--rule", action="append", default=None, metavar="ID",
+        help="run only this rule id (repeatable; default: every registered rule)",
+    )
+    lint.add_argument(
+        "--baseline", metavar="PATH",
+        help="baseline file of grandfathered findings "
+             "(default: ./analysis-baseline.json when it exists)",
+    )
+    lint.add_argument(
+        "--update-baseline", action="store_true",
+        help="rewrite the baseline to cover every current finding, then exit 0",
+    )
+    lint.add_argument(
+        "--list-rules", action="store_true",
+        help="list the registered rule ids and their invariants, then exit 0",
     )
 
     return parser
@@ -884,6 +922,81 @@ def _command_cluster_update(args: argparse.Namespace, out) -> int:
     return code
 
 
+def _command_lint(args: argparse.Namespace, out) -> int:
+    """Run the invariant linter; exit 0 clean, 1 findings, 2 usage error."""
+    import json
+
+    from repro.analysis import (
+        DEFAULT_BASELINE_NAME,
+        Analyzer,
+        apply_baseline,
+        build_rules,
+        read_baseline,
+        report_to_dict,
+        write_baseline,
+    )
+    from repro.errors import AnalysisError
+
+    try:
+        if args.list_rules:
+            for rule in build_rules():
+                print(f"{rule.rule_id:<22s} {rule.description}", file=out)
+            return 0
+
+        # Default scan root: the directory holding the 'repro' package —
+        # works from any cwd, installed or from a source checkout.
+        paths = args.paths or [os.path.dirname(os.path.dirname(os.path.abspath(__file__)))]
+        report = Analyzer(build_rules(args.rule)).analyze_paths(paths)
+
+        if args.update_baseline:
+            target = args.baseline or DEFAULT_BASELINE_NAME
+            entries = write_baseline(target, report.findings)
+            print(f"wrote {len(entries)} baseline entry(ies) to {target}", file=out)
+            return 0
+
+        baseline_path = args.baseline
+        if baseline_path is None and os.path.exists(DEFAULT_BASELINE_NAME):
+            baseline_path = DEFAULT_BASELINE_NAME
+        entries = read_baseline(baseline_path) if baseline_path else []
+    except AnalysisError as error:
+        print(f"error: {error}", file=out)
+        return 2
+
+    new_findings, stale = apply_baseline(report.findings, entries)
+    baselined = len(report.findings) - len(new_findings)
+    failed = bool(new_findings) or (args.strict and bool(stale))
+
+    if args.as_json:
+        payload = report_to_dict(
+            new_findings,
+            rules_run=report.rules_run,
+            files_analyzed=report.files_analyzed,
+            baselined=baselined,
+            stale_baseline=[entry.to_dict() for entry in stale],
+        )
+        print(json.dumps(payload, indent=2, sort_keys=True), file=out)
+        return 1 if failed else 0
+
+    for finding in new_findings:
+        print(finding.format(), file=out)
+    for entry in stale:
+        print(
+            f"stale baseline entry (finding no longer occurs): "
+            f"{entry.rule_id}: {entry.path}: {entry.message}",
+            file=out,
+        )
+    summary = (
+        f"{len(new_findings)} finding(s) in {report.files_analyzed} file(s), "
+        f"{len(report.rules_run)} rule(s)"
+    )
+    if baselined:
+        summary += f", {baselined} baselined"
+    if stale:
+        summary += f", {len(stale)} stale baseline entry(ies)"
+    print(summary, file=out)
+    return 1 if failed else 0
+
+
 def _command_corpus_save(args: argparse.Namespace, out) -> int:
     corpus = _build_corpus(args, algorithm=args.algorithm)
     subdirs = corpus.save_dir(args.output)
@@ -913,6 +1026,7 @@ _COMMANDS = {
     "cluster-init": _command_cluster_init,
     "cluster-serve-request": _command_cluster_serve_request,
     "cluster-update": _command_cluster_update,
+    "lint": _command_lint,
 }
 
 

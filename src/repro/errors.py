@@ -120,3 +120,12 @@ class DatasetError(ExtractError):
 
 class EvaluationError(ExtractError):
     """Raised when an experiment or metric cannot be computed."""
+
+
+class AnalysisError(ExtractError):
+    """Raised by the static-analysis subsystem (:mod:`repro.analysis`) for
+    usage errors: unknown rule ids, malformed suppression comments,
+    unreadable or version-mismatched baseline files, bad scan paths.
+    Rule *findings* are not errors — they are data (reported, exit code
+    1); this class covers the cases where the linter itself cannot run
+    as asked (exit code 2)."""

@@ -1,0 +1,32 @@
+"""Shared helpers for the static-analysis test suite.
+
+Rule fixtures are tiny source snippets written into a tmp directory that
+mirrors the real package layout (``repro/api/...``), because several
+rules scope themselves by path suffix.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.analysis import Analyzer, build_rules
+
+
+@pytest.fixture()
+def lint_tree(tmp_path):
+    """Write ``{rel_path: source}`` files and lint them with one rule.
+
+    Returns a callable: ``lint_tree(files, rule_id) -> list[Finding]``.
+    """
+
+    def run(files: dict[str, str], rule_id: str):
+        for rel_path, source in files.items():
+            target = tmp_path / rel_path
+            os.makedirs(target.parent, exist_ok=True)
+            target.write_text(source, encoding="utf-8")
+        analyzer = Analyzer(build_rules([rule_id]))
+        return analyzer.analyze_paths([str(tmp_path)]).findings
+
+    return run

@@ -1,0 +1,101 @@
+"""Baseline behaviour: round trip, matching identity, stale detection."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.analysis import (
+    BASELINE_VERSION,
+    BaselineEntry,
+    Finding,
+    apply_baseline,
+    entry_for,
+    read_baseline,
+    write_baseline,
+)
+from repro.errors import AnalysisError
+
+
+def _finding(path="repro/x.py", line=3, rule="no-print-in-library", message="m"):
+    return Finding(path=path, line=line, column=1, rule_id=rule, message=message)
+
+
+class TestRoundTrip:
+    def test_write_then_read(self, tmp_path):
+        target = str(tmp_path / "baseline.json")
+        written = write_baseline(target, [_finding(), _finding(path="repro/y.py")])
+        assert read_baseline(target) == written
+        payload = json.loads((tmp_path / "baseline.json").read_text())
+        assert payload["version"] == BASELINE_VERSION
+
+    def test_entries_deduplicated_and_sorted(self, tmp_path):
+        target = str(tmp_path / "baseline.json")
+        # Same (rule, path, message) at two different lines is ONE entry.
+        entries = write_baseline(
+            target,
+            [_finding(line=3), _finding(line=90), _finding(path="repro/a.py")],
+        )
+        assert len(entries) == 2
+        assert entries == sorted(entries, key=BaselineEntry.key)
+
+    def test_missing_file_raises(self, tmp_path):
+        with pytest.raises(AnalysisError, match="cannot read"):
+            read_baseline(str(tmp_path / "missing.json"))
+
+    def test_invalid_json_raises(self, tmp_path):
+        target = tmp_path / "bad.json"
+        target.write_text("{not json", encoding="utf-8")
+        with pytest.raises(AnalysisError, match="not valid JSON"):
+            read_baseline(str(target))
+
+    def test_version_mismatch_raises(self, tmp_path):
+        target = tmp_path / "old.json"
+        target.write_text(json.dumps({"version": 99, "entries": []}), encoding="utf-8")
+        with pytest.raises(AnalysisError, match="version"):
+            read_baseline(str(target))
+
+    def test_malformed_entry_raises(self, tmp_path):
+        target = tmp_path / "bad-entry.json"
+        target.write_text(
+            json.dumps({"version": BASELINE_VERSION, "entries": [{"rule": "x"}]}),
+            encoding="utf-8",
+        )
+        with pytest.raises(AnalysisError, match="missing key"):
+            read_baseline(str(target))
+
+
+class TestApply:
+    def test_covered_finding_is_filtered(self):
+        finding = _finding()
+        new, stale = apply_baseline([finding], [entry_for(finding)])
+        assert new == []
+        assert stale == []
+
+    def test_line_change_does_not_expire_entry(self):
+        # The whole point of the (rule, path, message) identity: code moved,
+        # the grandfathered finding still matches.
+        entry = entry_for(_finding(line=3))
+        new, stale = apply_baseline([_finding(line=41)], [entry])
+        assert new == []
+        assert stale == []
+
+    def test_uncovered_finding_passes_through(self):
+        baseline = [entry_for(_finding(message="old"))]
+        fresh = _finding(message="new")
+        new, stale = apply_baseline([fresh], baseline)
+        assert new == [fresh]
+        assert [e.message for e in stale] == ["old"]
+
+    def test_fixed_finding_makes_entry_stale(self):
+        entry = entry_for(_finding())
+        new, stale = apply_baseline([], [entry])
+        assert new == []
+        assert stale == [entry]
+
+    def test_empty_baseline_passes_everything(self):
+        findings = [_finding(), _finding(path="repro/y.py")]
+        new, stale = apply_baseline(findings, [])
+        assert new == findings
+        assert stale == []

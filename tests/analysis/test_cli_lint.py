@@ -1,0 +1,133 @@
+"""The ``lint`` CLI command: exit codes, JSON round trip, baseline flags."""
+
+from __future__ import annotations
+
+import io
+import json
+import os
+
+from repro.analysis import REPORT_SCHEMA_VERSION, finding_from_dict, registered_rule_ids
+from repro.cli import main
+
+
+def run_cli(*argv: str) -> tuple[int, str]:
+    buffer = io.StringIO()
+    code = main(list(argv), out=buffer)
+    return code, buffer.getvalue()
+
+
+def _write_tree(tmp_path, files: dict[str, str]) -> str:
+    for rel_path, source in files.items():
+        target = tmp_path / rel_path
+        os.makedirs(target.parent, exist_ok=True)
+        target.write_text(source, encoding="utf-8")
+    return str(tmp_path)
+
+
+_CLEAN = {"repro/util.py": "def double(x):\n    return 2 * x\n"}
+_DIRTY = {"repro/util.py": "def show(x):\n    print(x)\n    print(x)\n"}
+
+
+class TestExitCodes:
+    def test_clean_tree_exits_zero(self, tmp_path):
+        code, output = run_cli("lint", _write_tree(tmp_path, _CLEAN))
+        assert code == 0
+        assert "0 finding(s)" in output
+
+    def test_findings_exit_one(self, tmp_path):
+        code, output = run_cli("lint", _write_tree(tmp_path, _DIRTY))
+        assert code == 1
+        assert "no-print-in-library" in output
+        assert "2 finding(s)" in output
+
+    def test_unknown_rule_is_usage_error(self, tmp_path):
+        code, output = run_cli(
+            "lint", "--rule", "no-such-rule", _write_tree(tmp_path, _CLEAN)
+        )
+        assert code == 2
+        assert "unknown rule" in output
+
+    def test_missing_path_is_usage_error(self, tmp_path):
+        code, output = run_cli("lint", str(tmp_path / "missing"))
+        assert code == 2
+        assert "no such file" in output
+
+    def test_rule_filter_limits_findings(self, tmp_path):
+        code, _ = run_cli(
+            "lint", "--rule", "wire-determinism", _write_tree(tmp_path, _DIRTY)
+        )
+        assert code == 0  # the print findings belong to a rule not selected
+
+
+class TestJsonOutput:
+    def test_json_parses_and_round_trips(self, tmp_path):
+        code, output = run_cli("lint", "--json", _write_tree(tmp_path, _DIRTY))
+        assert code == 1
+        payload = json.loads(output)
+        assert payload["schema_version"] == REPORT_SCHEMA_VERSION
+        assert payload["counts"]["total"] == 2
+        assert payload["counts"]["by_rule"] == {"no-print-in-library": 2}
+        assert payload["rules"] == registered_rule_ids()
+        # Every finding entry rebuilds into a Finding losslessly.
+        rebuilt = [finding_from_dict(entry) for entry in payload["findings"]]
+        assert [f.to_dict() for f in rebuilt] == payload["findings"]
+
+    def test_json_clean_tree(self, tmp_path):
+        code, output = run_cli("lint", "--json", _write_tree(tmp_path, _CLEAN))
+        assert code == 0
+        payload = json.loads(output)
+        assert payload["findings"] == []
+        assert payload["baseline"] == {"suppressed": 0, "stale": []}
+
+
+class TestListRules:
+    def test_lists_every_registered_rule(self):
+        code, output = run_cli("lint", "--list-rules")
+        assert code == 0
+        for rule_id in registered_rule_ids():
+            assert rule_id in output
+
+
+class TestBaselineFlags:
+    def test_update_baseline_then_clean(self, tmp_path):
+        tree = _write_tree(tmp_path, _DIRTY)
+        baseline = str(tmp_path / "baseline.json")
+        code, output = run_cli("lint", "--update-baseline", "--baseline", baseline, tree)
+        assert code == 0
+        assert "wrote 1 baseline entry" in output  # two findings, one identity
+        code, output = run_cli("lint", "--strict", "--baseline", baseline, tree)
+        assert code == 0
+        assert "baselined" in output
+
+    def test_stale_entry_fails_only_strict(self, tmp_path):
+        tree = _write_tree(tmp_path, _DIRTY)
+        baseline = str(tmp_path / "baseline.json")
+        assert run_cli("lint", "--update-baseline", "--baseline", baseline, tree)[0] == 0
+        # Fix the finding: the baseline entry goes stale.
+        _write_tree(tmp_path, _CLEAN)
+        code, output = run_cli("lint", "--baseline", baseline, tree)
+        assert code == 0
+        assert "stale baseline entry" in output
+        code, output = run_cli("lint", "--strict", "--baseline", baseline, tree)
+        assert code == 1
+        assert "stale baseline entry" in output
+
+    def test_new_finding_fails_despite_baseline(self, tmp_path):
+        tree = _write_tree(tmp_path, _DIRTY)
+        baseline = str(tmp_path / "baseline.json")
+        assert run_cli("lint", "--update-baseline", "--baseline", baseline, tree)[0] == 0
+        _write_tree(
+            tmp_path,
+            {"repro/other.py": "import time\n\ndef f():\n    print(time.asctime())\n"},
+        )
+        code, output = run_cli("lint", "--baseline", baseline, tree)
+        assert code == 1
+        assert "repro/other.py" in output
+
+    def test_corrupt_baseline_is_usage_error(self, tmp_path):
+        tree = _write_tree(tmp_path, _CLEAN)
+        baseline = tmp_path / "baseline.json"
+        baseline.write_text("{broken", encoding="utf-8")
+        code, output = run_cli("lint", "--baseline", str(baseline), tree)
+        assert code == 2
+        assert "not valid JSON" in output

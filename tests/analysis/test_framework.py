@@ -1,0 +1,268 @@
+"""Tests for the analysis framework: suppressions, paths, registry,
+report shape — everything below the individual rules."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.analysis import (
+    REPORT_SCHEMA_VERSION,
+    SYNTAX_ERROR_RULE,
+    AnalysisContext,
+    Analyzer,
+    Finding,
+    build_rules,
+    finding_from_dict,
+    parse_suppressions,
+    path_matches,
+    register_rule,
+    registered_rule_ids,
+    report_to_dict,
+)
+from repro.analysis.framework import RULE_REGISTRY, Rule
+from repro.errors import AnalysisError
+
+
+class TestSuppressionParsing:
+    def test_single_rule(self):
+        text = "x = 1  # repro: ignore[lock-discipline]\n"
+        assert parse_suppressions(text) == {1: frozenset({"lock-discipline"})}
+
+    def test_multiple_rules_one_comment(self):
+        text = "x = 1  # repro: ignore[rule-a, rule-b]\n"
+        assert parse_suppressions(text) == {1: frozenset({"rule-a", "rule-b"})}
+
+    def test_standalone_comment_line(self):
+        text = "# repro: ignore[wire-determinism]\nx = 1\n"
+        assert parse_suppressions(text) == {1: frozenset({"wire-determinism"})}
+
+    def test_spacing_variants(self):
+        text = "x = 1  #repro:ignore[rule-a]\ny = 2  #  repro:  ignore[rule-b]\n"
+        parsed = parse_suppressions(text)
+        assert parsed[1] == frozenset({"rule-a"})
+        assert parsed[2] == frozenset({"rule-b"})
+
+    def test_plain_comments_are_not_suppressions(self):
+        assert parse_suppressions("x = 1  # a normal comment\n") == {}
+
+    def test_empty_rule_list_raises(self):
+        with pytest.raises(AnalysisError, match="names no"):
+            parse_suppressions("x = 1  # repro: ignore[]\n")
+
+    def test_suppression_in_string_literal_is_ignored(self):
+        text = 'x = "# repro: ignore[rule-a]"\n'
+        assert parse_suppressions(text) == {}
+
+
+class TestModuleSuppression:
+    def _analyze(self, tmp_path, source: str):
+        (tmp_path / "module.py").write_text(source, encoding="utf-8")
+        analyzer = Analyzer(build_rules(["no-print-in-library"]))
+        return analyzer.analyze_paths([str(tmp_path)]).findings
+
+    def test_same_line_suppression(self, tmp_path):
+        findings = self._analyze(
+            tmp_path, "print('x')  # repro: ignore[no-print-in-library]\n"
+        )
+        assert findings == []
+
+    def test_line_above_suppression(self, tmp_path):
+        findings = self._analyze(
+            tmp_path, "# repro: ignore[no-print-in-library]\nprint('x')\n"
+        )
+        assert findings == []
+
+    def test_wrong_rule_id_does_not_suppress(self, tmp_path):
+        findings = self._analyze(
+            tmp_path, "print('x')  # repro: ignore[lock-discipline]\n"
+        )
+        assert [f.rule_id for f in findings] == ["no-print-in-library"]
+
+    def test_suppression_is_per_line(self, tmp_path):
+        findings = self._analyze(
+            tmp_path,
+            "print('a')  # repro: ignore[no-print-in-library]\n\nprint('b')\n",
+        )
+        assert [f.line for f in findings] == [3]
+
+
+class TestPathMatching:
+    def test_exact_and_suffix(self):
+        assert path_matches("repro/api/protocol.py", ("repro/api/protocol.py",))
+        assert path_matches("src/repro/api/protocol.py", ("repro/api/protocol.py",))
+        assert not path_matches("repro/api/protocol.py", ("repro/api/service.py",))
+
+    def test_partial_component_does_not_match(self):
+        assert not path_matches("myrepro/api/protocol.py", ("repro/api/protocol.py",))
+
+    def test_directory_suffix(self):
+        assert path_matches("repro/api/http.py", ("repro/api/",))
+        assert path_matches("src/repro/api/deep/x.py", ("repro/api/",))
+        assert not path_matches("repro/cluster/router.py", ("repro/api/",))
+
+    def test_context_find_module_by_suffix(self, tmp_path):
+        (tmp_path / "repro").mkdir()
+        (tmp_path / "repro" / "errors.py").write_text("X = 1\n", encoding="utf-8")
+        analyzer = Analyzer(build_rules(["no-print-in-library"]))
+        analyzer.analyze_paths([str(tmp_path)])
+        modules = []
+        (tmp_path / "repro" / "other.py").write_text("Y = 2\n", encoding="utf-8")
+        loaded = analyzer.load_module(
+            str(tmp_path / "repro" / "errors.py"), "repro/errors.py"
+        )
+        modules.append(loaded)
+        context = AnalysisContext(modules)
+        assert context.find_module("repro/errors.py") is loaded
+        assert context.find_module("errors.py") is loaded
+        assert context.find_module("missing.py") is None
+
+
+class TestRegistry:
+    def test_builtin_rules_registered(self):
+        ids = registered_rule_ids()
+        for expected in (
+            "lock-discipline",
+            "wire-determinism",
+            "error-contract",
+            "no-silent-swallow",
+            "executor-lifecycle",
+            "no-print-in-library",
+        ):
+            assert expected in ids
+        assert len(ids) >= 6
+
+    def test_unknown_rule_id_raises(self):
+        with pytest.raises(AnalysisError, match="unknown rule"):
+            build_rules(["no-such-rule"])
+
+    def test_bad_rule_id_rejected_at_registration(self):
+        with pytest.raises(AnalysisError, match="kebab-case"):
+
+            @register_rule
+            class BadRule(Rule):
+                rule_id = "Not_Kebab"
+                description = "x"
+
+                def check(self, module, context):
+                    return iter(())
+
+    def test_reserved_syntax_error_id_rejected(self):
+        with pytest.raises(AnalysisError, match="reserved"):
+
+            @register_rule
+            class ReservedRule(Rule):
+                rule_id = SYNTAX_ERROR_RULE
+                description = "x"
+
+                def check(self, module, context):
+                    return iter(())
+
+    def test_duplicate_rule_id_rejected(self):
+        with pytest.raises(AnalysisError, match="duplicate"):
+
+            @register_rule
+            class DuplicateRule(Rule):
+                rule_id = "no-print-in-library"
+                description = "x"
+
+                def check(self, module, context):
+                    return iter(())
+
+        assert RULE_REGISTRY["no-print-in-library"].__name__ != "DuplicateRule"
+
+
+class TestAnalyzer:
+    def test_syntax_error_becomes_finding(self, tmp_path):
+        (tmp_path / "broken.py").write_text("def f(:\n", encoding="utf-8")
+        report = Analyzer(build_rules(["no-print-in-library"])).analyze_paths(
+            [str(tmp_path)]
+        )
+        assert [f.rule_id for f in report.findings] == [SYNTAX_ERROR_RULE]
+        assert report.files_analyzed == 1
+
+    def test_missing_path_raises(self):
+        with pytest.raises(AnalysisError, match="no such file"):
+            Analyzer(build_rules(["no-print-in-library"])).analyze_paths(
+                ["/does/not/exist"]
+            )
+
+    def test_hidden_and_pycache_skipped(self, tmp_path):
+        (tmp_path / "__pycache__").mkdir()
+        (tmp_path / "__pycache__" / "x.py").write_text("print(1)\n", encoding="utf-8")
+        (tmp_path / ".hidden").mkdir()
+        (tmp_path / ".hidden" / "y.py").write_text("print(1)\n", encoding="utf-8")
+        (tmp_path / "ok.py").write_text("x = 1\n", encoding="utf-8")
+        report = Analyzer(build_rules(["no-print-in-library"])).analyze_paths(
+            [str(tmp_path)]
+        )
+        assert report.files_analyzed == 1
+        assert report.findings == []
+
+    def test_single_file_argument(self, tmp_path):
+        target = tmp_path / "one.py"
+        target.write_text("print(1)\n", encoding="utf-8")
+        report = Analyzer(build_rules(["no-print-in-library"])).analyze_paths(
+            [str(target)]
+        )
+        assert [f.path for f in report.findings] == ["one.py"]
+
+    def test_findings_sorted(self, tmp_path):
+        (tmp_path / "b.py").write_text("print(1)\n", encoding="utf-8")
+        (tmp_path / "a.py").write_text("print(1)\nprint(2)\n", encoding="utf-8")
+        report = Analyzer(build_rules(["no-print-in-library"])).analyze_paths(
+            [str(tmp_path)]
+        )
+        assert [(f.path, f.line) for f in report.findings] == [
+            ("a.py", 1), ("a.py", 2), ("b.py", 1),
+        ]
+
+
+class TestReportShape:
+    def _finding(self, **overrides):
+        base = dict(
+            path="repro/x.py", line=3, column=1,
+            rule_id="no-print-in-library", message="print() in library code",
+        )
+        base.update(overrides)
+        return Finding(**base)
+
+    def test_finding_round_trip(self):
+        finding = self._finding()
+        assert finding_from_dict(finding.to_dict()) == finding
+
+    def test_finding_from_dict_rejects_malformed(self):
+        with pytest.raises(AnalysisError):
+            finding_from_dict({"path": "x.py"})
+        with pytest.raises(AnalysisError):
+            finding_from_dict("not an object")
+
+    def test_format_is_stable(self):
+        assert self._finding().format() == (
+            "repro/x.py:3:1: no-print-in-library: print() in library code"
+        )
+
+    def test_report_schema_keys(self):
+        findings = [self._finding(), self._finding(line=9, rule_id="wire-determinism")]
+        payload = report_to_dict(
+            findings, rules_run=["a", "b"], files_analyzed=4, baselined=2,
+            stale_baseline=[{"rule": "a", "path": "x.py", "message": "m"}],
+        )
+        # The stable contract CI consumers parse: exactly these top-level keys.
+        assert sorted(payload) == [
+            "baseline", "counts", "files_analyzed", "findings", "rules",
+            "schema_version",
+        ]
+        assert payload["schema_version"] == REPORT_SCHEMA_VERSION
+        assert payload["counts"]["total"] == 2
+        assert payload["counts"]["by_rule"] == {
+            "no-print-in-library": 1, "wire-determinism": 1,
+        }
+        assert payload["baseline"] == {
+            "suppressed": 2,
+            "stale": [{"rule": "a", "path": "x.py", "message": "m"}],
+        }
+        # JSON-serialisable as-is.
+        round_tripped = json.loads(json.dumps(payload))
+        assert round_tripped == payload

@@ -1,0 +1,520 @@
+"""Per-rule fixture tests: each rule fires on a positive snippet, stays
+quiet on a negative one, and honours ``# repro: ignore[rule-id]``."""
+
+from __future__ import annotations
+
+
+# ---------------------------------------------------------------------- #
+# lock-discipline
+# ---------------------------------------------------------------------- #
+_LOCKED_CLASS_HEADER = """\
+import threading
+
+class Corpus:
+    def __init__(self):
+        self._serving_lock = threading.Lock()
+        self._entries = {}
+"""
+
+
+class TestLockDiscipline:
+    RULE = "lock-discipline"
+
+    def test_unlocked_write_fires(self, lint_tree):
+        source = _LOCKED_CLASS_HEADER + """\
+
+    def register(self, name, entry):
+        self._entries[name] = entry
+"""
+        findings = lint_tree({"repro/corpus.py": source}, self.RULE)
+        assert [f.rule_id for f in findings] == [self.RULE]
+        assert "_entries" in findings[0].message
+
+    def test_locked_write_is_clean(self, lint_tree):
+        source = _LOCKED_CLASS_HEADER + """\
+
+    def register(self, name, entry):
+        with self._serving_lock:
+            self._entries[name] = entry
+"""
+        assert lint_tree({"repro/corpus.py": source}, self.RULE) == []
+
+    def test_mutating_method_call_fires(self, lint_tree):
+        source = _LOCKED_CLASS_HEADER + """\
+
+    def clear(self):
+        self._entries.clear()
+"""
+        findings = lint_tree({"repro/corpus.py": source}, self.RULE)
+        assert [f.rule_id for f in findings] == [self.RULE]
+
+    def test_delete_outside_lock_fires(self, lint_tree):
+        source = _LOCKED_CLASS_HEADER + """\
+
+    def remove(self, name):
+        del self._entries[name]
+"""
+        assert len(lint_tree({"repro/corpus.py": source}, self.RULE)) == 1
+
+    def test_reassignment_outside_lock_fires(self, lint_tree):
+        source = _LOCKED_CLASS_HEADER + """\
+
+    def reset(self):
+        self._entries = {}
+"""
+        assert len(lint_tree({"repro/corpus.py": source}, self.RULE)) == 1
+
+    def test_read_is_not_flagged(self, lint_tree):
+        source = _LOCKED_CLASS_HEADER + """\
+
+    def get(self, name):
+        return self._entries.get(name)
+
+    def names(self):
+        return sorted(self._entries)
+"""
+        assert lint_tree({"repro/corpus.py": source}, self.RULE) == []
+
+    def test_init_writes_exempt(self, lint_tree):
+        assert lint_tree({"repro/corpus.py": _LOCKED_CLASS_HEADER}, self.RULE) == []
+
+    def test_class_without_lock_is_ignored(self, lint_tree):
+        source = """\
+class Plain:
+    def __init__(self):
+        self._entries = {}
+
+    def register(self, name, entry):
+        self._entries[name] = entry
+"""
+        assert lint_tree({"repro/corpus.py": source}, self.RULE) == []
+
+    def test_nested_lock_scope_applies(self, lint_tree):
+        source = _LOCKED_CLASS_HEADER + """\
+
+    def swap(self, name, entry):
+        with self._serving_lock:
+            if name in self._entries:
+                self._entries[name] = entry
+"""
+        assert lint_tree({"repro/corpus.py": source}, self.RULE) == []
+
+    def test_suppression(self, lint_tree):
+        source = _LOCKED_CLASS_HEADER + """\
+
+    def register(self, name, entry):
+        self._entries[name] = entry  # repro: ignore[lock-discipline]
+"""
+        assert lint_tree({"repro/corpus.py": source}, self.RULE) == []
+
+
+# ---------------------------------------------------------------------- #
+# wire-determinism
+# ---------------------------------------------------------------------- #
+class TestWireDeterminism:
+    RULE = "wire-determinism"
+
+    def test_time_time_fires_in_wire_module(self, lint_tree):
+        source = "import time\n\ndef stamp():\n    return time.time()\n"
+        findings = lint_tree({"repro/api/protocol.py": source}, self.RULE)
+        assert [f.rule_id for f in findings] == [self.RULE]
+        assert "time.time" in findings[0].message
+
+    def test_builtin_hash_fires(self, lint_tree):
+        source = "def shard_of(name, shards):\n    return hash(name) % shards\n"
+        findings = lint_tree({"repro/cluster/partition.py": source}, self.RULE)
+        assert len(findings) == 1
+        assert "hash()" in findings[0].message
+
+    def test_random_fires(self, lint_tree):
+        source = "import random\n\ndef pick():\n    return random.choice([1, 2])\n"
+        assert len(lint_tree({"repro/api/service.py": source}, self.RULE)) == 1
+
+    def test_id_fires(self, lint_tree):
+        source = "def tag(obj):\n    return id(obj)\n"
+        assert len(lint_tree({"repro/api/http.py": source}, self.RULE)) == 1
+
+    def test_datetime_now_fires(self, lint_tree):
+        source = "import datetime\n\ndef when():\n    return datetime.datetime.now()\n"
+        assert len(lint_tree({"repro/api/protocol.py": source}, self.RULE)) == 1
+
+    def test_perf_counter_is_sanctioned(self, lint_tree):
+        source = "import time\n\ndef elapsed(t0):\n    return time.perf_counter() - t0\n"
+        assert lint_tree({"repro/api/service.py": source}, self.RULE) == []
+
+    def test_hashlib_is_clean(self, lint_tree):
+        source = (
+            "import hashlib\n\n"
+            "def shard_of(name, shards):\n"
+            "    digest = hashlib.sha1(name.encode()).digest()\n"
+            "    return digest[0] % shards\n"
+        )
+        assert lint_tree({"repro/cluster/partition.py": source}, self.RULE) == []
+
+    def test_non_wire_module_is_out_of_scope(self, lint_tree):
+        source = "import time\n\ndef stamp():\n    return time.time()\n"
+        assert lint_tree({"repro/eval/timing.py": source}, self.RULE) == []
+
+    def test_suppression(self, lint_tree):
+        source = (
+            "import time\n\n"
+            "def stamp():\n"
+            "    return time.time()  # repro: ignore[wire-determinism]\n"
+        )
+        assert lint_tree({"repro/api/protocol.py": source}, self.RULE) == []
+
+
+# ---------------------------------------------------------------------- #
+# error-contract
+# ---------------------------------------------------------------------- #
+_ERRORS_MODULE = """\
+class ExtractError(Exception):
+    pass
+
+class PagingError(ExtractError):
+    pass
+
+class OverloadedError(ExtractError):
+    pass
+"""
+
+
+def _protocol_module(codes, statuses, mapping):
+    lines = ["ERROR_CODES = (" + ", ".join(repr(c) for c in codes) + ",)"]
+    lines.append(
+        "HTTP_STATUS_BY_CODE = {"
+        + ", ".join(f"{code!r}: {status}" for code, status in statuses)
+        + "}"
+    )
+    lines.append(
+        "_CODE_BY_EXCEPTION = ("
+        + ", ".join(f"({name}, {code!r})" for name, code in mapping)
+        + ("," if mapping else "")
+        + ")"
+    )
+    return _ERRORS_MODULE + "\n" + "\n".join(lines) + "\n"
+
+
+class TestErrorContract:
+    RULE = "error-contract"
+
+    def _files(self, codes, statuses, mapping):
+        return {
+            "repro/errors.py": _ERRORS_MODULE,
+            "repro/api/protocol.py": _protocol_module(codes, statuses, mapping),
+        }
+
+    def test_consistent_tables_are_clean(self, lint_tree):
+        files = self._files(
+            codes=("invalid_page", "overloaded", "internal"),
+            statuses=[("invalid_page", 400), ("overloaded", 503), ("internal", 500)],
+            mapping=[("PagingError", "invalid_page"), ("OverloadedError", "overloaded")],
+        )
+        assert lint_tree(files, self.RULE) == []
+
+    def test_code_without_http_status_fires(self, lint_tree):
+        files = self._files(
+            codes=("invalid_page", "internal"),
+            statuses=[("internal", 500)],
+            mapping=[("PagingError", "invalid_page")],
+        )
+        findings = lint_tree(files, self.RULE)
+        assert len(findings) == 1
+        assert "invalid_page" in findings[0].message
+        assert "HTTP_STATUS_BY_CODE" in findings[0].message
+
+    def test_status_for_undeclared_code_fires(self, lint_tree):
+        files = self._files(
+            codes=("internal",),
+            statuses=[("internal", 500), ("ghost_code", 418)],
+            mapping=[],
+        )
+        findings = lint_tree(files, self.RULE)
+        assert len(findings) == 1
+        assert "ghost_code" in findings[0].message
+
+    def test_mapping_to_undeclared_code_fires(self, lint_tree):
+        files = self._files(
+            codes=("internal",),
+            statuses=[("internal", 500)],
+            mapping=[("PagingError", "invalid_page")],
+        )
+        findings = lint_tree(files, self.RULE)
+        assert any("undeclared code 'invalid_page'" in f.message for f in findings)
+
+    def test_missing_internal_fallback_fires(self, lint_tree):
+        files = self._files(
+            codes=("invalid_page",),
+            statuses=[("invalid_page", 400)],
+            mapping=[("PagingError", "invalid_page")],
+        )
+        findings = lint_tree(files, self.RULE)
+        assert any("'internal' fallback" in f.message for f in findings)
+
+    def test_unknown_exception_class_fires(self, lint_tree):
+        files = self._files(
+            codes=("internal",),
+            statuses=[("internal", 500)],
+            mapping=[("GhostError", "internal")],
+        )
+        findings = lint_tree(files, self.RULE)
+        assert any("GhostError" in f.message for f in findings)
+
+    def test_real_protocol_module_is_clean(self, lint_tree):
+        import repro.api.protocol as protocol_mod
+        import repro.errors as errors_mod
+
+        files = {
+            "repro/errors.py": open(errors_mod.__file__, encoding="utf-8").read(),
+            "repro/api/protocol.py": open(
+                protocol_mod.__file__, encoding="utf-8"
+            ).read(),
+        }
+        assert lint_tree(files, self.RULE) == []
+
+    def test_suppression(self, lint_tree):
+        protocol = _protocol_module(
+            codes=("invalid_page",),
+            statuses=[("invalid_page", 400)],
+            mapping=[],
+        )
+        # The missing-'internal' finding anchors at the ERROR_CODES line.
+        protocol = protocol.replace(
+            "ERROR_CODES = ",
+            "# repro: ignore[error-contract]\nERROR_CODES = ",
+        )
+        files = {"repro/errors.py": _ERRORS_MODULE, "repro/api/protocol.py": protocol}
+        assert lint_tree(files, self.RULE) == []
+
+
+# ---------------------------------------------------------------------- #
+# no-silent-swallow
+# ---------------------------------------------------------------------- #
+class TestNoSilentSwallow:
+    RULE = "no-silent-swallow"
+
+    def test_broad_except_pass_fires(self, lint_tree):
+        source = """\
+def handle(request):
+    try:
+        return request()
+    except Exception:
+        pass
+"""
+        findings = lint_tree({"repro/api/gateway.py": source}, self.RULE)
+        assert [f.rule_id for f in findings] == [self.RULE]
+
+    def test_bare_except_fires(self, lint_tree):
+        source = """\
+def handle(request):
+    try:
+        return request()
+    except:
+        return None
+"""
+        findings = lint_tree({"repro/corpus.py": source}, self.RULE)
+        assert len(findings) == 1
+        assert "bare" in findings[0].message
+
+    def test_base_exception_in_tuple_fires(self, lint_tree):
+        source = """\
+def handle(request):
+    try:
+        return request()
+    except (ValueError, BaseException) as exc:
+        return exc
+"""
+        assert len(lint_tree({"repro/cluster/router.py": source}, self.RULE)) == 1
+
+    def test_narrow_except_is_clean(self, lint_tree):
+        source = """\
+from repro.errors import ExtractError
+
+def handle(request):
+    try:
+        return request()
+    except (ValueError, ExtractError):
+        return None
+"""
+        assert lint_tree({"repro/api/gateway.py": source}, self.RULE) == []
+
+    def test_pure_reraise_is_clean(self, lint_tree):
+        source = """\
+def handle(request):
+    try:
+        return request()
+    except Exception:
+        raise
+"""
+        assert lint_tree({"repro/api/gateway.py": source}, self.RULE) == []
+
+    def test_non_serving_path_is_out_of_scope(self, lint_tree):
+        source = """\
+def best_effort(fn):
+    try:
+        return fn()
+    except Exception:
+        return None
+"""
+        assert lint_tree({"repro/eval/harness.py": source}, self.RULE) == []
+
+    def test_suppression(self, lint_tree):
+        source = """\
+def handle(request):
+    try:
+        return request()
+    # justified: the boundary answers 500 for any crash
+    # repro: ignore[no-silent-swallow]
+    except Exception:
+        return None
+"""
+        assert lint_tree({"repro/api/http.py": source}, self.RULE) == []
+
+
+# ---------------------------------------------------------------------- #
+# executor-lifecycle
+# ---------------------------------------------------------------------- #
+class TestExecutorLifecycle:
+    RULE = "executor-lifecycle"
+
+    def test_submit_without_require_open_fires(self, lint_tree):
+        source = """\
+from repro.api.executors import ConcurrentExecutor
+
+class EagerExecutor(ConcurrentExecutor):
+    def submit(self, fn, *args):
+        return fn(*args)
+"""
+        findings = lint_tree({"repro/cluster/router.py": source}, self.RULE)
+        assert len(findings) == 1
+        assert "_require_open" in findings[0].message
+
+    def test_submit_with_require_open_is_clean(self, lint_tree):
+        source = """\
+from repro.api.executors import ConcurrentExecutor
+
+class GatedExecutor(ConcurrentExecutor):
+    def submit(self, fn, *args):
+        self._require_open()
+        return fn(*args)
+"""
+        assert lint_tree({"repro/cluster/router.py": source}, self.RULE) == []
+
+    def test_submit_delegating_to_super_is_clean(self, lint_tree):
+        source = """\
+from repro.api.executors import ConcurrentExecutor
+
+class LoggingExecutor(ConcurrentExecutor):
+    def submit(self, fn, *args):
+        return super().submit(fn, *args)
+"""
+        assert lint_tree({"repro/cluster/router.py": source}, self.RULE) == []
+
+    def test_close_without_closed_flag_fires(self, lint_tree):
+        source = """\
+from repro.api.executors import Executor
+
+class LeakyExecutor(Executor):
+    def close(self):
+        self._pool = None
+"""
+        findings = lint_tree({"repro/api/pool.py": source}, self.RULE)
+        assert len(findings) == 1
+        assert "close" in findings[0].message
+
+    def test_close_setting_flag_is_clean(self, lint_tree):
+        source = """\
+from repro.api.executors import Executor
+
+class HonestExecutor(Executor):
+    def close(self):
+        self._closed = True
+"""
+        assert lint_tree({"repro/api/pool.py": source}, self.RULE) == []
+
+    def test_close_calling_super_is_clean(self, lint_tree):
+        source = """\
+from repro.api.executors import ConcurrentExecutor
+
+class ChainedExecutor(ConcurrentExecutor):
+    def close(self):
+        super().close()
+"""
+        assert lint_tree({"repro/api/pool.py": source}, self.RULE) == []
+
+    def test_pool_outside_executors_module_fires(self, lint_tree):
+        source = """\
+from concurrent.futures import ThreadPoolExecutor
+
+def fan_out(tasks):
+    with ThreadPoolExecutor(max_workers=4) as pool:
+        return list(pool.map(lambda t: t(), tasks))
+"""
+        findings = lint_tree({"repro/cluster/router.py": source}, self.RULE)
+        assert len(findings) == 1
+        assert "Executor seam" in findings[0].message
+
+    def test_pool_inside_executors_module_is_clean(self, lint_tree):
+        source = """\
+from concurrent.futures import ThreadPoolExecutor
+
+def make_pool(workers):
+    return ThreadPoolExecutor(max_workers=workers)
+"""
+        assert lint_tree({"repro/api/executors.py": source}, self.RULE) == []
+
+    def test_unrelated_class_is_ignored(self, lint_tree):
+        source = """\
+class Service:
+    def submit(self, fn):
+        return fn()
+
+    def close(self):
+        pass
+"""
+        assert lint_tree({"repro/api/service.py": source}, self.RULE) == []
+
+    def test_suppression(self, lint_tree):
+        source = """\
+from repro.api.executors import ConcurrentExecutor
+
+class EagerExecutor(ConcurrentExecutor):
+    # repro: ignore[executor-lifecycle]
+    def submit(self, fn, *args):
+        return fn(*args)
+"""
+        assert lint_tree({"repro/cluster/router.py": source}, self.RULE) == []
+
+
+# ---------------------------------------------------------------------- #
+# no-print-in-library
+# ---------------------------------------------------------------------- #
+class TestNoPrintInLibrary:
+    RULE = "no-print-in-library"
+
+    def test_library_print_fires(self, lint_tree):
+        source = "def render(tree):\n    print(tree)\n"
+        findings = lint_tree({"repro/xmltree/serialize.py": source}, self.RULE)
+        assert [f.rule_id for f in findings] == [self.RULE]
+
+    def test_cli_module_exempt(self, lint_tree):
+        source = "def main():\n    print('hello')\n"
+        assert lint_tree({"repro/cli.py": source}, self.RULE) == []
+
+    def test_tests_and_examples_exempt(self, lint_tree):
+        source = "def show():\n    print('x')\n"
+        findings = lint_tree(
+            {"examples/demo.py": source, "tests/test_demo.py": source}, self.RULE
+        )
+        assert findings == []
+
+    def test_method_named_print_is_clean(self, lint_tree):
+        source = "def render(report):\n    report.print()\n"
+        assert lint_tree({"repro/eval/report.py": source}, self.RULE) == []
+
+    def test_suppression(self, lint_tree):
+        source = (
+            "def render(tree):\n"
+            "    print(tree)  # repro: ignore[no-print-in-library]\n"
+        )
+        assert lint_tree({"repro/xmltree/serialize.py": source}, self.RULE) == []

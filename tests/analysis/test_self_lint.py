@@ -1,0 +1,33 @@
+"""The acceptance gate, as a test: the repository's own source tree is
+clean under every shipped rule (modulo the committed baseline)."""
+
+from __future__ import annotations
+
+import json
+import os
+
+import repro
+from repro.analysis import Analyzer, apply_baseline, build_rules, read_baseline
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+SRC_DIR = os.path.dirname(os.path.dirname(os.path.abspath(repro.__file__)))
+BASELINE = os.path.join(REPO_ROOT, "analysis-baseline.json")
+
+
+def test_source_tree_is_clean_under_all_rules():
+    report = Analyzer(build_rules()).analyze_paths([SRC_DIR])
+    entries = read_baseline(BASELINE) if os.path.exists(BASELINE) else []
+    new_findings, stale = apply_baseline(report.findings, entries)
+    assert new_findings == [], "\n".join(f.format() for f in new_findings)
+    assert stale == [], f"stale baseline entries: {[e.key() for e in stale]}"
+    # Sanity: the run actually analysed the package, with all six rules.
+    assert report.files_analyzed > 50
+    assert len(report.rules_run) >= 6
+
+
+def test_committed_baseline_carries_no_unexplained_debt():
+    # The acceptance criterion pins an empty baseline: every real finding
+    # was either fixed or suppressed in-line with a justifying comment.
+    with open(BASELINE, encoding="utf-8") as handle:
+        payload = json.load(handle)
+    assert payload["entries"] == []

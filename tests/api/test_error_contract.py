@@ -1,0 +1,90 @@
+"""The runtime twin of the static ``error-contract`` rule: walk
+``repro.errors`` with :mod:`inspect` and assert the protocol's error-code
+tables cover it.  The static rule checks the source; this checks the live
+modules, so the contract holds even when the linter is skipped."""
+
+from __future__ import annotations
+
+import inspect
+
+import pytest
+
+import repro.errors as errors_module
+from repro.api.protocol import (
+    ERROR_CODES,
+    HTTP_STATUS_BY_CODE,
+    _CODE_BY_EXCEPTION,
+    code_for_exception,
+    http_status_for_code,
+)
+from repro.errors import ExtractError
+
+
+def _error_classes() -> list[type[ExtractError]]:
+    """Every concrete ExtractError subclass defined in repro.errors."""
+    classes = [
+        cls
+        for _name, cls in inspect.getmembers(errors_module, inspect.isclass)
+        if issubclass(cls, ExtractError) and cls.__module__ == errors_module.__name__
+    ]
+    assert len(classes) >= 15  # the hierarchy, not an accidental empty walk
+    return classes
+
+
+class TestCodeTables:
+    def test_every_code_has_an_http_status(self):
+        assert set(ERROR_CODES) == set(HTTP_STATUS_BY_CODE)
+
+    def test_statuses_are_plausible_http_codes(self):
+        for code, status in HTTP_STATUS_BY_CODE.items():
+            assert 400 <= status <= 599, (code, status)
+
+    def test_internal_fallback_exists(self):
+        assert "internal" in ERROR_CODES
+        assert http_status_for_code("internal") == 500
+
+    def test_unknown_code_falls_back_to_500(self):
+        assert http_status_for_code("no-such-code") == 500
+        assert http_status_for_code(None) == 500
+
+    def test_mapping_targets_are_declared_codes(self):
+        for exc_class, code in _CODE_BY_EXCEPTION:
+            assert code in ERROR_CODES, (exc_class.__name__, code)
+
+    def test_mapping_classes_live_in_repro_errors(self):
+        for exc_class, _code in _CODE_BY_EXCEPTION:
+            assert exc_class.__module__ == errors_module.__name__
+            assert issubclass(exc_class, ExtractError)
+
+
+class TestExceptionCoverage:
+    @pytest.mark.parametrize(
+        "exc_class", _error_classes(), ids=lambda cls: cls.__name__
+    )
+    def test_every_errors_class_maps_to_a_declared_code(self, exc_class):
+        code = code_for_exception(exc_class("boom"))
+        assert code in ERROR_CODES
+        assert http_status_for_code(code) in range(400, 600)
+
+    def test_specific_wire_semantics_preserved(self):
+        from repro.errors import (
+            DeadlineError,
+            OverloadedError,
+            PagingError,
+            ProtocolError,
+            UnknownDocumentError,
+        )
+
+        expectations = {
+            UnknownDocumentError: ("unknown_document", 404),
+            OverloadedError: ("overloaded", 503),
+            DeadlineError: ("deadline_exceeded", 504),
+            PagingError: ("invalid_page", 400),
+            ProtocolError: ("bad_request", 400),
+        }
+        for exc_class, (code, status) in expectations.items():
+            assert code_for_exception(exc_class("x")) == code
+            assert http_status_for_code(code) == status
+
+    def test_foreign_exception_maps_to_internal(self):
+        assert code_for_exception(RuntimeError("boom")) == "internal"

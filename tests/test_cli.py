@@ -24,7 +24,7 @@ class TestParser:
             "analyze", "search", "ilist", "datasets", "generate", "experiment",
             "batch", "corpus-save", "corpus-update", "corpus-compact",
             "serve-request", "serve", "cluster-init", "cluster-serve-request",
-            "cluster-update",
+            "cluster-update", "lint",
         ):
             assert command in text
 
