@@ -1,0 +1,198 @@
+"""Serving benchmark — spawned remote cluster vs in-process cluster.
+
+Two acceptance shapes for the distributed layer (ISSUE 7):
+
+* **Coordination tax is bounded**: a remote 4-shard cluster — every shard
+  its own spawned ``serve --shard-of`` process, requests fanned over HTTP
+  — answers a warm batch within **3×** of the in-process 4-shard cluster.
+  The hop costs serialisation + localhost TCP per sub-batch; what it buys
+  is real multi-core execution and fault isolation, which the second
+  shape measures.
+* **Replicas scale reads**: with 2 replicas per shard, concurrent cold
+  reads (8 coordinator threads) achieve **≥ 1.5×** the throughput of the
+  same cluster with a single replica — the load-balanced replica set
+  turns extra processes into extra read capacity.  Extra *processes* only
+  buy throughput when there are extra *cores*: on a single-core box the
+  replicas time-slice one CPU and the fan-out is pure overhead, so the
+  floor is asserted only with ≥ 4 cores (2 shards × 2 replicas need that
+  many to actually run concurrently); the numbers are recorded either
+  way.
+
+The measured numbers land in ``BENCH_remote_cluster.json`` via the shared
+:mod:`reporting` sink.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+import threading
+import time
+
+from repro.api import BatchRequest, ErrorResponse, SearchRequest
+from repro.cluster import ClusterService, RemoteClusterService
+from repro.corpus import Corpus
+from repro.datasets.movies import MoviesConfig, generate_movies_document
+from repro.datasets.retail import RetailConfig, generate_retail_document
+
+from reporting import bench_row, record_benchmark
+
+QUERIES = (
+    "store texas",
+    "retailer apparel",
+    "clothes casual",
+    "store austin",
+    "suit formal",
+    "movie drama",
+)
+
+RETAIL_DOCUMENTS = 6
+SHARDS = 4
+ROUNDS = 5
+
+#: ISSUE 7 acceptance: remote warm batch within this factor of in-process
+REMOTE_SLOWDOWN_BOUND = 3.0
+
+#: ISSUE 7 acceptance: 2-replica concurrent read throughput ≥ this factor
+#: of the single-replica cluster
+REPLICA_SPEEDUP_FLOOR = 1.5
+
+#: cores needed before the replica-speedup floor is a physical possibility
+#: (2 shards × 2 replicas = 4 server processes that must run concurrently)
+REPLICA_BENCH_MIN_CORES = 4
+
+READ_THREADS = 8
+READS_PER_THREAD = 5
+
+
+def _fresh_corpus() -> Corpus:
+    corpus = Corpus()
+    for position in range(RETAIL_DOCUMENTS):
+        name = f"retail-{position}"
+        config = RetailConfig(
+            retailers=4, stores_per_retailer=4, clothes_per_store=4, seed=60 + position
+        )
+        corpus.add_tree(name, generate_retail_document(config, name=name))
+    corpus.add_tree("movies", generate_movies_document(MoviesConfig(movies=20, seed=7)))
+    return corpus
+
+
+def _save_cluster(directory: str, shards: int) -> None:
+    service = ClusterService.from_corpus(_fresh_corpus(), shards=shards)
+    service.save_dir(directory)
+    service.close()
+
+
+def _warm_batch() -> BatchRequest:
+    return BatchRequest(queries=QUERIES, size_bound=6)
+
+
+def _best_seconds(backend, batch: BatchRequest) -> float:
+    best = float("inf")
+    for _ in range(ROUNDS):
+        started = time.perf_counter()
+        backend.execute_batch(batch)
+        best = min(best, time.perf_counter() - started)
+    return best
+
+
+def test_remote_batch_within_bound_of_in_process_cluster():
+    with tempfile.TemporaryDirectory() as directory:
+        _save_cluster(directory, SHARDS)
+
+        with ClusterService.from_corpus(_fresh_corpus(), shards=SHARDS) as local:
+            local.run_batch(_warm_batch())  # warm shard caches + pool
+            local_best = _best_seconds(local, _warm_batch())
+            local_bytes = json.dumps(
+                local.run_batch(_warm_batch()).to_dict(), sort_keys=True
+            )
+
+        with RemoteClusterService.spawn(directory, replicas=1) as remote:
+            remote.execute_batch(_warm_batch())  # warm every process
+            remote_best = _best_seconds(remote, _warm_batch())
+            remote_response = remote.execute_batch(_warm_batch())
+            assert not isinstance(remote_response, ErrorResponse)
+            remote_bytes = json.dumps(remote_response.to_dict(), sort_keys=True)
+
+    # the wire hop must not change a byte
+    assert remote_bytes == local_bytes
+
+    record_benchmark(
+        "remote_cluster",
+        [
+            bench_row(f"{SHARDS}_shard_in_process_batch_warm", local_best),
+            bench_row(
+                f"{SHARDS}_shard_remote_batch_warm",
+                remote_best,
+                baseline_op=f"{SHARDS}_shard_in_process_batch_warm",
+                baseline_seconds=local_best,
+            ),
+        ],
+    )
+    assert remote_best <= local_best * REMOTE_SLOWDOWN_BOUND, (local_best, remote_best)
+
+
+def _read_throughput(remote: RemoteClusterService) -> float:
+    """Requests/second for cold concurrent reads through the coordinator."""
+    names = remote.names()
+    barrier = threading.Barrier(READ_THREADS + 1)
+    failures: list[str] = []
+
+    def worker(thread_index: int) -> None:
+        barrier.wait()
+        for position in range(READS_PER_THREAD):
+            step = thread_index * READS_PER_THREAD + position
+            request = SearchRequest(
+                query=QUERIES[step % len(QUERIES)],
+                document=names[step % len(names)],
+                size_bound=6,
+                use_cache=False,  # cold: the server does real pipeline work
+            )
+            response = remote.execute(request)
+            if isinstance(response, ErrorResponse):
+                failures.append(response.message)
+
+    threads = [
+        threading.Thread(target=worker, args=(index,)) for index in range(READ_THREADS)
+    ]
+    for thread in threads:
+        thread.start()
+    barrier.wait()
+    started = time.perf_counter()
+    for thread in threads:
+        thread.join()
+    elapsed = time.perf_counter() - started
+    assert failures == [], failures[:3]
+    return (READ_THREADS * READS_PER_THREAD) / elapsed
+
+
+def test_two_replicas_scale_read_throughput():
+    with tempfile.TemporaryDirectory() as directory:
+        _save_cluster(directory, 2)
+
+        with RemoteClusterService.spawn(directory, replicas=1) as single_replica:
+            _read_throughput(single_replica)  # warm the processes
+            single_rate = _read_throughput(single_replica)
+
+        with RemoteClusterService.spawn(directory, replicas=2) as two_replicas:
+            _read_throughput(two_replicas)
+            double_rate = _read_throughput(two_replicas)
+
+    record_benchmark(
+        "remote_cluster",
+        [
+            bench_row("read_throughput_1_replica", 1.0 / single_rate),
+            bench_row(
+                "read_throughput_2_replicas",
+                1.0 / double_rate,
+                baseline_op="read_throughput_1_replica",
+                baseline_seconds=1.0 / single_rate,
+            ),
+        ],
+    )
+    if (os.cpu_count() or 1) >= REPLICA_BENCH_MIN_CORES:
+        assert double_rate >= single_rate * REPLICA_SPEEDUP_FLOOR, (
+            single_rate,
+            double_rate,
+        )

@@ -26,7 +26,12 @@ Walks the ``repro.api`` protocol end to end:
   start the asyncio HTTP frontend (:class:`~repro.api.HttpServer`), and
   query it with the typed :class:`~repro.api.ServiceClient` — which is
   itself a :class:`~repro.api.ServingBackend`, so remote and in-process
-  backends are interchangeable behind one seam.
+  backends are interchangeable behind one seam,
+* go **distributed**: spawn the saved cluster as real shard processes
+  with replica sets (:class:`~repro.cluster.RemoteClusterService`) —
+  reads load-balanced across replicas, writes replicated through the
+  primary as journal deltas, health-checked failover, still
+  byte-identical.
 
 The same flow is available from the command line::
 
@@ -238,6 +243,58 @@ def main() -> None:
     # The same server from the command line:
     #   python -m repro.cli serve --dataset figure5-stores --port 8080 \
     #       --max-in-flight 16 --deadline 30
+
+    # ------------------------------------------------------------------ #
+    # 9. the distributed cluster: spawned shard processes + replica sets
+    # ------------------------------------------------------------------ #
+    import tempfile
+
+    from repro.cluster import ClusterService as _Cluster, RemoteClusterService
+
+    with tempfile.TemporaryDirectory() as cluster_dir:
+        # Save a sharded corpus, then spawn it: every shard becomes its
+        # own `serve --shard-of` process (2 shards × 2 replicas = 4
+        # processes), discovered through atomically-written port files.
+        saver = _Cluster.from_corpus(fresh_corpus(), shards=2)
+        saver.save_dir(cluster_dir)
+        saver.close()
+
+        with RemoteClusterService.spawn(cluster_dir, replicas=2) as remote:
+            print(f"\n=== {remote!r} ===")
+            for row in remote.stats()["shards"]:
+                print(f"  shard-{row['shard']}: {row['endpoints']} endpoint(s), "
+                      f"{row['healthy']} healthy")
+
+            # The network hop changes nothing: default wire bytes are
+            # identical to the single-corpus service — reads load-balance
+            # across each shard's replicas, so ask twice to hit both.
+            single = SnippetService(fresh_corpus())
+            for attempt in (1, 2):
+                identical = json.dumps(
+                    remote.handle_dict(probe.to_dict()), sort_keys=True
+                ) == json.dumps(single.handle_dict(probe.to_dict()), sort_keys=True)
+                print(f"remote bytes == single-corpus bytes (read {attempt}): "
+                      f"{identical}")
+
+            # Writes pin to the shard's primary; the returned delta fans
+            # to the replicas, keeping the whole set in sync.
+            remote.execute_update(UpdateRequest(action="remove", document="retail"))
+            single.execute_update(UpdateRequest(action="remove", document="retail"))
+            gone = remote.execute(SearchRequest(query="clothes", document="retail"))
+            print(f"after replicated remove: error code {gone.code!r}")
+
+            # Health probing and failover: the monitor polls every
+            # endpoint; a dead replica is routed around, a dead primary is
+            # promoted past (see docs/cluster.md for the full semantics).
+            monitor = remote.start_monitor(interval=0.25)
+            print(f"health monitor running: {monitor.running}")
+
+    # The same topology from the command line:
+    #   python -m repro.cli cluster-init --dataset retail --shards 4 --output ./cluster
+    #   python -m repro.cli cluster-spawn --cluster-dir ./cluster --replicas 2 \
+    #       --port 8080 --health-interval 0.25
+    #   python -m repro.cli cluster-rebalance --cluster-dir ./cluster \
+    #       --document retail --to-shard 0
 
 
 if __name__ == "__main__":

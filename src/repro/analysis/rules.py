@@ -18,6 +18,8 @@ rules are grounded in):
                             open/close contract; pools only live behind
                             the executor seam
 ``no-print-in-library``     ``print()`` stays in the CLI and tooling
+``no-unbounded-retry``      every transport retry loop carries an attempt
+                            bound and a backoff between attempts
 ==========================  =============================================
 
 Every rule is suppressible per line with ``# repro: ignore[rule-id]``.
@@ -698,3 +700,159 @@ class NoPrintInLibraryRule(Rule):
                     "print() in library code; return the text (or use the "
                     "logging seam) so serving processes keep stdout clean",
                 )
+
+
+# ---------------------------------------------------------------------- #
+# no-unbounded-retry
+# ---------------------------------------------------------------------- #
+@register_rule
+class NoUnboundedRetryRule(Rule):
+    """Every transport retry loop carries an attempt bound and a backoff.
+
+    A retry loop is a ``for``/``while`` whose body catches a
+    transport-class exception (``OSError`` and kin,
+    ``http.client.HTTPException``, ``socket.error``/``timeout``, or a
+    constant named like ``_TRANSPORT_ERRORS``) in a handler that can run
+    another iteration — it ``continue``\\ s, or simply falls through
+    instead of ending in an unconditional ``raise``/``return``/``break``.
+    An unbounded retry against a dead dependency is a tight connect-storm
+    hammering a struggling server (and a spinning client); the documented
+    discipline (:class:`repro.api.client.RetryPolicy`) is a bounded
+    attempt count with exponential backoff.  Two findings, anchored at the
+    transport ``except``:
+
+    * ``while True:`` retry loops have no attempt bound;
+    * a retry loop with no sleep/wait/backoff call between attempts
+      hammers instead of backing off.
+
+    Loops that *look* like retries but aren't — failover over distinct
+    endpoints, health-probe sweeps, delta fan-outs — carry a justified
+    ``# repro: ignore[no-unbounded-retry]`` at the ``except``, so every
+    such site is deliberate and auditable.  Broad ``except Exception``
+    handlers are not treated as transport catches; those are
+    ``no-silent-swallow``'s territory.
+    """
+
+    rule_id = "no-unbounded-retry"
+    description = (
+        "transport retry loops must bound their attempts and back off "
+        "between them (RetryPolicy discipline)"
+    )
+
+    #: exception names (last dotted segment) treated as transport-class.
+    _TRANSPORT_NAMES = frozenset(
+        {
+            "OSError", "IOError", "ConnectionError", "ConnectionResetError",
+            "ConnectionRefusedError", "ConnectionAbortedError",
+            "BrokenPipeError", "TimeoutError", "HTTPException", "SSLError",
+            "URLError", "gaierror", "herror",
+        }
+    )
+
+    #: dotted names treated as transport-class in full.
+    _TRANSPORT_DOTTED = frozenset({"socket.error", "socket.timeout"})
+
+    #: call-name fragments that count as backing off between attempts.
+    _BACKOFF_FRAGMENTS = ("sleep", "wait", "backoff")
+
+    def check(self, module: ModuleSource, context: AnalysisContext) -> Iterator[Finding]:
+        for loop in ast.walk(module.tree):
+            if not isinstance(loop, (ast.For, ast.While, ast.AsyncFor)):
+                continue
+            handlers = self._own_handlers(loop)
+            if not handlers:
+                continue
+            has_backoff = self._has_backoff(loop)
+            unbounded = self._is_unbounded(loop)
+            for handler in handlers:
+                if not self._catches_transport(handler.type):
+                    continue
+                if not self._retry_capable(handler):
+                    continue
+                if unbounded:
+                    yield self.finding(
+                        module,
+                        handler,
+                        "unbounded transport retry: 'while True:' re-attempts "
+                        "forever; bound the attempts (for attempt in "
+                        "range(n)) and back off between them",
+                    )
+                elif not has_backoff:
+                    yield self.finding(
+                        module,
+                        handler,
+                        "transport retry loop with no backoff between "
+                        "attempts; sleep with an increasing delay (see "
+                        "RetryPolicy) or justify the site",
+                    )
+
+    def _own_handlers(self, loop: ast.AST) -> list[ast.ExceptHandler]:
+        """Except handlers belonging to this loop's own iteration.
+
+        Handlers inside a nested loop retry *that* loop; handlers inside a
+        nested function don't retry anything by themselves.  Both are
+        excluded (the nested loop is visited on its own).
+        """
+        nested: set[int] = set()
+        for child in ast.walk(loop):
+            if child is loop:
+                continue
+            if isinstance(
+                child,
+                (ast.For, ast.While, ast.AsyncFor, ast.FunctionDef,
+                 ast.AsyncFunctionDef, ast.ClassDef, ast.Lambda),
+            ):
+                nested.update(id(sub) for sub in ast.walk(child))
+        return [
+            node
+            for node in ast.walk(loop)
+            if isinstance(node, ast.ExceptHandler) and id(node) not in nested
+        ]
+
+    def _catches_transport(self, type_node: ast.expr | None) -> bool:
+        if type_node is None:
+            return False  # bare except: no-silent-swallow's territory
+        names = [type_node] if not isinstance(type_node, ast.Tuple) else list(type_node.elts)
+        for name in names:
+            if isinstance(name, ast.Attribute):
+                dotted_parts: list[str] = []
+                target: ast.expr = name
+                while isinstance(target, ast.Attribute):
+                    dotted_parts.append(target.attr)
+                    target = target.value
+                if isinstance(target, ast.Name):
+                    dotted_parts.append(target.id)
+                dotted = ".".join(reversed(dotted_parts))
+                if dotted in self._TRANSPORT_DOTTED or (
+                    dotted_parts and dotted_parts[0] in self._TRANSPORT_NAMES
+                ):
+                    return True
+            elif isinstance(name, ast.Name):
+                if name.id in self._TRANSPORT_NAMES or "TRANSPORT" in name.id.upper():
+                    return True
+        return False
+
+    @staticmethod
+    def _retry_capable(handler: ast.ExceptHandler) -> bool:
+        """True when the handler can let the loop run another iteration."""
+        if any(isinstance(node, ast.Continue) for node in ast.walk(handler)):
+            return True
+        last = handler.body[-1]
+        return not isinstance(last, (ast.Raise, ast.Return, ast.Break))
+
+    def _has_backoff(self, loop: ast.AST) -> bool:
+        for node in ast.walk(loop):
+            if not isinstance(node, ast.Call):
+                continue
+            last_segment = _call_name(node).rsplit(".", 1)[-1].lower()
+            if any(fragment in last_segment for fragment in self._BACKOFF_FRAGMENTS):
+                return True
+        return False
+
+    @staticmethod
+    def _is_unbounded(loop: ast.AST) -> bool:
+        return (
+            isinstance(loop, ast.While)
+            and isinstance(loop.test, ast.Constant)
+            and bool(loop.test.value)
+        )

@@ -22,6 +22,14 @@ raise.  The raw-dict endpoints (:meth:`handle_dict` and the inherited
 noticeably faster for request streams, but then the client must stay on a
 single thread; the default opens a connection per request and is
 thread-safe.
+
+``retry=RetryPolicy(...)`` opts idempotent reads (search, batch, health,
+stats) into bounded retry with exponential backoff on transport failure —
+a server killed mid-request surfaces as a connection reset, which a fresh
+attempt against its restarted (or failed-over) successor can absorb.
+Updates and replication ops are **never** retried regardless of policy:
+the server may have applied the request before the response was lost, and
+re-sending would apply it twice.
 """
 
 from __future__ import annotations
@@ -29,6 +37,8 @@ from __future__ import annotations
 import http.client
 import json
 import threading
+import time
+from dataclasses import dataclass
 from typing import Any
 
 from repro.api.backend import ServingBackendBase
@@ -48,6 +58,42 @@ from repro.errors import ProtocolError
 #: request kind → versioned endpoint (the inverse of the server's table)
 ENDPOINT_BY_KIND = {kind: path for path, kind in POST_ENDPOINTS.items()}
 
+#: endpoints whose requests may already have been applied when the
+#: response is lost — never retried, never re-sent on a broken keep-alive
+#: connection
+NON_IDEMPOTENT_PATHS = ("/v1/update", "/v1/replicate")
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded retry-with-exponential-backoff for idempotent reads.
+
+    ``attempts`` is the total try count (1 = no retry); the delay before
+    retry *n* is ``backoff * multiplier**(n-1)``, capped at
+    ``max_backoff``.  The policy only ever applies to idempotent traffic
+    (GETs and read POSTs); :attr:`NON_IDEMPOTENT_PATHS` are excluded at
+    the transport layer no matter what the policy says.
+    """
+
+    attempts: int = 3
+    backoff: float = 0.05
+    multiplier: float = 2.0
+    max_backoff: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.attempts, int) or isinstance(self.attempts, bool) or (
+            self.attempts < 1
+        ):
+            raise ValueError(f"retry attempts must be a positive integer, got {self.attempts!r}")
+        if self.backoff < 0 or self.max_backoff < 0:
+            raise ValueError("retry backoff delays must be non-negative")
+        if self.multiplier < 1.0:
+            raise ValueError(f"retry multiplier must be >= 1, got {self.multiplier!r}")
+
+    def delay_before(self, attempt: int) -> float:
+        """The sleep before attempt ``attempt`` (2-based: first retry = 2)."""
+        return min(self.backoff * self.multiplier ** (attempt - 2), self.max_backoff)
+
 
 class ServiceClient(ServingBackendBase):
     """Drive a served backend over HTTP; a backend itself."""
@@ -60,11 +106,13 @@ class ServiceClient(ServingBackendBase):
         port: int = 8080,
         timeout: float = 30.0,
         keep_alive: bool = False,
+        retry: RetryPolicy | None = None,
     ):
         self.host = host
         self.port = port
         self.timeout = timeout
         self.keep_alive = keep_alive
+        self.retry = retry
         self._conn: http.client.HTTPConnection | None = None
         self._conn_lock = threading.Lock()
 
@@ -75,14 +123,29 @@ class ServiceClient(ServingBackendBase):
         return http.client.HTTPConnection(self.host, self.port, timeout=self.timeout)
 
     def _round_trip(self, method: str, path: str, body: bytes | None) -> dict[str, Any]:
+        idempotent = method == "GET" or path not in NON_IDEMPOTENT_PATHS
+        policy = self.retry if (self.retry is not None and idempotent) else None
+        attempts = policy.attempts if policy is not None else 1
+        for attempt in range(1, attempts + 1):
+            try:
+                return self._round_trip_once(method, path, body, idempotent)
+            except (OSError, http.client.HTTPException):
+                if attempt == attempts:
+                    raise
+                time.sleep(policy.delay_before(attempt + 1))
+        raise AssertionError("unreachable: the retry loop returns or raises")
+
+    def _round_trip_once(
+        self, method: str, path: str, body: bytes | None, idempotent: bool
+    ) -> dict[str, Any]:
         headers = {"Content-Type": "application/json"} if body is not None else {}
-        # A broken persistent connection is retried once — but only for
-        # idempotent traffic.  An update the server may already have
-        # applied (it consumed the request, the response got lost) must
-        # never be silently re-sent: the retry would apply it twice.
-        retriable = method == "GET" or path != "/v1/update"
         if self.keep_alive:
             with self._conn_lock:
+                # A broken persistent connection is reconnected-and-resent
+                # once — but only for idempotent traffic.  An update the
+                # server may already have applied (it consumed the request,
+                # the response got lost) must never be silently re-sent:
+                # the resend would apply it twice.
                 for attempt in (1, 2):
                     if self._conn is None:
                         self._conn = self._open()
@@ -91,10 +154,15 @@ class ServiceClient(ServingBackendBase):
                         response = self._conn.getresponse()
                         text = response.read().decode("utf-8")
                         break
+                    # No backoff by design: this reconnects a socket the
+                    # server's keep-alive timeout already closed, once, not
+                    # a retry against a failing server (RetryPolicy's loop
+                    # in _round_trip handles those, with backoff).
+                    # repro: ignore[no-unbounded-retry]
                     except (http.client.HTTPException, OSError):
                         self._conn.close()
                         self._conn = None
-                        if attempt == 2 or not retriable:
+                        if attempt == 2 or not idempotent:
                             raise
         else:
             conn = self._open()
@@ -125,6 +193,27 @@ class ServiceClient(ServingBackendBase):
         except (TypeError, ValueError) as exc:
             raise ProtocolError(f"request payload is not JSON-serialisable: {exc}") from exc
         return self._round_trip("POST", path, body)
+
+    def post(self, payload: dict[str, Any]) -> dict[str, Any]:
+        """POST a raw protocol payload, routed by its ``kind``.
+
+        Unlike :meth:`handle_dict` this **raises** on transport failure
+        (``OSError`` / ``http.client.HTTPException`` /
+        :class:`~repro.errors.ProtocolError`) — the seam a failover
+        coordinator needs, because "this endpoint is unreachable" must be
+        distinguishable from "the service answered with an error".
+        """
+        return self._post_dict(payload)
+
+    def replicate(self, payload: dict[str, Any]) -> dict[str, Any]:
+        """POST a replication op to ``/v1/replicate`` (raises on transport
+        failure).  Replication is non-idempotent: never retried, and a
+        broken keep-alive connection is not re-sent."""
+        try:
+            body = json.dumps(payload, sort_keys=True).encode("utf-8")
+        except (TypeError, ValueError) as exc:
+            raise ProtocolError(f"replication payload is not JSON-serialisable: {exc}") from exc
+        return self._round_trip("POST", "/v1/replicate", body)
 
     @staticmethod
     def _transport_error(

@@ -12,6 +12,11 @@ dependencies.  Versioned endpoints:
 ``GET /v1/stats``            the backend's serving counters
 ===========================  =====================================================
 
+A server built with ``replicate_backend=`` additionally answers
+``POST /v1/replicate`` (cluster replication ops — see
+:mod:`repro.cluster.remote`); the endpoint bypasses ``backend`` and its
+middleware by design and stays out of the public endpoint tables.
+
 Contract: for a well-routed request the response **body is byte-identical
 to the in-process** ``backend.handle_json(body)`` — the HTTP layer adds
 transport, never semantics.  Protocol failures stay structured
@@ -54,9 +59,10 @@ from repro.api.protocol import (
     ErrorResponse,
     SearchRequest,
     UpdateRequest,
+    code_for_exception,
     http_status_for_code,
 )
-from repro.errors import ProtocolError
+from repro.errors import ExtractError, ProtocolError
 
 #: request kind expected by each POST endpoint
 POST_ENDPOINTS = {
@@ -66,6 +72,13 @@ POST_ENDPOINTS = {
 }
 
 GET_ENDPOINTS = ("/v1/health", "/v1/stats")
+
+#: the replication endpoint, served only when the server was built with a
+#: ``replicate_backend``.  Deliberately NOT in :data:`POST_ENDPOINTS`:
+#: replication is cluster plumbing, not part of the public protocol
+#: surface (it does not appear in 404 listings, kind routing or the
+#: client's endpoint table for requests).
+REPLICATE_ENDPOINT = "/v1/replicate"
 
 #: largest accepted request body; a bound, not a tuning knob — one XML
 #: document per update request easily fits.
@@ -113,8 +126,15 @@ class HttpServer:
         port: int = 0,
         executor: Executor | None = None,
         max_requests: int | None = None,
+        replicate_backend: Any | None = None,
     ):
         self.backend = backend
+        #: a :class:`~repro.cluster.remote.ShardBackend` (anything with a
+        #: ``handle_replicate(payload) -> dict``) serving POST
+        #: /v1/replicate.  Replication deliberately bypasses ``backend`` —
+        #: usually a gateway-wrapped stack — so admission control shedding
+        #: reads can never stall the primary→replica delta stream.
+        self.replicate_backend = replicate_backend
         self.host = host
         self.port = port
         self.executor = executor if executor is not None else ConcurrentExecutor(max_workers=8)
@@ -134,6 +154,8 @@ class HttpServer:
     def _serve_payload(self, method: str, path: str, body: str) -> tuple[int, dict[str, Any]]:
         """One request → (status, response dict).  Runs on an executor
         worker — everything here may block."""
+        if path == REPLICATE_ENDPOINT and self.replicate_backend is not None:
+            return self._serve_replicate(method, body)
         if path not in POST_ENDPOINTS and path not in GET_ENDPOINTS:
             return self._route_miss(method, path)
         if method == "GET":
@@ -177,6 +199,28 @@ class HttpServer:
         if response.get("kind") == ErrorResponse.kind:
             status = http_status_for_code(response.get("code"))
         return status, response
+
+    def _serve_replicate(self, method: str, body: str) -> tuple[int, dict[str, Any]]:
+        """Serve one replication op; failures stay structured ErrorResponses."""
+        if method != "POST":
+            return 405, _error_body(
+                f"method {method} is not allowed on {REPLICATE_ENDPOINT}; use POST",
+                code="method_not_allowed",
+            )
+        try:
+            payload = json.loads(body)
+        except (json.JSONDecodeError, ValueError) as exc:
+            return 400, _error_body(
+                f"replication body is not valid JSON: {exc}", code="bad_request"
+            )
+        try:
+            return 200, self.replicate_backend.handle_replicate(payload)
+        except ExtractError as error:
+            code = code_for_exception(error)
+            echoed = payload if isinstance(payload, dict) else None
+            return http_status_for_code(code), ErrorResponse.from_exception(
+                error, request=echoed
+            ).to_dict()
 
     def _route_miss(self, method: str, path: str) -> tuple[int, dict[str, Any]]:
         known = sorted([*POST_ENDPOINTS, *GET_ENDPOINTS])

@@ -56,6 +56,15 @@ CLI that drives the same pipeline.  Sub-commands:
     Apply one document edit (update, add or remove) to a saved cluster:
     the edit is routed to the owning shard, journalled in that shard's
     ``corpus.journal``, and the cluster manifest version is bumped.
+``cluster-spawn``
+    Spawn one ``serve --shard-of`` process per shard (× ``--replicas``)
+    from a saved cluster and serve the whole cluster over HTTP through
+    the remote coordinator (:class:`repro.cluster.RemoteClusterService`):
+    reads load-balance across healthy replicas with failover, writes
+    replicate through each shard's primary.
+``cluster-rebalance``
+    Move one document to a different shard of a saved cluster as a
+    remove+add journal-delta pair under a manifest version bump.
 ``lint``
     Run the :mod:`repro.analysis` invariant linter (lock discipline,
     wire determinism, error-contract exhaustiveness, …) over the source
@@ -81,6 +90,9 @@ Examples::
     python -m repro.cli corpus-compact --corpus-dir ./corpus
     python -m repro.cli serve --dataset figure5-stores --port 8080 \\
         --max-in-flight 16 --deadline 30
+    python -m repro.cli cluster-spawn --cluster-dir ./cluster --replicas 2 --port 8080
+    python -m repro.cli cluster-rebalance --cluster-dir ./cluster \\
+        --document movies --to-shard 1
 """
 
 from __future__ import annotations
@@ -247,6 +259,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--cluster-dir", metavar="DIR",
         help="serve a sharded cluster written by cluster-init (fan-out router backend)",
     )
+    serve.add_argument(
+        "--shard-of", type=int, default=None, metavar="SHARD",
+        help="with --cluster-dir: serve only this shard's corpus (a remote-cluster "
+             "shard process; also answers POST /v1/replicate)",
+    )
     serve.add_argument("--host", default="127.0.0.1", help="bind address (default: 127.0.0.1)")
     serve.add_argument(
         "--port", type=int, default=8080,
@@ -341,6 +358,74 @@ def build_parser() -> argparse.ArgumentParser:
     cluster_update.add_argument(
         "--name", metavar="NAME",
         help="document name for --file (default: the file's base name)",
+    )
+
+    cluster_spawn = subparsers.add_parser(
+        "cluster-spawn",
+        help="spawn per-shard serve processes and serve the cluster over HTTP "
+             "(remote coordinator with replicas, failover and replication)",
+    )
+    cluster_spawn.add_argument(
+        "--cluster-dir", required=True, metavar="DIR",
+        help="cluster directory written by cluster-init",
+    )
+    cluster_spawn.add_argument(
+        "--replicas", type=int, default=1, metavar="M",
+        help="endpoints per shard (1 = primary only; default: 1)",
+    )
+    cluster_spawn.add_argument("--host", default="127.0.0.1", help="coordinator bind address")
+    cluster_spawn.add_argument(
+        "--port", type=int, default=8080,
+        help="coordinator TCP port (default: 8080; 0 binds an ephemeral port)",
+    )
+    cluster_spawn.add_argument(
+        "--workers", type=int, default=8, metavar="N",
+        help="coordinator HTTP worker threads (default: 8)",
+    )
+    cluster_spawn.add_argument(
+        "--shard-workers", type=int, default=2, metavar="N",
+        help="HTTP worker threads per spawned shard process (default: 2)",
+    )
+    cluster_spawn.add_argument(
+        "--health-interval", type=float, default=0.25, metavar="SECONDS",
+        help="health-probe period for the failover monitor (default: 0.25)",
+    )
+    cluster_spawn.add_argument(
+        "--max-in-flight", type=int, default=None, metavar="N",
+        help="admission control: reject (503 overloaded) beyond N concurrent requests",
+    )
+    cluster_spawn.add_argument(
+        "--deadline", type=float, default=None, metavar="SECONDS",
+        help="per-request deadline; a miss answers 504 deadline_exceeded",
+    )
+    cluster_spawn.add_argument(
+        "--no-validate", action="store_true",
+        help="skip the request-validation middleware (shards still validate)",
+    )
+    cluster_spawn.add_argument(
+        "--max-requests", type=int, default=None, metavar="N",
+        help="stop after serving N requests (scripted smoke runs)",
+    )
+    cluster_spawn.add_argument(
+        "--port-file", metavar="PATH",
+        help="write the coordinator's bound port to PATH once listening",
+    )
+
+    cluster_rebalance = subparsers.add_parser(
+        "cluster-rebalance",
+        help="move a document to a different shard of a saved cluster "
+             "(remove+add delta pair, manifest version bump)",
+    )
+    cluster_rebalance.add_argument(
+        "--cluster-dir", required=True, metavar="DIR",
+        help="cluster directory written by cluster-init",
+    )
+    cluster_rebalance.add_argument(
+        "--document", required=True, metavar="NAME", help="document to move"
+    )
+    cluster_rebalance.add_argument(
+        "--to-shard", required=True, type=int, metavar="SHARD",
+        help="destination shard id",
     )
 
     lint = subparsers.add_parser(
@@ -698,21 +783,48 @@ def _apply_journalled_update(
     return 0
 
 
+def _write_port_file(path: str, port: int) -> None:
+    """Publish the bound port atomically (temp + rename).
+
+    Spawners poll the path and read it the moment it exists; a plain
+    ``open(...).write`` can expose an empty or partial file between
+    create and flush, so the content lands under a temp name first and
+    the rename makes it visible complete or not at all.
+    """
+    staging = f"{path}.tmp"
+    with open(staging, "w", encoding="utf-8") as handle:
+        handle.write(f"{port}\n")
+    os.replace(staging, path)
+
+
 def _command_serve(args: argparse.Namespace, out) -> int:
-    """Serve a corpus or cluster over HTTP through the gateway stack."""
+    """Serve a corpus, cluster, or single cluster shard over HTTP."""
     from repro.api.executors import ConcurrentExecutor
     from repro.api.gateway import build_gateway
     from repro.api.http import HttpServer
 
+    replicate_backend = None
     if args.cluster_dir:
         if args.dataset or args.file or args.corpus_dir:
             raise ExtractError(
                 "--cluster-dir cannot be combined with --dataset/--file/--corpus-dir: "
                 "the cluster manifest is authoritative"
             )
-        from repro.cluster import ClusterService
+        if args.shard_of is not None:
+            from repro.cluster import ShardBackend
 
-        backend = ClusterService.load_dir(args.cluster_dir, algorithm=args.algorithm)
+            backend = ShardBackend.load_dir(
+                args.cluster_dir, args.shard_of, algorithm=args.algorithm
+            )
+            # Replication bypasses the gateway stack: delta application
+            # must not compete with reads for admission-control slots.
+            replicate_backend = backend
+        else:
+            from repro.cluster import ClusterService
+
+            backend = ClusterService.load_dir(args.cluster_dir, algorithm=args.algorithm)
+    elif args.shard_of is not None:
+        raise ExtractError("--shard-of requires --cluster-dir (a saved cluster)")
     else:
         from repro.api.service import SnippetService
 
@@ -732,12 +844,12 @@ def _command_serve(args: argparse.Namespace, out) -> int:
         port=args.port,
         executor=http_executor,
         max_requests=args.max_requests,
+        replicate_backend=replicate_backend,
     )
     server.start()
     try:
         if args.port_file:
-            with open(args.port_file, "w", encoding="utf-8") as handle:
-                handle.write(f"{server.port}\n")
+            _write_port_file(args.port_file, server.port)
         print(
             f"serving {backend!r}\n"
             f"  http://{server.host}:{server.port}/v1/search (POST; also /v1/batch, /v1/update)\n"
@@ -922,6 +1034,90 @@ def _command_cluster_update(args: argparse.Namespace, out) -> int:
     return code
 
 
+def _command_cluster_spawn(args: argparse.Namespace, out) -> int:
+    """Spawn per-shard serve processes; serve the cluster as one backend."""
+    import signal
+
+    from repro.api.executors import ConcurrentExecutor
+    from repro.api.gateway import build_gateway
+    from repro.api.http import HttpServer
+    from repro.cluster import RemoteClusterService
+
+    # SIGTERM (systemd stop, `kill`, container shutdown) must unwind the
+    # try/finally below — Python's default handler would exit without
+    # running it, orphaning every spawned shard process.
+    def _terminate(_signum, _frame):
+        raise KeyboardInterrupt
+
+    previous_sigterm = signal.signal(signal.SIGTERM, _terminate)
+
+    cluster = RemoteClusterService.spawn(
+        args.cluster_dir,
+        replicas=args.replicas,
+        workers=args.shard_workers,
+        health_interval=args.health_interval,
+    )
+    stack = build_gateway(
+        cluster,
+        validate=not args.no_validate,
+        max_in_flight=args.max_in_flight,
+        deadline=args.deadline,
+    )
+    http_executor = ConcurrentExecutor(max_workers=args.workers)
+    server = HttpServer(
+        stack,
+        host=args.host,
+        port=args.port,
+        executor=http_executor,
+        max_requests=args.max_requests,
+    )
+    try:
+        server.start()
+        if args.port_file:
+            _write_port_file(args.port_file, server.port)
+        shards = len(cluster.replica_sets)
+        print(
+            f"spawned {shards} shard(s) × {args.replicas} replica(s) "
+            f"({len(cluster.processes)} process(es)) from {args.cluster_dir}",
+            file=out,
+        )
+        for replica_set in cluster.replica_sets:
+            addresses = ", ".join(endpoint.address for endpoint in replica_set.endpoints())
+            print(f"  shard-{replica_set.shard_id}  [{addresses}]", file=out)
+        print(
+            f"serving {cluster!r}\n"
+            f"  http://{server.host}:{server.port}/v1/search (POST; also /v1/batch, /v1/update)\n"
+            f"  http://{server.host}:{server.port}/v1/health (GET; also /v1/stats)",
+            file=out,
+        )
+        try:
+            server.join()  # returns when --max-requests is spent
+        except KeyboardInterrupt:
+            print("shutting down", file=out)
+    finally:
+        server.stop()
+        http_executor.close()
+        stack.close()  # closes the cluster: monitor, clients, child processes
+        signal.signal(signal.SIGTERM, previous_sigterm)
+    print(f"served {server.requests_served} request(s)", file=out)
+    return 0
+
+
+def _command_cluster_rebalance(args: argparse.Namespace, out) -> int:
+    """Move one document between shards of a saved cluster."""
+    from repro.cluster import rebalance_document
+
+    report = rebalance_document(args.cluster_dir, args.document, args.to_shard)
+    print(
+        f"moved {report.document!r}: shard {report.source_shard} -> "
+        f"shard {report.target_shard} (manifest version {report.manifest_version})",
+        file=out,
+    )
+    for delta in report.deltas:
+        print(f"  {delta!r}", file=out)
+    return 0
+
+
 def _command_lint(args: argparse.Namespace, out) -> int:
     """Run the invariant linter; exit 0 clean, 1 findings, 2 usage error."""
     import json
@@ -1026,6 +1222,8 @@ _COMMANDS = {
     "cluster-init": _command_cluster_init,
     "cluster-serve-request": _command_cluster_serve_request,
     "cluster-update": _command_cluster_update,
+    "cluster-spawn": _command_cluster_spawn,
+    "cluster-rebalance": _command_cluster_rebalance,
     "lint": _command_lint,
 }
 

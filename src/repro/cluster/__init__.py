@@ -14,7 +14,18 @@ were built so this package could ship journal deltas, not documents):
 * :mod:`repro.cluster.router` — :class:`ClusterService`, a drop-in
   replacement for :class:`repro.api.SnippetService` that fans requests out
   across shards through a :class:`ShardExecutor` and merges the results
-  deterministically.
+  deterministically;
+* :mod:`repro.cluster.replication` — :class:`ReplicaSet` (per-shard
+  primary + replicas, read rotation, staleness and promotion) and
+  :func:`rebalance_document`, which moves a document between shards as a
+  remove+add delta pair under a manifest version bump;
+* :mod:`repro.cluster.health` — :class:`HealthMonitor`, the background
+  prober that marks endpoints down/up and promotes past dead primaries;
+* :mod:`repro.cluster.remote` — the distributed deployment layer:
+  :class:`ShardBackend` (one ``serve --shard-of`` process),
+  :func:`spawn_shard_server` / :class:`ShardProcess` (the process
+  harness) and :class:`RemoteClusterService`, the coordinator that serves
+  the same bytes as :class:`ClusterService` from spawned processes.
 
 Quick start::
 
@@ -39,6 +50,20 @@ from repro.cluster.partition import (
     read_cluster_manifest,
     write_cluster_manifest,
 )
+from repro.cluster.health import HealthMonitor
+from repro.cluster.remote import (
+    RemoteClusterService,
+    RemoteShardExecutor,
+    ShardBackend,
+    ShardProcess,
+    spawn_shard_server,
+)
+from repro.cluster.replication import (
+    RebalanceReport,
+    ReplicaSet,
+    ShardEndpoint,
+    rebalance_document,
+)
 from repro.cluster.router import ClusterService, ShardExecutor
 from repro.cluster.shard import ShardDelta, ShardServer
 
@@ -55,4 +80,14 @@ __all__ = [
     "ShardDelta",
     "ClusterService",
     "ShardExecutor",
+    "ShardEndpoint",
+    "ReplicaSet",
+    "RebalanceReport",
+    "rebalance_document",
+    "HealthMonitor",
+    "ShardBackend",
+    "ShardProcess",
+    "spawn_shard_server",
+    "RemoteShardExecutor",
+    "RemoteClusterService",
 ]

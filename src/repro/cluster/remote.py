@@ -1,0 +1,869 @@
+"""The distributed deployment layer: remote shards behind one coordinator.
+
+Three pieces turn the in-process cluster into a process-per-shard
+deployment without a single new serving abstraction — exactly the
+composition the seams were built for (``ServiceClient`` is a
+``ServingBackend``, ``ShardExecutor`` is an ``Executor``):
+
+* :class:`ShardBackend` — what one ``serve --shard-of N`` process runs: a
+  :class:`~repro.cluster.shard.ShardServer` behind the standard backend
+  surface, plus the **replication ops** served on ``POST /v1/replicate``
+  (``apply-update`` on a primary returns the response *and* the
+  :class:`~repro.cluster.shard.ShardDelta`; ``apply-delta`` applies a
+  primary's delta on a replica).  Replication deliberately bypasses the
+  gateway middleware: update propagation is a separate path from read
+  serving, so admission control shedding reads never stalls replication.
+* :class:`RemoteClusterService` — the coordinator.  Routes exactly like
+  :class:`~repro.cluster.router.ClusterService` (same ownership, same
+  batch split/merge, same error bytes over the union registry) but its
+  per-shard backends are :class:`~repro.api.client.ServiceClient`\\ s
+  talking to spawned processes, fanned out through a
+  :class:`RemoteShardExecutor`.  Reads load-balance across each shard's
+  healthy, in-sync replicas and fail over on transport death; writes pin
+  to the primary and fan the returned delta to the replicas; a dead
+  primary is routed around by promoting an in-sync replica.
+* :func:`spawn_shard_server` / :meth:`RemoteClusterService.spawn` — the
+  process harness: spawn ``serve`` subprocesses with ``--port 0`` and an
+  atomically-written ``--port-file``, poll the file, wire up clients.
+
+The byte-identity contract survives the network hop: the default wire
+responses of an N-shard × M-replica remote cluster are byte-identical to
+a single-corpus :class:`~repro.api.SnippetService` holding the same
+documents — including error bytes — because requests are forwarded
+verbatim, responses round-trip losslessly through the typed protocol, and
+the coordinator fabricates registry errors over the union of every
+shard's documents exactly as the in-process router does.
+"""
+
+from __future__ import annotations
+
+import http.client
+import os
+import subprocess
+import sys
+import tempfile
+import threading
+import time
+from dataclasses import replace
+from typing import Any, Mapping, Sequence
+
+from repro.api.backend import ServingBackendBase
+from repro.api.client import ServiceClient
+from repro.api.protocol import (
+    BatchEntry,
+    BatchRequest,
+    BatchResponse,
+    ErrorResponse,
+    SearchRequest,
+    SearchResponse,
+    UpdateRequest,
+    UpdateResponse,
+    parse_request,
+    parse_response,
+)
+from repro.cluster.health import HealthMonitor
+from repro.cluster.partition import (
+    HashPartitioner,
+    Partitioner,
+    partitioner_from_manifest,
+    read_cluster_manifest,
+)
+from repro.cluster.replication import (
+    DEFAULT_OVERLOAD_THRESHOLD,
+    ReplicaSet,
+    ShardEndpoint,
+)
+from repro.cluster.router import ShardExecutor
+from repro.cluster.shard import ShardDelta, ShardServer
+from repro.errors import ClusterError, ExtractError, ProtocolError, UnknownDocumentError
+from repro.utils.cache import DEFAULT_CACHE_SIZE
+
+#: ops served on ``POST /v1/replicate``
+REPLICATION_OPS = ("apply-update", "apply-delta")
+
+#: transport-level failures that trigger read failover
+_TRANSPORT_ERRORS = (OSError, http.client.HTTPException, ProtocolError)
+
+
+class RemoteShardExecutor(ShardExecutor):
+    """Fan sub-requests over the wire, one worker per shard.
+
+    Identical lifecycle to :class:`~repro.cluster.router.ShardExecutor`;
+    the workers here block on HTTP I/O (which releases the GIL), so N
+    remote shards make true wall-clock progress in parallel even though
+    the coordinator is a single Python process.
+    """
+
+    name = "remote-shard"
+
+
+class ShardBackend(ServingBackendBase):
+    """One shard of a cluster served by its own process.
+
+    The standard ``execute*`` surface delegates to the shard's
+    :class:`~repro.api.SnippetService` (responses byte-identical to the
+    single-corpus service for the documents this shard owns);
+    :meth:`handle_replicate` adds the primary/replica replication ops.
+    ``_sequence`` counts applied writes — the coordinator compares it
+    across a replica set to detect endpoints that missed a delta.
+    """
+
+    backend_name = "shard-backend"
+
+    def __init__(self, shard: ShardServer):
+        self.shard = shard
+        self._sequence = 0
+        self._seq_lock = threading.Lock()
+
+    @classmethod
+    def load_dir(
+        cls,
+        cluster_dir: str | os.PathLike[str],
+        shard_id: int,
+        algorithm: str | None = None,
+        cache_size: int = DEFAULT_CACHE_SIZE,
+    ) -> "ShardBackend":
+        """Load one shard of a saved cluster directory (``serve --shard-of``)."""
+        from repro.corpus import Corpus
+
+        path = os.fspath(cluster_dir)
+        manifest = read_cluster_manifest(path)
+        if not isinstance(shard_id, int) or isinstance(shard_id, bool) or not (
+            0 <= shard_id < manifest.shards
+        ):
+            raise ClusterError(
+                f"--shard-of {shard_id!r} is outside this cluster's "
+                f"range [0, {manifest.shards})"
+            )
+        corpus = Corpus.load_dir(
+            os.path.join(path, manifest.shard_dirs[shard_id]),
+            algorithm=algorithm,
+            cache_size=cache_size,
+        )
+        return cls(ShardServer(shard_id, corpus=corpus))
+
+    # ------------------------------------------------------------------ #
+    # the backend surface
+    # ------------------------------------------------------------------ #
+    def execute(self, request: SearchRequest) -> SearchResponse | ErrorResponse:
+        return self.shard.service.execute(request)
+
+    def execute_batch(self, batch: BatchRequest) -> BatchResponse | ErrorResponse:
+        return self.shard.service.execute_batch(batch)
+
+    def execute_update(self, request: UpdateRequest) -> UpdateResponse | ErrorResponse:
+        """Apply a lifecycle request directly (bypassing replication).
+
+        Works exactly like the single-corpus service — and bumps the
+        replication sequence, because the write happened.  In a replica
+        set, direct updates belong on the primary via ``apply-update``;
+        this path exists so a lone ``serve --shard-of`` process is still a
+        fully functional backend.
+        """
+        try:
+            response, _delta = self.shard.apply_update(request)
+        except ExtractError as error:
+            return ErrorResponse.from_exception(error, request=request.to_dict())
+        self._bump_sequence()
+        return response
+
+    # ------------------------------------------------------------------ #
+    # replication ops
+    # ------------------------------------------------------------------ #
+    def handle_replicate(self, payload: Any) -> dict[str, Any]:
+        """Serve one ``POST /v1/replicate`` op.
+
+        ``apply-update`` (primary): apply the update request, return the
+        protocol response, the replication delta and the new sequence.
+        An update the *library* rejects (unknown document, bad XML) is a
+        structured response with a None delta — the coordinator forwards
+        those bytes verbatim, so error bytes stay identical to the
+        single-corpus service.  ``apply-delta`` (replica): apply a
+        primary's delta through the incremental machinery; failures raise
+        (the HTTP layer shapes them), which the coordinator reads as "this
+        replica is now stale".
+        """
+        if not isinstance(payload, dict):
+            raise ProtocolError(
+                f"replication payload must be a JSON object, got {type(payload).__name__}"
+            )
+        op = payload.get("op")
+        if op == "apply-update":
+            return self._apply_update_op(payload)
+        if op == "apply-delta":
+            return self._apply_delta_op(payload)
+        raise ProtocolError(
+            f"unknown replication op {op!r}; expected one of {REPLICATION_OPS}"
+        )
+
+    def _apply_update_op(self, payload: dict[str, Any]) -> dict[str, Any]:
+        request = parse_request(payload.get("request"))
+        if not isinstance(request, UpdateRequest):
+            raise ProtocolError(
+                f"replication op 'apply-update' needs an update request, "
+                f"got kind {getattr(request, 'kind', None)!r}"
+            )
+        try:
+            response, delta = self.shard.apply_update(request)
+        except ExtractError as error:
+            # The rejection is the primary's *answer*, not a transport
+            # fault: ship it structured, with the byte-exact request echo.
+            return {
+                "op": "apply-update",
+                "response": ErrorResponse.from_exception(
+                    error, request=request.to_dict()
+                ).to_dict(),
+                "delta": None,
+                "sequence": self.sequence,
+            }
+        sequence = self._bump_sequence()
+        return {
+            "op": "apply-update",
+            # Full (meta-included) form: the coordinator re-serialises to
+            # the caller's meta preference, so nothing may be dropped here.
+            "response": response.to_dict(include_meta=True),
+            "delta": delta.to_wire(),
+            "sequence": sequence,
+        }
+
+    def _apply_delta_op(self, payload: dict[str, Any]) -> dict[str, Any]:
+        delta = ShardDelta.from_wire(payload.get("delta"))
+        if delta.shard != self.shard.shard_id:
+            raise ClusterError(
+                f"replication delta for shard {delta.shard} sent to shard "
+                f"{self.shard.shard_id}; refusing to apply it"
+            )
+        self.shard.apply_delta(delta)
+        sequence = payload.get("sequence")
+        with self._seq_lock:
+            if isinstance(sequence, int) and not isinstance(sequence, bool):
+                self._sequence = sequence
+            else:
+                self._sequence += 1
+            applied = self._sequence
+        return {
+            "op": "apply-delta",
+            "applied": True,
+            "document": delta.document,
+            "sequence": applied,
+        }
+
+    def _bump_sequence(self) -> int:
+        with self._seq_lock:
+            self._sequence += 1
+            return self._sequence
+
+    @property
+    def sequence(self) -> int:
+        with self._seq_lock:
+            return self._sequence
+
+    # ------------------------------------------------------------------ #
+    # introspection & lifecycle
+    # ------------------------------------------------------------------ #
+    def capabilities(self) -> dict[str, Any]:
+        caps = super().capabilities()
+        caps["shard"] = self.shard.shard_id
+        caps["documents"] = len(self.shard)
+        caps["replication_sequence"] = self.sequence
+        return caps
+
+    def stats(self) -> dict[str, Any]:
+        stats = self.shard.service.stats()
+        stats["shard"] = self.shard.shard_id
+        stats["replication_sequence"] = self.sequence
+        return stats
+
+    def close(self) -> None:
+        self.shard.service.close()
+
+    def __repr__(self) -> str:
+        return (
+            f"<ShardBackend shard={self.shard.shard_id} "
+            f"documents={len(self.shard)} seq={self.sequence}>"
+        )
+
+
+# ---------------------------------------------------------------------- #
+# the process harness
+# ---------------------------------------------------------------------- #
+class ShardProcess:
+    """One spawned ``serve --shard-of`` subprocess and where it listens."""
+
+    def __init__(
+        self, process: subprocess.Popen, shard_id: int, host: str, port: int
+    ):
+        self.process = process
+        self.shard_id = shard_id
+        self.host = host
+        self.port = port
+
+    def alive(self) -> bool:
+        return self.process.poll() is None
+
+    def kill(self) -> None:
+        """Hard-kill the process (the fault-injection hammer)."""
+        if self.alive():
+            self.process.kill()
+        self.process.wait(timeout=10)
+
+    def terminate(self, timeout: float = 5.0) -> None:
+        """Graceful stop, escalating to kill if the process lingers."""
+        if self.alive():
+            self.process.terminate()
+            try:
+                self.process.wait(timeout=timeout)
+            except subprocess.TimeoutExpired:
+                self.process.kill()
+                self.process.wait(timeout=10)
+
+    def __repr__(self) -> str:
+        state = "alive" if self.alive() else f"exit={self.process.returncode}"
+        return f"<ShardProcess shard={self.shard_id} {self.host}:{self.port} ({state})>"
+
+
+def _python_path_env() -> dict[str, str]:
+    """The child environment, with this repro package importable."""
+    import repro
+
+    package_root = os.path.dirname(os.path.dirname(os.path.abspath(repro.__file__)))
+    env = dict(os.environ)
+    existing = env.get("PYTHONPATH", "")
+    if package_root not in existing.split(os.pathsep):
+        env["PYTHONPATH"] = (
+            package_root + (os.pathsep + existing if existing else "")
+        )
+    return env
+
+
+def spawn_shard_server(
+    cluster_dir: str | os.PathLike[str],
+    shard_id: int,
+    host: str = "127.0.0.1",
+    workers: int = 2,
+    timeout: float = 60.0,
+    python: str | None = None,
+) -> ShardProcess:
+    """Spawn one ``serve --shard-of`` process; wait until it is listening.
+
+    The child binds an ephemeral port (``--port 0``) and publishes it via
+    ``--port-file``, whose write is atomic (temp + rename) — so polling
+    the file can never read a partial line; a file that exists holds the
+    complete port.
+    """
+    path = os.fspath(cluster_dir)
+    handle, port_file = tempfile.mkstemp(prefix="repro-shard-", suffix=".port")
+    os.close(handle)
+    os.remove(port_file)
+    stderr_path = port_file + ".stderr"
+    command = [
+        python or sys.executable,
+        "-m",
+        "repro.cli",
+        "serve",
+        "--cluster-dir",
+        path,
+        "--shard-of",
+        str(shard_id),
+        "--host",
+        host,
+        "--port",
+        "0",
+        "--port-file",
+        port_file,
+        "--workers",
+        str(workers),
+    ]
+    with open(stderr_path, "w", encoding="utf-8") as stderr_handle:
+        process = subprocess.Popen(
+            command,
+            stdout=subprocess.DEVNULL,
+            stderr=stderr_handle,
+            env=_python_path_env(),
+        )
+    try:
+        deadline = time.monotonic() + timeout
+        while True:
+            if os.path.exists(port_file):
+                with open(port_file, "r", encoding="utf-8") as handle:
+                    port = int(handle.read().strip())
+                break
+            if process.poll() is not None:
+                raise ClusterError(
+                    f"shard {shard_id} server exited with code "
+                    f"{process.returncode} before publishing its port: "
+                    f"{_tail(stderr_path)}"
+                )
+            if time.monotonic() > deadline:
+                process.kill()
+                raise ClusterError(
+                    f"shard {shard_id} server did not publish its port within "
+                    f"{timeout:.0f}s: {_tail(stderr_path)}"
+                )
+            time.sleep(0.02)
+    finally:
+        for leftover in (port_file, stderr_path):
+            if os.path.exists(leftover):
+                os.remove(leftover)
+    return ShardProcess(process, shard_id=shard_id, host=host, port=port)
+
+
+def _tail(path: str, limit: int = 800) -> str:
+    try:
+        with open(path, "r", encoding="utf-8", errors="replace") as handle:
+            text = handle.read()
+    except OSError:
+        return "(no stderr captured)"
+    text = text.strip()
+    return text[-limit:] if text else "(empty stderr)"
+
+
+# ---------------------------------------------------------------------- #
+# the coordinator
+# ---------------------------------------------------------------------- #
+class RemoteClusterService(ServingBackendBase):
+    """One logical corpus served from N remote shards × M replicas.
+
+    Drop-in for :class:`~repro.cluster.router.ClusterService` at the wire
+    level; the difference is purely operational — shards live in their own
+    processes, reads fail over across replicas, writes replicate through
+    the primary, and a dead primary is promoted past.
+    """
+
+    backend_name = "remote-cluster"
+
+    def __init__(
+        self,
+        replica_sets: Sequence[ReplicaSet],
+        partitioner: Partitioner | None = None,
+        documents: Mapping[str, int] | None = None,
+        executor: ShardExecutor | None = None,
+        processes: Sequence[ShardProcess] = (),
+        overload_threshold: int = DEFAULT_OVERLOAD_THRESHOLD,
+    ):
+        sets = sorted(replica_sets, key=lambda replica_set: replica_set.shard_id)
+        if not sets:
+            raise ClusterError("a remote cluster needs at least one replica set")
+        if [replica_set.shard_id for replica_set in sets] != list(range(len(sets))):
+            raise ClusterError(
+                "replica-set shard ids must be exactly 0..N-1 "
+                f"(got {[replica_set.shard_id for replica_set in sets]})"
+            )
+        self.replica_sets = tuple(sets)
+        self.partitioner = (
+            partitioner if partitioner is not None else HashPartitioner(len(sets))
+        )
+        if self.partitioner.shards != len(self.replica_sets):
+            raise ClusterError(
+                f"partitioner covers {self.partitioner.shards} shard(s) but the "
+                f"cluster has {len(self.replica_sets)}"
+            )
+        self.executor = (
+            executor if executor is not None else RemoteShardExecutor(len(sets))
+        )
+        self.overload_threshold = overload_threshold
+        self._documents = dict(documents or {})
+        for name, shard_id in self._documents.items():
+            if not 0 <= shard_id < len(self.replica_sets):
+                raise ClusterError(
+                    f"document {name!r} is registered to shard {shard_id}, outside "
+                    f"this cluster's range [0, {len(self.replica_sets)})"
+                )
+        self._doc_lock = threading.Lock()
+        self.processes = list(processes)
+        self.monitor: HealthMonitor | None = None
+
+    # ------------------------------------------------------------------ #
+    # construction
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def spawn(
+        cls,
+        cluster_dir: str | os.PathLike[str],
+        replicas: int = 1,
+        host: str = "127.0.0.1",
+        workers: int = 2,
+        request_timeout: float = 30.0,
+        start_timeout: float = 60.0,
+        health_interval: float | None = None,
+        overload_threshold: int = DEFAULT_OVERLOAD_THRESHOLD,
+        retry: "Any | None" = None,
+    ) -> "RemoteClusterService":
+        """Spawn a full remote cluster from a saved cluster directory.
+
+        ``replicas`` is the endpoint count per shard (1 = primary only).
+        Every replica loads the same shard snapshot, so the whole set
+        starts in sync at sequence 0.  ``health_interval`` starts a
+        background :class:`~repro.cluster.health.HealthMonitor`; leave it
+        None for deterministic tests that drive ``check_once`` by hand.
+        ``retry`` is an optional :class:`~repro.api.client.RetryPolicy`
+        applied to the per-endpoint clients' idempotent reads.
+        """
+        if not isinstance(replicas, int) or isinstance(replicas, bool) or replicas < 1:
+            raise ClusterError(f"replicas must be a positive integer, got {replicas!r}")
+        from repro.index.storage import directory_documents
+
+        path = os.fspath(cluster_dir)
+        manifest = read_cluster_manifest(path)
+        documents: dict[str, int] = {}
+        for shard_id, subdir in enumerate(manifest.shard_dirs):
+            for name in directory_documents(os.path.join(path, subdir)).values():
+                documents[name] = shard_id
+
+        processes: list[ShardProcess] = []
+        replica_sets: list[ReplicaSet] = []
+        try:
+            for shard_id in range(manifest.shards):
+                endpoints = []
+                for index in range(replicas):
+                    process = spawn_shard_server(
+                        path,
+                        shard_id,
+                        host=host,
+                        workers=workers,
+                        timeout=start_timeout,
+                    )
+                    processes.append(process)
+                    client = ServiceClient(
+                        host, process.port, timeout=request_timeout, retry=retry
+                    )
+                    endpoints.append(
+                        ShardEndpoint(
+                            client, role="primary" if index == 0 else "replica"
+                        )
+                    )
+                replica_sets.append(ReplicaSet(shard_id, endpoints))
+        except (ExtractError, OSError):
+            for process in processes:
+                process.terminate()
+            raise
+        service = cls(
+            replica_sets,
+            partitioner=partitioner_from_manifest(manifest),
+            documents=documents,
+            processes=processes,
+            overload_threshold=overload_threshold,
+        )
+        if health_interval is not None:
+            service.start_monitor(health_interval)
+        return service
+
+    def start_monitor(self, interval: float = 0.25) -> HealthMonitor:
+        """Start (or return) the background health monitor."""
+        if self.monitor is None:
+            self.monitor = HealthMonitor(self.replica_sets, interval=interval)
+        if not self.monitor.running:
+            self.monitor.start()
+        return self.monitor
+
+    # ------------------------------------------------------------------ #
+    # registry & routing
+    # ------------------------------------------------------------------ #
+    def names(self) -> list[str]:
+        """Every document registered anywhere in the cluster, sorted."""
+        with self._doc_lock:
+            return sorted(self._documents)
+
+    def __contains__(self, document: str) -> bool:
+        with self._doc_lock:
+            return document in self._documents
+
+    def __len__(self) -> int:
+        with self._doc_lock:
+            return len(self._documents)
+
+    def _registry(self) -> dict[str, int]:
+        with self._doc_lock:
+            return dict(self._documents)
+
+    def _unknown_document(self, document: str) -> ExtractError:
+        # Byte-identical to Corpus.entry's error over the union registry —
+        # the remote cluster is one logical corpus (same contract as the
+        # in-process router).
+        return UnknownDocumentError(
+            f"no document named {document!r} in the corpus; "
+            f"registered: {', '.join(self.names()) or '(none)'}"
+        )
+
+    def _placement_shard_id(self, document: str) -> int:
+        shard_id = self.partitioner.shard_of(document)
+        if not 0 <= shard_id < len(self.replica_sets):
+            raise ClusterError(
+                f"partitioner assigned document {document!r} to shard {shard_id}, "
+                f"outside this cluster's range [0, {len(self.replica_sets)})"
+            )
+        return shard_id
+
+    # ------------------------------------------------------------------ #
+    # the read path (failover + load balancing)
+    # ------------------------------------------------------------------ #
+    def _post_shard(self, shard_id: int, payload: dict[str, Any]) -> dict[str, Any]:
+        """POST one payload to a healthy endpoint of ``shard_id``.
+
+        Endpoints are tried in the replica set's rotation order; a
+        transport failure marks the endpoint down and moves on, an
+        ``overloaded`` answer counts toward shedding and also moves on
+        (falling back to the overloaded answer when every endpoint is
+        loaded).  Raises :class:`ClusterError` when every endpoint is
+        unreachable — the caller's ``execute*`` shapes that structurally.
+        """
+        replica_set = self.replica_sets[shard_id]
+        overloaded_raw: dict[str, Any] | None = None
+        for endpoint in replica_set.read_candidates():
+            try:
+                raw = endpoint.client.post(payload)
+            # Failover, not a retry: each iteration tries a *different*
+            # endpoint; the failed one is re-probed by the health monitor.
+            # repro: ignore[no-unbounded-retry]
+            except _TRANSPORT_ERRORS:
+                replica_set.mark_down(endpoint)
+                continue
+            if raw.get("kind") == "error" and raw.get("code") == "overloaded":
+                replica_set.record_overloaded(endpoint, self.overload_threshold)
+                overloaded_raw = raw
+                continue
+            replica_set.record_served(endpoint)
+            return raw
+        if overloaded_raw is not None:
+            return overloaded_raw
+        raise ClusterError(
+            f"every endpoint of shard {shard_id} is unreachable; "
+            "reads cannot fail over"
+        )
+
+    def execute(self, request: SearchRequest) -> SearchResponse | ErrorResponse:
+        try:
+            request.validate()
+            owner = self._registry().get(request.document)
+            if owner is None:
+                raise self._unknown_document(request.document)
+            raw = self._post_shard(owner, request.to_dict())
+        except ExtractError as error:
+            return ErrorResponse.from_exception(error, request=request.to_dict())
+        parsed = parse_response(raw)
+        if isinstance(parsed, ErrorResponse):
+            # The shard received the request verbatim, so its echo (and
+            # every other byte) already matches the single-corpus service.
+            return parsed
+        return replace(parsed, shard=owner)
+
+    # ------------------------------------------------------------------ #
+    # batches
+    # ------------------------------------------------------------------ #
+    def execute_batch(self, batch: BatchRequest) -> BatchResponse | ErrorResponse:
+        try:
+            return self._run_batch(batch)
+        except _RemoteShardFailure as failure:
+            # A shard answered the sub-batch with a structured error;
+            # re-echo the caller's full batch, as the in-process router's
+            # exception path would.
+            return replace(failure.response, request=batch.to_dict())
+        except ExtractError as error:
+            return ErrorResponse.from_exception(error, request=batch.to_dict())
+
+    def _run_batch(self, batch: BatchRequest) -> BatchResponse:
+        """Split by owning shard, fan out, merge positionally.
+
+        The merge mirrors :meth:`ClusterService.run_batch` exactly:
+        ``documents=None`` is every cluster document in name order, an
+        explicit list is preserved verbatim (duplicates included), and per
+        query the per-shard responses are stitched back into the global
+        document order with ``seconds`` = the slowest shard.
+        """
+        batch.validate()
+        registry = self._registry()
+        if batch.documents is not None:
+            names = list(batch.documents)
+        else:
+            names = sorted(registry)
+        owners: list[int] = []
+        for name in names:
+            owner = registry.get(name)
+            if owner is None:
+                raise self._unknown_document(name)
+            owners.append(owner)
+
+        per_shard: dict[int, list[str]] = {}
+        for name, owner in zip(names, owners):
+            per_shard.setdefault(owner, []).append(name)
+
+        def run_sub(item: tuple[int, list[str]]) -> tuple[int, BatchResponse]:
+            shard_id, documents = item
+            sub_batch = replace(batch, documents=tuple(documents))
+            raw = self._post_shard(shard_id, sub_batch.to_dict())
+            parsed = parse_response(raw)
+            if isinstance(parsed, ErrorResponse):
+                raise _RemoteShardFailure(parsed)
+            return shard_id, parsed
+
+        shard_responses = dict(self.executor.map(run_sub, sorted(per_shard.items())))
+
+        entries: list[BatchEntry] = []
+        for query_index, query in enumerate(batch.queries):
+            cursors = {
+                shard_id: iter(response.entries[query_index].responses)
+                for shard_id, response in shard_responses.items()
+            }
+            responses = tuple(
+                replace(next(cursors[owner]), shard=owner) for owner in owners
+            )
+            seconds = max(
+                (
+                    response.entries[query_index].seconds
+                    for response in shard_responses.values()
+                ),
+                default=0.0,
+            )
+            entries.append(BatchEntry(query=query, responses=responses, seconds=seconds))
+        return BatchResponse(entries=tuple(entries), documents=tuple(names))
+
+    # ------------------------------------------------------------------ #
+    # the write path (primary + delta fan-out)
+    # ------------------------------------------------------------------ #
+    def execute_update(self, request: UpdateRequest) -> UpdateResponse | ErrorResponse:
+        try:
+            request.validate()
+            owner = self._registry().get(request.document)
+            if owner is None:
+                if request.action == "remove":
+                    raise self._unknown_document(request.document)
+                owner = self._placement_shard_id(request.document)
+        except ExtractError as error:
+            return ErrorResponse.from_exception(error, request=request.to_dict())
+
+        replica_set = self.replica_sets[owner]
+        primary = replica_set.primary
+        try:
+            raw = primary.client.replicate(
+                {"op": "apply-update", "request": request.to_dict()}
+            )
+        except _TRANSPORT_ERRORS as exc:
+            # Updates are never retried (the primary may already have
+            # applied it); mark the primary down and promote so the *next*
+            # update lands on a live primary.
+            replica_set.mark_down(primary)
+            replica_set.promote()
+            return ErrorResponse(
+                error=type(exc).__name__,
+                message=(
+                    f"transport failure talking to shard {owner}'s primary: {exc}"
+                ),
+                request=request.to_dict(),
+                code="internal",
+            )
+
+        response_dict = raw.get("response")
+        if not isinstance(response_dict, dict):
+            # The envelope itself failed (unknown op, malformed request):
+            # the body is a structured error — surface it.
+            parsed_raw = parse_response(raw)
+            if isinstance(parsed_raw, ErrorResponse):
+                return replace(parsed_raw, request=request.to_dict())
+            return ErrorResponse(
+                error="ProtocolError",
+                message=f"malformed replication reply from shard {owner}",
+                request=request.to_dict(),
+                code="internal",
+            )
+        parsed = parse_response(response_dict)
+        if isinstance(parsed, ErrorResponse):
+            # Library-level rejection: no state changed, nothing to fan out.
+            return parsed
+
+        sequence = raw.get("sequence")
+        delta_wire = raw.get("delta")
+        if isinstance(sequence, int) and not isinstance(sequence, bool):
+            replica_set.record_commit(sequence)
+            self._replicate_delta(replica_set, delta_wire, sequence)
+        with self._doc_lock:
+            if request.action == "remove":
+                self._documents.pop(request.document, None)
+            else:
+                self._documents[request.document] = owner
+        assert isinstance(parsed, UpdateResponse)
+        return replace(parsed, shard=owner)
+
+    def _replicate_delta(
+        self, replica_set: ReplicaSet, delta_wire: Any, sequence: int
+    ) -> None:
+        """Fan the primary's delta to every replica; divergence = stale."""
+        if delta_wire is None:
+            return
+        for endpoint in replica_set.replicas:
+            if endpoint.stale:
+                continue
+            try:
+                ack = endpoint.client.replicate(
+                    {"op": "apply-delta", "delta": delta_wire, "sequence": sequence}
+                )
+            # Fan-out over distinct replicas, not a retry of one call: a
+            # replica that missed the delta is stale until rebuilt.
+            # repro: ignore[no-unbounded-retry]
+            except _TRANSPORT_ERRORS:
+                replica_set.mark_down(endpoint)
+                replica_set.mark_stale(endpoint)
+                continue
+            if ack.get("applied") is True and ack.get("sequence") == sequence:
+                replica_set.record_applied(endpoint, sequence)
+            else:
+                replica_set.mark_stale(endpoint)
+
+    # ------------------------------------------------------------------ #
+    # introspection & lifecycle
+    # ------------------------------------------------------------------ #
+    def capabilities(self) -> dict[str, Any]:
+        caps = super().capabilities()
+        caps["documents"] = len(self)
+        caps["executor"] = self.executor.name
+        caps["shards"] = len(self.replica_sets)
+        caps["replicas"] = max(len(replica_set) for replica_set in self.replica_sets)
+        caps["partitioner"] = self.partitioner.kind
+        caps["remote"] = True
+        return caps
+
+    def stats(self) -> dict[str, Any]:
+        return {
+            "documents": len(self),
+            "shards": [
+                {
+                    "shard": replica_set.shard_id,
+                    "endpoints": len(replica_set),
+                    "healthy": sum(
+                        1 for endpoint in replica_set.endpoints() if endpoint.healthy
+                    ),
+                    "sequence": replica_set.sequence,
+                }
+                for replica_set in self.replica_sets
+            ],
+        }
+
+    def close(self) -> None:
+        """Stop the monitor, release clients, terminate owned processes."""
+        if self.monitor is not None:
+            self.monitor.stop()
+        self.executor.close()
+        for replica_set in self.replica_sets:
+            replica_set.close()
+        for process in self.processes:
+            process.terminate()
+
+    def __enter__(self) -> "RemoteClusterService":
+        return self
+
+    def __exit__(self, *_exc: Any) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return (
+            f"<RemoteClusterService shards={len(self.replica_sets)} "
+            f"documents={len(self)} partitioner={self.partitioner.kind} "
+            f"executor={self.executor.name}>"
+        )
+
+
+class _RemoteShardFailure(ExtractError):
+    """A shard answered a fanned sub-request with a structured error."""
+
+    def __init__(self, response: ErrorResponse):
+        super().__init__(response.message)
+        self.response = response

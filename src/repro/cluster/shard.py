@@ -52,6 +52,56 @@ class ShardDelta:
     xml: str | None = None
     edits: tuple[tuple[str, str], ...] = ()
 
+    def to_wire(self) -> dict:
+        """The JSON-ready form shipped over ``POST /v1/replicate``.
+
+        Keys with empty defaults are omitted so the wire form is minimal
+        and deterministic; :meth:`from_wire` restores the exact dataclass.
+        """
+        wire: dict = {"shard": self.shard, "document": self.document, "kind": self.kind}
+        if self.xml is not None:
+            wire["xml"] = self.xml
+        if self.edits:
+            wire["edits"] = [[label, text] for label, text in self.edits]
+        return wire
+
+    @classmethod
+    def from_wire(cls, wire: object) -> "ShardDelta":
+        """Parse a :meth:`to_wire` dict; malformed input raises ClusterError."""
+        if not isinstance(wire, dict):
+            raise ClusterError(
+                f"a replication delta must be a JSON object, got {type(wire).__name__}"
+            )
+        shard = wire.get("shard")
+        document = wire.get("document")
+        kind = wire.get("kind")
+        if not isinstance(shard, int) or isinstance(shard, bool) or shard < 0:
+            raise ClusterError(f"replication delta has no valid shard id: {shard!r}")
+        if not isinstance(document, str) or not document:
+            raise ClusterError(f"replication delta has no valid document name: {document!r}")
+        if kind not in DELTA_KINDS:
+            raise ClusterError(
+                f"unknown replication delta kind {kind!r}; expected one of {DELTA_KINDS}"
+            )
+        xml = wire.get("xml")
+        if xml is not None and not isinstance(xml, str):
+            raise ClusterError("replication delta 'xml' must be a string when present")
+        raw_edits = wire.get("edits", [])
+        if not isinstance(raw_edits, (list, tuple)):
+            raise ClusterError("replication delta 'edits' must be a list of [label, text] pairs")
+        edits: list[tuple[str, str]] = []
+        for pair in raw_edits:
+            if (
+                not isinstance(pair, (list, tuple))
+                or len(pair) != 2
+                or not all(isinstance(part, str) for part in pair)
+            ):
+                raise ClusterError(
+                    f"replication delta edit {pair!r} is not a [label, text] string pair"
+                )
+            edits.append((pair[0], pair[1]))
+        return cls(shard=shard, document=document, kind=kind, xml=xml, edits=tuple(edits))
+
     def __repr__(self) -> str:
         payload = f"edits={len(self.edits)}" if self.kind == "update" else (
             "tombstone" if self.kind == "remove" else f"xml={len(self.xml or '')}B"

@@ -518,3 +518,142 @@ class TestNoPrintInLibrary:
             "    print(tree)  # repro: ignore[no-print-in-library]\n"
         )
         assert lint_tree({"repro/xmltree/serialize.py": source}, self.RULE) == []
+
+
+# ---------------------------------------------------------------------- #
+# no-unbounded-retry
+# ---------------------------------------------------------------------- #
+class TestNoUnboundedRetry:
+    RULE = "no-unbounded-retry"
+
+    def test_while_true_retry_fires(self, lint_tree):
+        source = """\
+def fetch(client):
+    while True:
+        try:
+            return client.get()
+        except OSError:
+            continue
+"""
+        findings = lint_tree({"repro/api/client.py": source}, self.RULE)
+        assert [f.rule_id for f in findings] == [self.RULE]
+        assert "no attempt bound" in findings[0].message or "forever" in findings[0].message
+
+    def test_bounded_retry_without_backoff_fires(self, lint_tree):
+        source = """\
+def fetch(client):
+    for attempt in range(5):
+        try:
+            return client.get()
+        except ConnectionError:
+            pass
+"""
+        findings = lint_tree({"repro/api/client.py": source}, self.RULE)
+        assert [f.rule_id for f in findings] == [self.RULE]
+        assert "backoff" in findings[0].message
+
+    def test_bounded_retry_with_backoff_is_clean(self, lint_tree):
+        source = """\
+import time
+
+def fetch(client):
+    for attempt in range(5):
+        try:
+            return client.get()
+        except OSError:
+            if attempt == 4:
+                raise
+            time.sleep(0.05 * 2 ** attempt)
+"""
+        assert lint_tree({"repro/api/client.py": source}, self.RULE) == []
+
+    def test_terminal_handler_is_not_a_retry(self, lint_tree):
+        source = """\
+def serve(reader):
+    while True:
+        try:
+            reader.read()
+        except ConnectionError:
+            break
+"""
+        assert lint_tree({"repro/api/http.py": source}, self.RULE) == []
+
+    def test_non_transport_exception_is_out_of_scope(self, lint_tree):
+        source = """\
+def parse_all(items):
+    while True:
+        try:
+            return [int(item) for item in items.pop()]
+        except ValueError:
+            continue
+"""
+        assert lint_tree({"repro/corpus.py": source}, self.RULE) == []
+
+    def test_dotted_transport_name_fires(self, lint_tree):
+        source = """\
+import http.client
+
+def fetch(client):
+    while True:
+        try:
+            return client.get()
+        except http.client.HTTPException:
+            continue
+"""
+        findings = lint_tree({"repro/api/client.py": source}, self.RULE)
+        assert [f.rule_id for f in findings] == [self.RULE]
+
+    def test_transport_constant_name_fires(self, lint_tree):
+        source = """\
+_TRANSPORT_ERRORS = (OSError,)
+
+def fetch(client):
+    while True:
+        try:
+            return client.get()
+        except _TRANSPORT_ERRORS:
+            continue
+"""
+        findings = lint_tree({"repro/cluster/remote.py": source}, self.RULE)
+        assert [f.rule_id for f in findings] == [self.RULE]
+
+    def test_handler_in_nested_loop_belongs_to_inner(self, lint_tree):
+        # The inner for is bounded and backs off -> clean, even though the
+        # outer loop is while True (the handler retries the inner loop).
+        source = """\
+import time
+
+def drain(client):
+    while True:
+        for attempt in range(3):
+            try:
+                client.poll()
+            except OSError:
+                time.sleep(0.1)
+        client.commit()
+"""
+        assert lint_tree({"repro/api/client.py": source}, self.RULE) == []
+
+    def test_broad_except_is_not_transport(self, lint_tree):
+        # except Exception is no-silent-swallow's territory, not a retry.
+        source = """\
+def serve(handler):
+    while True:
+        try:
+            handler.step()
+        except Exception:
+            handler.log_failure()
+"""
+        assert lint_tree({"repro/api/http.py": source}, self.RULE) == []
+
+    def test_suppression(self, lint_tree):
+        source = """\
+def probe(endpoints):
+    for endpoint in endpoints:
+        try:
+            endpoint.health()
+        # repro: ignore[no-unbounded-retry]
+        except OSError:
+            endpoint.mark_down()
+"""
+        assert lint_tree({"repro/cluster/health.py": source}, self.RULE) == []

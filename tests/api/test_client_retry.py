@@ -1,0 +1,247 @@
+"""ServiceClient transport resilience: retry policy and keep-alive reconnect.
+
+A hand-rolled socket server plays the failure modes HTTP libraries are bad
+at faking: a server killed mid-request (accept, then slam the connection),
+and a keep-alive peer that closes the socket between requests without
+saying so.  The assertions count *connections observed by the server* —
+the ground truth for "was this request re-sent", which is exactly the
+property that separates idempotent reads (retried under a policy) from
+updates and replication ops (never re-sent, no matter what).
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import socket
+import threading
+
+import pytest
+
+from repro.api import RetryPolicy, ServiceClient, UpdateRequest
+from repro.errors import ProtocolError
+
+
+class MiniServer:
+    """A tiny HTTP server with scriptable connection behaviour.
+
+    The first ``abort_first`` accepted connections are closed without a
+    byte of response — what a client sees when the server dies
+    mid-request.  Later connections serve up to ``serve_per_connection``
+    well-formed JSON responses, then close the socket *without* a
+    ``Connection: close`` header — the stale-keep-alive trap.
+    """
+
+    def __init__(self, abort_first: int = 0, serve_per_connection: int = 1):
+        self.abort_first = abort_first
+        self.serve_per_connection = serve_per_connection
+        self.connections = 0
+        self._sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        self._sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        self._sock.bind(("127.0.0.1", 0))
+        self._sock.listen(8)
+        self._sock.settimeout(0.1)
+        self.port = self._sock.getsockname()[1]
+        self._stop = threading.Event()
+        self._thread = threading.Thread(target=self._run, daemon=True)
+        self._thread.start()
+
+    def _run(self) -> None:
+        while not self._stop.is_set():
+            try:
+                conn, _addr = self._sock.accept()
+            except socket.timeout:
+                continue
+            except OSError:
+                break
+            self.connections += 1
+            if self.connections <= self.abort_first:
+                conn.close()  # the mid-request kill
+                continue
+            conn.settimeout(5.0)
+            try:
+                for _ in range(self.serve_per_connection):
+                    if not self._read_request(conn):
+                        break
+                    body = json.dumps(
+                        {"status": "ok", "connection": self.connections}
+                    ).encode("utf-8")
+                    conn.sendall(
+                        b"HTTP/1.1 200 OK\r\n"
+                        b"Content-Type: application/json\r\n"
+                        b"Content-Length: " + str(len(body)).encode("ascii") + b"\r\n"
+                        b"\r\n" + body
+                    )
+            except OSError:
+                pass
+            finally:
+                conn.close()
+
+    @staticmethod
+    def _read_request(conn: socket.socket) -> bool:
+        """Consume one full HTTP request; False when the peer closed."""
+        data = b""
+        while b"\r\n\r\n" not in data:
+            chunk = conn.recv(4096)
+            if not chunk:
+                return False
+            data += chunk
+        head, _, rest = data.partition(b"\r\n\r\n")
+        length = 0
+        for line in head.split(b"\r\n"):
+            if line.lower().startswith(b"content-length:"):
+                length = int(line.split(b":", 1)[1].strip())
+        while len(rest) < length:
+            chunk = conn.recv(4096)
+            if not chunk:
+                return False
+            rest += chunk
+        return True
+
+    def stop(self) -> None:
+        self._stop.set()
+        self._thread.join(timeout=5)
+        self._sock.close()
+
+    def __enter__(self) -> "MiniServer":
+        return self
+
+    def __exit__(self, *_exc: object) -> None:
+        self.stop()
+
+
+FAST_RETRY = RetryPolicy(attempts=3, backoff=0.001, multiplier=2.0, max_backoff=0.01)
+
+
+class TestRetryPolicy:
+    def test_delay_schedule_is_exponential_and_capped(self):
+        policy = RetryPolicy(attempts=5, backoff=0.05, multiplier=2.0, max_backoff=0.15)
+        assert policy.delay_before(2) == pytest.approx(0.05)
+        assert policy.delay_before(3) == pytest.approx(0.10)
+        assert policy.delay_before(4) == pytest.approx(0.15)  # capped
+        assert policy.delay_before(5) == pytest.approx(0.15)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"attempts": 0},
+            {"attempts": -1},
+            {"attempts": True},
+            {"attempts": 2.5},
+            {"backoff": -0.1},
+            {"max_backoff": -1.0},
+            {"multiplier": 0.5},
+        ],
+    )
+    def test_invalid_policies_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            RetryPolicy(**kwargs)
+
+
+class TestReadRetry:
+    def test_read_survives_a_server_killed_mid_request(self):
+        # The first two connections die without a response byte; the third
+        # succeeds.  attempts=3 absorbs exactly that.
+        with MiniServer(abort_first=2) as server:
+            client = ServiceClient("127.0.0.1", server.port, retry=FAST_RETRY)
+            reply = client.health()
+            assert reply["status"] == "ok"
+            assert server.connections == 3
+
+    def test_read_posts_retry_too(self):
+        with MiniServer(abort_first=1) as server:
+            client = ServiceClient("127.0.0.1", server.port, retry=FAST_RETRY)
+            reply = client.post({"kind": "search", "query": "x", "document": "d"})
+            assert reply["status"] == "ok"
+            assert server.connections == 2
+
+    def test_attempts_are_bounded(self):
+        # Everything fails: the client must give up after exactly
+        # `attempts` connections, not hammer forever.
+        with MiniServer(abort_first=10 ** 6) as server:
+            client = ServiceClient("127.0.0.1", server.port, retry=FAST_RETRY)
+            with pytest.raises((OSError, http.client.HTTPException)):
+                client.health()
+            assert server.connections == FAST_RETRY.attempts
+
+    def test_no_policy_means_one_attempt(self):
+        with MiniServer(abort_first=10 ** 6) as server:
+            client = ServiceClient("127.0.0.1", server.port)
+            with pytest.raises((OSError, http.client.HTTPException)):
+                client.health()
+            assert server.connections == 1
+
+
+class TestNonIdempotentNeverRetried:
+    def test_update_is_sent_exactly_once(self):
+        # The server may have applied an update whose response was lost;
+        # re-sending would apply it twice.  Even with a retry policy the
+        # wire must see exactly one connection.
+        with MiniServer(abort_first=10 ** 6) as server:
+            client = ServiceClient("127.0.0.1", server.port, retry=FAST_RETRY)
+            response = client.execute_update(
+                UpdateRequest(action="remove", document="doomed")
+            )
+            assert response.kind == "error"
+            assert response.code == "internal"
+            assert "transport failure" in response.message
+            assert server.connections == 1
+
+    def test_replicate_is_sent_exactly_once(self):
+        with MiniServer(abort_first=10 ** 6) as server:
+            client = ServiceClient("127.0.0.1", server.port, retry=FAST_RETRY)
+            with pytest.raises((OSError, http.client.HTTPException)):
+                client.replicate({"op": "apply-delta", "delta": None, "sequence": 1})
+            assert server.connections == 1
+
+    def test_replicate_rejects_unserialisable_payload(self):
+        client = ServiceClient("127.0.0.1", 1)
+        with pytest.raises(ProtocolError, match="not JSON-serialisable"):
+            client.replicate({"op": object()})
+
+
+class TestKeepAliveReconnect:
+    def test_stale_keep_alive_socket_is_reconnected_for_reads(self):
+        # The server closes the connection after each response without
+        # announcing it; the client's second request hits a dead socket
+        # and must transparently reconnect.  Three requests = three
+        # server-side connections, all successful.
+        with MiniServer(serve_per_connection=1) as server:
+            client = ServiceClient("127.0.0.1", server.port, keep_alive=True)
+            try:
+                for _ in range(3):
+                    assert client.health()["status"] == "ok"
+            finally:
+                client.close()
+            assert server.connections == 3
+
+    def test_keep_alive_reuses_a_live_connection(self):
+        # Control: when the server honours keep-alive, every request rides
+        # one connection — proving the test above really exercised the
+        # reconnect path rather than per-request connections.
+        with MiniServer(serve_per_connection=100) as server:
+            client = ServiceClient("127.0.0.1", server.port, keep_alive=True)
+            try:
+                for _ in range(3):
+                    assert client.health()["status"] == "ok"
+            finally:
+                client.close()
+            assert server.connections == 1
+
+    def test_stale_keep_alive_update_is_not_resent(self):
+        # First request warms the connection; the server then closes it.
+        # The update that hits the stale socket must NOT be transparently
+        # re-sent on a fresh connection — the server never sees a second
+        # connection, and the caller gets a structured transport error.
+        with MiniServer(serve_per_connection=1) as server:
+            client = ServiceClient("127.0.0.1", server.port, keep_alive=True)
+            try:
+                assert client.health()["status"] == "ok"
+                response = client.execute_update(
+                    UpdateRequest(action="remove", document="doomed")
+                )
+            finally:
+                client.close()
+            assert response.kind == "error"
+            assert response.code == "internal"
+            assert server.connections == 1

@@ -1,0 +1,299 @@
+"""Remote cluster: spawned shard processes serve byte-identical responses.
+
+The acceptance property of the distributed layer: an N-shard × M-replica
+:class:`~repro.cluster.remote.RemoteClusterService` — every shard a
+separately-spawned ``serve --shard-of`` process reached over HTTP —
+returns default wire responses byte-identical to a single-corpus
+:class:`~repro.api.SnippetService` holding the same documents, for every
+request shape including error bytes.  Spawning is expensive, so the
+read-only identity tests share one module-scoped cluster; lifecycle tests
+spawn their own.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.api.protocol import BatchRequest, SearchRequest, UpdateRequest, parse_response
+from repro.api.service import SnippetService
+from repro.cluster import (
+    ClusterService,
+    RemoteClusterService,
+    ShardBackend,
+    ShardDelta,
+    read_cluster_manifest,
+)
+from repro.errors import ClusterError
+from tests.cluster.conftest import CLUSTER_DATASETS, QUERIES, build_corpus
+
+
+def wire(backend, payload) -> str:
+    """The exact bytes a wire frontend would emit for ``payload``."""
+    if hasattr(payload, "to_dict"):
+        payload = payload.to_dict()
+    return backend.handle_json(json.dumps(payload, sort_keys=True))
+
+
+@pytest.fixture(scope="module")
+def cluster_dir(tmp_path_factory):
+    directory = tmp_path_factory.mktemp("remote-cluster")
+    service = ClusterService.from_corpus(build_corpus(), shards=2)
+    service.save_dir(directory)
+    service.close()
+    return directory
+
+
+@pytest.fixture(scope="module")
+def remote(cluster_dir):
+    service = RemoteClusterService.spawn(cluster_dir, replicas=2)
+    yield service
+    service.close()
+
+
+@pytest.fixture(scope="module")
+def single():
+    service = SnippetService(build_corpus())
+    yield service
+    service.close()
+
+
+class TestReadByteIdentity:
+    def test_search_every_document_and_query(self, remote, single):
+        for _dataset, name in CLUSTER_DATASETS:
+            for query in QUERIES:
+                request = SearchRequest(query=query, document=name)
+                assert wire(remote, request) == wire(single, request)
+
+    def test_search_repeats_rotate_replicas_identically(self, remote, single):
+        # read_candidates rotates round-robin, so consecutive requests hit
+        # different replicas — the bytes must not depend on which one.
+        request = SearchRequest(query="store texas", document="stores")
+        expected = wire(single, request)
+        for _ in range(4):
+            assert wire(remote, request) == expected
+
+    def test_search_with_size_bound_and_paging(self, remote, single):
+        request = SearchRequest(
+            query="store texas", document="stores", size_bound=6, page_size=1
+        )
+        remote_body, single_body = wire(remote, request), wire(single, request)
+        assert remote_body == single_body
+        token = parse_response(json.loads(remote_body)).next_page
+        while token is not None:
+            follow = request.with_page(token)
+            remote_body, single_body = wire(remote, follow), wire(single, follow)
+            assert remote_body == single_body
+            token = parse_response(json.loads(remote_body)).next_page
+
+    def test_unknown_document_error_bytes(self, remote, single):
+        request = SearchRequest(query="anything", document="no-such-doc")
+        assert wire(remote, request) == wire(single, request)
+
+    def test_invalid_request_error_bytes(self, remote, single):
+        for payload in (
+            {"kind": "search", "schema_version": 1, "document": "stores"},
+            {"kind": "search", "schema_version": 1, "query": "", "document": "stores"},
+            {"kind": "nonsense"},
+            [1, 2, 3],
+        ):
+            assert wire(remote, payload) == wire(single, payload)
+
+    def test_batch_all_documents(self, remote, single):
+        batch = BatchRequest(queries=QUERIES[:3], documents=None)
+        assert wire(remote, batch) == wire(single, batch)
+
+    def test_batch_explicit_documents_with_duplicates(self, remote, single):
+        batch = BatchRequest(
+            queries=("store texas", "movie drama"),
+            documents=("movies", "stores", "movies", "retail"),
+        )
+        assert wire(remote, batch) == wire(single, batch)
+
+    def test_batch_unknown_document_error_bytes(self, remote, single):
+        batch = BatchRequest(queries=("store",), documents=("stores", "missing"))
+        assert wire(remote, batch) == wire(single, batch)
+
+    def test_capabilities_and_stats_shape(self, remote):
+        caps = remote.capabilities()
+        assert caps["backend"] == "remote-cluster"
+        assert caps["shards"] == 2
+        assert caps["replicas"] == 2
+        assert caps["remote"] is True
+        stats = remote.stats()
+        assert stats["documents"] == len(CLUSTER_DATASETS)
+        assert [row["endpoints"] for row in stats["shards"]] == [2, 2]
+        assert all(row["healthy"] == 2 for row in stats["shards"])
+
+
+class TestUpdateReplication:
+    @pytest.fixture()
+    def fresh(self, tmp_path):
+        service = ClusterService.from_corpus(build_corpus(), shards=2)
+        service.save_dir(tmp_path)
+        service.close()
+        remote = RemoteClusterService.spawn(tmp_path, replicas=2)
+        single = SnippetService(build_corpus())
+        yield remote, single
+        remote.close()
+        single.close()
+
+    def test_remove_and_read_stay_identical(self, fresh):
+        remote, single = fresh
+        request = UpdateRequest(action="remove", document="movies")
+        assert wire(remote, request) == wire(single, request)
+        # registry updated: the document is now unknown, with identical bytes
+        probe = SearchRequest(query="drama", document="movies")
+        assert wire(remote, probe) == wire(single, probe)
+        # remaining documents still serve identically (from either replica)
+        for _ in range(2):
+            probe = SearchRequest(query="store texas", document="stores")
+            assert wire(remote, probe) == wire(single, probe)
+
+    def test_remove_unknown_document_error_bytes(self, fresh):
+        remote, single = fresh
+        request = UpdateRequest(action="remove", document="never-registered")
+        assert wire(remote, request) == wire(single, request)
+
+    def test_add_document_replicates_to_replicas(self, fresh):
+        remote, single = fresh
+        xml = "<library><book><title>New Arrival</title></book></library>"
+        request = UpdateRequest(action="update", document="arrivals", xml=xml)
+        assert wire(remote, request) == wire(single, request)
+        owner = remote._registry()["arrivals"]
+        replica_set = remote.replica_sets[owner]
+        # the commit advanced the set's sequence and every replica applied it
+        assert replica_set.sequence == 1
+        for endpoint in replica_set.endpoints():
+            assert endpoint.sequence == 1
+            assert not endpoint.stale
+        # the new document serves identically from both replicas
+        for _ in range(2):
+            probe = SearchRequest(query="arrival", document="arrivals")
+            assert wire(remote, probe) == wire(single, probe)
+
+    def test_incremental_update_replicates_as_deltas(self, fresh):
+        remote, single = fresh
+        # a text-only edit of an existing document rides the incremental path
+        from repro.xmltree.serialize import to_xml_string
+
+        base = build_corpus()
+        tree = base.system("stores").index.tree
+        xml = to_xml_string(tree).replace("Austin", "Houston", 1)
+        request = UpdateRequest(action="update", document="stores", xml=xml)
+        assert wire(remote, request) == wire(single, request)
+        probe = SearchRequest(query="store houston", document="stores")
+        for _ in range(2):
+            assert wire(remote, probe) == wire(single, probe)
+
+
+class TestShardDeltaWire:
+    def test_round_trip_every_kind(self):
+        deltas = (
+            ShardDelta(shard=0, document="a", kind="remove"),
+            ShardDelta(shard=1, document="b", kind="add", xml="<a/>"),
+            ShardDelta(shard=2, document="c", kind="replace", xml="<b/>"),
+            ShardDelta(
+                shard=3, document="d", kind="update",
+                edits=(("1.2", "new text"), ("1.3", "")),
+            ),
+        )
+        for delta in deltas:
+            assert ShardDelta.from_wire(delta.to_wire()) == delta
+
+    def test_wire_form_is_json_safe(self):
+        delta = ShardDelta(shard=0, document="a", kind="update", edits=(("1", "x"),))
+        assert ShardDelta.from_wire(json.loads(json.dumps(delta.to_wire()))) == delta
+
+    @pytest.mark.parametrize(
+        "wire_form",
+        [
+            "not a dict",
+            {"shard": -1, "document": "a", "kind": "remove"},
+            {"shard": True, "document": "a", "kind": "remove"},
+            {"shard": 0, "document": "", "kind": "remove"},
+            {"shard": 0, "document": "a", "kind": "explode"},
+            {"shard": 0, "document": "a", "kind": "add", "xml": 7},
+            {"shard": 0, "document": "a", "kind": "update", "edits": "nope"},
+            {"shard": 0, "document": "a", "kind": "update", "edits": [["only-one"]]},
+            {"shard": 0, "document": "a", "kind": "update", "edits": [[1, 2]]},
+        ],
+    )
+    def test_malformed_wire_raises(self, wire_form):
+        with pytest.raises(ClusterError):
+            ShardDelta.from_wire(wire_form)
+
+
+class TestShardBackend:
+    def test_load_dir_rejects_out_of_range_shard(self, cluster_dir):
+        with pytest.raises(ClusterError, match="outside this cluster's range"):
+            ShardBackend.load_dir(cluster_dir, 7)
+        with pytest.raises(ClusterError):
+            ShardBackend.load_dir(cluster_dir, -1)
+
+    def test_loaded_shard_serves_its_documents(self, cluster_dir):
+        manifest = read_cluster_manifest(cluster_dir)
+        backend = ShardBackend.load_dir(cluster_dir, 0)
+        try:
+            caps = backend.capabilities()
+            assert caps["shard"] == 0
+            assert caps["documents"] == len(backend.shard)
+            assert caps["replication_sequence"] == 0
+            assert manifest.shards == 2
+        finally:
+            backend.close()
+
+    def test_replicate_unknown_op_raises(self, cluster_dir):
+        backend = ShardBackend.load_dir(cluster_dir, 0)
+        try:
+            from repro.errors import ProtocolError
+
+            with pytest.raises(ProtocolError, match="unknown replication op"):
+                backend.handle_replicate({"op": "explode"})
+            with pytest.raises(ProtocolError):
+                backend.handle_replicate("not a dict")
+        finally:
+            backend.close()
+
+    def test_apply_delta_for_wrong_shard_raises(self, cluster_dir):
+        backend = ShardBackend.load_dir(cluster_dir, 0)
+        try:
+            delta = ShardDelta(shard=1, document="x", kind="remove")
+            with pytest.raises(ClusterError, match="refusing to apply"):
+                backend.handle_replicate(
+                    {"op": "apply-delta", "delta": delta.to_wire(), "sequence": 1}
+                )
+        finally:
+            backend.close()
+
+
+class TestSpawnValidation:
+    def test_spawn_rejects_bad_replica_count(self, cluster_dir):
+        with pytest.raises(ClusterError, match="replicas"):
+            RemoteClusterService.spawn(cluster_dir, replicas=0)
+
+    def test_constructor_rejects_gapped_shard_ids(self):
+        from repro.cluster import ReplicaSet, ShardEndpoint
+
+        class FakeClient:
+            host, port = "127.0.0.1", 1
+
+            def close(self):
+                pass
+
+        sets = [ReplicaSet(2, [ShardEndpoint(FakeClient())])]
+        with pytest.raises(ClusterError, match="exactly 0..N-1"):
+            RemoteClusterService(sets)
+
+
+def test_port_file_written_atomically(tmp_path):
+    """serve --port-file publishes via temp + rename: the visible file is
+    always complete and no staging file is left behind."""
+    from repro.cli import _write_port_file
+
+    target = tmp_path / "server.port"
+    _write_port_file(str(target), 43210)
+    assert target.read_text(encoding="utf-8") == "43210\n"
+    assert not os.path.exists(str(target) + ".tmp")
