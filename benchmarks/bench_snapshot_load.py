@@ -1,0 +1,101 @@
+"""Snapshot load benchmark — v4 mmap cold load vs v3 text parse.
+
+The acceptance shape (ISSUE 8): loading a document from a v4 binary
+snapshot (mmap + lazy posting materialisation) is **at least 5× faster**
+than the v3 text path, which re-parses ``document.xml`` and rebuilds the
+whole index from scratch.  The second measurement is the operational
+number behind the speedup: the time from spawning a remote shard process
+over v4 snapshots to its first served query response.
+
+The measured numbers land in ``BENCH_snapshot_load.json`` via the shared
+:mod:`reporting` sink.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+
+from repro.api.protocol import SearchRequest
+from repro.cluster import ClusterService, RemoteClusterService
+from repro.corpus import Corpus
+from repro.datasets.retail import RetailConfig, generate_retail_document
+from repro.index.builder import IndexBuilder
+from repro.index.storage import BINARY_FORMAT_VERSION, load_index, save_index
+
+from reporting import bench_row, record_benchmark
+
+#: ISSUE 8 acceptance floor: v4 cold load ≥ 5× faster than the v3 parse.
+SPEEDUP_FLOOR = 5.0
+ROUNDS = 5
+
+
+def _document_tree():
+    config = RetailConfig(retailers=8, stores_per_retailer=6, clothes_per_store=6, seed=11)
+    return generate_retail_document(config, name="bench-snapshot")
+
+
+def _best_seconds(operation) -> float:
+    best = float("inf")
+    for _ in range(ROUNDS):
+        started = time.perf_counter()
+        operation()
+        best = min(best, time.perf_counter() - started)
+    return best
+
+
+def test_v4_cold_load_speedup(tmp_path):
+    index = IndexBuilder().build(_document_tree())
+    v3_dir = tmp_path / "v3"
+    v4_dir = tmp_path / "v4"
+    save_index(index, v3_dir)
+    save_index(index, v4_dir, format_version=BINARY_FORMAT_VERSION)
+
+    text_seconds = _best_seconds(lambda: load_index(v3_dir))
+    lazy_seconds = _best_seconds(lambda: load_index(v4_dir))
+    eager_seconds = _best_seconds(lambda: load_index(v4_dir, lazy=False))
+
+    record_benchmark(
+        "snapshot_load",
+        [
+            bench_row("v3_text_cold_load", text_seconds),
+            bench_row(
+                "v4_mmap_lazy_cold_load",
+                lazy_seconds,
+                baseline_op="v3_text_cold_load",
+                baseline_seconds=text_seconds,
+            ),
+            bench_row(
+                "v4_eager_cold_load",
+                eager_seconds,
+                baseline_op="v3_text_cold_load",
+                baseline_seconds=text_seconds,
+            ),
+        ],
+    )
+    # ISSUE 8 acceptance: the mmap cold load clears the 5× floor.
+    assert lazy_seconds * SPEEDUP_FLOOR <= text_seconds, (text_seconds, lazy_seconds)
+
+
+def test_shard_time_to_first_query(tmp_path):
+    """Wall time from process spawn to the first served query response."""
+    corpus = Corpus()
+    corpus.add_tree("bench-snapshot", _document_tree())
+    service = ClusterService.from_corpus(corpus, shards=2)
+    service.save_dir(tmp_path, format_version=BINARY_FORMAT_VERSION)
+    service.close()
+
+    request = SearchRequest(query="store texas", document="bench-snapshot", size_bound=6)
+    started = time.perf_counter()
+    remote = RemoteClusterService.spawn(tmp_path)
+    try:
+        body = remote.handle_json(json.dumps(request.to_dict(), sort_keys=True))
+        elapsed = time.perf_counter() - started
+    finally:
+        remote.close()
+    assert '"error"' not in body.split('"results"')[0], body[:200]
+
+    record_benchmark(
+        "snapshot_load",
+        [bench_row("v4_shard_spawn_to_first_query", elapsed)],
+    )

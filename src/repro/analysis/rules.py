@@ -20,6 +20,10 @@ rules are grounded in):
 ``no-print-in-library``     ``print()`` stays in the CLI and tooling
 ``no-unbounded-retry``      every transport retry loop carries an attempt
                             bound and a backoff between attempts
+``format-version``          modules that write snapshot/journal/manifest
+                            bytes keep their magics in module-level
+                            ``*MAGIC*`` constants tied to a named
+                            ``*_FORMAT_VERSION``
 ==========================  =============================================
 
 Every rule is suppressible per line with ``# repro: ignore[rule-id]``.
@@ -855,4 +859,98 @@ class NoUnboundedRetryRule(Rule):
             isinstance(loop, ast.While)
             and isinstance(loop.test, ast.Constant)
             and bool(loop.test.value)
+        )
+
+
+@register_rule
+class FormatVersionRule(Rule):
+    """On-disk format magics live in named constants next to their version.
+
+    The persistence modules (text/binary snapshots, corpus manifest and
+    journal, cluster manifest) each declare a ``*_FORMAT_VERSION`` integer
+    and derive their magic header from it — ``save_index`` writing
+    ``"#extract-index v3"`` inline would silently fork the format the
+    moment the constant moved to 4.  Two findings:
+
+    * a magic-looking literal (``#extract-…`` text header or an
+      ``EXIDX…`` binary sentinel) anywhere except a module-level
+      assignment to a ``*MAGIC*`` name, and
+    * a module that declares magics but never names a
+      ``*_FORMAT_VERSION`` constant at all.
+    """
+
+    rule_id = "format-version"
+    description = (
+        "snapshot/journal/manifest magics live in module-level *MAGIC* "
+        "constants alongside a named *_FORMAT_VERSION"
+    )
+
+    #: the modules that put format bytes on disk.
+    PATHS = (
+        "repro/index/storage.py",
+        "repro/index/binfmt.py",
+        "repro/cluster/partition.py",
+    )
+
+    _TEXT_MAGIC_PREFIX = "#extract-"
+    _BINARY_MAGIC_FRAGMENT = b"EXIDX"
+
+    def check(self, module: ModuleSource, context: AnalysisContext) -> Iterator[Finding]:
+        if not path_matches(module.rel_path, self.PATHS):
+            return
+        allowed, magic_homes = self._magic_assignments(module.tree)
+        for node in ast.walk(module.tree):
+            if id(node) in allowed or not self._is_magic_literal(node):
+                continue
+            yield self.finding(
+                module,
+                node,
+                "inline format magic; assign it to a module-level *MAGIC* "
+                "constant derived from a *_FORMAT_VERSION",
+            )
+        if magic_homes and not self._names_format_version(module.tree):
+            yield self.finding(
+                module,
+                magic_homes[0],
+                "module declares format magics but never names a "
+                "*_FORMAT_VERSION constant",
+            )
+
+    def _magic_assignments(
+        self, tree: ast.Module
+    ) -> tuple[set[int], list[ast.stmt]]:
+        """ids of literal nodes inside module-level ``*MAGIC*`` assignments."""
+        allowed: set[int] = set()
+        homes: list[ast.stmt] = []
+        for stmt in tree.body:
+            if isinstance(stmt, ast.Assign):
+                targets = stmt.targets
+            elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+                targets = [stmt.target]
+            else:
+                continue
+            if not any(
+                isinstance(target, ast.Name) and "MAGIC" in target.id
+                for target in targets
+            ):
+                continue
+            homes.append(stmt)
+            allowed.update(id(node) for node in ast.walk(stmt))
+        return allowed, homes
+
+    def _is_magic_literal(self, node: ast.AST) -> bool:
+        if not isinstance(node, ast.Constant):
+            return False
+        value = node.value
+        if isinstance(value, str):
+            return value.startswith(self._TEXT_MAGIC_PREFIX)
+        if isinstance(value, bytes):
+            return self._BINARY_MAGIC_FRAGMENT in value
+        return False
+
+    @staticmethod
+    def _names_format_version(tree: ast.Module) -> bool:
+        return any(
+            isinstance(node, ast.Name) and node.id.endswith("_FORMAT_VERSION")
+            for node in ast.walk(tree)
         )

@@ -202,6 +202,10 @@ def build_parser() -> argparse.ArgumentParser:
     add_corpus_source_arguments(corpus_save)
     corpus_save.add_argument("--output", required=True, metavar="DIR", help="snapshot directory")
     corpus_save.add_argument("--algorithm", choices=("slca", "elca"), default="slca")
+    corpus_save.add_argument(
+        "--format", choices=("v3", "v4"), default="v3", dest="snapshot_format",
+        help="snapshot format: v3 diff-friendly text (default) or v4 mmap-able binary",
+    )
 
     corpus_update = subparsers.add_parser(
         "corpus-update",
@@ -1194,8 +1198,13 @@ def _command_lint(args: argparse.Namespace, out) -> int:
 
 
 def _command_corpus_save(args: argparse.Namespace, out) -> int:
+    from repro.index.storage import BINARY_FORMAT_VERSION, TEXT_FORMAT_VERSION
+
     corpus = _build_corpus(args, algorithm=args.algorithm)
-    subdirs = corpus.save_dir(args.output)
+    format_version = (
+        BINARY_FORMAT_VERSION if args.snapshot_format == "v4" else TEXT_FORMAT_VERSION
+    )
+    subdirs = corpus.save_dir(args.output, format_version=format_version)
     total_nodes = sum(entry.node_count for entry in corpus)
     print(
         f"saved {len(subdirs)} document index(es), {total_nodes} nodes total, to {args.output}",

@@ -51,7 +51,8 @@ from repro.errors import ClusterError, StorageError
 
 #: file name of the cluster manifest, beside the shard subdirectories
 CLUSTER_MANIFEST_FILE = "cluster.manifest"
-_MANIFEST_MAGIC = "#extract-cluster v1"
+CLUSTER_MANIFEST_FORMAT_VERSION = 1
+_MANIFEST_MAGIC = f"#extract-cluster v{CLUSTER_MANIFEST_FORMAT_VERSION}"
 _END_SENTINEL = "#end"
 
 

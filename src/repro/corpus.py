@@ -662,7 +662,11 @@ class Corpus:
     # ------------------------------------------------------------------ #
     # persistence
     # ------------------------------------------------------------------ #
-    def save_dir(self, directory: str | os.PathLike[str]) -> list[str]:
+    def save_dir(
+        self,
+        directory: str | os.PathLike[str],
+        format_version: int | None = None,
+    ) -> list[str]:
         """Snapshot every registered document index under ``directory``.
 
         Layout: one subdirectory per document (see
@@ -672,6 +676,11 @@ class Corpus:
         full snapshot supersedes it (replaying it on top would double-apply
         the edits).  Returns the subdirectory names written, in
         document-name order.
+
+        ``format_version`` selects the per-document snapshot format (the
+        text default, or :data:`~repro.index.storage.BINARY_FORMAT_VERSION`
+        for mmap-able binary snapshots); loading detects the format per
+        subdirectory, so mixed corpora round-trip fine.
         """
         from repro.index.storage import (
             discard_corpus_journal,
@@ -687,7 +696,15 @@ class Corpus:
         for name in self.names():
             subdir = _subdir_for(name, used)
             used.add(subdir.lower())
-            save_index(self._entries[name].system.index, os.path.join(path, subdir))
+            target = os.path.join(path, subdir)
+            if format_version is None:
+                save_index(self._entries[name].system.index, target)
+            else:
+                save_index(
+                    self._entries[name].system.index,
+                    target,
+                    format_version=format_version,
+                )
             entries.append((subdir, name))
             subdirs.append(subdir)
         write_corpus_manifest(path, self.algorithm, entries)
@@ -859,8 +876,16 @@ def compact_corpus_dir(
     A long-lived corpus accumulates ``corpus.journal`` records (and
     orphaned snapshot subdirectories from structural replacements) that
     every ``load_dir`` must replay; compaction replays them once and
-    rewrites the directory as a clean set of v3 base snapshots with no
+    rewrites the directory as a clean set of base snapshots with no
     journal — the cheap-bootstrap form a new shard replica loads fastest.
+
+    Base snapshots the journal never touched are **copied byte-for-byte**
+    (the full offset range of each snapshot file) instead of being
+    re-parsed and re-serialised; only documents with journal records get
+    fresh snapshots, written in the mmap-able binary format
+    (:data:`~repro.index.storage.BINARY_FORMAT_VERSION`).  Compacting a
+    journal-free corpus is therefore byte-stable: every snapshot and the
+    manifest come out identical.
 
     The compaction is **staged**: the journal-replayed corpus is saved
     into a sibling ``<dir>.compacting`` staging directory, then swapped
@@ -873,23 +898,62 @@ def compact_corpus_dir(
     window — leaves the full original parked at ``<dir>.pre-compact``
     (rename it back to recover; the next compaction only clears leftovers
     when the corpus directory itself is present).  Search results before
-    and after are byte-identical (``load_dir`` replay and ``save_dir``
-    round trips both preserve served bytes).
+    and after are byte-identical (``load_dir`` replay, snapshot copies and
+    binary rewrites all preserve served bytes).
     """
     import shutil
 
-    from repro.index.storage import read_corpus_journal
+    from repro.index.storage import (
+        BINARY_FORMAT_VERSION,
+        directory_documents,
+        read_corpus_journal,
+        save_index,
+        write_corpus_manifest,
+    )
 
     path = os.path.normpath(os.fspath(directory))
     records = read_corpus_journal(path)
     corpus = Corpus.load_dir(path, cache_size=cache_size)
+    touched: set[str] = set()
+    for record in records:
+        touched.add(record.subdir)
+        if record.snapshot:
+            touched.add(record.snapshot)
+    subdir_of = {name: subdir for subdir, name in directory_documents(path).items()}
     staging = f"{path}.compacting"
     backup = f"{path}.pre-compact"
     for leftover in (staging, backup):
         if os.path.exists(leftover):
             shutil.rmtree(leftover)
     try:
-        subdirs = corpus.save_dir(staging)
+        os.makedirs(staging)
+        subdirs: list[str] = []
+        entries: list[tuple[str, str]] = []
+        used = {
+            subdir.lower()
+            for name, subdir in subdir_of.items()
+            if subdir not in touched
+        }
+        for name in corpus.names():
+            current = subdir_of.get(name)
+            if current is not None and current not in touched:
+                # Untouched base snapshot: copy its files verbatim under
+                # the same subdirectory name — no re-parse, no drift.
+                shutil.copytree(
+                    os.path.join(path, current), os.path.join(staging, current)
+                )
+                subdir = current
+            else:
+                subdir = _subdir_for(name, used)
+                used.add(subdir.lower())
+                save_index(
+                    corpus.system(name).index,
+                    os.path.join(staging, subdir),
+                    format_version=BINARY_FORMAT_VERSION,
+                )
+            entries.append((subdir, name))
+            subdirs.append(subdir)
+        write_corpus_manifest(staging, corpus.algorithm, entries)
         os.rename(path, backup)
     except OSError as exc:
         raise StorageError(f"failed to compact corpus directory {path}: {exc}") from exc

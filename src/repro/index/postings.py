@@ -13,6 +13,7 @@ import bisect
 from collections.abc import Iterable, Iterator
 
 from repro.xmltree.dewey import Dewey
+from repro.xmltree.order import NodeOrder, is_ancestor_or_self
 
 
 class PostingList:
@@ -103,20 +104,27 @@ class PostingList:
             return left  # documented tie-break: prefer lm (see docstring)
         return left if left_depth > right_depth else right
 
-    def has_descendant_of(self, ancestor: Dewey) -> bool:
-        """Does any posting lie in the subtree rooted at ``ancestor``?"""
+    def has_descendant_of(self, ancestor: Dewey, order: NodeOrder | None = None) -> bool:
+        """Does any posting lie in the subtree rooted at ``ancestor``?
+
+        With ``order`` (the owning tree's pre/post span table) the
+        ancestor test is an O(1) range comparison instead of a Dewey
+        prefix walk.
+        """
         position = bisect.bisect_left(self._labels, ancestor)
-        if position < len(self._labels) and ancestor.is_ancestor_or_self(self._labels[position]):
+        if position < len(self._labels) and is_ancestor_or_self(
+            ancestor, self._labels[position], order
+        ):
             return True
         return False
 
-    def descendants_of(self, ancestor: Dewey) -> list[Dewey]:
+    def descendants_of(self, ancestor: Dewey, order: NodeOrder | None = None) -> list[Dewey]:
         """All postings within the subtree rooted at ``ancestor``."""
         result: list[Dewey] = []
         position = bisect.bisect_left(self._labels, ancestor)
         while position < len(self._labels):
             label = self._labels[position]
-            if not ancestor.is_ancestor_or_self(label):
+            if not is_ancestor_or_self(ancestor, label, order):
                 break
             result.append(label)
             position += 1

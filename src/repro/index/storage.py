@@ -60,13 +60,25 @@ import os
 from dataclasses import dataclass
 
 from repro.errors import StorageError
+from repro.index.binfmt import (
+    BINARY_FILE,
+    BINARY_FORMAT_VERSION as _BINARY_FORMAT_VERSION,
+    load_binary_index,
+    write_binary_index,
+)
 from repro.index.builder import DocumentIndex, IndexBuilder
 from repro.index.inverted import InvertedIndex
 from repro.index.postings import PostingList
 from repro.xmltree.parser import parse_xml_file
 from repro.xmltree.serialize import to_xml_string
 
-_MAGIC_V3 = "#extract-index v3"
+#: current version of the plain-text snapshot format this module writes
+TEXT_FORMAT_VERSION = 3
+
+#: re-exported from :mod:`repro.index.binfmt`: the binary snapshot version
+BINARY_FORMAT_VERSION = _BINARY_FORMAT_VERSION
+
+_MAGIC_V3 = f"#extract-index v{TEXT_FORMAT_VERSION}"
 _MAGIC_V2 = "#extract-index v2"
 _MAGIC_V1 = "#extract-index v1"
 _KNOWN_MAGICS = (_MAGIC_V3, _MAGIC_V2, _MAGIC_V1)
@@ -78,16 +90,37 @@ INDEX_FILE = "inverted.idx"
 #: corpus-level files (written next to the per-document subdirectories)
 MANIFEST_FILE = "corpus.manifest"
 JOURNAL_FILE = "corpus.journal"
-_MANIFEST_MAGIC = "#extract-corpus v1"
-_JOURNAL_MAGIC = "#extract-corpus-journal v1"
+MANIFEST_FORMAT_VERSION = 1
+JOURNAL_FORMAT_VERSION = 1
+_MANIFEST_MAGIC = f"#extract-corpus v{MANIFEST_FORMAT_VERSION}"
+_JOURNAL_MAGIC = f"#extract-corpus-journal v{JOURNAL_FORMAT_VERSION}"
 
 _PATH_SEPARATOR = "/"
 _END_SENTINEL = "#end"
 
 
-def save_index(index: DocumentIndex, directory: str | os.PathLike[str]) -> None:
+def save_index(
+    index: DocumentIndex,
+    directory: str | os.PathLike[str],
+    format_version: int = TEXT_FORMAT_VERSION,
+) -> None:
     """Persist ``index`` (document + inverted + structure + summary) into
-    ``directory`` as a version-3 snapshot."""
+    ``directory``.
+
+    ``format_version`` selects the snapshot format: version 3 (the
+    default) writes the diff-friendly text format of this module; version
+    4 writes the mmap-able binary format of :mod:`repro.index.binfmt`.
+    :func:`load_index` detects the format on disk, so readers need no
+    version parameter.
+    """
+    if format_version == BINARY_FORMAT_VERSION:
+        write_binary_index(index, directory)
+        return
+    if format_version != TEXT_FORMAT_VERSION:
+        raise StorageError(
+            f"unsupported snapshot format version {format_version}; this build "
+            f"writes versions {TEXT_FORMAT_VERSION} and {BINARY_FORMAT_VERSION}"
+        )
     path = os.fspath(directory)
     os.makedirs(path, exist_ok=True)
     document_path = os.path.join(path, DOCUMENT_FILE)
@@ -124,17 +157,24 @@ def save_index(index: DocumentIndex, directory: str | os.PathLike[str]) -> None:
         raise StorageError(f"failed to save index to {path}: {exc}") from exc
 
 
-def load_index(directory: str | os.PathLike[str]) -> DocumentIndex:
+def load_index(directory: str | os.PathLike[str], lazy: bool = True) -> DocumentIndex:
     """Load a :class:`DocumentIndex` previously written by :func:`save_index`.
 
-    The XML document is re-parsed and re-analyzed; every stored section is
-    validated against the freshly built index (node count, analyzer
-    summary, structure paths, vocabulary) and the stored posting lists then
-    replace the rebuilt ones — they are authoritative for the artefact on
-    disk, and queries over the loaded index are byte-identical to queries
-    over the index that was saved.
+    The snapshot format is detected from the directory contents: a
+    ``snapshot.bin`` is loaded through :mod:`repro.index.binfmt` (mmap'd,
+    with posting lists materialised lazily unless ``lazy=False``); the
+    text formats (v1–v3) take the validate-and-replace path below.
+
+    For the text formats, the XML document is re-parsed and re-analyzed;
+    every stored section is validated against the freshly built index
+    (node count, analyzer summary, structure paths, vocabulary) and the
+    stored posting lists then replace the rebuilt ones — they are
+    authoritative for the artefact on disk, and queries over the loaded
+    index are byte-identical to queries over the index that was saved.
     """
     path = os.fspath(directory)
+    if os.path.exists(os.path.join(path, BINARY_FILE)):
+        return load_binary_index(path, lazy=lazy)
     document_path = os.path.join(path, DOCUMENT_FILE)
     index_path = os.path.join(path, INDEX_FILE)
     if not os.path.exists(document_path) or not os.path.exists(index_path):

@@ -27,10 +27,18 @@ from collections.abc import Sequence
 
 from repro.index.postings import PostingList
 from repro.xmltree.dewey import Dewey
+from repro.xmltree.order import NodeOrder, is_ancestor, is_ancestor_or_self
 
 
-def compute_elca(posting_lists: Sequence[PostingList]) -> list[Dewey]:
+def compute_elca(
+    posting_lists: Sequence[PostingList], order: NodeOrder | None = None
+) -> list[Dewey]:
     """Compute the ELCA set of the given keyword posting lists.
+
+    When ``order`` — the owning tree's pre/post span table — is supplied,
+    every ancestor/descendant test runs as an O(1) range comparison
+    instead of a Dewey prefix walk.  Candidates are ancestors of real
+    matches, hence real nodes themselves, so the span lookups always hit.
 
     >>> from repro.xmltree.dewey import Dewey
     >>> a = PostingList([Dewey((0, 0)), Dewey((2,))])
@@ -50,8 +58,8 @@ def compute_elca(posting_lists: Sequence[PostingList]) -> list[Dewey]:
 
     elcas: list[Dewey] = []
     for index, candidate in enumerate(ordered):
-        blocking = _maximal_descendants(candidate, ordered, index)
-        if _has_exclusive_witnesses(candidate, blocking, posting_lists):
+        blocking = _maximal_descendants(candidate, ordered, index, order)
+        if _has_exclusive_witnesses(candidate, blocking, posting_lists, order):
             elcas.append(candidate)
     return elcas
 
@@ -69,7 +77,12 @@ def _candidate_set(posting_lists: Sequence[PostingList]) -> set[Dewey]:
     return closure or set()
 
 
-def _maximal_descendants(candidate: Dewey, ordered: list[Dewey], index: int) -> list[Dewey]:
+def _maximal_descendants(
+    candidate: Dewey,
+    ordered: list[Dewey],
+    index: int,
+    order: NodeOrder | None = None,
+) -> list[Dewey]:
     """The maximal candidates strictly below ``candidate``.
 
     ``ordered`` is the candidate list in document order, ``index`` the
@@ -78,26 +91,31 @@ def _maximal_descendants(candidate: Dewey, ordered: list[Dewey], index: int) -> 
     blocking: list[Dewey] = []
     for position in range(index + 1, len(ordered)):
         label = ordered[position]
-        if not candidate.is_ancestor_of(label):
+        if not is_ancestor(candidate, label, order):
             break
-        if blocking and blocking[-1].is_ancestor_or_self(label):
+        if blocking and is_ancestor_or_self(blocking[-1], label, order):
             continue
         blocking.append(label)
     return blocking
 
 
 def _has_exclusive_witnesses(
-    candidate: Dewey, blocking: list[Dewey], posting_lists: Sequence[PostingList]
+    candidate: Dewey,
+    blocking: list[Dewey],
+    posting_lists: Sequence[PostingList],
+    order: NodeOrder | None = None,
 ) -> bool:
     for postings in posting_lists:
         if not any(
-            not any(block.is_ancestor_or_self(match) for block in blocking)
-            for match in postings.descendants_of(candidate)
+            not any(is_ancestor_or_self(block, match, order) for block in blocking)
+            for match in postings.descendants_of(candidate, order)
         ):
             return False
     return True
 
 
-def elca_result_roots(posting_lists: Sequence[PostingList]) -> list[Dewey]:
+def elca_result_roots(
+    posting_lists: Sequence[PostingList], order: NodeOrder | None = None
+) -> list[Dewey]:
     """Alias used by the search engine: ELCA nodes are the result roots."""
-    return compute_elca(posting_lists)
+    return compute_elca(posting_lists, order)

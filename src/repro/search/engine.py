@@ -95,10 +95,11 @@ class SearchEngine:
                 )
 
         with breakdown.measure("lca"):
+            order = self.index.tree.order
             if self.algorithm == "slca":
-                roots = compute_slca(posting_lists)
+                roots = compute_slca(posting_lists, order)
             else:
-                roots = compute_elca(posting_lists)
+                roots = compute_elca(posting_lists, order)
 
         with breakdown.measure("result_construction"):
             results = build_all_results(

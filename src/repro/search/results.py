@@ -22,6 +22,7 @@ from repro.search.query import KeywordQuery
 from repro.utils.paging import page_slice
 from repro.xmltree.dewey import Dewey
 from repro.xmltree.node import XMLNode
+from repro.xmltree.order import is_ancestor_or_self
 from repro.xmltree.tree import XMLTree
 
 
@@ -50,7 +51,9 @@ class QueryResult:
 
     def contains_label(self, label: Dewey) -> bool:
         """Is the labelled node part of this result subtree?"""
-        return self.root.is_ancestor_or_self(label) and self.source.has_node(label)
+        return is_ancestor_or_self(
+            self.root, label, self.source.order
+        ) and self.source.has_node(label)
 
     @property
     def size_nodes(self) -> int:

@@ -18,14 +18,21 @@ from __future__ import annotations
 from collections.abc import Sequence
 
 from repro.index.postings import PostingList
-from repro.xmltree.dewey import Dewey, remove_ancestors
+from repro.xmltree.dewey import Dewey
+from repro.xmltree.order import NodeOrder, remove_ancestors
 
 
-def compute_slca(posting_lists: Sequence[PostingList]) -> list[Dewey]:
+def compute_slca(
+    posting_lists: Sequence[PostingList], order: NodeOrder | None = None
+) -> list[Dewey]:
     """Compute the SLCA set of the given keyword posting lists.
 
     Returns an empty list when any keyword has no match (conjunctive
     keyword semantics: every keyword must appear in a result).
+
+    When ``order`` — the owning tree's pre/post span table — is supplied,
+    every ancestor/descendant test runs as an O(1) range comparison
+    instead of a Dewey prefix walk.
 
     >>> from repro.xmltree.dewey import Dewey
     >>> stores = PostingList([Dewey((0,)), Dewey((1,))])
@@ -39,7 +46,7 @@ def compute_slca(posting_lists: Sequence[PostingList]) -> list[Dewey]:
         return []
     if len(posting_lists) == 1:
         # Single-keyword query: every match is its own smallest "LCA".
-        return remove_ancestors(posting_lists[0].labels)
+        return remove_ancestors(posting_lists[0].labels, order)
 
     ordered = sorted(posting_lists, key=len)
     anchor_list, others = ordered[0], ordered[1:]
@@ -58,17 +65,21 @@ def compute_slca(posting_lists: Sequence[PostingList]) -> list[Dewey]:
 
     # The candidate set may contain ancestors of other candidates and
     # duplicates; the SLCA set is the deepest antichain.
-    slcas = remove_ancestors(candidates)
+    slcas = remove_ancestors(candidates, order)
     # Every SLCA must actually contain matches of all keywords.  With the
     # closest-match construction this holds, but we keep the check cheap
     # and explicit to guard against degenerate posting lists.
-    return [label for label in slcas if _contains_all(label, posting_lists)]
+    return [label for label in slcas if _contains_all(label, posting_lists, order)]
 
 
-def _contains_all(label: Dewey, posting_lists: Sequence[PostingList]) -> bool:
-    return all(postings.has_descendant_of(label) for postings in posting_lists)
+def _contains_all(
+    label: Dewey, posting_lists: Sequence[PostingList], order: NodeOrder | None = None
+) -> bool:
+    return all(postings.has_descendant_of(label, order) for postings in posting_lists)
 
 
-def slca_result_roots(posting_lists: Sequence[PostingList]) -> list[Dewey]:
+def slca_result_roots(
+    posting_lists: Sequence[PostingList], order: NodeOrder | None = None
+) -> list[Dewey]:
     """Alias used by the search engine: SLCA nodes are the result roots."""
-    return compute_slca(posting_lists)
+    return compute_slca(posting_lists, order)

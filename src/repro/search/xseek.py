@@ -74,7 +74,7 @@ def build_result_tree(
     matches: dict[str, tuple[Dewey, ...]] = {}
     for keyword in query.keywords:
         postings = index.keyword_matches(keyword)
-        matches[keyword] = tuple(postings.descendants_of(root))
+        matches[keyword] = tuple(postings.descendants_of(root, tree.order))
 
     if construction == ResultConstruction.MATCH_PATHS:
         # The result is conceptually the projection tree; we keep the root

@@ -34,6 +34,7 @@ from repro.errors import InvalidSizeBoundError
 from repro.search.results import QueryResult
 from repro.snippet.ilist import IList
 from repro.snippet.snippet_tree import Snippet
+from repro.xmltree.order import is_ancestor_or_self
 
 
 class SelectionStrategy(str, Enum):
@@ -101,7 +102,11 @@ class GreedyInstanceSelector:
     # instance choice strategies
     # ------------------------------------------------------------------ #
     def _choose_instance(self, snippet: Snippet, instances: list):
-        valid = [label for label in instances if snippet.root.is_ancestor_or_self(label)]
+        valid = [
+            label
+            for label in instances
+            if is_ancestor_or_self(snippet.root, label, snippet.result.source.order)
+        ]
         if not valid:
             return None
         if self.strategy == SelectionStrategy.GREEDY_CLOSEST:

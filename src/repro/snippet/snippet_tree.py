@@ -17,6 +17,7 @@ from repro.search.results import QueryResult
 from repro.snippet.ilist import IListItem
 from repro.xmltree.dewey import Dewey
 from repro.xmltree.node import XMLNode
+from repro.xmltree.order import is_ancestor_or_self
 from repro.xmltree.tree import XMLTree
 
 
@@ -26,6 +27,8 @@ class Snippet:
     def __init__(self, result: QueryResult):
         self.result = result
         self.root: Dewey = result.root
+        #: pre/post span table of the result's source tree (O(1) subtree tests)
+        self._order = result.source.order
         #: the labels of the selected nodes; always contains the root and is
         #: closed under "parent within the result subtree"
         self.node_labels: set[Dewey] = {self.root}
@@ -48,7 +51,7 @@ class Snippet:
 
     def path_labels(self, instance: Dewey) -> list[Dewey]:
         """The labels on the path from the snippet root to ``instance``."""
-        if not self.root.is_ancestor_or_self(instance):
+        if not is_ancestor_or_self(self.root, instance, self._order):
             raise SnippetError(
                 f"instance {instance} lies outside the result rooted at {self.root}"
             )
@@ -62,7 +65,7 @@ class Snippet:
         """The instance with the lowest addition cost (ties: document order)."""
         best: tuple[int, Dewey] | None = None
         for instance in instances:
-            if not self.root.is_ancestor_or_self(instance):
+            if not is_ancestor_or_self(self.root, instance, self._order):
                 continue
             cost = self.cost_of(instance)
             if best is None or (cost, instance) < best:

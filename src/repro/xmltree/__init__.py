@@ -22,6 +22,7 @@ This package implements everything eXtract needs from an XML store:
 
 from repro.xmltree.dewey import Dewey
 from repro.xmltree.node import XMLNode
+from repro.xmltree.order import NodeOrder
 from repro.xmltree.tree import XMLTree
 from repro.xmltree.builder import TreeBuilder
 from repro.xmltree.parser import parse_xml, parse_xml_file
@@ -32,6 +33,7 @@ from repro.xmltree.stats import DocumentStats, compute_stats
 
 __all__ = [
     "Dewey",
+    "NodeOrder",
     "XMLNode",
     "XMLTree",
     "TreeBuilder",

@@ -32,9 +32,25 @@ class XMLNode:
         The parent node, or ``None`` for the root.
     children:
         Child nodes in document order.
+    pre / post / level:
+        The XPath-accelerator node ids (pre-order rank, post-order rank,
+        depth), assigned alongside the Dewey labels when the owning tree
+        reindexes; ``ancestor(a, b) ⟺ pre(a) <= pre(b) and post(b) <=
+        post(a)``.  They are ``0`` on detached nodes and only meaningful
+        once the node belongs to an :class:`~repro.xmltree.tree.XMLTree`.
     """
 
-    __slots__ = ("tag", "text", "dewey", "parent", "children", "_attributes")
+    __slots__ = (
+        "tag",
+        "text",
+        "dewey",
+        "parent",
+        "children",
+        "pre",
+        "post",
+        "level",
+        "_attributes",
+    )
 
     def __init__(self, tag: str, text: str | None = None):
         if not tag or not isinstance(tag, str):
@@ -44,6 +60,9 @@ class XMLNode:
         self.dewey: Dewey = Dewey.root()
         self.parent: XMLNode | None = None
         self.children: list[XMLNode] = []
+        self.pre = 0
+        self.post = 0
+        self.level = 0
         self._attributes: dict[str, str] = {}
 
     # ------------------------------------------------------------------ #

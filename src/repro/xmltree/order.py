@@ -1,0 +1,128 @@
+"""Pre/post-order structure acceleration (the XPath-accelerator encoding).
+
+Dewey labels answer ancestor/descendant questions by prefix comparison,
+which costs O(depth) tuple slicing per test.  The SLCA/ELCA algorithms and
+the snippet assembly run millions of such tests on larger documents, so the
+v4 snapshot format persists — and :class:`~repro.xmltree.tree.XMLTree`
+assigns at parse time — the classic *pre/post/level* node encoding
+(Grust's XPath accelerator):
+
+* ``pre``   — position in a pre-order (document-order) traversal,
+* ``post``  — position in a post-order traversal,
+* ``level`` — depth below the root.
+
+With those ids an ancestor-or-self test collapses to two integer
+comparisons::
+
+    a  ancestor-or-self of  b   ⟺   pre(a) <= pre(b)  and  post(b) <= post(a)
+
+:class:`NodeOrder` is the lookup table from Dewey label to the ``(pre,
+post)`` span of the node carrying it.  It is keyed by label — not attached
+to :class:`~repro.xmltree.dewey.Dewey` objects — because search code
+freely *derives* labels (``label.prefix(d)``, ``common_ancestor``) and the
+derived objects compare/hash equal to the registered ones.
+
+The module-level :func:`is_ancestor_or_self` / :func:`is_ancestor` helpers
+are the single seam the search and snippet layers go through: when both
+labels are known to the order table the test is O(1); otherwise (labels
+from a foreign tree, synthetic labels in unit tests, or no order supplied)
+they fall back to the Dewey prefix walk.  Keeping the fallback inside one
+helper is what lets a test monkeypatch ``Dewey.is_ancestor_or_self`` and
+prove the prefix walk is off the hot path.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+from typing import TYPE_CHECKING
+
+from repro.xmltree.dewey import Dewey
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.xmltree.tree import XMLTree
+
+
+class NodeOrder:
+    """Dewey label → ``(pre, post)`` span table for one document tree."""
+
+    __slots__ = ("_spans",)
+
+    def __init__(self, spans: dict[Dewey, tuple[int, int]]):
+        self._spans = spans
+
+    @classmethod
+    def from_tree(cls, tree: "XMLTree") -> "NodeOrder":
+        """Snapshot the pre/post ids the tree assigned during reindexing."""
+        return cls({node.dewey: (node.pre, node.post) for node in tree.iter_nodes()})
+
+    def span(self, label: Dewey) -> tuple[int, int] | None:
+        """The ``(pre, post)`` span of ``label``, or ``None`` if unknown."""
+        return self._spans.get(label)
+
+    def __contains__(self, label: Dewey) -> bool:
+        return label in self._spans
+
+    def __len__(self) -> int:
+        return len(self._spans)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<NodeOrder nodes={len(self._spans)}>"
+
+
+def is_ancestor_or_self(
+    ancestor: Dewey, label: Dewey, order: NodeOrder | None = None
+) -> bool:
+    """``ancestor`` is an ancestor of — or equal to — ``label``.
+
+    O(1) span comparison when both labels are in ``order``; Dewey prefix
+    walk otherwise.
+    """
+    if order is not None:
+        a = order.span(ancestor)
+        b = order.span(label)
+        if a is not None and b is not None:
+            return a[0] <= b[0] and b[1] <= a[1]
+    return ancestor.is_ancestor_or_self(label)
+
+
+def is_ancestor(ancestor: Dewey, label: Dewey, order: NodeOrder | None = None) -> bool:
+    """``ancestor`` is a *strict* ancestor of ``label``."""
+    if order is not None:
+        a = order.span(ancestor)
+        b = order.span(label)
+        if a is not None and b is not None:
+            # Spans of distinct nodes are properly nested, never equal.
+            return a[0] < b[0] and b[1] < a[1]
+    return ancestor.is_ancestor_of(label)
+
+
+def remove_descendants(
+    labels: Iterable[Dewey], order: NodeOrder | None = None
+) -> list[Dewey]:
+    """Keep only labels that have no ancestor in the collection.
+
+    Order-aware counterpart of :func:`repro.xmltree.dewey.remove_descendants`.
+    """
+    ordered = sorted(set(labels))
+    kept: list[Dewey] = []
+    for label in ordered:
+        if kept and is_ancestor_or_self(kept[-1], label, order):
+            continue
+        kept.append(label)
+    return kept
+
+
+def remove_ancestors(
+    labels: Iterable[Dewey], order: NodeOrder | None = None
+) -> list[Dewey]:
+    """Keep only labels that have no descendant in the collection.
+
+    Order-aware counterpart of :func:`repro.xmltree.dewey.remove_ancestors`.
+    """
+    ordered = sorted(set(labels))
+    kept: list[Dewey] = []
+    for label in ordered:
+        while kept and kept[-1] != label and is_ancestor_or_self(kept[-1], label, order):
+            kept.pop()
+        kept.append(label)
+    return kept

@@ -14,6 +14,7 @@ from collections.abc import Iterable, Iterator
 from repro.errors import ExtractError
 from repro.xmltree.dewey import Dewey
 from repro.xmltree.node import XMLNode
+from repro.xmltree.order import NodeOrder
 
 
 class XMLTree:
@@ -35,20 +36,62 @@ class XMLTree:
         self.name = name
         self.root = root
         self._registry: dict[Dewey, XMLNode] = {}
+        self._order: NodeOrder | None = None
         self._reindex()
 
     # ------------------------------------------------------------------ #
     # registry maintenance
     # ------------------------------------------------------------------ #
     def _reindex(self) -> None:
-        """Rebuild the Dewey → node registry (after structural changes)."""
-        self.root.dewey = Dewey.root()
-        self.root._relabel_subtree()
-        self._registry = {node.dewey: node for node in self.root.iter_subtree()}
+        """Rebuild Dewey labels, pre/post/level ids and the registry.
+
+        One iterative depth-first pass: a node gets its ``pre`` id and
+        registry entry on the way down and its ``post`` id on the way back
+        up (the two-entry stack trick — each node is pushed a second time
+        as an "exit" marker).  This replaces the recursive
+        ``_relabel_subtree`` walk, so reindexing is a single O(n) traversal
+        regardless of document depth.
+        """
+        root = self.root
+        root.dewey = Dewey.root()
+        root.parent = None
+        registry: dict[Dewey, XMLNode] = {}
+        pre = 0
+        post = 0
+        stack: list[tuple[XMLNode, bool]] = [(root, False)]
+        while stack:
+            node, exiting = stack.pop()
+            if exiting:
+                node.post = post
+                post += 1
+                continue
+            node.pre = pre
+            pre += 1
+            node.level = node.dewey.depth
+            registry[node.dewey] = node
+            stack.append((node, True))
+            for ordinal in range(len(node.children) - 1, -1, -1):
+                child = node.children[ordinal]
+                child.parent = node
+                child.dewey = node.dewey.child(ordinal)
+                stack.append((child, False))
+        self._registry = registry
+        self._order = None
 
     def refresh(self) -> None:
         """Public hook to re-label and re-register after manual edits."""
         self._reindex()
+
+    @property
+    def order(self) -> NodeOrder:
+        """The pre/post span table for O(1) ancestor/descendant tests.
+
+        Built lazily from the ids assigned in :meth:`_reindex` and
+        invalidated whenever the tree reindexes.
+        """
+        if self._order is None:
+            self._order = NodeOrder.from_tree(self)
+        return self._order
 
     # ------------------------------------------------------------------ #
     # lookup

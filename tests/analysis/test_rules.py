@@ -657,3 +657,76 @@ def probe(endpoints):
             endpoint.mark_down()
 """
         assert lint_tree({"repro/cluster/health.py": source}, self.RULE) == []
+
+
+# ---------------------------------------------------------------------- #
+# format-version
+# ---------------------------------------------------------------------- #
+class TestFormatVersion:
+    RULE = "format-version"
+
+    def test_inline_text_magic_fires(self, lint_tree):
+        source = '''\
+TEXT_FORMAT_VERSION = 3
+
+def save(handle):
+    handle.write("#extract-index v3\\n")
+'''
+        findings = lint_tree({"repro/index/storage.py": source}, self.RULE)
+        assert [f.rule_id for f in findings] == [self.RULE]
+        assert "inline format magic" in findings[0].message
+
+    def test_inline_binary_magic_fires(self, lint_tree):
+        source = '''\
+BINARY_FORMAT_VERSION = 4
+
+def save(handle):
+    handle.write(b"EXIDXBIN")
+'''
+        findings = lint_tree({"repro/index/binfmt.py": source}, self.RULE)
+        assert [f.rule_id for f in findings] == [self.RULE]
+
+    def test_magic_constant_with_version_is_clean(self, lint_tree):
+        source = '''\
+TEXT_FORMAT_VERSION = 3
+_MAGIC = f"#extract-index v{TEXT_FORMAT_VERSION}"
+
+def save(handle):
+    handle.write(_MAGIC + "\\n")
+'''
+        assert lint_tree({"repro/index/storage.py": source}, self.RULE) == []
+
+    def test_magic_without_format_version_fires(self, lint_tree):
+        source = '''\
+_HEADER_MAGIC = b"EXIDXBIN"
+
+def save(handle):
+    handle.write(_HEADER_MAGIC)
+'''
+        findings = lint_tree({"repro/index/binfmt.py": source}, self.RULE)
+        assert [f.rule_id for f in findings] == [self.RULE]
+        assert "_FORMAT_VERSION" in findings[0].message
+
+    def test_legacy_magic_tuple_is_clean(self, lint_tree):
+        source = '''\
+CLUSTER_MANIFEST_FORMAT_VERSION = 1
+_MAGIC = f"#extract-cluster v{CLUSTER_MANIFEST_FORMAT_VERSION}"
+_KNOWN_MAGICS = (_MAGIC, "#extract-cluster v0")
+'''
+        assert lint_tree({"repro/cluster/partition.py": source}, self.RULE) == []
+
+    def test_module_outside_paths_is_ignored(self, lint_tree):
+        source = '''\
+def save(handle):
+    handle.write("#extract-index v3\\n")
+'''
+        assert lint_tree({"repro/search/engine.py": source}, self.RULE) == []
+
+    def test_suppression(self, lint_tree):
+        source = '''\
+TEXT_FORMAT_VERSION = 3
+
+def save(handle):
+    handle.write("#extract-index v3\\n")  # repro: ignore[format-version]
+'''
+        assert lint_tree({"repro/index/storage.py": source}, self.RULE) == []

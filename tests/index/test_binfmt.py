@@ -1,0 +1,274 @@
+"""Tests for the v4 mmap-able binary snapshot format (repro.index.binfmt).
+
+The contract under test: a v4 snapshot round-trips a built index
+bit-for-bit (same postings, same structure, same analyzer), the bytes are
+deterministic, corruption anywhere in the file is rejected with
+:class:`~repro.errors.StorageError` before any posting is trusted, and
+the lazy mmap loader materialises posting lists only on first touch.
+"""
+
+from __future__ import annotations
+
+import os
+import struct
+
+import pytest
+
+from repro.corpus import Corpus
+from repro.errors import StorageError
+from repro.index.binfmt import (
+    BINARY_FILE,
+    BINARY_FORMAT_VERSION,
+    LazyInvertedIndex,
+    build_binary_snapshot,
+    load_binary_index,
+    write_binary_index,
+)
+from repro.index.inverted import InvertedIndex
+from repro.index.storage import TEXT_FORMAT_VERSION, load_index, save_index
+
+
+def snapshot_path(directory):
+    return os.path.join(os.fspath(directory), BINARY_FILE)
+
+
+def assert_equivalent(loaded, original):
+    """The loaded index serves exactly what the original serves."""
+    assert loaded.tree.name == original.tree.name
+    assert loaded.tree.size_nodes == original.tree.size_nodes
+    assert loaded.inverted.vocabulary == original.inverted.vocabulary
+    assert loaded.inverted.postings_dict() == original.inverted.postings_dict()
+    assert loaded.structure.known_tags == original.structure.known_tags
+    assert loaded.structure.known_paths == original.structure.known_paths
+    for path in original.structure.known_paths:
+        assert (
+            loaded.structure.instances_of_path(path).labels
+            == original.structure.instances_of_path(path).labels
+        )
+        assert loaded.structure.category_of_path(path) == original.structure.category_of_path(path)
+
+
+class TestRoundTrip:
+    def test_single_file_layout(self, small_index, tmp_path):
+        write_binary_index(small_index, tmp_path / "idx")
+        assert os.listdir(tmp_path / "idx") == [BINARY_FILE]
+
+    def test_eager_round_trip(self, small_index, tmp_path):
+        write_binary_index(small_index, tmp_path / "idx")
+        loaded = load_binary_index(tmp_path / "idx", lazy=False)
+        assert isinstance(loaded.inverted, InvertedIndex)
+        assert not isinstance(loaded.inverted, LazyInvertedIndex)
+        assert_equivalent(loaded, small_index)
+
+    def test_lazy_round_trip(self, small_index, tmp_path):
+        write_binary_index(small_index, tmp_path / "idx")
+        loaded = load_binary_index(tmp_path / "idx")
+        assert isinstance(loaded.inverted, LazyInvertedIndex)
+        assert_equivalent(loaded, small_index)
+
+    def test_loaded_index_searchable(self, small_index, tmp_path):
+        from repro.search.engine import SearchEngine
+
+        write_binary_index(small_index, tmp_path / "idx")
+        loaded = load_binary_index(tmp_path / "idx")
+        results = SearchEngine(loaded).search("store texas")
+        assert len(results) == 2
+
+    def test_indexed_nodes_matches_text_load(self, small_index, tmp_path):
+        # Both loaders derive indexed_nodes the same way (sum of posting
+        # lengths), so stats stay identical whichever format served them.
+        save_index(small_index, tmp_path / "v3", format_version=TEXT_FORMAT_VERSION)
+        write_binary_index(small_index, tmp_path / "v4")
+        from_text = load_index(tmp_path / "v3")
+        for lazy in (False, True):
+            from_binary = load_binary_index(tmp_path / "v4", lazy=lazy)
+            assert from_binary.inverted.indexed_nodes == from_text.inverted.indexed_nodes
+
+    def test_deterministic_bytes(self, small_index):
+        assert build_binary_snapshot(small_index) == build_binary_snapshot(small_index)
+
+    def test_resave_is_byte_stable(self, small_index, tmp_path):
+        write_binary_index(small_index, tmp_path / "a")
+        loaded = load_binary_index(tmp_path / "a")
+        write_binary_index(loaded, tmp_path / "b")
+        with open(snapshot_path(tmp_path / "a"), "rb") as first:
+            with open(snapshot_path(tmp_path / "b"), "rb") as second:
+                assert first.read() == second.read()
+
+    def test_save_index_dispatches_on_format_version(self, small_index, tmp_path):
+        save_index(small_index, tmp_path / "idx", format_version=BINARY_FORMAT_VERSION)
+        assert os.path.exists(snapshot_path(tmp_path / "idx"))
+        assert_equivalent(load_index(tmp_path / "idx"), small_index)
+
+    def test_save_index_rejects_unknown_version(self, small_index, tmp_path):
+        with pytest.raises(StorageError):
+            save_index(small_index, tmp_path / "idx", format_version=99)
+
+    def test_pre_post_level_survive_round_trip(self, small_index, tmp_path):
+        write_binary_index(small_index, tmp_path / "idx")
+        loaded = load_binary_index(tmp_path / "idx")
+        original_ids = {
+            node.dewey: (node.pre, node.post, node.level)
+            for node in small_index.tree.iter_nodes()
+        }
+        for node in loaded.tree.iter_nodes():
+            assert original_ids[node.dewey] == (node.pre, node.post, node.level)
+
+    def test_analyzer_survives_round_trip(self, small_index, tmp_path):
+        write_binary_index(small_index, tmp_path / "idx")
+        loaded = load_binary_index(tmp_path / "idx")
+        original = small_index.analyzer
+        assert loaded.analyzer.categories == original.categories
+        assert loaded.analyzer.entity_types == original.entity_types
+        assert (loaded.analyzer.dtd is None) == (original.dtd is None)
+        if original.dtd is not None:
+            assert set(loaded.analyzer.dtd.elements) == set(original.dtd.elements)
+
+
+class TestFormatMatrix:
+    """v3 ↔ v4 conversions preserve the index in both directions."""
+
+    def test_v3_to_v4(self, small_index, tmp_path):
+        save_index(small_index, tmp_path / "v3", format_version=TEXT_FORMAT_VERSION)
+        from_text = load_index(tmp_path / "v3")
+        save_index(from_text, tmp_path / "v4", format_version=BINARY_FORMAT_VERSION)
+        for lazy in (False, True):
+            assert_equivalent(load_binary_index(tmp_path / "v4", lazy=lazy), from_text)
+
+    def test_v4_to_v3(self, small_index, tmp_path):
+        save_index(small_index, tmp_path / "v4", format_version=BINARY_FORMAT_VERSION)
+        from_binary = load_index(tmp_path / "v4", lazy=False)
+        save_index(from_binary, tmp_path / "v3", format_version=TEXT_FORMAT_VERSION)
+        assert_equivalent(load_index(tmp_path / "v3"), from_binary)
+
+    def test_lazy_loaded_index_resaves_as_v3(self, small_index, tmp_path):
+        save_index(small_index, tmp_path / "v4", format_version=BINARY_FORMAT_VERSION)
+        lazy = load_index(tmp_path / "v4")
+        save_index(lazy, tmp_path / "v3", format_version=TEXT_FORMAT_VERSION)
+        assert_equivalent(load_index(tmp_path / "v3"), small_index)
+
+
+class TestCorruption:
+    """Every corruption is rejected before any posting is trusted."""
+
+    @pytest.fixture()
+    def binary_dir(self, small_index, tmp_path):
+        write_binary_index(small_index, tmp_path / "idx")
+        return tmp_path / "idx"
+
+    def corrupt(self, directory, mutate):
+        path = snapshot_path(directory)
+        with open(path, "rb") as handle:
+            data = bytearray(handle.read())
+        data = mutate(data)
+        with open(path, "wb") as handle:
+            handle.write(bytes(data))
+
+    def test_bad_magic(self, binary_dir):
+        self.corrupt(binary_dir, lambda d: b"NOTMAGIC" + bytes(d[8:]))
+        with pytest.raises(StorageError):
+            load_binary_index(binary_dir)
+
+    def test_wrong_format_version(self, binary_dir):
+        def bump_version(data):
+            struct.pack_into("<I", data, 8, BINARY_FORMAT_VERSION + 1)
+            return data
+
+        self.corrupt(binary_dir, bump_version)
+        with pytest.raises(StorageError):
+            load_binary_index(binary_dir)
+
+    def test_truncated_offset_table(self, binary_dir):
+        # Header survives, the section table does not.
+        self.corrupt(binary_dir, lambda d: d[:20])
+        with pytest.raises(StorageError):
+            load_binary_index(binary_dir)
+
+    def test_truncated_tail(self, binary_dir):
+        self.corrupt(binary_dir, lambda d: d[:-5])
+        with pytest.raises(StorageError):
+            load_binary_index(binary_dir)
+
+    def test_flipped_payload_byte_fails_checksum(self, binary_dir):
+        def flip(data):
+            data[len(data) // 2] ^= 0xFF
+            return data
+
+        self.corrupt(binary_dir, flip)
+        with pytest.raises(StorageError):
+            load_binary_index(binary_dir)
+
+    def test_flipped_checksum_byte(self, binary_dir):
+        def flip(data):
+            data[-12] ^= 0xFF  # first byte of the crc32 trailer
+            return data
+
+        self.corrupt(binary_dir, flip)
+        with pytest.raises(StorageError):
+            load_binary_index(binary_dir)
+
+    def test_empty_file(self, binary_dir):
+        self.corrupt(binary_dir, lambda d: bytearray())
+        with pytest.raises(StorageError):
+            load_binary_index(binary_dir)
+
+    def test_load_index_dispatch_propagates_corruption(self, binary_dir):
+        self.corrupt(binary_dir, lambda d: d[:-5])
+        with pytest.raises(StorageError):
+            load_index(binary_dir)
+
+    def test_corrupt_snapshot_leaves_no_partial_corpus(self, small_retailer_tree, tmp_path):
+        corpus = Corpus()
+        corpus.add_tree("alpha", small_retailer_tree)
+        corpus.add_builtin("figure5-stores", name="beta")
+        corpus.save_dir(tmp_path / "corpus", format_version=BINARY_FORMAT_VERSION)
+        victim = None
+        for entry in sorted(os.listdir(tmp_path / "corpus")):
+            candidate = tmp_path / "corpus" / entry / BINARY_FILE
+            if candidate.exists():
+                victim = candidate
+                break
+        assert victim is not None
+        victim.write_bytes(victim.read_bytes()[:-5])
+        with pytest.raises(StorageError):
+            Corpus.load_dir(tmp_path / "corpus")
+
+
+class TestLazyMaterialisation:
+    def test_postings_stay_pending_until_looked_up(self, small_index, tmp_path):
+        write_binary_index(small_index, tmp_path / "idx")
+        inverted = load_binary_index(tmp_path / "idx").inverted
+        before = inverted.pending_terms
+        assert before == small_index.inverted.vocabulary_size
+        inverted.lookup("texas")
+        assert inverted.pending_terms < before
+
+    def test_lookup_matches_eager(self, small_index, tmp_path):
+        write_binary_index(small_index, tmp_path / "idx")
+        lazy = load_binary_index(tmp_path / "idx").inverted
+        eager = load_binary_index(tmp_path / "idx", lazy=False).inverted
+        for term in sorted(small_index.inverted.vocabulary):
+            assert lazy.lookup(term).labels == eager.lookup(term).labels
+
+    def test_contains_term_does_not_materialise_blob(self, small_index, tmp_path):
+        write_binary_index(small_index, tmp_path / "idx")
+        inverted = load_binary_index(tmp_path / "idx").inverted
+        assert inverted.contains_term("texas")
+        assert not inverted.contains_term("zzz-absent")
+
+    def test_vocabulary_size_without_materialisation(self, small_index, tmp_path):
+        write_binary_index(small_index, tmp_path / "idx")
+        inverted = load_binary_index(tmp_path / "idx").inverted
+        assert inverted.vocabulary_size == small_index.inverted.vocabulary_size
+        assert inverted.pending_terms == small_index.inverted.vocabulary_size
+
+    def test_apply_delta_on_lazy_index(self, small_index, tmp_path):
+        write_binary_index(small_index, tmp_path / "idx")
+        lazy = load_binary_index(tmp_path / "idx").inverted
+        eager = load_binary_index(tmp_path / "idx", lazy=False).inverted
+        label = small_index.inverted.lookup("texas").labels[0]
+        added = {"fresh-term": {label}}
+        removed = {"texas": {label}}
+        lazy_after = lazy.apply_delta(added, removed)
+        eager_after = eager.apply_delta(added, removed)
+        assert lazy_after.postings_dict() == eager_after.postings_dict()

@@ -1,0 +1,96 @@
+"""Wire byte-identity across snapshot formats.
+
+The acceptance property of the v4 format: the default (meta-free) wire
+responses of a corpus are byte-identical whether the documents were
+loaded from v3 text snapshots, eagerly from v4 binary snapshots, or
+lazily through the v4 mmap loader.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.api.protocol import BatchRequest, SearchRequest
+from repro.api.service import SnippetService
+from repro.corpus import Corpus
+from repro.index.binfmt import BINARY_FILE, LazyInvertedIndex
+from repro.index.storage import (
+    BINARY_FORMAT_VERSION,
+    load_index,
+    read_corpus_manifest,
+)
+from repro.system import ExtractSystem
+
+DATASETS = (("figure5-stores", "stores"), ("retail", "retail"))
+QUERIES = ("store texas", "retailer apparel", "clothes casual", "nothing-matches")
+
+
+def build_corpus() -> Corpus:
+    corpus = Corpus()
+    for dataset, name in DATASETS:
+        corpus.add_builtin(dataset, name=name)
+    return corpus
+
+
+def wire(service, payload) -> str:
+    if hasattr(payload, "to_dict"):
+        payload = payload.to_dict()
+    return service.handle_json(json.dumps(payload, sort_keys=True))
+
+
+@pytest.fixture(scope="module")
+def format_dirs(tmp_path_factory):
+    base = tmp_path_factory.mktemp("format-identity")
+    build_corpus().save_dir(base / "v3")
+    build_corpus().save_dir(base / "v4", format_version=BINARY_FORMAT_VERSION)
+    return base
+
+
+@pytest.fixture(scope="module")
+def services(format_dirs):
+    """(v3-text, v4-lazy, v4-eager) services over the same documents."""
+    from_text = SnippetService(Corpus.load_dir(format_dirs / "v3"))
+    lazy = SnippetService(Corpus.load_dir(format_dirs / "v4"))
+
+    manifest = read_corpus_manifest(os.fspath(format_dirs / "v4"))
+    eager_corpus = Corpus(algorithm=manifest.algorithm)
+    for subdir, name in manifest.entries:
+        index = load_index(format_dirs / "v4" / subdir, lazy=False)
+        eager_corpus.add_system(name, ExtractSystem(index, algorithm=manifest.algorithm))
+    eager = SnippetService(eager_corpus)
+
+    yield {"v3": from_text, "v4-lazy": lazy, "v4-eager": eager}
+    for service in (from_text, lazy, eager):
+        service.close()
+
+
+class TestFormatByteIdentity:
+    def test_v4_corpus_is_binary_and_lazy(self, format_dirs, services):
+        manifest = read_corpus_manifest(os.fspath(format_dirs / "v4"))
+        for subdir, name in manifest.entries:
+            assert (format_dirs / "v4" / subdir / BINARY_FILE).exists()
+            lazy_corpus = services["v4-lazy"].corpus
+            assert isinstance(lazy_corpus.system(name).index.inverted, LazyInvertedIndex)
+
+    def test_search_bytes_identical(self, services):
+        for _dataset, name in DATASETS:
+            for query in QUERIES:
+                request = SearchRequest(query=query, document=name, size_bound=6)
+                reference = wire(services["v3"], request)
+                assert wire(services["v4-lazy"], request) == reference
+                assert wire(services["v4-eager"], request) == reference
+
+    def test_batch_bytes_identical(self, services):
+        batch = BatchRequest(queries=QUERIES[:3], documents=None)
+        reference = wire(services["v3"], batch)
+        assert wire(services["v4-lazy"], batch) == reference
+        assert wire(services["v4-eager"], batch) == reference
+
+    def test_error_bytes_identical(self, services):
+        request = SearchRequest(query="anything", document="missing-doc")
+        reference = wire(services["v3"], request)
+        assert wire(services["v4-lazy"], request) == reference
+        assert wire(services["v4-eager"], request) == reference

@@ -134,3 +134,50 @@ class TestCompaction:
         code, output = run_cli("corpus-compact", "--corpus-dir", str(journalled_corpus))
         assert code == 0
         assert "folded 0 journal record(s)" in output
+
+
+def tree_bytes(directory) -> dict[str, bytes]:
+    """Every file under ``directory``, keyed by relative path."""
+    snapshot = {}
+    for root, _dirs, names in os.walk(directory):
+        for name in names:
+            path = os.path.join(root, name)
+            with open(path, "rb") as handle:
+                snapshot[os.path.relpath(path, directory)] = handle.read()
+    return snapshot
+
+
+class TestJournalFreeByteStability:
+    """Compacting a journal-free corpus copies base snapshots verbatim —
+    it must not re-parse and re-serialise untouched documents."""
+
+    @pytest.mark.parametrize("fmt", ["v3", "v4"])
+    def test_compaction_is_byte_stable(self, tmp_path, fmt):
+        from repro.index.storage import BINARY_FORMAT_VERSION
+
+        directory = tmp_path / "corpus"
+        corpus = Corpus()
+        corpus.add_builtin("figure5-stores", name="stores")
+        corpus.add_builtin("retail", name="retail")
+        if fmt == "v4":
+            corpus.save_dir(directory, format_version=BINARY_FORMAT_VERSION)
+        else:
+            corpus.save_dir(directory)
+
+        before = tree_bytes(directory)
+        report = compact_corpus_dir(directory)
+        assert report.records_folded == 0
+        assert tree_bytes(directory) == before
+
+    def test_journalled_compaction_preserves_untouched_documents(self, journalled_corpus):
+        # Only the journalled documents are rewritten; 'retail' has no
+        # journal record, so its snapshot bytes are carried over verbatim.
+        before = tree_bytes(journalled_corpus)
+        compact_corpus_dir(journalled_corpus)
+        after = tree_bytes(journalled_corpus)
+        retail_files = {
+            rel: data for rel, data in before.items() if rel.startswith("retail" + os.sep)
+        }
+        assert retail_files
+        for rel, data in retail_files.items():
+            assert after.get(rel) == data
