@@ -296,6 +296,49 @@ def main() -> None:
     #   python -m repro.cli cluster-rebalance --cluster-dir ./cluster \
     #       --document retail --to-shard 0
 
+    # ------------------------------------------------------------------ #
+    # 10. observability: traces, metrics, request logs
+    # ------------------------------------------------------------------ #
+    # Every request through a traced gateway gets a span tree — gateway
+    # stages, executor queue delay, service phases, and (over a cluster)
+    # per-shard HTTP round trips stitched across processes.  Default wire
+    # bytes never change: traces surface only in the opt-in meta block
+    # and the bounded buffer behind GET /v1/trace.  Full tour:
+    # docs/observability.md.
+    from repro.obs.trace import format_trace
+
+    traced = build_gateway(SnippetService(fresh_corpus()))
+    with HttpServer(traced, port=0) as server:
+        client = ServiceClient(port=server.port)
+
+        # Opt in via include_meta: the span tree rides in meta["trace"].
+        body = client.handle_dict(
+            SearchRequest(
+                query="store texas", document="stores", size_bound=6,
+                include_meta=True,
+            ).to_dict()
+        )
+        print("\n=== one request's span tree ===")
+        print(format_trace(body["meta"]["trace"]))
+
+        # The same trace is retained server-side (newest-128 ring):
+        #   GET /v1/trace/<request_id>, or the CLI:
+        #   python -m repro.cli trace --port 8080
+        newest = client.trace()["traces"]
+        print(f"buffered traces: {len(newest)} (newest first)")
+
+        # Histogram metrics with p50/p95/p99, as versioned JSON or
+        # Prometheus text (GET /v1/metrics?format=prometheus):
+        snapshot = client.metrics()
+        seconds = snapshot["metrics"]["repro_request_seconds"]["series"][0]
+        print(f"search p95: {seconds['quantiles']['p95'] * 1000:.2f} ms "
+              f"over {seconds['count']} request(s)")
+        print(client.metrics_text().splitlines()[0])
+
+    # Structured request logs from the command line:
+    #   python -m repro.cli serve --dataset figure5-stores --port 8080 \
+    #       --request-log requests.jsonl --slow-query-ms 50
+
 
 if __name__ == "__main__":
     main()

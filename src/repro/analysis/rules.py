@@ -338,6 +338,80 @@ class WireDeterminismRule(Rule):
 
 
 # ---------------------------------------------------------------------- #
+# telemetry-discipline
+# ---------------------------------------------------------------------- #
+@register_rule
+class TelemetryDisciplineRule(Rule):
+    """Serving code reads clocks through the :mod:`repro.obs.clock` seam.
+
+    Three clocks, three jobs — ``perf_counter`` for intervals,
+    ``monotonic`` for scheduling, ``wall_clock`` for timestamps — and one
+    sanctioned home: scattered direct ``time.*`` reads are exactly how
+    span timings, histogram observations and log timestamps drift apart.
+    ``time.sleep`` stays allowed (pacing is not measurement), and the
+    :mod:`repro.obs.clock` module itself is the one place the underlying
+    ``time`` calls live.
+    """
+
+    rule_id = "telemetry-discipline"
+    description = (
+        "no direct time.time/perf_counter/monotonic reads in serving "
+        "modules; go through the repro.obs.clock seam"
+    )
+
+    #: the serving-stack modules whose clock reads feed telemetry.
+    PATHS = (
+        "repro/api/gateway.py",
+        "repro/api/client.py",
+        "repro/api/executors.py",
+        "repro/api/http.py",
+        "repro/api/service.py",
+        "repro/cluster/router.py",
+        "repro/cluster/remote.py",
+        "repro/cluster/health.py",
+        "repro/cluster/replication.py",
+        "repro/utils/timing.py",
+    )
+
+    #: direct clock reads that must go through repro.obs.clock.
+    _BANNED_DOTTED = frozenset(
+        {
+            "time.time",
+            "time.time_ns",
+            "time.perf_counter",
+            "time.perf_counter_ns",
+            "time.monotonic",
+            "time.monotonic_ns",
+        }
+    )
+
+    _SEAM_BY_CALL = {
+        "time.time": "wall_clock",
+        "time.time_ns": "wall_clock",
+        "time.perf_counter": "perf_counter",
+        "time.perf_counter_ns": "perf_counter",
+        "time.monotonic": "monotonic",
+        "time.monotonic_ns": "monotonic",
+    }
+
+    def check(self, module: ModuleSource, context: AnalysisContext) -> Iterator[Finding]:
+        if not path_matches(module.rel_path, self.PATHS):
+            return
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = _call_name(node)
+            if name in self._BANNED_DOTTED:
+                yield self.finding(
+                    module,
+                    node,
+                    f"direct clock read {name}() in a serving module; use "
+                    f"repro.obs.clock.{self._SEAM_BY_CALL[name]}() so every "
+                    "span, histogram and log row reads the same clock",
+                )
+
+
+# ---------------------------------------------------------------------- #
 # error-contract
 # ---------------------------------------------------------------------- #
 @register_rule

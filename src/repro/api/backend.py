@@ -51,6 +51,34 @@ from repro.errors import ExtractError, ProtocolError
 #: every request kind a full backend serves (capabilities advertise these)
 REQUEST_KINDS = (SearchRequest.kind, BatchRequest.kind, UpdateRequest.kind)
 
+#: version of the unified stats() payload shape (see :func:`stats_envelope`)
+STATS_SCHEMA_VERSION = 1
+
+
+def stats_envelope(backend_name: str, **sections: Any) -> dict[str, Any]:
+    """The unified ``stats()`` shape every serving facade returns.
+
+    Every snapshot starts from the same envelope::
+
+        {"schema_version": 1, "backend": "<backend_name>", ...sections}
+
+    so clients can consume :class:`~repro.api.SnippetService`,
+    :class:`~repro.cluster.ClusterService`,
+    :class:`~repro.cluster.remote.RemoteClusterService` and a
+    :class:`~repro.api.client.ServiceClient` (which passes the served
+    backend's envelope through) uniformly: dispatch on ``backend``, check
+    ``schema_version``, then read the optional sections (``documents``,
+    ``caches``, ``shards``, and the gateway-merged ``requests`` /
+    ``admission``).  Middleware stages merge their sections *into* the
+    inner envelope rather than wrapping it, so one flat object describes
+    the whole stack.
+    """
+    return {
+        "schema_version": STATS_SCHEMA_VERSION,
+        "backend": backend_name,
+        **sections,
+    }
+
 
 @runtime_checkable
 class ServingBackend(Protocol):

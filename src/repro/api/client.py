@@ -42,6 +42,12 @@ from dataclasses import dataclass
 from typing import Any
 
 from repro.api.backend import ServingBackendBase
+from repro.obs.trace import (
+    TRACE_HEADER,
+    TRACE_SPANS_HEADER,
+    current_trace,
+    trace_header_value,
+)
 from repro.api.protocol import (
     BatchRequest,
     BatchResponse,
@@ -138,7 +144,31 @@ class ServiceClient(ServingBackendBase):
     def _round_trip_once(
         self, method: str, path: str, body: bytes | None, idempotent: bool
     ) -> dict[str, Any]:
+        trace = current_trace()
+        if trace is None:
+            return self._transport_once(method, path, body, idempotent, None)
+        # One span per attempt (retries each get their own), covering the
+        # whole remote round trip; the server's spans — shipped back in
+        # the response header — stitch in underneath it.
+        with trace.span(
+            f"http:{method} {path}", endpoint=f"{self.host}:{self.port}"
+        ):
+            return self._transport_once(method, path, body, idempotent, trace)
+
+    def _transport_once(
+        self,
+        method: str,
+        path: str,
+        body: bytes | None,
+        idempotent: bool,
+        trace: Any,
+    ) -> dict[str, Any]:
         headers = {"Content-Type": "application/json"} if body is not None else {}
+        if trace is not None:
+            # Propagate the request_id so the server joins this trace
+            # instead of starting its own.
+            headers[TRACE_HEADER] = trace_header_value(trace)
+        remote_spans: str | None = None
         if self.keep_alive:
             with self._conn_lock:
                 # A broken persistent connection is reconnected-and-resent
@@ -153,6 +183,7 @@ class ServiceClient(ServingBackendBase):
                         self._conn.request(method, path, body=body, headers=headers)
                         response = self._conn.getresponse()
                         text = response.read().decode("utf-8")
+                        remote_spans = response.getheader(TRACE_SPANS_HEADER)
                         break
                     # No backoff by design: this reconnects a socket the
                     # server's keep-alive timeout already closed, once, not
@@ -170,8 +201,19 @@ class ServiceClient(ServingBackendBase):
                 conn.request(method, path, body=body, headers=headers)
                 response = conn.getresponse()
                 text = response.read().decode("utf-8")
+                remote_spans = response.getheader(TRACE_SPANS_HEADER)
             finally:
                 conn.close()
+        if trace is not None and remote_spans:
+            try:
+                spans = json.loads(remote_spans)
+                if isinstance(spans, list):
+                    trace.absorb_wire(spans)
+            # A malformed span header must not fail the request whose
+            # body arrived intact — the trace just loses remote detail.
+            # repro: ignore[no-silent-swallow]
+            except (json.JSONDecodeError, TypeError, ValueError):
+                pass
         try:
             payload = json.loads(text)
         except json.JSONDecodeError as exc:
@@ -278,6 +320,29 @@ class ServiceClient(ServingBackendBase):
     def stats(self) -> dict[str, Any]:
         """``GET /v1/stats`` — the served backend's counters."""
         return self._round_trip("GET", "/v1/stats", None)
+
+    def metrics(self) -> dict[str, Any]:
+        """``GET /v1/metrics`` — the versioned JSON metrics snapshot."""
+        return self._round_trip("GET", "/v1/metrics", None)
+
+    def metrics_text(self) -> str:
+        """``GET /v1/metrics?format=prometheus`` — the text exposition body.
+
+        Raw transport (no retry, no keep-alive): this is the scrape path,
+        and a scraper's failure handling belongs to the scraper.
+        """
+        conn = self._open()
+        try:
+            conn.request("GET", "/v1/metrics?format=prometheus")
+            response = conn.getresponse()
+            return response.read().decode("utf-8")
+        finally:
+            conn.close()
+
+    def trace(self, request_id: str | None = None) -> dict[str, Any]:
+        """``GET /v1/trace`` (newest traces) or ``/v1/trace/<id>`` (one)."""
+        path = "/v1/trace" if request_id is None else f"/v1/trace/{request_id}"
+        return self._round_trip("GET", path, None)
 
     def close(self) -> None:
         with self._conn_lock:

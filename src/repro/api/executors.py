@@ -35,11 +35,41 @@ from collections.abc import Callable, Sequence
 from concurrent.futures import Future, ThreadPoolExecutor
 from typing import Any, TypeVar
 
+from repro.obs.clock import perf_counter
+from repro.obs.trace import activate, current_span_id, current_trace
+
 _Item = TypeVar("_Item")
 _Result = TypeVar("_Result")
 
 #: worker-count ceiling guarding against pathological requests
 MAX_WORKERS = 64
+
+
+def _trace_preserving(fn: Callable[..., Any], executor_name: str) -> Callable[..., Any]:
+    """Carry the submitting context's trace across the pool boundary.
+
+    Contextvars do not propagate into ``ThreadPoolExecutor`` workers, so a
+    task submitted while a trace is active would silently stop recording.
+    Called *on the submitting thread*, this captures the active trace and
+    span; the wrapper re-activates them inside the worker and records the
+    submit→run queue delay as a leaf span.  With no active trace the
+    callable passes through untouched — the hot path pays one contextvar
+    read.
+    """
+    trace = current_trace()
+    if trace is None:
+        return fn
+    parent = current_span_id()
+    submitted = perf_counter()
+
+    def runner(*args: Any, **kwargs: Any) -> Any:
+        with activate(trace, parent):
+            trace.add_span(
+                f"executor:{executor_name}:queue", perf_counter() - submitted
+            )
+            return fn(*args, **kwargs)
+
+    return runner
 
 
 class Executor(abc.ABC):
@@ -156,7 +186,8 @@ class ConcurrentExecutor(Executor):
                 self._pool = ThreadPoolExecutor(
                     max_workers=self.max_workers, thread_name_prefix=f"repro-{self.name}"
                 )
-            return [self._pool.submit(fn, item) for item in items]
+            task = _trace_preserving(fn, self.name)
+            return [self._pool.submit(task, item) for item in items]
 
     def submit(self, fn: Callable[..., _Result], *args: Any) -> "Future[_Result]":
         """Dispatch one call to the shared pool (created lazily)."""
@@ -166,7 +197,7 @@ class ConcurrentExecutor(Executor):
                 self._pool = ThreadPoolExecutor(
                     max_workers=self.max_workers, thread_name_prefix=f"repro-{self.name}"
                 )
-            return self._pool.submit(fn, *args)
+            return self._pool.submit(_trace_preserving(fn, self.name), *args)
 
     def map(self, fn: Callable[[_Item], _Result], items: Sequence[_Item]) -> list[_Result]:
         self._require_open()

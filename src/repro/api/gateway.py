@@ -17,16 +17,22 @@ individually testable against the same contract:
   through :meth:`~Middleware.stats`) plus an optional per-request log
   callback.
 
+* :class:`TracingMiddleware` — per-request :class:`~repro.obs.Trace`
+  context: assigns the ``request_id``, opens the root span, records every
+  stage below as a child span, keeps finished traces in a bounded buffer
+  and injects the span tree into the opt-in ``meta`` block.
+
 :func:`build_gateway` assembles the canonical stack::
 
-    metrics(validation(deadline(admission(backend))))
+    tracing(metrics(validation(deadline(admission(backend)))))
 
-— metrics outermost so every outcome (including shed load) is counted,
-validation before the expensive stages so malformed requests never cost a
-worker or a slot, and admission **inside** the deadline: a timed-out
-request's abandoned worker keeps its admission slot until the backend
-call actually finishes, so ``max_in_flight`` bounds *real* backend
-concurrency — a wedged backend makes later arrivals shed with
+— tracing outermost so the whole request (including shed load and
+validation failures) lands in one trace, metrics next so every outcome is
+counted, validation before the expensive stages so malformed requests
+never cost a worker or a slot, and admission **inside** the deadline: a
+timed-out request's abandoned worker keeps its admission slot until the
+backend call actually finishes, so ``max_in_flight`` bounds *real*
+backend concurrency — a wedged backend makes later arrivals shed with
 ``overloaded`` instead of piling ever more abandoned workers onto it.
 
 Every middleware's single extension point is
@@ -37,8 +43,8 @@ all three request shapes.
 
 from __future__ import annotations
 
+import copy
 import threading
-import time
 from typing import Any, Callable
 
 from repro.api.backend import ServingBackend, ServingBackendBase
@@ -52,6 +58,10 @@ from repro.api.protocol import (
     UpdateResponse,
 )
 from repro.errors import DeadlineError, ExtractError, OverloadedError
+from repro.obs.clock import perf_counter
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import Trace, TraceBuffer, activate, current_span_id, current_trace
+from repro.obs.trace import _current_trace as _current_trace_var
 
 AnyRequest = SearchRequest | BatchRequest | UpdateRequest
 AnyResponse = SearchResponse | BatchResponse | UpdateResponse | ErrorResponse
@@ -72,8 +82,15 @@ class Middleware(ServingBackendBase):
     #: short stage name, shown in the capabilities middleware chain
     name: str = "middleware"
 
+    #: record a ``stage:<name>`` span around :meth:`process` when a trace
+    #: is active (:class:`TracingMiddleware` opts out — it owns the root)
+    traced: bool = True
+
     def __init__(self, inner: ServingBackend):
         self.inner = inner
+        # Precomputed: f-string formatting per request is measurable on
+        # the warm search path.
+        self._stage_span_name = f"stage:{self.name}"
 
     def process(self, request: AnyRequest, call_next: CallNext) -> AnyResponse:
         """Serve one request; ``call_next(request)`` invokes the inner stage.
@@ -88,14 +105,28 @@ class Middleware(ServingBackendBase):
     # ------------------------------------------------------------------ #
     # the backend surface, funnelled through process()
     # ------------------------------------------------------------------ #
+    def _process(self, request: AnyRequest, inner_call: CallNext) -> AnyResponse:
+        """Run :meth:`process`, recording a per-stage span when the
+        request carries an active trace.
+
+        Reads the contextvar directly rather than through
+        :func:`current_trace`: this runs once per stage per request, and
+        the wrapper call is measurable against the trace-overhead budget.
+        """
+        trace = _current_trace_var.get()
+        if trace is None or not self.traced:
+            return self.process(request, inner_call)
+        with trace.span(self._stage_span_name):
+            return self.process(request, inner_call)
+
     def execute(self, request: SearchRequest) -> SearchResponse | ErrorResponse:
-        return self.process(request, self.inner.execute)
+        return self._process(request, self.inner.execute)
 
     def execute_batch(self, batch: BatchRequest) -> BatchResponse | ErrorResponse:
-        return self.process(batch, self.inner.execute_batch)
+        return self._process(batch, self.inner.execute_batch)
 
     def execute_update(self, request: UpdateRequest) -> UpdateResponse | ErrorResponse:
-        return self.process(request, self.inner.execute_update)
+        return self._process(request, self.inner.execute_update)
 
     # ------------------------------------------------------------------ #
     # introspection & lifecycle
@@ -106,7 +137,10 @@ class Middleware(ServingBackendBase):
         return caps
 
     def stats(self) -> dict[str, Any]:
-        return dict(self.inner.stats())
+        # Deep copy: stats() hands out a *snapshot*.  A caller mutating
+        # nested sections of the returned dict must never corrupt the live
+        # counters a later caller reads.
+        return copy.deepcopy(self.inner.stats())
 
     def close(self) -> None:
         self.inner.close()
@@ -163,10 +197,16 @@ class DeadlineMiddleware(Middleware):
     def process(self, request: AnyRequest, call_next: CallNext) -> AnyResponse:
         outcome: dict[str, Any] = {}
         done = threading.Event()
+        # Contextvars don't cross thread boundaries by themselves; the
+        # worker re-activates the caller's trace so inner stages keep
+        # recording spans (parented under this stage's span).
+        trace = current_trace()
+        parent_span = current_span_id()
 
         def run() -> None:
             try:
-                outcome["response"] = call_next(request)
+                with activate(trace, parent_span):
+                    outcome["response"] = call_next(request)
             # The worker thread only ferries the exception across;
             # the caller re-raises it.
             # repro: ignore[no-silent-swallow]
@@ -251,8 +291,16 @@ class AdmissionControlMiddleware(Middleware):
 class MetricsMiddleware(Middleware):
     """Count requests, responses and error codes; optionally log each call.
 
-    Counters are cumulative since construction and exposed through
-    :meth:`stats` under the ``"requests"`` key::
+    The counters live in a :class:`~repro.obs.metrics.MetricsRegistry`
+    (pass one to aggregate with other components; the default is a
+    private registry, so two stacks never mix):
+
+    * ``repro_requests_total{kind}`` — requests served, by request kind;
+    * ``repro_errors_total{code}`` — error responses, by machine code;
+    * ``repro_request_seconds{kind}`` — latency histogram (p50/p95/p99).
+
+    :meth:`stats` derives the legacy ``"requests"`` section from the
+    registry, unchanged in shape::
 
         {"requests": {"total": 7, "by_kind": {"search": 6, "batch": 1},
                       "errors": 2, "by_code": {"unknown_document": 2},
@@ -262,41 +310,56 @@ class MetricsMiddleware(Middleware):
     (``by_kind`` bucket ``"invalid"``) — a flood of garbage requests must
     be visible in the stats, not invisible because it never produced a
     typed request.  ``log`` (when given) is called after every request as
-    ``log(request, response, seconds)`` — the request-logging hook; it
-    runs outside the counter lock, and a failing logger never fails the
-    request.
+    ``log(request, response, seconds)`` — the request-logging hook (see
+    :class:`~repro.obs.reqlog.RequestLogger`); it runs outside the
+    counter locks, and a failing logger never fails the request.
     """
 
     name = "metrics"
+    # No stage:metrics span: this stage times the same envelope the root
+    # span already covers, and its histogram records that duration — a
+    # span here would be telemetry about telemetry, at hot-path cost.
+    traced = False
 
     def __init__(
         self,
         inner: ServingBackend,
         log: Callable[[AnyRequest, AnyResponse, float], None] | None = None,
+        registry: MetricsRegistry | None = None,
     ):
         super().__init__(inner)
         self._log = log
-        self._lock = threading.Lock()
-        self._total = 0
-        self._errors = 0
-        self._seconds = 0.0
-        self._by_kind: dict[str, int] = {}
-        self._by_code: dict[str, int] = {}
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self._requests = self.registry.counter(
+            "repro_requests_total", "Requests served, by request kind.", ("kind",)
+        )
+        self._errors = self.registry.counter(
+            "repro_errors_total", "Error responses, by machine-readable code.", ("code",)
+        )
+        self._seconds = self.registry.histogram(
+            "repro_request_seconds", "Request latency in seconds, by kind.", ("kind",)
+        )
+        # Bound label rows, resolved once per kind — per-request label
+        # resolution is measurable on the warm search path.
+        self._rows_by_kind: dict[str, tuple[Any, Any]] = {}
 
     def _record(self, kind: str, response: AnyResponse, seconds: float) -> None:
-        with self._lock:
-            self._total += 1
-            self._seconds += seconds
-            self._by_kind[kind] = self._by_kind.get(kind, 0) + 1
-            if isinstance(response, ErrorResponse):
-                self._errors += 1
-                code = response.code or "internal"
-                self._by_code[code] = self._by_code.get(code, 0) + 1
+        rows = self._rows_by_kind.get(kind)
+        if rows is None:
+            rows = self._rows_by_kind[kind] = (
+                self._requests.labels(kind=kind),
+                self._seconds.labels(kind=kind),
+            )
+        requests_row, seconds_row = rows
+        requests_row.inc()
+        seconds_row.observe(seconds)
+        if isinstance(response, ErrorResponse):
+            self._errors.inc(code=response.code or "internal")
 
     def process(self, request: AnyRequest, call_next: CallNext) -> AnyResponse:
-        started = time.perf_counter()
+        started = perf_counter()
         response = call_next(request)
-        seconds = time.perf_counter() - started
+        seconds = perf_counter() - started
         self._record(request.kind, response, seconds)
         if self._log is not None:
             try:
@@ -318,15 +381,117 @@ class MetricsMiddleware(Middleware):
 
     def stats(self) -> dict[str, Any]:
         merged = super().stats()
-        with self._lock:
-            merged["requests"] = {
-                "total": self._total,
-                "by_kind": dict(self._by_kind),
-                "errors": self._errors,
-                "by_code": dict(self._by_code),
-                "seconds": self._seconds,
-            }
+        by_kind = {
+            row["labels"]["kind"]: int(row["value"])
+            for row in self._requests.snapshot()["series"]
+        }
+        by_code = {
+            row["labels"]["code"]: int(row["value"])
+            for row in self._errors.snapshot()["series"]
+        }
+        seconds = sum(
+            row["sum"] for row in self._seconds.snapshot()["series"]
+        )
+        merged["requests"] = {
+            "total": sum(by_kind.values()),
+            "by_kind": by_kind,
+            "errors": sum(by_code.values()),
+            "by_code": by_code,
+            "seconds": seconds,
+        }
         return merged
+
+
+class TracingMiddleware(Middleware):
+    """Per-request trace context: the outermost stage of the stack.
+
+    Each request gets a :class:`~repro.obs.trace.Trace` (fresh
+    ``request_id``) activated for the duration of :meth:`process`; every
+    stage below records child spans against it through the contextvar.
+    Finished traces land in a bounded :class:`TraceBuffer` (served by
+    ``GET /v1/trace``), and — when the request opted into ``meta`` — the
+    span tree is injected as ``meta["trace"]`` on the way out, so default
+    wire bytes never change.
+
+    When a trace is *already* active (the HTTP frontend activated one
+    from an ``X-Repro-Trace`` header on a remote shard server), this
+    stage joins it instead of starting a second one: the spans it records
+    ship back to the coordinator in the response header and stitch into
+    the caller's trace.
+    """
+
+    name = "tracing"
+    traced = False  # this stage owns the root span; no stage:* wrapper
+
+    def __init__(
+        self,
+        inner: ServingBackend,
+        registry: MetricsRegistry | None = None,
+        trace_buffer: TraceBuffer | None = None,
+        process_name: str = "local",
+        buffer_capacity: int = 128,
+    ):
+        super().__init__(inner)
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.trace_buffer = (
+            trace_buffer
+            if trace_buffer is not None
+            else TraceBuffer(capacity=buffer_capacity)
+        )
+        self.process_name = process_name
+        self._finished = threading.local()
+        self._root_names: dict[str, str] = {}
+
+    def _root_span_name(self, kind: str) -> str:
+        name = self._root_names.get(kind)
+        if name is None:
+            name = self._root_names[kind] = f"request:{kind}"
+        return name
+
+    def process(self, request: AnyRequest, call_next: CallNext) -> AnyResponse:
+        joined = _current_trace_var.get()
+        if joined is not None:
+            # Already inside a propagated trace (remote shard server);
+            # record this gateway's root span against it and move on —
+            # the HTTP frontend that activated the trace buffers it.
+            with joined.span(self._root_span_name(request.kind)):
+                return call_next(request)
+        trace = Trace(process=self.process_name)
+        # Inlined activate(): one contextvar set/reset instead of two —
+        # the root span below owns the span-id variable anyway.
+        trace_token = _current_trace_var.set(trace)
+        try:
+            with trace.span(self._root_span_name(request.kind)):
+                response = call_next(request)
+        finally:
+            _current_trace_var.reset(trace_token)
+        self.trace_buffer.put(trace)
+        # Stashed per-thread so handle_dict (same thread, one frame up)
+        # can inject the span tree into an opted-in meta block.
+        self._finished.trace = trace
+        return response
+
+    def handle_dict(
+        self,
+        payload: dict[str, Any],
+        request: AnyRequest | None = None,
+    ) -> dict[str, Any]:
+        self._finished.trace = None
+        body = super().handle_dict(payload, request)
+        finished = getattr(self._finished, "trace", None)
+        self._finished.trace = None
+        if finished is not None and isinstance(body, dict):
+            meta = body.get("meta")
+            if isinstance(meta, dict):
+                # meta exists only when the request asked for it
+                # (include_meta) — default responses stay byte-identical.
+                meta["trace"] = finished.to_wire()
+        return body
+
+    def last_trace(self) -> dict[str, Any] | None:
+        """The most recently finished trace (wire shape), if any."""
+        newest = self.trace_buffer.newest(1)
+        return newest[0] if newest else None
 
 
 def build_gateway(
@@ -336,20 +501,37 @@ def build_gateway(
     deadline: float | None = None,
     metrics: bool = True,
     log: Callable[[AnyRequest, AnyResponse, float], None] | None = None,
+    tracing: bool = True,
+    registry: MetricsRegistry | None = None,
+    trace_buffer: TraceBuffer | None = None,
+    process_name: str = "local",
 ) -> ServingBackend:
     """Wrap ``backend`` in the canonical middleware stack.
 
     Stages are applied innermost-first — admission, deadline, validation,
-    metrics — so the composed order is
-    ``metrics(validation(deadline(admission(backend))))``; any stage whose
-    knob is ``None``/``False`` is skipped.  Admission sits inside the
-    deadline on purpose: a timed-out request's worker holds its slot until
-    the backend call finishes, so ``max_in_flight`` bounds how many calls
-    can actually occupy the backend — arrivals beyond that are shed
-    quickly with ``overloaded`` rather than stacking abandoned workers on
-    a wedged backend.  Closing the returned backend closes the whole
-    stack down to ``backend`` itself.
+    metrics, tracing — so the composed order is
+    ``tracing(metrics(validation(deadline(admission(backend)))))``; any
+    stage whose knob is ``None``/``False`` is skipped.  Admission sits
+    inside the deadline on purpose: a timed-out request's worker holds its
+    slot until the backend call finishes, so ``max_in_flight`` bounds how
+    many calls can actually occupy the backend — arrivals beyond that are
+    shed quickly with ``overloaded`` rather than stacking abandoned
+    workers on a wedged backend.  Closing the returned backend closes the
+    whole stack down to ``backend`` itself.
+
+    One :class:`~repro.obs.metrics.MetricsRegistry` is shared by the
+    metrics and tracing stages; a backend that exposes its own
+    ``registry`` attribute (:class:`~repro.cluster.remote.RemoteClusterService`
+    records failover/shed/health series into one) is adopted, so
+    ``GET /v1/metrics`` exports gateway and backend series together.
     """
+    if registry is None:
+        backend_registry = getattr(backend, "registry", None)
+        registry = (
+            backend_registry
+            if isinstance(backend_registry, MetricsRegistry)
+            else MetricsRegistry()
+        )
     stack = backend
     if max_in_flight is not None:
         stack = AdmissionControlMiddleware(stack, max_in_flight=max_in_flight)
@@ -358,5 +540,12 @@ def build_gateway(
     if validate:
         stack = ValidationMiddleware(stack)
     if metrics or log is not None:
-        stack = MetricsMiddleware(stack, log=log)
+        stack = MetricsMiddleware(stack, log=log, registry=registry)
+    if tracing:
+        stack = TracingMiddleware(
+            stack,
+            registry=registry,
+            trace_buffer=trace_buffer,
+            process_name=process_name,
+        )
     return stack

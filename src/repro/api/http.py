@@ -63,6 +63,14 @@ from repro.api.protocol import (
     http_status_for_code,
 )
 from repro.errors import ExtractError, ProtocolError
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import (
+    TRACE_SPANS_HEADER,
+    Trace,
+    TraceBuffer,
+    activate,
+    parse_trace_header,
+)
 
 #: request kind expected by each POST endpoint
 POST_ENDPOINTS = {
@@ -71,7 +79,13 @@ POST_ENDPOINTS = {
     "/v1/update": UpdateRequest.kind,
 }
 
-GET_ENDPOINTS = ("/v1/health", "/v1/stats")
+GET_ENDPOINTS = ("/v1/health", "/v1/stats", "/v1/metrics", "/v1/trace")
+
+#: traces are addressed by id under this prefix (``GET /v1/trace/<id>``)
+TRACE_PREFIX = "/v1/trace/"
+
+#: most recent traces listed by a bare ``GET /v1/trace``
+TRACE_LIST_COUNT = 10
 
 #: the replication endpoint, served only when the server was built with a
 #: ``replicate_backend``.  Deliberately NOT in :data:`POST_ENDPOINTS`:
@@ -108,6 +122,25 @@ def _error_body(message: str, code: str, request: dict[str, Any] | None = None) 
     ).to_dict()
 
 
+def _discover_obs(
+    backend: ServingBackend,
+) -> tuple[MetricsRegistry | None, TraceBuffer | None]:
+    """Walk the middleware chain for the stack's registry + trace buffer."""
+    stage: Any = backend
+    seen = 0
+    while stage is not None and seen < 32:
+        registry = getattr(stage, "registry", None)
+        buffer = getattr(stage, "trace_buffer", None)
+        if isinstance(registry, MetricsRegistry) or isinstance(buffer, TraceBuffer):
+            return (
+                registry if isinstance(registry, MetricsRegistry) else None,
+                buffer if isinstance(buffer, TraceBuffer) else None,
+            )
+        stage = getattr(stage, "inner", None)
+        seen += 1
+    return None, None
+
+
 class HttpServer:
     """Serve a :class:`ServingBackend` over HTTP/1.1 (keep-alive, JSON).
 
@@ -127,6 +160,8 @@ class HttpServer:
         executor: Executor | None = None,
         max_requests: int | None = None,
         replicate_backend: Any | None = None,
+        registry: MetricsRegistry | None = None,
+        trace_buffer: TraceBuffer | None = None,
     ):
         self.backend = backend
         #: a :class:`~repro.cluster.remote.ShardBackend` (anything with a
@@ -147,31 +182,77 @@ class HttpServer:
         self._thread: threading.Thread | None = None
         self._started = threading.Event()
         self._startup_error: BaseException | None = None
+        # The observability surface (GET /v1/metrics, GET /v1/trace) is
+        # discovered from the backend stack when not passed explicitly —
+        # a gateway-built stack exposes both on its tracing stage.
+        if registry is None or trace_buffer is None:
+            found_registry, found_buffer = _discover_obs(backend)
+            registry = registry if registry is not None else found_registry
+            trace_buffer = trace_buffer if trace_buffer is not None else found_buffer
+        self.registry = registry
+        self.trace_buffer = trace_buffer
 
     # ------------------------------------------------------------------ #
     # request handling
     # ------------------------------------------------------------------ #
-    def _serve_payload(self, method: str, path: str, body: str) -> tuple[int, dict[str, Any]]:
-        """One request → (status, response dict).  Runs on an executor
-        worker — everything here may block."""
+    def _serve_payload(
+        self,
+        method: str,
+        path: str,
+        body: str,
+        query: str = "",
+        trace_request_id: str | None = None,
+    ) -> tuple[int, "dict[str, Any] | str", dict[str, str]]:
+        """One request → (status, response dict or raw text, extra headers).
+        Runs on an executor worker — everything here may block."""
         if path == REPLICATE_ENDPOINT and self.replicate_backend is not None:
-            return self._serve_replicate(method, body)
+            status, payload = self._serve_replicate(method, body)
+            return status, payload, {}
+        if path.startswith(TRACE_PREFIX):
+            return self._serve_trace(method, path[len(TRACE_PREFIX) :])
         if path not in POST_ENDPOINTS and path not in GET_ENDPOINTS:
-            return self._route_miss(method, path)
+            status, payload = self._route_miss(method, path)
+            return status, payload, {}
         if method == "GET":
             if path == "/v1/health":
-                return 200, {"status": "ok", "backend": self.backend.capabilities()}
+                return 200, {"status": "ok", "backend": self.backend.capabilities()}, {}
             if path == "/v1/stats":
-                return 200, self.backend.stats()
+                return 200, self.backend.stats(), {}
+            if path == "/v1/metrics":
+                return self._serve_metrics(query)
+            if path == "/v1/trace":
+                return self._serve_trace(method, None)
         if method != "POST" or path not in POST_ENDPOINTS:
             # The endpoint exists but not under this verb — 405, distinct
             # from the 404 a missing path gets (the documented semantics
             # of the two codes).
             allowed = "POST" if path in POST_ENDPOINTS else "GET"
-            return 405, _error_body(
-                f"method {method} is not allowed on {path}; use {allowed}",
-                code="method_not_allowed",
+            return (
+                405,
+                _error_body(
+                    f"method {method} is not allowed on {path}; use {allowed}",
+                    code="method_not_allowed",
+                ),
+                {},
             )
+        if trace_request_id is None:
+            status, payload = self._serve_post(path, body)
+            return status, payload, {}
+        # An X-Repro-Trace header joins this server into the caller's
+        # trace: the backend records spans under the propagated
+        # request_id, and the recorded spans ship back in a response
+        # header — the response *body* stays byte-identical.
+        trace = Trace(request_id=trace_request_id, process=f"server:{self.port}")
+        with activate(trace):
+            with trace.span(f"http:{path}"):
+                status, payload = self._serve_post(path, body)
+        if self.trace_buffer is not None:
+            self.trace_buffer.put(trace)
+        spans = json.dumps(trace.to_wire()["spans"], separators=(",", ":"))
+        return status, payload, {TRACE_SPANS_HEADER: spans}
+
+    def _serve_post(self, path: str, body: str) -> tuple[int, dict[str, Any]]:
+        """Serve one protocol POST (search/batch/update) via the backend."""
         expected_kind = POST_ENDPOINTS[path]
         try:
             payload = json.loads(body)
@@ -199,6 +280,66 @@ class HttpServer:
         if response.get("kind") == ErrorResponse.kind:
             status = http_status_for_code(response.get("code"))
         return status, response
+
+    def _serve_metrics(
+        self, query: str
+    ) -> tuple[int, "dict[str, Any] | str", dict[str, str]]:
+        """``GET /v1/metrics`` — versioned JSON, or Prometheus text with
+        ``?format=prometheus``."""
+        if self.registry is None:
+            return (
+                404,
+                _error_body(
+                    "this server exports no metrics registry "
+                    "(serve the backend through build_gateway)",
+                    code="not_found",
+                ),
+                {},
+            )
+        wants_prometheus = any(
+            part == "format=prometheus" for part in query.split("&")
+        )
+        if wants_prometheus:
+            return 200, self.registry.render_prometheus(), {}
+        return 200, self.registry.snapshot(), {}
+
+    def _serve_trace(
+        self, method: str, request_id: str | None
+    ) -> tuple[int, dict[str, Any], dict[str, str]]:
+        """``GET /v1/trace`` (newest list) and ``GET /v1/trace/<id>``."""
+        if method != "GET":
+            return (
+                405,
+                _error_body(
+                    f"method {method} is not allowed on /v1/trace; use GET",
+                    code="method_not_allowed",
+                ),
+                {},
+            )
+        if self.trace_buffer is None:
+            return (
+                404,
+                _error_body(
+                    "this server keeps no trace buffer "
+                    "(serve the backend through build_gateway)",
+                    code="not_found",
+                ),
+                {},
+            )
+        if request_id is None:
+            return 200, {"traces": self.trace_buffer.newest(TRACE_LIST_COUNT)}, {}
+        trace = self.trace_buffer.get(request_id)
+        if trace is None:
+            return (
+                404,
+                _error_body(
+                    f"no buffered trace {request_id!r} (the ring keeps the "
+                    f"newest {self.trace_buffer.capacity})",
+                    code="not_found",
+                ),
+                {},
+            )
+        return 200, trace, {}
 
     def _serve_replicate(self, method: str, body: str) -> tuple[int, dict[str, Any]]:
         """Serve one replication op; failures stay structured ErrorResponses."""
@@ -233,17 +374,28 @@ class HttpServer:
         self,
         writer: asyncio.StreamWriter,
         status: int,
-        payload: dict[str, Any],
+        payload: "dict[str, Any] | str",
         keep_alive: bool,
+        extra_headers: dict[str, str] | None = None,
     ) -> None:
-        # sort_keys=True matches handle_json exactly — the byte-identity
-        # contract the round-trip tests pin down.
-        body = json.dumps(payload, sort_keys=True).encode("utf-8")
+        if isinstance(payload, str):
+            # Raw text export (the Prometheus exposition format).
+            body = payload.encode("utf-8")
+            content_type = "text/plain; version=0.0.4; charset=utf-8"
+        else:
+            # sort_keys=True matches handle_json exactly — the byte-identity
+            # contract the round-trip tests pin down.
+            body = json.dumps(payload, sort_keys=True).encode("utf-8")
+            content_type = "application/json"
+        extra = ""
+        for name, value in (extra_headers or {}).items():
+            extra += f"{name}: {value}\r\n"
         head = (
             f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}\r\n"
-            "Content-Type: application/json\r\n"
+            f"Content-Type: {content_type}\r\n"
             f"Content-Length: {len(body)}\r\n"
             f"Connection: {'keep-alive' if keep_alive else 'close'}\r\n"
+            f"{extra}"
             "\r\n"
         ).encode("ascii")
         writer.write(head + body)
@@ -298,7 +450,7 @@ class HttpServer:
         if length < 0 or length > MAX_BODY_BYTES:
             raise ProtocolError(f"request body of {length} bytes exceeds the server limit")
         body = await reader.readexactly(length) if length else b""
-        return method, path.split("?", 1)[0], headers, body
+        return method, path, headers, body
 
     async def _on_client(
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
@@ -316,15 +468,23 @@ class HttpServer:
                     break
                 if parsed is None:
                     break
-                method, path, headers, body = parsed
+                method, raw_path, headers, body = parsed
+                path, _, query = raw_path.partition("?")
                 keep_alive = headers.get("connection", "keep-alive").lower() != "close"
+                trace_request_id = parse_trace_header(headers.get("x-repro-trace"))
+                extra_headers: dict[str, str] = {}
                 try:
                     # The blocking backend call runs through the executor
                     # seam; the event loop stays free for other connections.
                     future = self.executor.submit(
-                        self._serve_payload, method, path, body.decode("utf-8", "replace")
+                        self._serve_payload,
+                        method,
+                        path,
+                        body.decode("utf-8", "replace"),
+                        query,
+                        trace_request_id,
                     )
-                    status, payload = await asyncio.wrap_future(future)
+                    status, payload, extra_headers = await asyncio.wrap_future(future)
                 except asyncio.CancelledError:
                     raise
                 # The HTTP edge: any crash becomes a 500 'internal'
@@ -336,7 +496,7 @@ class HttpServer:
                         f"internal server error: {exc}", code="internal"
                     )
                     keep_alive = False
-                await self._respond(writer, status, payload, keep_alive)
+                await self._respond(writer, status, payload, keep_alive, extra_headers)
                 if self._count_request():
                     break
                 if not keep_alive:

@@ -25,10 +25,9 @@ identical to serial execution.
 
 from __future__ import annotations
 
-import time
 from typing import TYPE_CHECKING, Any
 
-from repro.api.backend import ServingBackend, ServingBackendBase
+from repro.api.backend import ServingBackend, ServingBackendBase, stats_envelope
 from repro.api.executors import Executor, SerialExecutor
 from repro.api.protocol import (
     BatchEntry,
@@ -46,6 +45,8 @@ from repro.errors import ExtractError, ProtocolError
 from repro.search.query import KeywordQuery
 from repro.search.xseek import ResultConstruction
 from repro.snippet.render import render_snippet_text
+from repro.obs.clock import perf_counter
+from repro.obs.trace import current_trace
 from repro.utils.timing import TimingBreakdown
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -222,7 +223,7 @@ class SnippetService(ServingBackendBase):
 
         def run_one(pair: tuple[str, KeywordQuery]) -> BatchEntry:
             raw, parsed = pair
-            started = time.perf_counter()
+            started = perf_counter()
             responses = tuple(
                 self._run_on_entry(
                     batch.search_request(raw, entry.name),
@@ -233,7 +234,7 @@ class SnippetService(ServingBackendBase):
                 for entry in entries
             )
             return BatchEntry(
-                query=raw, responses=responses, seconds=time.perf_counter() - started
+                query=raw, responses=responses, seconds=perf_counter() - started
             )
 
         return BatchResponse(
@@ -282,7 +283,7 @@ class SnippetService(ServingBackendBase):
 
         if validate:
             request.validate()
-        started = time.perf_counter()
+        started = perf_counter()
         if request.action == "remove":
             report = self.corpus.remove_document(request.document)
         else:
@@ -297,7 +298,7 @@ class SnippetService(ServingBackendBase):
             changed_nodes=report.changed_nodes,
             changed_terms=report.changed_terms,
             structural_reason=report.structural_reason,
-            seconds=time.perf_counter() - started,
+            seconds=perf_counter() - started,
             cache_entries_kept=report.cache_entries_kept,
             cache_entries_invalidated=report.cache_entries_invalidated,
         )
@@ -338,7 +339,11 @@ class SnippetService(ServingBackendBase):
         return caps
 
     def stats(self) -> dict[str, Any]:
-        return {"documents": len(self.corpus), "caches": self.cache_stats()}
+        return stats_envelope(
+            self.backend_name,
+            documents=len(self.corpus),
+            caches=self.cache_stats(),
+        )
 
     def close(self) -> None:
         """Release executor resources (idempotent)."""
@@ -376,7 +381,7 @@ class SnippetService(ServingBackendBase):
         construction = ResultConstruction(request.construction)
         system = entry.system
         postings = entry.postings
-        started = time.perf_counter()
+        started = perf_counter()
         if request.include_snippets:
             outcome = system.run_query(
                 parsed,
@@ -386,7 +391,7 @@ class SnippetService(ServingBackendBase):
                 use_cache=request.use_cache,
                 postings=postings,
             )
-            seconds = time.perf_counter() - started
+            seconds = perf_counter() - started
             # Pagination is presentation-level: the pipeline evaluates (and
             # caches) the full outcome once, then every page of the same
             # request is a slice of that cached outcome — so cold cost
@@ -412,7 +417,7 @@ class SnippetService(ServingBackendBase):
                 postings=postings,
                 timings=breakdown,
             )
-            seconds = time.perf_counter() - started
+            seconds = perf_counter() - started
             if build_payloads:
                 page_items = results.page(request.page, request.page_size)
                 payloads = tuple(self._result_payload(result) for result in page_items)
@@ -424,6 +429,19 @@ class SnippetService(ServingBackendBase):
             # A cache hit skips the engine, so the meta timings are empty
             # on warm search-only responses.
             timings = breakdown.as_dict() if request.include_meta else {}
+        trace = current_trace()
+        if trace is not None:
+            # The engine's own per-phase breakdown becomes leaf spans of
+            # this service call, so a stitched trace reaches from the
+            # gateway all the way into search/IList/selection phases.
+            span_id = trace.add_span(
+                "service:search", seconds, document=entry.name, from_cache=from_cache
+            )
+            phases = (
+                outcome.timings.as_dict() if outcome is not None else breakdown.as_dict()
+            )
+            for phase, phase_seconds in phases.items():
+                trace.add_span(f"phase:{phase}", phase_seconds, parent_id=span_id)
         has_more = (
             request.page_size is not None and request.page * request.page_size < count
         )

@@ -70,6 +70,13 @@ CLI that drives the same pipeline.  Sub-commands:
     wire determinism, error-contract exhaustiveness, …) over the source
     tree.  Exit codes: 0 clean, 1 findings (with ``--strict`` also stale
     baseline entries), 2 usage error.  See ``docs/analysis.md``.
+``trace``
+    Pretty-print request traces from a running server's bounded trace
+    buffer (``GET /v1/trace`` / ``/v1/trace/<request_id>``) as an
+    indented span tree.  See ``docs/observability.md``.
+``metrics``
+    Print a running server's metrics (``GET /v1/metrics``) as a summary
+    table, the versioned JSON snapshot, or the Prometheus text format.
 
 Examples::
 
@@ -172,6 +179,18 @@ def build_parser() -> argparse.ArgumentParser:
             default=[],
             metavar="PATH",
             help="add an XML document to the corpus (repeatable)",
+        )
+
+    def add_observability_arguments(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument(
+            "--request-log", metavar="PATH",
+            help="append one JSON line per served request to PATH "
+                 "(request_id, kind, code, duration; see docs/observability.md)",
+        )
+        sub.add_argument(
+            "--slow-query-ms", type=float, default=None, metavar="MS",
+            help="flag requests slower than MS milliseconds; without "
+                 "--request-log, only the slow ones are logged (to stderr)",
         )
 
     batch = subparsers.add_parser(
@@ -298,6 +317,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--port-file", metavar="PATH",
         help="write the bound port to PATH once listening (for scripts using --port 0)",
     )
+    add_observability_arguments(serve)
 
     corpus_compact = subparsers.add_parser(
         "corpus-compact",
@@ -414,6 +434,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--port-file", metavar="PATH",
         help="write the coordinator's bound port to PATH once listening",
     )
+    add_observability_arguments(cluster_spawn)
 
     cluster_rebalance = subparsers.add_parser(
         "cluster-rebalance",
@@ -460,9 +481,35 @@ def build_parser() -> argparse.ArgumentParser:
         "--update-baseline", action="store_true",
         help="rewrite the baseline to cover every current finding, then exit 0",
     )
+
     lint.add_argument(
         "--list-rules", action="store_true",
         help="list the registered rule ids and their invariants, then exit 0",
+    )
+
+    trace = subparsers.add_parser(
+        "trace",
+        help="pretty-print request traces from a running server (GET /v1/trace)",
+    )
+    trace.add_argument("request_id", nargs="?", default=None, metavar="REQUEST_ID",
+                       help="print one trace by id (default: the newest traces)")
+    trace.add_argument("--host", default="127.0.0.1", help="server address (default: 127.0.0.1)")
+    trace.add_argument("--port", type=int, default=8080, help="server port (default: 8080)")
+    trace.add_argument(
+        "--json", action="store_true", dest="as_json",
+        help="emit the raw JSON trace payload instead of the span tree",
+    )
+
+    metrics = subparsers.add_parser(
+        "metrics",
+        help="print a running server's metrics (GET /v1/metrics)",
+    )
+    metrics.add_argument("--host", default="127.0.0.1", help="server address (default: 127.0.0.1)")
+    metrics.add_argument("--port", type=int, default=8080, help="server port (default: 8080)")
+    metrics.add_argument(
+        "--format", choices=("summary", "json", "prometheus"), default="summary",
+        help="summary: human-readable series table; json: the versioned "
+             "snapshot; prometheus: the text exposition format",
     )
 
     return parser
@@ -801,6 +848,26 @@ def _write_port_file(path: str, port: int) -> None:
     os.replace(staging, path)
 
 
+def _build_request_logger(args: argparse.Namespace):
+    """--request-log / --slow-query-ms → (logger | None, closer).
+
+    ``--request-log PATH`` logs every request to PATH (with the slow flag
+    when a threshold is set); ``--slow-query-ms`` alone is the classic
+    slow-query log — only the offenders, to stderr.
+    """
+    from repro.obs import RequestLogger
+
+    if args.request_log:
+        handle = open(args.request_log, "a", encoding="utf-8")
+        return RequestLogger(handle, slow_query_ms=args.slow_query_ms), handle.close
+    if args.slow_query_ms is not None:
+        logger = RequestLogger(
+            sys.stderr, slow_query_ms=args.slow_query_ms, only_slow=True
+        )
+        return logger, lambda: None
+    return None, lambda: None
+
+
 def _command_serve(args: argparse.Namespace, out) -> int:
     """Serve a corpus, cluster, or single cluster shard over HTTP."""
     from repro.api.executors import ConcurrentExecutor
@@ -835,11 +902,16 @@ def _command_serve(args: argparse.Namespace, out) -> int:
         corpus = _build_corpus(args, algorithm=args.algorithm or "slca")
         backend = SnippetService(corpus)
 
+    logger, close_log = _build_request_logger(args)
     stack = build_gateway(
         backend,
         validate=not args.no_validate,
         max_in_flight=args.max_in_flight,
         deadline=args.deadline,
+        log=logger,
+        process_name=(
+            f"shard-{args.shard_of}" if args.shard_of is not None else "local"
+        ),
     )
     http_executor = ConcurrentExecutor(max_workers=args.workers)
     server = HttpServer(
@@ -857,7 +929,8 @@ def _command_serve(args: argparse.Namespace, out) -> int:
         print(
             f"serving {backend!r}\n"
             f"  http://{server.host}:{server.port}/v1/search (POST; also /v1/batch, /v1/update)\n"
-            f"  http://{server.host}:{server.port}/v1/health (GET; also /v1/stats)",
+            f"  http://{server.host}:{server.port}/v1/health (GET; also /v1/stats, "
+            f"/v1/metrics, /v1/trace)",
             file=out,
         )
         try:
@@ -868,6 +941,7 @@ def _command_serve(args: argparse.Namespace, out) -> int:
         server.stop()
         http_executor.close()
         stack.close()
+        close_log()
     print(f"served {server.requests_served} request(s)", file=out)
     return 0
 
@@ -1061,11 +1135,13 @@ def _command_cluster_spawn(args: argparse.Namespace, out) -> int:
         workers=args.shard_workers,
         health_interval=args.health_interval,
     )
+    logger, close_log = _build_request_logger(args)
     stack = build_gateway(
         cluster,
         validate=not args.no_validate,
         max_in_flight=args.max_in_flight,
         deadline=args.deadline,
+        log=logger,
     )
     http_executor = ConcurrentExecutor(max_workers=args.workers)
     server = HttpServer(
@@ -1091,7 +1167,8 @@ def _command_cluster_spawn(args: argparse.Namespace, out) -> int:
         print(
             f"serving {cluster!r}\n"
             f"  http://{server.host}:{server.port}/v1/search (POST; also /v1/batch, /v1/update)\n"
-            f"  http://{server.host}:{server.port}/v1/health (GET; also /v1/stats)",
+            f"  http://{server.host}:{server.port}/v1/health (GET; also /v1/stats, "
+            f"/v1/metrics, /v1/trace)",
             file=out,
         )
         try:
@@ -1102,6 +1179,7 @@ def _command_cluster_spawn(args: argparse.Namespace, out) -> int:
         server.stop()
         http_executor.close()
         stack.close()  # closes the cluster: monitor, clients, child processes
+        close_log()
         signal.signal(signal.SIGTERM, previous_sigterm)
     print(f"served {server.requests_served} request(s)", file=out)
     return 0
@@ -1215,6 +1293,87 @@ def _command_corpus_save(args: argparse.Namespace, out) -> int:
     return 0
 
 
+def _command_trace(args: argparse.Namespace, out) -> int:
+    """Fetch and pretty-print traces from a running server."""
+    import http.client as http_client
+    import json
+
+    from repro.api.client import ServiceClient
+    from repro.errors import ProtocolError
+    from repro.obs.trace import format_trace
+
+    client = ServiceClient(args.host, args.port)
+    try:
+        payload = client.trace(args.request_id)
+    except (OSError, http_client.HTTPException, ProtocolError) as exc:
+        print(f"error: cannot reach http://{args.host}:{args.port}: {exc}", file=out)
+        return 1
+    finally:
+        client.close()
+    if payload.get("kind") == "error":
+        print(f"error: {payload.get('message', 'trace endpoint error')}", file=out)
+        return 1
+    if args.as_json:
+        print(json.dumps(payload, indent=2, sort_keys=True), file=out)
+        return 0
+    traces = payload["traces"] if "traces" in payload else [payload]
+    if not traces:
+        print("(no traces recorded yet)", file=out)
+        return 0
+    for wire in traces:
+        print(format_trace(wire), file=out)
+    return 0
+
+
+def _command_metrics(args: argparse.Namespace, out) -> int:
+    """Fetch and print a running server's metrics."""
+    import http.client as http_client
+    import json
+
+    from repro.api.client import ServiceClient
+    from repro.errors import ProtocolError
+
+    client = ServiceClient(args.host, args.port)
+    try:
+        if args.format == "prometheus":
+            print(client.metrics_text(), end="", file=out)
+            return 0
+        payload = client.metrics()
+    except (OSError, http_client.HTTPException, ProtocolError) as exc:
+        print(f"error: cannot reach http://{args.host}:{args.port}: {exc}", file=out)
+        return 1
+    finally:
+        client.close()
+    if payload.get("kind") == "error":
+        print(f"error: {payload.get('message', 'metrics endpoint error')}", file=out)
+        return 1
+    if args.format == "json":
+        print(json.dumps(payload, indent=2, sort_keys=True), file=out)
+        return 0
+    print(f"metrics schema v{payload.get('schema_version', '?')}", file=out)
+    for name, metric in sorted(payload.get("metrics", {}).items()):
+        print(f"{name} ({metric.get('type', '?')})", file=out)
+        for row in metric.get("series", []):
+            labels = row.get("labels", {})
+            rendered = (
+                "{" + ", ".join(f"{k}={v}" for k, v in sorted(labels.items())) + "}"
+                if labels
+                else ""
+            )
+            if metric.get("type") == "histogram":
+                quantiles = row.get("quantiles", {})
+                detail = (
+                    f"count={row.get('count')} sum={row.get('sum'):.6f} "
+                    + " ".join(
+                        f"{q}={value:.6f}" for q, value in sorted(quantiles.items())
+                    )
+                )
+            else:
+                detail = f"{row.get('value')}"
+            print(f"  {rendered or '(no labels)'}  {detail}", file=out)
+    return 0
+
+
 _COMMANDS = {
     "analyze": _command_analyze,
     "search": _command_search,
@@ -1234,6 +1393,8 @@ _COMMANDS = {
     "cluster-spawn": _command_cluster_spawn,
     "cluster-rebalance": _command_cluster_rebalance,
     "lint": _command_lint,
+    "trace": _command_trace,
+    "metrics": _command_metrics,
 }
 
 

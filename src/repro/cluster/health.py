@@ -24,6 +24,7 @@ from typing import Sequence
 
 from repro.cluster.replication import ReplicaSet
 from repro.errors import ProtocolError
+from repro.obs.metrics import MetricsRegistry
 
 
 class HealthMonitor:
@@ -31,10 +32,18 @@ class HealthMonitor:
 
     ``interval`` is the probe period in seconds.  The monitor never raises
     out of a sweep: a probe failure *is* the signal, recorded as endpoint
-    state.
+    state.  Passing a :class:`~repro.obs.metrics.MetricsRegistry` exports
+    ``repro_health_transitions_total{shard,direction}`` — a counter that
+    ticks only on *edges* (healthy endpoint found dead, dead endpoint
+    revived, primary promoted past), not on steady-state probes.
     """
 
-    def __init__(self, replica_sets: Sequence[ReplicaSet], interval: float = 0.25):
+    def __init__(
+        self,
+        replica_sets: Sequence[ReplicaSet],
+        interval: float = 0.25,
+        registry: MetricsRegistry | None = None,
+    ):
         if interval <= 0:
             raise ValueError(f"probe interval must be positive, got {interval!r}")
         self.replica_sets = tuple(replica_sets)
@@ -42,6 +51,20 @@ class HealthMonitor:
         self.probes = 0
         self._stop = threading.Event()
         self._thread: threading.Thread | None = None
+        self._transitions = (
+            registry.counter(
+                "repro_health_transitions_total",
+                "Endpoint liveness edges seen by the health monitor, "
+                "by shard and direction (down/up/promote).",
+                label_names=("shard", "direction"),
+            )
+            if registry is not None
+            else None
+        )
+
+    def _record_transition(self, shard_id: int, direction: str) -> None:
+        if self._transitions is not None:
+            self._transitions.inc(shard=shard_id, direction=direction)
 
     # ------------------------------------------------------------------ #
     # one sweep
@@ -50,6 +73,7 @@ class HealthMonitor:
         """Probe every endpoint once; promote where a primary is dead."""
         for replica_set in self.replica_sets:
             for endpoint in replica_set.endpoints():
+                was_healthy = endpoint.healthy
                 try:
                     endpoint.client.health()
                 # Not a retry: each iteration probes a *different* endpoint,
@@ -57,11 +81,16 @@ class HealthMonitor:
                 # repro: ignore[no-unbounded-retry]
                 except (OSError, http.client.HTTPException, ProtocolError):
                     replica_set.mark_down(endpoint)
+                    if was_healthy:
+                        self._record_transition(replica_set.shard_id, "down")
                 else:
                     replica_set.mark_up(endpoint)
+                    if not was_healthy:
+                        self._record_transition(replica_set.shard_id, "up")
             primary = replica_set.primary
             if not primary.healthy or primary.stale:
                 replica_set.promote()
+                self._record_transition(replica_set.shard_id, "promote")
         self.probes += 1
 
     # ------------------------------------------------------------------ #

@@ -44,10 +44,11 @@ import sys
 import tempfile
 import threading
 import time
+from contextlib import nullcontext
 from dataclasses import replace
 from typing import Any, Mapping, Sequence
 
-from repro.api.backend import ServingBackendBase
+from repro.api.backend import ServingBackendBase, stats_envelope
 from repro.api.client import ServiceClient
 from repro.api.protocol import (
     BatchEntry,
@@ -76,6 +77,9 @@ from repro.cluster.replication import (
 from repro.cluster.router import ShardExecutor
 from repro.cluster.shard import ShardDelta, ShardServer
 from repro.errors import ClusterError, ExtractError, ProtocolError, UnknownDocumentError
+from repro.obs.clock import monotonic
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import current_trace
 from repro.utils.cache import DEFAULT_CACHE_SIZE
 
 #: ops served on ``POST /v1/replicate``
@@ -382,7 +386,7 @@ def spawn_shard_server(
             env=_python_path_env(),
         )
     try:
-        deadline = time.monotonic() + timeout
+        deadline = monotonic() + timeout
         while True:
             if os.path.exists(port_file):
                 with open(port_file, "r", encoding="utf-8") as handle:
@@ -394,7 +398,7 @@ def spawn_shard_server(
                     f"{process.returncode} before publishing its port: "
                     f"{_tail(stderr_path)}"
                 )
-            if time.monotonic() > deadline:
+            if monotonic() > deadline:
                 process.kill()
                 raise ClusterError(
                     f"shard {shard_id} server did not publish its port within "
@@ -472,6 +476,20 @@ class RemoteClusterService(ServingBackendBase):
         self._doc_lock = threading.Lock()
         self.processes = list(processes)
         self.monitor: HealthMonitor | None = None
+        # Public so build_gateway adopts it: coordinator-side failover /
+        # shed / health counters land in the same registry the gateway's
+        # request metrics use, and GET /v1/metrics exports them together.
+        self.registry = MetricsRegistry()
+        self._failovers = self.registry.counter(
+            "repro_shard_failovers_total",
+            "Reads that failed over past a dead endpoint, by shard.",
+            label_names=("shard",),
+        )
+        self._sheds = self.registry.counter(
+            "repro_shard_shed_total",
+            "Overloaded answers that pushed a read to another endpoint, by shard.",
+            label_names=("shard",),
+        )
 
     # ------------------------------------------------------------------ #
     # construction
@@ -551,7 +569,9 @@ class RemoteClusterService(ServingBackendBase):
     def start_monitor(self, interval: float = 0.25) -> HealthMonitor:
         """Start (or return) the background health monitor."""
         if self.monitor is None:
-            self.monitor = HealthMonitor(self.replica_sets, interval=interval)
+            self.monitor = HealthMonitor(
+                self.replica_sets, interval=interval, registry=self.registry
+            )
         if not self.monitor.running:
             self.monitor.start()
         return self.monitor
@@ -608,18 +628,25 @@ class RemoteClusterService(ServingBackendBase):
         unreachable — the caller's ``execute*`` shapes that structurally.
         """
         replica_set = self.replica_sets[shard_id]
+        trace = current_trace()
         overloaded_raw: dict[str, Any] | None = None
         for endpoint in replica_set.read_candidates():
             try:
-                raw = endpoint.client.post(payload)
+                if trace is not None:
+                    with trace.span(f"shard:{shard_id}", role=endpoint.role):
+                        raw = endpoint.client.post(payload)
+                else:
+                    raw = endpoint.client.post(payload)
             # Failover, not a retry: each iteration tries a *different*
             # endpoint; the failed one is re-probed by the health monitor.
             # repro: ignore[no-unbounded-retry]
             except _TRANSPORT_ERRORS:
                 replica_set.mark_down(endpoint)
+                self._failovers.inc(shard=shard_id)
                 continue
             if raw.get("kind") == "error" and raw.get("code") == "overloaded":
                 replica_set.record_overloaded(endpoint, self.overload_threshold)
+                self._sheds.inc(shard=shard_id)
                 overloaded_raw = raw
                 continue
             replica_set.record_served(endpoint)
@@ -696,26 +723,41 @@ class RemoteClusterService(ServingBackendBase):
                 raise _RemoteShardFailure(parsed)
             return shard_id, parsed
 
-        shard_responses = dict(self.executor.map(run_sub, sorted(per_shard.items())))
+        trace = current_trace()
+        fanout_span = (
+            trace.span("cluster:fanout", shards=len(per_shard))
+            if trace is not None
+            else nullcontext()
+        )
+        with fanout_span:
+            shard_responses = dict(
+                self.executor.map(run_sub, sorted(per_shard.items()))
+            )
 
-        entries: list[BatchEntry] = []
-        for query_index, query in enumerate(batch.queries):
-            cursors = {
-                shard_id: iter(response.entries[query_index].responses)
-                for shard_id, response in shard_responses.items()
-            }
-            responses = tuple(
-                replace(next(cursors[owner]), shard=owner) for owner in owners
-            )
-            seconds = max(
-                (
-                    response.entries[query_index].seconds
-                    for response in shard_responses.values()
-                ),
-                default=0.0,
-            )
-            entries.append(BatchEntry(query=query, responses=responses, seconds=seconds))
-        return BatchResponse(entries=tuple(entries), documents=tuple(names))
+        merge_span = (
+            trace.span("cluster:merge") if trace is not None else nullcontext()
+        )
+        with merge_span:
+            entries: list[BatchEntry] = []
+            for query_index, query in enumerate(batch.queries):
+                cursors = {
+                    shard_id: iter(response.entries[query_index].responses)
+                    for shard_id, response in shard_responses.items()
+                }
+                responses = tuple(
+                    replace(next(cursors[owner]), shard=owner) for owner in owners
+                )
+                seconds = max(
+                    (
+                        response.entries[query_index].seconds
+                        for response in shard_responses.values()
+                    ),
+                    default=0.0,
+                )
+                entries.append(
+                    BatchEntry(query=query, responses=responses, seconds=seconds)
+                )
+            return BatchResponse(entries=tuple(entries), documents=tuple(names))
 
     # ------------------------------------------------------------------ #
     # the write path (primary + delta fan-out)
@@ -822,9 +864,10 @@ class RemoteClusterService(ServingBackendBase):
         return caps
 
     def stats(self) -> dict[str, Any]:
-        return {
-            "documents": len(self),
-            "shards": [
+        return stats_envelope(
+            self.backend_name,
+            documents=len(self),
+            shards=[
                 {
                     "shard": replica_set.shard_id,
                     "endpoints": len(replica_set),
@@ -835,7 +878,7 @@ class RemoteClusterService(ServingBackendBase):
                 }
                 for replica_set in self.replica_sets
             ],
-        }
+        )
 
     def close(self) -> None:
         """Stop the monitor, release clients, terminate owned processes."""

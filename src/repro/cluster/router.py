@@ -36,6 +36,7 @@ default wire form stays byte-identical to the single-corpus service.
 from __future__ import annotations
 
 import os
+from contextlib import nullcontext
 from dataclasses import replace
 from typing import Any, Sequence
 
@@ -50,7 +51,8 @@ from repro.api.protocol import (
     UpdateRequest,
     UpdateResponse,
 )
-from repro.api.backend import ServingBackendBase
+from repro.api.backend import ServingBackendBase, stats_envelope
+from repro.obs.trace import current_trace
 from repro.cluster.partition import (
     CLUSTER_MANIFEST_FILE,
     ClusterManifest,
@@ -239,7 +241,12 @@ class ClusterService(ServingBackendBase):
         if validate:
             request.validate()
         shard, entry = self._capture_entry(request.document)
-        response = shard.service.run(request, validate=False, entry=entry)
+        trace = current_trace()
+        if trace is not None:
+            with trace.span("cluster:route", shard=shard.shard_id):
+                response = shard.service.run(request, validate=False, entry=entry)
+        else:
+            response = shard.service.run(request, validate=False, entry=entry)
         return replace(response, shard=shard.shard_id)
 
     def execute(self, request: SearchRequest) -> SearchResponse | ErrorResponse:
@@ -309,26 +316,41 @@ class ClusterService(ServingBackendBase):
                 sub_batch, validate=False, entries=entries
             )
 
-        shard_responses = dict(self.executor.map(run_sub, sorted(per_shard.items())))
+        trace = current_trace()
+        fanout_span = (
+            trace.span("cluster:fanout", shards=len(per_shard))
+            if trace is not None
+            else nullcontext()
+        )
+        with fanout_span:
+            shard_responses = dict(
+                self.executor.map(run_sub, sorted(per_shard.items()))
+            )
 
-        entries: list[BatchEntry] = []
-        for query_index, query in enumerate(batch.queries):
-            cursors = {
-                shard_id: iter(response.entries[query_index].responses)
-                for shard_id, response in shard_responses.items()
-            }
-            responses = tuple(
-                replace(next(cursors[shard.shard_id]), shard=shard.shard_id)
-                for shard in owners
-            )
-            seconds = max(
-                (
-                    response.entries[query_index].seconds
-                    for response in shard_responses.values()
-                ),
-                default=0.0,
-            )
-            entries.append(BatchEntry(query=query, responses=responses, seconds=seconds))
+        merge_span = (
+            trace.span("cluster:merge") if trace is not None else nullcontext()
+        )
+        with merge_span:
+            entries: list[BatchEntry] = []
+            for query_index, query in enumerate(batch.queries):
+                cursors = {
+                    shard_id: iter(response.entries[query_index].responses)
+                    for shard_id, response in shard_responses.items()
+                }
+                responses = tuple(
+                    replace(next(cursors[shard.shard_id]), shard=shard.shard_id)
+                    for shard in owners
+                )
+                seconds = max(
+                    (
+                        response.entries[query_index].seconds
+                        for response in shard_responses.values()
+                    ),
+                    default=0.0,
+                )
+                entries.append(
+                    BatchEntry(query=query, responses=responses, seconds=seconds)
+                )
         return BatchResponse(entries=tuple(entries), documents=tuple(names))
 
     def execute_batch(self, batch: BatchRequest) -> BatchResponse | ErrorResponse:
@@ -497,14 +519,15 @@ class ClusterService(ServingBackendBase):
         return caps
 
     def stats(self) -> dict[str, Any]:
-        return {
-            "documents": len(self),
-            "shards": [
+        return stats_envelope(
+            self.backend_name,
+            documents=len(self),
+            shards=[
                 {"shard": shard.shard_id, "documents": len(shard)}
                 for shard in self.shards
             ],
-            "caches": self.cache_stats(),
-        }
+            caches=self.cache_stats(),
+        )
 
     def shard_summary(self) -> list[dict[str, object]]:
         """One row per shard: id, document count, document names."""

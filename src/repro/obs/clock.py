@@ -1,0 +1,36 @@
+"""The clock seam: the sanctioned door to ``time`` for serving modules.
+
+Serving code must not call ``time.time`` / ``time.perf_counter`` /
+``time.monotonic`` directly — the ``telemetry-discipline`` analysis rule
+flags that — because scattered raw clock reads are exactly how ad-hoc
+timing grows back after a tracing layer replaces it.  Routing every read
+through this module keeps one list of who measures what, and gives tests
+a single monkeypatch point to make time deterministic.
+
+Three clocks, three jobs:
+
+* :func:`perf_counter` — *interval* measurements (span durations, queue
+  delays).  Highest resolution, no epoch meaning.
+* :func:`monotonic` — *scheduling* decisions (health-check staleness,
+  backoff deadlines).  Never goes backwards.
+* :func:`wall_clock` — *timestamps for humans* (request-log lines).  The
+  only clock with an epoch; never used for intervals.
+"""
+
+from __future__ import annotations
+
+import time
+
+
+# Direct aliases, not wrapper functions: the seam is the *name* — one
+# module saying who measures what — and spans read the clock on the
+# hottest path in the stack, where a wrapper frame per read is real cost.
+
+#: High-resolution interval clock (span durations, queue delays).
+perf_counter = time.perf_counter
+
+#: Monotonic scheduling clock (health-check staleness, backoff deadlines).
+monotonic = time.monotonic
+
+#: Seconds since the Unix epoch — timestamps for humans only.
+wall_clock = time.time

@@ -1,0 +1,442 @@
+"""Per-request traces: spans, context propagation, cross-process stitching.
+
+One :class:`Trace` lives for one request.  The gateway's tracing stage
+creates it (assigning the ``request_id``), activates it in a contextvar,
+and every layer below — middleware stages, executors, the cluster router,
+remote shard round trips — opens :class:`Span`\\ s against whatever trace
+is active, without threading a handle through every signature.
+
+Contextvars do **not** cross thread-pool boundaries by themselves, so the
+propagation story is explicit where it has to be:
+
+* :func:`current_trace` + :func:`activate` — capture the active trace (and
+  the active span, for parenting) on the submitting side, re-activate it
+  inside the worker;
+* :func:`trace_header_value` / :func:`parse_trace_header` — carry the
+  ``request_id`` across a process boundary in the ``X-Repro-Trace``
+  request header; the remote server records its own spans under the same
+  ``request_id`` and ships them back in the ``X-Repro-Trace-Spans``
+  response header, which :meth:`Trace.absorb_wire` re-parents under the
+  calling span.  One request over a remote cluster yields one stitched
+  span tree.
+
+Span identity is deterministic per process: ``"<process>:<n>"`` from a
+per-trace counter — distinct processes carry distinct ``process`` tags
+(the coordinator's tag vs each shard server's ``server:<port>``), so
+stitched ids never collide and tests can assert exact shapes.
+
+Traces surface only through the opt-in ``meta`` block and the bounded
+:class:`TraceBuffer` behind ``GET /v1/trace`` — never in default wire
+bytes.
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+import threading
+from contextvars import ContextVar
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.obs.clock import perf_counter
+
+#: the trace active in the current execution context (None outside a request)
+_current_trace: ContextVar["Trace | None"] = ContextVar("repro_obs_trace", default=None)
+
+#: the id of the innermost open span, for parenting nested spans
+_current_span_id: ContextVar[str | None] = ContextVar("repro_obs_span", default=None)
+
+#: request header carrying the request_id across processes
+TRACE_HEADER = "X-Repro-Trace"
+
+#: response header carrying the remote side's recorded spans back
+TRACE_SPANS_HEADER = "X-Repro-Trace-Spans"
+
+#: hard cap on spans per trace — a runaway loop must not grow a request's
+#: trace without bound; later spans are dropped and counted
+MAX_SPANS = 512
+
+_MAX_REQUEST_ID = 64
+
+#: Request ids are "<process-random-prefix><counter>": unique across
+#: processes via the 8-byte random prefix, unique within one via the
+#: counter — and cheaper per request than fresh urandom on the hot path.
+_REQUEST_ID_PREFIX = os.urandom(8).hex()
+_REQUEST_ID_COUNTER = itertools.count(1)
+
+
+@dataclass(slots=True)
+class Span:
+    """One timed stage of a request.
+
+    ``start`` is seconds since the owning trace's origin *in the recording
+    process* — meaningful for ordering within a process, illustrative
+    across processes (clocks are not synchronised).
+    """
+
+    name: str
+    span_id: str
+    parent_id: str | None
+    seconds: float
+    start: float
+    process: str
+    attributes: dict[str, Any] = field(default_factory=dict)
+
+    def to_wire(self) -> dict[str, Any]:
+        wire: dict[str, Any] = {
+            "name": self.name,
+            "id": self.span_id,
+            "parent": self.parent_id,
+            "seconds": self.seconds,
+            "start": self.start,
+            "process": self.process,
+        }
+        if self.attributes:
+            wire["attributes"] = dict(self.attributes)
+        return wire
+
+    @classmethod
+    def from_wire(cls, wire: dict[str, Any]) -> "Span":
+        return cls(
+            name=str(wire.get("name", "")),
+            span_id=str(wire.get("id", "")),
+            parent_id=wire.get("parent"),
+            seconds=float(wire.get("seconds", 0.0)),
+            start=float(wire.get("start", 0.0)),
+            process=str(wire.get("process", "")),
+            attributes=dict(wire.get("attributes", {}) or {}),
+        )
+
+
+class _OpenSpan:
+    """The context manager behind :meth:`Trace.span`.
+
+    A hand-rolled class, not ``@contextmanager``: spans open on the warm
+    search path, where the generator machinery is measurable overhead.
+    """
+
+    __slots__ = ("_trace", "_name", "_attributes", "_span_id", "_parent", "_token", "_started")
+
+    def __init__(self, trace: "Trace", name: str, attributes: dict[str, Any]):
+        self._trace = trace
+        self._name = name
+        self._attributes = attributes
+
+    def __enter__(self) -> str:
+        trace = self._trace
+        self._parent = _current_span_id.get()
+        self._span_id = span_id = f"{trace.process}:{next(trace._counter)}"
+        self._token = _current_span_id.set(span_id)
+        self._started = perf_counter()
+        return span_id
+
+    def __exit__(self, *_exc: Any) -> None:
+        ended = perf_counter()
+        _current_span_id.reset(self._token)
+        trace = self._trace
+        # Lock-free: list.append is atomic under the GIL, and the cap is
+        # re-enforced at export, so a racing overshoot cannot leak past
+        # MAX_SPANS onto the wire.
+        spans = trace._spans
+        if len(spans) < MAX_SPANS:
+            spans.append(
+                (
+                    self._name,
+                    self._span_id,
+                    self._parent,
+                    ended - self._started,
+                    self._started - trace._origin,
+                    trace.process,
+                    self._attributes,
+                )
+            )
+        else:
+            with trace._lock:
+                trace._dropped += 1
+
+
+class Trace:
+    """The span collection for one request; thread-safe."""
+
+    def __init__(self, request_id: str | None = None, process: str = "local"):
+        self.request_id = (
+            request_id or f"{_REQUEST_ID_PREFIX}-{next(_REQUEST_ID_COUNTER):x}"
+        )
+        self.process = process
+        self._lock = threading.Lock()
+        # Finished spans live as plain tuples in Span field order —
+        # constructing a dataclass per span on the warm path is measurable;
+        # Span objects materialise only when someone reads the trace.
+        self._spans: list[tuple[Any, ...]] = []
+        # itertools.count increments atomically under the GIL — span ids
+        # need no lock, and spans open on the warm search path.
+        self._counter = itertools.count(1)
+        self._dropped = 0
+        self._origin = perf_counter()
+
+    # ------------------------------------------------------------------ #
+    # recording
+    # ------------------------------------------------------------------ #
+    def _next_id(self) -> str:
+        return f"{self.process}:{next(self._counter)}"
+
+    def _record(self, row: tuple[Any, ...]) -> None:
+        # Same lock-free append as _OpenSpan.__exit__: atomic under the
+        # GIL, cap re-enforced at export.
+        if len(self._spans) < MAX_SPANS:
+            # repro: ignore[lock-discipline]
+            self._spans.append(row)
+        else:
+            with self._lock:
+                self._dropped += 1
+
+    def span(self, name: str, **attributes: Any) -> _OpenSpan:
+        """Open a span around the body; nested spans parent automatically."""
+        return _OpenSpan(self, name, attributes)
+
+    def add_span(
+        self,
+        name: str,
+        seconds: float,
+        parent_id: str | None = None,
+        **attributes: Any,
+    ) -> str:
+        """Record an already-measured leaf span (queue delays, absorbed
+        phase timings) under ``parent_id`` or the currently open span."""
+        span_id = self._next_id()
+        self._record(
+            (
+                name,
+                span_id,
+                parent_id if parent_id is not None else _current_span_id.get(),
+                float(seconds),
+                perf_counter() - self._origin,
+                self.process,
+                attributes,
+            )
+        )
+        return span_id
+
+    def absorb_timings(
+        self, phases: dict[str, float], prefix: str = "phase:"
+    ) -> None:
+        """Fold a :class:`~repro.utils.timing.TimingBreakdown`'s per-phase
+        totals in as leaf spans under the currently open span."""
+        for phase, seconds in phases.items():
+            self.add_span(f"{prefix}{phase}", seconds)
+
+    def absorb_wire(
+        self, spans: list[dict[str, Any]], parent_id: str | None = None
+    ) -> None:
+        """Stitch spans recorded by a remote process into this trace.
+
+        Remote root spans (no parent, or a parent outside the shipped set)
+        are re-parented under ``parent_id`` (default: the currently open
+        span); interior parent links are preserved.
+        """
+        anchor = parent_id if parent_id is not None else _current_span_id.get()
+        known = {wire.get("id") for wire in spans if isinstance(wire, dict)}
+        for wire in spans:
+            if not isinstance(wire, dict):
+                continue
+            span = Span.from_wire(wire)
+            if span.parent_id is None or span.parent_id not in known:
+                span.parent_id = anchor
+            self._record(
+                (
+                    span.name,
+                    span.span_id,
+                    span.parent_id,
+                    span.seconds,
+                    span.start,
+                    span.process,
+                    span.attributes,
+                )
+            )
+
+    # ------------------------------------------------------------------ #
+    # export
+    # ------------------------------------------------------------------ #
+    def _rows(self) -> tuple[list[tuple[Any, ...]], int]:
+        """A consistent snapshot of (recorded rows, dropped count), with
+        the span cap re-enforced against racing lock-free appends."""
+        with self._lock:
+            rows = list(self._spans)
+            dropped = self._dropped
+        if len(rows) > MAX_SPANS:
+            dropped += len(rows) - MAX_SPANS
+            rows = rows[:MAX_SPANS]
+        return rows, dropped
+
+    @property
+    def spans(self) -> list[Span]:
+        rows, _dropped = self._rows()
+        return [Span(*row) for row in rows]
+
+    def to_wire(self) -> dict[str, Any]:
+        """The trace as plain JSON-able data (the meta / buffer / header
+        representation)."""
+        rows, dropped = self._rows()
+        spans = []
+        for name, span_id, parent_id, seconds, start, process, attributes in rows:
+            span: dict[str, Any] = {
+                "name": name,
+                "id": span_id,
+                "parent": parent_id,
+                "seconds": seconds,
+                "start": start,
+                "process": process,
+            }
+            if attributes:
+                span["attributes"] = dict(attributes)
+            spans.append(span)
+        wire: dict[str, Any] = {"request_id": self.request_id, "spans": spans}
+        if dropped:
+            wire["dropped_spans"] = dropped
+        return wire
+
+
+# ---------------------------------------------------------------------- #
+# context propagation
+# ---------------------------------------------------------------------- #
+def current_trace() -> Trace | None:
+    """The trace active in this execution context, if any."""
+    return _current_trace.get()
+
+
+def current_span_id() -> str | None:
+    """The id of the innermost open span in this context, if any."""
+    return _current_span_id.get()
+
+
+class activate:
+    """Make ``trace`` the context's active trace for the body.
+
+    ``parent_span_id`` seeds span parenting — the explicit-propagation
+    hook: capture ``current_span_id()`` where work is submitted, pass it
+    here inside the worker, and the worker's spans nest under the
+    submitting span.  ``activate(None)`` masks any outer trace.
+
+    A class-based context manager (lower-case by convention of its use as
+    ``with activate(trace):``): it runs once per request and per executor
+    hop, where ``@contextmanager`` generator machinery is real cost.
+    """
+
+    __slots__ = ("_trace", "_parent", "_trace_token", "_span_token")
+
+    def __init__(self, trace: Trace | None, parent_span_id: str | None = None):
+        self._trace = trace
+        self._parent = parent_span_id
+
+    def __enter__(self) -> None:
+        self._trace_token = _current_trace.set(self._trace)
+        self._span_token = _current_span_id.set(self._parent)
+
+    def __exit__(self, *_exc: Any) -> None:
+        _current_span_id.reset(self._span_token)
+        _current_trace.reset(self._trace_token)
+
+
+# ---------------------------------------------------------------------- #
+# cross-process propagation
+# ---------------------------------------------------------------------- #
+def trace_header_value(trace: Trace) -> str:
+    """The ``X-Repro-Trace`` request-header value for ``trace``."""
+    return trace.request_id
+
+
+def parse_trace_header(value: str | None) -> str | None:
+    """The request_id carried by an ``X-Repro-Trace`` header, or None.
+
+    Malformed values (empty, oversized, non-token characters) are treated
+    as absent — a garbage header must not fail or slow the request.
+    """
+    if not value:
+        return None
+    request_id = value.strip()
+    if not request_id or len(request_id) > _MAX_REQUEST_ID:
+        return None
+    if not all(ch.isalnum() or ch in "-_.:" for ch in request_id):
+        return None
+    return request_id
+
+
+class TraceBuffer:
+    """A bounded newest-N ring of finished traces, keyed by request_id."""
+
+    def __init__(self, capacity: int = 128):
+        if not isinstance(capacity, int) or isinstance(capacity, bool) or capacity < 1:
+            raise ValueError(f"capacity must be a positive integer, got {capacity!r}")
+        self.capacity = capacity
+        self._lock = threading.Lock()
+        # Entries stay as Trace objects until someone reads them —
+        # serialising every request's trace to wire dicts would tax the
+        # hot path for a debug surface that is read rarely.
+        self._traces: dict[str, "Trace | dict[str, Any]"] = {}
+
+    def put(self, trace: "Trace | dict[str, Any]") -> None:
+        if isinstance(trace, Trace):
+            request_id: Any = trace.request_id
+            entry: Trace | dict[str, Any] = trace
+        else:
+            entry = dict(trace)
+            request_id = entry.get("request_id")
+        if not isinstance(request_id, str) or not request_id:
+            return
+        with self._lock:
+            # Re-inserting moves the trace to the newest slot (dicts keep
+            # insertion order); the oldest entry is evicted past capacity.
+            self._traces.pop(request_id, None)
+            self._traces[request_id] = entry
+            while len(self._traces) > self.capacity:
+                oldest = next(iter(self._traces))
+                del self._traces[oldest]
+
+    @staticmethod
+    def _as_wire(entry: "Trace | dict[str, Any]") -> dict[str, Any]:
+        return entry.to_wire() if isinstance(entry, Trace) else entry
+
+    def get(self, request_id: str) -> dict[str, Any] | None:
+        with self._lock:
+            entry = self._traces.get(request_id)
+        return None if entry is None else self._as_wire(entry)
+
+    def newest(self, count: int = 10) -> list[dict[str, Any]]:
+        """The most recent traces, newest first."""
+        with self._lock:
+            recent = list(self._traces.values())
+        return [self._as_wire(entry) for entry in recent[::-1][: max(0, count)]]
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._traces)
+
+
+def format_trace(wire: dict[str, Any]) -> str:
+    """Render a wire-shaped trace as an indented span tree (CLI output)."""
+    spans = [span for span in wire.get("spans", []) if isinstance(span, dict)]
+    by_parent: dict[str | None, list[dict[str, Any]]] = {}
+    known = {span.get("id") for span in spans}
+    for span in spans:
+        parent = span.get("parent")
+        if parent not in known:
+            parent = None
+        by_parent.setdefault(parent, []).append(span)
+
+    lines = [f"trace {wire.get('request_id', '?')}"]
+
+    def walk(parent: str | None, depth: int) -> None:
+        for span in by_parent.get(parent, []):
+            indent = "  " * depth
+            millis = span.get("seconds", 0.0) * 1000.0
+            lines.append(
+                f"{indent}- {span.get('name', '?')}  {millis:.3f} ms"
+                f"  [{span.get('process', '?')}]"
+            )
+            walk(span.get("id"), depth + 1)
+
+    walk(None, 1)
+    if wire.get("dropped_spans"):
+        lines.append(f"  ({wire['dropped_spans']} spans dropped at the cap)")
+    return "\n".join(lines)

@@ -9,14 +9,15 @@ paper's efficiency figures show.
 
 from __future__ import annotations
 
-import time
 from collections.abc import Iterator
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 
+from repro.obs.clock import perf_counter
+
 
 class Stopwatch:
-    """A restartable wall-clock stopwatch based on ``time.perf_counter``."""
+    """A restartable wall-clock stopwatch based on the monotonic clock."""
 
     def __init__(self) -> None:
         self._start: float | None = None
@@ -24,14 +25,14 @@ class Stopwatch:
 
     def start(self) -> "Stopwatch":
         """Start (or restart) measuring; returns ``self`` for chaining."""
-        self._start = time.perf_counter()
+        self._start = perf_counter()
         return self
 
     def stop(self) -> float:
         """Stop measuring and add the interval to :attr:`elapsed`."""
         if self._start is None:
             raise RuntimeError("Stopwatch.stop() called before start()")
-        self.elapsed += time.perf_counter() - self._start
+        self.elapsed += perf_counter() - self._start
         self._start = None
         return self.elapsed
 
@@ -62,11 +63,11 @@ class TimingBreakdown:
     @contextmanager
     def measure(self, phase: str) -> Iterator[None]:
         """Context manager adding the elapsed time of its body to ``phase``."""
-        start = time.perf_counter()
+        start = perf_counter()
         try:
             yield
         finally:
-            elapsed = time.perf_counter() - start
+            elapsed = perf_counter() - start
             self.add(phase, elapsed)
 
     def add(self, phase: str, seconds: float) -> None:

@@ -165,6 +165,55 @@ class TestWireDeterminism:
 
 
 # ---------------------------------------------------------------------- #
+# telemetry-discipline
+# ---------------------------------------------------------------------- #
+class TestTelemetryDiscipline:
+    RULE = "telemetry-discipline"
+
+    def test_perf_counter_fires_in_serving_module(self, lint_tree):
+        source = "import time\n\ndef elapsed(t0):\n    return time.perf_counter() - t0\n"
+        findings = lint_tree({"repro/api/gateway.py": source}, self.RULE)
+        assert [f.rule_id for f in findings] == [self.RULE]
+        assert "repro.obs.clock.perf_counter" in findings[0].message
+
+    def test_monotonic_fires(self, lint_tree):
+        source = "import time\n\ndef deadline(t):\n    return time.monotonic() + t\n"
+        findings = lint_tree({"repro/cluster/remote.py": source}, self.RULE)
+        assert len(findings) == 1
+        assert "monotonic" in findings[0].message
+
+    def test_wall_clock_fires(self, lint_tree):
+        source = "import time\n\ndef stamp():\n    return time.time()\n"
+        findings = lint_tree({"repro/utils/timing.py": source}, self.RULE)
+        assert len(findings) == 1
+        assert "wall_clock" in findings[0].message
+
+    def test_obs_clock_seam_is_clean(self, lint_tree):
+        source = (
+            "from repro.obs.clock import perf_counter\n\n"
+            "def elapsed(t0):\n"
+            "    return perf_counter() - t0\n"
+        )
+        assert lint_tree({"repro/api/gateway.py": source}, self.RULE) == []
+
+    def test_time_sleep_is_allowed(self, lint_tree):
+        source = "import time\n\ndef pace():\n    time.sleep(0.02)\n"
+        assert lint_tree({"repro/cluster/remote.py": source}, self.RULE) == []
+
+    def test_non_serving_module_is_out_of_scope(self, lint_tree):
+        source = "import time\n\ndef elapsed(t0):\n    return time.perf_counter() - t0\n"
+        assert lint_tree({"repro/eval/harness.py": source}, self.RULE) == []
+
+    def test_suppression(self, lint_tree):
+        source = (
+            "import time\n\n"
+            "def elapsed(t0):\n"
+            "    return time.perf_counter() - t0  # repro: ignore[telemetry-discipline]\n"
+        )
+        assert lint_tree({"repro/api/gateway.py": source}, self.RULE) == []
+
+
+# ---------------------------------------------------------------------- #
 # error-contract
 # ---------------------------------------------------------------------- #
 _ERRORS_MODULE = """\

@@ -120,7 +120,13 @@ class TestServingBackendProtocol:
         stack = build_gateway(service, max_in_flight=2, deadline=5.0)
         caps = stack.capabilities()
         assert caps["backend"] == "snippet-service"
-        assert caps["middleware"] == ["admission", "deadline", "validation", "metrics"]
+        assert caps["middleware"] == [
+            "admission",
+            "deadline",
+            "validation",
+            "metrics",
+            "tracing",
+        ]
         assert caps["documents"] == 1
 
 
@@ -367,7 +373,7 @@ class TestOrdering:
         # build_gateway puts validation outside admission: garbage must be
         # rejected without ever touching the admission counters.
         stack = build_gateway(service, max_in_flight=1, metrics=False)
-        admission = stack.inner  # validation -> admission -> backend
+        admission = stack.inner.inner  # tracing -> validation -> admission -> backend
         assert isinstance(admission, AdmissionControlMiddleware)
         response = stack.execute(SearchRequest(query="", document="stores"))
         assert response.code == "bad_request"

@@ -1,0 +1,177 @@
+"""Unit tests for the metrics registry: counters, gauges, histograms."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    METRICS_SCHEMA_VERSION,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+
+
+class TestCounter:
+    def test_inc_and_value_by_label(self):
+        counter = Counter("repro_requests_total", "requests", ("kind",))
+        counter.inc(kind="search")
+        counter.inc(2, kind="search")
+        counter.inc(kind="batch")
+        assert counter.value(kind="search") == 3
+        assert counter.value(kind="batch") == 1
+        assert counter.value(kind="update") == 0
+
+    def test_negative_increment_rejected(self):
+        counter = Counter("c_total", "help")
+        with pytest.raises(ValueError):
+            counter.inc(-1)
+
+    def test_label_mismatch_rejected(self):
+        counter = Counter("c_total", "help", ("kind",))
+        with pytest.raises(ValueError):
+            counter.inc(code="oops")
+        with pytest.raises(ValueError):
+            counter.inc()
+
+    def test_invalid_metric_name_rejected(self):
+        with pytest.raises(ValueError):
+            Counter("9starts_with_digit", "help")
+        with pytest.raises(ValueError):
+            Counter("has space", "help")
+
+    def test_prometheus_render(self):
+        counter = Counter("repro_requests_total", "Requests served.", ("kind",))
+        counter.inc(kind="search")
+        lines = counter.render()
+        assert "# HELP repro_requests_total Requests served." in lines
+        assert "# TYPE repro_requests_total counter" in lines
+        assert 'repro_requests_total{kind="search"} 1' in lines
+
+
+class TestGauge:
+    def test_set_add_value(self):
+        gauge = Gauge("repro_in_flight", "help")
+        gauge.set(5)
+        gauge.add(-2)
+        assert gauge.value() == 3
+
+    def test_render_without_labels(self):
+        gauge = Gauge("repro_documents", "help")
+        gauge.set(12)
+        assert "repro_documents 12" in gauge.render()
+
+
+class TestHistogram:
+    def test_count_and_sum(self):
+        histogram = Histogram("repro_seconds", "help", ("kind",))
+        for value in (0.001, 0.002, 0.2):
+            histogram.observe(value, kind="search")
+        assert histogram.count(kind="search") == 3
+        snapshot = histogram.snapshot()["series"][0]
+        assert snapshot["count"] == 3
+        assert snapshot["sum"] == pytest.approx(0.203)
+
+    def test_buckets_are_cumulative_in_snapshot(self):
+        histogram = Histogram("h_seconds", "help", buckets=(0.1, 1.0))
+        histogram.observe(0.05)
+        histogram.observe(0.5)
+        histogram.observe(5.0)  # overflow → +Inf only
+        buckets = histogram.snapshot()["series"][0]["buckets"]
+        assert buckets["0.1"] == 1
+        assert buckets["1.0"] == 2
+        assert buckets["+Inf"] == 3
+
+    def test_quantiles_interpolate(self):
+        histogram = Histogram("h_seconds", "help", buckets=(1.0, 2.0, 4.0))
+        for value in (0.5,) * 50 + (1.5,) * 50:
+            histogram.observe(value)
+        # p50 falls on the boundary of the first bucket; p99 inside the second
+        assert histogram.quantile(0.5) == pytest.approx(1.0)
+        assert 1.0 < histogram.quantile(0.99) <= 2.0
+
+    def test_quantile_of_empty_series_is_zero(self):
+        histogram = Histogram("h_seconds", "help")
+        assert histogram.quantile(0.95) == 0.0
+
+    def test_quantile_overflow_returns_last_bound(self):
+        histogram = Histogram("h_seconds", "help", buckets=(0.1, 1.0))
+        histogram.observe(100.0)
+        assert histogram.quantile(0.99) == 1.0
+
+    def test_quantile_range_checked(self):
+        histogram = Histogram("h_seconds", "help")
+        with pytest.raises(ValueError):
+            histogram.quantile(1.5)
+
+    def test_snapshot_reports_p50_p95_p99(self):
+        histogram = Histogram("h_seconds", "help")
+        histogram.observe(0.01)
+        quantiles = histogram.snapshot()["series"][0]["quantiles"]
+        assert set(quantiles) == {"p50", "p95", "p99"}
+
+    def test_prometheus_render_shape(self):
+        histogram = Histogram("h_seconds", "help", ("kind",), buckets=(0.1, 1.0))
+        histogram.observe(0.05, kind="search")
+        text = "\n".join(histogram.render())
+        assert 'h_seconds_bucket{kind="search",le="0.1"} 1' in text
+        assert 'h_seconds_bucket{kind="search",le="+Inf"} 1' in text
+        assert 'h_seconds_sum{kind="search"} 0.05' in text
+        assert 'h_seconds_count{kind="search"} 1' in text
+
+    def test_needs_at_least_one_bucket(self):
+        with pytest.raises(ValueError):
+            Histogram("h_seconds", "help", buckets=())
+
+    def test_default_buckets_are_sorted(self):
+        assert list(DEFAULT_BUCKETS) == sorted(DEFAULT_BUCKETS)
+
+
+class TestMetricsRegistry:
+    def test_get_or_create_shares_series(self):
+        registry = MetricsRegistry()
+        first = registry.counter("repro_requests_total", "help", ("kind",))
+        second = registry.counter("repro_requests_total", "help", ("kind",))
+        assert first is second
+
+    def test_type_mismatch_rejected(self):
+        registry = MetricsRegistry()
+        registry.counter("repro_thing", "help")
+        with pytest.raises(ValueError):
+            registry.gauge("repro_thing", "help")
+
+    def test_snapshot_is_schema_versioned(self):
+        registry = MetricsRegistry()
+        registry.counter("repro_a_total", "help").inc()
+        snapshot = registry.snapshot()
+        assert snapshot["schema_version"] == METRICS_SCHEMA_VERSION
+        assert "repro_a_total" in snapshot["metrics"]
+
+    def test_collector_runs_on_export(self):
+        registry = MetricsRegistry()
+        registry.register_collector(
+            lambda reg: reg.gauge("repro_docs", "help").set(7)
+        )
+        snapshot = registry.snapshot()
+        assert snapshot["metrics"]["repro_docs"]["series"][0]["value"] == 7
+
+    def test_broken_collector_does_not_fail_export(self):
+        registry = MetricsRegistry()
+
+        def explode(_reg):
+            raise RuntimeError("collector bug")
+
+        registry.register_collector(explode)
+        registry.counter("repro_ok_total", "help").inc()
+        assert "repro_ok_total" in registry.snapshot()["metrics"]
+        assert registry.render_prometheus().endswith("\n")
+
+    def test_prometheus_export_concatenates_metrics(self):
+        registry = MetricsRegistry()
+        registry.counter("repro_a_total", "help a").inc()
+        registry.histogram("repro_b_seconds", "help b").observe(0.01)
+        text = registry.render_prometheus()
+        assert "# TYPE repro_a_total counter" in text
+        assert "# TYPE repro_b_seconds histogram" in text

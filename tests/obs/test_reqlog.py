@@ -1,0 +1,122 @@
+"""Unit tests for the structured request log."""
+
+from __future__ import annotations
+
+import io
+import json
+
+import pytest
+
+from repro.api.protocol import SearchRequest, SearchResponse
+from repro.obs.reqlog import RequestLogger
+from repro.obs.trace import Trace, activate
+
+
+def _request() -> SearchRequest:
+    return SearchRequest(query="store texas", document="stores")
+
+
+def _response(**overrides) -> SearchResponse:
+    defaults = dict(
+        query="store texas", document="stores", keywords=("store", "texas"),
+        algorithm="slca", total_results=0, page=1, page_size=None,
+        next_page=None, results=(),
+    )
+    defaults.update(overrides)
+    return SearchResponse(**defaults)
+
+
+class TestRequestLogger:
+    def test_one_json_line_per_request(self):
+        sink = io.StringIO()
+        logger = RequestLogger(sink)
+        logger(_request(), _response(), 0.004)
+        logger(_request(), _response(), 0.005)
+        lines = sink.getvalue().splitlines()
+        assert len(lines) == 2
+        record = json.loads(lines[0])
+        assert record["kind"] == "search"
+        assert record["document"] == "stores"
+        assert record["seconds"] == 0.004
+        assert record["slow"] is False
+        assert record["code"] is None
+
+    def test_request_id_joins_the_active_trace(self):
+        sink = io.StringIO()
+        logger = RequestLogger(sink)
+        trace = Trace(request_id="req-42")
+        with activate(trace):
+            logger(_request(), _response(), 0.001)
+        record = json.loads(sink.getvalue())
+        assert record["request_id"] == "req-42"
+
+    def test_no_trace_means_null_request_id(self):
+        sink = io.StringIO()
+        RequestLogger(sink)(_request(), _response(), 0.001)
+        assert json.loads(sink.getvalue())["request_id"] is None
+
+    def test_slow_flag_at_threshold(self):
+        sink = io.StringIO()
+        logger = RequestLogger(sink, slow_query_ms=10.0)
+        logger(_request(), _response(), 0.010)  # exactly at the threshold
+        logger(_request(), _response(), 0.002)
+        first, second = (json.loads(line) for line in sink.getvalue().splitlines())
+        assert first["slow"] is True
+        assert second["slow"] is False
+
+    def test_only_slow_suppresses_fast_requests(self):
+        sink = io.StringIO()
+        logger = RequestLogger(sink, slow_query_ms=10.0, only_slow=True)
+        logger(_request(), _response(), 0.002)
+        assert sink.getvalue() == ""
+        logger(_request(), _response(), 0.020)
+        assert json.loads(sink.getvalue())["slow"] is True
+
+    def test_only_slow_requires_threshold(self):
+        with pytest.raises(ValueError):
+            RequestLogger(io.StringIO(), only_slow=True)
+
+    def test_negative_threshold_rejected(self):
+        with pytest.raises(ValueError):
+            RequestLogger(io.StringIO(), slow_query_ms=-1)
+
+    def test_shard_and_cache_provenance_logged_when_present(self):
+        sink = io.StringIO()
+        logger = RequestLogger(sink)
+        logger(_request(), _response(shard=2, from_cache=True), 0.001)
+        record = json.loads(sink.getvalue())
+        assert record["shard"] == 2
+        assert record["from_cache"] is True
+
+    def test_absent_provenance_fields_are_omitted(self):
+        # A non-sharded search response carries no shard provenance; an
+        # object without the attributes (a batch response, say) omits both.
+        sink = io.StringIO()
+        logger = RequestLogger(sink)
+        logger(_request(), _response(), 0.001)
+        record = json.loads(sink.getvalue())
+        assert "shard" not in record
+        assert record["from_cache"] is False
+
+        sink.truncate(0)
+        sink.seek(0)
+        logger(object(), object(), 0.001)
+        record = json.loads(sink.getvalue())
+        assert "shard" not in record
+        assert "from_cache" not in record
+        assert record["kind"] is None
+
+    def test_failing_sink_never_raises(self):
+        class BrokenSink:
+            def write(self, _text):
+                raise OSError("disk full")
+
+            def flush(self):
+                raise OSError("disk full")
+
+        RequestLogger(BrokenSink())(_request(), _response(), 0.001)
+
+    def test_closed_stringio_never_raises(self):
+        sink = io.StringIO()
+        sink.close()
+        RequestLogger(sink)(_request(), _response(), 0.001)
