@@ -80,12 +80,19 @@ def test_warm_http_search_within_overhead_budget():
     record_benchmark(
         "http_throughput",
         [
-            bench_row("in_process_handle_json_warm", in_process),
+            bench_row(
+                "in_process_handle_json_warm",
+                in_process,
+                requests=len(texts),
+                throughput_rps=len(texts) / in_process,
+            ),
             bench_row(
                 "http_search_warm",
                 over_http,
                 baseline_op="in_process_handle_json_warm",
                 baseline_seconds=in_process,
+                requests=len(texts),
+                throughput_rps=len(texts) / over_http,
             ),
         ],
     )

@@ -182,12 +182,17 @@ def test_two_replicas_scale_read_throughput():
     record_benchmark(
         "remote_cluster",
         [
-            bench_row("read_throughput_1_replica", 1.0 / single_rate),
+            bench_row(
+                "read_throughput_1_replica",
+                1.0 / single_rate,
+                throughput_rps=single_rate,
+            ),
             bench_row(
                 "read_throughput_2_replicas",
                 1.0 / double_rate,
                 baseline_op="read_throughput_1_replica",
                 baseline_seconds=1.0 / single_rate,
+                throughput_rps=double_rate,
             ),
         ],
     )

@@ -12,18 +12,27 @@ trend-plotting script.
 Report schema (stable, ``schema_version``-stamped)::
 
     {
-      "schema_version": 1,
+      "schema_version": 2,
       "benchmark": "<name>",
       "results": [
         {"op": "<operation>", "seconds": <wall time>,
-         "baseline_op": "...", "baseline_seconds": ..., "speedup": ...},
+         "baseline_op": "...", "baseline_seconds": ..., "speedup": ...,
+         "requests": ..., "latency": {"p50": ..., "p95": ..., "p99": ...},
+         "throughput_rps": ..., "error_rate": ..., "shed_rate": ...,
+         "cache_hit_rate": ...},
         ...
       ]
     }
 
 ``speedup`` is ``baseline_seconds / seconds`` (> 1 means the measured op
 beats its baseline); rows without a baseline omit the three baseline
-fields.  Repeated calls for the same benchmark merge by ``op`` — each test
+fields.  Schema v2 adds the optional workload fields — ``requests``,
+``latency`` percentiles (seconds), ``throughput_rps`` (requests/second)
+and the ``error_rate``/``shed_rate``/``cache_hit_rate`` ratios in
+``[0, 1]`` — which the load harness (``repro.eval.loadgen``) fills in;
+point benchmarks keep emitting plain ``seconds``/``speedup`` rows, and
+v1 files on disk are still read and merged (every v1 row is a valid v2
+row).  Repeated calls for the same benchmark merge by ``op`` — each test
 of a module contributes its rows without clobbering the others — and rows
 are kept sorted by ``op`` so the file is diff-stable apart from the
 volatile timings themselves.
@@ -39,7 +48,11 @@ from typing import Any
 REPORT_DIR_ENV = "REPRO_BENCH_REPORT_DIR"
 
 #: bump on incompatible report-schema change
-REPORT_SCHEMA_VERSION = 1
+REPORT_SCHEMA_VERSION = 2
+
+#: schema versions whose rows are forward-compatible with the current
+#: writer (v1 rows are a strict subset of v2 rows)
+COMPATIBLE_SCHEMA_VERSIONS = frozenset({1, 2})
 
 
 def report_dir() -> str:
@@ -57,38 +70,73 @@ def bench_row(
     seconds: float,
     baseline_op: str | None = None,
     baseline_seconds: float | None = None,
+    *,
+    requests: int | None = None,
+    latency: dict[str, float | None] | None = None,
+    throughput_rps: float | None = None,
+    error_rate: float | None = None,
+    shed_rate: float | None = None,
+    cache_hit_rate: float | None = None,
 ) -> dict[str, Any]:
-    """One result row; computes the speedup when a baseline is given."""
+    """One result row; computes the speedup when a baseline is given.
+
+    The keyword-only workload fields (schema v2) are emitted only when
+    given, so point benchmarks' rows look exactly as they did under v1.
+    ``latency`` maps percentile names (``p50``/``p95``/``p99``) to
+    seconds; a percentile over an empty sample may be ``None``.
+    """
     row: dict[str, Any] = {"op": op, "seconds": seconds}
     if baseline_op is not None and baseline_seconds is not None:
         row["baseline_op"] = baseline_op
         row["baseline_seconds"] = baseline_seconds
         row["speedup"] = baseline_seconds / max(seconds, 1e-12)
+    if requests is not None:
+        row["requests"] = requests
+    if latency is not None:
+        row["latency"] = dict(latency)
+    if throughput_rps is not None:
+        row["throughput_rps"] = throughput_rps
+    if error_rate is not None:
+        row["error_rate"] = error_rate
+    if shed_rate is not None:
+        row["shed_rate"] = shed_rate
+    if cache_hit_rate is not None:
+        row["cache_hit_rate"] = cache_hit_rate
     return row
+
+
+def load_report(name: str) -> dict[str, Any] | None:
+    """Parse ``BENCH_<name>.json`` if it exists and carries a compatible
+    schema version; ``None`` for missing, corrupt or foreign files."""
+    try:
+        with open(report_path(name), "r", encoding="utf-8") as handle:
+            report = json.load(handle)
+    except (OSError, ValueError):
+        return None
+    if (
+        isinstance(report, dict)
+        and report.get("schema_version") in COMPATIBLE_SCHEMA_VERSIONS
+        and report.get("benchmark") == name
+    ):
+        return report
+    return None
 
 
 def record_benchmark(name: str, rows: list[dict[str, Any]]) -> str:
     """Merge ``rows`` into ``BENCH_<name>.json``; returns the file path.
 
     Rows replace existing rows with the same ``op``, so re-running a test
-    refreshes its numbers while other tests' rows survive.  A corrupt or
-    foreign existing file is overwritten rather than trusted.
+    refreshes its numbers while other tests' rows survive.  A compatible
+    older-schema file is merged and rewritten at the current version; a
+    corrupt or foreign existing file is overwritten rather than trusted.
     """
     path = report_path(name)
     existing: dict[str, dict[str, Any]] = {}
-    try:
-        with open(path, "r", encoding="utf-8") as handle:
-            previous = json.load(handle)
-        if (
-            isinstance(previous, dict)
-            and previous.get("schema_version") == REPORT_SCHEMA_VERSION
-            and previous.get("benchmark") == name
-        ):
-            for row in previous.get("results", []):
-                if isinstance(row, dict) and isinstance(row.get("op"), str):
-                    existing[row["op"]] = row
-    except (OSError, ValueError):
-        pass
+    previous = load_report(name)
+    if previous is not None:
+        for row in previous.get("results", []):
+            if isinstance(row, dict) and isinstance(row.get("op"), str):
+                existing[row["op"]] = row
     for row in rows:
         existing[row["op"]] = row
     report = {

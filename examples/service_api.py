@@ -339,6 +339,40 @@ def main() -> None:
     #   python -m repro.cli serve --dataset figure5-stores --port 8080 \
     #       --request-log requests.jsonl --slow-query-ms 50
 
+    # ------------------------------------------------------------------ #
+    # 11. the load harness: seeded mixed traffic + the ablation matrix
+    # ------------------------------------------------------------------ #
+    # Point benchmarks time one operation; serving regressions live in the
+    # mixture.  A LoadProfile plus a corpus deterministically plans a
+    # Zipf-skewed search/batch/update stream (same seed ⇒ byte-identical
+    # payloads in the same order), and run_load fires it through a
+    # ClientPool while scraping GET /v1/stats before and after — so the
+    # cache-hit and shed rates cover exactly the requests of this run.
+    # Full tour: docs/loadgen.md.
+    from repro.eval.loadgen import LoadProfile, build_plan, run_load
+
+    load_corpus = fresh_corpus()
+    profile = LoadProfile(seed=7, requests=24, concurrency=2)
+    plan = build_plan(load_corpus, profile)
+    print(f"\n=== load plan: {len(plan)} requests, signature "
+          f"{plan.signature()[:12]}… ===")
+
+    with HttpServer(build_gateway(SnippetService(load_corpus)), port=0) as server:
+        report = run_load(plan, port=server.port)
+    latency = {name: f"{value * 1000:.2f} ms" if value is not None else "-"
+               for name, value in report.latency.items()}
+    print(f"{report.requests_sent} requests at "
+          f"{report.throughput_rps:.1f} req/s, latency {latency}, "
+          f"cache hit rate {report.cache_hit_rate}")
+
+    # The same run from the command line (plus --report BENCH_loadgen.json
+    # to persist schema-v2 rows), and the baseline-plus-one-flip ablation
+    # matrix — caches on/off, admission limits, deadlines — each
+    # configuration served by a freshly spawned process replaying the
+    # identical plan:
+    #   python -m repro.cli loadgen --dataset retail --seed 7 --requests 48
+    #   python -m repro.cli loadgen-ablate --dataset retail --smoke
+
 
 if __name__ == "__main__":
     main()

@@ -24,6 +24,9 @@ rules are grounded in):
                             bytes keep their magics in module-level
                             ``*MAGIC*`` constants tied to a named
                             ``*_FORMAT_VERSION``
+``seeded-rng``              ``repro.eval`` modules draw randomness only
+                            from an injected ``random.Random(seed)``;
+                            bare ``random.*`` module calls are findings
 ==========================  =============================================
 
 Every rule is suppressible per line with ``# repro: ignore[rule-id]``.
@@ -1028,3 +1031,63 @@ class FormatVersionRule(Rule):
             isinstance(node, ast.Name) and node.id.endswith("_FORMAT_VERSION")
             for node in ast.walk(tree)
         )
+
+
+# ---------------------------------------------------------------------- #
+# seeded-rng
+# ---------------------------------------------------------------------- #
+@register_rule
+class SeededRngRule(Rule):
+    """Evaluation code draws randomness from an injected seeded generator.
+
+    The evaluation contract (PR 10): every experiment and load run is
+    replayable from its seed — ``loadgen --seed 7`` twice must produce
+    identical request sequences.  That only holds when all randomness in
+    :mod:`repro.eval` flows through one injected ``random.Random(seed)``
+    instance (``DatasetRandom`` in practice); a single module-level
+    ``random.choice()`` draws from the interpreter-global generator and
+    silently couples a run to import order and to every other consumer of
+    that generator.  Constructing a seeded generator is the sanctioned
+    injection point, so ``random.Random(seed)`` stays allowed; drawing
+    from the ``random`` module — or building a seedless/entropy-backed
+    generator — is the finding.
+    """
+
+    rule_id = "seeded-rng"
+    description = (
+        "repro.eval modules draw randomness only from an injected "
+        "random.Random(seed); bare random.* module calls break seeded "
+        "replayability"
+    )
+
+    #: every module under the evaluation package.
+    PATHS = ("repro/eval/",)
+
+    #: generator constructors — allowed only when given an explicit seed.
+    _CONSTRUCTORS = frozenset({"random.Random"})
+
+    def check(self, module: ModuleSource, context: AnalysisContext) -> Iterator[Finding]:
+        if not path_matches(module.rel_path, self.PATHS):
+            return
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = _call_name(node)
+            if not name or name.split(".", 1)[0] != "random":
+                continue
+            if name in self._CONSTRUCTORS:
+                if node.args or node.keywords:
+                    continue
+                yield self.finding(
+                    module,
+                    node,
+                    "random.Random() without a seed is as unreplayable as "
+                    "the module-level generator; pass the run's seed",
+                )
+            else:
+                yield self.finding(
+                    module,
+                    node,
+                    f"module-level {name}() in repro.eval; draw from the "
+                    "injected random.Random(seed) generator instead",
+                )

@@ -353,3 +353,91 @@ class ServiceClient(ServingBackendBase):
     def __repr__(self) -> str:
         mode = "keep-alive" if self.keep_alive else "per-request"
         return f"<ServiceClient http://{self.host}:{self.port} ({mode})>"
+
+
+class ClientPool:
+    """A fixed set of keep-alive clients, one per worker thread.
+
+    A ``keep_alive=True`` client is fast (one persistent connection) but
+    single-threaded; the default client is thread-safe but opens a
+    connection per request.  A load generator with N workers wants the
+    third point: N persistent connections, one owned by each worker.
+    :meth:`client` hands worker ``i`` its dedicated client — created
+    lazily, so a pool sized for the worst case costs nothing for idle
+    slots — and :meth:`close` closes every connection the pool opened.
+
+    The pool is a context manager::
+
+        with ClientPool(port=port, size=workers) as pool:
+            ...  # worker i uses pool.client(i)
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 8080,
+        size: int = 1,
+        timeout: float = 30.0,
+        retry: RetryPolicy | None = None,
+    ):
+        if not isinstance(size, int) or isinstance(size, bool) or size < 1:
+            raise ValueError(f"pool size must be a positive integer, got {size!r}")
+        self.host = host
+        self.port = port
+        self.size = size
+        self.timeout = timeout
+        self.retry = retry
+        self._lock = threading.Lock()
+        self._clients: list[ServiceClient | None] = [None] * size
+
+    def client(self, worker: int) -> ServiceClient:
+        """Worker ``worker``'s dedicated keep-alive client (lazily built).
+
+        The caller contract mirrors ``keep_alive``'s: each index must be
+        used from one thread at a time.
+        """
+        if not 0 <= worker < self.size:
+            raise ValueError(
+                f"worker index {worker!r} outside pool of size {self.size}"
+            )
+        with self._lock:
+            existing = self._clients[worker]
+            if existing is None:
+                existing = self._clients[worker] = ServiceClient(
+                    host=self.host,
+                    port=self.port,
+                    timeout=self.timeout,
+                    keep_alive=True,
+                    retry=self.retry,
+                )
+        return existing
+
+    def clients(self) -> list[ServiceClient]:
+        """The clients created so far (idle slots excluded)."""
+        with self._lock:
+            return [client for client in self._clients if client is not None]
+
+    def close(self) -> None:
+        """Close every connection the pool opened; the pool stays usable
+        (a later :meth:`client` call reconnects lazily)."""
+        with self._lock:
+            clients = [client for client in self._clients if client is not None]
+            self._clients = [None] * self.size
+        for client in clients:
+            client.close()
+
+    def __len__(self) -> int:
+        return self.size
+
+    def __enter__(self) -> "ClientPool":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        live = len(self.clients())
+        return (
+            f"<ClientPool http://{self.host}:{self.port} "
+            f"size={self.size} live={live}>"
+        )

@@ -504,10 +504,14 @@ class HttpServer:
         except (ConnectionError, asyncio.CancelledError):
             pass
         finally:
+            # CancelledError included: at shutdown asyncio.run cancels the
+            # still-draining keep-alive handlers mid-wait_closed; ending
+            # the task cancelled here would make the streams machinery
+            # re-raise it into the loop's exception handler as noise.
             try:
                 writer.close()
                 await writer.wait_closed()
-            except (ConnectionError, OSError):
+            except (ConnectionError, OSError, asyncio.CancelledError):
                 pass
 
     def _count_request(self) -> bool:

@@ -294,6 +294,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     serve.add_argument("--algorithm", choices=("slca", "elca"), default=None)
     serve.add_argument(
+        "--cache-size", type=int, default=None, metavar="N",
+        help="LRU entries per document for the query/snippet caches "
+             "(0 disables serving caches; default 256)",
+    )
+    serve.add_argument(
         "--workers", type=int, default=8, metavar="N",
         help="HTTP worker threads executing backend calls (default: 8)",
     )
@@ -318,6 +323,81 @@ def build_parser() -> argparse.ArgumentParser:
         help="write the bound port to PATH once listening (for scripts using --port 0)",
     )
     add_observability_arguments(serve)
+
+    def add_load_profile_arguments(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument("--seed", type=int, default=0, help="traffic RNG seed (default: 0)")
+        sub.add_argument(
+            "--requests", type=int, default=100, metavar="N",
+            help="number of requests to plan (default: 100)",
+        )
+        sub.add_argument(
+            "--concurrency", type=int, default=4, metavar="N",
+            help="worker threads, one keep-alive connection each (default: 4)",
+        )
+        sub.add_argument(
+            "--duration", type=float, default=None, metavar="SECONDS",
+            help="stop firing after SECONDS even if requests remain",
+        )
+        sub.add_argument(
+            "--mix", default="search=0.8,batch=0.15,update=0.05", metavar="KIND=W,...",
+            help="request mix weights (default: search=0.8,batch=0.15,update=0.05)",
+        )
+        sub.add_argument(
+            "--zipf", type=float, default=1.1, metavar="S",
+            help="Zipf skew of document/query popularity (default: 1.1)",
+        )
+
+    loadgen = subparsers.add_parser(
+        "loadgen",
+        help="fire a seeded mixed workload at a serving endpoint and measure it",
+    )
+    add_corpus_source_arguments(loadgen)
+    loadgen.add_argument(
+        "--corpus-dir", metavar="DIR",
+        help="plan over a corpus saved by corpus-save (must mirror the server's)",
+    )
+    loadgen.add_argument("--host", default="127.0.0.1", help="server address (default: 127.0.0.1)")
+    loadgen.add_argument("--port", type=int, default=8080, help="server port (default: 8080)")
+    loadgen.add_argument("--algorithm", choices=("slca", "elca"), default=None)
+    add_load_profile_arguments(loadgen)
+    loadgen.add_argument(
+        "--arrival", choices=("closed", "poisson", "fixed"), default="closed",
+        help="arrival process: closed loop (default) or open-loop poisson/fixed",
+    )
+    loadgen.add_argument(
+        "--rate", type=float, default=None, metavar="RPS",
+        help="aggregate target arrival rate (required for poisson/fixed)",
+    )
+    loadgen.add_argument(
+        "--plan-only", action="store_true",
+        help="print the planned request sequence as JSON without firing it",
+    )
+    loadgen.add_argument("--json", action="store_true", help="print the report as JSON")
+    loadgen.add_argument(
+        "--report", metavar="PATH",
+        help="also write the report as a BENCH_loadgen.json-shaped file to PATH",
+    )
+
+    loadgen_ablate = subparsers.add_parser(
+        "loadgen-ablate",
+        help="measure serving flags one flip at a time, each against a fresh server",
+    )
+    add_corpus_source_arguments(loadgen_ablate)
+    loadgen_ablate.add_argument(
+        "--corpus-dir", metavar="DIR",
+        help="serve (and plan over) a corpus saved by corpus-save",
+    )
+    loadgen_ablate.add_argument("--algorithm", choices=("slca", "elca"), default=None)
+    add_load_profile_arguments(loadgen_ablate)
+    loadgen_ablate.add_argument(
+        "--smoke", action="store_true",
+        help="the CI matrix: caches on/off × two admission limits (4 configurations)",
+    )
+    loadgen_ablate.add_argument(
+        "--server-workers", type=int, default=4, metavar="N",
+        help="HTTP worker threads for each spawned server (default: 4)",
+    )
+    loadgen_ablate.add_argument("--json", action="store_true", help="print rows as JSON")
 
     corpus_compact = subparsers.add_parser(
         "corpus-compact",
@@ -617,15 +697,25 @@ def _command_experiment(args: argparse.Namespace, out) -> int:
 def _build_corpus(args: argparse.Namespace, algorithm: str = "slca"):
     """Assemble a Corpus from --dataset/--file flags (or --corpus-dir)."""
     from repro.corpus import Corpus
+    from repro.utils.cache import DEFAULT_CACHE_SIZE
 
+    cache_size = getattr(args, "cache_size", None)
+    if cache_size is None:
+        cache_size = DEFAULT_CACHE_SIZE
+    elif cache_size < 0:
+        raise ExtractError(f"--cache-size must be >= 0, got {cache_size}")
     if getattr(args, "corpus_dir", None):
         if args.dataset or args.file:
             raise ExtractError(
                 "--corpus-dir cannot be combined with --dataset/--file: the snapshot "
                 "is authoritative (re-run corpus-save to change its contents)"
             )
-        return Corpus.load_dir(args.corpus_dir, algorithm=getattr(args, "algorithm", None))
-    corpus = Corpus(algorithm=algorithm)
+        return Corpus.load_dir(
+            args.corpus_dir,
+            algorithm=getattr(args, "algorithm", None),
+            cache_size=cache_size,
+        )
+    corpus = Corpus(algorithm=algorithm, cache_size=cache_size)
     for dataset in args.dataset:
         if dataset not in corpus:
             corpus.add_builtin(dataset)
@@ -874,6 +964,8 @@ def _command_serve(args: argparse.Namespace, out) -> int:
     from repro.api.gateway import build_gateway
     from repro.api.http import HttpServer
 
+    if args.cache_size is not None and args.cache_size < 0:
+        raise ExtractError(f"--cache-size must be >= 0, got {args.cache_size}")
     replicate_backend = None
     if args.cluster_dir:
         if args.dataset or args.file or args.corpus_dir:
@@ -881,11 +973,17 @@ def _command_serve(args: argparse.Namespace, out) -> int:
                 "--cluster-dir cannot be combined with --dataset/--file/--corpus-dir: "
                 "the cluster manifest is authoritative"
             )
+        from repro.utils.cache import DEFAULT_CACHE_SIZE
+
+        cache_size = args.cache_size if args.cache_size is not None else DEFAULT_CACHE_SIZE
         if args.shard_of is not None:
             from repro.cluster import ShardBackend
 
             backend = ShardBackend.load_dir(
-                args.cluster_dir, args.shard_of, algorithm=args.algorithm
+                args.cluster_dir,
+                args.shard_of,
+                algorithm=args.algorithm,
+                cache_size=cache_size,
             )
             # Replication bypasses the gateway stack: delta application
             # must not compete with reads for admission-control slots.
@@ -893,7 +991,9 @@ def _command_serve(args: argparse.Namespace, out) -> int:
         else:
             from repro.cluster import ClusterService
 
-            backend = ClusterService.load_dir(args.cluster_dir, algorithm=args.algorithm)
+            backend = ClusterService.load_dir(
+                args.cluster_dir, algorithm=args.algorithm, cache_size=cache_size
+            )
     elif args.shard_of is not None:
         raise ExtractError("--shard-of requires --cluster-dir (a saved cluster)")
     else:
@@ -943,6 +1043,128 @@ def _command_serve(args: argparse.Namespace, out) -> int:
         stack.close()
         close_log()
     print(f"served {server.requests_served} request(s)", file=out)
+    return 0
+
+
+def _load_profile_from_args(args: argparse.Namespace):
+    """--seed/--requests/--mix/… → a validated LoadProfile."""
+    from repro.eval.loadgen import LoadProfile, parse_mix
+
+    weights = parse_mix(args.mix)
+    return LoadProfile(
+        seed=args.seed,
+        requests=args.requests,
+        duration_seconds=args.duration,
+        concurrency=args.concurrency,
+        arrival=getattr(args, "arrival", "closed"),
+        rate_rps=getattr(args, "rate", None),
+        search_weight=weights["search"],
+        batch_weight=weights["batch"],
+        update_weight=weights["update"],
+        zipf_skew=args.zipf,
+    ).validate()
+
+
+def _format_load_report(report) -> str:
+    def _ms(value):
+        return f"{value * 1000:.2f}ms" if value is not None else "-"
+
+    def _pct(value):
+        return f"{value * 100:.1f}%" if value is not None else "-"
+
+    latency = report.latency
+    kinds = ", ".join(
+        f"{kind}={count}" for kind, count in sorted(report.by_kind.items())
+    )
+    return (
+        f"sent {report.requests_sent} requests in {report.duration_seconds:.3f}s "
+        f"({report.throughput_rps:.1f} req/s; {kinds})\n"
+        f"latency p50={_ms(latency.get('p50'))} p95={_ms(latency.get('p95'))} "
+        f"p99={_ms(latency.get('p99'))}\n"
+        f"errors={report.errors} ({_pct(report.error_rate)})  "
+        f"shed={report.shed} ({_pct(report.shed_rate)})  "
+        f"cache hit rate={_pct(report.cache_hit_rate)}"
+    )
+
+
+def _command_loadgen(args: argparse.Namespace, out) -> int:
+    """Plan (and optionally fire) one seeded load run."""
+    import json
+
+    from repro.eval.loadgen import (
+        build_plan,
+        report_rows,
+        run_load,
+        write_report_file,
+    )
+
+    profile = _load_profile_from_args(args)
+    corpus = _build_corpus(args, algorithm=args.algorithm or "slca")
+    plan = build_plan(corpus, profile)
+    if args.plan_only:
+        print(
+            json.dumps(
+                {"signature": plan.signature(), "sequence": plan.sequence()},
+                indent=2,
+                sort_keys=True,
+            ),
+            file=out,
+        )
+        return 0
+    report = run_load(plan, host=args.host, port=args.port)
+    if args.report:
+        write_report_file(report_rows(report), args.report)
+        print(f"report written to {args.report}", file=out)
+    if args.json:
+        print(json.dumps(report.to_dict(), indent=2, sort_keys=True), file=out)
+    else:
+        print(_format_load_report(report), file=out)
+    return 1 if report.errors else 0
+
+
+def _command_loadgen_ablate(args: argparse.Namespace, out) -> int:
+    """Run the baseline-plus-one-flip matrix against spawned servers."""
+    import json
+
+    from repro.eval.loadgen import (
+        ablation_matrix,
+        default_flags,
+        run_ablation,
+        smoke_flags,
+    )
+
+    if not (args.dataset or args.file or args.corpus_dir):
+        raise ExtractError(
+            "loadgen-ablate needs corpus sources the spawned servers can load: "
+            "pass --dataset/--file (or --corpus-dir)"
+        )
+    profile = _load_profile_from_args(args)
+    corpus = _build_corpus(args, algorithm=args.algorithm or "slca")
+    serve_args: list[str] = []
+    if args.corpus_dir:
+        serve_args += ["--corpus-dir", args.corpus_dir]
+    for dataset in args.dataset:
+        serve_args += ["--dataset", dataset]
+    for path in args.file:
+        serve_args += ["--file", path]
+    if args.algorithm:
+        serve_args += ["--algorithm", args.algorithm]
+    configs = ablation_matrix(smoke_flags() if args.smoke else default_flags())
+    outcomes, table = run_ablation(
+        corpus,
+        serve_args,
+        configs,
+        profile,
+        workers=args.server_workers,
+    )
+    if args.json:
+        rows = [
+            {"config": outcome.config.name, **outcome.report.to_dict()}
+            for outcome in outcomes
+        ]
+        print(json.dumps(rows, indent=2, sort_keys=True), file=out)
+    else:
+        print(table.format_text(), file=out)
     return 0
 
 
@@ -1365,7 +1587,8 @@ def _command_metrics(args: argparse.Namespace, out) -> int:
                 detail = (
                     f"count={row.get('count')} sum={row.get('sum'):.6f} "
                     + " ".join(
-                        f"{q}={value:.6f}" for q, value in sorted(quantiles.items())
+                        f"{q}={'-' if value is None else format(value, '.6f')}"
+                        for q, value in sorted(quantiles.items())
                     )
                 )
             else:
@@ -1387,6 +1610,8 @@ _COMMANDS = {
     "corpus-compact": _command_corpus_compact,
     "serve-request": _command_serve_request,
     "serve": _command_serve,
+    "loadgen": _command_loadgen,
+    "loadgen-ablate": _command_loadgen_ablate,
     "cluster-init": _command_cluster_init,
     "cluster-serve-request": _command_cluster_serve_request,
     "cluster-update": _command_cluster_update,

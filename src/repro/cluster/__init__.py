@@ -56,6 +56,7 @@ from repro.cluster.remote import (
     RemoteShardExecutor,
     ShardBackend,
     ShardProcess,
+    spawn_server,
     spawn_shard_server,
 )
 from repro.cluster.replication import (
@@ -87,6 +88,7 @@ __all__ = [
     "HealthMonitor",
     "ShardBackend",
     "ShardProcess",
+    "spawn_server",
     "spawn_shard_server",
     "RemoteShardExecutor",
     "RemoteClusterService",

@@ -340,23 +340,27 @@ def _python_path_env() -> dict[str, str]:
     return env
 
 
-def spawn_shard_server(
-    cluster_dir: str | os.PathLike[str],
-    shard_id: int,
+def spawn_server(
+    serve_args: Sequence[str],
+    label: str = "serve",
     host: str = "127.0.0.1",
     workers: int = 2,
     timeout: float = 60.0,
     python: str | None = None,
+    shard_id: int = -1,
 ) -> ShardProcess:
-    """Spawn one ``serve --shard-of`` process; wait until it is listening.
+    """Spawn one ``repro.cli serve`` process; wait until it is listening.
 
-    The child binds an ephemeral port (``--port 0``) and publishes it via
-    ``--port-file``, whose write is atomic (temp + rename) — so polling
-    the file can never read a partial line; a file that exists holds the
-    complete port.
+    ``serve_args`` is the command-specific tail (``--cluster-dir``/
+    ``--shard-of`` for a shard, ``--dataset``/``--max-in-flight``/… for a
+    load-harness topology); the transport plumbing — ephemeral ``--port
+    0``, the atomically-written ``--port-file`` this function polls,
+    stderr capture for error tails — is identical for every spawned
+    topology, which is why the shard spawner and the ablation runner
+    share this one implementation.  ``label`` names the process in error
+    messages.
     """
-    path = os.fspath(cluster_dir)
-    handle, port_file = tempfile.mkstemp(prefix="repro-shard-", suffix=".port")
+    handle, port_file = tempfile.mkstemp(prefix="repro-serve-", suffix=".port")
     os.close(handle)
     os.remove(port_file)
     stderr_path = port_file + ".stderr"
@@ -365,10 +369,7 @@ def spawn_shard_server(
         "-m",
         "repro.cli",
         "serve",
-        "--cluster-dir",
-        path,
-        "--shard-of",
-        str(shard_id),
+        *[str(argument) for argument in serve_args],
         "--host",
         host,
         "--port",
@@ -394,14 +395,14 @@ def spawn_shard_server(
                 break
             if process.poll() is not None:
                 raise ClusterError(
-                    f"shard {shard_id} server exited with code "
+                    f"{label} server exited with code "
                     f"{process.returncode} before publishing its port: "
                     f"{_tail(stderr_path)}"
                 )
             if monotonic() > deadline:
                 process.kill()
                 raise ClusterError(
-                    f"shard {shard_id} server did not publish its port within "
+                    f"{label} server did not publish its port within "
                     f"{timeout:.0f}s: {_tail(stderr_path)}"
                 )
             time.sleep(0.02)
@@ -410,6 +411,32 @@ def spawn_shard_server(
             if os.path.exists(leftover):
                 os.remove(leftover)
     return ShardProcess(process, shard_id=shard_id, host=host, port=port)
+
+
+def spawn_shard_server(
+    cluster_dir: str | os.PathLike[str],
+    shard_id: int,
+    host: str = "127.0.0.1",
+    workers: int = 2,
+    timeout: float = 60.0,
+    python: str | None = None,
+) -> ShardProcess:
+    """Spawn one ``serve --shard-of`` process; wait until it is listening.
+
+    The child binds an ephemeral port (``--port 0``) and publishes it via
+    ``--port-file``, whose write is atomic (temp + rename) — so polling
+    the file can never read a partial line; a file that exists holds the
+    complete port.
+    """
+    return spawn_server(
+        ["--cluster-dir", os.fspath(cluster_dir), "--shard-of", str(shard_id)],
+        label=f"shard {shard_id}",
+        host=host,
+        workers=workers,
+        timeout=timeout,
+        python=python,
+        shard_id=shard_id,
+    )
 
 
 def _tail(path: str, limit: int = 800) -> str:

@@ -9,6 +9,9 @@ and each experiment is registered so the benchmark targets and
 EXPERIMENTS.md stay in sync.
 
 * :mod:`repro.eval.workload` — query workload generation per dataset,
+* :mod:`repro.eval.loadgen` — the closed-loop load harness: seeded mixed
+  traffic against the real HTTP server, measured through the obs stack,
+  plus the baseline-plus-one-flip serving-flag ablation matrix,
 * :mod:`repro.eval.metrics` — snippet quality metrics,
 * :mod:`repro.eval.reporting` — experiment tables and text rendering,
 * :mod:`repro.eval.efficiency` — experiments E1, E2, E3, E7,
@@ -24,10 +27,51 @@ from repro.eval.workload import QueryWorkload, WorkloadGenerator
 from repro.eval.metrics import SnippetQuality, evaluate_snippet, distinguishability
 from repro.eval.experiments import EXPERIMENTS, run_experiment, list_experiments
 
+#: loadgen names re-exported lazily — the load harness imports the serving
+#: stack (repro.api), which itself imports repro.eval.metrics during
+#: package init, so an eager import here would be circular
+_LOADGEN_EXPORTS = (
+    "AblationConfig",
+    "AblationFlag",
+    "FlagValue",
+    "LoadProfile",
+    "LoadReport",
+    "RequestPlan",
+    "SMOKE_PROFILE",
+    "ablation_matrix",
+    "build_plan",
+    "default_flags",
+    "run_ablation",
+    "run_load",
+    "smoke_flags",
+)
+
+
+def __getattr__(name: str):
+    if name in _LOADGEN_EXPORTS:
+        from repro.eval import loadgen
+
+        return getattr(loadgen, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
 __all__ = [
     "ExperimentTable",
     "QueryWorkload",
     "WorkloadGenerator",
+    "AblationConfig",
+    "AblationFlag",
+    "FlagValue",
+    "LoadProfile",
+    "LoadReport",
+    "RequestPlan",
+    "SMOKE_PROFILE",
+    "ablation_matrix",
+    "build_plan",
+    "default_flags",
+    "run_ablation",
+    "run_load",
+    "smoke_flags",
     "SnippetQuality",
     "evaluate_snippet",
     "distinguishability",

@@ -267,16 +267,25 @@ class Histogram:
                 series = self._series[key] = _HistogramSeries(len(self.bounds) + 1)
         return _BoundHistogram(self, series)
 
-    def quantile(self, q: float, **labels: Any) -> float:
+    def quantile(self, q: float, **labels: Any) -> float | None:
         """Estimate the ``q``-quantile by interpolating inside the owning
-        bucket (0.0 when nothing was observed)."""
+        bucket.
+
+        An empty series has no quantiles: the answer is ``None``, not a
+        fabricated 0.0 a dashboard would happily plot.  A single-sample
+        series answers the sample itself — interpolating inside the owning
+        bucket would report a value the process never measured.
+        """
         if not 0.0 <= q <= 1.0:
             raise ValueError(f"quantile must be in [0, 1], got {q!r}")
         key = _label_key(self.label_names, labels)
         with self._lock:
             series = self._series.get(key)
             if series is None or series.count == 0:
-                return 0.0
+                return None
+            if series.count == 1:
+                # sum over one observation *is* the observation
+                return series.total
             rank = q * series.count
             seen = 0
             for index, bucket_count in enumerate(series.buckets):

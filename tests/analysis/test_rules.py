@@ -779,3 +779,59 @@ def save(handle):
     handle.write("#extract-index v3\\n")  # repro: ignore[format-version]
 '''
         assert lint_tree({"repro/index/storage.py": source}, self.RULE) == []
+
+
+# ---------------------------------------------------------------------- #
+# seeded-rng
+# ---------------------------------------------------------------------- #
+class TestSeededRng:
+    RULE = "seeded-rng"
+
+    def test_module_level_draw_fires(self, lint_tree):
+        source = "import random\n\ndef pick(pool):\n    return random.choice(pool)\n"
+        findings = lint_tree({"repro/eval/loadgen.py": source}, self.RULE)
+        assert [f.rule_id for f in findings] == [self.RULE]
+        assert "random.choice" in findings[0].message
+
+    def test_bare_imported_draw_fires(self, lint_tree):
+        source = "from random import random\n\ndef draw():\n    return random()\n"
+        assert len(lint_tree({"repro/eval/workload.py": source}, self.RULE)) == 1
+
+    def test_system_random_fires(self, lint_tree):
+        source = "import random\n\ndef rng():\n    return random.SystemRandom()\n"
+        assert len(lint_tree({"repro/eval/loadgen.py": source}, self.RULE)) == 1
+
+    def test_seedless_random_fires(self, lint_tree):
+        source = "import random\n\ndef rng():\n    return random.Random()\n"
+        findings = lint_tree({"repro/eval/loadgen.py": source}, self.RULE)
+        assert len(findings) == 1
+        assert "seed" in findings[0].message
+
+    def test_seeded_constructor_is_sanctioned(self, lint_tree):
+        source = (
+            "import random\n\n"
+            "def rng(seed):\n"
+            "    return random.Random(seed)\n"
+        )
+        assert lint_tree({"repro/eval/loadgen.py": source}, self.RULE) == []
+
+    def test_injected_instance_draws_are_clean(self, lint_tree):
+        source = (
+            "import random\n\n"
+            "def plan(seed, pool):\n"
+            "    rng = random.Random(seed)\n"
+            "    return [rng.choice(pool), rng.random(), rng.expovariate(1.0)]\n"
+        )
+        assert lint_tree({"repro/eval/loadgen.py": source}, self.RULE) == []
+
+    def test_non_eval_module_is_out_of_scope(self, lint_tree):
+        source = "import random\n\ndef pick(pool):\n    return random.choice(pool)\n"
+        assert lint_tree({"repro/datasets/base.py": source}, self.RULE) == []
+
+    def test_suppression(self, lint_tree):
+        source = (
+            "import random\n\n"
+            "def jitter():\n"
+            "    return random.random()  # repro: ignore[seeded-rng]\n"
+        )
+        assert lint_tree({"repro/eval/loadgen.py": source}, self.RULE) == []

@@ -1,0 +1,77 @@
+"""ClientPool: one keep-alive connection per worker slot.
+
+The load harness (``repro.eval.loadgen``) gives each worker thread one
+dedicated keep-alive client; the property that makes the pool worth
+having — N workers issuing M requests each cost exactly N connections,
+not N×M — is asserted against the same :class:`MiniServer` the retry
+tests use, because *connections observed by the server* is the ground
+truth a mocked transport cannot fake.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.api import ClientPool
+
+from test_client_retry import MiniServer
+
+
+class TestClientPool:
+    def test_n_workers_m_requests_cost_n_connections(self):
+        with MiniServer(serve_per_connection=100) as server:
+            with ClientPool(port=server.port, size=3) as pool:
+                def work(worker: int) -> None:
+                    client = pool.client(worker)
+                    for _ in range(4):
+                        assert client.health()["status"] == "ok"
+
+                threads = [
+                    threading.Thread(target=work, args=(worker,))
+                    for worker in range(3)
+                ]
+                for thread in threads:
+                    thread.start()
+                for thread in threads:
+                    thread.join()
+            assert server.connections == 3
+
+    def test_clients_are_lazy_and_sticky(self):
+        pool = ClientPool(port=1, size=4)
+        assert len(pool) == 4
+        assert pool.clients() == []  # nothing built for idle slots
+        first = pool.client(2)
+        assert pool.client(2) is first  # same worker, same client
+        assert pool.clients() == [first]
+
+    def test_worker_index_bounds(self):
+        pool = ClientPool(port=1, size=2)
+        with pytest.raises(ValueError):
+            pool.client(-1)
+        with pytest.raises(ValueError):
+            pool.client(2)
+
+    @pytest.mark.parametrize("size", [0, -1, 1.5, True])
+    def test_invalid_size_rejected(self, size):
+        with pytest.raises(ValueError):
+            ClientPool(port=1, size=size)
+
+    def test_close_resets_but_pool_stays_usable(self):
+        with MiniServer(serve_per_connection=100) as server:
+            pool = ClientPool(port=server.port, size=2)
+            assert pool.client(0).health()["status"] == "ok"
+            pool.close()
+            assert pool.clients() == []
+            # a later client() call reconnects lazily on a new connection
+            assert pool.client(0).health()["status"] == "ok"
+            pool.close()
+            assert server.connections == 2
+
+    def test_context_manager_closes(self):
+        with MiniServer(serve_per_connection=100) as server:
+            with ClientPool(port=server.port, size=1) as pool:
+                pool.client(0).health()
+                assert len(pool.clients()) == 1
+            assert pool.clients() == []

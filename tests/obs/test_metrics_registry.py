@@ -92,13 +92,33 @@ class TestHistogram:
         assert histogram.quantile(0.5) == pytest.approx(1.0)
         assert 1.0 < histogram.quantile(0.99) <= 2.0
 
-    def test_quantile_of_empty_series_is_zero(self):
+    def test_quantile_of_empty_series_is_none(self):
+        # An unobserved series has no quantiles — 0.0 would be a fabricated
+        # measurement, and dashboards plot fabricated measurements.
         histogram = Histogram("h_seconds", "help")
-        assert histogram.quantile(0.95) == 0.0
+        assert histogram.quantile(0.95) is None
+        labelled = Histogram("h2_seconds", "help", ("kind",))
+        labelled.labels(kind="search")  # bound but never observed
+        assert labelled.quantile(0.5, kind="search") is None
+
+    def test_quantile_of_single_sample_is_the_sample(self):
+        # One observation: every quantile is that observation, not a value
+        # interpolated inside the owning bucket that was never measured.
+        histogram = Histogram("h_seconds", "help", buckets=(0.1, 1.0, 10.0))
+        histogram.observe(0.42)
+        for q in (0.0, 0.5, 0.95, 0.99, 1.0):
+            assert histogram.quantile(q) == pytest.approx(0.42)
+
+    def test_snapshot_quantiles_of_empty_series_are_null(self):
+        histogram = Histogram("h_seconds", "help", ("kind",))
+        histogram.labels(kind="search")  # series exists, zero observations
+        quantiles = histogram.snapshot()["series"][0]["quantiles"]
+        assert quantiles == {"p50": None, "p95": None, "p99": None}
 
     def test_quantile_overflow_returns_last_bound(self):
         histogram = Histogram("h_seconds", "help", buckets=(0.1, 1.0))
         histogram.observe(100.0)
+        histogram.observe(200.0)
         assert histogram.quantile(0.99) == 1.0
 
     def test_quantile_range_checked(self):

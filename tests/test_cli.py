@@ -24,7 +24,7 @@ class TestParser:
             "analyze", "search", "ilist", "datasets", "generate", "experiment",
             "batch", "corpus-save", "corpus-update", "corpus-compact",
             "serve-request", "serve", "cluster-init", "cluster-serve-request",
-            "cluster-update", "lint",
+            "cluster-update", "lint", "loadgen", "loadgen-ablate",
         ):
             assert command in text
 
@@ -579,3 +579,60 @@ class TestServeCommand:
         )
         assert code == 1
         assert "--cluster-dir cannot be combined" in output
+
+
+class TestLoadgenCommand:
+    def test_plan_only_is_seed_deterministic(self):
+        argv = (
+            "loadgen", "--dataset", "retail", "--seed", "7",
+            "--requests", "12", "--plan-only",
+        )
+        code_a, first = run_cli(*argv)
+        code_b, second = run_cli(*argv)
+        assert code_a == code_b == 0
+        assert first == second  # byte-identical plans, acceptance criterion
+        import json
+
+        plan = json.loads(first)
+        assert set(plan) == {"signature", "sequence"}
+        assert len(plan["sequence"]) == 12
+
+    def test_different_seed_changes_the_plan(self):
+        import json
+
+        _, first = run_cli(
+            "loadgen", "--dataset", "retail", "--seed", "7", "--requests",
+            "12", "--plan-only",
+        )
+        _, second = run_cli(
+            "loadgen", "--dataset", "retail", "--seed", "8", "--requests",
+            "12", "--plan-only",
+        )
+        assert json.loads(first)["signature"] != json.loads(second)["signature"]
+
+    def test_bad_mix_is_an_error(self):
+        code, output = run_cli(
+            "loadgen", "--dataset", "retail", "--mix", "scan=1", "--plan-only",
+        )
+        assert code == 1
+        assert "error:" in output
+
+    def test_open_loop_arrival_requires_rate(self):
+        code, output = run_cli(
+            "loadgen", "--dataset", "retail", "--arrival", "poisson",
+            "--plan-only",
+        )
+        assert code == 1
+        assert "rate" in output
+
+    def test_ablate_requires_corpus_sources(self):
+        code, output = run_cli("loadgen-ablate")
+        assert code == 1
+        assert "corpus sources" in output
+
+    def test_serve_rejects_negative_cache_size(self):
+        code, output = run_cli(
+            "serve", "--dataset", "retail", "--cache-size", "-1",
+        )
+        assert code == 1
+        assert "cache-size" in output
